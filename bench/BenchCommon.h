@@ -1,0 +1,121 @@
+//===- bench/BenchCommon.h - Shared bench-binary plumbing ------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common flag handling and the detection-study driver shared by the
+/// table/figure reproduction binaries. Every binary accepts:
+///
+///   --workload=NAME   one of eclipse|hsqldb|xalan|pseudojbb (default all)
+///   --scale=F         multiply per-worker operation counts (default per
+///                     binary; 1.0 approximates the calibrated size)
+///   --trials=N        override the per-point trial count
+///   --seed=S          base seed (default 12345)
+///   --full-trials=N   fully sampled calibration trials (default 30)
+///
+/// Binaries print the reproduced rows plus the paper's published values
+/// for side-by-side comparison; see EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_BENCH_BENCHCOMMON_H
+#define PACER_BENCH_BENCHCOMMON_H
+
+#include "harness/DetectionExperiment.h"
+#include "harness/TrialRunner.h"
+#include "sim/Workloads.h"
+#include "support/CommandLine.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pacer::bench {
+
+/// Options shared by all bench binaries.
+struct BenchOptions {
+  std::vector<WorkloadSpec> Workloads;
+  double Scale = 1.0;
+  int64_t Trials = -1; ///< -1 = per-binary default / formula.
+  uint64_t Seed = 12345;
+  uint32_t FullTrials = 30;
+};
+
+inline BenchOptions parseBenchOptions(int Argc, const char *const *Argv,
+                                      double DefaultScale) {
+  FlagSet Flags(Argc, Argv);
+  BenchOptions Options;
+  Options.Scale = Flags.getDouble("scale", DefaultScale);
+  Options.Trials = Flags.getInt("trials", -1);
+  Options.Seed = static_cast<uint64_t>(Flags.getInt("seed", 12345));
+  Options.FullTrials =
+      static_cast<uint32_t>(Flags.getInt("full-trials", 30));
+  std::string Name = Flags.getString("workload", "");
+  std::vector<WorkloadSpec> All = paperWorkloads();
+  for (WorkloadSpec &Spec : All)
+    if (Name.empty() || Spec.Name == Name)
+      Options.Workloads.push_back(scaleWorkload(Spec, Options.Scale));
+  if (Options.Workloads.empty()) {
+    std::fprintf(stderr,
+                 "unknown --workload=%s (want eclipse, hsqldb, xalan, or "
+                 "pseudojbb)\n",
+                 Name.c_str());
+    std::exit(1);
+  }
+  return Options;
+}
+
+/// Prints a banner naming the experiment and the paper artifact it
+/// regenerates.
+inline void printBanner(const char *Artifact, const char *Claim) {
+  std::printf("=== %s ===\n%s\n\n", Artifact, Claim);
+}
+
+/// One workload's detection study: ground truth plus one DetectionPoint
+/// per requested rate.
+struct DetectionStudy {
+  WorkloadSpec Spec;
+  GroundTruth Truth;
+  std::vector<DetectionPoint> Points;
+};
+
+/// Runs the Figures 3-5 pipeline for one workload. \p TrialsOverride < 0
+/// applies the paper's numTrials formula (simulator-scaled).
+inline DetectionStudy runDetectionStudy(const WorkloadSpec &Spec,
+                                        const std::vector<double> &Rates,
+                                        const BenchOptions &Options) {
+  DetectionStudy Study;
+  Study.Spec = Spec;
+  CompiledWorkload Workload(Spec);
+  Study.Truth =
+      computeGroundTruth(Workload, Options.FullTrials, Options.Seed);
+  for (double Rate : Rates) {
+    uint32_t Trials = Options.Trials > 0
+                          ? static_cast<uint32_t>(Options.Trials)
+                          : numTrialsForRate(Rate, /*Scale=*/0.5,
+                                             /*MinTrials=*/10,
+                                             /*MaxTrials=*/60);
+    DetectorSetup Setup = pacerSetup(Rate);
+    // Small simulated nurseries give each trial enough period-entry
+    // decisions for the bias correction to work at simulator trace sizes
+    // (the paper's executions see hundreds of 32 MB periods).
+    Setup.Sampling.PeriodBytes = 12 * 1024;
+    Study.Points.push_back(measureDetection(
+        Workload, Study.Truth, Setup, Trials,
+        Options.Seed + static_cast<uint64_t>(Rate * 100000.0)));
+  }
+  return Study;
+}
+
+/// The sampling rates the paper's accuracy figures sweep.
+inline std::vector<double> accuracyRates() {
+  return {0.01, 0.03, 0.05, 0.10, 0.25, 0.50, 1.00};
+}
+
+} // namespace pacer::bench
+
+#endif // PACER_BENCH_BENCHCOMMON_H

@@ -1,0 +1,69 @@
+//===- bench/fig6_literace_eclipse.cpp ------------------------------------==//
+//
+// Regenerates Figure 6 (plus the Section 5.3 comparison): LiteRace's
+// per-distinct-race detection rate on the eclipse model. LiteRace finds
+// cold-code races in many runs but, because a race needs *both* accesses
+// sampled and hot code bottoms out at a 0.1% rate, it consistently misses
+// races between hot accesses (~0.0001% detection). PACER at a comparable
+// effective rate misses none systematically.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <algorithm>
+
+using namespace pacer;
+using namespace pacer::bench;
+
+int main(int Argc, char **Argv) {
+  BenchOptions Options = parseBenchOptions(Argc, Argv, /*DefaultScale=*/1.0);
+  printBanner("Figure 6: LiteRace per-race detection on eclipse",
+              "The cold-region hypothesis fails for hot races: LiteRace "
+              "never reports some evaluation races; PACER's statistical "
+              "guarantee covers every race equally.");
+
+  // The paper uses burst length 1000 against billions of accesses; the
+  // simulator-scaled default keeps the same bursts-per-hot-method ratio.
+  FlagSet Flags(Argc, Argv);
+  auto BurstLength = static_cast<uint32_t>(Flags.getInt("burst", 10));
+
+  // Figure 6 is eclipse only, but honor --workload.
+  for (const WorkloadSpec &Spec : Options.Workloads) {
+    if (Options.Workloads.size() == 4 && Spec.Name != "eclipse")
+      continue;
+    CompiledWorkload Workload(Spec);
+    GroundTruth Truth =
+        computeGroundTruth(Workload, Options.FullTrials, Options.Seed);
+    uint32_t Trials =
+        Options.Trials > 0 ? static_cast<uint32_t>(Options.Trials) : 60;
+
+    DetectionPoint LiteRace =
+        measureDetection(Workload, Truth, literaceSetup(BurstLength), Trials,
+                         Options.Seed + 17);
+    DetectionPoint Pacer =
+        measureDetection(Workload, Truth,
+                         pacerSetup(std::max(0.01, LiteRace.EffectiveRateMean)),
+                         Trials, Options.Seed + 18);
+
+    std::printf("--- %s: per-race detection over %u trials ---\n",
+                Spec.Name.c_str(), Trials);
+    auto PrintLine = [](const char *Label, const DetectionPoint &Point) {
+      std::vector<double> Sorted = Point.PerRaceDistinctRate;
+      std::sort(Sorted.begin(), Sorted.end(), std::greater<double>());
+      std::string Line(Label);
+      Line += ":";
+      for (double Rate : Sorted)
+        Line += " " + formatPercent(Rate, 0);
+      std::printf("%s\n", Line.c_str());
+    };
+    PrintLine("LiteRace", LiteRace);
+    PrintLine("PACER   ", Pacer);
+    std::printf("LiteRace effective rate: %s; races never reported: "
+                "LiteRace %u vs PACER %u (of %zu evaluation races)\n\n",
+                formatPercent(LiteRace.EffectiveRateMean, 2).c_str(),
+                LiteRace.EvaluationRacesMissed, Pacer.EvaluationRacesMissed,
+                Truth.EvaluationRaces.size());
+  }
+  return 0;
+}

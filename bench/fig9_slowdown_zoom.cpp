@@ -1,0 +1,49 @@
+//===- bench/fig9_slowdown_zoom.cpp ---------------------------------------==//
+//
+// Regenerates Figure 9: the zoomed view of slowdown versus sampling rate
+// for r = 0-10%, where the deployment-relevant operating points live.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "harness/OverheadExperiment.h"
+
+using namespace pacer;
+using namespace pacer::bench;
+
+int main(int Argc, char **Argv) {
+  BenchOptions Options = parseBenchOptions(Argc, Argv, /*DefaultScale=*/1.5);
+  printBanner("Figure 9: slowdown vs sampling rate, r = 0-10% (zoom)",
+              "The low-rate regime: small, roughly linear overhead "
+              "increases per point of sampling rate.");
+
+  uint32_t Trials =
+      Options.Trials > 0 ? static_cast<uint32_t>(Options.Trials) : 5;
+  const std::vector<double> Rates{0.0,  0.01, 0.02, 0.03, 0.05,
+                                  0.07, 0.10};
+
+  std::vector<OverheadConfig> Configs{{"base", nullSetup()}};
+  for (double Rate : Rates)
+    Configs.push_back({"r=" + formatPercent(Rate, 0), pacerSetup(Rate)});
+
+  TextTable Table;
+  std::vector<std::string> Header{"Program"};
+  for (size_t I = 1; I < Configs.size(); ++I)
+    Header.push_back(Configs[I].Label);
+  Table.setHeader(Header);
+
+  for (const WorkloadSpec &Spec : Options.Workloads) {
+    CompiledWorkload Workload(Spec);
+    std::vector<OverheadResult> Results =
+        measureOverheads(Workload, Configs, Trials, Options.Seed);
+    std::vector<std::string> Row{Spec.Name};
+    for (size_t I = 1; I < Results.size(); ++I)
+      Row.push_back(formatDouble(Results[I].Slowdown, 2) + "x");
+    Table.addRow(Row);
+  }
+  std::printf("%s\n(median of %u trials, normalized to the no-analysis "
+              "baseline)\n",
+              Table.render().c_str(), Trials);
+  return 0;
+}

@@ -1,0 +1,163 @@
+//===- bench/micro_ops.cpp - Core-operation microbenchmarks ---------------==//
+//
+// google-benchmark microbenchmarks for the primitive operations whose
+// costs drive the paper's performance claims: O(n) vector-clock joins and
+// copies vs O(1) epoch checks, version-epoch fast joins vs slow joins,
+// shallow vs deep clock copies, and the read/write fast-path check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Epoch.h"
+#include "core/ReadMap.h"
+#include "core/SyncClock.h"
+#include "core/VersionEpoch.h"
+#include "detectors/PacerDetector.h"
+#include "detectors/FastTrackDetector.h"
+#include "runtime/Runtime.h"
+#include "sim/TraceGenerator.h"
+#include "sim/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pacer;
+
+namespace {
+
+VectorClock makeClock(size_t Threads, uint32_t Base) {
+  VectorClock Clock;
+  for (size_t I = 0; I < Threads; ++I)
+    Clock.set(static_cast<ThreadId>(I), Base + static_cast<uint32_t>(I));
+  return Clock;
+}
+
+void BM_VectorClockJoin(benchmark::State &State) {
+  auto Threads = static_cast<size_t>(State.range(0));
+  VectorClock A = makeClock(Threads, 1);
+  VectorClock B = makeClock(Threads, 2);
+  for (auto _ : State) {
+    VectorClock C = A;
+    benchmark::DoNotOptimize(C.joinWith(B));
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_VectorClockJoin)->Range(8, 1024)->Complexity();
+
+void BM_VectorClockLeq(benchmark::State &State) {
+  auto Threads = static_cast<size_t>(State.range(0));
+  VectorClock A = makeClock(Threads, 1);
+  VectorClock B = makeClock(Threads, 2);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.leq(B));
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_VectorClockLeq)->Range(8, 1024)->Complexity();
+
+void BM_EpochPrecedes(benchmark::State &State) {
+  // The O(1) replacement for the O(n) comparison.
+  VectorClock C = makeClock(1024, 5);
+  Epoch E = Epoch::make(17, 512);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(E.precedes(C));
+}
+BENCHMARK(BM_EpochPrecedes);
+
+void BM_VersionEpochFastJoinCheck(benchmark::State &State) {
+  // PACER's redundant-join detection: one array read and compare.
+  VersionVector Ver = makeClock(1024, 3);
+  VersionEpoch VEpoch = VersionEpoch::make(900, 700);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(VEpoch.precedes(Ver));
+}
+BENCHMARK(BM_VersionEpochFastJoinCheck);
+
+void BM_DeepCopy(benchmark::State &State) {
+  auto Threads = static_cast<size_t>(State.range(0));
+  SyncClock Thread;
+  Thread.mutableClock().copyFrom(makeClock(Threads, 1));
+  SyncClock Lock;
+  for (auto _ : State)
+    Lock.deepCopyFrom(Thread, nullptr);
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_DeepCopy)->Range(8, 1024)->Complexity();
+
+void BM_ShallowCopy(benchmark::State &State) {
+  auto Threads = static_cast<size_t>(State.range(0));
+  SyncClock Thread;
+  Thread.mutableClock().copyFrom(makeClock(Threads, 1));
+  Thread.setShared();
+  SyncClock Lock;
+  for (auto _ : State)
+    Lock.shallowCopyFrom(Thread); // O(1) regardless of clock width.
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_ShallowCopy)->Range(8, 1024)->Complexity();
+
+void BM_ReadMapEpochUpdate(benchmark::State &State) {
+  ReadMap R;
+  VectorClock C = makeClock(8, 3);
+  for (auto _ : State) {
+    R.setEpoch(Epoch::make(3, 1), 9);
+    benchmark::DoNotOptimize(R.leqClock(C));
+  }
+}
+BENCHMARK(BM_ReadMapEpochUpdate);
+
+void BM_ReadMapSharedUpdate(benchmark::State &State) {
+  auto Readers = static_cast<uint32_t>(State.range(0));
+  ReadMap R;
+  R.setEpoch(Epoch::make(1, 0), 1);
+  R.inflateToMap();
+  for (uint32_t I = 1; I < Readers; ++I)
+    R.setEntry(I, I, I);
+  uint32_t Tid = 0;
+  for (auto _ : State) {
+    R.setEntry(Tid % Readers, 5, 5);
+    ++Tid;
+  }
+}
+BENCHMARK(BM_ReadMapSharedUpdate)->Range(2, 128);
+
+void BM_PacerFastPathRead(benchmark::State &State) {
+  // The inlined non-sampling check: flag test plus hash lookup miss.
+  NullRaceSink Sink;
+  PacerDetector D(Sink);
+  VarId Var = 0;
+  for (auto _ : State) {
+    D.read(0, Var, 1);
+    Var = (Var + 1) & 0xffff;
+  }
+}
+BENCHMARK(BM_PacerFastPathRead);
+
+void BM_FastTrackSameEpochRead(benchmark::State &State) {
+  NullRaceSink Sink;
+  FastTrackDetector D(Sink);
+  D.read(0, 5, 1);
+  for (auto _ : State)
+    D.read(0, 5, 1); // Same-epoch fast path.
+}
+BENCHMARK(BM_FastTrackSameEpochRead);
+
+void BM_ReplayTinyWorkload(benchmark::State &State) {
+  // End-to-end per-event cost at the given sampling rate (x1000).
+  double Rate = static_cast<double>(State.range(0)) / 1000.0;
+  CompiledWorkload Workload(tinyTestWorkload());
+  Trace T = generateTrace(Workload, 1);
+  for (auto _ : State) {
+    NullRaceSink Sink;
+    PacerDetector D(Sink);
+    SamplingConfig Config;
+    Config.TargetRate = Rate;
+    SamplingController Controller(Config, 7);
+    Runtime RT(D, &Controller);
+    RT.replay(T);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(T.size()));
+}
+BENCHMARK(BM_ReplayTinyWorkload)->Arg(0)->Arg(10)->Arg(30)->Arg(1000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+//===- examples/bank_transfer.cpp - Atomicity-violation scenario ----------==//
+//
+// The paper motivates race detection with concurrency bugs like atomicity
+// violations. This example models a small bank: teller threads transfer
+// money between lock-protected accounts, but an "audit" thread reads
+// balances WITHOUT locking -- a write-read race that corrupts audits only
+// under rare interleavings. We generate many randomized executions and
+// show PACER at a deployable 3% rate accumulating the race across runs,
+// exactly the paper's many-deployed-instances story.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detectors/PacerDetector.h"
+#include "runtime/RaceLog.h"
+#include "runtime/Runtime.h"
+#include "sim/Scheduler.h"
+#include "support/Rng.h"
+
+#include <cstdio>
+
+using namespace pacer;
+
+namespace {
+
+constexpr uint32_t NumAccounts = 8;
+constexpr uint32_t NumTellers = 4;
+constexpr SiteId TransferSite = 100, AuditSite = 200;
+
+VarId accountBalance(uint32_t Account) { return Account; }
+LockId accountLock(uint32_t Account) { return Account; }
+
+/// Teller: repeatedly locks two accounts (in ascending order -- no
+/// deadlock) and moves money.
+ThreadScript tellerScript(ThreadId Tid, Rng &Random) {
+  ThreadScript Script;
+  Script.Tid = Tid;
+  for (int Transfer = 0; Transfer < 60; ++Transfer) {
+    uint32_t A = static_cast<uint32_t>(Random.nextBelow(NumAccounts));
+    uint32_t B = static_cast<uint32_t>(Random.nextBelow(NumAccounts - 1));
+    if (B >= A)
+      ++B;
+    uint32_t Lo = std::min(A, B), Hi = std::max(A, B);
+    Script.Ops.push_back({ActionKind::Acquire, Tid, accountLock(Lo), 0});
+    Script.Ops.push_back({ActionKind::Acquire, Tid, accountLock(Hi), 0});
+    for (uint32_t Account : {Lo, Hi}) {
+      Script.Ops.push_back(
+          {ActionKind::Read, Tid, accountBalance(Account), TransferSite});
+      Script.Ops.push_back(
+          {ActionKind::Write, Tid, accountBalance(Account), TransferSite});
+    }
+    Script.Ops.push_back({ActionKind::Release, Tid, accountLock(Hi), 0});
+    Script.Ops.push_back({ActionKind::Release, Tid, accountLock(Lo), 0});
+  }
+  Script.Ops.push_back({ActionKind::ThreadExit, Tid, InvalidId, InvalidId});
+  return Script;
+}
+
+/// Auditor: sums balances without taking locks. The read of each balance
+/// races with tellers' writes.
+ThreadScript auditorScript(ThreadId Tid) {
+  ThreadScript Script;
+  Script.Tid = Tid;
+  for (int Pass = 0; Pass < 20; ++Pass)
+    for (uint32_t Account = 0; Account < NumAccounts; ++Account)
+      Script.Ops.push_back(
+          {ActionKind::Read, Tid, accountBalance(Account), AuditSite});
+  Script.Ops.push_back({ActionKind::ThreadExit, Tid, InvalidId, InvalidId});
+  return Script;
+}
+
+Trace makeExecution(uint64_t Seed) {
+  Rng Random(Seed);
+  std::vector<ThreadScript> Scripts;
+  ThreadScript MainScript;
+  MainScript.Tid = 0;
+  for (ThreadId Tid = 1; Tid <= NumTellers + 1; ++Tid)
+    MainScript.Ops.push_back({ActionKind::Fork, 0, Tid, 0});
+  for (ThreadId Tid = 1; Tid <= NumTellers + 1; ++Tid)
+    MainScript.Ops.push_back({ActionKind::Join, 0, Tid, 0});
+  MainScript.Ops.push_back({ActionKind::ThreadExit, 0, InvalidId, InvalidId});
+  Scripts.push_back(MainScript);
+  for (ThreadId Tid = 1; Tid <= NumTellers; ++Tid)
+    Scripts.push_back(tellerScript(Tid, Random));
+  Scripts.push_back(auditorScript(NumTellers + 1));
+  Scheduler Sched(std::move(Scripts), Random.split());
+  return Sched.run();
+}
+
+} // namespace
+
+int main() {
+  std::printf("Bank-transfer atomicity violation\n"
+              "=================================\n\n");
+
+  // Ground truth on one execution with full tracking.
+  {
+    RaceLog Log;
+    PacerDetector D(Log);
+    D.beginSamplingPeriod();
+    Runtime RT(D);
+    RT.replay(makeExecution(1));
+    std::printf("Full tracking finds %zu distinct race(s); sample "
+                "report:\n  %s\n\n",
+                Log.distinctCount(),
+                Log.sampleReports().empty()
+                    ? "(none)"
+                    : Log.sampleReports()[0].str().c_str());
+  }
+
+  // Deployed story: PACER at 3% across many runs.
+  const double Rate = 0.03;
+  const int Runs = 600;
+  int RunsReporting = 0;
+  for (int Run = 0; Run < Runs; ++Run) {
+    RaceLog Log;
+    PacerDetector D(Log);
+    SamplingConfig Config;
+    Config.TargetRate = Rate;
+    Config.PeriodBytes = 4 * 1024; // Short program: small periods.
+    SamplingController Controller(Config, 1000 + Run);
+    Runtime RT(D, &Controller);
+    RT.replay(makeExecution(1000 + Run));
+    if (Log.saw(RaceKey{TransferSite, AuditSite}))
+      ++RunsReporting;
+  }
+  std::printf("PACER at r=%.0f%%: the audit race was reported in %d/%d "
+              "runs (%.1f%%) -- above the 3%% per-occurrence rate because "
+              "the audit loop races many times per run, giving PACER "
+              "several chances per trial.\nEvery deployed run pays only "
+              "the ~3%% sampling cost, yet across the fleet the bug "
+              "surfaces reliably.\n",
+              Rate * 100, RunsReporting, Runs,
+              100.0 * RunsReporting / Runs);
+  return 0;
+}

@@ -1,0 +1,109 @@
+//===- examples/quickstart.cpp - Five-minute tour of the API --------------==//
+//
+// Instruments a tiny two-thread program by hand, the way a compiler pass
+// would, and shows (1) PACER finding the race when the first access is
+// sampled, and (2) the proportionality guarantee: at a 25% sampling rate
+// the race is reported in about a quarter of the runs.
+//
+// Build and run:  ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "detectors/PacerDetector.h"
+#include "runtime/RaceLog.h"
+#include "support/Rng.h"
+
+#include <cstdio>
+
+using namespace pacer;
+
+namespace {
+
+// Program entities: two threads, one lock, two shared variables.
+constexpr ThreadId Main = 0, Worker = 1;
+constexpr LockId CounterLock = 0;
+constexpr VarId Counter = 0, Flag = 1;
+
+// Program sites (in a real deployment: file/line of each access).
+constexpr SiteId MainWritesFlag = 10, WorkerReadsFlag = 11,
+                 CounterSite = 12;
+
+/// The "program": main increments a lock-protected counter and then sets
+/// an UNPROTECTED flag that the worker reads -- a classic data race.
+void runProgram(Detector &D) {
+  D.fork(Main, Worker);
+
+  // Properly synchronized counter update by both threads: never races.
+  D.acquire(Main, CounterLock);
+  D.read(Main, Counter, CounterSite);
+  D.write(Main, Counter, CounterSite);
+  D.release(Main, CounterLock);
+
+  D.write(Main, Flag, MainWritesFlag); // BUG: no lock held.
+
+  D.acquire(Worker, CounterLock);
+  D.read(Worker, Counter, CounterSite);
+  D.write(Worker, Counter, CounterSite);
+  D.release(Worker, CounterLock);
+
+  D.read(Worker, Flag, WorkerReadsFlag); // BUG: races with main's write.
+
+  D.join(Main, Worker);
+}
+
+} // namespace
+
+int main() {
+  std::printf("PACER quickstart\n================\n\n");
+
+  // --- 1. Full sampling: PACER behaves exactly like FastTrack. ---
+  {
+    RaceLog Log;
+    PacerDetector D(Log);
+    D.beginSamplingPeriod(); // Sample everything.
+    runProgram(D);
+    std::printf("With sampling on, PACER reports %llu race(s):\n",
+                static_cast<unsigned long long>(Log.dynamicCount()));
+    for (const RaceReport &Report : Log.sampleReports())
+      std::printf("  %s\n", Report.str().c_str());
+  }
+
+  // --- 2. Sampling at 25%: detected in about a quarter of runs. ---
+  {
+    const int Runs = 400;
+    const double Rate = 0.25;
+    Rng Random(42);
+    int Detected = 0;
+    for (int Run = 0; Run < Runs; ++Run) {
+      RaceLog Log;
+      PacerDetector D(Log);
+      // One global sampling decision per run (real deployments toggle at
+      // GC boundaries; this program is shorter than one period).
+      bool Sampled = Random.nextBool(Rate);
+      if (Sampled)
+        D.beginSamplingPeriod();
+      runProgram(D);
+      if (Log.dynamicCount() > 0)
+        ++Detected;
+    }
+    std::printf("\nAt a %.0f%% sampling rate, the race was reported in "
+                "%d/%d runs (%.1f%%) -- detection is proportional to the "
+                "sampling rate, not its square.\n",
+                Rate * 100, Detected, Runs, 100.0 * Detected / Runs);
+  }
+
+  // --- 3. Zero rate: zero overhead paths, zero metadata. ---
+  {
+    RaceLog Log;
+    PacerDetector D(Log);
+    runProgram(D); // Never sampling.
+    std::printf("\nAt r=0%%: %llu reports, %zu tracked variables, %llu "
+                "fast-path accesses (the inlined check is all you pay).\n",
+                static_cast<unsigned long long>(Log.dynamicCount()),
+                D.trackedVariableCount(),
+                static_cast<unsigned long long>(
+                    D.stats().ReadFastNonSampling +
+                    D.stats().WriteFastNonSampling));
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- core/Epoch.h - FastTrack/PACER epochs (c@t) -------------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An *epoch* c@t is FastTrack's scalar stand-in for a vector clock when
+/// accesses to a variable are totally ordered: the clock value c of thread t
+/// at its last access. The relation c@t <= C ("precedes") holds iff
+/// c <= C(t) and is evaluated in constant time (paper Equation 4). The
+/// minimal epoch 0@0 represents "no access information"; PACER additionally
+/// uses a null write epoch, which is equivalent to 0@0 (Section 3.3), so we
+/// canonicalize both to the all-zero encoding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_CORE_EPOCH_H
+#define PACER_CORE_EPOCH_H
+
+#include "core/Ids.h"
+#include "core/VectorClock.h"
+
+namespace pacer {
+
+/// A packed clock-at-thread pair. The all-zero value is the minimal epoch
+/// (equivalently PACER's null).
+class Epoch {
+public:
+  /// Constructs the minimal epoch 0@0 (no information / null).
+  constexpr Epoch() = default;
+
+  /// Constructs the epoch \p Clock @ \p Tid.
+  static constexpr Epoch make(uint32_t Clock, ThreadId Tid) {
+    return Epoch((static_cast<uint64_t>(Clock) << 32) | Tid);
+  }
+
+  /// The minimal epoch (paper's bottom-e, PACER's null).
+  static constexpr Epoch none() { return Epoch(); }
+
+  /// Clock component c of c@t.
+  constexpr uint32_t clockValue() const {
+    return static_cast<uint32_t>(Bits >> 32);
+  }
+
+  /// Thread component t of c@t.
+  constexpr ThreadId tid() const { return static_cast<ThreadId>(Bits); }
+
+  /// True for the canonical minimal epoch. Note any 0@t is semantically
+  /// minimal; the analysis only ever constructs 0@0.
+  constexpr bool isNone() const { return Bits == 0; }
+
+  /// The constant-time happens-before test c@t <= C, i.e. c <= C(t)
+  /// (Equation 4 of the paper).
+  bool precedes(const VectorClock &C) const {
+    return clockValue() <= C.get(tid());
+  }
+
+  friend constexpr bool operator==(Epoch A, Epoch B) {
+    return A.Bits == B.Bits;
+  }
+  friend constexpr bool operator!=(Epoch A, Epoch B) {
+    return A.Bits != B.Bits;
+  }
+
+private:
+  explicit constexpr Epoch(uint64_t Bits) : Bits(Bits) {}
+  uint64_t Bits = 0;
+};
+
+} // namespace pacer
+
+#endif // PACER_CORE_EPOCH_H

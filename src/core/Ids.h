@@ -1,0 +1,47 @@
+//===- core/Ids.h - Identifier types for analysis entities -----*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifier types for the entities the analysis tracks. Following the
+/// paper's Appendix A: threads, locks, and volatile variables are
+/// *synchronization objects*; all other (data) variables may race. A *site*
+/// is a static program location; the paper's implementation records the site
+/// for every write epoch and read-map entry so that race reports name the
+/// two program references involved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_CORE_IDS_H
+#define PACER_CORE_IDS_H
+
+#include <cstdint>
+
+namespace pacer {
+
+/// Dense thread identifier; also the index into vector clocks. The paper's
+/// prototype does not reuse thread identifiers, so clocks grow with the
+/// total number of threads ever started; we follow that design.
+using ThreadId = uint32_t;
+
+/// Identifier of a data variable (an object field, static field, or array
+/// element in the paper's Java setting).
+using VarId = uint32_t;
+
+/// Identifier of a lock.
+using LockId = uint32_t;
+
+/// Identifier of a volatile variable.
+using VolatileId = uint32_t;
+
+/// Identifier of a static program location ("site").
+using SiteId = uint32_t;
+
+/// Sentinel for "no id".
+inline constexpr uint32_t InvalidId = UINT32_MAX;
+
+} // namespace pacer
+
+#endif // PACER_CORE_IDS_H

@@ -1,0 +1,23 @@
+//===- core/RaceReport.cpp ------------------------------------------------==//
+
+#include "core/RaceReport.h"
+
+#include <cstdio>
+
+using namespace pacer;
+
+const char *pacer::accessKindName(AccessKind Kind) {
+  return Kind == AccessKind::Read ? "read" : "write";
+}
+
+std::string RaceReport::str() const {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "race on var %u: %s by thread %u at site %u vs %s by "
+                "thread %u at site %u",
+                Var, accessKindName(FirstKind), FirstThread, FirstSite,
+                accessKindName(SecondKind), SecondThread, SecondSite);
+  return Buf;
+}
+
+RaceSink::~RaceSink() = default;

@@ -1,0 +1,98 @@
+//===- core/RaceReport.h - Race reports and sinks --------------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A race report names the two conflicting accesses: the *first* access is
+/// the one recorded in the variable's write epoch or read map (whose site
+/// PACER stores with the metadata), and the *second* access is the current
+/// operation (Section 4, "Reporting Races"). A *distinct* (static) race is
+/// the pair of program sites, which is how the paper's Table 2 counts races
+/// "even if the race occurs multiple times in a single execution".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_CORE_RACEREPORT_H
+#define PACER_CORE_RACEREPORT_H
+
+#include "core/Ids.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pacer {
+
+/// Whether an access reads or writes.
+enum class AccessKind : uint8_t { Read, Write };
+
+/// Returns "read" or "write".
+const char *accessKindName(AccessKind Kind);
+
+/// One dynamic data race.
+struct RaceReport {
+  VarId Var = InvalidId;
+  AccessKind FirstKind = AccessKind::Read;
+  AccessKind SecondKind = AccessKind::Read;
+  ThreadId FirstThread = InvalidId;
+  ThreadId SecondThread = InvalidId;
+  SiteId FirstSite = InvalidId;
+  SiteId SecondSite = InvalidId;
+
+  /// Renders a human-readable one-line description.
+  std::string str() const;
+};
+
+/// A statically distinct race: the ordered pair of program sites
+/// (first access site, second access site).
+struct RaceKey {
+  SiteId FirstSite = InvalidId;
+  SiteId SecondSite = InvalidId;
+
+  friend bool operator==(RaceKey A, RaceKey B) {
+    return A.FirstSite == B.FirstSite && A.SecondSite == B.SecondSite;
+  }
+  friend bool operator<(RaceKey A, RaceKey B) {
+    if (A.FirstSite != B.FirstSite)
+      return A.FirstSite < B.FirstSite;
+    return A.SecondSite < B.SecondSite;
+  }
+};
+
+/// Extracts the distinct-race key from a dynamic report.
+inline RaceKey raceKey(const RaceReport &Report) {
+  return {Report.FirstSite, Report.SecondSite};
+}
+
+/// Receiver of race reports. Detectors report and continue (they update
+/// metadata as if the execution were race free), matching the practical
+/// FastTrack/PACER implementations rather than the formal semantics'
+/// "stuck" state.
+class RaceSink {
+public:
+  virtual ~RaceSink();
+  virtual void onRace(const RaceReport &Report) = 0;
+};
+
+/// Sink that drops all reports (for overhead measurement).
+class NullRaceSink final : public RaceSink {
+public:
+  void onRace(const RaceReport &Report) override {}
+};
+
+} // namespace pacer
+
+template <> struct std::hash<pacer::RaceKey> {
+  size_t operator()(pacer::RaceKey Key) const {
+    uint64_t Bits =
+        (static_cast<uint64_t>(Key.FirstSite) << 32) | Key.SecondSite;
+    // SplitMix64 finalizer.
+    Bits = (Bits ^ (Bits >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Bits = (Bits ^ (Bits >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(Bits ^ (Bits >> 31));
+  }
+};
+
+#endif // PACER_CORE_RACEREPORT_H

@@ -1,0 +1,105 @@
+//===- core/ReadMap.cpp ---------------------------------------------------==//
+
+#include "core/ReadMap.h"
+
+#include <cassert>
+
+using namespace pacer;
+
+size_t ReadMap::size() const {
+  if (Entries)
+    return Entries->size();
+  return E.isNone() ? 0 : 1;
+}
+
+Epoch ReadMap::epoch() const {
+  assert(isEpoch() && "not in epoch state");
+  return E;
+}
+
+SiteId ReadMap::epochSite() const {
+  assert(isEpoch() && "not in epoch state");
+  return ESite;
+}
+
+void ReadMap::clear() {
+  E = Epoch::none();
+  ESite = InvalidId;
+  Entries.reset();
+}
+
+void ReadMap::setEpoch(Epoch NewEpoch, SiteId Site) {
+  assert(!NewEpoch.isNone() && "setting a null epoch; use clear()");
+  E = NewEpoch;
+  ESite = Site;
+  Entries.reset();
+}
+
+void ReadMap::inflateToMap() {
+  assert(isEpoch() && "can only inflate from epoch state");
+  Entries = std::make_unique<std::vector<ReadEntry>>();
+  Entries->push_back(ReadEntry{E.tid(), E.clockValue(), ESite});
+  E = Epoch::none();
+  ESite = InvalidId;
+}
+
+ReadEntry *ReadMap::findEntry(ThreadId Tid) {
+  assert(Entries && "not in map state");
+  for (ReadEntry &Entry : *Entries)
+    if (Entry.Tid == Tid)
+      return &Entry;
+  return nullptr;
+}
+
+void ReadMap::setEntry(ThreadId Tid, uint32_t Clock, SiteId Site) {
+  assert(Entries && "not in map state");
+  if (ReadEntry *Entry = findEntry(Tid)) {
+    Entry->Clock = Clock;
+    Entry->Site = Site;
+    return;
+  }
+  Entries->push_back(ReadEntry{Tid, Clock, Site});
+}
+
+bool ReadMap::removeEntry(ThreadId Tid) {
+  assert(Entries && "not in map state");
+  for (size_t I = 0, N = Entries->size(); I != N; ++I) {
+    if ((*Entries)[I].Tid == Tid) {
+      (*Entries)[I] = Entries->back();
+      Entries->pop_back();
+      break;
+    }
+  }
+  return Entries->empty();
+}
+
+void ReadMap::removeThread(ThreadId Tid) {
+  switch (kind()) {
+  case Kind::Null:
+    return;
+  case Kind::Epoch:
+    if (E.tid() == Tid)
+      clear();
+    return;
+  case Kind::Map:
+    if (removeEntry(Tid))
+      clear();
+    return;
+  }
+}
+
+bool ReadMap::leqClock(const VectorClock &C) const {
+  if (Entries) {
+    for (const ReadEntry &Entry : *Entries)
+      if (Entry.Clock > C.get(Entry.Tid))
+        return false;
+    return true;
+  }
+  return E.precedes(C); // Null epoch (0@0) precedes everything.
+}
+
+size_t ReadMap::heapBytes() const {
+  if (!Entries)
+    return 0;
+  return sizeof(*Entries) + Entries->capacity() * sizeof(ReadEntry);
+}

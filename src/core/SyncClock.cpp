@@ -1,0 +1,33 @@
+//===- core/SyncClock.cpp -------------------------------------------------==//
+
+#include "core/SyncClock.h"
+
+#include <cassert>
+
+using namespace pacer;
+
+void SyncClock::deepCopyFrom(const SyncClock &Source,
+                             uint64_t *CloneCounter) {
+  if (Payload->Shared) {
+    // Never write through a shared payload; give this handle a private one.
+    Payload = std::make_shared<ClockPayload>();
+    if (CloneCounter)
+      ++*CloneCounter;
+  }
+  Payload->Clock.copyFrom(Source.clock());
+}
+
+void SyncClock::cloneIfShared(uint64_t *CloneCounter) {
+  if (!Payload->Shared)
+    return;
+  auto Fresh = std::make_shared<ClockPayload>();
+  Fresh->Clock.copyFrom(Payload->Clock);
+  Payload = std::move(Fresh);
+  if (CloneCounter)
+    ++*CloneCounter;
+}
+
+VectorClock &SyncClock::mutableClock() {
+  assert(!Payload->Shared && "mutating a shared clock payload");
+  return Payload->Clock;
+}

@@ -1,0 +1,64 @@
+//===- core/VectorClock.cpp -----------------------------------------------==//
+
+#include "core/VectorClock.h"
+
+#include <algorithm>
+
+using namespace pacer;
+
+void VectorClock::set(ThreadId Tid, uint32_t Value) {
+  if (Tid >= Values.size()) {
+    if (Value == 0)
+      return; // Absent entries already read as zero.
+    Values.resize(Tid + 1, 0);
+  }
+  Values[Tid] = Value;
+}
+
+void VectorClock::increment(ThreadId Tid) {
+  if (Tid >= Values.size())
+    Values.resize(Tid + 1, 0);
+  ++Values[Tid];
+}
+
+bool VectorClock::joinWith(const VectorClock &Other) {
+  bool Changed = false;
+  if (Other.Values.size() > Values.size())
+    Values.resize(Other.Values.size(), 0);
+  for (size_t I = 0, E = Other.Values.size(); I != E; ++I) {
+    if (Other.Values[I] > Values[I]) {
+      Values[I] = Other.Values[I];
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+bool VectorClock::leq(const VectorClock &Other) const {
+  for (size_t I = 0, E = Values.size(); I != E; ++I)
+    if (Values[I] > Other.get(static_cast<ThreadId>(I)))
+      return false;
+  return true;
+}
+
+std::string VectorClock::str() const {
+  std::string Out = "[";
+  for (size_t I = 0, E = Values.size(); I != E; ++I) {
+    if (I)
+      Out += ", ";
+    Out += std::to_string(Values[I]);
+  }
+  Out += "]";
+  return Out;
+}
+
+namespace pacer {
+// Defined in-namespace so the friend declaration matches.
+bool operator==(const VectorClock &A, const VectorClock &B) {
+  size_t Max = std::max(A.Values.size(), B.Values.size());
+  for (size_t I = 0; I != Max; ++I)
+    if (A.get(static_cast<ThreadId>(I)) != B.get(static_cast<ThreadId>(I)))
+      return false;
+  return true;
+}
+} // namespace pacer

@@ -1,0 +1,81 @@
+//===- core/VectorClock.h - Vector clocks over thread ids ------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector clock maps thread identifiers to logical clock values
+/// (VC : Tid -> Nat, Appendix A.1). Entries beyond the stored size are
+/// implicitly zero, so clocks grow lazily as threads start. The same
+/// structure doubles as a *version vector* (Appendix A.2), which maps each
+/// thread to the latest version of that thread's clock received via joins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_CORE_VECTORCLOCK_H
+#define PACER_CORE_VECTORCLOCK_H
+
+#include "core/Ids.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pacer {
+
+/// Growable dense vector clock; absent entries read as zero.
+class VectorClock {
+public:
+  /// Constructs the minimal clock (all zeros).
+  VectorClock() = default;
+
+  /// Returns the clock value for \p Tid (zero if never set).
+  uint32_t get(ThreadId Tid) const {
+    return Tid < Values.size() ? Values[Tid] : 0;
+  }
+
+  /// Sets the clock value for \p Tid, growing as needed.
+  void set(ThreadId Tid, uint32_t Value);
+
+  /// Increments the component for \p Tid (the inc_t operation, Equation 2).
+  void increment(ThreadId Tid);
+
+  /// Pointwise-maximum join (Equation 3). Returns true iff this clock
+  /// changed, which PACER uses to avoid unnecessary version increments
+  /// (Algorithm 11).
+  bool joinWith(const VectorClock &Other);
+
+  /// Element-by-element copy (the copy operation, Equation 1).
+  void copyFrom(const VectorClock &Other) { Values = Other.Values; }
+
+  /// The pointwise partial order C1 <= C2 (all components, Appendix A.1).
+  bool leq(const VectorClock &Other) const;
+
+  /// Resets to the minimal clock.
+  void clear() { Values.clear(); }
+
+  /// Number of stored (possibly zero) components.
+  size_t size() const { return Values.size(); }
+
+  /// Heap bytes used; the space model charges each unique clock payload
+  /// once, which is how clock sharing saves space.
+  size_t heapBytes() const { return Values.capacity() * sizeof(uint32_t); }
+
+  /// Renders as "[c0, c1, ...]" for diagnostics.
+  std::string str() const;
+
+  friend bool operator==(const VectorClock &A, const VectorClock &B);
+
+private:
+  std::vector<uint32_t> Values;
+};
+
+/// Version vectors have the same representation and operations as vector
+/// clocks but count clock *versions*, not logical time (Appendix A.2).
+using VersionVector = VectorClock;
+
+} // namespace pacer
+
+#endif // PACER_CORE_VECTORCLOCK_H

@@ -1,0 +1,69 @@
+//===- core/VersionEpoch.h - Version epochs v@t ----------------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A *version epoch* v@t records that a lock's (or volatile's) clock equals
+/// version v of thread t's vector clock (Appendix A.2). The relation
+/// v@t <= V holds iff v <= V(t). Two special values exist: the minimal
+/// version epoch 0@0 (<= always true; the initial state of every lock and
+/// volatile) and the maximal version epoch Top (<= never true; a volatile
+/// whose clock is a join of several threads' clocks, Table 7 Rule 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_CORE_VERSIONEPOCH_H
+#define PACER_CORE_VERSIONEPOCH_H
+
+#include "core/Ids.h"
+#include "core/VectorClock.h"
+
+namespace pacer {
+
+/// Version epoch with bottom (0@0) and top sentinels.
+class VersionEpoch {
+public:
+  /// Constructs the minimal version epoch 0@0.
+  constexpr VersionEpoch() = default;
+
+  /// Constructs v@t.
+  static constexpr VersionEpoch make(uint32_t Version, ThreadId Tid) {
+    VersionEpoch E;
+    E.Version = Version;
+    E.Tid = Tid;
+    return E;
+  }
+
+  /// The maximal version epoch: never precedes any version vector. PACER
+  /// represents it with a null pointer; we use a sentinel encoding.
+  static constexpr VersionEpoch top() { return make(UINT32_MAX, InvalidId); }
+
+  /// The minimal version epoch 0@0.
+  static constexpr VersionEpoch bottom() { return VersionEpoch(); }
+
+  constexpr bool isTop() const { return Tid == InvalidId; }
+
+  constexpr uint32_t version() const { return Version; }
+  constexpr ThreadId tid() const { return Tid; }
+
+  /// v@t <= V iff v <= V(t) (Equation 6); Top precedes nothing.
+  bool precedes(const VersionVector &V) const {
+    if (isTop())
+      return false;
+    return Version <= V.get(Tid);
+  }
+
+  friend constexpr bool operator==(VersionEpoch A, VersionEpoch B) {
+    return A.Version == B.Version && A.Tid == B.Tid;
+  }
+
+private:
+  uint32_t Version = 0;
+  ThreadId Tid = 0;
+};
+
+} // namespace pacer
+
+#endif // PACER_CORE_VERSIONEPOCH_H

@@ -1,0 +1,7 @@
+//===- detectors/Detector.cpp ---------------------------------------------==//
+
+#include "detectors/Detector.h"
+
+using namespace pacer;
+
+Detector::~Detector() = default;

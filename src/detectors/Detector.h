@@ -1,0 +1,175 @@
+//===- detectors/Detector.h - Dynamic race-detector interface --*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation interface every detector implements. These are
+/// exactly the analysis hooks a compiler pass (the paper uses Jikes RVM's
+/// baseline and optimizing compilers) inserts: synchronization actions
+/// (acquire, release, fork, join, volatile read/write) and data-variable
+/// reads and writes, each carrying its static program site. The sampling
+/// controller additionally delivers sbegin/send actions to detectors that
+/// sample (PACER).
+///
+/// Detector statistics mirror the operation classification of the paper's
+/// Table 3: slow (O(n)) vs fast (O(1)) vector-clock joins, deep vs shallow
+/// copies, and slow-path vs fast-path read/write instrumentation, each
+/// split by sampling vs non-sampling period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_DETECTORS_DETECTOR_H
+#define PACER_DETECTORS_DETECTOR_H
+
+#include "core/Ids.h"
+#include "core/RaceReport.h"
+
+#include <cstdint>
+
+namespace pacer {
+
+/// Operation counters in the layout of the paper's Table 3.
+struct DetectorStats {
+  // Vector-clock joins (lock acquire, thread join, volatile read, fork).
+  uint64_t SlowJoinsSampling = 0;
+  uint64_t FastJoinsSampling = 0;
+  uint64_t SlowJoinsNonSampling = 0;
+  uint64_t FastJoinsNonSampling = 0;
+
+  // Vector-clock copies (lock release, volatile write).
+  uint64_t DeepCopiesSampling = 0;
+  uint64_t ShallowCopiesSampling = 0;
+  uint64_t DeepCopiesNonSampling = 0;
+  uint64_t ShallowCopiesNonSampling = 0;
+
+  // Read instrumentation. During sampling every read takes the slow path.
+  uint64_t ReadSlowSampling = 0;
+  uint64_t ReadSlowNonSampling = 0;
+  uint64_t ReadFastNonSampling = 0;
+
+  // Write instrumentation.
+  uint64_t WriteSlowSampling = 0;
+  uint64_t WriteSlowNonSampling = 0;
+  uint64_t WriteFastNonSampling = 0;
+
+  /// Dynamic races reported.
+  uint64_t RacesReported = 0;
+
+  /// Synchronization operations analysed (all kinds).
+  uint64_t SyncOps = 0;
+
+  /// Copy-on-write clones of shared clock payloads.
+  uint64_t ClockClones = 0;
+
+  uint64_t totalJoins() const {
+    return SlowJoinsSampling + FastJoinsSampling + SlowJoinsNonSampling +
+           FastJoinsNonSampling;
+  }
+  uint64_t totalCopies() const {
+    return DeepCopiesSampling + ShallowCopiesSampling +
+           DeepCopiesNonSampling + ShallowCopiesNonSampling;
+  }
+  uint64_t totalReads() const {
+    return ReadSlowSampling + ReadSlowNonSampling + ReadFastNonSampling;
+  }
+  uint64_t totalWrites() const {
+    return WriteSlowSampling + WriteSlowNonSampling + WriteFastNonSampling;
+  }
+};
+
+/// Abstract dynamic race detector.
+class Detector {
+public:
+  explicit Detector(RaceSink &Sink) : Sink(Sink) {}
+  virtual ~Detector();
+
+  Detector(const Detector &) = delete;
+  Detector &operator=(const Detector &) = delete;
+
+  /// Short human-readable algorithm name.
+  virtual const char *name() const = 0;
+
+  // --- Synchronization actions (always analysed in full) ---
+
+  /// Thread \p Parent forks thread \p Child.
+  virtual void fork(ThreadId Parent, ThreadId Child) = 0;
+
+  /// Thread \p Parent joins (blocks on termination of) thread \p Child.
+  virtual void join(ThreadId Parent, ThreadId Child) = 0;
+
+  /// Thread \p Tid acquires lock \p Lock.
+  virtual void acquire(ThreadId Tid, LockId Lock) = 0;
+
+  /// Thread \p Tid releases lock \p Lock.
+  virtual void release(ThreadId Tid, LockId Lock) = 0;
+
+  /// Thread \p Tid reads volatile \p Vol.
+  virtual void volatileRead(ThreadId Tid, VolatileId Vol) = 0;
+
+  /// Thread \p Tid writes volatile \p Vol.
+  virtual void volatileWrite(ThreadId Tid, VolatileId Vol) = 0;
+
+  // --- Data accesses ---
+
+  /// Thread \p Tid reads variable \p Var at program site \p Site.
+  virtual void read(ThreadId Tid, VarId Var, SiteId Site) = 0;
+
+  /// Thread \p Tid writes variable \p Var at program site \p Site.
+  virtual void write(ThreadId Tid, VarId Var, SiteId Site) = 0;
+
+  // --- Sampling actions (no-ops for non-sampling detectors) ---
+
+  /// The sbegin() action: the analysis enters a sampling period.
+  virtual void beginSamplingPeriod() {}
+
+  /// The send() action: the analysis leaves a sampling period.
+  virtual void endSamplingPeriod() {}
+
+  /// True while in a sampling period. Non-sampling detectors analyse
+  /// everything and report true.
+  virtual bool isSampling() const { return true; }
+
+  // --- Introspection ---
+
+  /// Live analysis metadata in bytes: per-variable entries plus
+  /// deduplicated synchronization clock payloads. Used by the Figure 10
+  /// space experiment.
+  virtual size_t liveMetadataBytes() const = 0;
+
+  /// Operation counters.
+  const DetectorStats &stats() const { return Stats; }
+
+protected:
+  /// Reports a race and bumps the counter; detectors then continue,
+  /// updating metadata as if the execution were race free.
+  void reportRace(const RaceReport &Report) {
+    ++Stats.RacesReported;
+    Sink.onRace(Report);
+  }
+
+  RaceSink &Sink;
+  DetectorStats Stats;
+};
+
+/// Detector that analyses nothing; the baseline for overhead experiments.
+class NullDetector final : public Detector {
+public:
+  explicit NullDetector(RaceSink &Sink) : Detector(Sink) {}
+
+  const char *name() const override { return "null"; }
+  void fork(ThreadId, ThreadId) override {}
+  void join(ThreadId, ThreadId) override {}
+  void acquire(ThreadId, LockId) override {}
+  void release(ThreadId, LockId) override {}
+  void volatileRead(ThreadId, VolatileId) override {}
+  void volatileWrite(ThreadId, VolatileId) override {}
+  void read(ThreadId, VarId, SiteId) override {}
+  void write(ThreadId, VarId, SiteId) override {}
+  size_t liveMetadataBytes() const override { return 0; }
+};
+
+} // namespace pacer
+
+#endif // PACER_DETECTORS_DETECTOR_H

@@ -1,0 +1,91 @@
+//===- detectors/FastTrackDetector.cpp ------------------------------------==//
+
+#include "detectors/FastTrackDetector.h"
+
+using namespace pacer;
+
+void FastTrackDetector::reportWriteRace(const VarState &State, VarId Var,
+                                        ThreadId Tid, AccessKind Kind,
+                                        SiteId Site) {
+  RaceReport Report;
+  Report.Var = Var;
+  Report.FirstKind = AccessKind::Write;
+  Report.SecondKind = Kind;
+  Report.FirstThread = State.W.tid();
+  Report.SecondThread = Tid;
+  Report.FirstSite = State.WSite;
+  Report.SecondSite = Site;
+  reportRace(Report);
+}
+
+void FastTrackDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
+  ++Stats.ReadSlowSampling;
+  const VectorClock &Clock = Sync.ensureThread(Tid);
+  Epoch Current = Epoch::make(Clock.get(Tid), Tid);
+  VarState &State = ensureVar(Var);
+
+  // Algorithm 7: same-epoch fast path.
+  if (State.R.isEpoch() && State.R.epoch() == Current)
+    return;
+
+  // check W_f <= C_t.
+  if (!State.W.precedes(Clock))
+    reportWriteRace(State, Var, Tid, AccessKind::Read, Site);
+
+  if (!State.R.isMap()) {
+    // |R_f| <= 1: overwrite with an epoch if ordered, else inflate to a
+    // read map holding both concurrent reads.
+    if (State.R.leqClock(Clock)) {
+      State.R.setEpoch(Current, Site);
+    } else {
+      State.R.inflateToMap();
+      State.R.setEntry(Tid, Clock.get(Tid), Site);
+    }
+    return;
+  }
+  // Shared reads: update this thread's component.
+  State.R.setEntry(Tid, Clock.get(Tid), Site);
+}
+
+void FastTrackDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
+  ++Stats.WriteSlowSampling;
+  const VectorClock &Clock = Sync.ensureThread(Tid);
+  Epoch Current = Epoch::make(Clock.get(Tid), Tid);
+  VarState &State = ensureVar(Var);
+
+  // Algorithm 8: same-epoch fast path.
+  if (State.W == Current)
+    return;
+
+  // check W_f <= C_t.
+  if (!State.W.precedes(Clock))
+    reportWriteRace(State, Var, Tid, AccessKind::Write, Site);
+
+  // check R_f <= C_t, reporting every concurrent prior read.
+  State.R.forEachViolation(Clock, [&](const ReadEntry &Entry) {
+    RaceReport Report;
+    Report.Var = Var;
+    Report.FirstKind = AccessKind::Read;
+    Report.SecondKind = AccessKind::Write;
+    Report.FirstThread = Entry.Tid;
+    Report.SecondThread = Tid;
+    Report.FirstSite = Entry.Site;
+    Report.SecondSite = Site;
+    reportRace(Report);
+  });
+
+  // Clear the read map: always in the shared case; in the epoch case only
+  // with the paper's modification enabled.
+  if (State.R.isMap() || Config.ClearReadMapAtWrite)
+    State.R.clear();
+
+  State.W = Current;
+  State.WSite = Site;
+}
+
+size_t FastTrackDetector::liveMetadataBytes() const {
+  size_t Bytes = Sync.liveMetadataBytes();
+  for (const VarState &State : Vars)
+    Bytes += sizeof(State) + State.R.heapBytes();
+  return Bytes;
+}

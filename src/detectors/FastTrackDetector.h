@@ -1,0 +1,104 @@
+//===- detectors/FastTrackDetector.h - FastTrack detector ------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FastTrack algorithm (the paper's Section 2.2, Algorithms 7-8):
+/// precise vector-clock race detection with O(1) analysis for nearly all
+/// reads and writes, using write *epochs* and adaptive read maps. This
+/// implementation includes the paper's stated modification: the read map is
+/// cleared at every write ("New: clear read map", Algorithm 8), which is
+/// sound because the write races with any future access that would have
+/// raced with the discarded reads, and makes FastTrack correspond exactly
+/// to PACER at a 100% sampling rate.
+///
+/// The unmodified behaviour (original FastTrack keeps a read *epoch* across
+/// a write) is available via FastTrackConfig for the ablation benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_DETECTORS_FASTTRACKDETECTOR_H
+#define PACER_DETECTORS_FASTTRACKDETECTOR_H
+
+#include "core/Epoch.h"
+#include "core/ReadMap.h"
+#include "detectors/Detector.h"
+#include "detectors/SyncState.h"
+
+#include <vector>
+
+namespace pacer {
+
+/// Configuration knobs for FastTrack ablations.
+struct FastTrackConfig {
+  /// Clear the read map at writes even in the epoch case (the paper's
+  /// modification to FastTrack). When false, a read epoch survives a write
+  /// untouched, as in original FastTrack; the shared (map) case is cleared
+  /// either way, as in Algorithm 8.
+  bool ClearReadMapAtWrite = true;
+};
+
+/// FastTrack: epochs for writes, adaptive epoch/map for reads.
+class FastTrackDetector final : public Detector {
+public:
+  explicit FastTrackDetector(RaceSink &Sink, FastTrackConfig Config = {})
+      : Detector(Sink), Config(Config) {}
+
+  const char *name() const override { return "fasttrack"; }
+
+  void fork(ThreadId Parent, ThreadId Child) override {
+    Sync.fork(Parent, Child, Stats);
+  }
+  void join(ThreadId Parent, ThreadId Child) override {
+    Sync.join(Parent, Child, Stats);
+  }
+  void acquire(ThreadId Tid, LockId Lock) override {
+    Sync.acquire(Tid, Lock, Stats);
+  }
+  void release(ThreadId Tid, LockId Lock) override {
+    Sync.release(Tid, Lock, Stats);
+  }
+  void volatileRead(ThreadId Tid, VolatileId Vol) override {
+    Sync.volatileRead(Tid, Vol, Stats);
+  }
+  void volatileWrite(ThreadId Tid, VolatileId Vol) override {
+    Sync.volatileWrite(Tid, Vol, Stats);
+  }
+
+  void read(ThreadId Tid, VarId Var, SiteId Site) override;
+  void write(ThreadId Tid, VarId Var, SiteId Site) override;
+
+  size_t liveMetadataBytes() const override;
+
+  /// Test hook: thread \p Tid's clock.
+  const VectorClock &threadClock(ThreadId Tid) {
+    return Sync.ensureThread(Tid);
+  }
+
+private:
+  /// Per-variable metadata: read map R, write epoch W, and the write site.
+  struct VarState {
+    ReadMap R;
+    Epoch W;
+    SiteId WSite = InvalidId;
+  };
+
+  VarState &ensureVar(VarId Var) {
+    if (Var >= Vars.size())
+      Vars.resize(Var + 1);
+    return Vars[Var];
+  }
+
+  void reportWriteRace(const VarState &State, VarId Var, ThreadId Tid,
+                       AccessKind Kind, SiteId Site);
+
+  FastTrackConfig Config;
+  SyncState Sync;
+  std::vector<VarState> Vars;
+};
+
+} // namespace pacer
+
+#endif // PACER_DETECTORS_FASTTRACKDETECTOR_H

@@ -1,0 +1,159 @@
+//===- detectors/GenericDetector.cpp --------------------------------------==//
+
+#include "detectors/GenericDetector.h"
+
+using namespace pacer;
+
+GenericDetector::ThreadState &GenericDetector::ensureThread(ThreadId Tid) {
+  if (Tid >= Threads.size())
+    Threads.resize(Tid + 1);
+  ThreadState &State = Threads[Tid];
+  if (!State.Started) {
+    // Initial analysis state: C_t = inc_t(bottom), Equation 7.
+    State.Clock.increment(Tid);
+    State.Started = true;
+  }
+  return State;
+}
+
+VectorClock &GenericDetector::ensureLock(LockId Lock) {
+  if (Lock >= Locks.size())
+    Locks.resize(Lock + 1);
+  return Locks[Lock];
+}
+
+VectorClock &GenericDetector::ensureVolatile(VolatileId Vol) {
+  if (Vol >= Volatiles.size())
+    Volatiles.resize(Vol + 1);
+  return Volatiles[Vol];
+}
+
+GenericDetector::VarState &GenericDetector::ensureVar(VarId Var) {
+  if (Var >= Vars.size())
+    Vars.resize(Var + 1);
+  return Vars[Var];
+}
+
+void GenericDetector::fork(ThreadId Parent, ThreadId Child) {
+  ++Stats.SyncOps;
+  ++Stats.SlowJoinsSampling;
+  // Ensure both entries before taking references: ensureThread may grow
+  // the vector and would invalidate an earlier reference.
+  ensureThread(Parent);
+  ensureThread(Child);
+  VectorClock &ParentClock = Threads[Parent].Clock;
+  VectorClock &ChildClock = Threads[Child].Clock;
+  // Algorithm 3: C_u <- C_t; C_u[u]++; C_t[t]++.
+  ChildClock.copyFrom(ParentClock);
+  ChildClock.increment(Child);
+  ParentClock.increment(Parent);
+}
+
+void GenericDetector::join(ThreadId Parent, ThreadId Child) {
+  ++Stats.SyncOps;
+  ++Stats.SlowJoinsSampling;
+  ensureThread(Parent);
+  ensureThread(Child);
+  VectorClock &ParentClock = Threads[Parent].Clock;
+  VectorClock &ChildClock = Threads[Child].Clock;
+  // Algorithm 4: C_t <- C_u |_| C_t; C_u[u]++.
+  ParentClock.joinWith(ChildClock);
+  ChildClock.increment(Child);
+}
+
+void GenericDetector::acquire(ThreadId Tid, LockId Lock) {
+  ++Stats.SyncOps;
+  ++Stats.SlowJoinsSampling;
+  // Algorithm 1: C_t <- C_t |_| C_m.
+  ensureThread(Tid).Clock.joinWith(ensureLock(Lock));
+}
+
+void GenericDetector::release(ThreadId Tid, LockId Lock) {
+  ++Stats.SyncOps;
+  ++Stats.DeepCopiesSampling;
+  VectorClock &Clock = ensureThread(Tid).Clock;
+  // Algorithm 2: C_m <- C_t; C_t[t]++.
+  ensureLock(Lock).copyFrom(Clock);
+  Clock.increment(Tid);
+}
+
+void GenericDetector::volatileRead(ThreadId Tid, VolatileId Vol) {
+  ++Stats.SyncOps;
+  ++Stats.SlowJoinsSampling;
+  // Algorithm 14: C_t <- C_t |_| C_x.
+  ensureThread(Tid).Clock.joinWith(ensureVolatile(Vol));
+}
+
+void GenericDetector::volatileWrite(ThreadId Tid, VolatileId Vol) {
+  ++Stats.SyncOps;
+  ++Stats.SlowJoinsSampling;
+  VectorClock &Clock = ensureThread(Tid).Clock;
+  // Algorithm 15: C_x <- C_x |_| C_t; C_t[t]++.
+  ensureVolatile(Vol).joinWith(Clock);
+  Clock.increment(Tid);
+}
+
+void GenericDetector::checkClockOrdered(const VectorClock &Prior,
+                                        const std::vector<SiteId> &PriorSites,
+                                        AccessKind PriorKind,
+                                        const VectorClock &Current, VarId Var,
+                                        ThreadId Tid, AccessKind Kind,
+                                        SiteId Site) {
+  for (size_t U = 0, E = Prior.size(); U != E; ++U) {
+    auto PriorTid = static_cast<ThreadId>(U);
+    if (Prior.get(PriorTid) <= Current.get(PriorTid))
+      continue;
+    RaceReport Report;
+    Report.Var = Var;
+    Report.FirstKind = PriorKind;
+    Report.SecondKind = Kind;
+    Report.FirstThread = PriorTid;
+    Report.SecondThread = Tid;
+    Report.FirstSite = U < PriorSites.size() ? PriorSites[U] : InvalidId;
+    Report.SecondSite = Site;
+    reportRace(Report);
+  }
+}
+
+void GenericDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
+  ++Stats.ReadSlowSampling;
+  const VectorClock &Clock = ensureThread(Tid).Clock;
+  VarState &State = ensureVar(Var);
+  // Algorithm 5: check W_f <= C_t, then R_f[t] <- C_t[t].
+  checkClockOrdered(State.W, State.WSites, AccessKind::Write, Clock, Var, Tid,
+                    AccessKind::Read, Site);
+  State.R.set(Tid, Clock.get(Tid));
+  if (Tid >= State.RSites.size())
+    State.RSites.resize(Tid + 1, InvalidId);
+  State.RSites[Tid] = Site;
+}
+
+void GenericDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
+  ++Stats.WriteSlowSampling;
+  const VectorClock &Clock = ensureThread(Tid).Clock;
+  VarState &State = ensureVar(Var);
+  // Algorithm 6: check W_f <= C_t and R_f <= C_t, then W_f[t] <- C_t[t].
+  checkClockOrdered(State.W, State.WSites, AccessKind::Write, Clock, Var, Tid,
+                    AccessKind::Write, Site);
+  checkClockOrdered(State.R, State.RSites, AccessKind::Read, Clock, Var, Tid,
+                    AccessKind::Write, Site);
+  State.W.set(Tid, Clock.get(Tid));
+  if (Tid >= State.WSites.size())
+    State.WSites.resize(Tid + 1, InvalidId);
+  State.WSites[Tid] = Site;
+}
+
+size_t GenericDetector::liveMetadataBytes() const {
+  size_t Bytes = 0;
+  for (const ThreadState &State : Threads)
+    Bytes += sizeof(State) + State.Clock.heapBytes();
+  for (const VectorClock &Clock : Locks)
+    Bytes += sizeof(Clock) + Clock.heapBytes();
+  for (const VectorClock &Clock : Volatiles)
+    Bytes += sizeof(Clock) + Clock.heapBytes();
+  for (const VarState &State : Vars)
+    Bytes += sizeof(State) + State.R.heapBytes() + State.W.heapBytes() +
+             State.RSites.capacity() * sizeof(SiteId) +
+             State.WSites.capacity() * sizeof(SiteId);
+  return Bytes;
+}

@@ -1,0 +1,150 @@
+//===- detectors/LiteRaceDetector.cpp -------------------------------------==//
+
+#include "detectors/LiteRaceDetector.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace pacer;
+
+bool LiteRaceDetector::shouldSample(ThreadId Tid, SiteId Site) {
+  uint64_t Key =
+      (static_cast<uint64_t>(methodOf(Site)) << 32) | static_cast<uint64_t>(Tid);
+  auto [It, Inserted] = Samplers.try_emplace(Key);
+  Sampler &State = It->second;
+  if (Inserted) {
+    State.Rate = Config.InitialRate;
+    State.BurstRemaining = Config.BurstLength;
+  }
+
+  if (State.BurstRemaining > 0) {
+    // Inside a burst: analyse. When the burst completes, decay the rate
+    // (the method has proven hot) and schedule the skip run.
+    --State.BurstRemaining;
+    if (State.BurstRemaining == 0) {
+      State.Rate = std::max(State.Rate * Config.DecayFactor, Config.MinRate);
+      double Skip = static_cast<double>(Config.BurstLength) *
+                    (1.0 - State.Rate) / State.Rate;
+      if (Config.RandomizeSkip)
+        Skip *= 0.5 + Random.nextDouble(); // Uniform in [0.5, 1.5).
+      State.SkipRemaining = static_cast<uint64_t>(Skip);
+    }
+    return true;
+  }
+
+  if (State.SkipRemaining > 0) {
+    --State.SkipRemaining;
+    return false;
+  }
+
+  // Skip run over: start the next burst; this access is part of it.
+  State.BurstRemaining = Config.BurstLength - 1;
+  return true;
+}
+
+void LiteRaceDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
+  if (!shouldSample(Tid, Site)) {
+    ++Stats.ReadFastNonSampling;
+    return;
+  }
+  ++Stats.ReadSlowSampling;
+  analyzeRead(Tid, Var, Site);
+}
+
+void LiteRaceDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
+  if (!shouldSample(Tid, Site)) {
+    ++Stats.WriteFastNonSampling;
+    return;
+  }
+  ++Stats.WriteSlowSampling;
+  analyzeWrite(Tid, Var, Site);
+}
+
+void LiteRaceDetector::analyzeRead(ThreadId Tid, VarId Var, SiteId Site) {
+  // FastTrack Algorithm 7.
+  const VectorClock &Clock = Sync.ensureThread(Tid);
+  Epoch Current = Epoch::make(Clock.get(Tid), Tid);
+  VarState &State = ensureVar(Var);
+
+  if (State.R.isEpoch() && State.R.epoch() == Current)
+    return;
+
+  if (!State.W.precedes(Clock)) {
+    RaceReport Report;
+    Report.Var = Var;
+    Report.FirstKind = AccessKind::Write;
+    Report.SecondKind = AccessKind::Read;
+    Report.FirstThread = State.W.tid();
+    Report.SecondThread = Tid;
+    Report.FirstSite = State.WSite;
+    Report.SecondSite = Site;
+    reportRace(Report);
+  }
+
+  if (!State.R.isMap()) {
+    if (State.R.leqClock(Clock)) {
+      State.R.setEpoch(Current, Site);
+    } else {
+      State.R.inflateToMap();
+      State.R.setEntry(Tid, Clock.get(Tid), Site);
+    }
+    return;
+  }
+  State.R.setEntry(Tid, Clock.get(Tid), Site);
+}
+
+void LiteRaceDetector::analyzeWrite(ThreadId Tid, VarId Var, SiteId Site) {
+  // FastTrack Algorithm 8 (with the read-map clear).
+  const VectorClock &Clock = Sync.ensureThread(Tid);
+  Epoch Current = Epoch::make(Clock.get(Tid), Tid);
+  VarState &State = ensureVar(Var);
+
+  if (State.W == Current)
+    return;
+
+  if (!State.W.precedes(Clock)) {
+    RaceReport Report;
+    Report.Var = Var;
+    Report.FirstKind = AccessKind::Write;
+    Report.SecondKind = AccessKind::Write;
+    Report.FirstThread = State.W.tid();
+    Report.SecondThread = Tid;
+    Report.FirstSite = State.WSite;
+    Report.SecondSite = Site;
+    reportRace(Report);
+  }
+
+  State.R.forEachViolation(Clock, [&](const ReadEntry &Entry) {
+    RaceReport Report;
+    Report.Var = Var;
+    Report.FirstKind = AccessKind::Read;
+    Report.SecondKind = AccessKind::Write;
+    Report.FirstThread = Entry.Tid;
+    Report.SecondThread = Tid;
+    Report.FirstSite = Entry.Site;
+    Report.SecondSite = Site;
+    reportRace(Report);
+  });
+
+  State.R.clear();
+  State.W = Current;
+  State.WSite = Site;
+}
+
+size_t LiteRaceDetector::liveMetadataBytes() const {
+  size_t Bytes = Sync.liveMetadataBytes();
+  for (const VarState &State : Vars)
+    Bytes += sizeof(State) + State.R.heapBytes();
+  // Sampler table: LiteRace's per-method-thread counters.
+  Bytes += Samplers.size() * (sizeof(uint64_t) + sizeof(Sampler) +
+                              2 * sizeof(void *));
+  return Bytes;
+}
+
+double LiteRaceDetector::effectiveRate() const {
+  uint64_t Sampled = Stats.ReadSlowSampling + Stats.WriteSlowSampling;
+  uint64_t Skipped = Stats.ReadFastNonSampling + Stats.WriteFastNonSampling;
+  uint64_t Total = Sampled + Skipped;
+  return Total == 0 ? 0.0 : static_cast<double>(Sampled) /
+                                static_cast<double>(Total);
+}

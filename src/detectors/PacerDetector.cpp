@@ -1,0 +1,593 @@
+//===- detectors/PacerDetector.cpp ----------------------------------------==//
+
+#include "detectors/PacerDetector.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pacer;
+
+PacerDetector::ThreadState &PacerDetector::ensureThread(ThreadId Tid) {
+  if (Tid >= Threads.size())
+    Threads.resize(Tid + 1);
+  ThreadState &State = Threads[Tid];
+  if (!State.Started) {
+    // Initial state (Equation 7): C_t = inc_t(bottom), ver_t = inc_t(bottom).
+    // The increment applies regardless of the sampling flag: formally all
+    // threads exist in sigma_0.
+    State.Clock.mutableClock().increment(Tid);
+    State.Ver.increment(Tid);
+    State.Started = true;
+  }
+  return State;
+}
+
+PacerDetector::SyncObjState &PacerDetector::ensureLock(LockId Lock) {
+  if (Lock >= Locks.size())
+    Locks.resize(Lock + 1);
+  return Locks[Lock];
+}
+
+PacerDetector::SyncObjState &PacerDetector::ensureVolatile(VolatileId Vol) {
+  if (Vol >= Volatiles.size())
+    Volatiles.resize(Vol + 1);
+  return Volatiles[Vol];
+}
+
+ThreadId PacerDetector::slotOf(ThreadId External) {
+  if (!Config.UseAccordionClocks)
+    return External;
+  if (External < ExternalToSlot.size() &&
+      ExternalToSlot[External] != InvalidId)
+    return ExternalToSlot[External];
+  // First sight of this program thread: back it with a free slot if one
+  // exists, else grow.
+  ThreadId Slot;
+  if (!FreeSlots.empty()) {
+    Slot = FreeSlots.back();
+    FreeSlots.pop_back();
+  } else {
+    Slot = static_cast<ThreadId>(Threads.size());
+    Threads.emplace_back();
+  }
+  ThreadState &State = Threads[Slot];
+  State.Clock.mutableClock().increment(Slot);
+  State.Ver.increment(Slot);
+  State.Started = true;
+  State.Life = SlotLife::Live;
+  State.External = External;
+  if (External >= ExternalToSlot.size())
+    ExternalToSlot.resize(External + 1, InvalidId);
+  ExternalToSlot[External] = Slot;
+  return Slot;
+}
+
+size_t PacerDetector::recycleDeadThreads() {
+  if (!Config.UseAccordionClocks)
+    return 0;
+  size_t Recycled = 0;
+  for (size_t I = 0; I < DeadSlots.size();) {
+    ThreadId U = DeadSlots[I];
+    // Sound to recycle once every live thread dominates the retired
+    // clock: all of U's accesses happen before anything any live thread
+    // will do, so none can be the first access of a future race.
+    bool Dominated = true;
+    for (const ThreadState &T : Threads) {
+      if (T.Life != SlotLife::Live || !T.Started)
+        continue;
+      if (!Threads[U].RetiredClock.leq(T.Clock.clock())) {
+        Dominated = false;
+        break;
+      }
+    }
+    if (!Dominated) {
+      ++I;
+      continue;
+    }
+    purgeSlot(U);
+    DeadSlots[I] = DeadSlots.back();
+    DeadSlots.pop_back();
+    ++Recycled;
+  }
+  return Recycled;
+}
+
+void PacerDetector::purgeSlot(ThreadId Slot) {
+  // Zero the slot's component everywhere. Writing through shared payloads
+  // is deliberate: every holder needs the same reset.
+  for (ThreadState &State : Threads) {
+    if (!State.Started)
+      continue;
+    State.Clock.resetComponentForRecycle(Slot);
+    State.Ver.set(Slot, 0);
+    // Retired-clock snapshots of other dead threads may still name this
+    // slot's previous occupant; that occupant was itself dominated by
+    // every live thread when recycled, so the component can be dropped
+    // without weakening the domination check.
+    State.RetiredClock.set(Slot, 0);
+  }
+  auto ScrubSyncObj = [Slot](SyncObjState &State) {
+    State.Clock.resetComponentForRecycle(Slot);
+    // A version epoch naming the slot can no longer prove anything about
+    // the *next* thread in the slot; force the slow path.
+    if (!State.VEpoch.isTop() && State.VEpoch.version() > 0 &&
+        State.VEpoch.tid() == Slot)
+      State.VEpoch = VersionEpoch::top();
+  };
+  for (SyncObjState &State : Locks)
+    ScrubSyncObj(State);
+  for (SyncObjState &State : Volatiles)
+    ScrubSyncObj(State);
+
+  // The retired thread's recorded accesses are dominated by every live
+  // thread: discard them, exactly as PACER's non-sampling rules discard
+  // ordered accesses.
+  for (auto It = Vars.begin(); It != Vars.end();) {
+    VarState &State = It->second;
+    State.R.removeThread(Slot);
+    if (!State.W.isNone() && State.W.tid() == Slot) {
+      State.W = Epoch::none();
+      State.WSite = InvalidId;
+    }
+    if (State.R.isNull() && State.W.isNone())
+      It = Vars.erase(It);
+    else
+      ++It;
+  }
+
+  ThreadState &Dead = Threads[Slot];
+  if (Dead.External < ExternalToSlot.size())
+    ExternalToSlot[Dead.External] = InvalidId;
+  Dead = ThreadState();
+  FreeSlots.push_back(Slot);
+}
+
+size_t PacerDetector::liveSlotCount() const {
+  size_t Count = 0;
+  for (const ThreadState &State : Threads) {
+    if (Config.UseAccordionClocks ? State.Life == SlotLife::Live
+                                  : State.Started)
+      ++Count;
+  }
+  return Count;
+}
+
+void PacerDetector::incrementThread(ThreadId Tid) {
+  // Algorithm 10: no action outside sampling periods ("timeless").
+  if (!Sampling)
+    return;
+  ThreadState &State = ensureThread(Tid);
+  State.Clock.cloneIfShared(&Stats.ClockClones);
+  State.Clock.mutableClock().increment(Tid);
+  State.Ver.increment(Tid);
+}
+
+void PacerDetector::copyThreadClockTo(SyncObjState &Target, ThreadId Tid) {
+  ThreadState &Source = ensureThread(Tid);
+  if (!Sampling && Config.UseClockSharing) {
+    // Shallow copy: mark the thread's payload shared, then share it. The
+    // clock value is unlikely to change soon (no increments happen).
+    Source.Clock.setShared();
+    Target.Clock.shallowCopyFrom(Source.Clock);
+    ++Stats.ShallowCopiesNonSampling;
+  } else {
+    Target.Clock.deepCopyFrom(Source.Clock, &Stats.ClockClones);
+    if (Sampling)
+      ++Stats.DeepCopiesSampling;
+    else
+      ++Stats.DeepCopiesNonSampling;
+  }
+  // Update the target's version epoch: its clock is now version ver_t[t]
+  // of thread t's clock.
+  Target.VEpoch = threadVersionEpoch(Source, Tid);
+}
+
+void PacerDetector::joinIntoThread(ThreadId Tid, const SyncClock &SourceClock,
+                                   VersionEpoch SourceVersion) {
+  ThreadState &Target = ensureThread(Tid);
+
+  // Table 7 Rule 4: the version epoch precedes the thread's version
+  // vector, so clock_o <= clock_t is guaranteed (Lemma 7); skip the O(n)
+  // work entirely. This is the "fast join".
+  if (Config.UseVersionFastJoins && SourceVersion.precedes(Target.Ver)) {
+    if (Sampling)
+      ++Stats.FastJoinsSampling;
+    else
+      ++Stats.FastJoinsNonSampling;
+    return;
+  }
+
+  if (Sampling)
+    ++Stats.SlowJoinsSampling;
+  else
+    ++Stats.SlowJoinsNonSampling;
+
+  if (!SourceClock.clock().leq(Target.Clock.clock())) {
+    // Table 7 Rule 6 (concurrent): perform the join. The clock changes, so
+    // clone it if shared and bump this thread's own version.
+    Target.Clock.cloneIfShared(&Stats.ClockClones);
+    Target.Clock.mutableClock().joinWith(SourceClock.clock());
+    Target.Ver.increment(Tid);
+  }
+  // Rules 5 and 6: record that version v of thread u's clock is now
+  // incorporated (skipped for the maximal version epoch, which names no
+  // thread).
+  if (!SourceVersion.isTop()) {
+    ThreadId U = SourceVersion.tid();
+    Target.Ver.set(U, std::max(Target.Ver.get(U), SourceVersion.version()));
+  }
+}
+
+void PacerDetector::joinIntoVolatile(SyncObjState &Vol, ThreadId Tid) {
+  ThreadState &Source = ensureThread(Tid);
+
+  // Table 7 Rules 7-8: if the volatile's clock is subsumed by the thread's
+  // (shown either by versions or by the O(n) comparison), the join result
+  // equals C_t, so it degenerates to a copy -- shallow when not sampling.
+  bool Subsumed = false;
+  if (Config.UseVersionFastJoins && Vol.VEpoch.precedes(Source.Ver)) {
+    Subsumed = true;
+    if (Sampling)
+      ++Stats.FastJoinsSampling;
+    else
+      ++Stats.FastJoinsNonSampling;
+  } else {
+    if (Sampling)
+      ++Stats.SlowJoinsSampling;
+    else
+      ++Stats.SlowJoinsNonSampling;
+    Subsumed = Vol.Clock.clock().leq(Source.Clock.clock());
+  }
+
+  if (Subsumed) {
+    copyThreadClockTo(Vol, Tid);
+    return;
+  }
+
+  // Table 7 Rule 9 (concurrent): the volatile's clock becomes a join of
+  // several threads' clocks, so no single version epoch describes it.
+  Vol.Clock.cloneIfShared(&Stats.ClockClones);
+  Vol.Clock.mutableClock().joinWith(Source.Clock.clock());
+  Vol.VEpoch = VersionEpoch::top();
+}
+
+void PacerDetector::fork(ThreadId Parent, ThreadId Child) {
+  ++Stats.SyncOps;
+  Parent = slotOf(Parent);
+  Child = slotOf(Child);
+  // Ensure both entries first: ensureThread may reallocate the vector,
+  // invalidating a previously taken reference.
+  ensureThread(Parent);
+  ensureThread(Child);
+  ThreadState &ParentState = Threads[Parent];
+  // Table 6 Rule 3: C_u <- C_u join C_t; C_t <- inc_t(C_t, s).
+  joinIntoThread(Child, ParentState.Clock,
+                 threadVersionEpoch(ParentState, Parent));
+  incrementThread(Parent);
+}
+
+void PacerDetector::join(ThreadId Parent, ThreadId Child) {
+  ++Stats.SyncOps;
+  Parent = slotOf(Parent);
+  Child = slotOf(Child);
+  ensureThread(Parent);
+  ensureThread(Child);
+  ThreadState &ChildState = Threads[Child];
+  // Table 6 Rule 4: C_t <- C_t join C_u; C_u <- inc_u(C_u, s).
+  joinIntoThread(Parent, ChildState.Clock,
+                 threadVersionEpoch(ChildState, Child));
+  if (Config.UseAccordionClocks && ChildState.Life == SlotLife::Live) {
+    // The child performs no actions after being joined; snapshot its
+    // final clock (pre-increment: the increment below creates a virtual
+    // epoch no access ever used) for the recycling domination check.
+    ChildState.RetiredClock.copyFrom(ChildState.Clock.clock());
+    ChildState.Life = SlotLife::Dead;
+    DeadSlots.push_back(Child);
+  }
+  incrementThread(Child);
+}
+
+void PacerDetector::acquire(ThreadId Tid, LockId Lock) {
+  ++Stats.SyncOps;
+  Tid = slotOf(Tid);
+  SyncObjState &LockState = ensureLock(Lock);
+  // Table 6 Rule 1: C_t <- C_t join L_m.
+  joinIntoThread(Tid, LockState.Clock, LockState.VEpoch);
+}
+
+void PacerDetector::release(ThreadId Tid, LockId Lock) {
+  ++Stats.SyncOps;
+  Tid = slotOf(Tid);
+  // Table 6 Rule 2: L_m <- copy(C_t); C_t <- inc_t(C_t, s).
+  copyThreadClockTo(ensureLock(Lock), Tid);
+  incrementThread(Tid);
+}
+
+void PacerDetector::volatileRead(ThreadId Tid, VolatileId Vol) {
+  ++Stats.SyncOps;
+  Tid = slotOf(Tid);
+  SyncObjState &VolState = ensureVolatile(Vol);
+  // Table 6 Rule 5: C_t <- C_t join V_vx (like a lock acquire).
+  joinIntoThread(Tid, VolState.Clock, VolState.VEpoch);
+}
+
+void PacerDetector::volatileWrite(ThreadId Tid, VolatileId Vol) {
+  ++Stats.SyncOps;
+  Tid = slotOf(Tid);
+  // Table 6 Rule 6: V_vx <- V_vx join C_t; C_t <- inc_t(C_t, s).
+  joinIntoVolatile(ensureVolatile(Vol), Tid);
+  incrementThread(Tid);
+}
+
+void PacerDetector::beginSamplingPeriod() {
+  assert(!Sampling && "nested sampling period");
+  // Period boundaries are the paper's GC moments: the natural point to
+  // recycle retired thread slots.
+  recycleDeadThreads();
+  Sampling = true;
+  // Table 5 Rule 1: increment every thread's clock (and version). This
+  // restores strict well-formedness so that epochs recorded from here on
+  // are distinguishable (Lemma 5). It also ensures a race whose first
+  // access precedes any synchronization in the period is detected.
+  for (ThreadId Tid = 0; Tid < Threads.size(); ++Tid)
+    if (Threads[Tid].Started)
+      incrementThread(Tid);
+}
+
+void PacerDetector::endSamplingPeriod() {
+  assert(Sampling && "not in a sampling period");
+  // Table 5 Rule 2: logical time halts.
+  Sampling = false;
+}
+
+void PacerDetector::reportPriorWriteRace(const VarState &State, VarId Var,
+                                         ThreadId Tid, AccessKind Kind,
+                                         SiteId Site) {
+  RaceReport Report;
+  Report.Var = Var;
+  Report.FirstKind = AccessKind::Write;
+  Report.SecondKind = Kind;
+  Report.FirstThread = externalOf(State.W.tid());
+  Report.SecondThread = externalOf(Tid);
+  Report.FirstSite = State.WSite;
+  Report.SecondSite = Site;
+  reportRace(Report);
+}
+
+void PacerDetector::reportPriorReadRaces(const VarState &State,
+                                         const VectorClock &Clock, VarId Var,
+                                         ThreadId Tid, SiteId Site) {
+  State.R.forEachViolation(Clock, [&](const ReadEntry &Entry) {
+    RaceReport Report;
+    Report.Var = Var;
+    Report.FirstKind = AccessKind::Read;
+    Report.SecondKind = AccessKind::Write;
+    Report.FirstThread = externalOf(Entry.Tid);
+    Report.SecondThread = externalOf(Tid);
+    Report.FirstSite = Entry.Site;
+    Report.SecondSite = Site;
+    reportRace(Report);
+  });
+}
+
+void PacerDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
+  if (!Config.InstrumentReadsWrites)
+    return;
+  Tid = slotOf(Tid);
+
+  // Inlined fast path (Section 4): outside sampling periods a variable
+  // with no metadata needs no analysis at all.
+  auto It = Vars.find(Var);
+  if (!Sampling && It == Vars.end()) {
+    ++Stats.ReadFastNonSampling;
+    return;
+  }
+  if (Sampling)
+    ++Stats.ReadSlowSampling;
+  else
+    ++Stats.ReadSlowNonSampling;
+
+  ThreadState &Thread = ensureThread(Tid);
+  const VectorClock &Clock = Thread.Clock.clock();
+  Epoch Current = Epoch::make(Clock.get(Tid), Tid);
+
+  if (It == Vars.end())
+    It = Vars.try_emplace(Var).first;
+  VarState &State = It->second;
+
+  // Table 4 Rule 1 (same epoch): no checks, no updates, in either period
+  // kind. Checking first matters under report-and-continue: a racing
+  // write already reported at the read that installed this epoch must not
+  // be re-reported on every subsequent same-epoch read (FastTrack's
+  // Algorithm 7 has the same structure).
+  if (State.R.isEpoch() && State.R.epoch() == Current)
+    return;
+
+  // check W_f <= clock_t (Algorithm 12; Table 4's race-free condition for
+  // Rules 2-4). On a race we report and continue as race free.
+  if (!State.W.precedes(Clock))
+    reportPriorWriteRace(State, Var, Tid, AccessKind::Read, Site);
+
+  if (Sampling) {
+    switch (State.R.kind()) {
+    case ReadMap::Kind::Null:
+      // Rule 2 with R = bottom: record the read as an epoch.
+      State.R.setEpoch(Current, Site);
+      break;
+    case ReadMap::Kind::Epoch:
+      if (State.R.leqClock(Clock)) {
+        // Rule 2 (exclusive): overwrite the ordered read epoch.
+        State.R.setEpoch(Current, Site);
+      } else {
+        // Rule 4 (share): inflate to a map holding both concurrent reads.
+        State.R.inflateToMap();
+        State.R.setEntry(Tid, Clock.get(Tid), Site);
+      }
+      break;
+    case ReadMap::Kind::Map:
+      // Rule 3 (shared): update this thread's component.
+      State.R.setEntry(Tid, Clock.get(Tid), Site);
+      break;
+    }
+    return;
+  }
+
+  // Non-sampling: record nothing; discard whatever FastTrack would have
+  // replaced or discarded.
+  if (!Config.DiscardMetadata)
+    return; // Ablation: keep everything (still sound, no space win).
+  switch (State.R.kind()) {
+  case ReadMap::Kind::Null:
+    break; // Rule 2: stays null.
+  case ReadMap::Kind::Epoch:
+    // Rule 2: an ordered prior read cannot be the last access to race with
+    // a later access, so discard it. Rule 4 (concurrent prior read): keep.
+    if (State.R.leqClock(Clock))
+      State.R.clear();
+    break;
+  case ReadMap::Kind::Map:
+    // Rule 3: discard only this thread's entry (Algorithm 12's
+    // "Discard R_f[t] only"); collapse an empty map to null.
+    if (State.R.removeEntry(Tid))
+      State.R.clear();
+    break;
+  }
+  if (State.R.isNull() && State.W.isNone())
+    Vars.erase(It);
+}
+
+void PacerDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
+  if (!Config.InstrumentReadsWrites)
+    return;
+  Tid = slotOf(Tid);
+
+  auto It = Vars.find(Var);
+  if (!Sampling && It == Vars.end()) {
+    ++Stats.WriteFastNonSampling;
+    return;
+  }
+  if (Sampling)
+    ++Stats.WriteSlowSampling;
+  else
+    ++Stats.WriteSlowNonSampling;
+
+  ThreadState &Thread = ensureThread(Tid);
+  const VectorClock &Clock = Thread.Clock.clock();
+  Epoch Current = Epoch::make(Clock.get(Tid), Tid);
+
+  if (It == Vars.end())
+    It = Vars.try_emplace(Var).first;
+  VarState &State = It->second;
+
+  // Table 4 Rule 5 (same epoch): no action. The race checks cannot fire
+  // here (see the write-rule discussion in DESIGN.md), so skipping them
+  // matches Algorithm 13's check-first ordering.
+  if (State.W == Current)
+    return;
+
+  // check W_f <= clock_t and R_f <= clock_t (Algorithm 13; ordered as in
+  // FastTrack's Algorithm 8 so the two report identical sequences at a
+  // 100% sampling rate).
+  if (!State.W.precedes(Clock))
+    reportPriorWriteRace(State, Var, Tid, AccessKind::Write, Site);
+  reportPriorReadRaces(State, Clock, Var, Tid, Site);
+
+  if (Sampling) {
+    // Rules 6-7 sampling: record the write, discard the read map.
+    State.W = Current;
+    State.WSite = Site;
+    State.R.clear();
+    return;
+  }
+  // Rules 6-7 non-sampling: this unsampled write supersedes everything;
+  // discard the variable's metadata entirely.
+  if (!Config.DiscardMetadata)
+    return; // Ablation: keep the stale (ordered) metadata.
+  Vars.erase(It);
+}
+
+size_t PacerDetector::liveMetadataBytes() const {
+  size_t Bytes = 0;
+  // Count each clock payload once: sharing is precisely what makes
+  // synchronization metadata cheap in non-sampling periods.
+  std::vector<const void *> Seen;
+  auto AddPayload = [&](const SyncClock &Clock) {
+    const void *Key = Clock.payloadKey();
+    if (std::find(Seen.begin(), Seen.end(), Key) != Seen.end())
+      return;
+    Seen.push_back(Key);
+    Bytes += Clock.payloadBytes();
+  };
+  for (const ThreadState &State : Threads) {
+    if (!State.Started)
+      continue;
+    AddPayload(State.Clock);
+    Bytes += sizeof(State) + State.Ver.heapBytes() +
+             State.RetiredClock.heapBytes();
+  }
+  for (const SyncObjState &State : Locks) {
+    AddPayload(State.Clock);
+    Bytes += sizeof(State);
+  }
+  for (const SyncObjState &State : Volatiles) {
+    AddPayload(State.Clock);
+    Bytes += sizeof(State);
+  }
+  for (const auto &[Var, State] : Vars)
+    Bytes += sizeof(State) + sizeof(VarId) + State.R.heapBytes() +
+             2 * sizeof(void *); // hash-table node overhead estimate
+  return Bytes;
+}
+
+const VectorClock &PacerDetector::threadClockForTest(ThreadId Tid) const {
+  return Threads.at(Tid).Clock.clock();
+}
+
+const VersionVector &
+PacerDetector::threadVersionsForTest(ThreadId Tid) const {
+  return Threads.at(Tid).Ver;
+}
+
+const VectorClock *PacerDetector::lockClockForTest(LockId Lock) const {
+  if (Lock >= Locks.size())
+    return nullptr;
+  return &Locks[Lock].Clock.clock();
+}
+
+const VectorClock *
+PacerDetector::volatileClockForTest(VolatileId Vol) const {
+  if (Vol >= Volatiles.size())
+    return nullptr;
+  return &Volatiles[Vol].Clock.clock();
+}
+
+VersionEpoch PacerDetector::lockVersionEpochForTest(LockId Lock) const {
+  if (Lock >= Locks.size())
+    return VersionEpoch::bottom();
+  return Locks[Lock].VEpoch;
+}
+
+VersionEpoch
+PacerDetector::volatileVersionEpochForTest(VolatileId Vol) const {
+  if (Vol >= Volatiles.size())
+    return VersionEpoch::bottom();
+  return Volatiles[Vol].VEpoch;
+}
+
+const void *PacerDetector::threadClockKeyForTest(ThreadId Tid) const {
+  return Threads.at(Tid).Clock.payloadKey();
+}
+
+const void *PacerDetector::lockClockKeyForTest(LockId Lock) const {
+  return Locks.at(Lock).Clock.payloadKey();
+}
+
+const ReadMap *PacerDetector::readMapForTest(VarId Var) const {
+  auto It = Vars.find(Var);
+  return It == Vars.end() ? nullptr : &It->second.R;
+}
+
+Epoch PacerDetector::writeEpochForTest(VarId Var) const {
+  auto It = Vars.find(Var);
+  return It == Vars.end() ? Epoch::none() : It->second.W;
+}

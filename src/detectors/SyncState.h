@@ -1,0 +1,146 @@
+//===- detectors/SyncState.h - Shared synchronization tracking -*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FastTrack "does not introduce new analysis for synchronization
+/// operations; it uses the same algorithms as GENERIC" (Appendix C), and
+/// LiteRace "fully instruments all synchronization operations"
+/// (Section 2.3). This helper implements that shared GENERIC
+/// synchronization-clock tracking (Algorithms 1-4, 14-15) so FastTrack and
+/// LiteRace reuse one definition. PACER does not use it: PACER redefines
+/// the low-level copy/increment/join operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_DETECTORS_SYNCSTATE_H
+#define PACER_DETECTORS_SYNCSTATE_H
+
+#include "core/Epoch.h"
+#include "core/VectorClock.h"
+#include "detectors/Detector.h"
+
+#include <vector>
+
+namespace pacer {
+
+/// GENERIC-style vector clocks for threads, locks, and volatiles.
+class SyncState {
+public:
+  /// Returns thread \p Tid's clock, initializing fresh threads to
+  /// inc_t(bottom) per the initial analysis state (Equation 7).
+  VectorClock &ensureThread(ThreadId Tid) {
+    if (Tid >= Threads.size())
+      Threads.resize(Tid + 1);
+    ThreadState &State = Threads[Tid];
+    if (!State.Started) {
+      State.Clock.increment(Tid);
+      State.Started = true;
+    }
+    return State.Clock;
+  }
+
+  /// Thread \p Tid's current epoch c@t with c = C_t(t).
+  Epoch threadEpoch(ThreadId Tid) {
+    const VectorClock &Clock = ensureThread(Tid);
+    return Epoch::make(Clock.get(Tid), Tid);
+  }
+
+  /// Algorithm 3. Updates \p Stats counters as O(n) operations.
+  void fork(ThreadId Parent, ThreadId Child, DetectorStats &Stats) {
+    ++Stats.SyncOps;
+    ++Stats.SlowJoinsSampling;
+    // Ensure both entries first: ensureThread may reallocate the vector,
+    // invalidating a previously taken reference.
+    ensureThread(Parent);
+    ensureThread(Child);
+    VectorClock &ParentClock = Threads[Parent].Clock;
+    VectorClock &ChildClock = Threads[Child].Clock;
+    ChildClock.copyFrom(ParentClock);
+    ChildClock.increment(Child);
+    ParentClock.increment(Parent);
+  }
+
+  /// Algorithm 4.
+  void join(ThreadId Parent, ThreadId Child, DetectorStats &Stats) {
+    ++Stats.SyncOps;
+    ++Stats.SlowJoinsSampling;
+    ensureThread(Parent);
+    ensureThread(Child);
+    VectorClock &ParentClock = Threads[Parent].Clock;
+    VectorClock &ChildClock = Threads[Child].Clock;
+    ParentClock.joinWith(ChildClock);
+    ChildClock.increment(Child);
+  }
+
+  /// Algorithm 1.
+  void acquire(ThreadId Tid, LockId Lock, DetectorStats &Stats) {
+    ++Stats.SyncOps;
+    ++Stats.SlowJoinsSampling;
+    ensureThread(Tid).joinWith(ensureLock(Lock));
+  }
+
+  /// Algorithm 2.
+  void release(ThreadId Tid, LockId Lock, DetectorStats &Stats) {
+    ++Stats.SyncOps;
+    ++Stats.DeepCopiesSampling;
+    VectorClock &Clock = ensureThread(Tid);
+    ensureLock(Lock).copyFrom(Clock);
+    Clock.increment(Tid);
+  }
+
+  /// Algorithm 14.
+  void volatileRead(ThreadId Tid, VolatileId Vol, DetectorStats &Stats) {
+    ++Stats.SyncOps;
+    ++Stats.SlowJoinsSampling;
+    ensureThread(Tid).joinWith(ensureVolatile(Vol));
+  }
+
+  /// Algorithm 15.
+  void volatileWrite(ThreadId Tid, VolatileId Vol, DetectorStats &Stats) {
+    ++Stats.SyncOps;
+    ++Stats.SlowJoinsSampling;
+    VectorClock &Clock = ensureThread(Tid);
+    ensureVolatile(Vol).joinWith(Clock);
+    Clock.increment(Tid);
+  }
+
+  /// Heap bytes of all synchronization clocks.
+  size_t liveMetadataBytes() const {
+    size_t Bytes = 0;
+    for (const ThreadState &State : Threads)
+      Bytes += sizeof(State) + State.Clock.heapBytes();
+    for (const VectorClock &Clock : Locks)
+      Bytes += sizeof(Clock) + Clock.heapBytes();
+    for (const VectorClock &Clock : Volatiles)
+      Bytes += sizeof(Clock) + Clock.heapBytes();
+    return Bytes;
+  }
+
+private:
+  struct ThreadState {
+    VectorClock Clock;
+    bool Started = false;
+  };
+
+  VectorClock &ensureLock(LockId Lock) {
+    if (Lock >= Locks.size())
+      Locks.resize(Lock + 1);
+    return Locks[Lock];
+  }
+  VectorClock &ensureVolatile(VolatileId Vol) {
+    if (Vol >= Volatiles.size())
+      Volatiles.resize(Vol + 1);
+    return Volatiles[Vol];
+  }
+
+  std::vector<ThreadState> Threads;
+  std::vector<VectorClock> Locks;
+  std::vector<VectorClock> Volatiles;
+};
+
+} // namespace pacer
+
+#endif // PACER_DETECTORS_SYNCSTATE_H

@@ -1,0 +1,71 @@
+//===- harness/OverheadExperiment.cpp -------------------------------------==//
+
+#include "harness/OverheadExperiment.h"
+
+#include "sim/TraceGenerator.h"
+#include "support/Stats.h"
+
+#include <cstdio>
+
+using namespace pacer;
+
+std::vector<OverheadResult>
+pacer::measureOverheads(const CompiledWorkload &Workload,
+                        const std::vector<OverheadConfig> &Configs,
+                        uint32_t Trials, uint64_t BaseSeed) {
+  std::vector<std::vector<double>> Seconds(Configs.size());
+  uint64_t TotalEvents = 0;
+
+  for (uint32_t Trial = 0; Trial < Trials; ++Trial) {
+    Trace T = generateTrace(Workload, BaseSeed + Trial);
+    TotalEvents += T.size();
+    for (size_t I = 0; I != Configs.size(); ++I) {
+      TrialResult Result =
+          runTrialOnTrace(T, Workload, Configs[I].Setup, BaseSeed + Trial);
+      Seconds[I].push_back(Result.ReplaySeconds);
+    }
+  }
+
+  double AvgEvents = Trials == 0 ? 0.0
+                                 : static_cast<double>(TotalEvents) /
+                                       static_cast<double>(Trials);
+  std::vector<OverheadResult> Results;
+  double Baseline = 0.0;
+  for (size_t I = 0; I != Configs.size(); ++I) {
+    OverheadResult Result;
+    Result.Label = Configs[I].Label;
+    Result.MedianSeconds = median(Seconds[I]);
+    if (I == 0)
+      Baseline = Result.MedianSeconds;
+    Result.Slowdown =
+        Baseline > 0.0 ? Result.MedianSeconds / Baseline : 1.0;
+    Result.EventsPerSecond = Result.MedianSeconds > 0.0
+                                 ? AvgEvents / Result.MedianSeconds
+                                 : 0.0;
+    Results.push_back(Result);
+  }
+  return Results;
+}
+
+std::vector<OverheadConfig>
+pacer::figure7Configs(const std::vector<double> &Rates) {
+  std::vector<OverheadConfig> Configs;
+  Configs.push_back({"base", nullSetup()});
+
+  // "OM + sync ops, r=0%": synchronization instrumentation only; all
+  // vector-clock operations use fast joins and shallow copies.
+  DetectorSetup SyncOnly = pacerSetup(0.0);
+  SyncOnly.Pacer.InstrumentReadsWrites = false;
+  Configs.push_back({"OM + sync ops, r=0%", SyncOnly});
+
+  // "Pacer, r=0%": read/write instrumentation inserted but never sampled;
+  // measures the inlined fast-path check.
+  Configs.push_back({"Pacer, r=0%", pacerSetup(0.0)});
+
+  for (double Rate : Rates) {
+    char Label[48];
+    std::snprintf(Label, sizeof(Label), "Pacer, r=%g%%", Rate * 100.0);
+    Configs.push_back({Label, pacerSetup(Rate)});
+  }
+  return Configs;
+}

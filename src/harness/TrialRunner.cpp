@@ -1,0 +1,137 @@
+//===- harness/TrialRunner.cpp --------------------------------------------==//
+
+#include "harness/TrialRunner.h"
+
+#include "detectors/GenericDetector.h"
+#include "runtime/Runtime.h"
+#include "sim/TraceGenerator.h"
+#include "support/Error.h"
+
+#include <chrono>
+
+using namespace pacer;
+
+const char *pacer::detectorKindName(DetectorKind Kind) {
+  switch (Kind) {
+  case DetectorKind::Null:
+    return "null";
+  case DetectorKind::Generic:
+    return "generic";
+  case DetectorKind::FastTrack:
+    return "fasttrack";
+  case DetectorKind::Pacer:
+    return "pacer";
+  case DetectorKind::LiteRace:
+    return "literace";
+  }
+  return "?";
+}
+
+DetectorSetup pacer::pacerSetup(double Rate) {
+  DetectorSetup Setup;
+  Setup.Kind = DetectorKind::Pacer;
+  Setup.SamplingRate = Rate;
+  return Setup;
+}
+
+DetectorSetup pacer::fastTrackSetup() {
+  DetectorSetup Setup;
+  Setup.Kind = DetectorKind::FastTrack;
+  return Setup;
+}
+
+DetectorSetup pacer::genericSetup() {
+  DetectorSetup Setup;
+  Setup.Kind = DetectorKind::Generic;
+  return Setup;
+}
+
+DetectorSetup pacer::literaceSetup(uint32_t BurstLength) {
+  DetectorSetup Setup;
+  Setup.Kind = DetectorKind::LiteRace;
+  Setup.LiteRace.BurstLength = BurstLength;
+  return Setup;
+}
+
+DetectorSetup pacer::nullSetup() {
+  DetectorSetup Setup;
+  Setup.Kind = DetectorKind::Null;
+  return Setup;
+}
+
+std::unique_ptr<Detector> pacer::makeDetector(const DetectorSetup &Setup,
+                                              RaceSink &Sink,
+                                              const CompiledWorkload &Workload,
+                                              uint64_t Seed) {
+  switch (Setup.Kind) {
+  case DetectorKind::Null:
+    return std::make_unique<NullDetector>(Sink);
+  case DetectorKind::Generic:
+    return std::make_unique<GenericDetector>(Sink);
+  case DetectorKind::FastTrack:
+    return std::make_unique<FastTrackDetector>(Sink, Setup.FastTrack);
+  case DetectorKind::Pacer:
+    return std::make_unique<PacerDetector>(Sink, Setup.Pacer);
+  case DetectorKind::LiteRace:
+    return std::make_unique<LiteRaceDetector>(Sink, Workload.siteToMethod(),
+                                              Seed ^ 0x4c495445u /*"LITE"*/,
+                                              Setup.LiteRace);
+  }
+  pacerUnreachable("unknown detector kind");
+}
+
+TrialResult pacer::runTrial(const CompiledWorkload &Workload,
+                            const DetectorSetup &Setup, uint64_t TrialSeed) {
+  Trace T = generateTrace(Workload, TrialSeed);
+  return runTrialOnTrace(T, Workload, Setup, TrialSeed);
+}
+
+TrialResult pacer::runTrialOnTrace(const Trace &T,
+                                   const CompiledWorkload &Workload,
+                                   const DetectorSetup &Setup,
+                                   uint64_t TrialSeed) {
+  RaceLog Log;
+  std::unique_ptr<Detector> D = makeDetector(Setup, Log, Workload, TrialSeed);
+
+  std::unique_ptr<SamplingController> Controller;
+  if (Setup.Kind == DetectorKind::Pacer) {
+    SamplingConfig Sampling = Setup.Sampling;
+    Sampling.TargetRate = Setup.SamplingRate;
+    Controller = std::make_unique<SamplingController>(
+        Sampling, TrialSeed ^ 0x47432121u /*"GC!!"*/);
+  }
+
+  Runtime RT(*D, Controller.get());
+  auto Start = std::chrono::steady_clock::now();
+  if (Setup.ElideLocalAccesses) {
+    // The escape-analysis pass removed instrumentation from thread-local
+    // accesses: they execute (cost nothing here) but are never analysed.
+    RT.start();
+    for (const Action &A : T) {
+      if (isAccessAction(A.Kind) && Workload.isLocalVar(A.Target))
+        continue;
+      RT.step(A);
+    }
+  } else {
+    RT.replay(T);
+  }
+  auto End = std::chrono::steady_clock::now();
+
+  TrialResult Result;
+  Result.Races = Log.counts();
+  Result.DynamicRaces = Log.dynamicCount();
+  Result.Stats = D->stats();
+  if (Controller) {
+    Result.EffectiveAccessRate = Controller->effectiveAccessRate();
+    Result.EffectiveSyncRate = Controller->effectiveSyncRate();
+    Result.Boundaries = Controller->boundaryCount();
+  }
+  if (Setup.Kind == DetectorKind::LiteRace)
+    Result.LiteRaceEffectiveRate =
+        static_cast<LiteRaceDetector *>(D.get())->effectiveRate();
+  Result.TraceEvents = T.size();
+  Result.ReplaySeconds =
+      std::chrono::duration<double>(End - Start).count();
+  Result.FinalMetadataBytes = D->liveMetadataBytes();
+  return Result;
+}

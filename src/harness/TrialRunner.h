@@ -1,0 +1,105 @@
+//===- harness/TrialRunner.h - One workload/detector trial -----*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one trial: generate the trace for a seed, replay it through a
+/// configured detector (optionally under a sampling controller), and
+/// collect every measurement the evaluation needs: per-distinct-race
+/// dynamic counts, operation statistics (Table 3), effective sampling
+/// rates (Table 1), replay time (Figures 7-9), and final metadata bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_HARNESS_TRIALRUNNER_H
+#define PACER_HARNESS_TRIALRUNNER_H
+
+#include "detectors/Detector.h"
+#include "detectors/FastTrackDetector.h"
+#include "detectors/LiteRaceDetector.h"
+#include "detectors/PacerDetector.h"
+#include "runtime/RaceLog.h"
+#include "runtime/SamplingController.h"
+#include "sim/WorkloadSpec.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace pacer {
+
+/// Which algorithm a trial runs.
+enum class DetectorKind : uint8_t {
+  Null,      ///< No analysis (timing baseline).
+  Generic,   ///< O(n) vector clocks (Section 2.1).
+  FastTrack, ///< Epoch-optimized (Section 2.2).
+  Pacer,     ///< Sampling (Section 3); rate from SamplingRate.
+  LiteRace,  ///< Code-sampling baseline (Section 5.3).
+};
+
+/// Returns "null", "generic", etc.
+const char *detectorKindName(DetectorKind Kind);
+
+/// Full configuration of a trial's detector.
+struct DetectorSetup {
+  DetectorKind Kind = DetectorKind::Pacer;
+  /// PACER's specified sampling rate r (0..1); copied into Sampling.
+  double SamplingRate = 1.0;
+  /// Model the compiler pass's static escape analysis (Section 4): do not
+  /// instrument accesses to provably thread-local variables at all. Off
+  /// by default so detectors see every access; enabling is sound (locals
+  /// never race) and removes their instrumentation cost.
+  bool ElideLocalAccesses = false;
+  PacerConfig Pacer;
+  FastTrackConfig FastTrack;
+  LiteRaceConfig LiteRace;
+  SamplingConfig Sampling;
+};
+
+/// Convenience constructors for common configurations.
+DetectorSetup pacerSetup(double Rate);
+DetectorSetup fastTrackSetup();
+DetectorSetup genericSetup();
+DetectorSetup literaceSetup(uint32_t BurstLength = 1000);
+DetectorSetup nullSetup();
+
+/// Instantiates the configured detector. \p Seed feeds stochastic
+/// detectors (LiteRace's randomized counter resets).
+std::unique_ptr<Detector> makeDetector(const DetectorSetup &Setup,
+                                       RaceSink &Sink,
+                                       const CompiledWorkload &Workload,
+                                       uint64_t Seed);
+
+/// Everything measured in one trial.
+struct TrialResult {
+  std::unordered_map<RaceKey, uint64_t> Races; ///< Distinct -> dynamic.
+  uint64_t DynamicRaces = 0;
+  DetectorStats Stats;
+  double EffectiveAccessRate = 0.0; ///< PACER only.
+  double EffectiveSyncRate = 0.0;   ///< PACER only.
+  double LiteRaceEffectiveRate = 0.0;
+  uint64_t Boundaries = 0;
+  uint64_t TraceEvents = 0;
+  double ReplaySeconds = 0.0;
+  size_t FinalMetadataBytes = 0;
+
+  bool sawRace(RaceKey Key) const { return Races.count(Key) != 0; }
+  uint64_t dynamicCount(RaceKey Key) const {
+    auto It = Races.find(Key);
+    return It == Races.end() ? 0 : It->second;
+  }
+};
+
+/// Generates trial \p TrialSeed's trace and replays it.
+TrialResult runTrial(const CompiledWorkload &Workload,
+                     const DetectorSetup &Setup, uint64_t TrialSeed);
+
+/// Replays a pre-generated trace (for timing comparisons where every
+/// configuration must see the identical execution).
+TrialResult runTrialOnTrace(const Trace &T, const CompiledWorkload &Workload,
+                            const DetectorSetup &Setup, uint64_t TrialSeed);
+
+} // namespace pacer
+
+#endif // PACER_HARNESS_TRIALRUNNER_H

@@ -1,0 +1,86 @@
+//===- runtime/FleetAggregator.cpp ----------------------------------------==//
+
+#include "runtime/FleetAggregator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pacer;
+
+FleetAggregator::FleetAggregator(double SamplingRate)
+    : SamplingRate(std::clamp(SamplingRate, 0.0, 1.0)) {}
+
+void FleetAggregator::addInstance(const RaceLog &Log, double EffectiveRate) {
+  ++Instances;
+  EffectiveRates.add(EffectiveRate >= 0.0 ? EffectiveRate : SamplingRate);
+  for (const auto &[Key, Count] : Log.counts()) {
+    PerRace &Race = Races[Key];
+    ++Race.InstancesReporting;
+    Race.DynamicReports += Count;
+  }
+  for (const RaceReport &Report : Log.sampleReports()) {
+    PerRace &Race = Races[normalizedKey(Report)];
+    if (!Race.HasExample) {
+      Race.Example = Report;
+      Race.HasExample = true;
+    }
+  }
+}
+
+double FleetAggregator::meanEffectiveRate() const {
+  return EffectiveRates.count() == 0 ? SamplingRate : EffectiveRates.mean();
+}
+
+std::vector<FleetRaceInfo> FleetAggregator::summarize(double Z) const {
+  std::vector<FleetRaceInfo> Result;
+  Result.reserve(Races.size());
+  double Rate = meanEffectiveRate();
+  for (const auto &[Key, Race] : Races) {
+    FleetRaceInfo Info;
+    Info.Key = Key;
+    Info.InstancesReporting = Race.InstancesReporting;
+    Info.DynamicReports = Race.DynamicReports;
+    Info.Example = Race.Example;
+    if (Instances > 0 && Rate > 0.0) {
+      double DetectionRate = static_cast<double>(Race.InstancesReporting) /
+                             static_cast<double>(Instances);
+      Info.EstimatedOccurrence = std::min(1.0, DetectionRate / Rate);
+      Info.DetectionCI = wilsonInterval(Race.InstancesReporting, Instances, Z);
+    }
+    Result.push_back(Info);
+  }
+  std::sort(Result.begin(), Result.end(),
+            [](const FleetRaceInfo &A, const FleetRaceInfo &B) {
+              if (A.EstimatedOccurrence != B.EstimatedOccurrence)
+                return A.EstimatedOccurrence > B.EstimatedOccurrence;
+              return A.Key < B.Key;
+            });
+  return Result;
+}
+
+double FleetAggregator::coverageProbability(double Occurrence,
+                                            uint32_t InstanceCount) const {
+  double PerInstance =
+      std::clamp(Occurrence, 0.0, 1.0) * meanEffectiveRate();
+  if (PerInstance <= 0.0)
+    return 0.0;
+  return 1.0 - std::pow(1.0 - PerInstance, static_cast<double>(InstanceCount));
+}
+
+uint32_t FleetAggregator::fleetSizeFor(double Occurrence,
+                                       double Confidence) const {
+  double PerInstance =
+      std::clamp(Occurrence, 0.0, 1.0) * meanEffectiveRate();
+  if (PerInstance <= 0.0 || Confidence >= 1.0)
+    return 0;
+  if (Confidence <= 0.0)
+    return 1;
+  if (PerInstance >= 1.0)
+    return 1;
+  // Solve 1 - (1-p)^k >= c  =>  k >= log(1-c) / log(1-p).
+  double K = std::log1p(-Confidence) / std::log1p(-PerInstance);
+  if (K > 4e9)
+    return 0;
+  return static_cast<uint32_t>(std::ceil(K));
+}

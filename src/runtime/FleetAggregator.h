@@ -1,0 +1,107 @@
+//===- runtime/FleetAggregator.h - Distributed-debugging rollup -*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's deployment model (Sections 1 and 3): "we envision
+/// developers deploying PACER on many deployed instances, as in
+/// distributed debugging frameworks [17; 18]... with enough deployed
+/// instances, the odds of finding every race become high." This component
+/// is the server side of that story: it aggregates race reports from many
+/// sampled instances and, using the proportionality guarantee
+/// P(detect | occur) = r, turns detection counts back into estimates of
+/// how often each race actually *occurs* -- something a single full
+/// tracking run cannot tell you about rare races.
+///
+/// For a race with per-run occurrence probability o observed by a fleet of
+/// k instances sampling at rate r:
+///
+///   P(instance reports it) = o * r
+///   E[detections]          = k * o * r          =>  o ≈ detections/(k*r)
+///   P(fleet finds it)      = 1 - (1 - o*r)^k
+///
+/// fleetSizeFor() inverts the last formula: how many instances are needed
+/// to find a race of a given rarity with a given confidence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_RUNTIME_FLEETAGGREGATOR_H
+#define PACER_RUNTIME_FLEETAGGREGATOR_H
+
+#include "core/RaceReport.h"
+#include "runtime/RaceLog.h"
+#include "support/Stats.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace pacer {
+
+/// Aggregated knowledge about one distinct race across the fleet.
+struct FleetRaceInfo {
+  RaceKey Key;
+  uint32_t InstancesReporting = 0; ///< Instances that saw it at least once.
+  uint64_t DynamicReports = 0;     ///< Total dynamic reports fleet-wide.
+  RaceReport Example;              ///< One full report for the developer.
+
+  /// Estimated per-run occurrence probability, from the proportionality
+  /// guarantee (clamped to [0, 1]).
+  double EstimatedOccurrence = 0.0;
+  /// Wilson interval on the per-instance detection probability o*r.
+  BinomialInterval DetectionCI{0.0, 1.0};
+};
+
+/// Collects per-instance race logs and produces fleet-level estimates.
+class FleetAggregator {
+public:
+  /// \p SamplingRate is the rate every instance runs at (the paper's
+  /// deployment uses one global rate).
+  explicit FleetAggregator(double SamplingRate);
+
+  /// Ingests one deployed instance's run. \p EffectiveRate may refine the
+  /// specified rate with the instance's measured effective rate; pass a
+  /// negative value to use the fleet-wide specified rate.
+  void addInstance(const RaceLog &Log, double EffectiveRate = -1.0);
+
+  /// Number of instance runs ingested.
+  uint32_t instanceCount() const { return Instances; }
+
+  /// Number of distinct races seen fleet-wide.
+  size_t distinctRaceCount() const { return Races.size(); }
+
+  /// Per-race fleet estimates, sorted by estimated occurrence
+  /// (most frequent first).
+  std::vector<FleetRaceInfo> summarize(double Z = 1.96) const;
+
+  /// Expected probability that a fleet of \p Instances finds a race whose
+  /// per-run occurrence probability is \p Occurrence, at this sampling
+  /// rate: 1 - (1 - o*r)^k.
+  double coverageProbability(double Occurrence, uint32_t Instances) const;
+
+  /// Smallest fleet size whose coverageProbability for \p Occurrence
+  /// reaches \p Confidence. Returns 0 if the inputs make it unreachable.
+  uint32_t fleetSizeFor(double Occurrence, double Confidence) const;
+
+  /// Mean measured effective sampling rate across ingested instances
+  /// (equals the specified rate if none were provided).
+  double meanEffectiveRate() const;
+
+private:
+  struct PerRace {
+    uint32_t InstancesReporting = 0;
+    uint64_t DynamicReports = 0;
+    RaceReport Example;
+    bool HasExample = false;
+  };
+
+  double SamplingRate;
+  uint32_t Instances = 0;
+  RunningStat EffectiveRates;
+  std::unordered_map<RaceKey, PerRace> Races;
+};
+
+} // namespace pacer
+
+#endif // PACER_RUNTIME_FLEETAGGREGATOR_H

@@ -1,0 +1,34 @@
+//===- runtime/RaceLog.cpp ------------------------------------------------==//
+
+#include "runtime/RaceLog.h"
+
+#include <algorithm>
+
+using namespace pacer;
+
+void RaceLog::onRace(const RaceReport &Report) {
+  ++Dynamic;
+  ++Counts[normalizedKey(Report)];
+  if (Sample.size() < KeepFirst)
+    Sample.push_back(Report);
+}
+
+uint64_t RaceLog::dynamicCount(RaceKey Key) const {
+  auto It = Counts.find(Key);
+  return It == Counts.end() ? 0 : It->second;
+}
+
+std::vector<RaceKey> RaceLog::distinctKeys() const {
+  std::vector<RaceKey> Keys;
+  Keys.reserve(Counts.size());
+  for (const auto &[Key, Count] : Counts)
+    Keys.push_back(Key);
+  std::sort(Keys.begin(), Keys.end());
+  return Keys;
+}
+
+void RaceLog::clear() {
+  Dynamic = 0;
+  Counts.clear();
+  Sample.clear();
+}

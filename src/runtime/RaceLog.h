@@ -1,0 +1,73 @@
+//===- runtime/RaceLog.h - Race aggregation and dedup ----------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects race reports from a detector and aggregates them the way the
+/// paper's evaluation counts them: *dynamic* races (every report) and
+/// *distinct* (static) races, identified by the unordered pair of program
+/// sites ("it reports each pair of program references once even if the race
+/// occurs multiple times in a single execution", Section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_RUNTIME_RACELOG_H
+#define PACER_RUNTIME_RACELOG_H
+
+#include "core/RaceReport.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace pacer {
+
+/// Normalizes a report to its unordered site-pair key; either access can be
+/// the "first" depending on the schedule.
+inline RaceKey normalizedKey(const RaceReport &Report) {
+  SiteId A = Report.FirstSite;
+  SiteId B = Report.SecondSite;
+  return A <= B ? RaceKey{A, B} : RaceKey{B, A};
+}
+
+/// Race sink that aggregates dynamic and distinct counts.
+class RaceLog final : public RaceSink {
+public:
+  void onRace(const RaceReport &Report) override;
+
+  /// Total dynamic races reported.
+  uint64_t dynamicCount() const { return Dynamic; }
+
+  /// Dynamic races reported for the distinct race \p Key.
+  uint64_t dynamicCount(RaceKey Key) const;
+
+  /// True if \p Key was reported at least once.
+  bool saw(RaceKey Key) const { return Counts.count(Key) != 0; }
+
+  /// Number of distinct races.
+  size_t distinctCount() const { return Counts.size(); }
+
+  /// All distinct race keys, sorted for deterministic iteration.
+  std::vector<RaceKey> distinctKeys() const;
+
+  /// Per-key dynamic counts.
+  const std::unordered_map<RaceKey, uint64_t> &counts() const {
+    return Counts;
+  }
+
+  /// The first \p KeepFirst full reports, for diagnostics.
+  const std::vector<RaceReport> &sampleReports() const { return Sample; }
+
+  void clear();
+
+private:
+  static constexpr size_t KeepFirst = 32;
+  uint64_t Dynamic = 0;
+  std::unordered_map<RaceKey, uint64_t> Counts;
+  std::vector<RaceReport> Sample;
+};
+
+} // namespace pacer
+
+#endif // PACER_RUNTIME_RACELOG_H

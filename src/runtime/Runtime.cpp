@@ -1,0 +1,6 @@
+//===- runtime/Runtime.cpp ------------------------------------------------==//
+
+#include "runtime/Runtime.h"
+
+// Header-only for inlining into the replay loop; this file anchors the
+// library target.

@@ -1,0 +1,102 @@
+//===- runtime/Runtime.h - Trace replay through a detector -----*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays an execution trace through a detector, standing in for the
+/// compiler-inserted instrumentation of the paper's Jikes RVM
+/// implementation: each action dispatches to the matching analysis hook,
+/// and an optional sampling controller delivers sbegin/send transitions at
+/// simulated GC boundaries. Experiments that need to interleave their own
+/// probing (the Figure 10 space experiment) drive step() directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_RUNTIME_RUNTIME_H
+#define PACER_RUNTIME_RUNTIME_H
+
+#include "detectors/Detector.h"
+#include "runtime/SamplingController.h"
+#include "sim/Action.h"
+
+namespace pacer {
+
+/// Instrumentation dispatcher.
+class Runtime {
+public:
+  /// \p Controller may be null for detectors that do not sample (Generic,
+  /// FastTrack, LiteRace, Null).
+  Runtime(Detector &D, SamplingController *Controller = nullptr)
+      : D(D), Controller(Controller) {}
+
+  /// Makes the controller's initial sampling decision. Idempotent; called
+  /// automatically by replay().
+  void start() {
+    if (Controller && !Started)
+      Controller->start(D);
+    Started = true;
+  }
+
+  /// Processes one action: sampling control first, then dispatch. Returns
+  /// true if a simulated GC boundary fired at this action.
+  bool step(const Action &A) {
+    bool Boundary =
+        Controller ? Controller->beforeAction(A.Kind, D) : false;
+    dispatch(A);
+    return Boundary;
+  }
+
+  /// Replays a whole trace.
+  void replay(const Trace &T) {
+    start();
+    for (const Action &A : T)
+      step(A);
+  }
+
+  /// Routes \p A to the detector hook it instruments.
+  void dispatch(const Action &A) {
+    switch (A.Kind) {
+    case ActionKind::Read:
+      D.read(A.Tid, A.Target, A.Site);
+      break;
+    case ActionKind::Write:
+      D.write(A.Tid, A.Target, A.Site);
+      break;
+    case ActionKind::Acquire:
+      D.acquire(A.Tid, A.Target);
+      break;
+    case ActionKind::Release:
+      D.release(A.Tid, A.Target);
+      break;
+    case ActionKind::Fork:
+      D.fork(A.Tid, A.Target);
+      break;
+    case ActionKind::Join:
+      D.join(A.Tid, A.Target);
+      break;
+    case ActionKind::VolatileRead:
+      D.volatileRead(A.Tid, A.Target);
+      break;
+    case ActionKind::AwaitVolatile:
+      // The read that finally observes the awaited write.
+      D.volatileRead(A.Tid, A.Target);
+      break;
+    case ActionKind::VolatileWrite:
+      D.volatileWrite(A.Tid, A.Target);
+      break;
+    case ActionKind::ThreadExit:
+      break; // Not an analysed action.
+    }
+  }
+
+private:
+  Detector &D;
+  SamplingController *Controller;
+  bool Started = false;
+};
+
+} // namespace pacer
+
+#endif // PACER_RUNTIME_RUNTIME_H

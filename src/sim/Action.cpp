@@ -1,0 +1,44 @@
+//===- sim/Action.cpp -----------------------------------------------------==//
+
+#include "sim/Action.h"
+
+#include <cstdio>
+
+using namespace pacer;
+
+const char *pacer::actionKindName(ActionKind Kind) {
+  switch (Kind) {
+  case ActionKind::Read:
+    return "rd";
+  case ActionKind::Write:
+    return "wr";
+  case ActionKind::Acquire:
+    return "acq";
+  case ActionKind::Release:
+    return "rel";
+  case ActionKind::Fork:
+    return "fork";
+  case ActionKind::Join:
+    return "join";
+  case ActionKind::VolatileRead:
+    return "vol_rd";
+  case ActionKind::VolatileWrite:
+    return "vol_wr";
+  case ActionKind::AwaitVolatile:
+    return "await";
+  case ActionKind::ThreadExit:
+    return "exit";
+  }
+  return "?";
+}
+
+std::string Action::str() const {
+  char Buf[64];
+  if (isAccessAction(Kind))
+    std::snprintf(Buf, sizeof(Buf), "%s(t%u, x%u)@s%u", actionKindName(Kind),
+                  Tid, Target, Site);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%s(t%u, %u)", actionKindName(Kind), Tid,
+                  Target);
+  return Buf;
+}

@@ -1,0 +1,97 @@
+//===- sim/Action.h - Program actions and traces ---------------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The action alphabet of the paper's Appendix A: rd, wr, acq, rel, fork,
+/// join, vol_rd, and vol_wr, plus a ThreadExit marker the scheduler uses to
+/// implement join semantics (a thread performs no actions after another
+/// thread joins it). A *trace* is the interleaved sequence of actions a
+/// multithreaded execution performs; the runtime replays traces through a
+/// detector exactly as compiler-inserted instrumentation would deliver them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SIM_ACTION_H
+#define PACER_SIM_ACTION_H
+
+#include "core/Ids.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pacer {
+
+/// Kinds of dynamic actions.
+enum class ActionKind : uint8_t {
+  Read,          ///< rd(t, x): Target is a VarId; Site is the access site.
+  Write,         ///< wr(t, x).
+  Acquire,       ///< acq(t, m): Target is a LockId.
+  Release,       ///< rel(t, m).
+  Fork,          ///< fork(t, u): Target is the child ThreadId.
+  Join,          ///< join(t, u): Target is the joined ThreadId.
+  VolatileRead,  ///< vol_rd(t, vx): Target is a VolatileId.
+  VolatileWrite, ///< vol_wr(t, vx).
+  /// A condensed spin loop: vol_rd(t, vx) that the scheduler delays until
+  /// vx has been written at least Site times (Site doubles as the write
+  /// threshold). Detectors see an ordinary volatile read -- exactly the
+  /// read that finally observes the awaited write. Models the
+  /// spin-until-published idiom that makes real racy code run right after
+  /// its trigger.
+  AwaitVolatile,
+  ThreadExit, ///< Scheduler-internal: thread t terminates.
+};
+
+/// Returns a short name like "rd" or "acq".
+const char *actionKindName(ActionKind Kind);
+
+/// True for acq/rel/fork/join/vol_rd/vol_wr (the synchronization actions).
+inline bool isSyncAction(ActionKind Kind) {
+  switch (Kind) {
+  case ActionKind::Acquire:
+  case ActionKind::Release:
+  case ActionKind::Fork:
+  case ActionKind::Join:
+  case ActionKind::VolatileRead:
+  case ActionKind::VolatileWrite:
+  case ActionKind::AwaitVolatile:
+    return true;
+  case ActionKind::Read:
+  case ActionKind::Write:
+  case ActionKind::ThreadExit:
+    return false;
+  }
+  return false;
+}
+
+/// True for data-variable reads and writes.
+inline bool isAccessAction(ActionKind Kind) {
+  return Kind == ActionKind::Read || Kind == ActionKind::Write;
+}
+
+/// One dynamic action.
+struct Action {
+  ActionKind Kind;
+  ThreadId Tid;
+  uint32_t Target = InvalidId; ///< Var/Lock/Volatile/Thread id by Kind.
+  SiteId Site = InvalidId;     ///< Program site for Read/Write.
+
+  /// Renders "rd(t2, x17)@s4"-style text for diagnostics.
+  std::string str() const;
+};
+
+/// An interleaved execution.
+using Trace = std::vector<Action>;
+
+/// The per-thread program the scheduler interleaves.
+struct ThreadScript {
+  ThreadId Tid = InvalidId;
+  std::vector<Action> Ops;
+};
+
+} // namespace pacer
+
+#endif // PACER_SIM_ACTION_H

@@ -1,0 +1,153 @@
+//===- sim/Scheduler.cpp --------------------------------------------------==//
+
+#include "sim/Scheduler.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pacer;
+
+Scheduler::Scheduler(std::vector<ThreadScript> ScriptsIn, Rng SchedulerRng,
+                     uint32_t MaxBurst, SchedulePolicy Policy)
+    : Scripts(std::move(ScriptsIn)), Random(SchedulerRng),
+      MaxBurst(std::max<uint32_t>(1, MaxBurst)), Policy(Policy) {
+  Pc.assign(Scripts.size(), 0);
+  States.assign(Scripts.size(), Status::NotStarted);
+  PACER_CHECK(!Scripts.empty(), "no scripts to schedule");
+  States[0] = Status::Ready;
+  Ready.push_back(0);
+}
+
+bool Scheduler::isBlocked(ThreadId Tid) const {
+  const std::vector<Action> &Ops = Scripts[Tid].Ops;
+  if (Pc[Tid] >= Ops.size())
+    return true; // Nothing left (defensive; ThreadExit ends scripts).
+  const Action &Next = Ops[Pc[Tid]];
+  switch (Next.Kind) {
+  case ActionKind::Acquire:
+    return Next.Target < LockOwner.size() &&
+           LockOwner[Next.Target] != InvalidId &&
+           LockOwner[Next.Target] != Tid;
+  case ActionKind::Join:
+    return States[Next.Target] != Status::Finished;
+  case ActionKind::AwaitVolatile:
+    // Spin-until-written: runnable once the volatile has been written at
+    // least Site times.
+    return Next.Target >= VolatileWrites.size() ||
+           VolatileWrites[Next.Target] < Next.Site;
+  default:
+    return false;
+  }
+}
+
+void Scheduler::step(ThreadId Tid, Trace &Out) {
+  const Action &Next = Scripts[Tid].Ops[Pc[Tid]];
+  switch (Next.Kind) {
+  case ActionKind::Acquire:
+    if (Next.Target >= LockOwner.size())
+      LockOwner.resize(Next.Target + 1, InvalidId);
+    assert(LockOwner[Next.Target] == InvalidId && "acquiring a held lock");
+    LockOwner[Next.Target] = Tid;
+    break;
+  case ActionKind::Release:
+    assert(Next.Target < LockOwner.size() &&
+           LockOwner[Next.Target] == Tid && "releasing an unheld lock");
+    LockOwner[Next.Target] = InvalidId;
+    break;
+  case ActionKind::Fork:
+    assert(States[Next.Target] == Status::NotStarted && "double fork");
+    States[Next.Target] = Status::Ready;
+    Ready.push_back(Next.Target);
+    break;
+  case ActionKind::ThreadExit:
+    States[Tid] = Status::Finished;
+    ++FinishedCount;
+    break;
+  case ActionKind::VolatileWrite:
+    if (Next.Target >= VolatileWrites.size())
+      VolatileWrites.resize(Next.Target + 1, 0);
+    ++VolatileWrites[Next.Target];
+    break;
+  default:
+    break;
+  }
+  Out.push_back(Next);
+  ++Pc[Tid];
+}
+
+Trace Scheduler::run() {
+  size_t TotalOps = 0;
+  for (const ThreadScript &Script : Scripts) {
+    PACER_CHECK(!Script.Ops.empty() &&
+                    Script.Ops.back().Kind == ActionKind::ThreadExit,
+                "scripts must end with ThreadExit");
+    TotalOps += Script.Ops.size();
+  }
+
+  Trace Out;
+  Out.reserve(TotalOps);
+
+  while (FinishedCount < Scripts.size()) {
+    // Drop finished threads from the ready list lazily.
+    std::erase_if(Ready,
+                  [&](ThreadId Tid) { return States[Tid] != Status::Ready; });
+
+    // Pick an enabled thread per policy: random probes (falling back to a
+    // full scan), or the next ready thread in rotation.
+    ThreadId Chosen = InvalidId;
+    if (Policy == SchedulePolicy::RoundRobin) {
+      for (size_t Probe = 0, E = Ready.size(); Probe != E; ++Probe) {
+        ThreadId Candidate = Ready[(RoundRobinCursor + Probe) % Ready.size()];
+        if (!isBlocked(Candidate)) {
+          Chosen = Candidate;
+          RoundRobinCursor = (RoundRobinCursor + Probe + 1) % Ready.size();
+          break;
+        }
+      }
+    } else {
+      for (size_t Probe = 0, E = Ready.size(); Probe != E; ++Probe) {
+        ThreadId Candidate = Ready[Random.nextBelow(Ready.size())];
+        if (!isBlocked(Candidate)) {
+          Chosen = Candidate;
+          break;
+        }
+      }
+    }
+    if (Chosen == InvalidId) {
+      for (ThreadId Candidate : Ready) {
+        if (!isBlocked(Candidate)) {
+          Chosen = Candidate;
+          break;
+        }
+      }
+    }
+    if (Chosen == InvalidId) {
+      // Every ready thread is blocked. Spin waits (AwaitVolatile) give up
+      // when nothing else can run -- a real spin loop would keep the CPU
+      // and eventually take its timeout/fallback path -- so force one
+      // past its await. Lock or join cycles, which the generator's
+      // disciplines rule out, remain fatal.
+      bool Forced = false;
+      for (ThreadId Candidate : Ready) {
+        const Action &Next = Scripts[Candidate].Ops[Pc[Candidate]];
+        if (Next.Kind == ActionKind::AwaitVolatile) {
+          step(Candidate, Out);
+          Forced = true;
+          break;
+        }
+      }
+      PACER_CHECK(Forced, "scheduler deadlock");
+      continue;
+    }
+
+    // Run a short random burst; stop early if the thread blocks or exits.
+    uint64_t Burst = 1 + Random.nextBelow(MaxBurst);
+    for (uint64_t I = 0; I < Burst && States[Chosen] == Status::Ready &&
+                         !isBlocked(Chosen);
+         ++I)
+      step(Chosen, Out);
+  }
+  return Out;
+}

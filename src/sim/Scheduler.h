@@ -1,0 +1,75 @@
+//===- sim/Scheduler.h - Randomized legal interleaving ---------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interleaves per-thread scripts into one sequentially consistent trace,
+/// respecting synchronization semantics (Appendix A's trace restrictions):
+/// a thread never acquires a lock held by another thread, never runs before
+/// it is forked, and a join completes only after the joined thread's last
+/// action. Scheduling decisions are uniformly random over the enabled
+/// threads with short random run bursts, so every trial (seed) explores a
+/// different interleaving -- the source of the paper's observer-effect
+/// variance in which races occur.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SIM_SCHEDULER_H
+#define PACER_SIM_SCHEDULER_H
+
+#include "sim/Action.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace pacer {
+
+/// How the next thread to run is chosen. Detector correctness must not
+/// depend on the policy (the property tests replay both), but race
+/// manifestation and timing do -- real schedulers vary the same way.
+enum class SchedulePolicy : uint8_t {
+  RandomUniform, ///< Uniform choice over enabled threads (default).
+  RoundRobin,    ///< Cycle through ready threads in id order.
+};
+
+/// Randomized interleaver. Aborts (fatal error) on deadlock, which the
+/// script builder's ascending lock discipline rules out by construction.
+class Scheduler {
+public:
+  /// \p Scripts must be indexed by thread id; thread 0 starts runnable,
+  /// all others only after their Fork action executes.
+  Scheduler(std::vector<ThreadScript> Scripts, Rng SchedulerRng,
+            uint32_t MaxBurst = 8,
+            SchedulePolicy Policy = SchedulePolicy::RandomUniform);
+
+  /// Produces the full interleaved trace.
+  Trace run();
+
+private:
+  enum class Status : uint8_t { NotStarted, Ready, Finished };
+
+  /// True if \p Tid's next action cannot execute yet.
+  bool isBlocked(ThreadId Tid) const;
+
+  /// Executes \p Tid's next action, appending it to \p Out.
+  void step(ThreadId Tid, Trace &Out);
+
+  std::vector<ThreadScript> Scripts;
+  Rng Random;
+  uint32_t MaxBurst;
+  SchedulePolicy Policy;
+  size_t RoundRobinCursor = 0;
+
+  std::vector<size_t> Pc;
+  std::vector<Status> States;
+  std::vector<ThreadId> LockOwner;      // InvalidId = free.
+  std::vector<uint32_t> VolatileWrites; // Write counts, for AwaitVolatile.
+  std::vector<ThreadId> Ready;          // Tids with Status::Ready.
+  size_t FinishedCount = 0;
+};
+
+} // namespace pacer
+
+#endif // PACER_SIM_SCHEDULER_H

@@ -1,0 +1,349 @@
+//===- sim/ScriptBuilder.cpp ----------------------------------------------==//
+
+#include "sim/ScriptBuilder.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+using namespace pacer;
+
+SiteId ScriptBuilder::pickSite() {
+  const WorkloadSpec &Spec = Workload.spec();
+  uint32_t Method;
+  if (Random.nextBool(Spec.HotSitePickProb))
+    Method = static_cast<uint32_t>(Random.nextBelow(Workload.numHotMethods()));
+  else
+    Method = Workload.numHotMethods() +
+             static_cast<uint32_t>(Random.nextBelow(
+                 Workload.numMethods() - Workload.numHotMethods()));
+  return Workload.methodFirstSite(Method) +
+         static_cast<SiteId>(Random.nextBelow(Spec.SitesPerMethod));
+}
+
+ThreadScript ScriptBuilder::buildMain() {
+  const WorkloadSpec &Spec = Workload.spec();
+  ThreadScript Script;
+  Script.Tid = 0;
+
+  // Initialize read-shared variables before any worker exists; all later
+  // reads are therefore ordered after these writes by fork edges.
+  for (uint32_t I = 0; I < Spec.ReadSharedVars; ++I)
+    Script.Ops.push_back({ActionKind::Write, 0, Workload.readSharedVar(I),
+                          pickSite()});
+
+  // Fork/join worker waves.
+  for (uint32_t Wave = 0; Wave < Workload.numWaves(); ++Wave) {
+    std::vector<ThreadId> Workers = Workload.waveWorkers(Wave);
+    for (ThreadId Worker : Workers)
+      Script.Ops.push_back({ActionKind::Fork, 0, Worker, InvalidId});
+    // A little main-thread work between fork and join: local accesses.
+    for (uint32_t I = 0; I < 8 && Spec.LocalVarsPerThread > 0; ++I) {
+      uint32_t Index = static_cast<uint32_t>(
+          Random.nextBelow(Spec.LocalVarsPerThread));
+      ActionKind Kind = Random.nextBool(Spec.WriteFraction)
+                            ? ActionKind::Write
+                            : ActionKind::Read;
+      Script.Ops.push_back({Kind, 0, Workload.localVar(0, Index),
+                            pickSite()});
+    }
+    for (ThreadId Worker : Workers)
+      Script.Ops.push_back({ActionKind::Join, 0, Worker, InvalidId});
+  }
+
+  Script.Ops.push_back({ActionKind::ThreadExit, 0, InvalidId, InvalidId});
+  return Script;
+}
+
+ThreadScript ScriptBuilder::buildWorker(ThreadId Tid) {
+  const WorkloadSpec &Spec = Workload.spec();
+  ThreadScript Script;
+  Script.Tid = Tid;
+  Script.Ops.reserve(Spec.OpsPerWorker + 16);
+
+  std::vector<LockId> Held; // Ascending lock-id stack: deadlock free.
+
+  auto EmitAccess = [&](ActionKind Kind, VarId Var) {
+    Script.Ops.push_back({Kind, Tid, Var, pickSite()});
+  };
+  auto RandomKind = [&]() {
+    return Random.nextBool(Spec.WriteFraction) ? ActionKind::Write
+                                               : ActionKind::Read;
+  };
+  auto LocalAccess = [&]() {
+    if (Spec.LocalVarsPerThread == 0)
+      return;
+    uint32_t Index =
+        static_cast<uint32_t>(Random.nextBelow(Spec.LocalVarsPerThread));
+    EmitAccess(RandomKind(), Workload.localVar(Tid, Index));
+  };
+
+  uint64_t Emitted = 0;
+  while (Emitted < Spec.OpsPerWorker) {
+    double Roll = Random.nextDouble();
+    ++Emitted;
+
+    if (Roll < Spec.SyncOpFraction) {
+      // Standalone synchronization: a volatile operation or an outer lock
+      // region op (acquire a larger-id lock / release the newest one).
+      // Both follow the thread's affinity (subsystem partitioning).
+      if (Random.nextBool(Spec.VolatileOpFraction) && Spec.Volatiles > 0) {
+        VolatileId Vol;
+        if (Random.nextBool(Spec.LockAffinity))
+          Vol = Tid % Spec.Volatiles;
+        else
+          Vol = static_cast<VolatileId>(Random.nextBelow(Spec.Volatiles));
+        ActionKind Kind = Random.nextBool(0.5) ? ActionKind::VolatileRead
+                                               : ActionKind::VolatileWrite;
+        Script.Ops.push_back({Kind, Tid, Vol, InvalidId});
+        continue;
+      }
+      bool Release = !Held.empty() && Random.nextBool(0.5);
+      if (!Release) {
+        LockId Floor = Held.empty() ? 0 : Held.back() + 1;
+        if (Floor < Spec.Locks) {
+          LockId Lock = InvalidId;
+          if (Random.nextBool(Spec.LockAffinity) && Spec.AffinityLocks > 0) {
+            auto Offset = static_cast<uint32_t>(
+                Random.nextBelow(Spec.AffinityLocks));
+            LockId Candidate =
+                (Tid * Spec.AffinityLocks + Offset) % Spec.Locks;
+            if (Candidate >= Floor)
+              Lock = Candidate;
+          }
+          if (Lock == InvalidId)
+            Lock = static_cast<LockId>(Floor +
+                                       Random.nextBelow(Spec.Locks - Floor));
+          Script.Ops.push_back({ActionKind::Acquire, Tid, Lock, InvalidId});
+          Held.push_back(Lock);
+          continue;
+        }
+        Release = !Held.empty();
+      }
+      if (Release) {
+        Script.Ops.push_back(
+            {ActionKind::Release, Tid, Held.back(), InvalidId});
+        Held.pop_back();
+      }
+      continue;
+    }
+
+    if (Roll < Spec.SyncOpFraction + Spec.CriticalSectionProb &&
+        Spec.SharedVars > 0) {
+      // A whole critical section: acquire a guard lock, perform several
+      // accesses to variables it protects, release. Respect the ascending
+      // discipline against any outer locks held. Prefer this thread's
+      // affinity locks (lock partitioning by subsystem).
+      LockId Floor = Held.empty() ? 0 : Held.back() + 1;
+      if (Floor >= Spec.Locks) {
+        LocalAccess();
+        continue;
+      }
+      LockId Guard = InvalidId;
+      if (Random.nextBool(Spec.LockAffinity) && Spec.AffinityLocks > 0) {
+        // Preferred locks are a contiguous stripe per thread; pick one
+        // that satisfies the ascending constraint if any does.
+        auto Offset = static_cast<uint32_t>(
+            Random.nextBelow(Spec.AffinityLocks));
+        LockId Candidate =
+            (Tid * Spec.AffinityLocks + Offset) % Spec.Locks;
+        if (Candidate >= Floor)
+          Guard = Candidate;
+      }
+      if (Guard == InvalidId)
+        Guard = static_cast<LockId>(Floor +
+                                    Random.nextBelow(Spec.Locks - Floor));
+      uint32_t Population = Workload.sharedVarsOfLock(Guard);
+      if (Population == 0) {
+        LocalAccess();
+        continue;
+      }
+      uint32_t Mean = std::max<uint32_t>(2, Spec.CriticalSectionAccesses);
+      auto Length = static_cast<uint32_t>(
+          Random.nextInRange(Mean / 2, Mean + Mean / 2));
+      Script.Ops.push_back({ActionKind::Acquire, Tid, Guard, InvalidId});
+      for (uint32_t I = 0; I < Length; ++I) {
+        auto K = static_cast<uint32_t>(Random.nextBelow(Population));
+        EmitAccess(RandomKind(), Workload.sharedVarOfLock(Guard, K));
+      }
+      Script.Ops.push_back({ActionKind::Release, Tid, Guard, InvalidId});
+      Emitted += Length;
+      continue;
+    }
+
+    if (Roll < Spec.SyncOpFraction + Spec.CriticalSectionProb +
+                   Spec.ReadSharedFraction &&
+        Spec.ReadSharedVars > 0) {
+      uint32_t Index =
+          static_cast<uint32_t>(Random.nextBelow(Spec.ReadSharedVars));
+      EmitAccess(ActionKind::Read, Workload.readSharedVar(Index));
+      continue;
+    }
+
+    LocalAccess();
+  }
+
+  // Balanced exit: release everything still held, newest first.
+  while (!Held.empty()) {
+    Script.Ops.push_back({ActionKind::Release, Tid, Held.back(), InvalidId});
+    Held.pop_back();
+  }
+  Script.Ops.push_back({ActionKind::ThreadExit, Tid, InvalidId, InvalidId});
+  return Script;
+}
+
+/// Indices of \p Ops at which the executing thread holds no lock (the
+/// legal insertion points for spin-wait blocks). The trailing ThreadExit
+/// position is always lock free because scripts release everything first.
+static std::vector<size_t> lockFreePositions(const std::vector<Action> &Ops) {
+  std::vector<size_t> Positions;
+  uint32_t Depth = 0;
+  for (size_t I = 0; I != Ops.size(); ++I) {
+    if (Depth == 0)
+      Positions.push_back(I);
+    if (Ops[I].Kind == ActionKind::Acquire)
+      ++Depth;
+    else if (Ops[I].Kind == ActionKind::Release)
+      --Depth;
+  }
+  return Positions;
+}
+
+/// The element of sorted \p Positions closest to \p Want.
+static size_t nearestPosition(const std::vector<size_t> &Positions,
+                              size_t Want) {
+  assert(!Positions.empty() && "no lock-free positions");
+  auto It = std::lower_bound(Positions.begin(), Positions.end(), Want);
+  if (It == Positions.end())
+    return Positions.back();
+  if (It == Positions.begin())
+    return *It;
+  size_t Above = *It;
+  size_t Below = *(It - 1);
+  return (Above - Want) < (Want - Below) ? Above : Below;
+}
+
+void ScriptBuilder::plantRaces(std::vector<ThreadScript> &Scripts) {
+  const WorkloadSpec &Spec = Workload.spec();
+
+  // Gather all insertions first, then apply them per worker from the back
+  // so earlier insertions do not shift later positions. Seq preserves the
+  // intended order of entries that share a position (an insertion at P
+  // lands before anything previously inserted at P, so applying in
+  // descending (Pos, Seq) order yields ascending Seq in the script).
+  struct Insertion {
+    size_t Pos;
+    uint32_t Seq;
+    Action What;
+  };
+  std::vector<std::vector<Insertion>> PerWorker(Scripts.size());
+  uint32_t NextSeq = 0;
+
+  for (uint32_t Race = 0; Race < Workload.numRaces(); ++Race) {
+    const PlantedRace &Planted = Spec.Races[Race];
+    if (!Random.nextBool(Planted.OccurrenceProb))
+      continue;
+
+    // Pick a wave with at least two workers and two distinct workers in it.
+    uint32_t Eligible = 0;
+    for (uint32_t Wave = 0; Wave < Workload.numWaves(); ++Wave)
+      if (Workload.waveWorkers(Wave).size() >= 2)
+        ++Eligible;
+    if (Eligible == 0)
+      continue;
+    auto Pick = static_cast<uint32_t>(Random.nextBelow(Eligible));
+    uint32_t Wave = 0;
+    for (uint32_t Candidate = 0; Candidate < Workload.numWaves();
+         ++Candidate) {
+      if (Workload.waveWorkers(Candidate).size() < 2)
+        continue;
+      if (Pick == 0) {
+        Wave = Candidate;
+        break;
+      }
+      --Pick;
+    }
+    std::vector<ThreadId> Workers = Workload.waveWorkers(Wave);
+    size_t IndexA = Random.nextBelow(Workers.size());
+    size_t IndexB = Random.nextBelow(Workers.size() - 1);
+    if (IndexB >= IndexA)
+      ++IndexB;
+    ThreadId WorkerA = Workers[IndexA];
+    ThreadId WorkerB = Workers[IndexB];
+
+    VarId Var = Workload.racyVar(Race);
+    VolatileId FlagA = Workload.racyVolatileA(Race);
+    VolatileId FlagB = Workload.racyVolatileB(Race);
+
+    // Pick the pairs' fractional positions once (shared by both sides),
+    // then place each side's blocks at the nearest lock-free points and
+    // number the spin thresholds in script order: thread X's i-th block
+    // publishes its flag (the i-th write) before awaiting the partner's
+    // i-th write, so neither side can wait on a write that will never
+    // come -- rendezvous without deadlock.
+    std::vector<double> Fractions(Planted.PairsPerTrial);
+    for (double &Fraction : Fractions)
+      Fraction = 0.05 + 0.9 * Random.nextDouble();
+
+    auto PlaceSide = [&](ThreadId Worker, AccessKind Kind, SiteId Site,
+                         VolatileId Own, VolatileId Partner) {
+      const std::vector<Action> &Ops = Scripts[Worker].Ops;
+      // Blocks may only sit where the worker holds no lock: a thread that
+      // spin-waits while holding a lock the partner needs would deadlock.
+      std::vector<size_t> LockFree = lockFreePositions(Ops);
+      std::vector<size_t> Positions;
+      for (double Fraction : Fractions) {
+        double Jitter =
+            (Random.nextDouble() * 2.0 - 1.0) * Spec.RacyPositionJitter;
+        double Where = std::clamp(Fraction + Jitter, 0.0, 0.999);
+        Positions.push_back(nearestPosition(
+            LockFree, static_cast<size_t>(
+                          Where * static_cast<double>(Ops.size() - 1))));
+      }
+      std::sort(Positions.begin(), Positions.end());
+      ActionKind Access =
+          Kind == AccessKind::Write ? ActionKind::Write : ActionKind::Read;
+      for (size_t I = 0; I != Positions.size(); ++I) {
+        auto Threshold = static_cast<SiteId>(I + 1);
+        PerWorker[Worker].push_back(
+            {Positions[I], NextSeq++,
+             Action{ActionKind::VolatileWrite, Worker, Own, InvalidId}});
+        PerWorker[Worker].push_back(
+            {Positions[I], NextSeq++,
+             Action{ActionKind::AwaitVolatile, Worker, Partner, Threshold}});
+        PerWorker[Worker].push_back(
+            {Positions[I], NextSeq++, Action{Access, Worker, Var, Site}});
+      }
+    };
+    PlaceSide(WorkerA, Planted.FirstKind, Workload.racySiteA(Race), FlagA,
+              FlagB);
+    PlaceSide(WorkerB, Planted.SecondKind, Workload.racySiteB(Race), FlagB,
+              FlagA);
+  }
+
+  for (size_t Worker = 0; Worker != Scripts.size(); ++Worker) {
+    std::vector<Insertion> &Insertions = PerWorker[Worker];
+    if (Insertions.empty())
+      continue;
+    std::sort(Insertions.begin(), Insertions.end(),
+              [](const Insertion &A, const Insertion &B) {
+                if (A.Pos != B.Pos)
+                  return A.Pos > B.Pos;
+                return A.Seq > B.Seq;
+              });
+    std::vector<Action> &Ops = Scripts[Worker].Ops;
+    for (const Insertion &Ins : Insertions)
+      Ops.insert(Ops.begin() + static_cast<ptrdiff_t>(Ins.Pos), Ins.What);
+  }
+}
+
+std::vector<ThreadScript> ScriptBuilder::build() {
+  std::vector<ThreadScript> Scripts(Workload.totalThreads());
+  Scripts[0] = buildMain();
+  for (ThreadId Tid = 1; Tid < Workload.totalThreads(); ++Tid)
+    Scripts[Tid] = buildWorker(Tid);
+  plantRaces(Scripts);
+  return Scripts;
+}

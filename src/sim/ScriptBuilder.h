@@ -1,0 +1,64 @@
+//===- sim/ScriptBuilder.h - Per-trial thread-script generation -*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the per-thread programs for one trial of a workload. The main
+/// thread initializes the read-shared variables, then forks worker waves
+/// (bounded by MaxLiveWorkers) and joins each wave before starting the
+/// next, reproducing the paper's total-vs-max-live thread structure
+/// (Table 2). Workers execute a randomized mix of lock-disciplined shared
+/// accesses, thread-local accesses, read-only shared reads, volatile
+/// operations, and balanced lock regions (always acquired in ascending
+/// lock-id order, so schedules cannot deadlock).
+///
+/// Planted races pass their per-trial occurrence gate here: the builder
+/// picks two distinct workers of one wave and splices the racy accesses
+/// into their scripts at random positions. Whether the accesses actually
+/// race then depends on the schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SIM_SCRIPTBUILDER_H
+#define PACER_SIM_SCRIPTBUILDER_H
+
+#include "sim/Action.h"
+#include "sim/WorkloadSpec.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace pacer {
+
+/// Generates the thread scripts for one trial.
+class ScriptBuilder {
+public:
+  ScriptBuilder(const CompiledWorkload &Workload, Rng TrialRng)
+      : Workload(Workload), Random(TrialRng) {}
+
+  /// Builds all scripts, indexed by thread id (main is thread 0).
+  std::vector<ThreadScript> build();
+
+private:
+  /// Picks a site: a hot method with probability HotSitePickProb, then a
+  /// uniform site within the method.
+  SiteId pickSite();
+
+  /// Builds the main thread's script (init, fork/join waves).
+  ThreadScript buildMain();
+
+  /// Builds one worker's base script (no racy accesses yet).
+  ThreadScript buildWorker(ThreadId Tid);
+
+  /// Splices this trial's gated planted races into the worker scripts.
+  void plantRaces(std::vector<ThreadScript> &Scripts);
+
+  const CompiledWorkload &Workload;
+  Rng Random;
+};
+
+} // namespace pacer
+
+#endif // PACER_SIM_SCRIPTBUILDER_H

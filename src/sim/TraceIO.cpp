@@ -1,0 +1,223 @@
+//===- sim/TraceIO.cpp ----------------------------------------------------==//
+
+#include "sim/TraceIO.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+using namespace pacer;
+
+static const char *kindToken(ActionKind Kind) {
+  switch (Kind) {
+  case ActionKind::Read:
+    return "rd";
+  case ActionKind::Write:
+    return "wr";
+  case ActionKind::Acquire:
+    return "acq";
+  case ActionKind::Release:
+    return "rel";
+  case ActionKind::Fork:
+    return "fork";
+  case ActionKind::Join:
+    return "join";
+  case ActionKind::VolatileRead:
+    return "vrd";
+  case ActionKind::VolatileWrite:
+    return "vwr";
+  case ActionKind::AwaitVolatile:
+    return "await";
+  case ActionKind::ThreadExit:
+    return "exit";
+  }
+  return "?";
+}
+
+static bool tokenToKind(const std::string &Token, ActionKind &Kind) {
+  static const struct {
+    const char *Name;
+    ActionKind Kind;
+  } Table[] = {
+      {"rd", ActionKind::Read},          {"wr", ActionKind::Write},
+      {"acq", ActionKind::Acquire},      {"rel", ActionKind::Release},
+      {"fork", ActionKind::Fork},        {"join", ActionKind::Join},
+      {"vrd", ActionKind::VolatileRead}, {"vwr", ActionKind::VolatileWrite},
+      {"await", ActionKind::AwaitVolatile},
+      {"exit", ActionKind::ThreadExit},
+  };
+  for (const auto &Entry : Table) {
+    if (Token == Entry.Name) {
+      Kind = Entry.Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+static void appendField(std::string &Out, uint32_t Value) {
+  if (Value == InvalidId) {
+    Out += '-';
+    return;
+  }
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu32, Value);
+  Out += Buf;
+}
+
+std::string pacer::serializeTrace(const Trace &T) {
+  std::string Out = "pacer-trace v1 " + std::to_string(T.size()) + "\n";
+  for (const Action &A : T) {
+    Out += kindToken(A.Kind);
+    Out += ' ';
+    appendField(Out, A.Tid);
+    Out += ' ';
+    appendField(Out, A.Target);
+    Out += ' ';
+    appendField(Out, A.Site);
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+/// Minimal whitespace tokenizer over one line.
+class LineLexer {
+public:
+  explicit LineLexer(const std::string &Text, size_t Begin, size_t End)
+      : Text(Text), Pos(Begin), End(End) {}
+
+  bool next(std::string &Token) {
+    while (Pos < End && Text[Pos] == ' ')
+      ++Pos;
+    if (Pos >= End)
+      return false;
+    size_t Start = Pos;
+    while (Pos < End && Text[Pos] != ' ')
+      ++Pos;
+    Token.assign(Text, Start, Pos - Start);
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos;
+  size_t End;
+};
+
+bool parseField(const std::string &Token, uint32_t &Value) {
+  if (Token == "-") {
+    Value = InvalidId;
+    return true;
+  }
+  if (Token.empty())
+    return false;
+  uint64_t Parsed = 0;
+  for (char C : Token) {
+    if (C < '0' || C > '9')
+      return false;
+    Parsed = Parsed * 10 + static_cast<uint64_t>(C - '0');
+    if (Parsed > UINT32_MAX)
+      return false;
+  }
+  Value = static_cast<uint32_t>(Parsed);
+  return true;
+}
+
+TraceParseResult fail(size_t Line, const char *Why) {
+  TraceParseResult Result;
+  Result.Error =
+      "line " + std::to_string(Line) + ": " + Why;
+  return Result;
+}
+
+} // namespace
+
+TraceParseResult pacer::parseTrace(const std::string &Text) {
+  size_t Pos = 0;
+  size_t LineNo = 0;
+
+  auto NextLine = [&](size_t &Begin, size_t &End) {
+    if (Pos >= Text.size())
+      return false;
+    Begin = Pos;
+    size_t Newline = Text.find('\n', Pos);
+    if (Newline == std::string::npos) {
+      End = Text.size();
+      Pos = Text.size();
+    } else {
+      End = Newline;
+      Pos = Newline + 1;
+    }
+    ++LineNo;
+    return true;
+  };
+
+  size_t Begin = 0, End = 0;
+  if (!NextLine(Begin, End))
+    return fail(1, "empty input");
+  {
+    LineLexer Lexer(Text, Begin, End);
+    std::string Magic, Version, Count;
+    if (!Lexer.next(Magic) || Magic != "pacer-trace")
+      return fail(LineNo, "missing pacer-trace magic");
+    if (!Lexer.next(Version) || Version != "v1")
+      return fail(LineNo, "unsupported version");
+    if (!Lexer.next(Count))
+      return fail(LineNo, "missing action count");
+  }
+
+  TraceParseResult Result;
+  while (NextLine(Begin, End)) {
+    if (Begin == End)
+      continue; // Blank line.
+    LineLexer Lexer(Text, Begin, End);
+    std::string KindToken, TidToken, TargetToken, SiteToken;
+    if (!Lexer.next(KindToken) || !Lexer.next(TidToken) ||
+        !Lexer.next(TargetToken) || !Lexer.next(SiteToken))
+      return fail(LineNo, "expected 4 fields");
+    Action A;
+    if (!tokenToKind(KindToken, A.Kind))
+      return fail(LineNo, "unknown action kind");
+    if (!parseField(TidToken, A.Tid) || A.Tid == InvalidId)
+      return fail(LineNo, "bad thread id");
+    if (!parseField(TargetToken, A.Target))
+      return fail(LineNo, "bad target");
+    if (!parseField(SiteToken, A.Site))
+      return fail(LineNo, "bad site");
+    std::string Extra;
+    if (Lexer.next(Extra))
+      return fail(LineNo, "trailing tokens");
+    Result.T.push_back(A);
+  }
+  Result.Ok = true;
+  return Result;
+}
+
+bool pacer::writeTraceFile(const std::string &Path, const Trace &T) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  std::string Text = serializeTrace(T);
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), File);
+  bool Ok = Written == Text.size();
+  Ok &= std::fclose(File) == 0;
+  return Ok;
+}
+
+TraceParseResult pacer::readTraceFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  if (!File) {
+    TraceParseResult Result;
+    Result.Error = "cannot open " + Path;
+    return Result;
+  }
+  std::string Text;
+  char Buf[1 << 16];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Text.append(Buf, Got);
+  std::fclose(File);
+  return parseTrace(Text);
+}

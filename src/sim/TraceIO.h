@@ -1,0 +1,51 @@
+//===- sim/TraceIO.h - Trace serialization ---------------------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization of execution traces: record an instrumented run once
+/// and analyse it offline any number of times. This is the workflow the
+/// paper attributes to LiteRace ("recording synchronization, read, and
+/// write operations to a log file" with offline race checks, Section 2.3),
+/// and it is also how the repository's experiments can be archived and
+/// replayed bit-identically.
+///
+/// Format: a header line `pacer-trace v1 <count>` followed by one action
+/// per line, `<kind> <tid> <target> <site>`, with InvalidId rendered
+/// as `-`. Parsing is strict and reports the first offending line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SIM_TRACEIO_H
+#define PACER_SIM_TRACEIO_H
+
+#include "sim/Action.h"
+
+#include <string>
+
+namespace pacer {
+
+/// Serializes \p T into the text format.
+std::string serializeTrace(const Trace &T);
+
+/// Result of parsing: either a trace or a diagnostic.
+struct TraceParseResult {
+  Trace T;
+  bool Ok = false;
+  std::string Error; ///< Empty when Ok.
+};
+
+/// Parses the text format produced by serializeTrace().
+TraceParseResult parseTrace(const std::string &Text);
+
+/// Writes \p T to \p Path. Returns false (and sets no state) on I/O error.
+bool writeTraceFile(const std::string &Path, const Trace &T);
+
+/// Reads a trace from \p Path; Ok is false with a diagnostic on failure.
+TraceParseResult readTraceFile(const std::string &Path);
+
+} // namespace pacer
+
+#endif // PACER_SIM_TRACEIO_H

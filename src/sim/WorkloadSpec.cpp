@@ -1,0 +1,76 @@
+//===- sim/WorkloadSpec.cpp -----------------------------------------------==//
+
+#include "sim/WorkloadSpec.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace pacer;
+
+CompiledWorkload::CompiledWorkload(WorkloadSpec SpecIn)
+    : Spec(std::move(SpecIn)) {
+  PACER_CHECK(Spec.WorkerThreads >= 1, "workload needs at least one worker");
+  PACER_CHECK(Spec.Locks >= 1, "workload needs at least one lock");
+  PACER_CHECK(Spec.Methods >= 2, "workload needs hot and cold methods");
+
+  NumRaces = static_cast<uint32_t>(Spec.Races.size());
+  TotalVars = NumRaces + Spec.ReadSharedVars + Spec.SharedVars +
+              (Spec.WorkerThreads + 1) * Spec.LocalVarsPerThread;
+
+  NumHotMethods = std::max<uint32_t>(
+      1, static_cast<uint32_t>(
+             std::lround(Spec.HotMethodFraction * Spec.Methods)));
+  if (NumHotMethods >= Spec.Methods)
+    NumHotMethods = Spec.Methods - 1;
+
+  // Regular sites: methods own SitesPerMethod consecutive sites; hot
+  // methods are the low-numbered ones.
+  SiteToMethod.resize(static_cast<size_t>(Spec.Methods) *
+                      Spec.SitesPerMethod);
+  for (uint32_t Method = 0; Method < Spec.Methods; ++Method)
+    for (uint32_t I = 0; I < Spec.SitesPerMethod; ++I)
+      SiteToMethod[static_cast<size_t>(Method) * Spec.SitesPerMethod + I] =
+          Method;
+
+  // Racy sites: two fresh sites per race, assigned round-robin into a hot
+  // or cold method per the race's spec so LiteRace's per-method samplers
+  // see them alongside that method's regular traffic.
+  RaceSites.reserve(NumRaces);
+  uint32_t HotCursor = 0;
+  uint32_t ColdCursor = 0;
+  for (uint32_t Race = 0; Race < NumRaces; ++Race) {
+    const PlantedRace &Planted = Spec.Races[Race];
+    uint32_t Method;
+    if (Planted.Hot) {
+      Method = HotCursor % NumHotMethods;
+      ++HotCursor;
+    } else {
+      Method = NumHotMethods + ColdCursor % (Spec.Methods - NumHotMethods);
+      ++ColdCursor;
+    }
+    auto SiteA = static_cast<SiteId>(SiteToMethod.size());
+    SiteToMethod.push_back(Method);
+    auto SiteB = static_cast<SiteId>(SiteToMethod.size());
+    SiteToMethod.push_back(Method);
+    RaceSites.emplace_back(SiteA, SiteB);
+  }
+}
+
+RaceKey CompiledWorkload::racyKey(uint32_t Race) const {
+  SiteId A = RaceSites[Race].first;
+  SiteId B = RaceSites[Race].second;
+  // Keys are normalized to the unordered site pair: depending on the
+  // schedule either access can be the "first".
+  return {std::min(A, B), std::max(A, B)};
+}
+
+std::vector<ThreadId> CompiledWorkload::waveWorkers(uint32_t Wave) const {
+  std::vector<ThreadId> Workers;
+  uint32_t First = 1 + Wave * waveSize();
+  uint32_t Last = std::min(First + waveSize() - 1, Spec.WorkerThreads);
+  for (uint32_t Tid = First; Tid <= Last; ++Tid)
+    Workers.push_back(Tid);
+  return Workers;
+}

@@ -1,0 +1,239 @@
+//===- sim/WorkloadSpec.h - Workload parameters and compilation -*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The knobs describing a synthetic multithreaded program and the
+/// *compiled* (deterministically resolved) layout of its variables, locks,
+/// methods, and planted races. The paper evaluates on DaCapo (eclipse,
+/// hsqldb, xalan) and pseudojbb; we cannot run a JVM, so each benchmark is
+/// modelled by a spec calibrated to its published shape: thread counts
+/// (Table 2), synchronization density (~3% of analysed operations,
+/// Section 2.2), and race counts with a rarity distribution (Table 2's
+/// ">= 1 / >= 5 / >= 25 of 50 trials" columns).
+///
+/// Races are *planted*: each race gets a dedicated variable and two
+/// dedicated program sites accessed by two same-wave worker threads without
+/// a common lock. Whether a planted race occurs in a trial is governed by
+/// an occurrence gate (modelling input-dependent races) and by the actual
+/// schedule (modelling the observer effect): an intervening lock release /
+/// acquire chain can order the two accesses, in which case no race occurs
+/// that trial. Ground truth is always measured, never assumed: the
+/// harness's evaluation races are those FastTrack reports in at least half
+/// of the fully sampled trials, exactly as in Section 5.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SIM_WORKLOADSPEC_H
+#define PACER_SIM_WORKLOADSPEC_H
+
+#include "core/Ids.h"
+#include "core/RaceReport.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pacer {
+
+/// One planted race.
+struct PlantedRace {
+  /// Probability the racy code paths execute at all in a given trial.
+  double OccurrenceProb = 1.0;
+  /// Racy accesses each involved thread performs when the gate passes
+  /// (racy code typically touches its variable repeatedly). The accesses
+  /// are spread over a small span of the script around a common position,
+  /// so the two threads' bursts overlap in time and the schedule almost
+  /// always leaves at least one pair unordered.
+  uint32_t PairsPerTrial = 3;
+  /// Whether the two racy sites live in hot methods (frequently executed
+  /// code). LiteRace's cold-region heuristic misses hot races.
+  bool Hot = false;
+  /// Kinds of the two accesses; at least one must be a write.
+  AccessKind FirstKind = AccessKind::Write;
+  AccessKind SecondKind = AccessKind::Write;
+};
+
+/// Parameters of a synthetic workload.
+struct WorkloadSpec {
+  std::string Name = "workload";
+
+  /// Worker threads started over the run (total threads = workers + main).
+  uint32_t WorkerThreads = 8;
+  /// Maximum workers live at once; workers run in waves of this size.
+  uint32_t MaxLiveWorkers = 8;
+
+  /// Data-variable population.
+  uint32_t LocalVarsPerThread = 64;  ///< Thread-private; never race.
+  uint32_t SharedVars = 256;         ///< Lock-protected; never race.
+  uint32_t ReadSharedVars = 64;      ///< Written by main before forking,
+                                     ///< then read-only; never race.
+  uint32_t Locks = 16;
+  uint32_t Volatiles = 8;
+
+  /// Code model.
+  uint32_t Methods = 50;
+  uint32_t SitesPerMethod = 10;
+  double HotMethodFraction = 0.2;  ///< Fraction of methods that are hot.
+  double HotSitePickProb = 0.9;    ///< Prob. an op executes in a hot method.
+
+  /// Dynamic operation mix per worker. Workers emit a stream of
+  /// "decisions": standalone synchronization, a whole critical section
+  /// (acquire, several protected accesses, release), one read of a
+  /// read-shared variable, or one thread-local access. With the defaults
+  /// the resulting synchronization density is ~3-4% of analysed
+  /// operations, matching the paper's characterization.
+  uint64_t OpsPerWorker = 20000;
+  double SyncOpFraction = 0.01;       ///< Standalone sync decisions.
+  double VolatileOpFraction = 0.3;    ///< Of standalone sync decisions.
+  double CriticalSectionProb = 0.02;  ///< Critical-section decisions.
+  uint32_t CriticalSectionAccesses = 16; ///< Mean accesses per section.
+  double WriteFraction = 0.25;        ///< Of data accesses.
+  double ReadSharedFraction = 0.1;    ///< Read-shared read decisions.
+
+  /// Racy accesses of one planted pair are spliced at correlated
+  /// positions in the two workers' scripts (same fraction of the script
+  /// ± this jitter), so same-wave workers execute them close in time and
+  /// intervening happens-before chains are rare -- matching how real
+  /// races in the paper's benchmarks recur across trials.
+  double RacyPositionJitter = 0.01;
+
+  /// Lock affinity: the probability a critical section uses one of the
+  /// thread's preferred locks rather than a uniformly random one. Real
+  /// programs partition locks by subsystem; without affinity the
+  /// happens-before web over all threads is near-complete within a few
+  /// dozen events and nearly every planted race is ordered away.
+  double LockAffinity = 0.9;
+  /// Number of preferred locks per thread.
+  uint32_t AffinityLocks = 3;
+
+  /// Scheduler burst length (ops run before rescheduling); larger bursts
+  /// mean coarser interleaving.
+  uint32_t MaxSchedulerBurst = 8;
+
+  std::vector<PlantedRace> Races;
+};
+
+/// The deterministic layout derived from a spec: id assignments for
+/// variables, sites, methods, and races. Identical for every trial of a
+/// workload; only the per-trial Rng varies.
+class CompiledWorkload {
+public:
+  explicit CompiledWorkload(WorkloadSpec Spec);
+
+  const WorkloadSpec &spec() const { return Spec; }
+
+  // --- Variable layout: [racy | read-shared | shared | locals] ---
+
+  /// Total number of data variables.
+  uint32_t numVars() const { return TotalVars; }
+  /// The dedicated variable of planted race \p Race.
+  VarId racyVar(uint32_t Race) const { return Race; }
+  VarId readSharedVar(uint32_t Index) const {
+    return NumRaces + Index;
+  }
+  VarId sharedVar(uint32_t Index) const {
+    return NumRaces + Spec.ReadSharedVars + Index;
+  }
+  VarId localVar(ThreadId Worker, uint32_t Index) const {
+    return NumRaces + Spec.ReadSharedVars + Spec.SharedVars +
+           Worker * Spec.LocalVarsPerThread + Index;
+  }
+
+  /// True if \p Var is a thread-local variable -- what the paper's
+  /// optimizing-compiler pass proves with static escape analysis and then
+  /// does not instrument (Section 4).
+  bool isLocalVar(VarId Var) const { return Var >= localVar(0, 0); }
+
+  /// The lock guarding shared variable \p Var (lock discipline). Shared
+  /// variables are striped across the lock pool by index.
+  LockId guardLock(VarId Var) const {
+    return (Var - sharedVar(0)) % Spec.Locks;
+  }
+
+  /// Shared-variable indices guarded by \p Lock are Lock, Lock + Locks,
+  /// Lock + 2*Locks, ...; this returns how many exist.
+  uint32_t sharedVarsOfLock(LockId Lock) const {
+    if (Lock >= Spec.SharedVars)
+      return 0;
+    return (Spec.SharedVars - Lock - 1) / Spec.Locks + 1;
+  }
+
+  /// The \p K-th shared variable guarded by \p Lock.
+  VarId sharedVarOfLock(LockId Lock, uint32_t K) const {
+    return sharedVar(Lock + K * Spec.Locks);
+  }
+
+  // --- Code layout ---
+
+  /// Total number of program sites.
+  uint32_t numSites() const { return static_cast<uint32_t>(SiteToMethod.size()); }
+  /// Site-to-method map (consumed by LiteRace).
+  const std::vector<uint32_t> &siteToMethod() const { return SiteToMethod; }
+  /// True if \p Method is hot.
+  bool isHotMethod(uint32_t Method) const { return Method < NumHotMethods; }
+  /// Number of hot methods.
+  uint32_t numHotMethods() const { return NumHotMethods; }
+  uint32_t numMethods() const { return Spec.Methods; }
+  /// First site of \p Method (methods own SitesPerMethod consecutive sites).
+  SiteId methodFirstSite(uint32_t Method) const {
+    return Method * Spec.SitesPerMethod;
+  }
+
+  /// The two dedicated sites of planted race \p Race.
+  SiteId racySiteA(uint32_t Race) const { return RaceSites[Race].first; }
+  SiteId racySiteB(uint32_t Race) const { return RaceSites[Race].second; }
+
+  /// The dedicated rendezvous volatiles of planted race \p Race. Racy
+  /// code typically runs right after a causal trigger (a task handoff, a
+  /// published flag the partner spins on); the generator models this as a
+  /// two-sided flag exchange -- each thread publishes its own flag,
+  /// spin-waits on the partner's, and then performs the racy access. Both
+  /// triggers precede both accesses, so the volatile edges order the
+  /// handoff but never the accesses themselves.
+  VolatileId racyVolatileA(uint32_t Race) const {
+    return Spec.Volatiles + 2 * Race;
+  }
+  VolatileId racyVolatileB(uint32_t Race) const {
+    return Spec.Volatiles + 2 * Race + 1;
+  }
+  /// Total volatiles including the per-race rendezvous volatiles.
+  uint32_t numVolatiles() const { return Spec.Volatiles + 2 * NumRaces; }
+  /// The distinct-race key a detector produces for planted race \p Race.
+  RaceKey racyKey(uint32_t Race) const;
+  uint32_t numRaces() const { return NumRaces; }
+
+  // --- Thread layout ---
+
+  /// Total threads started, including main (paper Table 2's "Total").
+  uint32_t totalThreads() const { return Spec.WorkerThreads + 1; }
+  /// Worker wave containing worker thread id \p Tid (1-based tids).
+  uint32_t waveOf(ThreadId Tid) const { return (Tid - 1) / waveSize(); }
+  uint32_t numWaves() const {
+    return (Spec.WorkerThreads + waveSize() - 1) / waveSize();
+  }
+  uint32_t waveSize() const {
+    return Spec.MaxLiveWorkers == 0 ? 1 : Spec.MaxLiveWorkers;
+  }
+  /// Worker tids of wave \p Wave.
+  std::vector<ThreadId> waveWorkers(uint32_t Wave) const;
+
+  /// Approximate live "objects" for the space model's two-header-words
+  /// charge (variables grouped as fields of objects).
+  uint32_t objectCount() const { return TotalVars / FieldsPerObject + 1; }
+  static constexpr uint32_t FieldsPerObject = 8;
+
+private:
+  WorkloadSpec Spec;
+  uint32_t NumRaces;
+  uint32_t TotalVars;
+  uint32_t NumHotMethods;
+  std::vector<uint32_t> SiteToMethod;
+  std::vector<std::pair<SiteId, SiteId>> RaceSites;
+};
+
+} // namespace pacer
+
+#endif // PACER_SIM_WORKLOADSPEC_H

@@ -1,0 +1,65 @@
+//===- sim/Workloads.h - Calibrated benchmark workload models --*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four workload models standing in for the paper's benchmarks
+/// (Section 5.1): the multithreaded DaCapo benchmarks eclipse, hsqldb, and
+/// xalan (version 2006-10-MR1) and pseudojbb (fixed-workload SPECjbb2000).
+/// Each model is calibrated to the published shape: thread counts from
+/// Table 2 (total vs max live), ~3% synchronization density (Section 2.2),
+/// and a planted-race population whose occurrence-rate distribution
+/// reproduces Table 2's race-count columns (some races in every trial, some
+/// in a handful of 50 fully sampled trials, some essentially never).
+///
+/// Absolute event counts are scaled to simulator-friendly sizes; bench
+/// binaries accept a --scale flag to grow them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SIM_WORKLOADS_H
+#define PACER_SIM_WORKLOADS_H
+
+#include "sim/WorkloadSpec.h"
+
+#include <vector>
+
+namespace pacer {
+
+/// eclipse model: 16 total threads, 8 max live; many races with a broad
+/// rarity spectrum; about a third of the common races are in hot code
+/// (these are the ones LiteRace misses, Figure 6).
+WorkloadSpec eclipseModel();
+
+/// hsqldb model: 403 total threads, 102 max live; 23 races that occur in
+/// every trial plus a few very rare ones.
+WorkloadSpec hsqldbModel();
+
+/// xalan model: 9 total threads, all live at once; many races, most rare.
+WorkloadSpec xalanModel();
+
+/// pseudojbb model: 37 total threads, 9 max live; few races, mostly common.
+WorkloadSpec pseudojbbModel();
+
+/// All four paper workloads in presentation order.
+std::vector<WorkloadSpec> paperWorkloads();
+
+/// Returns the paper workload named \p Name (eclipse, hsqldb, xalan,
+/// pseudojbb); aborts on an unknown name.
+WorkloadSpec paperWorkloadByName(const std::string &Name);
+
+/// Small, fast workload for unit and property tests: a few threads, a few
+/// thousand events, a handful of certain and rare races.
+WorkloadSpec tinyTestWorkload();
+
+/// Mid-sized workload for integration tests.
+WorkloadSpec mediumTestWorkload();
+
+/// Multiplies the per-worker operation count by \p Factor (>= 0.01).
+WorkloadSpec scaleWorkload(WorkloadSpec Spec, double Factor);
+
+} // namespace pacer
+
+#endif // PACER_SIM_WORKLOADS_H

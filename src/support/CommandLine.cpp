@@ -1,0 +1,74 @@
+//===- support/CommandLine.cpp --------------------------------------------==//
+
+#include "support/CommandLine.h"
+
+#include "support/Error.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace pacer;
+
+FlagSet::FlagSet(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--", 2) != 0) {
+      Positional.emplace_back(Arg);
+      continue;
+    }
+    const char *Body = Arg + 2;
+    const char *Eq = std::strchr(Body, '=');
+    if (Eq)
+      Flags.emplace_back(std::string(Body, Eq), std::string(Eq + 1));
+    else
+      Flags.emplace_back(std::string(Body), std::string("1"));
+  }
+}
+
+const std::string *FlagSet::find(const std::string &Name) const {
+  // Last occurrence wins so callers can override defaults appended earlier.
+  const std::string *Result = nullptr;
+  for (const auto &[Key, Value] : Flags)
+    if (Key == Name)
+      Result = &Value;
+  return Result;
+}
+
+bool FlagSet::has(const std::string &Name) const {
+  return find(Name) != nullptr;
+}
+
+int64_t FlagSet::getInt(const std::string &Name, int64_t Default) const {
+  const std::string *Value = find(Name);
+  if (!Value)
+    return Default;
+  char *End = nullptr;
+  long long Parsed = std::strtoll(Value->c_str(), &End, 10);
+  if (End == Value->c_str() || *End != '\0')
+    fatalError("malformed integer flag value");
+  return Parsed;
+}
+
+double FlagSet::getDouble(const std::string &Name, double Default) const {
+  const std::string *Value = find(Name);
+  if (!Value)
+    return Default;
+  char *End = nullptr;
+  double Parsed = std::strtod(Value->c_str(), &End);
+  if (End == Value->c_str() || *End != '\0')
+    fatalError("malformed double flag value");
+  return Parsed;
+}
+
+std::string FlagSet::getString(const std::string &Name,
+                               const std::string &Default) const {
+  const std::string *Value = find(Name);
+  return Value ? *Value : Default;
+}
+
+bool FlagSet::getBool(const std::string &Name, bool Default) const {
+  const std::string *Value = find(Name);
+  if (!Value)
+    return Default;
+  return *Value != "0" && *Value != "false";
+}

@@ -1,0 +1,59 @@
+//===- support/CommandLine.h - Minimal flag parsing ------------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny --name=value flag parser shared by the bench and example binaries
+/// so every experiment can scale trial counts and workload sizes from the
+/// command line without pulling in a heavyweight dependency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SUPPORT_COMMANDLINE_H
+#define PACER_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pacer {
+
+/// Parses "--name=value" and bare "--name" (boolean true) arguments.
+/// Unknown positional arguments are collected and retrievable.
+class FlagSet {
+public:
+  /// Parses \p Argv. Aborts with a usage message on malformed flags.
+  FlagSet(int Argc, const char *const *Argv);
+
+  /// Returns the integer value of flag \p Name, or \p Default if absent.
+  int64_t getInt(const std::string &Name, int64_t Default) const;
+
+  /// Returns the double value of flag \p Name, or \p Default if absent.
+  double getDouble(const std::string &Name, double Default) const;
+
+  /// Returns the string value of flag \p Name, or \p Default if absent.
+  std::string getString(const std::string &Name,
+                        const std::string &Default) const;
+
+  /// Returns true if flag \p Name is present (with any value) and not "0"
+  /// or "false"; \p Default if absent.
+  bool getBool(const std::string &Name, bool Default) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  /// Returns true if the flag was explicitly provided.
+  bool has(const std::string &Name) const;
+
+private:
+  const std::string *find(const std::string &Name) const;
+
+  std::vector<std::pair<std::string, std::string>> Flags;
+  std::vector<std::string> Positional;
+};
+
+} // namespace pacer
+
+#endif // PACER_SUPPORT_COMMANDLINE_H

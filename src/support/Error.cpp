@@ -1,0 +1,18 @@
+//===- support/Error.cpp --------------------------------------------------==//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void pacer::fatalError(const char *Msg) {
+  std::fprintf(stderr, "pacer fatal error: %s\n", Msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void pacer::fatalErrorAt(const char *Msg, const char *File, int Line) {
+  std::fprintf(stderr, "pacer fatal error: %s (%s:%d)\n", Msg, File, Line);
+  std::fflush(stderr);
+  std::abort();
+}

@@ -1,0 +1,41 @@
+//===- support/Error.h - Fatal errors and checked assertions ---*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting for unrecoverable conditions. Library code is built
+/// without exceptions; invariant violations abort via fatalError() or
+/// assert(), and unreachable control flow is marked with pacerUnreachable().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SUPPORT_ERROR_H
+#define PACER_SUPPORT_ERROR_H
+
+namespace pacer {
+
+/// Prints \p Msg to stderr and aborts. Used for unrecoverable conditions
+/// that must be reported even in release builds (assertions may be
+/// compiled out).
+[[noreturn]] void fatalError(const char *Msg);
+
+/// Like fatalError() but also reports the source location of the failure.
+[[noreturn]] void fatalErrorAt(const char *Msg, const char *File, int Line);
+
+} // namespace pacer
+
+/// Marks a point in the code that must be unreachable if the program's
+/// invariants hold. Unlike assert(0), this is active in all build modes.
+#define pacerUnreachable(Msg) ::pacer::fatalErrorAt(Msg, __FILE__, __LINE__)
+
+/// Checks \p Cond in all build modes, unlike assert(). Use for invariants
+/// whose violation would silently corrupt analysis results.
+#define PACER_CHECK(Cond, Msg)                                                 \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::pacer::fatalErrorAt(Msg, __FILE__, __LINE__);                          \
+  } while (false)
+
+#endif // PACER_SUPPORT_ERROR_H

@@ -1,0 +1,62 @@
+//===- support/Rng.cpp ----------------------------------------------------==//
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace pacer;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow(0)");
+  // Lemire-style rejection to avoid modulo bias.
+  uint64_t Threshold = (0 - Bound) % Bound;
+  for (;;) {
+    uint64_t R = next();
+    // __uint128_t multiply-shift maps R uniformly onto [0, Bound) except
+    // for a small biased region that we reject.
+    __uint128_t Product = static_cast<__uint128_t>(R) * Bound;
+    auto Low = static_cast<uint64_t>(Product);
+    if (Low >= Threshold)
+      return static_cast<uint64_t>(Product >> 64);
+  }
+}
+
+uint64_t Rng::nextGeometric(double P) {
+  if (P >= 1.0)
+    return 0;
+  if (P <= 0.0)
+    return UINT64_MAX;
+  double U = nextDouble();
+  // Inverse-CDF; clamp the degenerate U == 0 draw.
+  if (U <= 0.0)
+    U = 0x1.0p-53;
+  return static_cast<uint64_t>(std::log(U) / std::log1p(-P));
+}

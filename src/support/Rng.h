@@ -1,0 +1,93 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xoshiro256**, seeded via SplitMix64).
+/// Every stochastic component of the system (trace generation, scheduling,
+/// sampling-period selection, LiteRace counter resets) draws from an Rng so
+/// that whole experiments replay bit-identically from a single seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SUPPORT_RNG_H
+#define PACER_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pacer {
+
+/// Deterministic xoshiro256** generator.
+class Rng {
+public:
+  /// Constructs a generator whose entire stream is a function of \p Seed.
+  explicit Rng(uint64_t Seed) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via SplitMix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero. Uses unbiased rejection sampling.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed value in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    // 53 high-quality mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return nextDouble() < P;
+  }
+
+  /// Returns a geometrically distributed count with success probability
+  /// \p P, i.e. the number of failures before the first success. Returns 0
+  /// for P >= 1.
+  uint64_t nextGeometric(double P);
+
+  /// Returns a reference to a uniformly chosen element of \p Items, which
+  /// must be nonempty.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick from empty vector");
+    return Items[nextBelow(Items.size())];
+  }
+
+  /// Fisher-Yates shuffles \p Items in place.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I) {
+      size_t J = nextBelow(I);
+      std::swap(Items[I - 1], Items[J]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each subsystem
+  /// (scheduler, script builder, controller) its own stream so that adding
+  /// draws in one subsystem does not perturb the others.
+  Rng split() { return Rng(next() ^ 0x9e3779b97f4a7c15ULL); }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace pacer
+
+#endif // PACER_SUPPORT_RNG_H

@@ -1,0 +1,59 @@
+//===- support/Stats.cpp --------------------------------------------------==//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pacer;
+
+double RunningStat::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::stderrOfMean() const {
+  if (N == 0)
+    return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(N));
+}
+
+double pacer::median(std::vector<double> Values) {
+  return quantile(std::move(Values), 0.5);
+}
+
+double pacer::quantile(std::vector<double> Values, double Q) {
+  if (Values.empty())
+    return 0.0;
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile out of range");
+  std::sort(Values.begin(), Values.end());
+  double Pos = Q * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Pos);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Pos - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+BinomialInterval pacer::wilsonInterval(uint64_t Successes, uint64_t Trials,
+                                       double Z) {
+  if (Trials == 0)
+    return {0.0, 1.0};
+  double N = static_cast<double>(Trials);
+  double PHat = static_cast<double>(Successes) / N;
+  double Z2 = Z * Z;
+  double Denom = 1.0 + Z2 / N;
+  double Center = (PHat + Z2 / (2.0 * N)) / Denom;
+  double Margin =
+      (Z / Denom) * std::sqrt(PHat * (1.0 - PHat) / N + Z2 / (4.0 * N * N));
+  return {std::max(0.0, Center - Margin), std::min(1.0, Center + Margin)};
+}
+
+bool pacer::proportionConsistent(uint64_t Successes, uint64_t Trials, double P,
+                                 double Z) {
+  BinomialInterval CI = wilsonInterval(Successes, Trials, Z);
+  return P >= CI.Low && P <= CI.High;
+}

@@ -1,0 +1,84 @@
+//===- support/Stats.h - Streaming statistics helpers ----------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming mean/variance accumulation (Welford), medians, and binomial
+/// confidence intervals. The evaluation harness reports detection rates
+/// "plus or minus one standard deviation" exactly as the paper's Table 1
+/// does, and the property tests use Wilson intervals to decide whether an
+/// observed detection frequency is consistent with the sampling rate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SUPPORT_STATS_H
+#define PACER_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pacer {
+
+/// Welford streaming accumulator for mean and (sample) standard deviation.
+class RunningStat {
+public:
+  /// Adds one observation.
+  void add(double X) {
+    ++N;
+    double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(N);
+    M2 += Delta * (X - Mean);
+  }
+
+  /// Number of observations added so far.
+  size_t count() const { return N; }
+
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return Mean; }
+
+  /// Sample variance (N-1 denominator); 0 with fewer than two observations.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Standard error of the mean.
+  double stderrOfMean() const;
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+};
+
+/// Returns the median of \p Values (copies and partially sorts). Returns 0
+/// for an empty input.
+double median(std::vector<double> Values);
+
+/// Returns the \p Q quantile (0 <= Q <= 1) of \p Values using linear
+/// interpolation. Returns 0 for an empty input.
+double quantile(std::vector<double> Values, double Q);
+
+/// Wilson score interval for a binomial proportion.
+struct BinomialInterval {
+  double Low;
+  double High;
+};
+
+/// Returns the Wilson score interval for \p Successes out of \p Trials at
+/// \p Z standard deviations (Z = 1.96 gives a 95% interval; the property
+/// tests use wider intervals to keep flake rates negligible).
+BinomialInterval wilsonInterval(uint64_t Successes, uint64_t Trials,
+                                double Z);
+
+/// Returns true if probability \p P is inside the Wilson interval for the
+/// observed \p Successes / \p Trials at \p Z standard deviations.
+bool proportionConsistent(uint64_t Successes, uint64_t Trials, double P,
+                          double Z);
+
+} // namespace pacer
+
+#endif // PACER_SUPPORT_STATS_H

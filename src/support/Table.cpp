@@ -1,0 +1,103 @@
+//===- support/Table.cpp --------------------------------------------------==//
+
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace pacer;
+
+void TextTable::setHeader(std::vector<std::string> Columns) {
+  Header = std::move(Columns);
+}
+
+void TextTable::addRow(std::vector<std::string> Columns) {
+  Rows.push_back({std::move(Columns), false});
+}
+
+void TextTable::addSeparator() { Rows.push_back({{}, true}); }
+
+std::string TextTable::render() const {
+  // Compute column widths over the header and all rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const Row &R : Rows)
+    Grow(R.Cells);
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+  if (TotalWidth >= 2)
+    TotalWidth -= 2;
+
+  std::string Out;
+  auto EmitRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      size_t Pad = Widths[I] - Cell.size();
+      if (I == 0) {
+        Out += Cell;
+        Out.append(Pad, ' ');
+      } else {
+        Out.append(Pad, ' ');
+        Out += Cell;
+      }
+      if (I + 1 != Widths.size())
+        Out += "  ";
+    }
+    // Trim trailing spaces from left-aligned final cells.
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  if (!Header.empty()) {
+    EmitRow(Header);
+    Out.append(TotalWidth, '-');
+    Out += '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.Separator) {
+      Out.append(TotalWidth, '-');
+      Out += '\n';
+    } else {
+      EmitRow(R.Cells);
+    }
+  }
+  return Out;
+}
+
+std::string pacer::formatDouble(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string pacer::formatPlusMinus(double Mean, double Stddev, int Decimals) {
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "%.*f±%.*f", Decimals, Mean, Decimals,
+                Stddev);
+  return Buf;
+}
+
+std::string pacer::formatThousands(uint64_t Count) {
+  if (Count == 0)
+    return "0";
+  if (Count < 1000)
+    return "<1K";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lluK",
+                static_cast<unsigned long long>(Count / 1000));
+  return Buf;
+}
+
+std::string pacer::formatPercent(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Decimals, Value * 100.0);
+  return Buf;
+}

@@ -1,0 +1,64 @@
+//===- support/Table.h - Aligned text-table formatting ---------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formats the evaluation tables and figure series as aligned plain text so
+/// every bench binary prints rows in the same style the paper reports them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SUPPORT_TABLE_H
+#define PACER_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pacer {
+
+/// Builds an aligned text table row by row. Column widths are computed when
+/// the table is rendered.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Columns);
+
+  /// Appends a data row. Rows may be ragged; missing cells render empty.
+  void addRow(std::vector<std::string> Columns);
+
+  /// Appends a horizontal separator at the current position.
+  void addSeparator();
+
+  /// Renders the table with two-space column gaps. The first column is
+  /// left-aligned and the rest are right-aligned, matching the paper's
+  /// program-name-then-numbers layout.
+  std::string render() const;
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool Separator = false;
+  };
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+/// Formats \p Value with \p Decimals fractional digits.
+std::string formatDouble(double Value, int Decimals);
+
+/// Formats a "mean ± stddev" cell as the paper's Table 1 does.
+std::string formatPlusMinus(double Mean, double Stddev, int Decimals);
+
+/// Formats a count with a K suffix (e.g. 149376K) as the paper's Table 3
+/// does; values below 1000 render as "<1K" when nonzero, "0" when zero.
+std::string formatThousands(uint64_t Count);
+
+/// Formats \p Value as a percentage string with \p Decimals digits.
+std::string formatPercent(double Value, int Decimals);
+
+} // namespace pacer
+
+#endif // PACER_SUPPORT_TABLE_H

@@ -1,0 +1,40 @@
+//===- support/Timer.h - Wall-clock timing ---------------------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A steady-clock stopwatch for the overhead experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SUPPORT_TIMER_H
+#define PACER_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace pacer {
+
+/// Starts timing at construction.
+class Timer {
+public:
+  Timer() : Start(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+
+  /// Restarts the stopwatch.
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace pacer
+
+#endif // PACER_SUPPORT_TIMER_H

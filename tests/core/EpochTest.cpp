@@ -1,0 +1,58 @@
+//===- tests/core/EpochTest.cpp -------------------------------------------==//
+
+#include "core/Epoch.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+
+TEST(EpochTest, DefaultIsNone) {
+  Epoch E;
+  EXPECT_TRUE(E.isNone());
+  EXPECT_EQ(E.clockValue(), 0u);
+  EXPECT_EQ(E.tid(), 0u);
+  EXPECT_EQ(E, Epoch::none());
+}
+
+TEST(EpochTest, MakeRoundTrips) {
+  Epoch E = Epoch::make(7, 3);
+  EXPECT_EQ(E.clockValue(), 7u);
+  EXPECT_EQ(E.tid(), 3u);
+  EXPECT_FALSE(E.isNone());
+}
+
+TEST(EpochTest, LargeValues) {
+  Epoch E = Epoch::make(UINT32_MAX, UINT32_MAX - 1);
+  EXPECT_EQ(E.clockValue(), UINT32_MAX);
+  EXPECT_EQ(E.tid(), UINT32_MAX - 1);
+}
+
+TEST(EpochTest, Equality) {
+  EXPECT_EQ(Epoch::make(1, 2), Epoch::make(1, 2));
+  EXPECT_NE(Epoch::make(1, 2), Epoch::make(2, 1));
+  EXPECT_NE(Epoch::make(1, 2), Epoch::none());
+}
+
+TEST(EpochTest, NonePrecedesEverything) {
+  VectorClock C;
+  EXPECT_TRUE(Epoch::none().precedes(C));
+  C.set(5, 10);
+  EXPECT_TRUE(Epoch::none().precedes(C));
+}
+
+TEST(EpochTest, PrecedesComparesOnlyOwnComponent) {
+  VectorClock C;
+  C.set(2, 5);
+  EXPECT_TRUE(Epoch::make(5, 2).precedes(C));
+  EXPECT_TRUE(Epoch::make(4, 2).precedes(C));
+  EXPECT_FALSE(Epoch::make(6, 2).precedes(C));
+  // Other components are irrelevant.
+  C.set(3, 100);
+  EXPECT_FALSE(Epoch::make(6, 2).precedes(C));
+}
+
+TEST(EpochTest, PrecedesAgainstAbsentComponent) {
+  VectorClock C; // All zero.
+  EXPECT_FALSE(Epoch::make(1, 9).precedes(C));
+  EXPECT_TRUE(Epoch::make(0, 9).precedes(C));
+}

@@ -1,0 +1,66 @@
+//===- tests/core/RaceReportTest.cpp --------------------------------------==//
+
+#include "core/RaceReport.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace pacer;
+
+static RaceReport sampleReport() {
+  RaceReport Report;
+  Report.Var = 7;
+  Report.FirstKind = AccessKind::Write;
+  Report.SecondKind = AccessKind::Read;
+  Report.FirstThread = 1;
+  Report.SecondThread = 2;
+  Report.FirstSite = 100;
+  Report.SecondSite = 200;
+  return Report;
+}
+
+TEST(RaceReportTest, StrNamesEverything) {
+  std::string Text = sampleReport().str();
+  EXPECT_NE(Text.find("var 7"), std::string::npos);
+  EXPECT_NE(Text.find("write"), std::string::npos);
+  EXPECT_NE(Text.find("read"), std::string::npos);
+  EXPECT_NE(Text.find("site 100"), std::string::npos);
+  EXPECT_NE(Text.find("site 200"), std::string::npos);
+  EXPECT_NE(Text.find("thread 1"), std::string::npos);
+  EXPECT_NE(Text.find("thread 2"), std::string::npos);
+}
+
+TEST(RaceReportTest, AccessKindNames) {
+  EXPECT_STREQ(accessKindName(AccessKind::Read), "read");
+  EXPECT_STREQ(accessKindName(AccessKind::Write), "write");
+}
+
+TEST(RaceKeyTest, ExtractedFromReport) {
+  RaceKey Key = raceKey(sampleReport());
+  EXPECT_EQ(Key.FirstSite, 100u);
+  EXPECT_EQ(Key.SecondSite, 200u);
+}
+
+TEST(RaceKeyTest, OrderingAndEquality) {
+  RaceKey A{1, 2}, B{1, 3}, C{2, 1};
+  EXPECT_TRUE(A < B);
+  EXPECT_TRUE(A < C);
+  EXPECT_TRUE(A == RaceKey({1, 2}));
+  EXPECT_FALSE(A == B);
+}
+
+TEST(RaceKeyTest, HashUsableInSet) {
+  std::unordered_set<RaceKey> Keys;
+  Keys.insert({1, 2});
+  Keys.insert({1, 2});
+  Keys.insert({2, 1});
+  EXPECT_EQ(Keys.size(), 2u);
+  EXPECT_TRUE(Keys.count(RaceKey{1, 2}));
+}
+
+TEST(RaceSinkTest, NullSinkDropsReports) {
+  NullRaceSink Sink;
+  Sink.onRace(sampleReport());
+  SUCCEED();
+}

@@ -1,0 +1,193 @@
+//===- tests/core/ReadMapTest.cpp -----------------------------------------==//
+
+#include "core/ReadMap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace pacer;
+
+TEST(ReadMapTest, DefaultIsNull) {
+  ReadMap R;
+  EXPECT_TRUE(R.isNull());
+  EXPECT_EQ(R.kind(), ReadMap::Kind::Null);
+  EXPECT_EQ(R.size(), 0u);
+  EXPECT_EQ(R.heapBytes(), 0u);
+}
+
+TEST(ReadMapTest, NullLeqEverything) {
+  ReadMap R;
+  VectorClock C;
+  EXPECT_TRUE(R.leqClock(C));
+}
+
+TEST(ReadMapTest, SetEpoch) {
+  ReadMap R;
+  R.setEpoch(Epoch::make(3, 1), 42);
+  EXPECT_TRUE(R.isEpoch());
+  EXPECT_EQ(R.size(), 1u);
+  EXPECT_EQ(R.epoch(), Epoch::make(3, 1));
+  EXPECT_EQ(R.epochSite(), 42u);
+}
+
+TEST(ReadMapTest, EpochLeq) {
+  ReadMap R;
+  R.setEpoch(Epoch::make(3, 1), 42);
+  VectorClock C;
+  C.set(1, 3);
+  EXPECT_TRUE(R.leqClock(C));
+  C.set(1, 2);
+  EXPECT_FALSE(R.leqClock(C));
+}
+
+TEST(ReadMapTest, InflateToMapPreservesEntry) {
+  ReadMap R;
+  R.setEpoch(Epoch::make(3, 1), 42);
+  R.inflateToMap();
+  EXPECT_TRUE(R.isMap());
+  EXPECT_EQ(R.size(), 1u);
+  bool Found = false;
+  R.forEach([&](const ReadEntry &Entry) {
+    Found = true;
+    EXPECT_EQ(Entry.Tid, 1u);
+    EXPECT_EQ(Entry.Clock, 3u);
+    EXPECT_EQ(Entry.Site, 42u);
+  });
+  EXPECT_TRUE(Found);
+}
+
+TEST(ReadMapTest, SetEntryAddsAndUpdates) {
+  ReadMap R;
+  R.setEpoch(Epoch::make(1, 0), 10);
+  R.inflateToMap();
+  R.setEntry(2, 5, 20);
+  EXPECT_EQ(R.size(), 2u);
+  R.setEntry(2, 6, 21); // Update, not add.
+  EXPECT_EQ(R.size(), 2u);
+  uint32_t Clock2 = 0;
+  R.forEach([&](const ReadEntry &Entry) {
+    if (Entry.Tid == 2)
+      Clock2 = Entry.Clock;
+  });
+  EXPECT_EQ(Clock2, 6u);
+}
+
+TEST(ReadMapTest, RemoveEntry) {
+  ReadMap R;
+  R.setEpoch(Epoch::make(1, 0), 10);
+  R.inflateToMap();
+  R.setEntry(2, 5, 20);
+  EXPECT_FALSE(R.removeEntry(0));
+  EXPECT_EQ(R.size(), 1u);
+  EXPECT_FALSE(R.removeEntry(7)); // Absent tid: no-op, still nonempty.
+  EXPECT_TRUE(R.removeEntry(2));
+  EXPECT_EQ(R.size(), 0u);
+  EXPECT_TRUE(R.isMap()) << "an empty map is still map-kind until cleared";
+}
+
+TEST(ReadMapTest, ClearFromAnyState) {
+  ReadMap R;
+  R.setEpoch(Epoch::make(1, 0), 10);
+  R.clear();
+  EXPECT_TRUE(R.isNull());
+
+  R.setEpoch(Epoch::make(1, 0), 10);
+  R.inflateToMap();
+  R.clear();
+  EXPECT_TRUE(R.isNull());
+  EXPECT_EQ(R.heapBytes(), 0u);
+}
+
+TEST(ReadMapTest, MapLeqChecksAllEntries) {
+  ReadMap R;
+  R.setEpoch(Epoch::make(2, 0), 10);
+  R.inflateToMap();
+  R.setEntry(1, 4, 11);
+  VectorClock C;
+  C.set(0, 2);
+  C.set(1, 4);
+  EXPECT_TRUE(R.leqClock(C));
+  C.set(1, 3);
+  EXPECT_FALSE(R.leqClock(C));
+}
+
+TEST(ReadMapTest, ForEachViolationReportsOnlyConcurrent) {
+  ReadMap R;
+  R.setEpoch(Epoch::make(2, 0), 10);
+  R.inflateToMap();
+  R.setEntry(1, 4, 11);
+  R.setEntry(2, 1, 12);
+  VectorClock C;
+  C.set(0, 5); // Covers thread 0.
+  C.set(1, 3); // Does not cover thread 1 (4 > 3).
+  // Thread 2 absent in C: 1 > 0 violates.
+  std::vector<ThreadId> Violators;
+  R.forEachViolation(C, [&](const ReadEntry &Entry) {
+    Violators.push_back(Entry.Tid);
+  });
+  ASSERT_EQ(Violators.size(), 2u);
+  EXPECT_TRUE((Violators[0] == 1 && Violators[1] == 2) ||
+              (Violators[0] == 2 && Violators[1] == 1));
+}
+
+TEST(ReadMapTest, EpochViolation) {
+  ReadMap R;
+  R.setEpoch(Epoch::make(3, 1), 42);
+  VectorClock C; // Zero.
+  int Count = 0;
+  R.forEachViolation(C, [&](const ReadEntry &Entry) {
+    ++Count;
+    EXPECT_EQ(Entry.Tid, 1u);
+    EXPECT_EQ(Entry.Site, 42u);
+  });
+  EXPECT_EQ(Count, 1);
+  // No violation when covered.
+  C.set(1, 3);
+  R.forEachViolation(C, [&](const ReadEntry &) { FAIL(); });
+}
+
+TEST(ReadMapTest, SetEpochDropsMapStorage) {
+  ReadMap R;
+  R.setEpoch(Epoch::make(1, 0), 1);
+  R.inflateToMap();
+  R.setEntry(1, 2, 2);
+  R.setEpoch(Epoch::make(5, 3), 9);
+  EXPECT_TRUE(R.isEpoch());
+  EXPECT_EQ(R.size(), 1u);
+  EXPECT_EQ(R.heapBytes(), 0u);
+}
+
+TEST(ReadMapTest, RemoveThreadFromNullIsNoop) {
+  ReadMap R;
+  R.removeThread(3);
+  EXPECT_TRUE(R.isNull());
+}
+
+TEST(ReadMapTest, RemoveThreadClearsMatchingEpoch) {
+  ReadMap R;
+  R.setEpoch(Epoch::make(4, 3), 9);
+  R.removeThread(2);
+  EXPECT_TRUE(R.isEpoch()) << "other thread's epoch untouched";
+  R.removeThread(3);
+  EXPECT_TRUE(R.isNull());
+}
+
+TEST(ReadMapTest, RemoveThreadFromMapCollapsesWhenEmpty) {
+  ReadMap R;
+  R.setEpoch(Epoch::make(1, 0), 1);
+  R.inflateToMap();
+  R.setEntry(1, 2, 2);
+  R.removeThread(0);
+  EXPECT_TRUE(R.isMap());
+  EXPECT_EQ(R.size(), 1u);
+  R.removeThread(1);
+  EXPECT_TRUE(R.isNull()) << "empty map collapses to null";
+}
+
+TEST(ReadMapTest, HeapBytesNonzeroInMapState) {
+  ReadMap R;
+  R.setEpoch(Epoch::make(1, 0), 1);
+  R.inflateToMap();
+  EXPECT_GT(R.heapBytes(), 0u);
+}

@@ -1,0 +1,109 @@
+//===- tests/core/SyncClockTest.cpp ---------------------------------------==//
+
+#include "core/SyncClock.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+
+TEST(SyncClockTest, FreshClockIsPrivateBottom) {
+  SyncClock C;
+  EXPECT_FALSE(C.isShared());
+  EXPECT_EQ(C.clock().size(), 0u);
+}
+
+TEST(SyncClockTest, ShallowCopySharesPayload) {
+  SyncClock Thread, Lock;
+  Thread.mutableClock().set(0, 3);
+  Thread.setShared();
+  Lock.shallowCopyFrom(Thread);
+  EXPECT_EQ(Lock.payloadKey(), Thread.payloadKey());
+  EXPECT_TRUE(Lock.isShared());
+  EXPECT_EQ(Lock.clock().get(0), 3u);
+}
+
+TEST(SyncClockTest, DeepCopyKeepsPayloadsDistinct) {
+  SyncClock Thread, Lock;
+  Thread.mutableClock().set(0, 3);
+  uint64_t Clones = 0;
+  Lock.deepCopyFrom(Thread, &Clones);
+  EXPECT_NE(Lock.payloadKey(), Thread.payloadKey());
+  EXPECT_EQ(Lock.clock().get(0), 3u);
+  EXPECT_EQ(Clones, 0u) << "private payload needs no clone";
+  // Mutating the copy must not affect the source.
+  Lock.mutableClock().set(0, 9);
+  EXPECT_EQ(Thread.clock().get(0), 3u);
+}
+
+TEST(SyncClockTest, DeepCopyIntoSharedPayloadAllocatesFresh) {
+  SyncClock Thread, LockA, LockB;
+  Thread.mutableClock().set(0, 1);
+  Thread.setShared();
+  LockA.shallowCopyFrom(Thread);
+  // LockA's payload is shared with Thread; a deep copy into LockA must not
+  // scribble on the shared payload.
+  SyncClock Other;
+  Other.mutableClock().set(1, 7);
+  uint64_t Clones = 0;
+  LockA.deepCopyFrom(Other, &Clones);
+  EXPECT_EQ(Clones, 1u);
+  EXPECT_NE(LockA.payloadKey(), Thread.payloadKey());
+  EXPECT_EQ(Thread.clock().get(1), 0u);
+  EXPECT_EQ(LockA.clock().get(1), 7u);
+  (void)LockB;
+}
+
+TEST(SyncClockTest, CloneIfSharedOnPrivateIsNoop) {
+  SyncClock C;
+  C.mutableClock().set(0, 2);
+  const void *Key = C.payloadKey();
+  uint64_t Clones = 0;
+  C.cloneIfShared(&Clones);
+  EXPECT_EQ(C.payloadKey(), Key);
+  EXPECT_EQ(Clones, 0u);
+}
+
+TEST(SyncClockTest, CloneIfSharedDetaches) {
+  SyncClock Thread, Lock;
+  Thread.mutableClock().set(0, 5);
+  Thread.setShared();
+  Lock.shallowCopyFrom(Thread);
+  uint64_t Clones = 0;
+  Thread.cloneIfShared(&Clones);
+  EXPECT_EQ(Clones, 1u);
+  EXPECT_NE(Thread.payloadKey(), Lock.payloadKey());
+  EXPECT_FALSE(Thread.isShared()) << "the fresh clone is private";
+  EXPECT_TRUE(Lock.isShared()) << "shared payloads stay shared for life";
+  // Value preserved across the clone.
+  EXPECT_EQ(Thread.clock().get(0), 5u);
+  Thread.mutableClock().increment(0);
+  EXPECT_EQ(Lock.clock().get(0), 5u) << "mutation no longer visible";
+}
+
+TEST(SyncClockTest, ChainedSharing) {
+  // Thread releases two locks in a non-sampling period: all three share.
+  SyncClock Thread, LockM, LockL;
+  Thread.mutableClock().set(0, 4);
+  Thread.setShared();
+  LockM.shallowCopyFrom(Thread);
+  Thread.setShared();
+  LockL.shallowCopyFrom(Thread);
+  EXPECT_EQ(LockM.payloadKey(), Thread.payloadKey());
+  EXPECT_EQ(LockL.payloadKey(), Thread.payloadKey());
+}
+
+TEST(SyncClockTest, PayloadBytesReflectClockSize) {
+  SyncClock C;
+  size_t Before = C.payloadBytes();
+  C.mutableClock().set(63, 1);
+  EXPECT_GT(C.payloadBytes(), Before);
+}
+
+TEST(SyncClockTest, NullCloneCounterAccepted) {
+  SyncClock Thread, Lock;
+  Thread.setShared();
+  Lock.shallowCopyFrom(Thread);
+  Lock.cloneIfShared(nullptr);
+  Lock.deepCopyFrom(Thread, nullptr);
+  SUCCEED();
+}

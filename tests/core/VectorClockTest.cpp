@@ -1,0 +1,133 @@
+//===- tests/core/VectorClockTest.cpp -------------------------------------==//
+
+#include "core/VectorClock.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+
+TEST(VectorClockTest, DefaultIsBottom) {
+  VectorClock C;
+  EXPECT_EQ(C.size(), 0u);
+  EXPECT_EQ(C.get(0), 0u);
+  EXPECT_EQ(C.get(1000), 0u);
+}
+
+TEST(VectorClockTest, SetAndGetGrows) {
+  VectorClock C;
+  C.set(4, 9);
+  EXPECT_EQ(C.get(4), 9u);
+  EXPECT_EQ(C.get(3), 0u);
+  EXPECT_GE(C.size(), 5u);
+}
+
+TEST(VectorClockTest, SettingZeroBeyondSizeIsNoop) {
+  VectorClock C;
+  C.set(10, 0);
+  EXPECT_EQ(C.size(), 0u);
+}
+
+TEST(VectorClockTest, Increment) {
+  VectorClock C;
+  C.increment(2);
+  C.increment(2);
+  EXPECT_EQ(C.get(2), 2u);
+  EXPECT_EQ(C.get(0), 0u);
+}
+
+TEST(VectorClockTest, JoinTakesPointwiseMax) {
+  VectorClock A, B;
+  A.set(0, 3);
+  A.set(1, 1);
+  B.set(1, 5);
+  B.set(2, 2);
+  EXPECT_TRUE(A.joinWith(B));
+  EXPECT_EQ(A.get(0), 3u);
+  EXPECT_EQ(A.get(1), 5u);
+  EXPECT_EQ(A.get(2), 2u);
+}
+
+TEST(VectorClockTest, JoinReportsNoChangeWhenSubsumed) {
+  VectorClock A, B;
+  A.set(0, 3);
+  A.set(1, 5);
+  B.set(0, 2);
+  EXPECT_FALSE(A.joinWith(B));
+  EXPECT_EQ(A.get(0), 3u);
+}
+
+TEST(VectorClockTest, JoinWithSelfEquivalent) {
+  VectorClock A;
+  A.set(0, 1);
+  VectorClock B = A;
+  EXPECT_FALSE(A.joinWith(B));
+  EXPECT_TRUE(A == B);
+}
+
+TEST(VectorClockTest, LeqPartialOrder) {
+  VectorClock A, B, C;
+  A.set(0, 1);
+  B.set(0, 2);
+  B.set(1, 1);
+  C.set(1, 3);
+  EXPECT_TRUE(A.leq(B));
+  EXPECT_FALSE(B.leq(A));
+  // Incomparable clocks.
+  EXPECT_FALSE(B.leq(C));
+  EXPECT_FALSE(C.leq(B));
+  // Reflexive.
+  EXPECT_TRUE(A.leq(A));
+  // Bottom below everything.
+  EXPECT_TRUE(VectorClock().leq(A));
+}
+
+TEST(VectorClockTest, LeqWithDifferentSizes) {
+  VectorClock Short, Long;
+  Short.set(0, 1);
+  Long.set(0, 1);
+  Long.set(5, 7);
+  EXPECT_TRUE(Short.leq(Long));
+  EXPECT_FALSE(Long.leq(Short));
+}
+
+TEST(VectorClockTest, CopyFrom) {
+  VectorClock A, B;
+  A.set(3, 4);
+  B.copyFrom(A);
+  EXPECT_TRUE(A == B);
+  B.increment(3);
+  EXPECT_FALSE(A == B);
+}
+
+TEST(VectorClockTest, EqualityIgnoresTrailingZeros) {
+  VectorClock A, B;
+  A.set(0, 1);
+  B.set(0, 1);
+  B.set(7, 0); // No-op set.
+  A.set(3, 5);
+  A.set(3, 0); // Explicit zero stored.
+  B.set(3, 0);
+  EXPECT_TRUE(A == B);
+}
+
+TEST(VectorClockTest, ClearResetsToBottom) {
+  VectorClock A;
+  A.set(2, 9);
+  A.clear();
+  EXPECT_EQ(A.get(2), 0u);
+  EXPECT_TRUE(A == VectorClock());
+}
+
+TEST(VectorClockTest, StrFormat) {
+  VectorClock A;
+  A.set(1, 2);
+  EXPECT_EQ(A.str(), "[0, 2]");
+  EXPECT_EQ(VectorClock().str(), "[]");
+}
+
+TEST(VectorClockTest, HeapBytesGrowWithSize) {
+  VectorClock A;
+  EXPECT_EQ(A.heapBytes(), 0u);
+  A.set(100, 1);
+  EXPECT_GE(A.heapBytes(), 101 * sizeof(uint32_t));
+}

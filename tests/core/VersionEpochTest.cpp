@@ -1,0 +1,58 @@
+//===- tests/core/VersionEpochTest.cpp ------------------------------------==//
+
+#include "core/VersionEpoch.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+
+TEST(VersionEpochTest, BottomPrecedesEverything) {
+  VersionVector V;
+  EXPECT_TRUE(VersionEpoch::bottom().precedes(V));
+  V.set(0, 5);
+  EXPECT_TRUE(VersionEpoch::bottom().precedes(V));
+}
+
+TEST(VersionEpochTest, TopPrecedesNothing) {
+  VersionVector V;
+  V.set(0, UINT32_MAX - 1);
+  EXPECT_FALSE(VersionEpoch::top().precedes(V));
+  EXPECT_TRUE(VersionEpoch::top().isTop());
+}
+
+TEST(VersionEpochTest, PrecedesComparesOwnThreadSlot) {
+  VersionVector V;
+  V.set(2, 4);
+  EXPECT_TRUE(VersionEpoch::make(4, 2).precedes(V));
+  EXPECT_TRUE(VersionEpoch::make(3, 2).precedes(V));
+  EXPECT_FALSE(VersionEpoch::make(5, 2).precedes(V));
+  // A different thread's big slot does not help.
+  V.set(3, 100);
+  EXPECT_FALSE(VersionEpoch::make(5, 2).precedes(V));
+}
+
+TEST(VersionEpochTest, DefaultIsBottom) {
+  VersionEpoch E;
+  EXPECT_EQ(E, VersionEpoch::bottom());
+  EXPECT_FALSE(E.isTop());
+  EXPECT_EQ(E.version(), 0u);
+}
+
+TEST(VersionEpochTest, MakeRoundTrips) {
+  VersionEpoch E = VersionEpoch::make(9, 4);
+  EXPECT_EQ(E.version(), 9u);
+  EXPECT_EQ(E.tid(), 4u);
+  EXPECT_FALSE(E.isTop());
+}
+
+TEST(VersionEpochTest, Equality) {
+  EXPECT_EQ(VersionEpoch::make(1, 2), VersionEpoch::make(1, 2));
+  EXPECT_FALSE(VersionEpoch::make(1, 2) == VersionEpoch::make(2, 2));
+  EXPECT_FALSE(VersionEpoch::make(1, 2) == VersionEpoch::top());
+}
+
+TEST(VersionEpochTest, ZeroVersionOfAnyThreadPrecedes) {
+  // Any 0@t is a minimal version epoch.
+  VersionVector Empty;
+  EXPECT_TRUE(VersionEpoch::make(0, 17).precedes(Empty));
+}

@@ -1,0 +1,207 @@
+//===- tests/detectors/AccordionClockTest.cpp -----------------------------==//
+//
+// Accordion clocks (the production improvement the paper's Section 5.1
+// cites): thread-clock slots are recycled once a joined thread's final
+// clock is dominated by every live thread. The tests verify soundness
+// (no false positives or misattributed reports across recycling), the
+// domination precondition, and the space effect (slots bounded by live
+// threads, not total threads).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detectors/FastTrackDetector.h"
+#include "detectors/PacerDetector.h"
+#include "sim/TraceGenerator.h"
+#include "sim/Workloads.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+using namespace pacer::test;
+
+namespace {
+
+PacerConfig accordionConfig() {
+  PacerConfig Config;
+  Config.UseAccordionClocks = true;
+  return Config;
+}
+
+class AccordionClockTest : public ::testing::Test {
+protected:
+  CollectingSink Sink;
+  PacerDetector D{Sink, accordionConfig()};
+
+  void replay(Trace T) { replayInto(D, T); }
+};
+
+TEST_F(AccordionClockTest, JoinedThreadSlotIsRecycled) {
+  D.beginSamplingPeriod();
+  replay(TraceBuilder().fork(0, 1).write(1, 5).join(0, 1).take());
+  EXPECT_EQ(D.liveSlotCount(), 1u) << "only main is live";
+  // The parent joined the child, so the child's final clock is dominated.
+  EXPECT_EQ(D.recycleDeadThreads(), 1u);
+  // The next thread reuses the slot: total slots stay at 2.
+  replay(TraceBuilder().fork(0, 2).take());
+  EXPECT_EQ(D.threadCountForTest(), 2u);
+  EXPECT_EQ(D.liveSlotCount(), 2u);
+}
+
+TEST_F(AccordionClockTest, RecycleRequiresDominationByAllLiveThreads) {
+  D.beginSamplingPeriod();
+  // Child 2 stays live and has NOT synchronized with child 1's final
+  // clock, so slot 1 must not be recycled yet.
+  replay(TraceBuilder()
+             .fork(0, 1)
+             .fork(0, 2)
+             .write(1, 5)
+             .join(0, 1)
+             .take());
+  EXPECT_EQ(D.recycleDeadThreads(), 0u)
+      << "thread 2 does not dominate thread 1's final clock";
+  // Once thread 2 receives thread 1's clock (via a lock handoff from
+  // main, which holds it after the join), recycling proceeds.
+  replay(TraceBuilder().acq(0, 9).rel(0, 9).acq(2, 9).rel(2, 9).take());
+  EXPECT_EQ(D.recycleDeadThreads(), 1u);
+}
+
+TEST_F(AccordionClockTest, NoFalseRaceAcrossRecycledSlot) {
+  D.beginSamplingPeriod();
+  // Thread 1 writes x; after join + recycle, thread 2 reuses the slot and
+  // writes x. The accesses are ordered (fork after join), so no race may
+  // be reported even though both map to the same slot.
+  replay(TraceBuilder().fork(0, 1).write(1, 5).join(0, 1).take());
+  ASSERT_EQ(D.recycleDeadThreads(), 1u);
+  replay(TraceBuilder().fork(0, 2).write(2, 5).join(0, 2).take());
+  EXPECT_TRUE(Sink.empty());
+}
+
+TEST_F(AccordionClockTest, TrueRaceAcrossRecycledSlotStillReported) {
+  D.beginSamplingPeriod();
+  // Thread 3 stays concurrent with thread 2, which reuses thread 1's
+  // recycled slot; their conflicting accesses must still be reported,
+  // with the *program* thread ids.
+  replay(TraceBuilder().fork(0, 1).join(0, 1).take());
+  ASSERT_EQ(D.recycleDeadThreads(), 1u);
+  replay(TraceBuilder()
+             .fork(0, 3)
+             .fork(0, 2) // Reuses slot 1.
+             .write(2, 5, 52)
+             .write(3, 5, 53)
+             .take());
+  ASSERT_EQ(Sink.size(), 1u);
+  EXPECT_EQ(Sink.Reports[0].FirstThread, 2u) << "program id, not slot id";
+  EXPECT_EQ(Sink.Reports[0].SecondThread, 3u);
+}
+
+TEST_F(AccordionClockTest, RecycleDiscardsRetiredThreadMetadata) {
+  D.beginSamplingPeriod();
+  replay(TraceBuilder()
+             .fork(0, 1)
+             .write(1, 5)
+             .read(1, 6)
+             .join(0, 1)
+             .take());
+  EXPECT_EQ(D.trackedVariableCount(), 2u);
+  ASSERT_EQ(D.recycleDeadThreads(), 1u);
+  EXPECT_EQ(D.trackedVariableCount(), 0u)
+      << "a dominated thread's accesses cannot start a race: discard";
+}
+
+TEST_F(AccordionClockTest, RecycleKeepsOtherThreadsMetadata) {
+  D.beginSamplingPeriod();
+  replay(TraceBuilder()
+             .fork(0, 1)
+             .write(0, 7) // Main's metadata must survive.
+             .write(1, 5)
+             .join(0, 1)
+             .take());
+  ASSERT_EQ(D.recycleDeadThreads(), 1u);
+  EXPECT_EQ(D.trackedVariableCount(), 1u);
+  EXPECT_EQ(D.writeEpochForTest(7).tid(), 0u);
+}
+
+TEST_F(AccordionClockTest, WaveWorkloadBoundsSlotsByLiveThreads) {
+  // hsqldb-style: many short-lived workers in bounded waves. With
+  // accordion clocks the slot count tracks the wave size, not the total.
+  WorkloadSpec Spec = scaleWorkload(hsqldbModel(), 0.1);
+  CompiledWorkload Workload(Spec);
+  Trace T = generateTrace(Workload, 3);
+
+  CollectingSink PlainSink;
+  PacerDetector Plain(PlainSink); // No accordion.
+  Plain.beginSamplingPeriod();
+  CollectingSink AccordionSink;
+  PacerDetector Accordion(AccordionSink, accordionConfig());
+  Accordion.beginSamplingPeriod();
+
+  Runtime PlainRT(Plain), AccordionRT(Accordion);
+  size_t Events = 0;
+  for (const Action &A : T) {
+    PlainRT.dispatch(A);
+    AccordionRT.dispatch(A);
+    // Recycle periodically, standing in for GC boundaries.
+    if (++Events % 5000 == 0)
+      Accordion.recycleDeadThreads();
+  }
+  Accordion.recycleDeadThreads();
+
+  EXPECT_EQ(Plain.threadCountForTest(), Workload.totalThreads());
+  // Intra-wave workers only become dominated when their wave ends, so the
+  // structural floor is about two waves' worth of slots.
+  EXPECT_LE(Accordion.threadCountForTest(), 2u * Spec.MaxLiveWorkers + 2)
+      << "slots must be bounded by live threads (waves of "
+      << Spec.MaxLiveWorkers << "), not total threads";
+  EXPECT_LT(Accordion.liveMetadataBytes(), Plain.liveMetadataBytes());
+}
+
+TEST_F(AccordionClockTest, SameRacesWithAndWithoutAccordion) {
+  // Recycling must not change which races are reported (only metadata of
+  // provably ordered accesses is discarded).
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    CompiledWorkload Workload(tinyTestWorkload());
+    Trace T = generateTrace(Workload, Seed);
+
+    CollectingSink PlainSink, AccordionSink;
+    PacerDetector Plain(PlainSink);
+    PacerDetector Accordion(AccordionSink, accordionConfig());
+    Plain.beginSamplingPeriod();
+    Accordion.beginSamplingPeriod();
+    Runtime PlainRT(Plain), AccordionRT(Accordion);
+    size_t Events = 0;
+    for (const Action &A : T) {
+      PlainRT.dispatch(A);
+      AccordionRT.dispatch(A);
+      if (++Events % 1000 == 0)
+        Accordion.recycleDeadThreads();
+    }
+    EXPECT_EQ(PlainSink.keys(), AccordionSink.keys()) << "seed " << Seed;
+  }
+}
+
+TEST_F(AccordionClockTest, VersionEpochOfRecycledSlotInvalidated) {
+  // A lock whose version epoch names the recycled slot must fall back to
+  // the slow path rather than falsely proving redundancy for the slot's
+  // next occupant.
+  replay(TraceBuilder()
+             .fork(0, 1)
+             .acq(1, 9)
+             .rel(1, 9) // vepoch names slot 1.
+             .join(0, 1)
+             .take());
+  ASSERT_EQ(D.recycleDeadThreads(), 1u);
+  EXPECT_TRUE(D.lockVersionEpochForTest(9).isTop());
+}
+
+TEST_F(AccordionClockTest, DisabledConfigKeepsIdentityMapping) {
+  CollectingSink Sink2;
+  PacerDetector Plain(Sink2); // Accordion off.
+  Plain.beginSamplingPeriod();
+  replayInto(Plain, TraceBuilder().fork(0, 5).write(5, 3).join(0, 5).take());
+  EXPECT_EQ(Plain.recycleDeadThreads(), 0u);
+  EXPECT_EQ(Plain.threadCountForTest(), 6u) << "slot == program thread id";
+}
+
+} // namespace

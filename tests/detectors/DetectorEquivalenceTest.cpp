@@ -1,0 +1,133 @@
+//===- tests/detectors/DetectorEquivalenceTest.cpp ------------------------==//
+//
+// Cross-algorithm properties on randomly generated traces:
+//
+//  * A trace is race free under GENERIC iff FastTrack reports nothing
+//    (FastTrack soundness/completeness, Section 2.2).
+//  * PACER with sampling always on reports exactly FastTrack's reports
+//    (PACER degenerates to FastTrack at r = 100%).
+//  * PACER with sampling never on reports nothing and tracks nothing.
+//  * At any sampling rate, PACER's distinct races are a subset of
+//    GENERIC's (precision: no false positives).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detectors/FastTrackDetector.h"
+#include "detectors/GenericDetector.h"
+#include "detectors/PacerDetector.h"
+#include "runtime/SamplingController.h"
+#include "sim/TraceGenerator.h"
+#include "sim/Workloads.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+using namespace pacer::test;
+
+namespace {
+
+class DetectorEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+protected:
+  Trace makeTrace() {
+    CompiledWorkload Workload(tinyTestWorkload());
+    return generateTrace(Workload, GetParam());
+  }
+};
+
+TEST_P(DetectorEquivalenceTest, FastTrackAgreesWithGenericOnRaceFreedom) {
+  Trace T = makeTrace();
+  CollectingSink GenericSink, FastTrackSink;
+  GenericDetector Generic(GenericSink);
+  FastTrackDetector FastTrack(FastTrackSink);
+  replayInto(Generic, T);
+  replayInto(FastTrack, T);
+  EXPECT_EQ(GenericSink.empty(), FastTrackSink.empty());
+}
+
+TEST_P(DetectorEquivalenceTest, FastTrackKeysSubsetOfGeneric) {
+  Trace T = makeTrace();
+  CollectingSink GenericSink, FastTrackSink;
+  GenericDetector Generic(GenericSink);
+  FastTrackDetector FastTrack(FastTrackSink);
+  replayInto(Generic, T);
+  replayInto(FastTrack, T);
+  for (RaceKey Key : FastTrackSink.keys())
+    EXPECT_TRUE(GenericSink.keys().count(Key))
+        << "FastTrack key (" << Key.FirstSite << ", " << Key.SecondSite
+        << ") unknown to GENERIC";
+}
+
+TEST_P(DetectorEquivalenceTest, PacerAt100PercentMatchesFastTrackExactly) {
+  Trace T = makeTrace();
+  CollectingSink FastTrackSink, PacerSink;
+  FastTrackDetector FastTrack(FastTrackSink);
+  PacerDetector Pacer(PacerSink);
+  Pacer.beginSamplingPeriod();
+  replayInto(FastTrack, T);
+  replayInto(Pacer, T);
+  ASSERT_EQ(FastTrackSink.size(), PacerSink.size());
+  for (size_t I = 0; I != FastTrackSink.size(); ++I) {
+    const RaceReport &A = FastTrackSink.Reports[I];
+    const RaceReport &B = PacerSink.Reports[I];
+    EXPECT_EQ(A.Var, B.Var);
+    EXPECT_EQ(A.FirstKind, B.FirstKind);
+    EXPECT_EQ(A.SecondKind, B.SecondKind);
+    EXPECT_EQ(A.FirstThread, B.FirstThread);
+    EXPECT_EQ(A.SecondThread, B.SecondThread);
+    EXPECT_EQ(A.FirstSite, B.FirstSite);
+    EXPECT_EQ(A.SecondSite, B.SecondSite);
+  }
+}
+
+TEST_P(DetectorEquivalenceTest, PacerAtZeroReportsNothingTracksNothing) {
+  Trace T = makeTrace();
+  CollectingSink Sink;
+  PacerDetector Pacer(Sink);
+  replayInto(Pacer, T);
+  EXPECT_TRUE(Sink.empty());
+  EXPECT_EQ(Pacer.trackedVariableCount(), 0u);
+  EXPECT_EQ(Pacer.stats().SlowJoinsSampling, 0u);
+  EXPECT_EQ(Pacer.stats().DeepCopiesSampling, 0u);
+}
+
+TEST_P(DetectorEquivalenceTest, SampledPacerIsPrecise) {
+  Trace T = makeTrace();
+  CollectingSink GenericSink;
+  GenericDetector Generic(GenericSink);
+  replayInto(Generic, T);
+  std::set<RaceKey> TrueKeys = GenericSink.keys();
+
+  for (double Rate : {0.1, 0.35, 0.8}) {
+    CollectingSink PacerSink;
+    PacerDetector Pacer(PacerSink);
+    SamplingConfig Config;
+    Config.TargetRate = Rate;
+    Config.PeriodBytes = 16 * 1024; // Frequent boundaries for small traces.
+    SamplingController Controller(Config, GetParam() * 31 + 7);
+    Runtime RT(Pacer, &Controller);
+    RT.replay(T);
+    for (RaceKey Key : PacerSink.keys())
+      EXPECT_TRUE(TrueKeys.count(Key))
+          << "PACER reported a false positive at rate " << Rate;
+  }
+}
+
+TEST_P(DetectorEquivalenceTest, GenericTraceWithoutPlantedRacesIsRaceFree) {
+  WorkloadSpec Spec = tinyTestWorkload();
+  Spec.Races.clear();
+  CompiledWorkload Workload(Spec);
+  Trace T = generateTrace(Workload, GetParam());
+  CollectingSink Sink;
+  GenericDetector Generic(Sink);
+  replayInto(Generic, T);
+  EXPECT_TRUE(Sink.empty())
+      << "lock-disciplined workload must be race free; first: "
+      << (Sink.Reports.empty() ? "" : Sink.Reports[0].str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace

@@ -1,0 +1,190 @@
+//===- tests/detectors/FastTrackDetectorTest.cpp --------------------------==//
+
+#include "detectors/FastTrackDetector.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+using namespace pacer::test;
+
+namespace {
+
+class FastTrackDetectorTest : public ::testing::Test {
+protected:
+  CollectingSink Sink;
+  FastTrackDetector D{Sink};
+
+  void replay(Trace T) { replayInto(D, T); }
+};
+
+TEST_F(FastTrackDetectorTest, WriteWriteRaceDetected) {
+  replay(TraceBuilder().fork(0, 1).write(0, 5, 50).write(1, 5, 51).take());
+  ASSERT_EQ(Sink.size(), 1u);
+  EXPECT_EQ(Sink.Reports[0].FirstSite, 50u);
+  EXPECT_EQ(Sink.Reports[0].SecondSite, 51u);
+  EXPECT_EQ(Sink.Reports[0].FirstKind, AccessKind::Write);
+  EXPECT_EQ(Sink.Reports[0].SecondKind, AccessKind::Write);
+}
+
+TEST_F(FastTrackDetectorTest, WriteReadRaceDetected) {
+  replay(TraceBuilder().fork(0, 1).write(0, 5).read(1, 5).take());
+  EXPECT_EQ(Sink.size(), 1u);
+}
+
+TEST_F(FastTrackDetectorTest, ReadWriteRaceDetected) {
+  replay(TraceBuilder().fork(0, 1).read(0, 5, 50).write(1, 5, 51).take());
+  ASSERT_EQ(Sink.size(), 1u);
+  EXPECT_EQ(Sink.Reports[0].FirstKind, AccessKind::Read);
+  EXPECT_EQ(Sink.Reports[0].FirstSite, 50u);
+}
+
+TEST_F(FastTrackDetectorTest, LockOrderingPreventsRace) {
+  replay(TraceBuilder()
+             .fork(0, 1)
+             .acq(0, 9)
+             .write(0, 5)
+             .rel(0, 9)
+             .acq(1, 9)
+             .write(1, 5)
+             .rel(1, 9)
+             .take());
+  EXPECT_TRUE(Sink.empty());
+}
+
+TEST_F(FastTrackDetectorTest, ConcurrentReadsThenOrderedWriteIsSafe) {
+  // Two concurrent reads inflate the read map; a write ordered after both
+  // (via join) is race free and clears the map.
+  replay(TraceBuilder()
+             .fork(0, 1)
+             .fork(0, 2)
+             .read(1, 5)
+             .read(2, 5)
+             .join(0, 1)
+             .join(0, 2)
+             .write(0, 5)
+             .take());
+  EXPECT_TRUE(Sink.empty());
+}
+
+TEST_F(FastTrackDetectorTest, ConcurrentReadsBothReportedAtRacingWrite) {
+  replay(TraceBuilder()
+             .fork(0, 1)
+             .fork(0, 2)
+             .read(1, 5, 51)
+             .read(2, 5, 52)
+             .write(0, 5, 50)
+             .take());
+  EXPECT_EQ(Sink.size(), 2u);
+  EXPECT_TRUE(Sink.keys().count(RaceKey{50, 51}));
+  EXPECT_TRUE(Sink.keys().count(RaceKey{50, 52}));
+}
+
+TEST_F(FastTrackDetectorTest, SameEpochReadIsNoop) {
+  replay(TraceBuilder().read(0, 5).read(0, 5).read(0, 5).take());
+  EXPECT_TRUE(Sink.empty());
+  EXPECT_EQ(D.stats().totalReads(), 3u);
+}
+
+TEST_F(FastTrackDetectorTest, WriteClearsReadMapSoLaterWriteReportsWrite) {
+  // t1 reads (sampling the read into the map), t0 writes concurrently
+  // (read-write race reported, map cleared), then t2 writes concurrently
+  // with t0's write: only a write-write race is reported, because the read
+  // metadata was discarded at the first write.
+  replay(TraceBuilder()
+             .fork(0, 1)
+             .fork(0, 2)
+             .read(1, 5, 51)
+             .write(0, 5, 50)
+             .write(2, 5, 52)
+             .take());
+  ASSERT_EQ(Sink.size(), 2u);
+  EXPECT_EQ(Sink.Reports[0].FirstKind, AccessKind::Read);
+  EXPECT_EQ(Sink.Reports[1].FirstKind, AccessKind::Write);
+  EXPECT_EQ(Sink.Reports[1].FirstSite, 50u);
+  EXPECT_EQ(Sink.Reports[1].SecondSite, 52u);
+}
+
+TEST_F(FastTrackDetectorTest, OriginalVariantKeepsReadEpochAcrossWrite) {
+  // With ClearReadMapAtWrite=false, a read epoch ordered before a write by
+  // the same thread survives; behaviourally races are the same here, but
+  // the modified variant discards it. This exercises the config switch.
+  CollectingSink Sink2;
+  FastTrackConfig Config;
+  Config.ClearReadMapAtWrite = false;
+  FastTrackDetector Original(Sink2, Config);
+  replayInto(Original, TraceBuilder()
+                           .fork(0, 1)
+                           .read(0, 5)
+                           .write(0, 5)
+                           .write(1, 5)
+                           .take());
+  // t1's write races with t0's write; with the original variant the stale
+  // read epoch (ordered before t0's write) also triggers a read-write
+  // report because it was never cleared.
+  EXPECT_EQ(Sink2.size(), 2u);
+
+  // The modified (paper) variant reports only the shortest race.
+  replay(TraceBuilder().fork(0, 1).read(0, 5).write(0, 5).write(1, 5).take());
+  EXPECT_EQ(Sink.size(), 1u);
+}
+
+TEST_F(FastTrackDetectorTest, ReadEpochPromotionAfterOrderedRead) {
+  // Reads ordered by a lock stay an epoch (no map inflation): verify via
+  // metadata bytes staying flat (no heap allocation for a map).
+  replay(TraceBuilder()
+             .fork(0, 1)
+             .acq(0, 9)
+             .read(0, 5)
+             .rel(0, 9)
+             .acq(1, 9)
+             .read(1, 5)
+             .rel(1, 9)
+             .take());
+  EXPECT_TRUE(Sink.empty());
+}
+
+TEST_F(FastTrackDetectorTest, VolatilesOrderAccesses) {
+  replay(TraceBuilder()
+             .fork(0, 1)
+             .write(0, 5)
+             .volWrite(0, 2)
+             .volRead(1, 2)
+             .write(1, 5)
+             .take());
+  EXPECT_TRUE(Sink.empty());
+}
+
+TEST_F(FastTrackDetectorTest, RaceReportedOncePerShortestPair) {
+  // After reporting the write-write race, the metadata moves to the last
+  // write; a third ordered write does not re-report the old pair.
+  replay(TraceBuilder()
+             .fork(0, 1)
+             .write(0, 5, 50)
+             .write(1, 5, 51)
+             .write(1, 5, 52)
+             .take());
+  // Second t1 write is same-thread-ordered after the first: no new race...
+  // but note it is in the same epoch only if no sync happened; either way
+  // no new pair appears.
+  EXPECT_EQ(Sink.size(), 1u);
+}
+
+TEST_F(FastTrackDetectorTest, JoinMakesChildWritesVisible) {
+  replay(TraceBuilder()
+             .fork(0, 1)
+             .write(1, 5)
+             .join(0, 1)
+             .write(0, 5)
+             .take());
+  EXPECT_TRUE(Sink.empty());
+}
+
+TEST_F(FastTrackDetectorTest, MetadataSmallerThanGenericStyle) {
+  // FastTrack var metadata is O(1) for totally ordered accesses.
+  replay(TraceBuilder().write(0, 1).write(0, 2).write(0, 3).take());
+  EXPECT_GT(D.liveMetadataBytes(), 0u);
+}
+
+} // namespace

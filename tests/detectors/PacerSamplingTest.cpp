@@ -1,0 +1,236 @@
+//===- tests/detectors/PacerSamplingTest.cpp ------------------------------==//
+//
+// PACER's synchronization-operation machinery: version epochs, version
+// vectors, fast joins, shallow/deep copies, clock sharing, and cloning
+// (Section 3.2, Algorithms 9-11, 16, Table 7).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detectors/PacerDetector.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+using namespace pacer::test;
+
+namespace {
+
+class PacerSamplingTest : public ::testing::Test {
+protected:
+  CollectingSink Sink;
+  PacerDetector D{Sink};
+
+  void replay(Trace T) { replayInto(D, T); }
+};
+
+TEST_F(PacerSamplingTest, ReleaseSharesClockOutsideSampling) {
+  replay(TraceBuilder().acq(0, 1).rel(0, 1).take());
+  EXPECT_EQ(D.lockClockKeyForTest(1), D.threadClockKeyForTest(0));
+  EXPECT_EQ(D.stats().ShallowCopiesNonSampling, 1u);
+  EXPECT_EQ(D.stats().DeepCopiesNonSampling, 0u);
+}
+
+TEST_F(PacerSamplingTest, ReleaseDeepCopiesWhileSampling) {
+  D.beginSamplingPeriod();
+  replay(TraceBuilder().acq(0, 1).rel(0, 1).take());
+  EXPECT_NE(D.lockClockKeyForTest(1), D.threadClockKeyForTest(0));
+  EXPECT_EQ(D.stats().DeepCopiesSampling, 1u);
+  EXPECT_EQ(D.stats().ShallowCopiesSampling, 0u);
+}
+
+TEST_F(PacerSamplingTest, MultipleReleasesShareOnePayload) {
+  // Figure 2: in a timeless period both lock releases share the thread's
+  // clock payload.
+  replay(TraceBuilder().acq(0, 1).rel(0, 1).acq(0, 2).rel(0, 2).take());
+  EXPECT_EQ(D.lockClockKeyForTest(1), D.lockClockKeyForTest(2));
+  EXPECT_EQ(D.lockClockKeyForTest(1), D.threadClockKeyForTest(0));
+}
+
+TEST_F(PacerSamplingTest, ReleaseSetsVersionEpoch) {
+  replay(TraceBuilder().acq(0, 1).rel(0, 1).take());
+  VersionEpoch VEpoch = D.lockVersionEpochForTest(1);
+  EXPECT_FALSE(VEpoch.isTop());
+  EXPECT_EQ(VEpoch.tid(), 0u);
+  EXPECT_EQ(VEpoch.version(), D.threadVersionsForTest(0).get(0));
+}
+
+TEST_F(PacerSamplingTest, Figure2RedundantAcquireIsFastJoin) {
+  // Thread 1 releases locks 1 and 2 with the same clock version; thread 2
+  // pays one slow join for lock 1, then lock 2's version epoch proves
+  // redundancy: a fast join.
+  replay(TraceBuilder().fork(0, 1).fork(0, 2).take());
+  DetectorStats Before = D.stats();
+  replay(TraceBuilder()
+             .acq(1, 1)
+             .rel(1, 1)
+             .acq(1, 2)
+             .rel(1, 2)
+             .acq(2, 1) // Slow join: new version of thread 1's clock.
+             .acq(2, 2) // Fast join: version already received.
+             .take());
+  const DetectorStats &After = D.stats();
+  // t1's two acquires hit bottom version epochs: fast. t2: one slow, one
+  // fast.
+  EXPECT_EQ(After.FastJoinsNonSampling - Before.FastJoinsNonSampling, 3u);
+  EXPECT_EQ(After.SlowJoinsNonSampling - Before.SlowJoinsNonSampling, 1u);
+}
+
+TEST_F(PacerSamplingTest, RepeatedAcquireReleasePairStaysFast) {
+  // A hot lock handed back and forth without clock changes converges:
+  // after the first exchange, all joins are fast.
+  replay(TraceBuilder().fork(0, 1).fork(0, 2).take());
+  replay(TraceBuilder().acq(1, 1).rel(1, 1).acq(2, 1).rel(2, 1).take());
+  DetectorStats Before = D.stats();
+  replay(TraceBuilder().acq(1, 1).rel(1, 1).acq(2, 1).rel(2, 1).take());
+  const DetectorStats &After = D.stats();
+  EXPECT_EQ(After.SlowJoinsNonSampling, Before.SlowJoinsNonSampling + 2)
+      << "each thread pays one last slow join while the clocks converge";
+  replay(TraceBuilder().acq(1, 1).rel(1, 1).acq(2, 1).rel(2, 1).take());
+  const DetectorStats &Third = D.stats();
+  EXPECT_EQ(Third.SlowJoinsNonSampling, After.SlowJoinsNonSampling)
+      << "converged: every further join is fast";
+}
+
+TEST_F(PacerSamplingTest, SbeginIncrementsEveryStartedThreadClock) {
+  replay(TraceBuilder().fork(0, 1).take());
+  uint32_t T0 = D.threadClockForTest(0).get(0);
+  uint32_t T1 = D.threadClockForTest(1).get(1);
+  D.beginSamplingPeriod();
+  EXPECT_EQ(D.threadClockForTest(0).get(0), T0 + 1);
+  EXPECT_EQ(D.threadClockForTest(1).get(1), T1 + 1);
+}
+
+TEST_F(PacerSamplingTest, SbeginClonesSharedClocks) {
+  replay(TraceBuilder().acq(0, 1).rel(0, 1).take());
+  ASSERT_EQ(D.lockClockKeyForTest(1), D.threadClockKeyForTest(0));
+  uint64_t ClonesBefore = D.stats().ClockClones;
+  D.beginSamplingPeriod(); // Increment must clone, not mutate the share.
+  EXPECT_NE(D.lockClockKeyForTest(1), D.threadClockKeyForTest(0));
+  EXPECT_GT(D.stats().ClockClones, ClonesBefore);
+  // The lock's snapshot kept its old value.
+  const VectorClock *LockClock = D.lockClockForTest(1);
+  ASSERT_NE(LockClock, nullptr);
+  EXPECT_EQ(LockClock->get(0), D.threadClockForTest(0).get(0) - 1);
+}
+
+TEST_F(PacerSamplingTest, NoIncrementsOutsideSampling) {
+  replay(TraceBuilder().fork(0, 1).take());
+  uint32_t Clock0 = D.threadClockForTest(0).get(0);
+  replay(TraceBuilder()
+             .acq(0, 1)
+             .rel(0, 1)
+             .acq(0, 1)
+             .rel(0, 1)
+             .volWrite(0, 2)
+             .take());
+  EXPECT_EQ(D.threadClockForTest(0).get(0), Clock0)
+      << "timeless period: releases and volatile writes do not advance "
+         "logical time";
+}
+
+TEST_F(PacerSamplingTest, IncrementsResumeDuringSampling) {
+  D.beginSamplingPeriod();
+  replay(TraceBuilder().acq(0, 1).take()); // Registers thread 0.
+  uint32_t Clock0 = D.threadClockForTest(0).get(0);
+  replay(TraceBuilder().rel(0, 1).take());
+  EXPECT_EQ(D.threadClockForTest(0).get(0), Clock0 + 1);
+}
+
+TEST_F(PacerSamplingTest, VolatileConcurrentWritesProduceTopVersionEpoch) {
+  replay(TraceBuilder().fork(0, 1).fork(0, 2).take());
+  // t1's volatile write installs t1's clock (version epoch v@1); t2's
+  // concurrent volatile write joins into it: no single thread's version
+  // describes the result.
+  replay(TraceBuilder().volWrite(1, 3).take());
+  EXPECT_FALSE(D.volatileVersionEpochForTest(3).isTop());
+  EXPECT_EQ(D.volatileVersionEpochForTest(3).tid(), 1u);
+  replay(TraceBuilder().volWrite(2, 3).take());
+  EXPECT_TRUE(D.volatileVersionEpochForTest(3).isTop());
+}
+
+TEST_F(PacerSamplingTest, VolatileRedundantWriteStaysShallow) {
+  // Same thread writes the volatile twice: the second write's join is
+  // subsumed (version epoch matches), a shallow copy.
+  replay(TraceBuilder().fork(0, 1).volWrite(1, 3).take());
+  DetectorStats Before = D.stats();
+  replay(TraceBuilder().volWrite(1, 3).take());
+  const DetectorStats &After = D.stats();
+  EXPECT_EQ(After.FastJoinsNonSampling - Before.FastJoinsNonSampling, 1u);
+  EXPECT_EQ(After.ShallowCopiesNonSampling - Before.ShallowCopiesNonSampling,
+            1u);
+}
+
+TEST_F(PacerSamplingTest, VolatileReadAfterTopUsesSlowJoin) {
+  replay(TraceBuilder()
+             .fork(0, 1)
+             .fork(0, 2)
+             .volWrite(1, 3)
+             .volWrite(2, 3)
+             .take());
+  ASSERT_TRUE(D.volatileVersionEpochForTest(3).isTop());
+  DetectorStats Before = D.stats();
+  replay(TraceBuilder().volRead(0, 3).take());
+  const DetectorStats &After = D.stats();
+  EXPECT_EQ(After.SlowJoinsNonSampling - Before.SlowJoinsNonSampling, 1u)
+      << "top version epoch can never prove redundancy";
+}
+
+TEST_F(PacerSamplingTest, VersionFastJoinsDisabledAblation) {
+  PacerConfig Config;
+  Config.UseVersionFastJoins = false;
+  CollectingSink Sink2;
+  PacerDetector NoVersions(Sink2, Config);
+  replayInto(NoVersions, TraceBuilder()
+                             .fork(0, 1)
+                             .acq(1, 1)
+                             .rel(1, 1)
+                             .acq(1, 1)
+                             .rel(1, 1)
+                             .take());
+  EXPECT_EQ(NoVersions.stats().FastJoinsNonSampling, 0u);
+  EXPECT_GT(NoVersions.stats().SlowJoinsNonSampling, 0u);
+}
+
+TEST_F(PacerSamplingTest, ClockSharingDisabledAblation) {
+  PacerConfig Config;
+  Config.UseClockSharing = false;
+  CollectingSink Sink2;
+  PacerDetector NoSharing(Sink2, Config);
+  replayInto(NoSharing, TraceBuilder().acq(0, 1).rel(0, 1).take());
+  EXPECT_EQ(NoSharing.stats().ShallowCopiesNonSampling, 0u);
+  EXPECT_EQ(NoSharing.stats().DeepCopiesNonSampling, 1u);
+}
+
+TEST_F(PacerSamplingTest, SharedClockPayloadCountedOnceInSpace) {
+  // Sharing must make lock metadata nearly free in non-sampling periods.
+  PacerConfig NoSharingConfig;
+  NoSharingConfig.UseClockSharing = false;
+  CollectingSink SinkA, SinkB;
+  PacerDetector Sharing(SinkA);
+  PacerDetector NoSharing(SinkB, NoSharingConfig);
+  // Give the thread a wide clock so payload size dominates.
+  Trace Setup = TraceBuilder().fork(0, 40).take();
+  Trace Locks;
+  for (LockId Lock = 0; Lock < 32; ++Lock) {
+    Locks.push_back({ActionKind::Acquire, 40, Lock, InvalidId});
+    Locks.push_back({ActionKind::Release, 40, Lock, InvalidId});
+  }
+  replayInto(Sharing, Setup);
+  replayInto(Sharing, Locks);
+  replayInto(NoSharing, Setup);
+  replayInto(NoSharing, Locks);
+  EXPECT_LT(Sharing.liveMetadataBytes(), NoSharing.liveMetadataBytes());
+}
+
+TEST_F(PacerSamplingTest, ForkAndJoinPropagateVersions) {
+  D.beginSamplingPeriod();
+  replay(TraceBuilder().fork(0, 1).take());
+  // Child received version of parent's clock.
+  EXPECT_GE(D.threadVersionsForTest(1).get(0), 1u);
+  replay(TraceBuilder().join(0, 1).take());
+  EXPECT_GE(D.threadVersionsForTest(0).get(1), 1u);
+}
+
+} // namespace

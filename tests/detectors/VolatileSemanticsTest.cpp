@@ -1,0 +1,214 @@
+//===- tests/detectors/VolatileSemanticsTest.cpp --------------------------==//
+//
+// Appendix C semantics: a volatile read is like a lock acquire and a
+// volatile write like a release, except the write performs a *join* into
+// the volatile's clock (not a copy) and a read need not be followed by a
+// write on the same thread. Exercised across GENERIC, FastTrack, and
+// PACER, including PACER's Algorithm 16 / Table 7 Rule 7-9 distinctions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detectors/FastTrackDetector.h"
+#include "detectors/GenericDetector.h"
+#include "detectors/PacerDetector.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+using namespace pacer::test;
+
+namespace {
+
+/// Volatile writes JOIN into the volatile's clock: both writers'
+/// histories accumulate, unlike a lock release which overwrites. A reader
+/// after two writers is ordered after BOTH.
+Trace twoPublishersOneReader() {
+  return TraceBuilder()
+      .fork(0, 1)
+      .fork(0, 2)
+      .fork(0, 3)
+      .write(1, 5, 51) // t1's payload.
+      .volWrite(1, 9)
+      .write(2, 6, 62) // t2's payload.
+      .volWrite(2, 9)  // Joins: volatile now carries t1 AND t2.
+      .volRead(3, 9)
+      .read(3, 5, 53) // Ordered after t1's write via the join.
+      .read(3, 6, 63) // Ordered after t2's write too.
+      .take();
+}
+
+template <typename DetectorT> void expectNoRace(const Trace &T) {
+  CollectingSink Sink;
+  DetectorT D(Sink);
+  replayInto(D, T);
+  EXPECT_TRUE(Sink.empty()) << "first: "
+                            << (Sink.Reports.empty()
+                                    ? ""
+                                    : Sink.Reports[0].str());
+}
+
+TEST(VolatileSemanticsTest, WriteJoinsAccumulateAcrossWriters_Generic) {
+  expectNoRace<GenericDetector>(twoPublishersOneReader());
+}
+
+TEST(VolatileSemanticsTest, WriteJoinsAccumulateAcrossWriters_FastTrack) {
+  expectNoRace<FastTrackDetector>(twoPublishersOneReader());
+}
+
+TEST(VolatileSemanticsTest, WriteJoinsAccumulateAcrossWriters_PacerFull) {
+  CollectingSink Sink;
+  PacerDetector D(Sink);
+  D.beginSamplingPeriod();
+  replayInto(D, twoPublishersOneReader());
+  EXPECT_TRUE(Sink.empty());
+}
+
+TEST(VolatileSemanticsTest, WriteJoinsAccumulateAcrossWriters_PacerTimeless) {
+  // The same ordering must hold when everything happens in a non-sampling
+  // period: joins still execute, only increments stop (Lemma 9).
+  // Plant a sampled write first so a missing edge would be detected.
+  CollectingSink Sink;
+  PacerDetector D(Sink);
+  D.beginSamplingPeriod();
+  replayInto(D, TraceBuilder()
+                    .fork(0, 1)
+                    .fork(0, 2)
+                    .fork(0, 3)
+                    .write(1, 5, 51)
+                    .take());
+  D.endSamplingPeriod();
+  replayInto(D, TraceBuilder()
+                    .volWrite(1, 9)
+                    .volWrite(2, 9)
+                    .volRead(3, 9)
+                    .write(3, 5, 53) // Ordered: discards, no report.
+                    .take());
+  EXPECT_TRUE(Sink.empty());
+  EXPECT_EQ(D.trackedVariableCount(), 0u);
+}
+
+TEST(VolatileSemanticsTest, ReadWithoutWriteCreatesNoEdge) {
+  // A volatile read before any write carries no history: no ordering.
+  CollectingSink Sink;
+  GenericDetector D(Sink);
+  replayInto(D, TraceBuilder()
+                    .fork(0, 1)
+                    .volRead(1, 9)
+                    .write(1, 5, 51)
+                    .write(0, 5, 50)
+                    .take());
+  EXPECT_EQ(Sink.size(), 1u);
+}
+
+TEST(VolatileSemanticsTest, WriterNotOrderedAfterReader) {
+  // Edges flow write -> read only: a reader's subsequent accesses do not
+  // order a later writer's.
+  CollectingSink Sink;
+  GenericDetector D(Sink);
+  replayInto(D, TraceBuilder()
+                    .fork(0, 1)
+                    .fork(0, 2)
+                    .volWrite(1, 9)
+                    .volRead(2, 9)
+                    .write(2, 5, 52) // After its read.
+                    .write(1, 5, 51) // Writer again: NOT ordered after t2.
+                    .take());
+  EXPECT_EQ(Sink.size(), 1u) << "reader-then-writer accesses race";
+}
+
+TEST(VolatileSemanticsTest, PacerVolatileSubsumedWriteKeepsVersionEpoch) {
+  // Table 7 Rule 7/8: a write whose clock subsumes the volatile's leaves
+  // a valid version epoch (a copy), enabling later fast joins.
+  CollectingSink Sink;
+  PacerDetector D(Sink);
+  replayInto(D, TraceBuilder().fork(0, 1).volWrite(1, 9).take());
+  VersionEpoch First = D.volatileVersionEpochForTest(9);
+  EXPECT_FALSE(First.isTop());
+  EXPECT_EQ(First.tid(), 1u);
+  // Same writer again: still subsumed (nothing changed), epoch stays.
+  replayInto(D, TraceBuilder().volWrite(1, 9).take());
+  EXPECT_FALSE(D.volatileVersionEpochForTest(9).isTop());
+}
+
+TEST(VolatileSemanticsTest, PacerOrderedSecondWriterKeepsVersionEpoch) {
+  // If the second writer is ordered AFTER the first (read the volatile
+  // first), its clock subsumes the volatile's: Rule 8 applies, the epoch
+  // switches to the second writer instead of going to top.
+  CollectingSink Sink;
+  PacerDetector D(Sink);
+  replayInto(D, TraceBuilder()
+                    .fork(0, 1)
+                    .fork(0, 2)
+                    .volWrite(1, 9)
+                    .volRead(2, 9) // t2 now subsumes the volatile.
+                    .volWrite(2, 9)
+                    .take());
+  VersionEpoch VEpoch = D.volatileVersionEpochForTest(9);
+  EXPECT_FALSE(VEpoch.isTop());
+  EXPECT_EQ(VEpoch.tid(), 2u);
+}
+
+TEST(VolatileSemanticsTest, PacerConcurrentWritersGoToTop) {
+  // Rule 9: concurrent writers leave a clock that no single thread's
+  // version describes.
+  CollectingSink Sink;
+  PacerDetector D(Sink);
+  replayInto(D, TraceBuilder()
+                    .fork(0, 1)
+                    .fork(0, 2)
+                    .volWrite(1, 9)
+                    .volWrite(2, 9)
+                    .take());
+  EXPECT_TRUE(D.volatileVersionEpochForTest(9).isTop());
+  // A third writer ordered after both (reads first) restores an epoch.
+  replayInto(D, TraceBuilder().volRead(0, 9).volWrite(0, 9).take());
+  EXPECT_FALSE(D.volatileVersionEpochForTest(9).isTop());
+  EXPECT_EQ(D.volatileVersionEpochForTest(9).tid(), 0u);
+}
+
+TEST(VolatileSemanticsTest, VolatileChainTransitivity) {
+  // x -> volatile A -> y -> volatile B -> z ordering chain across three
+  // threads; all detectors agree there is no race.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .write(0, 5, 50)
+                .volWrite(0, 1)
+                .volRead(1, 1)
+                .write(1, 5, 51)
+                .volWrite(1, 2)
+                .volRead(2, 2)
+                .write(2, 5, 52)
+                .take();
+  expectNoRace<GenericDetector>(T);
+  expectNoRace<FastTrackDetector>(T);
+  CollectingSink Sink;
+  PacerDetector Pacer(Sink);
+  Pacer.beginSamplingPeriod();
+  replayInto(Pacer, T);
+  EXPECT_TRUE(Sink.empty());
+}
+
+TEST(VolatileSemanticsTest, VolatilesNeverRaceThemselves) {
+  // Synchronization objects are always ordered: concurrent volatile
+  // accesses must produce no reports in any detector.
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .fork(0, 2)
+                .volWrite(1, 9)
+                .volWrite(2, 9)
+                .volRead(1, 9)
+                .volRead(2, 9)
+                .take();
+  expectNoRace<GenericDetector>(T);
+  expectNoRace<FastTrackDetector>(T);
+  CollectingSink Sink;
+  PacerDetector Pacer(Sink);
+  Pacer.beginSamplingPeriod();
+  replayInto(Pacer, T);
+  EXPECT_TRUE(Sink.empty());
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+//===- tests/harness/DetectionExperimentTest.cpp --------------------------==//
+
+#include "harness/DetectionExperiment.h"
+
+#include "sim/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+
+namespace {
+
+TEST(NumTrialsTest, PaperFormulaShape) {
+  // min(max(ceil(S/r), Lo), Hi): the paper's formula with S=10, Lo=50,
+  // Hi=500 gives 500 at 1%, 334 at 3%, 50 at 100%.
+  EXPECT_EQ(numTrialsForRate(0.01, 10.0, 50, 500), 500u);
+  EXPECT_EQ(numTrialsForRate(0.03, 10.0, 50, 500), 334u);
+  EXPECT_EQ(numTrialsForRate(1.0, 10.0, 50, 500), 50u);
+  // The simulator defaults.
+  EXPECT_EQ(numTrialsForRate(0.01), 100u);
+  EXPECT_EQ(numTrialsForRate(1.0), 20u);
+  EXPECT_EQ(numTrialsForRate(0.0), 20u);
+}
+
+class DetectionExperimentTest : public ::testing::Test {
+protected:
+  static const GroundTruth &truth() {
+    static CompiledWorkload Workload(tinyTestWorkload());
+    static GroundTruth Truth = computeGroundTruth(Workload, 20, 1000);
+    return Truth;
+  }
+  static const CompiledWorkload &workload() {
+    static CompiledWorkload Workload(tinyTestWorkload());
+    return Workload;
+  }
+};
+
+TEST_F(DetectionExperimentTest, GroundTruthFindsCertainRaces) {
+  const GroundTruth &Truth = truth();
+  EXPECT_EQ(Truth.FullTrials, 20u);
+  // The tiny workload plants 4 certain races; they must be evaluation
+  // races (seen in at least half the trials).
+  EXPECT_GE(Truth.EvaluationRaces.size(), 3u);
+  EXPECT_GE(Truth.AllRaces.size(), Truth.EvaluationRaces.size());
+  for (const RaceOccurrence &Race : Truth.EvaluationRaces) {
+    EXPECT_GE(Race.TrialsSeen * 2, Truth.FullTrials);
+    EXPECT_GT(Race.AvgDynamicPerTrial, 0.0);
+  }
+}
+
+TEST_F(DetectionExperimentTest, RacesSeenAtLeastIsMonotone) {
+  const GroundTruth &Truth = truth();
+  EXPECT_GE(Truth.racesSeenAtLeast(1), Truth.racesSeenAtLeast(5));
+  EXPECT_GE(Truth.racesSeenAtLeast(5), Truth.racesSeenAtLeast(10));
+  EXPECT_EQ(Truth.racesSeenAtLeast(1), Truth.AllRaces.size());
+}
+
+TEST_F(DetectionExperimentTest, FullRateDetectionNearOne) {
+  DetectionPoint Point =
+      measureDetection(workload(), truth(), pacerSetup(1.0), 10, 2000);
+  EXPECT_GT(Point.DistinctDetectionRate, 0.8);
+  EXPECT_GT(Point.DynamicDetectionRate, 0.6);
+  EXPECT_EQ(Point.PerRaceDistinctRate.size(),
+            truth().EvaluationRaces.size());
+  EXPECT_NEAR(Point.EffectiveRateMean, 1.0, 1e-9);
+}
+
+TEST_F(DetectionExperimentTest, ZeroRateDetectsNothing) {
+  DetectionPoint Point =
+      measureDetection(workload(), truth(), pacerSetup(0.0), 5, 3000);
+  EXPECT_DOUBLE_EQ(Point.DistinctDetectionRate, 0.0);
+  EXPECT_DOUBLE_EQ(Point.DynamicDetectionRate, 0.0);
+  EXPECT_EQ(Point.EvaluationRacesMissed,
+            static_cast<uint32_t>(truth().EvaluationRaces.size()));
+}
+
+TEST_F(DetectionExperimentTest, MidRateDetectsSomeRaces) {
+  DetectionPoint Point =
+      measureDetection(workload(), truth(), pacerSetup(0.5), 20, 4000);
+  EXPECT_GT(Point.DistinctDetectionRate, 0.15);
+  EXPECT_LT(Point.DistinctDetectionRate, 1.1);
+}
+
+} // namespace

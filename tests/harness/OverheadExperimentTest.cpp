@@ -1,0 +1,51 @@
+//===- tests/harness/OverheadExperimentTest.cpp ---------------------------==//
+
+#include "harness/OverheadExperiment.h"
+
+#include "sim/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+
+namespace {
+
+TEST(OverheadExperimentTest, Figure7ConfigLadder) {
+  std::vector<OverheadConfig> Configs = figure7Configs({0.01, 0.03});
+  ASSERT_EQ(Configs.size(), 5u);
+  EXPECT_EQ(Configs[0].Label, "base");
+  EXPECT_EQ(Configs[0].Setup.Kind, DetectorKind::Null);
+  EXPECT_EQ(Configs[1].Label, "OM + sync ops, r=0%");
+  EXPECT_FALSE(Configs[1].Setup.Pacer.InstrumentReadsWrites);
+  EXPECT_EQ(Configs[2].Label, "Pacer, r=0%");
+  EXPECT_TRUE(Configs[2].Setup.Pacer.InstrumentReadsWrites);
+  EXPECT_EQ(Configs[3].Label, "Pacer, r=1%");
+  EXPECT_DOUBLE_EQ(Configs[3].Setup.SamplingRate, 0.01);
+  EXPECT_EQ(Configs[4].Label, "Pacer, r=3%");
+}
+
+TEST(OverheadExperimentTest, MeasuresAllConfigs) {
+  CompiledWorkload Workload(tinyTestWorkload());
+  std::vector<OverheadResult> Results = measureOverheads(
+      Workload, figure7Configs({0.05}), /*Trials=*/3, /*BaseSeed=*/1);
+  ASSERT_EQ(Results.size(), 4u);
+  EXPECT_DOUBLE_EQ(Results[0].Slowdown, 1.0) << "baseline normalizes to 1";
+  for (const OverheadResult &Result : Results) {
+    EXPECT_GT(Result.MedianSeconds, 0.0) << Result.Label;
+    EXPECT_GT(Result.EventsPerSecond, 0.0);
+    EXPECT_GT(Result.Slowdown, 0.0);
+  }
+}
+
+TEST(OverheadExperimentTest, FullSamplingCostsMoreThanNone) {
+  // Timing is noisy; use a medium workload and compare the extremes,
+  // which differ by an order of magnitude.
+  CompiledWorkload Workload(mediumTestWorkload());
+  std::vector<OverheadConfig> Configs{{"r0", pacerSetup(0.0)},
+                                      {"r100", pacerSetup(1.0)}};
+  std::vector<OverheadResult> Results =
+      measureOverheads(Workload, Configs, 3, 7);
+  EXPECT_GT(Results[1].MedianSeconds, Results[0].MedianSeconds);
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+//===- tests/harness/SpaceExperimentTest.cpp ------------------------------==//
+
+#include "harness/SpaceExperiment.h"
+
+#include "sim/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+
+namespace {
+
+TEST(SpaceExperimentTest, SeriesShapeAndNormalizedTime) {
+  CompiledWorkload Workload(tinyTestWorkload());
+  SpaceSeries Series = measureSpace(Workload, pacerSetup(0.1), "pacer-10",
+                                    /*Probes=*/16, /*Seed=*/1,
+                                    /*IncludeHeaderWords=*/true);
+  EXPECT_EQ(Series.Label, "pacer-10");
+  ASSERT_GE(Series.NormalizedTime.size(), 16u);
+  EXPECT_GE(Series.NormalizedTime.front(), 0.0);
+  EXPECT_LE(Series.NormalizedTime.back(), 1.0);
+  for (size_t I = 1; I < Series.NormalizedTime.size(); ++I)
+    EXPECT_GT(Series.NormalizedTime[I], Series.NormalizedTime[I - 1]);
+  EXPECT_GT(Series.peakBytes(), 0u);
+  EXPECT_GT(Series.meanBytes(), 0.0);
+}
+
+TEST(SpaceExperimentTest, HeaderWordsChargeOnlyWhenEnabled) {
+  CompiledWorkload Workload(tinyTestWorkload());
+  SpaceSeries Without = measureSpace(Workload, nullSetup(), "base", 4, 1,
+                                     /*IncludeHeaderWords=*/false);
+  SpaceSeries With = measureSpace(Workload, nullSetup(), "om", 4, 1,
+                                  /*IncludeHeaderWords=*/true);
+  ASSERT_EQ(Without.Bytes.size(), With.Bytes.size());
+  size_t Expected = Workload.objectCount() * 2 * sizeof(void *);
+  for (size_t I = 0; I != With.Bytes.size(); ++I)
+    EXPECT_EQ(With.Bytes[I] - Without.Bytes[I], Expected);
+}
+
+TEST(SpaceExperimentTest, SamplingRateOrdersSpace) {
+  // More sampling -> more retained metadata. Compare r=0 against r=100%.
+  CompiledWorkload Workload(mediumTestWorkload());
+  SpaceSeries R0 = measureSpace(Workload, pacerSetup(0.0), "r0", 8, 3, true);
+  SpaceSeries R100 =
+      measureSpace(Workload, pacerSetup(1.0), "r100", 8, 3, true);
+  EXPECT_LT(R0.peakBytes(), R100.peakBytes());
+  EXPECT_LT(R0.meanBytes(), R100.meanBytes());
+}
+
+TEST(SpaceExperimentTest, LiteRaceSpaceComparableToFullTracking) {
+  // Figure 10's point: LiteRace at ~1% effective rate uses nearly the
+  // space of 100% tracking, whereas PACER at a low rate stays near the
+  // OM-only floor.
+  CompiledWorkload Workload(mediumTestWorkload());
+  SpaceSeries LiteRace =
+      measureSpace(Workload, literaceSetup(), "literace", 8, 3, true);
+  SpaceSeries Full =
+      measureSpace(Workload, fastTrackSetup(), "fasttrack", 8, 3, true);
+  SpaceSeries PacerLow =
+      measureSpace(Workload, pacerSetup(0.05), "pacer-5", 8, 3, true);
+  EXPECT_GT(LiteRace.meanBytes(), 0.6 * Full.meanBytes());
+  EXPECT_LT(PacerLow.meanBytes(), 0.7 * LiteRace.meanBytes());
+}
+
+} // namespace

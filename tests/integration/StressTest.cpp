@@ -1,0 +1,182 @@
+//===- tests/integration/StressTest.cpp -----------------------------------==//
+//
+// Robustness at the edges: many threads (vector-clock growth), sparse id
+// spaces, empty and single-thread traces, deep lock nesting, long
+// fast-path-only runs, and repeated sampling-period churn.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detectors/FastTrackDetector.h"
+#include "detectors/GenericDetector.h"
+#include "detectors/PacerDetector.h"
+#include "runtime/RaceLog.h"
+#include "sim/TraceGenerator.h"
+#include "sim/Workloads.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+using namespace pacer::test;
+
+namespace {
+
+TEST(StressTest, EmptyTraceIsHarmless) {
+  CollectingSink Sink;
+  PacerDetector Pacer(Sink);
+  replayInto(Pacer, Trace{});
+  EXPECT_TRUE(Sink.empty());
+  EXPECT_EQ(Pacer.liveMetadataBytes(), 0u);
+}
+
+TEST(StressTest, SingleThreadNeverRaces) {
+  Trace T;
+  for (VarId Var = 0; Var < 50; ++Var) {
+    T.push_back({ActionKind::Write, 0, Var, 1});
+    T.push_back({ActionKind::Read, 0, Var, 2});
+    T.push_back({ActionKind::Write, 0, Var, 3});
+  }
+  CollectingSink GenericSink, PacerSink;
+  GenericDetector Generic(GenericSink);
+  PacerDetector Pacer(PacerSink);
+  Pacer.beginSamplingPeriod();
+  replayInto(Generic, T);
+  replayInto(Pacer, T);
+  EXPECT_TRUE(GenericSink.empty());
+  EXPECT_TRUE(PacerSink.empty());
+}
+
+TEST(StressTest, FiveHundredThreadsChainedForkJoin) {
+  // A fork chain: each thread forks the next; clocks grow to 500 wide.
+  constexpr ThreadId N = 500;
+  Trace T;
+  for (ThreadId Tid = 0; Tid + 1 < N; ++Tid) {
+    T.push_back({ActionKind::Write, Tid, /*Var=*/7, 1});
+    T.push_back({ActionKind::Fork, Tid, Tid + 1, InvalidId});
+  }
+  T.push_back({ActionKind::Write, N - 1, 7, 2});
+  CollectingSink Sink;
+  FastTrackDetector D(Sink);
+  replayInto(D, T);
+  EXPECT_TRUE(Sink.empty()) << "fork chain orders every write";
+  EXPECT_GT(D.liveMetadataBytes(), N * sizeof(uint32_t));
+}
+
+TEST(StressTest, WideForkFanOutAllRace) {
+  // One parent forks 200 children; every child writes the same variable:
+  // each child's first write races with the most recent prior write.
+  constexpr ThreadId N = 200;
+  Trace T;
+  for (ThreadId Child = 1; Child <= N; ++Child)
+    T.push_back({ActionKind::Fork, 0, Child, InvalidId});
+  for (ThreadId Child = 1; Child <= N; ++Child)
+    T.push_back({ActionKind::Write, Child, 7, 100 + Child});
+  CollectingSink Sink;
+  FastTrackDetector D(Sink);
+  replayInto(D, T);
+  EXPECT_EQ(Sink.size(), N - 1) << "each write races with its predecessor";
+}
+
+TEST(StressTest, SparseIdsAreHandled) {
+  // Large, gappy variable / lock / volatile / site ids must not confuse
+  // dense tables.
+  CollectingSink Sink;
+  PacerDetector D(Sink);
+  D.beginSamplingPeriod();
+  replayInto(D, TraceBuilder()
+                    .fork(0, 1)
+                    .acq(0, 1000)
+                    .write(0, 5000000, 77770)
+                    .rel(0, 1000)
+                    .volWrite(0, 900)
+                    .acq(1, 1000)
+                    .write(1, 5000000, 77771)
+                    .rel(1, 1000)
+                    .take());
+  EXPECT_TRUE(Sink.empty()) << "lock-ordered";
+  EXPECT_EQ(D.trackedVariableCount(), 1u);
+}
+
+TEST(StressTest, DeepLockNesting) {
+  // 64 nested locks, ascending: balanced and race free.
+  Trace T = TraceBuilder().fork(0, 1).take();
+  for (LockId Lock = 0; Lock < 64; ++Lock)
+    T.push_back({ActionKind::Acquire, 1, Lock, InvalidId});
+  T.push_back({ActionKind::Write, 1, 7, 1});
+  for (LockId Lock = 64; Lock-- > 0;)
+    T.push_back({ActionKind::Release, 1, Lock, InvalidId});
+  for (LockId Lock = 0; Lock < 64; ++Lock)
+    T.push_back({ActionKind::Acquire, 0, Lock, InvalidId});
+  T.push_back({ActionKind::Write, 0, 7, 2});
+  for (LockId Lock = 64; Lock-- > 0;)
+    T.push_back({ActionKind::Release, 0, Lock, InvalidId});
+  CollectingSink Sink;
+  GenericDetector D(Sink);
+  replayInto(D, T);
+  EXPECT_TRUE(Sink.empty());
+}
+
+TEST(StressTest, LongFastPathRunStaysEmpty) {
+  // A million non-sampled accesses allocate nothing and report nothing.
+  CollectingSink Sink;
+  PacerDetector D(Sink);
+  Action Read{ActionKind::Read, 0, 42, 1};
+  Action Write{ActionKind::Write, 0, 43, 2};
+  Runtime RT(D);
+  for (int I = 0; I < 500000; ++I) {
+    RT.dispatch(Read);
+    RT.dispatch(Write);
+  }
+  EXPECT_EQ(D.trackedVariableCount(), 0u);
+  EXPECT_EQ(D.stats().ReadFastNonSampling, 500000u);
+  EXPECT_EQ(D.stats().WriteFastNonSampling, 500000u);
+}
+
+TEST(StressTest, SamplingPeriodChurn) {
+  // Thousands of begin/end cycles with sparse work in between: clock
+  // increments accumulate but invariants and reports stay sane.
+  CollectingSink Sink;
+  PacerDetector D(Sink);
+  Runtime RT(D);
+  RT.dispatch({ActionKind::Fork, 0, 1, InvalidId});
+  for (int I = 0; I < 2000; ++I) {
+    D.beginSamplingPeriod();
+    RT.dispatch({ActionKind::Write, 0, 7, 1});
+    D.endSamplingPeriod();
+    RT.dispatch({ActionKind::Read, 1, 7, 2});
+  }
+  // Every sampled write races with the following non-sampled read; the
+  // read discards nothing (it races, W stays). Reports accumulate.
+  EXPECT_GT(Sink.size(), 1500u);
+  EXPECT_EQ(D.threadClockForTest(0).get(0), 1u + 2000u)
+      << "one increment per sbegin";
+}
+
+TEST(StressTest, HsqldbFullScaleTraceGeneratesAndAnalyses) {
+  // The big one: 403 threads at full calibrated scale.
+  CompiledWorkload Workload(hsqldbModel());
+  Trace T = generateTrace(Workload, 1);
+  EXPECT_EQ(validateTrace(T, Workload.totalThreads()), "");
+  RaceLog Log;
+  PacerDetector D(Log);
+  D.beginSamplingPeriod();
+  replayInto(D, T);
+  EXPECT_GE(Log.distinctCount(), 20u);
+}
+
+TEST(StressTest, GenericManyThreadsMatchesFastTrackOnRaceFreedom) {
+  WorkloadSpec Spec = scaleWorkload(hsqldbModel(), 0.05);
+  CompiledWorkload Workload(Spec);
+  Trace T = generateTrace(Workload, 5);
+  CollectingSink GenericSink, FastTrackSink;
+  GenericDetector Generic(GenericSink);
+  FastTrackDetector FastTrack(FastTrackSink);
+  replayInto(Generic, T);
+  replayInto(FastTrack, T);
+  EXPECT_EQ(GenericSink.empty(), FastTrackSink.empty());
+  for (RaceKey Key : FastTrackSink.keys())
+    EXPECT_TRUE(GenericSink.keys().count(Key));
+}
+
+} // namespace

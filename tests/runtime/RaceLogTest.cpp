@@ -1,0 +1,71 @@
+//===- tests/runtime/RaceLogTest.cpp --------------------------------------==//
+
+#include "runtime/RaceLog.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+
+static RaceReport report(SiteId First, SiteId Second) {
+  RaceReport Report;
+  Report.Var = 1;
+  Report.FirstSite = First;
+  Report.SecondSite = Second;
+  return Report;
+}
+
+TEST(RaceLogTest, CountsDynamicRaces) {
+  RaceLog Log;
+  Log.onRace(report(1, 2));
+  Log.onRace(report(1, 2));
+  Log.onRace(report(3, 4));
+  EXPECT_EQ(Log.dynamicCount(), 3u);
+  EXPECT_EQ(Log.distinctCount(), 2u);
+  EXPECT_EQ(Log.dynamicCount(RaceKey{1, 2}), 2u);
+  EXPECT_EQ(Log.dynamicCount(RaceKey{3, 4}), 1u);
+  EXPECT_EQ(Log.dynamicCount(RaceKey{9, 9}), 0u);
+}
+
+TEST(RaceLogTest, NormalizesSiteOrder) {
+  RaceLog Log;
+  Log.onRace(report(5, 2));
+  Log.onRace(report(2, 5));
+  EXPECT_EQ(Log.distinctCount(), 1u);
+  EXPECT_EQ(Log.dynamicCount(RaceKey{2, 5}), 2u);
+  EXPECT_TRUE(Log.saw(RaceKey{2, 5}));
+  EXPECT_FALSE(Log.saw(RaceKey{5, 2})) << "keys are stored normalized";
+}
+
+TEST(RaceLogTest, DistinctKeysSorted) {
+  RaceLog Log;
+  Log.onRace(report(9, 9));
+  Log.onRace(report(1, 3));
+  Log.onRace(report(1, 2));
+  std::vector<RaceKey> Keys = Log.distinctKeys();
+  ASSERT_EQ(Keys.size(), 3u);
+  EXPECT_TRUE(Keys[0] < Keys[1]);
+  EXPECT_TRUE(Keys[1] < Keys[2]);
+}
+
+TEST(RaceLogTest, KeepsSampleReports) {
+  RaceLog Log;
+  for (int I = 0; I < 100; ++I)
+    Log.onRace(report(1, 2));
+  EXPECT_LE(Log.sampleReports().size(), 32u);
+  EXPECT_FALSE(Log.sampleReports().empty());
+}
+
+TEST(RaceLogTest, ClearResets) {
+  RaceLog Log;
+  Log.onRace(report(1, 2));
+  Log.clear();
+  EXPECT_EQ(Log.dynamicCount(), 0u);
+  EXPECT_EQ(Log.distinctCount(), 0u);
+  EXPECT_TRUE(Log.sampleReports().empty());
+}
+
+TEST(NormalizedKeyTest, OrdersPair) {
+  RaceKey Key = normalizedKey(report(7, 3));
+  EXPECT_EQ(Key.FirstSite, 3u);
+  EXPECT_EQ(Key.SecondSite, 7u);
+}

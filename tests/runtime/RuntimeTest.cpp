@@ -1,0 +1,129 @@
+//===- tests/runtime/RuntimeTest.cpp --------------------------------------==//
+
+#include "runtime/Runtime.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace pacer;
+using namespace pacer::test;
+
+namespace {
+
+/// Detector that records every hook invocation as a string.
+class RecordingDetector final : public Detector {
+public:
+  explicit RecordingDetector(RaceSink &Sink) : Detector(Sink) {}
+  const char *name() const override { return "recording"; }
+
+  void fork(ThreadId Parent, ThreadId Child) override {
+    log("fork", Parent, Child);
+  }
+  void join(ThreadId Parent, ThreadId Child) override {
+    log("join", Parent, Child);
+  }
+  void acquire(ThreadId Tid, LockId Lock) override {
+    log("acq", Tid, Lock);
+  }
+  void release(ThreadId Tid, LockId Lock) override {
+    log("rel", Tid, Lock);
+  }
+  void volatileRead(ThreadId Tid, VolatileId Vol) override {
+    log("vrd", Tid, Vol);
+  }
+  void volatileWrite(ThreadId Tid, VolatileId Vol) override {
+    log("vwr", Tid, Vol);
+  }
+  void read(ThreadId Tid, VarId Var, SiteId Site) override {
+    log("rd", Tid, Var);
+  }
+  void write(ThreadId Tid, VarId Var, SiteId Site) override {
+    log("wr", Tid, Var);
+  }
+  size_t liveMetadataBytes() const override { return 0; }
+
+  std::vector<std::string> Calls;
+
+private:
+  void log(const char *Name, uint32_t A, uint32_t B) {
+    Calls.push_back(std::string(Name) + "(" + std::to_string(A) + "," +
+                    std::to_string(B) + ")");
+  }
+};
+
+TEST(RuntimeTest, DispatchRoutesEveryActionKind) {
+  NullRaceSink Sink;
+  RecordingDetector D(Sink);
+  Runtime RT(D);
+  RT.replay(TraceBuilder()
+                .fork(0, 1)
+                .acq(1, 7)
+                .read(1, 3)
+                .write(1, 3)
+                .rel(1, 7)
+                .volRead(1, 2)
+                .volWrite(1, 2)
+                .join(0, 1)
+                .take());
+  std::vector<std::string> Expected{"fork(0,1)", "acq(1,7)", "rd(1,3)",
+                                    "wr(1,3)",   "rel(1,7)", "vrd(1,2)",
+                                    "vwr(1,2)",  "join(0,1)"};
+  EXPECT_EQ(D.Calls, Expected);
+}
+
+TEST(RuntimeTest, ThreadExitNotDispatched) {
+  NullRaceSink Sink;
+  RecordingDetector D(Sink);
+  Runtime RT(D);
+  Trace T;
+  T.push_back({ActionKind::ThreadExit, 0, InvalidId, InvalidId});
+  RT.replay(T);
+  EXPECT_TRUE(D.Calls.empty());
+}
+
+TEST(RuntimeTest, ControllerDrivesSamplingTransitions) {
+  NullRaceSink Sink;
+  RecordingDetector D(Sink);
+  SamplingConfig Config;
+  Config.TargetRate = 1.0;
+  Config.PeriodBytes = 40; // Boundary at every action.
+  SamplingController Controller(Config, 1);
+  Runtime RT(D, &Controller);
+  RT.replay(TraceBuilder().read(0, 1).read(0, 1).read(0, 1).take());
+  EXPECT_GE(Controller.boundaryCount(), 2u);
+  EXPECT_GE(Controller.samplingPeriods(), 3u);
+}
+
+TEST(RuntimeTest, StartIsIdempotent) {
+  NullRaceSink Sink;
+  RecordingDetector D(Sink);
+  SamplingConfig Config;
+  Config.TargetRate = 1.0;
+  SamplingController Controller(Config, 1);
+  Runtime RT(D, &Controller);
+  RT.start();
+  RT.start();
+  EXPECT_EQ(Controller.samplingPeriods(), 1u);
+}
+
+TEST(RuntimeTest, StepReturnsBoundaryFlag) {
+  NullRaceSink Sink;
+  RecordingDetector D(Sink);
+  SamplingConfig Config;
+  Config.TargetRate = 0.0;
+  Config.PeriodBytes = 80;
+  Config.BaseBytesPerEvent = 40;
+  SamplingController Controller(Config, 1);
+  Runtime RT(D, &Controller);
+  RT.start();
+  Action Read{ActionKind::Read, 0, 1, 1};
+  EXPECT_FALSE(RT.step(Read));
+  EXPECT_TRUE(RT.step(Read)) << "second 40-byte event fills the 80-byte "
+                                "nursery";
+}
+
+} // namespace

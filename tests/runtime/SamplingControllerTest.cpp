@@ -1,0 +1,170 @@
+//===- tests/runtime/SamplingControllerTest.cpp ---------------------------==//
+
+#include "runtime/SamplingController.h"
+
+#include "detectors/PacerDetector.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+
+namespace {
+
+/// Minimal detector that just tracks the sampling flag and period count.
+class FlagDetector final : public Detector {
+public:
+  explicit FlagDetector(RaceSink &Sink) : Detector(Sink) {}
+  const char *name() const override { return "flag"; }
+  void fork(ThreadId, ThreadId) override {}
+  void join(ThreadId, ThreadId) override {}
+  void acquire(ThreadId, LockId) override {}
+  void release(ThreadId, LockId) override {}
+  void volatileRead(ThreadId, VolatileId) override {}
+  void volatileWrite(ThreadId, VolatileId) override {}
+  void read(ThreadId, VarId, SiteId) override {}
+  void write(ThreadId, VarId, SiteId) override {}
+  size_t liveMetadataBytes() const override { return 0; }
+
+  void beginSamplingPeriod() override {
+    EXPECT_FALSE(Sampling);
+    Sampling = true;
+    ++Periods;
+  }
+  void endSamplingPeriod() override {
+    EXPECT_TRUE(Sampling);
+    Sampling = false;
+  }
+  bool isSampling() const override { return Sampling; }
+
+  bool Sampling = false;
+  uint64_t Periods = 0;
+};
+
+/// Feeds N synthetic access actions with sync ops interleaved.
+void feed(SamplingController &Controller, FlagDetector &D, uint64_t Events,
+          double SyncFraction = 0.03) {
+  uint64_t SyncEvery =
+      SyncFraction > 0 ? static_cast<uint64_t>(1.0 / SyncFraction) : 0;
+  for (uint64_t I = 0; I < Events; ++I) {
+    ActionKind Kind = (SyncEvery && I % SyncEvery == 0)
+                          ? ActionKind::Acquire
+                          : (I % 4 == 0 ? ActionKind::Write
+                                        : ActionKind::Read);
+    Controller.beforeAction(Kind, D);
+    EXPECT_EQ(D.Sampling, Controller.isSampling());
+  }
+}
+
+TEST(SamplingControllerTest, RateZeroNeverSamples) {
+  NullRaceSink Sink;
+  FlagDetector D(Sink);
+  SamplingConfig Config;
+  Config.TargetRate = 0.0;
+  SamplingController Controller(Config, 1);
+  Controller.start(D);
+  feed(Controller, D, 100000);
+  EXPECT_EQ(D.Periods, 0u);
+  EXPECT_DOUBLE_EQ(Controller.effectiveAccessRate(), 0.0);
+}
+
+TEST(SamplingControllerTest, RateOneAlwaysSamples) {
+  NullRaceSink Sink;
+  FlagDetector D(Sink);
+  SamplingConfig Config;
+  Config.TargetRate = 1.0;
+  Config.PeriodBytes = 4096;
+  SamplingController Controller(Config, 1);
+  Controller.start(D);
+  feed(Controller, D, 50000);
+  EXPECT_DOUBLE_EQ(Controller.effectiveAccessRate(), 1.0);
+  EXPECT_GT(Controller.boundaryCount(), 10u);
+  EXPECT_EQ(Controller.samplingPeriods(), Controller.boundaryCount() + 1)
+      << "every boundary re-enters sampling, plus the initial decision";
+}
+
+TEST(SamplingControllerTest, BoundariesFireAtNurseryCadence) {
+  NullRaceSink Sink;
+  FlagDetector D(Sink);
+  SamplingConfig Config;
+  Config.TargetRate = 0.0; // No metadata inflation.
+  Config.PeriodBytes = 4000;
+  Config.BaseBytesPerEvent = 40;
+  SamplingController Controller(Config, 1);
+  Controller.start(D);
+  feed(Controller, D, 10000, 0.0);
+  // 10000 events * 40 bytes / 4000 bytes = 100 boundaries.
+  EXPECT_EQ(Controller.boundaryCount(), 100u);
+}
+
+TEST(SamplingControllerTest, EffectiveRateTracksTargetWithCorrection) {
+  for (double Target : {0.01, 0.05, 0.25}) {
+    NullRaceSink Sink;
+    FlagDetector D(Sink);
+    SamplingConfig Config;
+    Config.TargetRate = Target;
+    Config.PeriodBytes = 8 * 1024;
+    SamplingController Controller(Config, 7);
+    Controller.start(D);
+    feed(Controller, D, 2000000);
+    EXPECT_NEAR(Controller.effectiveAccessRate(), Target, Target * 0.35)
+        << "target " << Target;
+  }
+}
+
+TEST(SamplingControllerTest, MetadataBiasUncorrectedUndershoots) {
+  // With metadata allocation shortening sampling periods and no
+  // correction, the effective rate falls below the specified rate.
+  NullRaceSink Sink;
+  FlagDetector Corrected(Sink), Uncorrected(Sink);
+  SamplingConfig Config;
+  Config.TargetRate = 0.25;
+  Config.PeriodBytes = 8 * 1024;
+  Config.MetadataBytesPerSampledAccess = 160; // Pronounced bias.
+
+  SamplingConfig NoFix = Config;
+  NoFix.BiasCorrection = false;
+
+  SamplingController WithFix(Config, 3);
+  SamplingController WithoutFix(NoFix, 3);
+  WithFix.start(Corrected);
+  WithoutFix.start(Uncorrected);
+  feed(WithFix, Corrected, 1000000);
+  feed(WithoutFix, Uncorrected, 1000000);
+
+  EXPECT_LT(WithoutFix.effectiveAccessRate(), 0.22)
+      << "uncorrected bias must undershoot the 25% target";
+  EXPECT_GT(WithFix.effectiveAccessRate(),
+            WithoutFix.effectiveAccessRate())
+      << "correction recovers toward the target";
+}
+
+TEST(SamplingControllerTest, DeterministicGivenSeed) {
+  auto Run = [](uint64_t Seed) {
+    NullRaceSink Sink;
+    FlagDetector D(Sink);
+    SamplingConfig Config;
+    Config.TargetRate = 0.1;
+    Config.PeriodBytes = 4096;
+    SamplingController Controller(Config, Seed);
+    Controller.start(D);
+    feed(Controller, D, 100000);
+    return Controller.effectiveAccessRate();
+  };
+  EXPECT_DOUBLE_EQ(Run(5), Run(5));
+  EXPECT_NE(Run(5), Run(6));
+}
+
+TEST(SamplingControllerTest, ThreadExitIgnored) {
+  NullRaceSink Sink;
+  FlagDetector D(Sink);
+  SamplingConfig Config;
+  Config.TargetRate = 1.0;
+  Config.PeriodBytes = 100;
+  SamplingController Controller(Config, 1);
+  Controller.start(D);
+  for (int I = 0; I < 1000; ++I)
+    Controller.beforeAction(ActionKind::ThreadExit, D);
+  EXPECT_EQ(Controller.boundaryCount(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+//===- tests/sim/TraceIOTest.cpp ------------------------------------------==//
+
+#include "sim/TraceIO.h"
+
+#include "harness/TrialRunner.h"
+#include "sim/TraceGenerator.h"
+#include "sim/Workloads.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace pacer;
+using namespace pacer::test;
+
+namespace {
+
+bool sameTrace(const Trace &A, const Trace &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I) {
+    if (A[I].Kind != B[I].Kind || A[I].Tid != B[I].Tid ||
+        A[I].Target != B[I].Target || A[I].Site != B[I].Site)
+      return false;
+  }
+  return true;
+}
+
+TEST(TraceIOTest, RoundTripsHandTrace) {
+  Trace T = TraceBuilder()
+                .fork(0, 1)
+                .acq(1, 7)
+                .write(1, 3, 42)
+                .rel(1, 7)
+                .volWrite(1, 2)
+                .volRead(0, 2)
+                .join(0, 1)
+                .take();
+  T.push_back({ActionKind::AwaitVolatile, 0, 2, 1});
+  T.push_back({ActionKind::ThreadExit, 0, InvalidId, InvalidId});
+  TraceParseResult Result = parseTrace(serializeTrace(T));
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(sameTrace(T, Result.T));
+}
+
+TEST(TraceIOTest, RoundTripsGeneratedWorkload) {
+  CompiledWorkload Workload(tinyTestWorkload());
+  Trace T = generateTrace(Workload, 5);
+  TraceParseResult Result = parseTrace(serializeTrace(T));
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(sameTrace(T, Result.T));
+}
+
+TEST(TraceIOTest, EmptyTraceRoundTrips) {
+  TraceParseResult Result = parseTrace(serializeTrace(Trace{}));
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(Result.T.empty());
+}
+
+TEST(TraceIOTest, InvalidIdRendersAsDash) {
+  Trace T;
+  T.push_back({ActionKind::ThreadExit, 3, InvalidId, InvalidId});
+  std::string Text = serializeTrace(T);
+  EXPECT_NE(Text.find("exit 3 - -"), std::string::npos) << Text;
+}
+
+TEST(TraceIOTest, RejectsBadMagic) {
+  TraceParseResult Result = parseTrace("not-a-trace v1 0\n");
+  EXPECT_FALSE(Result.Ok);
+  EXPECT_NE(Result.Error.find("magic"), std::string::npos);
+}
+
+TEST(TraceIOTest, RejectsBadVersion) {
+  TraceParseResult Result = parseTrace("pacer-trace v9 0\n");
+  EXPECT_FALSE(Result.Ok);
+  EXPECT_NE(Result.Error.find("version"), std::string::npos);
+}
+
+TEST(TraceIOTest, RejectsMalformedLines) {
+  const char *Header = "pacer-trace v1 1\n";
+  EXPECT_FALSE(parseTrace(std::string(Header) + "rd 0\n").Ok);
+  EXPECT_FALSE(parseTrace(std::string(Header) + "zap 0 1 2\n").Ok);
+  EXPECT_FALSE(parseTrace(std::string(Header) + "rd x 1 2\n").Ok);
+  EXPECT_FALSE(parseTrace(std::string(Header) + "rd 0 1 2 3\n").Ok);
+  EXPECT_FALSE(parseTrace(std::string(Header) + "rd 0 99999999999 2\n").Ok);
+}
+
+TEST(TraceIOTest, ErrorNamesLine) {
+  TraceParseResult Result =
+      parseTrace("pacer-trace v1 2\nrd 0 1 2\nbad line here extra\n");
+  ASSERT_FALSE(Result.Ok);
+  EXPECT_NE(Result.Error.find("line 3"), std::string::npos) << Result.Error;
+}
+
+TEST(TraceIOTest, SkipsBlankLines) {
+  TraceParseResult Result =
+      parseTrace("pacer-trace v1 1\n\nrd 0 1 2\n\n");
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_EQ(Result.T.size(), 1u);
+}
+
+TEST(TraceIOTest, FileRoundTrip) {
+  CompiledWorkload Workload(tinyTestWorkload());
+  Trace T = generateTrace(Workload, 9);
+  std::string Path = ::testing::TempDir() + "/pacer_trace_io_test.trace";
+  ASSERT_TRUE(writeTraceFile(Path, T));
+  TraceParseResult Result = readTraceFile(Path);
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(sameTrace(T, Result.T));
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, MissingFileReportsError) {
+  TraceParseResult Result = readTraceFile("/nonexistent/path/x.trace");
+  EXPECT_FALSE(Result.Ok);
+  EXPECT_NE(Result.Error.find("cannot open"), std::string::npos);
+}
+
+TEST(TraceIOTest, ReplayOfParsedTraceFindsSameRaces) {
+  // End to end: record, parse, re-analyse offline; identical reports.
+  CompiledWorkload Workload(tinyTestWorkload());
+  Trace Original = generateTrace(Workload, 11);
+  TraceParseResult Parsed = parseTrace(serializeTrace(Original));
+  ASSERT_TRUE(Parsed.Ok);
+
+  TrialResult Live = runTrialOnTrace(Original, Workload, fastTrackSetup(), 1);
+  TrialResult Offline =
+      runTrialOnTrace(Parsed.T, Workload, fastTrackSetup(), 1);
+  EXPECT_EQ(Live.Races, Offline.Races);
+}
+
+} // namespace

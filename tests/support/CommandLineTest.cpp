@@ -1,0 +1,62 @@
+//===- tests/support/CommandLineTest.cpp ----------------------------------==//
+
+#include "support/CommandLine.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+
+static FlagSet parse(std::initializer_list<const char *> Args) {
+  std::vector<const char *> Argv{"prog"};
+  Argv.insert(Argv.end(), Args.begin(), Args.end());
+  return FlagSet(static_cast<int>(Argv.size()), Argv.data());
+}
+
+TEST(CommandLineTest, IntFlag) {
+  FlagSet Flags = parse({"--trials=50"});
+  EXPECT_EQ(Flags.getInt("trials", 10), 50);
+  EXPECT_EQ(Flags.getInt("absent", 10), 10);
+}
+
+TEST(CommandLineTest, DoubleFlag) {
+  FlagSet Flags = parse({"--rate=0.03"});
+  EXPECT_DOUBLE_EQ(Flags.getDouble("rate", 1.0), 0.03);
+  EXPECT_DOUBLE_EQ(Flags.getDouble("absent", 1.5), 1.5);
+}
+
+TEST(CommandLineTest, StringFlag) {
+  FlagSet Flags = parse({"--workload=xalan"});
+  EXPECT_EQ(Flags.getString("workload", "eclipse"), "xalan");
+  EXPECT_EQ(Flags.getString("absent", "eclipse"), "eclipse");
+}
+
+TEST(CommandLineTest, BoolFlag) {
+  FlagSet Flags = parse({"--verbose", "--quiet=0", "--slow=false"});
+  EXPECT_TRUE(Flags.getBool("verbose", false));
+  EXPECT_FALSE(Flags.getBool("quiet", true));
+  EXPECT_FALSE(Flags.getBool("slow", true));
+  EXPECT_TRUE(Flags.getBool("absent", true));
+}
+
+TEST(CommandLineTest, Positional) {
+  FlagSet Flags = parse({"alpha", "--x=1", "beta"});
+  ASSERT_EQ(Flags.positional().size(), 2u);
+  EXPECT_EQ(Flags.positional()[0], "alpha");
+  EXPECT_EQ(Flags.positional()[1], "beta");
+}
+
+TEST(CommandLineTest, LastOccurrenceWins) {
+  FlagSet Flags = parse({"--n=1", "--n=2"});
+  EXPECT_EQ(Flags.getInt("n", 0), 2);
+}
+
+TEST(CommandLineTest, Has) {
+  FlagSet Flags = parse({"--present=x"});
+  EXPECT_TRUE(Flags.has("present"));
+  EXPECT_FALSE(Flags.has("absent"));
+}
+
+TEST(CommandLineTest, NegativeInt) {
+  FlagSet Flags = parse({"--offset=-3"});
+  EXPECT_EQ(Flags.getInt("offset", 0), -3);
+}

@@ -1,0 +1,131 @@
+//===- tests/support/RngTest.cpp ------------------------------------------==//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace pacer;
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng A(1), B(2);
+  int Equal = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Equal;
+  EXPECT_LT(Equal, 2);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng A(7);
+  uint64_t First = A.next();
+  A.next();
+  A.reseed(7);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(RngTest, NextBelowInBounds) {
+  Rng R(3);
+  for (uint64_t Bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 400; ++I)
+    Seen.insert(R.nextBelow(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(5);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 500; ++I) {
+    uint64_t V = R.nextInRange(3, 5);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 5u);
+    SawLo |= V == 3;
+    SawHi |= V == 5;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.nextDouble();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRoughProbability) {
+  Rng R(13);
+  int Hits = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.nextBool(0.3);
+  double P = static_cast<double>(Hits) / N;
+  EXPECT_NEAR(P, 0.3, 0.02);
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng R(17);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_FALSE(R.nextBool(0.0));
+    EXPECT_TRUE(R.nextBool(1.0));
+  }
+}
+
+TEST(RngTest, GeometricMeanApproximatesExpectation) {
+  Rng R(19);
+  double Sum = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Sum += static_cast<double>(R.nextGeometric(0.25));
+  // E[failures before success] = (1-p)/p = 3.
+  EXPECT_NEAR(Sum / N, 3.0, 0.25);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng R(23);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(RngTest, PickReturnsElement) {
+  Rng R(29);
+  std::vector<int> V{10, 20, 30};
+  for (int I = 0; I < 50; ++I) {
+    int X = R.pick(V);
+    EXPECT_TRUE(X == 10 || X == 20 || X == 30);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng A(31);
+  Rng B = A.split();
+  // The child must not replay the parent's stream.
+  Rng A2(31);
+  A2.split();
+  int Equal = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Equal;
+  EXPECT_LT(Equal, 2);
+}

@@ -1,0 +1,95 @@
+//===- tests/support/StatsTest.cpp ----------------------------------------==//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace pacer;
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(S.stderrOfMean(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat S;
+  S.add(5.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, KnownMeanAndStddev) {
+  RunningStat S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  // Sample variance with N-1 = 7: sum of squares = 32, so 32/7.
+  EXPECT_NEAR(S.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(S.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatTest, StderrShrinksWithN) {
+  RunningStat A, B;
+  for (int I = 0; I < 10; ++I)
+    A.add(I % 2);
+  for (int I = 0; I < 1000; ++I)
+    B.add(I % 2);
+  EXPECT_GT(A.stderrOfMean(), B.stderrOfMean());
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  std::vector<double> V{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(V, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 0.25), 2.0);
+}
+
+TEST(WilsonTest, ContainsPointEstimate) {
+  for (uint64_t Successes : {0ull, 5ull, 50ull, 100ull}) {
+    BinomialInterval CI = wilsonInterval(Successes, 100, 1.96);
+    double PHat = static_cast<double>(Successes) / 100.0;
+    EXPECT_LE(CI.Low, PHat + 1e-9);
+    EXPECT_GE(CI.High, PHat - 1e-9);
+    EXPECT_GE(CI.Low, 0.0);
+    EXPECT_LE(CI.High, 1.0);
+  }
+}
+
+TEST(WilsonTest, ZeroTrialsIsVacuous) {
+  BinomialInterval CI = wilsonInterval(0, 0, 1.96);
+  EXPECT_DOUBLE_EQ(CI.Low, 0.0);
+  EXPECT_DOUBLE_EQ(CI.High, 1.0);
+}
+
+TEST(WilsonTest, WiderZGivesWiderInterval) {
+  BinomialInterval Narrow = wilsonInterval(30, 100, 1.0);
+  BinomialInterval Wide = wilsonInterval(30, 100, 3.0);
+  EXPECT_LT(Wide.Low, Narrow.Low);
+  EXPECT_GT(Wide.High, Narrow.High);
+}
+
+TEST(WilsonTest, ConsistencyCheck) {
+  // 30/100 at p=0.3 is consistent; p=0.9 is not.
+  EXPECT_TRUE(proportionConsistent(30, 100, 0.3, 1.96));
+  EXPECT_FALSE(proportionConsistent(30, 100, 0.9, 1.96));
+}
+
+TEST(WilsonTest, ShrinksWithMoreTrials) {
+  BinomialInterval Small = wilsonInterval(3, 10, 1.96);
+  BinomialInterval Large = wilsonInterval(300, 1000, 1.96);
+  EXPECT_GT(Small.High - Small.Low, Large.High - Large.Low);
+}

@@ -1,0 +1,75 @@
+//===- tests/support/TableTest.cpp ----------------------------------------==//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+
+TEST(TableTest, RendersHeaderAndRows) {
+  TextTable T;
+  T.setHeader({"prog", "r=1%", "r=3%"});
+  T.addRow({"eclipse", "1.0", "3.0"});
+  T.addRow({"xalan", "0.9", "3.1"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("prog"), std::string::npos);
+  EXPECT_NE(Out.find("eclipse"), std::string::npos);
+  EXPECT_NE(Out.find("3.1"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAligned) {
+  TextTable T;
+  T.setHeader({"a", "value"});
+  T.addRow({"longname", "1"});
+  T.addRow({"x", "22"});
+  std::string Out = T.render();
+  // Each line's "value"-column content ends at the same offset: compare
+  // line lengths of the two data rows (right-aligned numbers).
+  size_t FirstNl = Out.find('\n');
+  size_t SecondNl = Out.find('\n', FirstNl + 1);
+  size_t ThirdNl = Out.find('\n', SecondNl + 1);
+  size_t FourthNl = Out.find('\n', ThirdNl + 1);
+  std::string Row1 = Out.substr(SecondNl + 1, ThirdNl - SecondNl - 1);
+  std::string Row2 = Out.substr(ThirdNl + 1, FourthNl - ThirdNl - 1);
+  EXPECT_EQ(Row1.size(), Row2.size());
+}
+
+TEST(TableTest, SeparatorRow) {
+  TextTable T;
+  T.addRow({"a"});
+  T.addSeparator();
+  T.addRow({"b"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("-"), std::string::npos);
+}
+
+TEST(TableTest, RaggedRowsRenderEmptyCells) {
+  TextTable T;
+  T.setHeader({"a", "b", "c"});
+  T.addRow({"x"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find('x'), std::string::npos);
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(FormatTest, FormatPlusMinus) {
+  EXPECT_EQ(formatPlusMinus(1.0, 0.2, 1), "1.0±0.2");
+}
+
+TEST(FormatTest, FormatThousands) {
+  EXPECT_EQ(formatThousands(0), "0");
+  EXPECT_EQ(formatThousands(999), "<1K");
+  EXPECT_EQ(formatThousands(1000), "1K");
+  EXPECT_EQ(formatThousands(149376000), "149376K");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(formatPercent(0.03, 0), "3%");
+  EXPECT_EQ(formatPercent(0.525, 1), "52.5%");
+}

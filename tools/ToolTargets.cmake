@@ -1,0 +1,7 @@
+# Command-line tools, declared from the top-level CMakeLists (binaries
+# land in ${CMAKE_BINARY_DIR}/tools).
+
+add_executable(racedetect tools/racedetect.cpp)
+target_link_libraries(racedetect PRIVATE pacer_harness)
+set_target_properties(racedetect PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/tools)
