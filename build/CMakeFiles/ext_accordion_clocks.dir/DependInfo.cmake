@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_accordion_clocks.cpp" "CMakeFiles/ext_accordion_clocks.dir/bench/ext_accordion_clocks.cpp.o" "gcc" "CMakeFiles/ext_accordion_clocks.dir/bench/ext_accordion_clocks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pacer_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_accordion_clocks.dir/bench/ext_accordion_clocks.cpp.o"
+  "CMakeFiles/ext_accordion_clocks.dir/bench/ext_accordion_clocks.cpp.o.d"
+  "bench/ext_accordion_clocks"
+  "bench/ext_accordion_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_accordion_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

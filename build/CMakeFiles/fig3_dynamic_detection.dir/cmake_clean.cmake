@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dynamic_detection.dir/bench/fig3_dynamic_detection.cpp.o"
+  "CMakeFiles/fig3_dynamic_detection.dir/bench/fig3_dynamic_detection.cpp.o.d"
+  "bench/fig3_dynamic_detection"
+  "bench/fig3_dynamic_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dynamic_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_distinct_detection.dir/bench/fig4_distinct_detection.cpp.o"
+  "CMakeFiles/fig4_distinct_detection.dir/bench/fig4_distinct_detection.cpp.o.d"
+  "bench/fig4_distinct_detection"
+  "bench/fig4_distinct_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_distinct_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_literace_eclipse.dir/bench/fig6_literace_eclipse.cpp.o"
+  "CMakeFiles/fig6_literace_eclipse.dir/bench/fig6_literace_eclipse.cpp.o.d"
+  "bench/fig6_literace_eclipse"
+  "bench/fig6_literace_eclipse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_literace_eclipse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_overhead_breakdown.cpp" "CMakeFiles/fig7_overhead_breakdown.dir/bench/fig7_overhead_breakdown.cpp.o" "gcc" "CMakeFiles/fig7_overhead_breakdown.dir/bench/fig7_overhead_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pacer_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_overhead_breakdown.dir/bench/fig7_overhead_breakdown.cpp.o"
+  "CMakeFiles/fig7_overhead_breakdown.dir/bench/fig7_overhead_breakdown.cpp.o.d"
+  "bench/fig7_overhead_breakdown"
+  "bench/fig7_overhead_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overhead_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

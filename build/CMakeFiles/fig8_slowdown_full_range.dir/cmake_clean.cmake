@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_slowdown_full_range.dir/bench/fig8_slowdown_full_range.cpp.o"
+  "CMakeFiles/fig8_slowdown_full_range.dir/bench/fig8_slowdown_full_range.cpp.o.d"
+  "bench/fig8_slowdown_full_range"
+  "bench/fig8_slowdown_full_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_slowdown_full_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_slowdown_zoom.dir/bench/fig9_slowdown_zoom.cpp.o"
+  "CMakeFiles/fig9_slowdown_zoom.dir/bench/fig9_slowdown_zoom.cpp.o.d"
+  "bench/fig9_slowdown_zoom"
+  "bench/fig9_slowdown_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_slowdown_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/racedetect.dir/tools/racedetect.cpp.o"
+  "CMakeFiles/racedetect.dir/tools/racedetect.cpp.o.d"
+  "tools/racedetect"
+  "tools/racedetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/racedetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

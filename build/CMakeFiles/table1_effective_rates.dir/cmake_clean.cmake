@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_effective_rates.dir/bench/table1_effective_rates.cpp.o"
+  "CMakeFiles/table1_effective_rates.dir/bench/table1_effective_rates.cpp.o.d"
+  "bench/table1_effective_rates"
+  "bench/table1_effective_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_effective_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_thread_race_counts.dir/bench/table2_thread_race_counts.cpp.o"
+  "CMakeFiles/table2_thread_race_counts.dir/bench/table2_thread_race_counts.cpp.o.d"
+  "bench/table2_thread_race_counts"
+  "bench/table2_thread_race_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_thread_race_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_operation_counts.dir/bench/table3_operation_counts.cpp.o"
+  "CMakeFiles/table3_operation_counts.dir/bench/table3_operation_counts.cpp.o.d"
+  "bench/table3_operation_counts"
+  "bench/table3_operation_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_operation_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_deployed_fleet.dir/deployed_fleet.cpp.o"
+  "CMakeFiles/example_deployed_fleet.dir/deployed_fleet.cpp.o.d"
+  "deployed_fleet"
+  "deployed_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_deployed_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

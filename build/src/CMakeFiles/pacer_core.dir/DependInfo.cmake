@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/RaceReport.cpp" "src/CMakeFiles/pacer_core.dir/core/RaceReport.cpp.o" "gcc" "src/CMakeFiles/pacer_core.dir/core/RaceReport.cpp.o.d"
+  "/root/repo/src/core/ReadMap.cpp" "src/CMakeFiles/pacer_core.dir/core/ReadMap.cpp.o" "gcc" "src/CMakeFiles/pacer_core.dir/core/ReadMap.cpp.o.d"
+  "/root/repo/src/core/SyncClock.cpp" "src/CMakeFiles/pacer_core.dir/core/SyncClock.cpp.o" "gcc" "src/CMakeFiles/pacer_core.dir/core/SyncClock.cpp.o.d"
+  "/root/repo/src/core/VectorClock.cpp" "src/CMakeFiles/pacer_core.dir/core/VectorClock.cpp.o" "gcc" "src/CMakeFiles/pacer_core.dir/core/VectorClock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pacer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacer_core.dir/core/RaceReport.cpp.o"
+  "CMakeFiles/pacer_core.dir/core/RaceReport.cpp.o.d"
+  "CMakeFiles/pacer_core.dir/core/ReadMap.cpp.o"
+  "CMakeFiles/pacer_core.dir/core/ReadMap.cpp.o.d"
+  "CMakeFiles/pacer_core.dir/core/SyncClock.cpp.o"
+  "CMakeFiles/pacer_core.dir/core/SyncClock.cpp.o.d"
+  "CMakeFiles/pacer_core.dir/core/VectorClock.cpp.o"
+  "CMakeFiles/pacer_core.dir/core/VectorClock.cpp.o.d"
+  "libpacer_core.a"
+  "libpacer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

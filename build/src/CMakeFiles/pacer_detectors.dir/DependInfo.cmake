@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detectors/Detector.cpp" "src/CMakeFiles/pacer_detectors.dir/detectors/Detector.cpp.o" "gcc" "src/CMakeFiles/pacer_detectors.dir/detectors/Detector.cpp.o.d"
+  "/root/repo/src/detectors/FastTrackDetector.cpp" "src/CMakeFiles/pacer_detectors.dir/detectors/FastTrackDetector.cpp.o" "gcc" "src/CMakeFiles/pacer_detectors.dir/detectors/FastTrackDetector.cpp.o.d"
+  "/root/repo/src/detectors/GenericDetector.cpp" "src/CMakeFiles/pacer_detectors.dir/detectors/GenericDetector.cpp.o" "gcc" "src/CMakeFiles/pacer_detectors.dir/detectors/GenericDetector.cpp.o.d"
+  "/root/repo/src/detectors/LiteRaceDetector.cpp" "src/CMakeFiles/pacer_detectors.dir/detectors/LiteRaceDetector.cpp.o" "gcc" "src/CMakeFiles/pacer_detectors.dir/detectors/LiteRaceDetector.cpp.o.d"
+  "/root/repo/src/detectors/PacerDetector.cpp" "src/CMakeFiles/pacer_detectors.dir/detectors/PacerDetector.cpp.o" "gcc" "src/CMakeFiles/pacer_detectors.dir/detectors/PacerDetector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pacer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacer_detectors.dir/detectors/Detector.cpp.o"
+  "CMakeFiles/pacer_detectors.dir/detectors/Detector.cpp.o.d"
+  "CMakeFiles/pacer_detectors.dir/detectors/FastTrackDetector.cpp.o"
+  "CMakeFiles/pacer_detectors.dir/detectors/FastTrackDetector.cpp.o.d"
+  "CMakeFiles/pacer_detectors.dir/detectors/GenericDetector.cpp.o"
+  "CMakeFiles/pacer_detectors.dir/detectors/GenericDetector.cpp.o.d"
+  "CMakeFiles/pacer_detectors.dir/detectors/LiteRaceDetector.cpp.o"
+  "CMakeFiles/pacer_detectors.dir/detectors/LiteRaceDetector.cpp.o.d"
+  "CMakeFiles/pacer_detectors.dir/detectors/PacerDetector.cpp.o"
+  "CMakeFiles/pacer_detectors.dir/detectors/PacerDetector.cpp.o.d"
+  "libpacer_detectors.a"
+  "libpacer_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacer_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

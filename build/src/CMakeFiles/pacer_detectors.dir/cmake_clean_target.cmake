@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpacer_detectors.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/DetectionExperiment.cpp" "src/CMakeFiles/pacer_harness.dir/harness/DetectionExperiment.cpp.o" "gcc" "src/CMakeFiles/pacer_harness.dir/harness/DetectionExperiment.cpp.o.d"
+  "/root/repo/src/harness/OverheadExperiment.cpp" "src/CMakeFiles/pacer_harness.dir/harness/OverheadExperiment.cpp.o" "gcc" "src/CMakeFiles/pacer_harness.dir/harness/OverheadExperiment.cpp.o.d"
+  "/root/repo/src/harness/SpaceExperiment.cpp" "src/CMakeFiles/pacer_harness.dir/harness/SpaceExperiment.cpp.o" "gcc" "src/CMakeFiles/pacer_harness.dir/harness/SpaceExperiment.cpp.o.d"
+  "/root/repo/src/harness/TrialRunner.cpp" "src/CMakeFiles/pacer_harness.dir/harness/TrialRunner.cpp.o" "gcc" "src/CMakeFiles/pacer_harness.dir/harness/TrialRunner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pacer_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

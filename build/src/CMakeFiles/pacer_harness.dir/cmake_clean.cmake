@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacer_harness.dir/harness/DetectionExperiment.cpp.o"
+  "CMakeFiles/pacer_harness.dir/harness/DetectionExperiment.cpp.o.d"
+  "CMakeFiles/pacer_harness.dir/harness/OverheadExperiment.cpp.o"
+  "CMakeFiles/pacer_harness.dir/harness/OverheadExperiment.cpp.o.d"
+  "CMakeFiles/pacer_harness.dir/harness/SpaceExperiment.cpp.o"
+  "CMakeFiles/pacer_harness.dir/harness/SpaceExperiment.cpp.o.d"
+  "CMakeFiles/pacer_harness.dir/harness/TrialRunner.cpp.o"
+  "CMakeFiles/pacer_harness.dir/harness/TrialRunner.cpp.o.d"
+  "libpacer_harness.a"
+  "libpacer_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacer_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/FleetAggregator.cpp" "src/CMakeFiles/pacer_runtime.dir/runtime/FleetAggregator.cpp.o" "gcc" "src/CMakeFiles/pacer_runtime.dir/runtime/FleetAggregator.cpp.o.d"
+  "/root/repo/src/runtime/RaceLog.cpp" "src/CMakeFiles/pacer_runtime.dir/runtime/RaceLog.cpp.o" "gcc" "src/CMakeFiles/pacer_runtime.dir/runtime/RaceLog.cpp.o.d"
+  "/root/repo/src/runtime/Runtime.cpp" "src/CMakeFiles/pacer_runtime.dir/runtime/Runtime.cpp.o" "gcc" "src/CMakeFiles/pacer_runtime.dir/runtime/Runtime.cpp.o.d"
+  "/root/repo/src/runtime/SamplingController.cpp" "src/CMakeFiles/pacer_runtime.dir/runtime/SamplingController.cpp.o" "gcc" "src/CMakeFiles/pacer_runtime.dir/runtime/SamplingController.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pacer_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

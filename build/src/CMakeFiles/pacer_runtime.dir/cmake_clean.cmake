@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacer_runtime.dir/runtime/FleetAggregator.cpp.o"
+  "CMakeFiles/pacer_runtime.dir/runtime/FleetAggregator.cpp.o.d"
+  "CMakeFiles/pacer_runtime.dir/runtime/RaceLog.cpp.o"
+  "CMakeFiles/pacer_runtime.dir/runtime/RaceLog.cpp.o.d"
+  "CMakeFiles/pacer_runtime.dir/runtime/Runtime.cpp.o"
+  "CMakeFiles/pacer_runtime.dir/runtime/Runtime.cpp.o.d"
+  "CMakeFiles/pacer_runtime.dir/runtime/SamplingController.cpp.o"
+  "CMakeFiles/pacer_runtime.dir/runtime/SamplingController.cpp.o.d"
+  "libpacer_runtime.a"
+  "libpacer_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacer_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

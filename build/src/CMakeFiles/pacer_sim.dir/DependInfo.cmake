@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/Action.cpp" "src/CMakeFiles/pacer_sim.dir/sim/Action.cpp.o" "gcc" "src/CMakeFiles/pacer_sim.dir/sim/Action.cpp.o.d"
+  "/root/repo/src/sim/Scheduler.cpp" "src/CMakeFiles/pacer_sim.dir/sim/Scheduler.cpp.o" "gcc" "src/CMakeFiles/pacer_sim.dir/sim/Scheduler.cpp.o.d"
+  "/root/repo/src/sim/ScriptBuilder.cpp" "src/CMakeFiles/pacer_sim.dir/sim/ScriptBuilder.cpp.o" "gcc" "src/CMakeFiles/pacer_sim.dir/sim/ScriptBuilder.cpp.o.d"
+  "/root/repo/src/sim/TraceGenerator.cpp" "src/CMakeFiles/pacer_sim.dir/sim/TraceGenerator.cpp.o" "gcc" "src/CMakeFiles/pacer_sim.dir/sim/TraceGenerator.cpp.o.d"
+  "/root/repo/src/sim/TraceIO.cpp" "src/CMakeFiles/pacer_sim.dir/sim/TraceIO.cpp.o" "gcc" "src/CMakeFiles/pacer_sim.dir/sim/TraceIO.cpp.o.d"
+  "/root/repo/src/sim/WorkloadSpec.cpp" "src/CMakeFiles/pacer_sim.dir/sim/WorkloadSpec.cpp.o" "gcc" "src/CMakeFiles/pacer_sim.dir/sim/WorkloadSpec.cpp.o.d"
+  "/root/repo/src/sim/Workloads.cpp" "src/CMakeFiles/pacer_sim.dir/sim/Workloads.cpp.o" "gcc" "src/CMakeFiles/pacer_sim.dir/sim/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pacer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

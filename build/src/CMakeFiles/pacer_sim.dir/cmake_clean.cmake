@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacer_sim.dir/sim/Action.cpp.o"
+  "CMakeFiles/pacer_sim.dir/sim/Action.cpp.o.d"
+  "CMakeFiles/pacer_sim.dir/sim/Scheduler.cpp.o"
+  "CMakeFiles/pacer_sim.dir/sim/Scheduler.cpp.o.d"
+  "CMakeFiles/pacer_sim.dir/sim/ScriptBuilder.cpp.o"
+  "CMakeFiles/pacer_sim.dir/sim/ScriptBuilder.cpp.o.d"
+  "CMakeFiles/pacer_sim.dir/sim/TraceGenerator.cpp.o"
+  "CMakeFiles/pacer_sim.dir/sim/TraceGenerator.cpp.o.d"
+  "CMakeFiles/pacer_sim.dir/sim/TraceIO.cpp.o"
+  "CMakeFiles/pacer_sim.dir/sim/TraceIO.cpp.o.d"
+  "CMakeFiles/pacer_sim.dir/sim/WorkloadSpec.cpp.o"
+  "CMakeFiles/pacer_sim.dir/sim/WorkloadSpec.cpp.o.d"
+  "CMakeFiles/pacer_sim.dir/sim/Workloads.cpp.o"
+  "CMakeFiles/pacer_sim.dir/sim/Workloads.cpp.o.d"
+  "libpacer_sim.a"
+  "libpacer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/CommandLine.cpp" "src/CMakeFiles/pacer_support.dir/support/CommandLine.cpp.o" "gcc" "src/CMakeFiles/pacer_support.dir/support/CommandLine.cpp.o.d"
+  "/root/repo/src/support/Error.cpp" "src/CMakeFiles/pacer_support.dir/support/Error.cpp.o" "gcc" "src/CMakeFiles/pacer_support.dir/support/Error.cpp.o.d"
+  "/root/repo/src/support/Rng.cpp" "src/CMakeFiles/pacer_support.dir/support/Rng.cpp.o" "gcc" "src/CMakeFiles/pacer_support.dir/support/Rng.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/CMakeFiles/pacer_support.dir/support/Stats.cpp.o" "gcc" "src/CMakeFiles/pacer_support.dir/support/Stats.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/pacer_support.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/pacer_support.dir/support/Table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

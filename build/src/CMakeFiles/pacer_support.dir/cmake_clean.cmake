@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacer_support.dir/support/CommandLine.cpp.o"
+  "CMakeFiles/pacer_support.dir/support/CommandLine.cpp.o.d"
+  "CMakeFiles/pacer_support.dir/support/Error.cpp.o"
+  "CMakeFiles/pacer_support.dir/support/Error.cpp.o.d"
+  "CMakeFiles/pacer_support.dir/support/Rng.cpp.o"
+  "CMakeFiles/pacer_support.dir/support/Rng.cpp.o.d"
+  "CMakeFiles/pacer_support.dir/support/Stats.cpp.o"
+  "CMakeFiles/pacer_support.dir/support/Stats.cpp.o.d"
+  "CMakeFiles/pacer_support.dir/support/Table.cpp.o"
+  "CMakeFiles/pacer_support.dir/support/Table.cpp.o.d"
+  "libpacer_support.a"
+  "libpacer_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacer_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

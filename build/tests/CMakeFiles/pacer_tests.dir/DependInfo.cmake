@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/ClockAlgebraTest.cpp" "tests/CMakeFiles/pacer_tests.dir/core/ClockAlgebraTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/core/ClockAlgebraTest.cpp.o.d"
+  "/root/repo/tests/core/EpochTest.cpp" "tests/CMakeFiles/pacer_tests.dir/core/EpochTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/core/EpochTest.cpp.o.d"
+  "/root/repo/tests/core/RaceReportTest.cpp" "tests/CMakeFiles/pacer_tests.dir/core/RaceReportTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/core/RaceReportTest.cpp.o.d"
+  "/root/repo/tests/core/ReadMapTest.cpp" "tests/CMakeFiles/pacer_tests.dir/core/ReadMapTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/core/ReadMapTest.cpp.o.d"
+  "/root/repo/tests/core/SyncClockTest.cpp" "tests/CMakeFiles/pacer_tests.dir/core/SyncClockTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/core/SyncClockTest.cpp.o.d"
+  "/root/repo/tests/core/VectorClockTest.cpp" "tests/CMakeFiles/pacer_tests.dir/core/VectorClockTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/core/VectorClockTest.cpp.o.d"
+  "/root/repo/tests/core/VersionEpochTest.cpp" "tests/CMakeFiles/pacer_tests.dir/core/VersionEpochTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/core/VersionEpochTest.cpp.o.d"
+  "/root/repo/tests/detectors/AccordionClockTest.cpp" "tests/CMakeFiles/pacer_tests.dir/detectors/AccordionClockTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/detectors/AccordionClockTest.cpp.o.d"
+  "/root/repo/tests/detectors/DetectorEquivalenceTest.cpp" "tests/CMakeFiles/pacer_tests.dir/detectors/DetectorEquivalenceTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/detectors/DetectorEquivalenceTest.cpp.o.d"
+  "/root/repo/tests/detectors/FastTrackDetectorTest.cpp" "tests/CMakeFiles/pacer_tests.dir/detectors/FastTrackDetectorTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/detectors/FastTrackDetectorTest.cpp.o.d"
+  "/root/repo/tests/detectors/GenericDetectorTest.cpp" "tests/CMakeFiles/pacer_tests.dir/detectors/GenericDetectorTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/detectors/GenericDetectorTest.cpp.o.d"
+  "/root/repo/tests/detectors/LiteRaceDetectorTest.cpp" "tests/CMakeFiles/pacer_tests.dir/detectors/LiteRaceDetectorTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/detectors/LiteRaceDetectorTest.cpp.o.d"
+  "/root/repo/tests/detectors/PacerDetectorTest.cpp" "tests/CMakeFiles/pacer_tests.dir/detectors/PacerDetectorTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/detectors/PacerDetectorTest.cpp.o.d"
+  "/root/repo/tests/detectors/PacerSamplingTest.cpp" "tests/CMakeFiles/pacer_tests.dir/detectors/PacerSamplingTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/detectors/PacerSamplingTest.cpp.o.d"
+  "/root/repo/tests/detectors/VolatileSemanticsTest.cpp" "tests/CMakeFiles/pacer_tests.dir/detectors/VolatileSemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/detectors/VolatileSemanticsTest.cpp.o.d"
+  "/root/repo/tests/detectors/WellFormednessTest.cpp" "tests/CMakeFiles/pacer_tests.dir/detectors/WellFormednessTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/detectors/WellFormednessTest.cpp.o.d"
+  "/root/repo/tests/harness/DetectionExperimentTest.cpp" "tests/CMakeFiles/pacer_tests.dir/harness/DetectionExperimentTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/harness/DetectionExperimentTest.cpp.o.d"
+  "/root/repo/tests/harness/OverheadExperimentTest.cpp" "tests/CMakeFiles/pacer_tests.dir/harness/OverheadExperimentTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/harness/OverheadExperimentTest.cpp.o.d"
+  "/root/repo/tests/harness/SpaceExperimentTest.cpp" "tests/CMakeFiles/pacer_tests.dir/harness/SpaceExperimentTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/harness/SpaceExperimentTest.cpp.o.d"
+  "/root/repo/tests/harness/TrialRunnerTest.cpp" "tests/CMakeFiles/pacer_tests.dir/harness/TrialRunnerTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/harness/TrialRunnerTest.cpp.o.d"
+  "/root/repo/tests/integration/EndToEndTest.cpp" "tests/CMakeFiles/pacer_tests.dir/integration/EndToEndTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/integration/EndToEndTest.cpp.o.d"
+  "/root/repo/tests/integration/PrecisionTest.cpp" "tests/CMakeFiles/pacer_tests.dir/integration/PrecisionTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/integration/PrecisionTest.cpp.o.d"
+  "/root/repo/tests/integration/ProportionalityTest.cpp" "tests/CMakeFiles/pacer_tests.dir/integration/ProportionalityTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/integration/ProportionalityTest.cpp.o.d"
+  "/root/repo/tests/integration/StressTest.cpp" "tests/CMakeFiles/pacer_tests.dir/integration/StressTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/integration/StressTest.cpp.o.d"
+  "/root/repo/tests/runtime/FleetAggregatorTest.cpp" "tests/CMakeFiles/pacer_tests.dir/runtime/FleetAggregatorTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/runtime/FleetAggregatorTest.cpp.o.d"
+  "/root/repo/tests/runtime/RaceLogTest.cpp" "tests/CMakeFiles/pacer_tests.dir/runtime/RaceLogTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/runtime/RaceLogTest.cpp.o.d"
+  "/root/repo/tests/runtime/RuntimeTest.cpp" "tests/CMakeFiles/pacer_tests.dir/runtime/RuntimeTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/runtime/RuntimeTest.cpp.o.d"
+  "/root/repo/tests/runtime/SamplingControllerTest.cpp" "tests/CMakeFiles/pacer_tests.dir/runtime/SamplingControllerTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/runtime/SamplingControllerTest.cpp.o.d"
+  "/root/repo/tests/sim/SchedulerTest.cpp" "tests/CMakeFiles/pacer_tests.dir/sim/SchedulerTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/sim/SchedulerTest.cpp.o.d"
+  "/root/repo/tests/sim/ScriptBuilderTest.cpp" "tests/CMakeFiles/pacer_tests.dir/sim/ScriptBuilderTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/sim/ScriptBuilderTest.cpp.o.d"
+  "/root/repo/tests/sim/TraceIOTest.cpp" "tests/CMakeFiles/pacer_tests.dir/sim/TraceIOTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/sim/TraceIOTest.cpp.o.d"
+  "/root/repo/tests/sim/WorkloadTest.cpp" "tests/CMakeFiles/pacer_tests.dir/sim/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/sim/WorkloadTest.cpp.o.d"
+  "/root/repo/tests/support/CommandLineTest.cpp" "tests/CMakeFiles/pacer_tests.dir/support/CommandLineTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/support/CommandLineTest.cpp.o.d"
+  "/root/repo/tests/support/RngTest.cpp" "tests/CMakeFiles/pacer_tests.dir/support/RngTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/support/RngTest.cpp.o.d"
+  "/root/repo/tests/support/StatsTest.cpp" "tests/CMakeFiles/pacer_tests.dir/support/StatsTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/support/StatsTest.cpp.o.d"
+  "/root/repo/tests/support/TableTest.cpp" "tests/CMakeFiles/pacer_tests.dir/support/TableTest.cpp.o" "gcc" "tests/CMakeFiles/pacer_tests.dir/support/TableTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pacer_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
