@@ -29,6 +29,8 @@
 #include "support/CommandLine.h"
 #include "support/Stats.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
 
 #include <cstdio>
 #include <string>
@@ -43,6 +45,9 @@ struct BenchOptions {
   int64_t Trials = -1; ///< -1 = per-binary default / formula.
   uint64_t Seed = 12345;
   uint32_t FullTrials = 30;
+  /// Trial-level parallelism (--jobs / PACER_JOBS). Results are
+  /// bit-identical across jobs values; 1 is the serial loop.
+  unsigned Jobs = 1;
 };
 
 inline BenchOptions parseBenchOptions(int Argc, const char *const *Argv,
@@ -54,6 +59,8 @@ inline BenchOptions parseBenchOptions(int Argc, const char *const *Argv,
   Options.Seed = static_cast<uint64_t>(Flags.getInt("seed", 12345));
   Options.FullTrials =
       static_cast<uint32_t>(Flags.getInt("full-trials", 30));
+  int64_t Jobs = Flags.getInt("jobs", static_cast<int64_t>(defaultJobs()));
+  Options.Jobs = Jobs < 1 ? 1u : static_cast<unsigned>(Jobs);
   std::string Name = Flags.getString("workload", "");
   std::vector<WorkloadSpec> All = paperWorkloads();
   for (WorkloadSpec &Spec : All)
@@ -75,6 +82,13 @@ inline void printBanner(const char *Artifact, const char *Claim) {
   std::printf("=== %s ===\n%s\n\n", Artifact, Claim);
 }
 
+/// Prints the experiment-level wall-clock line every bench driver emits,
+/// so speedups from --jobs are measurable run to run.
+inline void printWallClock(const Timer &T, const BenchOptions &Options) {
+  std::printf("[timing] wall-clock %.2fs (jobs=%u)\n", T.seconds(),
+              Options.Jobs);
+}
+
 /// One workload's detection study: ground truth plus one DetectionPoint
 /// per requested rate.
 struct DetectionStudy {
@@ -91,8 +105,8 @@ inline DetectionStudy runDetectionStudy(const WorkloadSpec &Spec,
   DetectionStudy Study;
   Study.Spec = Spec;
   CompiledWorkload Workload(Spec);
-  Study.Truth =
-      computeGroundTruth(Workload, Options.FullTrials, Options.Seed);
+  Study.Truth = computeGroundTruth(Workload, Options.FullTrials,
+                                   Options.Seed, Options.Jobs);
   for (double Rate : Rates) {
     uint32_t Trials = Options.Trials > 0
                           ? static_cast<uint32_t>(Options.Trials)
@@ -106,7 +120,8 @@ inline DetectionStudy runDetectionStudy(const WorkloadSpec &Spec,
     Setup.Sampling.PeriodBytes = 12 * 1024;
     Study.Points.push_back(measureDetection(
         Workload, Study.Truth, Setup, Trials,
-        Options.Seed + static_cast<uint64_t>(Rate * 100000.0)));
+        Options.Seed + static_cast<uint64_t>(Rate * 100000.0),
+        Options.Jobs));
   }
   return Study;
 }

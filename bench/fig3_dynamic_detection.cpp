@@ -26,6 +26,7 @@ int main(int Argc, char **Argv) {
   if (Csv)
     std::printf("workload,rate,detection\n");
 
+  Timer Wall;
   TextTable Table;
   std::vector<std::string> Header{"Program"};
   for (double Rate : accuracyRates())
@@ -49,5 +50,6 @@ int main(int Argc, char **Argv) {
   std::printf("\n%s\n(each cell: mean dynamic detection rate; ideal equals "
               "the column's sampling rate)\n",
               Table.render().c_str());
+  printWallClock(Wall, Options);
   return 0;
 }

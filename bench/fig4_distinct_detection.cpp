@@ -25,6 +25,7 @@ int main(int Argc, char **Argv) {
   if (Csv)
     std::printf("workload,rate,detection\n");
 
+  Timer Wall;
   TextTable Table;
   std::vector<std::string> Header{"Program"};
   for (double Rate : accuracyRates())
@@ -45,5 +46,6 @@ int main(int Argc, char **Argv) {
   std::printf("%s\n(each cell: mean distinct detection rate; the diagonal "
               "is the proportionality guarantee, above it is a bonus)\n",
               Table.render().c_str());
+  printWallClock(Wall, Options);
   return 0;
 }

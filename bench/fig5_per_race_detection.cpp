@@ -22,6 +22,7 @@ int main(int Argc, char **Argv) {
               "sorted by rate. Lines should sit near their sampling "
               "rate, with few or no zero entries.");
 
+  Timer Wall;
   const std::vector<double> Rates{0.01, 0.03, 0.05, 0.10, 0.25};
   for (const WorkloadSpec &Spec : Options.Workloads) {
     DetectionStudy Study = runDetectionStudy(Spec, Rates, Options);
@@ -38,5 +39,6 @@ int main(int Argc, char **Argv) {
     }
     std::printf("\n");
   }
+  printWallClock(Wall, Options);
   return 0;
 }

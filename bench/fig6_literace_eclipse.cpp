@@ -29,22 +29,23 @@ int main(int Argc, char **Argv) {
   auto BurstLength = static_cast<uint32_t>(Flags.getInt("burst", 10));
 
   // Figure 6 is eclipse only, but honor --workload.
+  Timer Wall;
   for (const WorkloadSpec &Spec : Options.Workloads) {
     if (Options.Workloads.size() == 4 && Spec.Name != "eclipse")
       continue;
     CompiledWorkload Workload(Spec);
-    GroundTruth Truth =
-        computeGroundTruth(Workload, Options.FullTrials, Options.Seed);
+    GroundTruth Truth = computeGroundTruth(Workload, Options.FullTrials,
+                                           Options.Seed, Options.Jobs);
     uint32_t Trials =
         Options.Trials > 0 ? static_cast<uint32_t>(Options.Trials) : 60;
 
     DetectionPoint LiteRace =
         measureDetection(Workload, Truth, literaceSetup(BurstLength), Trials,
-                         Options.Seed + 17);
+                         Options.Seed + 17, Options.Jobs);
     DetectionPoint Pacer =
         measureDetection(Workload, Truth,
                          pacerSetup(std::max(0.01, LiteRace.EffectiveRateMean)),
-                         Trials, Options.Seed + 18);
+                         Trials, Options.Seed + 18, Options.Jobs);
 
     std::printf("--- %s: per-race detection over %u trials ---\n",
                 Spec.Name.c_str(), Trials);
@@ -65,5 +66,6 @@ int main(int Argc, char **Argv) {
                 LiteRace.EvaluationRacesMissed, Pacer.EvaluationRacesMissed,
                 Truth.EvaluationRaces.size());
   }
+  printWallClock(Wall, Options);
   return 0;
 }

@@ -31,10 +31,12 @@ int main(int Argc, char **Argv) {
     Header.push_back(Config.Label);
   Table.setHeader(Header);
 
+  Timer Wall;
   for (const WorkloadSpec &Spec : Options.Workloads) {
     CompiledWorkload Workload(Spec);
     std::vector<OverheadResult> Results =
-        measureOverheads(Workload, Configs, Trials, Options.Seed);
+        measureOverheads(Workload, Configs, Trials, Options.Seed,
+                         Options.Jobs);
     std::vector<std::string> Row{Spec.Name};
     for (const OverheadResult &Result : Results)
       Row.push_back(formatDouble(Result.Slowdown, 2) + "x");
@@ -44,5 +46,6 @@ int main(int Argc, char **Argv) {
               "no-analysis baseline; paper averages: OM+sync 1.15x, r=0%% "
               "1.33x, r=1%% 1.52x, r=3%% 1.86x)\n",
               Table.render().c_str(), Trials);
+  printWallClock(Wall, Options);
   return 0;
 }

@@ -34,10 +34,12 @@ int main(int Argc, char **Argv) {
     Header.push_back(Configs[I].Label);
   Table.setHeader(Header);
 
+  Timer Wall;
   for (const WorkloadSpec &Spec : Options.Workloads) {
     CompiledWorkload Workload(Spec);
     std::vector<OverheadResult> Results =
-        measureOverheads(Workload, Configs, Trials, Options.Seed);
+        measureOverheads(Workload, Configs, Trials, Options.Seed,
+                         Options.Jobs);
     std::vector<std::string> Row{Spec.Name};
     for (size_t I = 1; I < Results.size(); ++I)
       Row.push_back(formatDouble(Results[I].Slowdown, 2) + "x");
@@ -46,5 +48,6 @@ int main(int Argc, char **Argv) {
   std::printf("%s\n(median of %u trials, normalized to the no-analysis "
               "baseline)\n",
               Table.render().c_str(), Trials);
+  printWallClock(Wall, Options);
   return 0;
 }

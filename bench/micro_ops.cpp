@@ -5,6 +5,13 @@
 // copies vs O(1) epoch checks, version-epoch fast joins vs slow joins,
 // shallow vs deep clock copies, and the read/write fast-path check.
 //
+// `micro_ops --json` skips google-benchmark and instead replays a fixed
+// trace under every detector, writing machine-readable per-detector
+// events/sec, p50/p95 per-event latency, and the dynamic race count to
+// BENCH_micro_ops.json (override with --json-out=PATH). Diffing that file
+// across commits shows per-event speedups and catches any change in the
+// races a detector reports.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/Epoch.h"
@@ -13,11 +20,18 @@
 #include "core/VersionEpoch.h"
 #include "detectors/PacerDetector.h"
 #include "detectors/FastTrackDetector.h"
+#include "harness/TrialRunner.h"
 #include "runtime/Runtime.h"
 #include "sim/TraceGenerator.h"
 #include "sim/Workloads.h"
+#include "support/CommandLine.h"
+#include "support/Stats.h"
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
 
 using namespace pacer;
 
@@ -158,6 +172,109 @@ void BM_ReplayTinyWorkload(benchmark::State &State) {
 }
 BENCHMARK(BM_ReplayTinyWorkload)->Arg(0)->Arg(10)->Arg(30)->Arg(1000);
 
+//===----------------------------------------------------------------------===//
+// --json mode
+//===----------------------------------------------------------------------===//
+
+/// One detector's replay measurements over the repetitions.
+struct JsonRow {
+  std::string Name;
+  double EventsPerSecond = 0.0; ///< From the median repetition.
+  double P50NsPerEvent = 0.0;
+  double P95NsPerEvent = 0.0;
+  uint64_t DynamicRaces = 0; ///< Identical across repetitions (same seed).
+};
+
+int runJsonMode(int Argc, const char *const *Argv) {
+  FlagSet Flags(Argc, Argv);
+  std::string OutPath = Flags.getString("json-out", "BENCH_micro_ops.json");
+  auto Reps = static_cast<uint32_t>(Flags.getInt("reps", 15));
+  double Scale = Flags.getDouble("scale", 1.0);
+  uint64_t Seed = static_cast<uint64_t>(Flags.getInt("seed", 12345));
+
+  CompiledWorkload Workload(
+      scaleWorkload(mediumTestWorkload(), Scale));
+  Trace T = generateTrace(Workload, Seed);
+
+  struct NamedSetup {
+    const char *Name;
+    DetectorSetup Setup;
+  };
+  const NamedSetup Setups[] = {
+      {"null", nullSetup()},
+      {"fasttrack", fastTrackSetup()},
+      {"pacer_r0", pacerSetup(0.0)},
+      {"pacer_r3", pacerSetup(0.03)},
+      {"pacer_r100", pacerSetup(1.0)},
+      {"literace", literaceSetup()},
+  };
+
+  std::vector<JsonRow> Rows;
+  for (const NamedSetup &NS : Setups) {
+    std::vector<double> NsPerEvent;
+    NsPerEvent.reserve(Reps);
+    uint64_t Races = 0;
+    for (uint32_t Rep = 0; Rep < Reps; ++Rep) {
+      TrialResult Result = runTrialOnTrace(T, Workload, NS.Setup, Seed);
+      Races = Result.DynamicRaces;
+      double Seconds = Result.ReplaySeconds;
+      NsPerEvent.push_back(T.empty() ? 0.0
+                                     : Seconds * 1e9 /
+                                           static_cast<double>(T.size()));
+    }
+    JsonRow Row;
+    Row.Name = NS.Name;
+    Row.P50NsPerEvent = median(NsPerEvent);
+    Row.P95NsPerEvent = quantile(NsPerEvent, 0.95);
+    Row.EventsPerSecond =
+        Row.P50NsPerEvent > 0.0 ? 1e9 / Row.P50NsPerEvent : 0.0;
+    Row.DynamicRaces = Races;
+    Rows.push_back(Row);
+    std::printf("%-10s %12.0f events/sec  p50 %7.1f ns  p95 %7.1f ns  "
+                "races %llu\n",
+                Row.Name.c_str(), Row.EventsPerSecond, Row.P50NsPerEvent,
+                Row.P95NsPerEvent,
+                static_cast<unsigned long long>(Row.DynamicRaces));
+  }
+
+  std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(Out, "{\n  \"workload\": \"%s\",\n  \"events\": %llu,\n"
+                    "  \"reps\": %u,\n  \"detectors\": [\n",
+               Workload.spec().Name.c_str(),
+               static_cast<unsigned long long>(T.size()), Reps);
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const JsonRow &Row = Rows[I];
+    std::fprintf(Out,
+                 "    {\"name\": \"%s\", \"events_per_sec\": %.1f, "
+                 "\"p50_ns_per_event\": %.2f, \"p95_ns_per_event\": %.2f, "
+                 "\"dynamic_races\": %llu}%s\n",
+                 Row.Name.c_str(), Row.EventsPerSecond, Row.P50NsPerEvent,
+                 Row.P95NsPerEvent,
+                 static_cast<unsigned long long>(Row.DynamicRaces),
+                 I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath.c_str());
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::string(Argv[I]) == "--json" ||
+        std::string(Argv[I]).rfind("--json=", 0) == 0 ||
+        std::string(Argv[I]).rfind("--json-out", 0) == 0)
+      return runJsonMode(Argc, Argv);
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -36,21 +36,32 @@ int main(int Argc, char **Argv) {
   auto PeriodBytes =
       static_cast<uint64_t>(Flags.getInt("period-bytes", 12 * 1024));
 
+  Timer Wall;
   TextTable Table;
   Table.setHeader({"Program", "r=1%", "r=3%", "r=5%", "r=10%", "r=25%"});
   for (const WorkloadSpec &Spec : Options.Workloads) {
     CompiledWorkload Workload(Spec);
+    // Trials are independent; per-trial effective rates land in
+    // trial-indexed slots, and the Welford accumulation below walks them
+    // in seed order so every --jobs value prints identical cells.
+    std::vector<std::vector<double>> PerTrial =
+        parallelMap(Options.Jobs, Trials, [&](size_t Trial) {
+          Trace T = generateTrace(Workload, Options.Seed + Trial);
+          std::vector<double> Row;
+          Row.reserve(Rates.size());
+          for (double Rate : Rates) {
+            DetectorSetup Setup = pacerSetup(Rate);
+            Setup.Sampling.PeriodBytes = PeriodBytes;
+            TrialResult Result =
+                runTrialOnTrace(T, Workload, Setup, Options.Seed + Trial);
+            Row.push_back(Result.EffectiveAccessRate * 100.0);
+          }
+          return Row;
+        });
     std::vector<RunningStat> Effective(Rates.size());
-    for (uint32_t Trial = 0; Trial < Trials; ++Trial) {
-      Trace T = generateTrace(Workload, Options.Seed + Trial);
-      for (size_t I = 0; I != Rates.size(); ++I) {
-        DetectorSetup Setup = pacerSetup(Rates[I]);
-        Setup.Sampling.PeriodBytes = PeriodBytes;
-        TrialResult Result =
-            runTrialOnTrace(T, Workload, Setup, Options.Seed + Trial);
-        Effective[I].add(Result.EffectiveAccessRate * 100.0);
-      }
-    }
+    for (const std::vector<double> &TrialRow : PerTrial)
+      for (size_t I = 0; I != Rates.size(); ++I)
+        Effective[I].add(TrialRow[I]);
     std::vector<std::string> Row{Spec.Name};
     for (const RunningStat &Stat : Effective)
       Row.push_back(formatPlusMinus(Stat.mean(), Stat.stddev(), 1));
@@ -59,5 +70,6 @@ int main(int Argc, char **Argv) {
   std::printf("%s\n(effective sampling rate %%, mean ± stddev over %u "
               "trials per cell)\n",
               Table.render().c_str(), Trials);
+  printWallClock(Wall, Options);
   return 0;
 }

@@ -35,13 +35,14 @@ int main(int Argc, char **Argv) {
   uint32_t T5 = std::max(1u, FullTrials / 10);
   uint32_t T25 = std::max(1u, FullTrials / 2);
 
+  Timer Wall;
   TextTable Table;
   Table.setHeader({"Program", "Threads", "Max live", ">=1 trial",
                    ">=" + std::to_string(T5), ">=" + std::to_string(T25)});
   for (const WorkloadSpec &Spec : Options.Workloads) {
     CompiledWorkload Workload(Spec);
     GroundTruth Truth =
-        computeGroundTruth(Workload, FullTrials, Options.Seed);
+        computeGroundTruth(Workload, FullTrials, Options.Seed, Options.Jobs);
     Trace T = generateTrace(Workload, Options.Seed);
     uint32_t MaxLive = test::maxLiveThreads(T, Workload.totalThreads());
     Table.addRow({Spec.Name, std::to_string(Workload.totalThreads()),
@@ -54,5 +55,6 @@ int main(int Argc, char **Argv) {
               "populations: eclipse 80, hsqldb 28, xalan 75, pseudojbb "
               "14)\n",
               Table.render().c_str(), FullTrials);
+  printWallClock(Wall, Options);
   return 0;
 }

@@ -1,0 +1,230 @@
+//===- core/FlatVarTable.h - Open-addressing variable table ----*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An open-addressing hash table mapping dense VarIds to per-variable
+/// detector metadata. This is the PACER detector's hot-path structure: the
+/// inlined read/write fast path is "flag test plus table lookup miss"
+/// (Section 4), so lookup cost is per-event cost. Compared to
+/// std::unordered_map (chained nodes, one heap allocation and one pointer
+/// chase per entry), a flat table probes a contiguous power-of-two slot
+/// array with linear probing and a Fibonacci-multiplicative hash: misses
+/// usually resolve in a single cache line, and erasure (PACER discards
+/// metadata continuously during non-sampling periods) writes a tombstone
+/// instead of touching the allocator.
+///
+/// Capacity is allocated lazily: an empty table owns no heap memory,
+/// matching PACER's space story where an idle detector charges nothing.
+///
+/// Keys must not be InvalidId (the empty sentinel) or InvalidId - 1 (the
+/// tombstone sentinel); variable ids are dense from zero, so the top two
+/// values are never legitimate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_CORE_FLATVARTABLE_H
+#define PACER_CORE_FLATVARTABLE_H
+
+#include "core/Ids.h"
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+namespace pacer {
+
+/// Open-addressing VarId -> ValueT map with tombstone deletion.
+/// ValueT must be default-constructible and movable.
+template <typename ValueT> class FlatVarTable {
+  static constexpr VarId EmptyKey = InvalidId;
+  static constexpr VarId TombstoneKey = InvalidId - 1;
+  static constexpr size_t MinCapacity = 16;
+
+  struct Slot {
+    VarId Key = EmptyKey;
+    ValueT Value{};
+  };
+
+public:
+  FlatVarTable() = default;
+  FlatVarTable(const FlatVarTable &) = delete;
+  FlatVarTable &operator=(const FlatVarTable &) = delete;
+  ~FlatVarTable() { delete[] Slots; }
+
+  /// Number of live entries.
+  size_t size() const { return Live; }
+  bool empty() const { return Live == 0; }
+
+  /// Returns the value stored under \p Key, or null. The pointer is
+  /// invalidated by the next insertion.
+  ValueT *find(VarId Key) {
+    Slot *S = findSlot(Key);
+    return S ? &S->Value : nullptr;
+  }
+  const ValueT *find(VarId Key) const {
+    return const_cast<FlatVarTable *>(this)->find(Key);
+  }
+
+  /// Returns the value under \p Key, default-constructing it if absent.
+  /// May rehash; any previously returned pointer is invalidated.
+  ValueT &getOrInsert(VarId Key) {
+    assert(Key < TombstoneKey && "key collides with a sentinel");
+    if ((Used + 1) * 4 >= Capacity * 3)
+      rehash();
+    size_t Mask = Capacity - 1;
+    size_t I = hashKey(Key) & Mask;
+    size_t FirstTombstone = Capacity; // Sentinel: none seen.
+    while (true) {
+      Slot &S = Slots[I];
+      if (S.Key == Key)
+        return S.Value;
+      if (S.Key == EmptyKey) {
+        // Reuse the first tombstone on the probe path, keeping chains
+        // short under PACER's continuous discard/re-insert churn.
+        Slot &Target =
+            FirstTombstone != Capacity ? Slots[FirstTombstone] : S;
+        if (Target.Key != EmptyKey)
+          --Tombstones;
+        else
+          ++Used;
+        Target.Key = Key;
+        Target.Value = ValueT{};
+        ++Live;
+        return Target.Value;
+      }
+      if (S.Key == TombstoneKey && FirstTombstone == Capacity)
+        FirstTombstone = I;
+      I = (I + 1) & Mask;
+    }
+  }
+
+  /// Removes \p Key if present. Returns true if an entry was removed.
+  /// May shrink the slot array (invalidating pointers) once occupancy
+  /// falls far enough; PACER discards metadata wholesale during
+  /// non-sampling periods and the space must actually come back.
+  bool erase(VarId Key) {
+    Slot *S = findSlot(Key);
+    if (!S)
+      return false;
+    S->Key = TombstoneKey;
+    S->Value = ValueT{};
+    --Live;
+    ++Tombstones;
+    maybeShrink();
+    return true;
+  }
+
+  /// Drops every entry, keeping the slot array.
+  void clear() {
+    for (size_t I = 0; I < Capacity; ++I) {
+      Slots[I].Key = EmptyKey;
+      Slots[I].Value = ValueT{};
+    }
+    Live = 0;
+    Used = 0;
+    Tombstones = 0;
+  }
+
+  /// Invokes Fn(VarId, const ValueT &) for every live entry, in slot
+  /// (not key) order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (size_t I = 0; I < Capacity; ++I)
+      if (isLiveSlot(Slots[I]))
+        Fn(Slots[I].Key, Slots[I].Value);
+  }
+
+  /// Invokes Fn(VarId, ValueT &) for every live entry; entries for which
+  /// Fn returns true are erased. Safe against mutation of the visited
+  /// value; must not insert during iteration.
+  template <typename FnT> void eraseIf(FnT Fn) {
+    for (size_t I = 0; I < Capacity; ++I) {
+      Slot &S = Slots[I];
+      if (isLiveSlot(S) && Fn(S.Key, S.Value)) {
+        S.Key = TombstoneKey;
+        S.Value = ValueT{};
+        --Live;
+        ++Tombstones;
+      }
+    }
+    maybeShrink();
+  }
+
+  /// Heap bytes owned by the slot array (the space model adds per-entry
+  /// payload bytes separately).
+  size_t heapBytes() const { return Capacity * sizeof(Slot); }
+
+private:
+  static size_t hashKey(VarId Key) {
+    // Fibonacci multiplicative hash: dense sequential ids scatter across
+    // the table instead of clustering into one probe run.
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(Key) * 0x9e3779b97f4a7c15ULL) >> 32);
+  }
+
+  bool isLiveSlot(const Slot &S) const {
+    return S.Key != EmptyKey && S.Key != TombstoneKey;
+  }
+
+  /// Shrinks the slot array when occupancy drops to <= 1/8, releasing the
+  /// space a mass discard freed. Never shrinks below MinCapacity: the
+  /// non-sampling discard path oscillates between empty and a few entries,
+  /// and a floor keeps that oscillation allocation-free.
+  void maybeShrink() {
+    if (Capacity > MinCapacity && Live * 8 <= Capacity)
+      rehash();
+  }
+
+  Slot *findSlot(VarId Key) const {
+    if (Live == 0)
+      return nullptr;
+    size_t Mask = Capacity - 1;
+    size_t I = hashKey(Key) & Mask;
+    while (true) {
+      Slot &S = Slots[I];
+      if (S.Key == Key)
+        return &S;
+      if (S.Key == EmptyKey)
+        return nullptr;
+      I = (I + 1) & Mask;
+    }
+  }
+
+  /// Reallocates to a capacity sized for the live count (shedding
+  /// tombstones) and reinserts every live entry.
+  void rehash() {
+    size_t NewCapacity = MinCapacity;
+    while (NewCapacity * 3 < (Live + 1) * 8) // Target load <= 3/8.
+      NewCapacity *= 2;
+    Slot *OldSlots = Slots;
+    size_t OldCapacity = Capacity;
+    Slots = new Slot[NewCapacity];
+    Capacity = NewCapacity;
+    Used = Live;
+    Tombstones = 0;
+    size_t Mask = NewCapacity - 1;
+    for (size_t I = 0; I < OldCapacity; ++I) {
+      Slot &S = OldSlots[I];
+      if (!isLiveSlot(S))
+        continue;
+      size_t J = hashKey(S.Key) & Mask;
+      while (Slots[J].Key != EmptyKey)
+        J = (J + 1) & Mask;
+      Slots[J].Key = S.Key;
+      Slots[J].Value = std::move(S.Value);
+    }
+    delete[] OldSlots;
+  }
+
+  Slot *Slots = nullptr;
+  size_t Capacity = 0;
+  size_t Live = 0;       ///< Entries holding a value.
+  size_t Used = 0;       ///< Live + tombstones (probe-chain occupancy).
+  size_t Tombstones = 0;
+};
+
+} // namespace pacer
+
+#endif // PACER_CORE_FLATVARTABLE_H

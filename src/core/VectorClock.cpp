@@ -3,50 +3,109 @@
 #include "core/VectorClock.h"
 
 #include <algorithm>
+#include <cstring>
 
 using namespace pacer;
 
+void VectorClock::grow(uint32_t MinCapacity) {
+  uint32_t NewCapacity = std::max(MinCapacity, Capacity * 2);
+  auto *NewData = new uint32_t[NewCapacity];
+  std::memcpy(NewData, Data, Count * sizeof(uint32_t));
+  deallocate();
+  Data = NewData;
+  Capacity = NewCapacity;
+}
+
+void VectorClock::extendTo(uint32_t NewCount) {
+  if (NewCount > Capacity)
+    grow(NewCount);
+  std::memset(Data + Count, 0, (NewCount - Count) * sizeof(uint32_t));
+  Count = NewCount;
+}
+
+void VectorClock::assign(const VectorClock &Other) {
+  if (Other.Count > Capacity)
+    grow(Other.Count);
+  std::memcpy(Data, Other.Data, Other.Count * sizeof(uint32_t));
+  Count = Other.Count;
+}
+
+void VectorClock::moveFrom(VectorClock &Other) noexcept {
+  if (Other.isInline()) {
+    Data = Inline;
+    Capacity = InlineCapacity;
+    std::memcpy(Inline, Other.Inline, Other.Count * sizeof(uint32_t));
+  } else {
+    // Steal the heap buffer; leave Other valid and minimal.
+    Data = Other.Data;
+    Capacity = Other.Capacity;
+    Other.Data = Other.Inline;
+    Other.Capacity = InlineCapacity;
+  }
+  Count = Other.Count;
+  Other.Count = 0;
+}
+
 void VectorClock::set(ThreadId Tid, uint32_t Value) {
-  if (Tid >= Values.size()) {
+  if (Tid >= Count) {
     if (Value == 0)
       return; // Absent entries already read as zero.
-    Values.resize(Tid + 1, 0);
+    extendTo(Tid + 1);
   }
-  Values[Tid] = Value;
+  Data[Tid] = Value;
 }
 
 void VectorClock::increment(ThreadId Tid) {
-  if (Tid >= Values.size())
-    Values.resize(Tid + 1, 0);
-  ++Values[Tid];
+  if (Tid >= Count)
+    extendTo(Tid + 1);
+  ++Data[Tid];
 }
 
 bool VectorClock::joinWith(const VectorClock &Other) {
   bool Changed = false;
-  if (Other.Values.size() > Values.size())
-    Values.resize(Other.Values.size(), 0);
-  for (size_t I = 0, E = Other.Values.size(); I != E; ++I) {
-    if (Other.Values[I] > Values[I]) {
-      Values[I] = Other.Values[I];
+  const uint32_t Shared = std::min(Count, Other.Count);
+  for (uint32_t I = 0; I != Shared; ++I) {
+    if (Other.Data[I] > Data[I]) {
+      Data[I] = Other.Data[I];
       Changed = true;
+    }
+  }
+  // Components of Other beyond our stored prefix: join against implicit
+  // zeros. Grow only as far as Other's last non-zero component -- a
+  // shorter (or zero-padded) Other must not inflate this clock.
+  uint32_t Last = Other.Count;
+  while (Last > Shared && Other.Data[Last - 1] == 0)
+    --Last;
+  if (Last > Shared) {
+    extendTo(Last);
+    for (uint32_t I = Shared; I != Last; ++I) {
+      if (Other.Data[I] != 0) {
+        Data[I] = Other.Data[I];
+        Changed = true;
+      }
     }
   }
   return Changed;
 }
 
 bool VectorClock::leq(const VectorClock &Other) const {
-  for (size_t I = 0, E = Values.size(); I != E; ++I)
-    if (Values[I] > Other.get(static_cast<ThreadId>(I)))
+  const uint32_t Shared = std::min(Count, Other.Count);
+  for (uint32_t I = 0; I != Shared; ++I)
+    if (Data[I] > Other.Data[I])
+      return false;
+  // Our excess tail compares against implicit zeros in Other.
+  for (uint32_t I = Shared; I < Count; ++I)
+    if (Data[I] != 0)
       return false;
   return true;
 }
 
 std::string VectorClock::str() const {
   std::string Out = "[";
-  for (size_t I = 0, E = Values.size(); I != E; ++I) {
+  for (uint32_t I = 0; I != Count; ++I) {
     if (I)
       Out += ", ";
-    Out += std::to_string(Values[I]);
+    Out += std::to_string(Data[I]);
   }
   Out += "]";
   return Out;
@@ -55,9 +114,9 @@ std::string VectorClock::str() const {
 namespace pacer {
 // Defined in-namespace so the friend declaration matches.
 bool operator==(const VectorClock &A, const VectorClock &B) {
-  size_t Max = std::max(A.Values.size(), B.Values.size());
-  for (size_t I = 0; I != Max; ++I)
-    if (A.get(static_cast<ThreadId>(I)) != B.get(static_cast<ThreadId>(I)))
+  uint32_t Max = std::max(A.Count, B.Count);
+  for (uint32_t I = 0; I != Max; ++I)
+    if (A.get(I) != B.get(I))
       return false;
   return true;
 }

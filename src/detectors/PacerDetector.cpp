@@ -122,18 +122,14 @@ void PacerDetector::purgeSlot(ThreadId Slot) {
   // The retired thread's recorded accesses are dominated by every live
   // thread: discard them, exactly as PACER's non-sampling rules discard
   // ordered accesses.
-  for (auto It = Vars.begin(); It != Vars.end();) {
-    VarState &State = It->second;
+  Vars.eraseIf([Slot](VarId, VarState &State) {
     State.R.removeThread(Slot);
     if (!State.W.isNone() && State.W.tid() == Slot) {
       State.W = Epoch::none();
       State.WSite = InvalidId;
     }
-    if (State.R.isNull() && State.W.isNone())
-      It = Vars.erase(It);
-    else
-      ++It;
-  }
+    return State.R.isNull() && State.W.isNone();
+  });
 
   ThreadState &Dead = Threads[Slot];
   if (Dead.External < ExternalToSlot.size())
@@ -377,8 +373,8 @@ void PacerDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
 
   // Inlined fast path (Section 4): outside sampling periods a variable
   // with no metadata needs no analysis at all.
-  auto It = Vars.find(Var);
-  if (!Sampling && It == Vars.end()) {
+  VarState *Found = Vars.find(Var);
+  if (!Sampling && !Found) {
     ++Stats.ReadFastNonSampling;
     return;
   }
@@ -391,9 +387,7 @@ void PacerDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
   const VectorClock &Clock = Thread.Clock.clock();
   Epoch Current = Epoch::make(Clock.get(Tid), Tid);
 
-  if (It == Vars.end())
-    It = Vars.try_emplace(Var).first;
-  VarState &State = It->second;
+  VarState &State = Found ? *Found : Vars.getOrInsert(Var);
 
   // Table 4 Rule 1 (same epoch): no checks, no updates, in either period
   // kind. Checking first matters under report-and-continue: a racing
@@ -453,7 +447,7 @@ void PacerDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
     break;
   }
   if (State.R.isNull() && State.W.isNone())
-    Vars.erase(It);
+    Vars.erase(Var);
 }
 
 void PacerDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
@@ -461,8 +455,8 @@ void PacerDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
     return;
   Tid = slotOf(Tid);
 
-  auto It = Vars.find(Var);
-  if (!Sampling && It == Vars.end()) {
+  VarState *Found = Vars.find(Var);
+  if (!Sampling && !Found) {
     ++Stats.WriteFastNonSampling;
     return;
   }
@@ -475,9 +469,7 @@ void PacerDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
   const VectorClock &Clock = Thread.Clock.clock();
   Epoch Current = Epoch::make(Clock.get(Tid), Tid);
 
-  if (It == Vars.end())
-    It = Vars.try_emplace(Var).first;
-  VarState &State = It->second;
+  VarState &State = Found ? *Found : Vars.getOrInsert(Var);
 
   // Table 4 Rule 5 (same epoch): no action. The race checks cannot fire
   // here (see the write-rule discussion in DESIGN.md), so skipping them
@@ -503,7 +495,7 @@ void PacerDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
   // discard the variable's metadata entirely.
   if (!Config.DiscardMetadata)
     return; // Ablation: keep the stale (ordered) metadata.
-  Vars.erase(It);
+  Vars.erase(Var);
 }
 
 size_t PacerDetector::liveMetadataBytes() const {
@@ -533,9 +525,11 @@ size_t PacerDetector::liveMetadataBytes() const {
     AddPayload(State.Clock);
     Bytes += sizeof(State);
   }
-  for (const auto &[Var, State] : Vars)
-    Bytes += sizeof(State) + sizeof(VarId) + State.R.heapBytes() +
-             2 * sizeof(void *); // hash-table node overhead estimate
+  // The flat table's slot array is real, measurable storage (no node
+  // overhead estimate needed); entries add only their read-map payloads.
+  Bytes += Vars.heapBytes();
+  Vars.forEach(
+      [&](VarId, const VarState &State) { Bytes += State.R.heapBytes(); });
   return Bytes;
 }
 
@@ -583,11 +577,11 @@ const void *PacerDetector::lockClockKeyForTest(LockId Lock) const {
 }
 
 const ReadMap *PacerDetector::readMapForTest(VarId Var) const {
-  auto It = Vars.find(Var);
-  return It == Vars.end() ? nullptr : &It->second.R;
+  const VarState *State = Vars.find(Var);
+  return State ? &State->R : nullptr;
 }
 
 Epoch PacerDetector::writeEpochForTest(VarId Var) const {
-  auto It = Vars.find(Var);
-  return It == Vars.end() ? Epoch::none() : It->second.W;
+  const VarState *State = Vars.find(Var);
+  return State ? State->W : Epoch::none();
 }

@@ -35,12 +35,12 @@
 #define PACER_DETECTORS_PACERDETECTOR_H
 
 #include "core/Epoch.h"
+#include "core/FlatVarTable.h"
 #include "core/ReadMap.h"
 #include "core/SyncClock.h"
 #include "core/VersionEpoch.h"
 #include "detectors/Detector.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace pacer {
@@ -228,7 +228,9 @@ private:
   std::vector<ThreadState> Threads;
   std::vector<SyncObjState> Locks;
   std::vector<SyncObjState> Volatiles;
-  std::unordered_map<VarId, VarState> Vars;
+  /// Open-addressing flat table: the read/write fast path is one probe
+  /// (usually one cache line) instead of a chained unordered_map lookup.
+  FlatVarTable<VarState> Vars;
 
   // Accordion-clock state (empty unless enabled).
   std::vector<ThreadId> ExternalToSlot; // InvalidId = unmapped.

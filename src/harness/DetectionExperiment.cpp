@@ -3,6 +3,7 @@
 #include "harness/DetectionExperiment.h"
 
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cmath>
@@ -20,14 +21,21 @@ uint32_t GroundTruth::racesSeenAtLeast(uint32_t MinTrials) const {
 
 GroundTruth pacer::computeGroundTruth(const CompiledWorkload &Workload,
                                       uint32_t FullTrials,
-                                      uint64_t BaseSeed) {
+                                      uint64_t BaseSeed, unsigned Jobs) {
   GroundTruth Truth;
   Truth.FullTrials = FullTrials;
 
+  // Each trial is an independent pure function of its seed; run them
+  // concurrently, then aggregate the index-ordered results exactly as the
+  // serial loop would have.
+  std::vector<TrialResult> Results =
+      parallelMap(Jobs, FullTrials, [&](size_t Trial) {
+        return runTrial(Workload, fastTrackSetup(),
+                        BaseSeed + static_cast<uint64_t>(Trial));
+      });
+
   std::map<RaceKey, std::pair<uint32_t, uint64_t>> Seen; // trials, dynamic
-  DetectorSetup Setup = fastTrackSetup();
-  for (uint32_t Trial = 0; Trial < FullTrials; ++Trial) {
-    TrialResult Result = runTrial(Workload, Setup, BaseSeed + Trial);
+  for (const TrialResult &Result : Results) {
     for (const auto &[Key, Count] : Result.Races) {
       auto &[Trials, Dynamic] = Seen[Key];
       ++Trials;
@@ -51,7 +59,8 @@ GroundTruth pacer::computeGroundTruth(const CompiledWorkload &Workload,
 DetectionPoint pacer::measureDetection(const CompiledWorkload &Workload,
                                        const GroundTruth &Truth,
                                        const DetectorSetup &Setup,
-                                       uint32_t Trials, uint64_t BaseSeed) {
+                                       uint32_t Trials, uint64_t BaseSeed,
+                                       unsigned Jobs) {
   DetectionPoint Point;
   Point.SpecifiedRate = Setup.SamplingRate;
   Point.Trials = Trials;
@@ -61,10 +70,18 @@ DetectionPoint pacer::measureDetection(const CompiledWorkload &Workload,
   std::vector<uint32_t> TrialsDetected(NumEval, 0);
   RunningStat EffectiveRate;
 
-  for (uint32_t Trial = 0; Trial < Trials; ++Trial) {
-    // Seeds disjoint from ground truth: offset far past the full trials.
-    uint64_t Seed = BaseSeed + 1000003ull * (Trial + 1);
-    TrialResult Result = runTrial(Workload, Setup, Seed);
+  std::vector<TrialResult> Results =
+      parallelMap(Jobs, Trials, [&](size_t Trial) {
+        // Seeds disjoint from ground truth: offset far past the full
+        // trials.
+        uint64_t Seed = BaseSeed + 1000003ull * (Trial + 1);
+        return runTrial(Workload, Setup, Seed);
+      });
+
+  // Aggregate in seed order: the Welford accumulator's result depends on
+  // insertion order, so walking the ordered results keeps every Jobs
+  // value bit-identical to the serial loop.
+  for (const TrialResult &Result : Results) {
     for (size_t I = 0; I != NumEval; ++I) {
       RaceKey Key = Truth.EvaluationRaces[I].Key;
       uint64_t Count = Result.dynamicCount(Key);

@@ -51,9 +51,13 @@ struct GroundTruth {
 };
 
 /// Runs \p FullTrials fully sampled trials (seeds BaseSeed..+FullTrials-1)
-/// with FastTrack and aggregates occurrence statistics.
+/// with FastTrack and aggregates occurrence statistics. Trials run on
+/// \p Jobs-way concurrency (each trial owns its detector, RNG seed, and
+/// result) and are aggregated in seed order, so the output is bit-identical
+/// for every Jobs value; Jobs <= 1 is the serial loop.
 GroundTruth computeGroundTruth(const CompiledWorkload &Workload,
-                               uint32_t FullTrials, uint64_t BaseSeed);
+                               uint32_t FullTrials, uint64_t BaseSeed,
+                               unsigned Jobs = 1);
 
 /// One rate's measured accuracy.
 struct DetectionPoint {
@@ -77,10 +81,12 @@ struct DetectionPoint {
 
 /// Runs \p Trials sampled trials of \p Setup (seeds disjoint from the
 /// ground-truth seeds) and measures detection rates against \p Truth.
+/// Trials run on \p Jobs-way concurrency with seed-order aggregation;
+/// results are bit-identical for every Jobs value.
 DetectionPoint measureDetection(const CompiledWorkload &Workload,
                                 const GroundTruth &Truth,
                                 const DetectorSetup &Setup, uint32_t Trials,
-                                uint64_t BaseSeed);
+                                uint64_t BaseSeed, unsigned Jobs = 1);
 
 /// The paper's trial-count formula numTrials(r) = min(max(ceil(S/r), Lo),
 /// Hi) with S defaulting to a simulator-friendly 1.0 (the paper uses 10).

@@ -4,6 +4,7 @@
 
 #include "sim/TraceGenerator.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 
@@ -12,18 +13,35 @@ using namespace pacer;
 std::vector<OverheadResult>
 pacer::measureOverheads(const CompiledWorkload &Workload,
                         const std::vector<OverheadConfig> &Configs,
-                        uint32_t Trials, uint64_t BaseSeed) {
+                        uint32_t Trials, uint64_t BaseSeed, unsigned Jobs) {
+  // One repetition = generate the trial's trace, then time every
+  // configuration on that identical trace. Repetitions are independent,
+  // so they parallelize; per-trial seconds land in trial-indexed slots
+  // and the median aggregation below is order-insensitive anyway.
+  struct TrialSeconds {
+    std::vector<double> PerConfig;
+    uint64_t Events = 0;
+  };
+  std::vector<TrialSeconds> PerTrial =
+      parallelMap(Jobs, Trials, [&](size_t Trial) {
+        uint64_t Seed = BaseSeed + static_cast<uint64_t>(Trial);
+        Trace T = generateTrace(Workload, Seed);
+        TrialSeconds Out;
+        Out.Events = T.size();
+        Out.PerConfig.reserve(Configs.size());
+        for (const OverheadConfig &Config : Configs)
+          Out.PerConfig.push_back(
+              runTrialOnTrace(T, Workload, Config.Setup, Seed)
+                  .ReplaySeconds);
+        return Out;
+      });
+
   std::vector<std::vector<double>> Seconds(Configs.size());
   uint64_t TotalEvents = 0;
-
-  for (uint32_t Trial = 0; Trial < Trials; ++Trial) {
-    Trace T = generateTrace(Workload, BaseSeed + Trial);
-    TotalEvents += T.size();
-    for (size_t I = 0; I != Configs.size(); ++I) {
-      TrialResult Result =
-          runTrialOnTrace(T, Workload, Configs[I].Setup, BaseSeed + Trial);
-      Seconds[I].push_back(Result.ReplaySeconds);
-    }
+  for (const TrialSeconds &Trial : PerTrial) {
+    TotalEvents += Trial.Events;
+    for (size_t I = 0; I != Configs.size(); ++I)
+      Seconds[I].push_back(Trial.PerConfig[I]);
   }
 
   double AvgEvents = Trials == 0 ? 0.0

@@ -41,11 +41,15 @@ struct OverheadResult {
 };
 
 /// Times every configuration on the same \p Trials traces. The first
-/// configuration is the normalization baseline.
+/// configuration is the normalization baseline. \p Jobs parallelizes
+/// across trials (each trial generates its trace once and times every
+/// configuration on it); keep Jobs = 1 when absolute wall-clock numbers
+/// matter, since concurrent trials contend for cores and inflate every
+/// configuration's time together.
 std::vector<OverheadResult>
 measureOverheads(const CompiledWorkload &Workload,
                  const std::vector<OverheadConfig> &Configs, uint32_t Trials,
-                 uint64_t BaseSeed);
+                 uint64_t BaseSeed, unsigned Jobs = 1);
 
 /// The paper's Figure 7 configuration ladder: baseline, "OM + sync ops"
 /// (synchronization-only PACER at r=0), PACER r=0 (full instrumentation,

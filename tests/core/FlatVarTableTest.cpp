@@ -1,0 +1,190 @@
+//===- tests/core/FlatVarTableTest.cpp ------------------------------------==//
+
+#include "core/FlatVarTable.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+using namespace pacer;
+
+TEST(FlatVarTableTest, EmptyTableOwnsNoHeap) {
+  FlatVarTable<int> Table;
+  EXPECT_TRUE(Table.empty());
+  EXPECT_EQ(Table.size(), 0u);
+  EXPECT_EQ(Table.heapBytes(), 0u);
+  EXPECT_EQ(Table.find(0), nullptr);
+  EXPECT_FALSE(Table.erase(0));
+}
+
+TEST(FlatVarTableTest, InsertFindRoundTrip) {
+  FlatVarTable<int> Table;
+  Table.getOrInsert(7) = 42;
+  ASSERT_NE(Table.find(7), nullptr);
+  EXPECT_EQ(*Table.find(7), 42);
+  EXPECT_EQ(Table.find(8), nullptr);
+  EXPECT_EQ(Table.size(), 1u);
+  EXPECT_GT(Table.heapBytes(), 0u);
+}
+
+TEST(FlatVarTableTest, GetOrInsertIsIdempotent) {
+  FlatVarTable<int> Table;
+  Table.getOrInsert(3) = 10;
+  EXPECT_EQ(Table.getOrInsert(3), 10);
+  EXPECT_EQ(Table.size(), 1u);
+}
+
+TEST(FlatVarTableTest, EraseMakesRoomAndFindMisses) {
+  FlatVarTable<int> Table;
+  Table.getOrInsert(1) = 1;
+  Table.getOrInsert(2) = 2;
+  EXPECT_TRUE(Table.erase(1));
+  EXPECT_EQ(Table.find(1), nullptr);
+  EXPECT_FALSE(Table.erase(1));
+  EXPECT_EQ(Table.size(), 1u);
+  ASSERT_NE(Table.find(2), nullptr);
+  EXPECT_EQ(*Table.find(2), 2);
+}
+
+TEST(FlatVarTableTest, ReinsertAfterEraseReusesTombstone) {
+  FlatVarTable<int> Table;
+  Table.getOrInsert(5) = 50;
+  size_t Bytes = Table.heapBytes();
+  for (int Round = 0; Round < 1000; ++Round) {
+    EXPECT_TRUE(Table.erase(5));
+    Table.getOrInsert(5) = 50 + Round;
+  }
+  // Discard/re-insert churn of one key must not grow the table.
+  EXPECT_EQ(Table.heapBytes(), Bytes);
+  EXPECT_EQ(Table.size(), 1u);
+  EXPECT_EQ(*Table.find(5), 50 + 999);
+}
+
+TEST(FlatVarTableTest, SparseHugeKeys) {
+  FlatVarTable<int> Table;
+  const VarId Keys[] = {0, 1, 5000000, InvalidId - 2, 123456789};
+  int V = 0;
+  for (VarId Key : Keys)
+    Table.getOrInsert(Key) = V++;
+  V = 0;
+  for (VarId Key : Keys) {
+    ASSERT_NE(Table.find(Key), nullptr) << Key;
+    EXPECT_EQ(*Table.find(Key), V++);
+  }
+  EXPECT_EQ(Table.size(), 5u);
+}
+
+TEST(FlatVarTableTest, GrowthKeepsAllEntries) {
+  FlatVarTable<uint32_t> Table;
+  constexpr uint32_t N = 5000;
+  for (uint32_t I = 0; I < N; ++I)
+    Table.getOrInsert(I) = I * 3;
+  EXPECT_EQ(Table.size(), N);
+  for (uint32_t I = 0; I < N; ++I) {
+    ASSERT_NE(Table.find(I), nullptr) << I;
+    EXPECT_EQ(*Table.find(I), I * 3);
+  }
+}
+
+TEST(FlatVarTableTest, ForEachVisitsExactlyLiveEntries) {
+  FlatVarTable<int> Table;
+  for (VarId Key = 0; Key < 20; ++Key)
+    Table.getOrInsert(Key) = static_cast<int>(Key);
+  for (VarId Key = 0; Key < 20; Key += 2)
+    Table.erase(Key);
+  std::map<VarId, int> Seen;
+  Table.forEach([&](VarId Key, const int &Value) { Seen[Key] = Value; });
+  EXPECT_EQ(Seen.size(), 10u);
+  for (const auto &[Key, Value] : Seen) {
+    EXPECT_EQ(Key % 2, 1u);
+    EXPECT_EQ(Value, static_cast<int>(Key));
+  }
+}
+
+TEST(FlatVarTableTest, EraseIfDropsMatchingEntries) {
+  FlatVarTable<int> Table;
+  for (VarId Key = 0; Key < 100; ++Key)
+    Table.getOrInsert(Key) = static_cast<int>(Key);
+  Table.eraseIf([](VarId, int &Value) { return Value % 3 == 0; });
+  EXPECT_EQ(Table.size(), 66u); // 100 - 34 multiples of 3.
+  for (VarId Key = 0; Key < 100; ++Key)
+    EXPECT_EQ(Table.find(Key) != nullptr, Key % 3 != 0) << Key;
+}
+
+TEST(FlatVarTableTest, MassEraseReleasesSpace) {
+  FlatVarTable<int> Table;
+  constexpr VarId N = 2000;
+  for (VarId Key = 0; Key < N; ++Key)
+    Table.getOrInsert(Key) = 1;
+  size_t Full = Table.heapBytes();
+  for (VarId Key = 0; Key < N; ++Key)
+    Table.erase(Key);
+  EXPECT_TRUE(Table.empty());
+  EXPECT_LT(Table.heapBytes(), Full / 4); // Discard gives the space back.
+  // Still usable after shrinking.
+  Table.getOrInsert(5) = 9;
+  EXPECT_EQ(*Table.find(5), 9);
+}
+
+TEST(FlatVarTableTest, EraseIfShrinksAfterMassDiscard) {
+  FlatVarTable<int> Table;
+  for (VarId Key = 0; Key < 1000; ++Key)
+    Table.getOrInsert(Key) = static_cast<int>(Key);
+  size_t Full = Table.heapBytes();
+  Table.eraseIf([](VarId Key, int &) { return Key >= 10; });
+  EXPECT_EQ(Table.size(), 10u);
+  EXPECT_LT(Table.heapBytes(), Full / 4);
+  for (VarId Key = 0; Key < 10; ++Key)
+    EXPECT_EQ(*Table.find(Key), static_cast<int>(Key));
+}
+
+TEST(FlatVarTableTest, ClearKeepsCapacity) {
+  FlatVarTable<int> Table;
+  for (VarId Key = 0; Key < 50; ++Key)
+    Table.getOrInsert(Key) = 1;
+  size_t Bytes = Table.heapBytes();
+  Table.clear();
+  EXPECT_TRUE(Table.empty());
+  EXPECT_EQ(Table.heapBytes(), Bytes);
+  EXPECT_EQ(Table.find(10), nullptr);
+  Table.getOrInsert(10) = 7;
+  EXPECT_EQ(*Table.find(10), 7);
+}
+
+TEST(FlatVarTableTest, MatchesReferenceMapUnderChurn) {
+  FlatVarTable<uint64_t> Table;
+  std::map<VarId, uint64_t> Reference;
+  std::mt19937 Rng(12345);
+  for (int Op = 0; Op < 20000; ++Op) {
+    VarId Key = Rng() % 512;
+    switch (Rng() % 3) {
+    case 0: {
+      uint64_t Value = Rng();
+      Table.getOrInsert(Key) = Value;
+      Reference[Key] = Value;
+      break;
+    }
+    case 1:
+      EXPECT_EQ(Table.erase(Key), Reference.erase(Key) == 1);
+      break;
+    default: {
+      auto It = Reference.find(Key);
+      uint64_t *Found = Table.find(Key);
+      ASSERT_EQ(Found != nullptr, It != Reference.end());
+      if (Found)
+        EXPECT_EQ(*Found, It->second);
+      break;
+    }
+    }
+  }
+  EXPECT_EQ(Table.size(), Reference.size());
+  size_t Visited = 0;
+  Table.forEach([&](VarId Key, const uint64_t &Value) {
+    ++Visited;
+    auto It = Reference.find(Key);
+    ASSERT_NE(It, Reference.end());
+    EXPECT_EQ(Value, It->second);
+  });
+  EXPECT_EQ(Visited, Reference.size());
+}

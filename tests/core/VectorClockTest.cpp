@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 using namespace pacer;
 
 TEST(VectorClockTest, DefaultIsBottom) {
@@ -130,4 +132,74 @@ TEST(VectorClockTest, HeapBytesGrowWithSize) {
   EXPECT_EQ(A.heapBytes(), 0u);
   A.set(100, 1);
   EXPECT_GE(A.heapBytes(), 101 * sizeof(uint32_t));
+}
+
+TEST(VectorClockTest, InlineClocksOwnNoHeap) {
+  VectorClock A;
+  for (ThreadId Tid = 0; Tid < VectorClock::InlineCapacity; ++Tid)
+    A.set(Tid, Tid + 1);
+  EXPECT_EQ(A.heapBytes(), 0u);
+  // One component past the inline capacity spills to the heap.
+  A.set(VectorClock::InlineCapacity, 99);
+  EXPECT_GT(A.heapBytes(), 0u);
+  for (ThreadId Tid = 0; Tid < VectorClock::InlineCapacity; ++Tid)
+    EXPECT_EQ(A.get(Tid), Tid + 1);
+  EXPECT_EQ(A.get(VectorClock::InlineCapacity), 99u);
+}
+
+TEST(VectorClockTest, CopyAndMoveAcrossInlineBoundary) {
+  VectorClock Small;
+  Small.set(2, 7);
+  VectorClock Wide;
+  Wide.set(50, 3);
+
+  VectorClock CopySmall = Small;
+  VectorClock CopyWide = Wide;
+  EXPECT_TRUE(CopySmall == Small);
+  EXPECT_TRUE(CopyWide == Wide);
+
+  VectorClock MovedWide = std::move(CopyWide);
+  EXPECT_TRUE(MovedWide == Wide);
+  VectorClock MovedSmall = std::move(CopySmall);
+  EXPECT_TRUE(MovedSmall == Small);
+
+  // Wide-to-small assignment and back.
+  MovedSmall = Wide;
+  EXPECT_TRUE(MovedSmall == Wide);
+  MovedWide = Small;
+  EXPECT_TRUE(MovedWide == Small);
+}
+
+TEST(VectorClockTest, JoinWithShorterClockDoesNotGrow) {
+  VectorClock Wide, Narrow;
+  Wide.set(20, 4);
+  Narrow.set(1, 9);
+  size_t Size = Wide.size();
+  EXPECT_TRUE(Wide.joinWith(Narrow));
+  EXPECT_EQ(Wide.size(), Size); // A shorter Other never extends us.
+  EXPECT_EQ(Wide.get(1), 9u);
+  EXPECT_EQ(Wide.get(20), 4u);
+}
+
+TEST(VectorClockTest, JoinIgnoresTrailingExplicitZeros) {
+  VectorClock A, Padded;
+  A.set(0, 5);
+  Padded.set(0, 1);
+  Padded.set(30, 1);
+  Padded.set(30, 0); // Explicit zero stored at the tail.
+  EXPECT_FALSE(A.joinWith(Padded));
+  // Joining against implicit/explicit zeros must not inflate the clock.
+  EXPECT_EQ(A.size(), 1u);
+  EXPECT_EQ(A.get(0), 5u);
+}
+
+TEST(VectorClockTest, JoinGrowsOnlyToLastNonZero) {
+  VectorClock A, B;
+  A.set(0, 1);
+  B.set(3, 2); // Stores [0, 0, 0, 2].
+  B.set(40, 7);
+  B.set(40, 0); // Trailing explicit zeros beyond index 3.
+  EXPECT_TRUE(A.joinWith(B));
+  EXPECT_EQ(A.size(), 4u); // Grown to B's last non-zero, not B's size.
+  EXPECT_EQ(A.get(3), 2u);
 }
