@@ -14,7 +14,13 @@
 ///   --trials=N        override the per-point trial count
 ///   --seed=S          base seed (default 12345)
 ///   --full-trials=N   fully sampled calibration trials (default 30)
+///   --jobs=N          worker threads for trial-level parallelism
+///   --shards=K        variable shards per trial (intra-trial parallel
+///                     replay; results are bit-identical across K)
 ///
+/// The shared flags live in an OptionRegistry (benchOptionRegistry);
+/// binaries with extra flags declare them on that registry before parsing,
+/// so every bench driver gets generated --help and unknown-flag rejection.
 /// Binaries print the reproduced rows plus the paper's published values
 /// for side-by-side comparison; see EXPERIMENTS.md.
 ///
@@ -33,6 +39,7 @@
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -48,20 +55,45 @@ struct BenchOptions {
   /// Trial-level parallelism (--jobs / PACER_JOBS). Results are
   /// bit-identical across jobs values; 1 is the serial loop.
   unsigned Jobs = 1;
+  /// Variable shards per trial replay (--shards). Each trial's accesses
+  /// are partitioned across K detector replicas analysed concurrently;
+  /// results are bit-identical across shard counts, 1 is sequential.
+  unsigned Shards = 1;
 };
 
-inline BenchOptions parseBenchOptions(int Argc, const char *const *Argv,
-                                      double DefaultScale) {
-  FlagSet Flags(Argc, Argv);
+/// Returns a registry pre-declared with the flags every bench binary
+/// shares. Binaries with extra flags chain their own add*() calls on the
+/// result before handing it to parseBenchOptionsFrom.
+inline OptionRegistry benchOptionRegistry(const std::string &Usage,
+                                          double DefaultScale) {
+  OptionRegistry R(Usage);
+  R.addString("workload", "",
+              "one of eclipse|hsqldb|xalan|pseudojbb; empty = all")
+      .addDouble("scale", DefaultScale,
+                 "multiply per-worker operation counts")
+      .addInt("trials", -1, "override the per-point trial count; -1 = "
+                            "paper formula")
+      .addInt("seed", 12345, "base seed")
+      .addInt("full-trials", 30, "fully sampled calibration trials")
+      .addInt("jobs", static_cast<int64_t>(defaultJobs()),
+              "worker threads for trial-level parallelism")
+      .addInt("shards", 1,
+              "variable shards per trial replay (intra-trial parallelism)");
+  return R;
+}
+
+/// Extracts the shared options from a registry that has parsed argv.
+inline BenchOptions benchOptionsFrom(const OptionRegistry &R) {
   BenchOptions Options;
-  Options.Scale = Flags.getDouble("scale", DefaultScale);
-  Options.Trials = Flags.getInt("trials", -1);
-  Options.Seed = static_cast<uint64_t>(Flags.getInt("seed", 12345));
-  Options.FullTrials =
-      static_cast<uint32_t>(Flags.getInt("full-trials", 30));
-  int64_t Jobs = Flags.getInt("jobs", static_cast<int64_t>(defaultJobs()));
+  Options.Scale = R.getDouble("scale");
+  Options.Trials = R.getInt("trials");
+  Options.Seed = static_cast<uint64_t>(R.getInt("seed"));
+  Options.FullTrials = static_cast<uint32_t>(R.getInt("full-trials"));
+  int64_t Jobs = R.getInt("jobs");
   Options.Jobs = Jobs < 1 ? 1u : static_cast<unsigned>(Jobs);
-  std::string Name = Flags.getString("workload", "");
+  int64_t Shards = R.getInt("shards");
+  Options.Shards = Shards < 1 ? 1u : static_cast<unsigned>(Shards);
+  std::string Name = R.getString("workload");
   std::vector<WorkloadSpec> All = paperWorkloads();
   for (WorkloadSpec &Spec : All)
     if (Name.empty() || Spec.Name == Name)
@@ -74,6 +106,24 @@ inline BenchOptions parseBenchOptions(int Argc, const char *const *Argv,
     std::exit(1);
   }
   return Options;
+}
+
+/// Parses argv against \p R, exiting on --help (status 0) or an unknown
+/// flag (status 2), then extracts the shared options.
+inline BenchOptions parseBenchOptionsFrom(OptionRegistry &R, int Argc,
+                                          const char *const *Argv) {
+  if (!R.parse(Argc, Argv))
+    std::exit(R.helpRequested() ? 0 : 2);
+  return benchOptionsFrom(R);
+}
+
+/// Convenience for binaries with no extra flags.
+inline BenchOptions parseBenchOptions(int Argc, const char *const *Argv,
+                                      double DefaultScale) {
+  OptionRegistry R = benchOptionRegistry(
+      std::string(Argc > 0 ? Argv[0] : "bench") + " [options]",
+      DefaultScale);
+  return parseBenchOptionsFrom(R, Argc, Argv);
 }
 
 /// Prints a banner naming the experiment and the paper artifact it

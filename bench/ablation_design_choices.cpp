@@ -16,6 +16,8 @@
 
 #include "BenchCommon.h"
 
+#include "support/Rng.h"
+
 using namespace pacer;
 using namespace pacer::bench;
 
@@ -57,7 +59,7 @@ int main(int Argc, char **Argv) {
       size_t Bytes = 0;
       for (uint32_t Trial = 0; Trial < Trials; ++Trial) {
         TrialResult Result =
-            runTrial(Workload, C.Setup, Options.Seed + Trial);
+            runTrial(Workload, C.Setup, deriveTrialSeed(Options.Seed, Trial));
         SlowJoins += Result.Stats.SlowJoinsNonSampling;
         DeepCopies += Result.Stats.DeepCopiesNonSampling;
         Races += Result.DynamicRaces;
@@ -77,9 +79,9 @@ int main(int Argc, char **Argv) {
     Uncorrected.Sampling.BiasCorrection = false;
     RunningStat WithFix, WithoutFix;
     for (uint32_t Trial = 0; Trial < Trials; ++Trial) {
-      WithFix.add(runTrial(Workload, Corrected, Options.Seed + Trial)
+      WithFix.add(runTrial(Workload, Corrected, deriveTrialSeed(Options.Seed, Trial))
                       .EffectiveAccessRate);
-      WithoutFix.add(runTrial(Workload, Uncorrected, Options.Seed + Trial)
+      WithoutFix.add(runTrial(Workload, Uncorrected, deriveTrialSeed(Options.Seed, Trial))
                          .EffectiveAccessRate);
     }
     std::printf("bias correction at r=10%%: corrected %s vs uncorrected "
@@ -94,8 +96,8 @@ int main(int Argc, char **Argv) {
     uint64_t AccessesPlain = 0, AccessesElided = 0;
     double SecondsPlain = 0, SecondsElided = 0;
     for (uint32_t Trial = 0; Trial < Trials; ++Trial) {
-      TrialResult P = runTrial(Workload, Full, Options.Seed + Trial);
-      TrialResult E = runTrial(Workload, WithEscape, Options.Seed + Trial);
+      TrialResult P = runTrial(Workload, Full, deriveTrialSeed(Options.Seed, Trial));
+      TrialResult E = runTrial(Workload, WithEscape, deriveTrialSeed(Options.Seed, Trial));
       AccessesPlain += P.Stats.totalReads() + P.Stats.totalWrites();
       AccessesElided += E.Stats.totalReads() + E.Stats.totalWrites();
       SecondsPlain += P.ReplaySeconds;
@@ -116,9 +118,9 @@ int main(int Argc, char **Argv) {
     uint64_t ModifiedRaces = 0, OriginalRaces = 0;
     for (uint32_t Trial = 0; Trial < Trials; ++Trial) {
       ModifiedRaces +=
-          runTrial(Workload, Modified, Options.Seed + Trial).DynamicRaces;
+          runTrial(Workload, Modified, deriveTrialSeed(Options.Seed, Trial)).DynamicRaces;
       OriginalRaces +=
-          runTrial(Workload, Original, Options.Seed + Trial).DynamicRaces;
+          runTrial(Workload, Original, deriveTrialSeed(Options.Seed, Trial)).DynamicRaces;
     }
     std::printf("FastTrack dynamic reports: paper-modified %llu vs "
                 "original %llu (original keeps stale read epochs)\n\n",

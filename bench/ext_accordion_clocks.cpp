@@ -56,14 +56,16 @@ AccordionResult runOne(const CompiledWorkload &Workload, const Trace &T,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  BenchOptions Options = parseBenchOptions(Argc, Argv, /*DefaultScale=*/0.5);
+  OptionRegistry R = benchOptionRegistry("ext_accordion_clocks [options]",
+                                         /*DefaultScale=*/0.5);
+  R.addInt("recycle-every", 5000,
+           "events between dead-slot recycling sweeps");
+  BenchOptions Options = parseBenchOptionsFrom(R, Argc, Argv);
   printBanner("Extension: accordion clocks (thread-slot recycling)",
               "Clock slots track live threads instead of total threads; "
               "reported races are unchanged.");
 
-  FlagSet Flags(Argc, Argv);
-  auto RecycleEvery =
-      static_cast<uint64_t>(Flags.getInt("recycle-every", 5000));
+  auto RecycleEvery = static_cast<uint64_t>(R.getInt("recycle-every"));
 
   TextTable Table;
   Table.setHeader({"Program", "threads", "slots plain", "slots accordion",

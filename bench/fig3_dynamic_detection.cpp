@@ -16,13 +16,15 @@ using namespace pacer;
 using namespace pacer::bench;
 
 int main(int Argc, char **Argv) {
-  BenchOptions Options = parseBenchOptions(Argc, Argv, /*DefaultScale=*/0.3);
+  OptionRegistry R = benchOptionRegistry("fig3_dynamic_detection [options]",
+                                         /*DefaultScale=*/0.3);
+  R.addFlag("csv", "also emit workload,rate,detection rows as CSV");
+  BenchOptions Options = parseBenchOptionsFrom(R, Argc, Argv);
   printBanner("Figure 3: detection rate vs sampling rate (dynamic races)",
               "PACER reports roughly a proportion r of dynamic races: the "
               "series below should hug the diagonal.");
 
-  FlagSet Flags(Argc, Argv);
-  bool Csv = Flags.getBool("csv", false);
+  bool Csv = R.getBool("csv");
   if (Csv)
     std::printf("workload,rate,detection\n");
 

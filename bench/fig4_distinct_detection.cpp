@@ -14,14 +14,16 @@ using namespace pacer;
 using namespace pacer::bench;
 
 int main(int Argc, char **Argv) {
-  BenchOptions Options = parseBenchOptions(Argc, Argv, /*DefaultScale=*/0.3);
+  OptionRegistry R = benchOptionRegistry("fig4_distinct_detection [options]",
+                                         /*DefaultScale=*/0.3);
+  R.addFlag("csv", "also emit workload,rate,detection rows as CSV");
+  BenchOptions Options = parseBenchOptionsFrom(R, Argc, Argv);
   printBanner("Figure 4: detection rate vs sampling rate (distinct races)",
               "Distinct-race detection is at or above the diagonal: "
               "multiple dynamic occurrences give several chances per "
               "trial.");
 
-  FlagSet Flags(Argc, Argv);
-  bool Csv = Flags.getBool("csv", false);
+  bool Csv = R.getBool("csv");
   if (Csv)
     std::printf("workload,rate,detection\n");
 

@@ -27,6 +27,10 @@ int main(int Argc, char **Argv) {
   std::vector<OverheadConfig> Configs{{"base", nullSetup()}};
   for (double Rate : Rates)
     Configs.push_back({"r=" + formatPercent(Rate, 0), pacerSetup(Rate)});
+  // Intra-trial parallel replay: every configuration (including the
+  // baseline) shards identically so the slowdown ratios stay comparable.
+  for (OverheadConfig &Config : Configs)
+    Config.Setup.Shards = Options.Shards;
 
   TextTable Table;
   std::vector<std::string> Header{"Program"};

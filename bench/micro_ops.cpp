@@ -186,11 +186,21 @@ struct JsonRow {
 };
 
 int runJsonMode(int Argc, const char *const *Argv) {
-  FlagSet Flags(Argc, Argv);
-  std::string OutPath = Flags.getString("json-out", "BENCH_micro_ops.json");
-  auto Reps = static_cast<uint32_t>(Flags.getInt("reps", 15));
-  double Scale = Flags.getDouble("scale", 1.0);
-  uint64_t Seed = static_cast<uint64_t>(Flags.getInt("seed", 12345));
+  OptionRegistry R("micro_ops --json [options]");
+  R.addFlag("json", "run the JSON summary mode instead of google-benchmark")
+      .addString("json-out", "BENCH_micro_ops.json", "JSON output path")
+      .addInt("reps", 15, "timed repetitions per detector")
+      .addDouble("scale", 1.0, "workload scale factor")
+      .addInt("seed", 12345, "trace seed")
+      .addInt("shards", 1, "variable shards per trial replay");
+  if (!R.parse(Argc, Argv))
+    return R.helpRequested() ? 0 : 2;
+  std::string OutPath = R.getString("json-out");
+  auto Reps = static_cast<uint32_t>(R.getInt("reps"));
+  double Scale = R.getDouble("scale");
+  uint64_t Seed = static_cast<uint64_t>(R.getInt("seed"));
+  int64_t ShardsFlag = R.getInt("shards");
+  unsigned Shards = ShardsFlag < 1 ? 1u : static_cast<unsigned>(ShardsFlag);
 
   CompiledWorkload Workload(
       scaleWorkload(mediumTestWorkload(), Scale));
@@ -214,8 +224,10 @@ int runJsonMode(int Argc, const char *const *Argv) {
     std::vector<double> NsPerEvent;
     NsPerEvent.reserve(Reps);
     uint64_t Races = 0;
+    DetectorSetup Setup = NS.Setup;
+    Setup.Shards = Shards;
     for (uint32_t Rep = 0; Rep < Reps; ++Rep) {
-      TrialResult Result = runTrialOnTrace(T, Workload, NS.Setup, Seed);
+      TrialResult Result = runTrialOnTrace(T, Workload, Setup, Seed);
       Races = Result.DynamicRaces;
       double Seconds = Result.ReplaySeconds;
       NsPerEvent.push_back(T.empty() ? 0.0

@@ -15,12 +15,18 @@
 #include "BenchCommon.h"
 
 #include "sim/TraceGenerator.h"
+#include "support/Rng.h"
 
 using namespace pacer;
 using namespace pacer::bench;
 
 int main(int Argc, char **Argv) {
-  BenchOptions Options = parseBenchOptions(Argc, Argv, /*DefaultScale=*/1.0);
+  OptionRegistry R = benchOptionRegistry("table1_effective_rates [options]",
+                                         /*DefaultScale=*/1.0);
+  // Small simulated nurseries give each trial many sampling-period
+  // decisions, standing in for the paper's long executions.
+  R.addInt("period-bytes", 12 * 1024, "simulated nursery size in bytes");
+  BenchOptions Options = parseBenchOptionsFrom(R, Argc, Argv);
   printBanner("Table 1: effective vs specified sampling rates",
               "The GC-boundary sampling mechanism with sync-op bias "
               "correction achieves effective rates close to the specified "
@@ -30,11 +36,7 @@ int main(int Argc, char **Argv) {
   const std::vector<double> Rates{0.01, 0.03, 0.05, 0.10, 0.25};
   uint32_t Trials =
       Options.Trials > 0 ? static_cast<uint32_t>(Options.Trials) : 10;
-  // Small simulated nurseries give each trial many sampling-period
-  // decisions, standing in for the paper's long executions.
-  FlagSet Flags(Argc, Argv);
-  auto PeriodBytes =
-      static_cast<uint64_t>(Flags.getInt("period-bytes", 12 * 1024));
+  auto PeriodBytes = static_cast<uint64_t>(R.getInt("period-bytes"));
 
   Timer Wall;
   TextTable Table;
@@ -46,14 +48,15 @@ int main(int Argc, char **Argv) {
     // in seed order so every --jobs value prints identical cells.
     std::vector<std::vector<double>> PerTrial =
         parallelMap(Options.Jobs, Trials, [&](size_t Trial) {
-          Trace T = generateTrace(Workload, Options.Seed + Trial);
+          uint64_t Seed = deriveTrialSeed(Options.Seed, Trial);
+          Trace T = generateTrace(Workload, Seed);
           std::vector<double> Row;
           Row.reserve(Rates.size());
           for (double Rate : Rates) {
             DetectorSetup Setup = pacerSetup(Rate);
             Setup.Sampling.PeriodBytes = PeriodBytes;
             TrialResult Result =
-                runTrialOnTrace(T, Workload, Setup, Options.Seed + Trial);
+                runTrialOnTrace(T, Workload, Setup, Seed);
             Row.push_back(Result.EffectiveAccessRate * 100.0);
           }
           return Row;

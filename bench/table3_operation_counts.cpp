@@ -14,24 +14,28 @@
 
 #include "BenchCommon.h"
 
+#include "support/Rng.h"
+
 using namespace pacer;
 using namespace pacer::bench;
 
 int main(int Argc, char **Argv) {
-  BenchOptions Options = parseBenchOptions(Argc, Argv, /*DefaultScale=*/2.0);
+  OptionRegistry R = benchOptionRegistry("table3_operation_counts [options]",
+                                         /*DefaultScale=*/2.0);
+  // Long periods amortize the post-sbegin re-convergence cost, mirroring
+  // the paper's 32 MB nurseries against billions of events. Every entry
+  // into a sampling period bumps all thread clocks, so the first few
+  // joins afterwards are slow until versions converge again.
+  R.addInt("period-bytes", 4 * 1024 * 1024,
+           "simulated nursery size in bytes");
+  BenchOptions Options = parseBenchOptionsFrom(R, Argc, Argv);
   printBanner("Table 3: operation counts at r = 3%",
               "Versions and shallow copies avoid nearly all O(n) analysis "
               "in non-sampling periods.");
 
   uint32_t Trials =
       Options.Trials > 0 ? static_cast<uint32_t>(Options.Trials) : 5;
-  // Long periods amortize the post-sbegin re-convergence cost, mirroring
-  // the paper's 32 MB nurseries against billions of events. Every entry
-  // into a sampling period bumps all thread clocks, so the first few
-  // joins afterwards are slow until versions converge again.
-  FlagSet Flags(Argc, Argv);
-  auto PeriodBytes =
-      static_cast<uint64_t>(Flags.getInt("period-bytes", 4 * 1024 * 1024));
+  auto PeriodBytes = static_cast<uint64_t>(R.getInt("period-bytes"));
 
   auto Averaged = [&](const WorkloadSpec &Spec) {
     CompiledWorkload Workload(Spec);
@@ -40,7 +44,7 @@ int main(int Argc, char **Argv) {
     Setup.Sampling.PeriodBytes = PeriodBytes;
     for (uint32_t Trial = 0; Trial < Trials; ++Trial) {
       DetectorStats Stats =
-          runTrial(Workload, Setup, Options.Seed + Trial).Stats;
+          runTrial(Workload, Setup, deriveTrialSeed(Options.Seed, Trial)).Stats;
       Sum.SlowJoinsSampling += Stats.SlowJoinsSampling;
       Sum.FastJoinsSampling += Stats.FastJoinsSampling;
       Sum.SlowJoinsNonSampling += Stats.SlowJoinsNonSampling;

@@ -156,6 +156,11 @@ public:
   /// payload bytes separately).
   size_t heapBytes() const { return Capacity * sizeof(Slot); }
 
+  /// Bytes attributable to the live entries alone, independent of table
+  /// capacity. Unlike heapBytes() this is additive across any partition
+  /// of the keys, which the sharded-replay space merge relies on.
+  size_t entryBytes() const { return Live * sizeof(Slot); }
+
 private:
   static size_t hashKey(VarId Key) {
     // Fibonacci multiplicative hash: dense sequential ids scatter across

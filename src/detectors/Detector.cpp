@@ -5,3 +5,15 @@
 using namespace pacer;
 
 Detector::~Detector() = default;
+
+void Detector::accessBatch(std::span<const Action> Batch,
+                           const AccessShard &Shard) {
+  for (const Action &A : Batch) {
+    if (!Shard.owns(A.Target))
+      continue;
+    if (A.Kind == ActionKind::Read)
+      read(A.Tid, A.Target, A.Site);
+    else
+      write(A.Tid, A.Target, A.Site);
+  }
+}

@@ -25,10 +25,39 @@
 
 #include "core/Ids.h"
 #include "core/RaceReport.h"
+#include "sim/Action.h"
 
 #include <cstdint>
+#include <span>
 
 namespace pacer {
+
+/// Ownership filter for sharded replay. Shard \p Index of \p Count owns
+/// variable v iff v % Count == Index; a default-constructed shard (Count
+/// <= 1) owns every variable, which is the sequential-replay case. The
+/// partition is by VarId only, so per-variable metadata for a given
+/// variable lives on exactly one shard.
+class AccessShard {
+public:
+  constexpr AccessShard() = default;
+  constexpr AccessShard(uint32_t Index, uint32_t Count)
+      : Index(Index), Count(Count) {}
+
+  /// The shard that owns everything (sequential replay).
+  static constexpr AccessShard all() { return {}; }
+
+  constexpr bool ownsAll() const { return Count <= 1; }
+  constexpr bool owns(VarId Var) const {
+    return Count <= 1 || Var % Count == Index;
+  }
+
+  constexpr uint32_t index() const { return Index; }
+  constexpr uint32_t count() const { return Count; }
+
+private:
+  uint32_t Index = 0;
+  uint32_t Count = 1;
+};
 
 /// Operation counters in the layout of the paper's Table 3.
 struct DetectorStats {
@@ -119,6 +148,34 @@ public:
   /// Thread \p Tid writes variable \p Var at program site \p Site.
   virtual void write(ThreadId Tid, VarId Var, SiteId Site) = 0;
 
+  /// Analyses one *epoch* of the trace: a maximal run of data accesses
+  /// with no synchronization action or sampling-period boundary inside
+  /// it, so per-access analysis state is loop-invariant across the batch.
+  /// Only accesses whose variable \p Shard owns are analysed; the default
+  /// dispatches each owned access to read()/write(). Overrides must be
+  /// observationally identical to that loop (same reports, same stats,
+  /// same metadata) for every shard value.
+  virtual void accessBatch(std::span<const Action> Batch,
+                           const AccessShard &Shard);
+
+  /// Sequential convenience: analyse the whole batch.
+  void accessBatch(std::span<const Action> Batch) {
+    accessBatch(Batch, AccessShard::all());
+  }
+
+  // --- Thread lifecycle ---
+
+  /// Thread \p Tid is about to perform its first action of the trace.
+  /// Delivered by the runtime before that action (and before any fork by
+  /// the thread itself); detectors use it to materialize per-thread state
+  /// at a point that is a pure function of the trace, so every shard
+  /// replica sees thread slots appear at identical times regardless of
+  /// which accesses it owns.
+  virtual void threadBegin(ThreadId Tid) { (void)Tid; }
+
+  /// Thread \p Tid terminates (the scheduler's ThreadExit marker).
+  virtual void threadExit(ThreadId Tid) { (void)Tid; }
+
   // --- Sampling actions (no-ops for non-sampling detectors) ---
 
   /// The sbegin() action: the analysis enters a sampling period.
@@ -137,6 +194,15 @@ public:
   /// deduplicated synchronization clock payloads. Used by the Figure 10
   /// space experiment.
   virtual size_t liveMetadataBytes() const = 0;
+
+  /// The per-variable slice of liveMetadataBytes(): bytes attributable to
+  /// access metadata alone, independent of container capacity, so the
+  /// value is additive across a variable partition. Invariant for
+  /// detectors that track accesses: liveMetadataBytes() == sync-side
+  /// bytes + accessMetadataBytes(). Sharded replay merges space
+  /// measurements as replica 0's live bytes plus the other replicas'
+  /// access bytes.
+  virtual size_t accessMetadataBytes() const { return 0; }
 
   /// Operation counters.
   const DetectorStats &stats() const { return Stats; }

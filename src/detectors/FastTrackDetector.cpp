@@ -19,9 +19,13 @@ void FastTrackDetector::reportWriteRace(const VarState &State, VarId Var,
 }
 
 void FastTrackDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
-  ++Stats.ReadSlowSampling;
   const VectorClock &Clock = Sync.ensureThread(Tid);
-  Epoch Current = Epoch::make(Clock.get(Tid), Tid);
+  readWith(Clock, Epoch::make(Clock.get(Tid), Tid), Tid, Var, Site);
+}
+
+void FastTrackDetector::readWith(const VectorClock &Clock, Epoch Current,
+                                 ThreadId Tid, VarId Var, SiteId Site) {
+  ++Stats.ReadSlowSampling;
   VarState &State = ensureVar(Var);
 
   // Algorithm 7: same-epoch fast path.
@@ -48,9 +52,13 @@ void FastTrackDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
 }
 
 void FastTrackDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
-  ++Stats.WriteSlowSampling;
   const VectorClock &Clock = Sync.ensureThread(Tid);
-  Epoch Current = Epoch::make(Clock.get(Tid), Tid);
+  writeWith(Clock, Epoch::make(Clock.get(Tid), Tid), Tid, Var, Site);
+}
+
+void FastTrackDetector::writeWith(const VectorClock &Clock, Epoch Current,
+                                  ThreadId Tid, VarId Var, SiteId Site) {
+  ++Stats.WriteSlowSampling;
   VarState &State = ensureVar(Var);
 
   // Algorithm 8: same-epoch fast path.
@@ -83,9 +91,43 @@ void FastTrackDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
   State.WSite = Site;
 }
 
-size_t FastTrackDetector::liveMetadataBytes() const {
-  size_t Bytes = Sync.liveMetadataBytes();
-  for (const VarState &State : Vars)
+void FastTrackDetector::accessBatch(std::span<const Action> Batch,
+                                    const AccessShard &Shard) {
+  // Accesses never mutate thread clocks, so the clock reference and epoch
+  // computed at a thread switch stay valid for the thread's whole run.
+  // Re-fetch on every switch: ensureThread may resize the thread table.
+  ThreadId CurrentTid = InvalidId;
+  const VectorClock *Clock = nullptr;
+  Epoch Current;
+  for (const Action &A : Batch) {
+    if (!Shard.owns(A.Target))
+      continue;
+    if (A.Tid != CurrentTid) {
+      CurrentTid = A.Tid;
+      Clock = &Sync.ensureThread(A.Tid);
+      Current = Epoch::make(Clock->get(A.Tid), A.Tid);
+    }
+    if (A.Kind == ActionKind::Read)
+      readWith(*Clock, Current, A.Tid, A.Target, A.Site);
+    else
+      writeWith(*Clock, Current, A.Tid, A.Target, A.Site);
+  }
+}
+
+size_t FastTrackDetector::accessMetadataBytes() const {
+  size_t Bytes = 0;
+  for (const VarState &State : Vars) {
+    // Skip untracked slots (dense-vector holes below the max accessed
+    // id): a touched variable always has a read map or a write epoch
+    // since clock components start at 1, so the live set -- and therefore
+    // this sum -- partitions exactly across shards.
+    if (State.R.isNull() && State.W.isNone())
+      continue;
     Bytes += sizeof(State) + State.R.heapBytes();
+  }
   return Bytes;
+}
+
+size_t FastTrackDetector::liveMetadataBytes() const {
+  return Sync.liveMetadataBytes() + accessMetadataBytes();
 }

@@ -41,7 +41,7 @@ struct FastTrackConfig {
 };
 
 /// FastTrack: epochs for writes, adaptive epoch/map for reads.
-class FastTrackDetector final : public Detector {
+class FastTrackDetector : public Detector {
 public:
   explicit FastTrackDetector(RaceSink &Sink, FastTrackConfig Config = {})
       : Detector(Sink), Config(Config) {}
@@ -70,7 +70,18 @@ public:
   void read(ThreadId Tid, VarId Var, SiteId Site) override;
   void write(ThreadId Tid, VarId Var, SiteId Site) override;
 
+  /// Batched epoch dispatch that hoists the per-access thread-clock
+  /// lookup: no synchronization runs inside an epoch, so a thread's clock
+  /// and epoch are loop invariants across consecutive accesses by the
+  /// same thread.
+  using Detector::accessBatch;
+  void accessBatch(std::span<const Action> Batch,
+                   const AccessShard &Shard) override;
+
+  void threadBegin(ThreadId Tid) override { Sync.ensureThread(Tid); }
+
   size_t liveMetadataBytes() const override;
+  size_t accessMetadataBytes() const override;
 
   /// Test hook: thread \p Tid's clock.
   const VectorClock &threadClock(ThreadId Tid) {
@@ -93,6 +104,13 @@ private:
 
   void reportWriteRace(const VarState &State, VarId Var, ThreadId Tid,
                        AccessKind Kind, SiteId Site);
+
+  /// Algorithm 7/8 bodies with the thread clock and epoch precomputed;
+  /// read()/write() and accessBatch() share them.
+  void readWith(const VectorClock &Clock, Epoch Current, ThreadId Tid,
+                VarId Var, SiteId Site);
+  void writeWith(const VectorClock &Clock, Epoch Current, ThreadId Tid,
+                 VarId Var, SiteId Site);
 
   FastTrackConfig Config;
   SyncState Sync;

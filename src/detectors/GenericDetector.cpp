@@ -143,6 +143,21 @@ void GenericDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
   State.WSites[Tid] = Site;
 }
 
+size_t GenericDetector::accessMetadataBytes() const {
+  size_t Bytes = 0;
+  for (const VarState &State : Vars) {
+    // Skip untracked slots (dense-vector holes): an accessed variable
+    // always records a nonzero read or write component, so the live set
+    // partitions exactly across shards.
+    if (State.R.size() == 0 && State.W.size() == 0)
+      continue;
+    Bytes += sizeof(State) + State.R.heapBytes() + State.W.heapBytes() +
+             State.RSites.capacity() * sizeof(SiteId) +
+             State.WSites.capacity() * sizeof(SiteId);
+  }
+  return Bytes;
+}
+
 size_t GenericDetector::liveMetadataBytes() const {
   size_t Bytes = 0;
   for (const ThreadState &State : Threads)
@@ -151,9 +166,5 @@ size_t GenericDetector::liveMetadataBytes() const {
     Bytes += sizeof(Clock) + Clock.heapBytes();
   for (const VectorClock &Clock : Volatiles)
     Bytes += sizeof(Clock) + Clock.heapBytes();
-  for (const VarState &State : Vars)
-    Bytes += sizeof(State) + State.R.heapBytes() + State.W.heapBytes() +
-             State.RSites.capacity() * sizeof(SiteId) +
-             State.WSites.capacity() * sizeof(SiteId);
-  return Bytes;
+  return Bytes + accessMetadataBytes();
 }

@@ -42,7 +42,10 @@ public:
   void read(ThreadId Tid, VarId Var, SiteId Site) override;
   void write(ThreadId Tid, VarId Var, SiteId Site) override;
 
+  void threadBegin(ThreadId Tid) override { ensureThread(Tid); }
+
   size_t liveMetadataBytes() const override;
+  size_t accessMetadataBytes() const override;
 
   /// Test hook: the current clock of \p Tid.
   const VectorClock &threadClock(ThreadId Tid) const {

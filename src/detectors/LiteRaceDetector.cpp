@@ -131,17 +131,55 @@ void LiteRaceDetector::analyzeWrite(ThreadId Tid, VarId Var, SiteId Site) {
   State.WSite = Site;
 }
 
-size_t LiteRaceDetector::liveMetadataBytes() const {
-  size_t Bytes = Sync.liveMetadataBytes();
-  for (const VarState &State : Vars)
+void LiteRaceDetector::accessBatch(std::span<const Action> Batch,
+                                   const AccessShard &Shard) {
+  for (const Action &A : Batch) {
+    // Advance the sampler for every access (see the header comment): the
+    // decision stream must be identical on every replica.
+    bool Sampled = shouldSample(A.Tid, A.Site);
+    if (!Shard.owns(A.Target))
+      continue;
+    if (A.Kind == ActionKind::Read) {
+      if (!Sampled) {
+        ++Stats.ReadFastNonSampling;
+        continue;
+      }
+      ++Stats.ReadSlowSampling;
+      analyzeRead(A.Tid, A.Target, A.Site);
+    } else {
+      if (!Sampled) {
+        ++Stats.WriteFastNonSampling;
+        continue;
+      }
+      ++Stats.WriteSlowSampling;
+      analyzeWrite(A.Tid, A.Target, A.Site);
+    }
+  }
+}
+
+size_t LiteRaceDetector::accessMetadataBytes() const {
+  size_t Bytes = 0;
+  for (const VarState &State : Vars) {
+    // Skip untracked slots (dense-vector holes): a sampled variable
+    // always holds a read map or write epoch, so the live set partitions
+    // exactly across shards. The sampler table is *not* counted here: it
+    // is code-indexed and replica-identical, i.e. sync-side space.
+    if (State.R.isNull() && State.W.isNone())
+      continue;
     Bytes += sizeof(State) + State.R.heapBytes();
+  }
+  return Bytes;
+}
+
+size_t LiteRaceDetector::liveMetadataBytes() const {
+  size_t Bytes = Sync.liveMetadataBytes() + accessMetadataBytes();
   // Sampler table: LiteRace's per-method-thread counters.
   Bytes += Samplers.size() * (sizeof(uint64_t) + sizeof(Sampler) +
                               2 * sizeof(void *));
   return Bytes;
 }
 
-double LiteRaceDetector::effectiveRate() const {
+double LiteRaceDetector::effectiveRateFromStats(const DetectorStats &Stats) {
   uint64_t Sampled = Stats.ReadSlowSampling + Stats.WriteSlowSampling;
   uint64_t Skipped = Stats.ReadFastNonSampling + Stats.WriteFastNonSampling;
   uint64_t Total = Sampled + Skipped;

@@ -62,7 +62,7 @@ struct LiteRaceConfig {
 
 /// Online LiteRace: adaptive per-(method, thread) bursty sampling over
 /// FastTrack analysis.
-class LiteRaceDetector final : public Detector {
+class LiteRaceDetector : public Detector {
 public:
   /// \p SiteToMethod maps every site to its containing method; sites beyond
   /// the vector fall into a synthetic method of their own.
@@ -95,12 +95,30 @@ public:
   void read(ThreadId Tid, VarId Var, SiteId Site) override;
   void write(ThreadId Tid, VarId Var, SiteId Site) override;
 
+  /// Batched dispatch that keeps the bursty samplers replica-identical:
+  /// the samplers and their RNG are *code*-indexed, not data-indexed, so
+  /// every shard replica advances them for every access -- owned or not
+  /// -- and the sampling decisions (hence the analysed subsequence) match
+  /// sequential replay exactly. Foreign accesses advance the sampler
+  /// only; they touch no stats and no variable metadata.
+  using Detector::accessBatch;
+  void accessBatch(std::span<const Action> Batch,
+                   const AccessShard &Shard) override;
+
+  void threadBegin(ThreadId Tid) override { Sync.ensureThread(Tid); }
+
   size_t liveMetadataBytes() const override;
+  size_t accessMetadataBytes() const override;
 
   /// Fraction of data accesses actually analysed so far (LiteRace's
   /// effective sampling rate; the paper reports ~1.1% for eclipse with
   /// burst length 1000).
-  double effectiveRate() const;
+  double effectiveRate() const { return effectiveRateFromStats(Stats); }
+
+  /// The same rate computed from (possibly merged) counters: sampled
+  /// accesses take the slow-sampling counters, skipped ones the
+  /// fast-non-sampling counters, so the rate is a pure function of stats.
+  static double effectiveRateFromStats(const DetectorStats &Stats);
 
 private:
   /// Bursty sampler state for one (method, thread) pair.

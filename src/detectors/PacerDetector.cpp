@@ -498,6 +498,51 @@ void PacerDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
   Vars.erase(Var);
 }
 
+void PacerDetector::threadBegin(ThreadId Tid) { ensureThread(slotOf(Tid)); }
+
+void PacerDetector::accessBatch(std::span<const Action> Batch,
+                                const AccessShard &Shard) {
+  if (!Config.InstrumentReadsWrites)
+    return;
+  // Bulk fast path: every access in the epoch is the inlined
+  // "flag test + lookup miss" (Section 4). Non-sampling accesses never
+  // insert metadata and nothing else runs inside an epoch, so Vars stays
+  // empty for the whole batch; count the owned accesses and return.
+  // (Accordion clocks need the per-access path for slot bookkeeping.)
+  if (!Sampling && Vars.empty() && !Config.UseAccordionClocks) {
+    uint64_t Reads = 0, Writes = 0;
+    for (const Action &A : Batch) {
+      if (!Shard.owns(A.Target))
+        continue;
+      if (A.Kind == ActionKind::Read)
+        ++Reads;
+      else
+        ++Writes;
+    }
+    Stats.ReadFastNonSampling += Reads;
+    Stats.WriteFastNonSampling += Writes;
+    return;
+  }
+  for (const Action &A : Batch) {
+    if (!Shard.owns(A.Target))
+      continue;
+    if (A.Kind == ActionKind::Read)
+      read(A.Tid, A.Target, A.Site);
+    else
+      write(A.Tid, A.Target, A.Site);
+  }
+}
+
+size_t PacerDetector::accessMetadataBytes() const {
+  // Live entries (not table capacity): capacity depends on insertion and
+  // shrink history, which differs across shard replicas; the live-entry
+  // count partitions exactly.
+  size_t Bytes = Vars.entryBytes();
+  Vars.forEach(
+      [&](VarId, const VarState &State) { Bytes += State.R.heapBytes(); });
+  return Bytes;
+}
+
 size_t PacerDetector::liveMetadataBytes() const {
   size_t Bytes = 0;
   // Count each clock payload once: sharing is precisely what makes
@@ -525,11 +570,9 @@ size_t PacerDetector::liveMetadataBytes() const {
     AddPayload(State.Clock);
     Bytes += sizeof(State);
   }
-  // The flat table's slot array is real, measurable storage (no node
-  // overhead estimate needed); entries add only their read-map payloads.
-  Bytes += Vars.heapBytes();
-  Vars.forEach(
-      [&](VarId, const VarState &State) { Bytes += State.R.heapBytes(); });
+  // Per-variable storage is charged per live entry (plus read-map
+  // payloads) so the measurement is additive across shard partitions.
+  Bytes += accessMetadataBytes();
   return Bytes;
 }
 

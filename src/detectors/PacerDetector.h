@@ -81,7 +81,7 @@ struct PacerConfig {
 };
 
 /// PACER: proportional sampling race detection on top of FastTrack.
-class PacerDetector final : public Detector {
+class PacerDetector : public Detector {
 public:
   explicit PacerDetector(RaceSink &Sink, PacerConfig Config = {})
       : Detector(Sink), Config(Config) {}
@@ -97,6 +97,19 @@ public:
   void read(ThreadId Tid, VarId Var, SiteId Site) override;
   void write(ThreadId Tid, VarId Var, SiteId Site) override;
 
+  /// Batched epoch dispatch with a bulk fast path: outside sampling
+  /// periods with no tracked variables, a whole epoch reduces to two
+  /// counter additions (non-sampling accesses never create metadata, so
+  /// the emptiness check is loop-invariant).
+  using Detector::accessBatch;
+  void accessBatch(std::span<const Action> Batch,
+                   const AccessShard &Shard) override;
+
+  /// Materializes the thread's clock slot at first sight in the trace,
+  /// pinning slot allocation and Started timing to a pure function of the
+  /// trace so shard replicas stay identical.
+  void threadBegin(ThreadId Tid) override;
+
   /// The sbegin() action: sets the sampling flag and increments every
   /// thread's vector clock and version (Table 5 Rule 1), which restores
   /// strict well-formedness (Lemma 5).
@@ -108,6 +121,7 @@ public:
   bool isSampling() const override { return Sampling; }
 
   size_t liveMetadataBytes() const override;
+  size_t accessMetadataBytes() const override;
 
   /// Number of variables currently holding metadata (not yet discarded).
   size_t trackedVariableCount() const { return Vars.size(); }

@@ -2,6 +2,7 @@
 
 #include "harness/DetectionExperiment.h"
 
+#include "support/Rng.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 
@@ -31,7 +32,7 @@ GroundTruth pacer::computeGroundTruth(const CompiledWorkload &Workload,
   std::vector<TrialResult> Results =
       parallelMap(Jobs, FullTrials, [&](size_t Trial) {
         return runTrial(Workload, fastTrackSetup(),
-                        BaseSeed + static_cast<uint64_t>(Trial));
+                        deriveTrialSeed(BaseSeed, Trial));
       });
 
   std::map<RaceKey, std::pair<uint32_t, uint64_t>> Seen; // trials, dynamic
@@ -72,9 +73,10 @@ DetectionPoint pacer::measureDetection(const CompiledWorkload &Workload,
 
   std::vector<TrialResult> Results =
       parallelMap(Jobs, Trials, [&](size_t Trial) {
-        // Seeds disjoint from ground truth: offset far past the full
-        // trials.
-        uint64_t Seed = BaseSeed + 1000003ull * (Trial + 1);
+        // Salted so detection trials draw from a seed family disjoint
+        // from the ground-truth trials of the same base seed.
+        uint64_t Seed =
+            deriveTrialSeed(BaseSeed, Trial, 0x44455443ull /*"DETC"*/);
         return runTrial(Workload, Setup, Seed);
       });
 

@@ -3,6 +3,7 @@
 #include "harness/OverheadExperiment.h"
 
 #include "sim/TraceGenerator.h"
+#include "support/Rng.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 
@@ -24,7 +25,7 @@ pacer::measureOverheads(const CompiledWorkload &Workload,
   };
   std::vector<TrialSeconds> PerTrial =
       parallelMap(Jobs, Trials, [&](size_t Trial) {
-        uint64_t Seed = BaseSeed + static_cast<uint64_t>(Trial);
+        uint64_t Seed = deriveTrialSeed(BaseSeed, Trial);
         Trace T = generateTrace(Workload, Seed);
         TrialSeconds Out;
         Out.Events = T.size();

@@ -4,6 +4,7 @@
 
 #include "detectors/GenericDetector.h"
 #include "runtime/Runtime.h"
+#include "runtime/ShardedReplay.h"
 #include "sim/TraceGenerator.h"
 #include "support/Error.h"
 
@@ -90,6 +91,54 @@ TrialResult pacer::runTrialOnTrace(const Trace &T,
                                    const CompiledWorkload &Workload,
                                    const DetectorSetup &Setup,
                                    uint64_t TrialSeed) {
+  // The escape-analysis pass removed instrumentation from thread-local
+  // accesses: they execute (cost nothing here) but are never analysed.
+  // Filtering up front keeps the replay path -- sequential or sharded --
+  // identical to a trace that never contained them.
+  const Trace *Replay = &T;
+  Trace Filtered;
+  if (Setup.ElideLocalAccesses) {
+    Filtered.reserve(T.size());
+    for (const Action &A : T)
+      if (!(isAccessAction(A.Kind) && Workload.isLocalVar(A.Target)))
+        Filtered.push_back(A);
+    Replay = &Filtered;
+  }
+
+  TrialResult Result;
+  Result.TraceEvents = T.size();
+
+  if (Setup.Shards > 1) {
+    ShardedReplayConfig Config;
+    Config.Shards = Setup.Shards;
+    Config.Jobs = Setup.ShardJobs;
+    if (Setup.Kind == DetectorKind::Pacer) {
+      Config.UseController = true;
+      Config.Sampling = Setup.Sampling;
+      Config.Sampling.TargetRate = Setup.SamplingRate;
+      Config.ControllerSeed = TrialSeed ^ 0x47432121u /*"GC!!"*/;
+    }
+    DetectorFactory Factory = [&](RaceSink &Sink) {
+      return makeDetector(Setup, Sink, Workload, TrialSeed);
+    };
+    auto Start = std::chrono::steady_clock::now();
+    ShardedReplayResult Sharded = shardedReplay(*Replay, Factory, Config);
+    auto End = std::chrono::steady_clock::now();
+    Result.Races = std::move(Sharded.Races);
+    Result.DynamicRaces = Sharded.DynamicRaces;
+    Result.Stats = Sharded.Stats;
+    Result.EffectiveAccessRate = Sharded.EffectiveAccessRate;
+    Result.EffectiveSyncRate = Sharded.EffectiveSyncRate;
+    Result.Boundaries = Sharded.Boundaries;
+    if (Setup.Kind == DetectorKind::LiteRace)
+      Result.LiteRaceEffectiveRate =
+          LiteRaceDetector::effectiveRateFromStats(Result.Stats);
+    Result.ReplaySeconds =
+        std::chrono::duration<double>(End - Start).count();
+    Result.FinalMetadataBytes = Sharded.FinalMetadataBytes;
+    return Result;
+  }
+
   RaceLog Log;
   std::unique_ptr<Detector> D = makeDetector(Setup, Log, Workload, TrialSeed);
 
@@ -103,21 +152,9 @@ TrialResult pacer::runTrialOnTrace(const Trace &T,
 
   Runtime RT(*D, Controller.get());
   auto Start = std::chrono::steady_clock::now();
-  if (Setup.ElideLocalAccesses) {
-    // The escape-analysis pass removed instrumentation from thread-local
-    // accesses: they execute (cost nothing here) but are never analysed.
-    RT.start();
-    for (const Action &A : T) {
-      if (isAccessAction(A.Kind) && Workload.isLocalVar(A.Target))
-        continue;
-      RT.step(A);
-    }
-  } else {
-    RT.replay(T);
-  }
+  RT.replay(*Replay);
   auto End = std::chrono::steady_clock::now();
 
-  TrialResult Result;
   Result.Races = Log.counts();
   Result.DynamicRaces = Log.dynamicCount();
   Result.Stats = D->stats();
@@ -129,7 +166,6 @@ TrialResult pacer::runTrialOnTrace(const Trace &T,
   if (Setup.Kind == DetectorKind::LiteRace)
     Result.LiteRaceEffectiveRate =
         static_cast<LiteRaceDetector *>(D.get())->effectiveRate();
-  Result.TraceEvents = T.size();
   Result.ReplaySeconds =
       std::chrono::duration<double>(End - Start).count();
   Result.FinalMetadataBytes = D->liveMetadataBytes();

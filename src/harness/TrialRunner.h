@@ -55,6 +55,12 @@ struct DetectorSetup {
   FastTrackConfig FastTrack;
   LiteRaceConfig LiteRace;
   SamplingConfig Sampling;
+  /// Intra-trial sharded replay: partition data accesses across this many
+  /// detector replicas by VarId modulo (see runtime/ShardedReplay.h). 1 is
+  /// plain sequential replay; results are bit-identical for every value.
+  unsigned Shards = 1;
+  /// Worker concurrency for sharded replay; 0 = one job per shard.
+  unsigned ShardJobs = 0;
 };
 
 /// Convenience constructors for common configurations.

@@ -7,10 +7,23 @@
 /// \file
 /// Replays an execution trace through a detector, standing in for the
 /// compiler-inserted instrumentation of the paper's Jikes RVM
-/// implementation: each action dispatches to the matching analysis hook,
-/// and an optional sampling controller delivers sbegin/send transitions at
-/// simulated GC boundaries. Experiments that need to interleave their own
-/// probing (the Figure 10 space experiment) drive step() directly.
+/// implementation. The replay path is two-level: the trace is segmented
+/// into *epochs* -- maximal runs of data accesses with no synchronization
+/// action, thread-lifecycle event, or sampling-period boundary inside --
+/// and each epoch is delivered to the detector as one
+/// Detector::accessBatch() call. Synchronization actions dispatch to the
+/// matching per-action hook as before, and an optional sampling controller
+/// delivers sbegin/send transitions at simulated GC boundaries; the
+/// segmenter flushes the pending batch before any action whose accounting
+/// would fire a boundary, so the detector observes exactly the per-action
+/// event order. Experiments that need to interleave their own probing (the
+/// Figure 10 space experiment) drive step() directly.
+///
+/// The runtime also tracks first sight of each thread and delivers
+/// Detector::threadBegin() before a thread's first action, so per-thread
+/// detector state materializes at a point that is a pure function of the
+/// trace -- the anchor that keeps sharded replicas (replay with a
+/// non-trivial AccessShard) bit-identical to sequential replay.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +33,8 @@
 #include "detectors/Detector.h"
 #include "runtime/SamplingController.h"
 #include "sim/Action.h"
+
+#include <vector>
 
 namespace pacer {
 
@@ -39,20 +54,62 @@ public:
     Started = true;
   }
 
-  /// Processes one action: sampling control first, then dispatch. Returns
-  /// true if a simulated GC boundary fired at this action.
+  /// Processes one action: thread first-sight, sampling control, then
+  /// dispatch. Returns true if a simulated GC boundary fired at this
+  /// action.
   bool step(const Action &A) {
+    if (firstSight(A.Tid))
+      D.threadBegin(A.Tid);
     bool Boundary =
         Controller ? Controller->beforeAction(A.Kind, D) : false;
     dispatch(A);
     return Boundary;
   }
 
-  /// Replays a whole trace.
-  void replay(const Trace &T) {
+  /// Replays a whole trace through batched epoch dispatch. The detector
+  /// observes the same hook sequence as a step() loop, with runs of
+  /// consecutive data accesses folded into accessBatch() calls.
+  void replay(const Trace &T) { replay(T, AccessShard::all()); }
+
+  /// Shard-filtered replay: every synchronization and lifecycle action is
+  /// processed, but only data accesses owned by \p Shard are analysed.
+  void replay(const Trace &T, const AccessShard &Shard) {
     start();
-    for (const Action &A : T)
-      step(A);
+    const size_t N = T.size();
+    size_t BatchBegin = 0; // Pending accesses are [BatchBegin, I).
+    auto Flush = [&](size_t End) {
+      if (BatchBegin < End)
+        D.accessBatch(
+            std::span<const Action>(T.data() + BatchBegin, End - BatchBegin),
+            Shard);
+      BatchBegin = End;
+    };
+    for (size_t I = 0; I < N; ++I) {
+      const Action &A = T[I];
+      if (firstSight(A.Tid)) {
+        Flush(I);
+        D.threadBegin(A.Tid);
+      }
+      if (isAccessAction(A.Kind)) {
+        if (Controller) {
+          // A boundary toggles the detector's sampling state inline; the
+          // pending accesses must land before it. Non-boundary accounting
+          // never touches the detector, so it is safe to run ahead of the
+          // batch.
+          if (Controller->boundaryImminent(A.Kind))
+            Flush(I);
+          Controller->beforeAction(A.Kind, D);
+        }
+        continue; // Stays pending until the epoch closes.
+      }
+      // A synchronization action or thread exit closes the epoch.
+      Flush(I);
+      if (Controller)
+        Controller->beforeAction(A.Kind, D);
+      dispatch(A);
+      BatchBegin = I + 1;
+    }
+    Flush(N);
   }
 
   /// Routes \p A to the detector hook it instruments.
@@ -77,24 +134,35 @@ public:
       D.join(A.Tid, A.Target);
       break;
     case ActionKind::VolatileRead:
-      D.volatileRead(A.Tid, A.Target);
-      break;
     case ActionKind::AwaitVolatile:
-      // The read that finally observes the awaited write.
+      // AwaitVolatile is the read that finally observes the awaited
+      // write; detectors see an ordinary volatile read.
       D.volatileRead(A.Tid, A.Target);
       break;
     case ActionKind::VolatileWrite:
       D.volatileWrite(A.Tid, A.Target);
       break;
     case ActionKind::ThreadExit:
-      break; // Not an analysed action.
+      D.threadExit(A.Tid);
+      break;
     }
   }
 
 private:
+  /// True exactly once per thread, at its first action.
+  bool firstSight(ThreadId Tid) {
+    if (Tid >= Seen.size())
+      Seen.resize(Tid + 1, false);
+    if (Seen[Tid])
+      return false;
+    Seen[Tid] = true;
+    return true;
+  }
+
   Detector &D;
   SamplingController *Controller;
   bool Started = false;
+  std::vector<bool> Seen;
 };
 
 } // namespace pacer

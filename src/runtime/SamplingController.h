@@ -67,6 +67,19 @@ public:
   /// if a boundary (simulated GC) fired at this action.
   bool beforeAction(ActionKind Kind, Detector &D);
 
+  /// True iff the next beforeAction(\p Kind, ...) call would fire a period
+  /// boundary. Pure query, mirrors beforeAction's charge computation; the
+  /// batched replay loop uses it to flush pending data-access batches
+  /// before the boundary toggles the detector's sampling state.
+  bool boundaryImminent(ActionKind Kind) const {
+    if (Kind == ActionKind::ThreadExit)
+      return false;
+    uint64_t Charge = Config.BaseBytesPerEvent;
+    if (Sampling && isAccessAction(Kind))
+      Charge += Config.MetadataBytesPerSampledAccess;
+    return NurseryBytes + Charge >= Config.PeriodBytes;
+  }
+
   /// Fraction of data accesses that fell inside sampling periods: the
   /// effective sampling rate the paper's Table 1 reports.
   double effectiveAccessRate() const;

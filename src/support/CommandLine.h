@@ -7,7 +7,12 @@
 /// \file
 /// A tiny --name=value flag parser shared by the bench and example binaries
 /// so every experiment can scale trial counts and workload sizes from the
-/// command line without pulling in a heavyweight dependency.
+/// command line without pulling in a heavyweight dependency. On top of the
+/// raw FlagSet sits OptionRegistry: binaries declare their flags once
+/// (name, default, help line), and the registry parses argv against the
+/// declarations, rejects unknown flags, and generates --help output --
+/// so the bench drivers and tools/racedetect no longer hand-roll usage
+/// text that drifts from the flags they actually read.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +20,7 @@
 #define PACER_SUPPORT_COMMANDLINE_H
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -52,6 +58,68 @@ private:
 
   std::vector<std::pair<std::string, std::string>> Flags;
   std::vector<std::string> Positional;
+};
+
+/// Declarative flag registry: declare options once, parse argv against
+/// them, and get --help generated from the declarations. Unknown --flags
+/// are an error (typos no longer silently fall back to defaults).
+class OptionRegistry {
+public:
+  /// \p Usage is the one-line synopsis printed at the top of --help,
+  /// e.g. "racedetect [options] TRACE...".
+  explicit OptionRegistry(std::string Usage) : Usage(std::move(Usage)) {}
+
+  OptionRegistry &addInt(const std::string &Name, int64_t Default,
+                         const std::string &Help);
+  OptionRegistry &addDouble(const std::string &Name, double Default,
+                            const std::string &Help);
+  OptionRegistry &addString(const std::string &Name,
+                            const std::string &Default,
+                            const std::string &Help);
+  /// Boolean flag, false unless given (bare "--name" or "--name=1").
+  OptionRegistry &addFlag(const std::string &Name, const std::string &Help);
+
+  /// Parses \p Argv. Returns false if --help was requested (printed to
+  /// stdout) or an undeclared flag was present (error printed to stderr);
+  /// callers should exit with helpRequested() ? 0 : 2.
+  bool parse(int Argc, const char *const *Argv);
+
+  bool helpRequested() const { return HelpRequested; }
+
+  int64_t getInt(const std::string &Name) const;
+  double getDouble(const std::string &Name) const;
+  std::string getString(const std::string &Name) const;
+  bool getBool(const std::string &Name) const;
+
+  /// True if the flag was explicitly provided on the command line.
+  bool has(const std::string &Name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  /// Writes the generated help text.
+  void printHelp(std::FILE *Out) const;
+
+private:
+  enum class Kind : uint8_t { Int, Double, String, Flag };
+
+  struct Option {
+    std::string Name;
+    Kind Type;
+    std::string Help;
+    int64_t IntDefault = 0;
+    double DoubleDefault = 0.0;
+    std::string StringDefault;
+  };
+
+  const Option *findOption(const std::string &Name) const;
+  const std::string *findValue(const std::string &Name) const;
+
+  std::string Usage;
+  std::vector<Option> Options;
+  std::vector<std::pair<std::string, std::string>> Values;
+  std::vector<std::string> Positional;
+  bool HelpRequested = false;
 };
 
 } // namespace pacer

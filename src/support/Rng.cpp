@@ -49,6 +49,22 @@ uint64_t Rng::nextBelow(uint64_t Bound) {
   }
 }
 
+uint64_t pacer::deriveTrialSeed(uint64_t BaseSeed, uint64_t Trial,
+                                uint64_t Salt) {
+  // Chain-hash the triple: avalanche each input through SplitMix64's
+  // *output* before folding in the next. Folding into the raw sequence
+  // state instead would leave nearby base seeds differing in a few low
+  // bits, and the XOR fold of the trial index could cancel that
+  // difference (family(B) and family(B+1) sharing seeds) -- the very
+  // overlap this function exists to rule out. Every step is bijective in
+  // the newest input, so within one (BaseSeed, Salt) family all trial
+  // seeds are distinct by construction.
+  uint64_t S = BaseSeed;
+  S = splitMix64(S) ^ Trial;
+  S = splitMix64(S) ^ Salt;
+  return splitMix64(S);
+}
+
 uint64_t Rng::nextGeometric(double P) {
   if (P >= 1.0)
     return 0;

@@ -88,6 +88,16 @@ private:
   uint64_t State[4];
 };
 
+/// Derives the seed for trial \p Trial of an experiment keyed by
+/// \p BaseSeed, mixing both through SplitMix64. Unlike the old
+/// BaseSeed + f(Trial) scheme, nearby trial indices (and nearby base
+/// seeds) land in unrelated regions of the seed space, so the per-trial
+/// xoshiro streams cannot overlap by construction of consecutive seeds.
+/// \p Salt separates seed families that share a base seed (e.g. ground
+/// truth vs detection trials of the same experiment).
+uint64_t deriveTrialSeed(uint64_t BaseSeed, uint64_t Trial,
+                         uint64_t Salt = 0);
+
 } // namespace pacer
 
 #endif // PACER_SUPPORT_RNG_H

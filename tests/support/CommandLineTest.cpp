@@ -60,3 +60,73 @@ TEST(CommandLineTest, NegativeInt) {
   FlagSet Flags = parse({"--offset=-3"});
   EXPECT_EQ(Flags.getInt("offset", 0), -3);
 }
+
+//===----------------------------------------------------------------------===//
+// OptionRegistry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+OptionRegistry sampleRegistry() {
+  OptionRegistry R("prog [options] FILE...");
+  R.addInt("trials", 10, "trial count")
+      .addDouble("rate", 0.03, "sampling rate")
+      .addString("detector", "pacer", "detector name")
+      .addFlag("stats", "print statistics");
+  return R;
+}
+
+bool parseInto(OptionRegistry &R, std::initializer_list<const char *> Args) {
+  std::vector<const char *> Argv{"prog"};
+  Argv.insert(Argv.end(), Args.begin(), Args.end());
+  return R.parse(static_cast<int>(Argv.size()), Argv.data());
+}
+
+} // namespace
+
+TEST(OptionRegistryTest, DefaultsWhenAbsent) {
+  OptionRegistry R = sampleRegistry();
+  EXPECT_TRUE(parseInto(R, {}));
+  EXPECT_EQ(R.getInt("trials"), 10);
+  EXPECT_DOUBLE_EQ(R.getDouble("rate"), 0.03);
+  EXPECT_EQ(R.getString("detector"), "pacer");
+  EXPECT_FALSE(R.getBool("stats"));
+}
+
+TEST(OptionRegistryTest, ParsesDeclaredFlags) {
+  OptionRegistry R = sampleRegistry();
+  EXPECT_TRUE(parseInto(
+      R, {"--trials=50", "--rate=0.5", "--detector=literace", "--stats"}));
+  EXPECT_EQ(R.getInt("trials"), 50);
+  EXPECT_DOUBLE_EQ(R.getDouble("rate"), 0.5);
+  EXPECT_EQ(R.getString("detector"), "literace");
+  EXPECT_TRUE(R.getBool("stats"));
+  EXPECT_TRUE(R.has("trials"));
+  EXPECT_FALSE(R.has("rate-absent"));
+}
+
+TEST(OptionRegistryTest, RejectsUnknownFlag) {
+  OptionRegistry R = sampleRegistry();
+  EXPECT_FALSE(parseInto(R, {"--trails=50"})); // Typo must not be silent.
+  EXPECT_FALSE(R.helpRequested());
+}
+
+TEST(OptionRegistryTest, HelpRequested) {
+  OptionRegistry R = sampleRegistry();
+  EXPECT_FALSE(parseInto(R, {"--help"}));
+  EXPECT_TRUE(R.helpRequested());
+}
+
+TEST(OptionRegistryTest, PositionalCollected) {
+  OptionRegistry R = sampleRegistry();
+  EXPECT_TRUE(parseInto(R, {"a.trace", "--trials=2", "b.trace"}));
+  ASSERT_EQ(R.positional().size(), 2u);
+  EXPECT_EQ(R.positional()[0], "a.trace");
+  EXPECT_EQ(R.positional()[1], "b.trace");
+}
+
+TEST(OptionRegistryTest, LastOccurrenceWins) {
+  OptionRegistry R = sampleRegistry();
+  EXPECT_TRUE(parseInto(R, {"--trials=1", "--trials=2"}));
+  EXPECT_EQ(R.getInt("trials"), 2);
+}

@@ -129,3 +129,50 @@ TEST(RngTest, SplitProducesIndependentStream) {
       ++Equal;
   EXPECT_LT(Equal, 2);
 }
+
+//===----------------------------------------------------------------------===//
+// deriveTrialSeed: the per-trial seed audit (no stream overlap)
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DerivedTrialSeedsAllDistinct) {
+  // 10k trials from one experiment seed must land on 10k distinct seeds,
+  // and must not collide with a neighbouring base seed's family -- the
+  // failure mode of the old BaseSeed + f(trial) scheme, where base seeds
+  // 100 and 101 shared all but one of their trial seeds.
+  std::set<uint64_t> Seeds;
+  for (uint64_t Trial = 0; Trial < 10000; ++Trial) {
+    Seeds.insert(deriveTrialSeed(100, Trial));
+    Seeds.insert(deriveTrialSeed(101, Trial));
+  }
+  EXPECT_EQ(Seeds.size(), 20000u);
+}
+
+TEST(RngTest, DerivedTrialSeedStreamsDoNotOverlap) {
+  // The first draw of every derived trial stream must be unique across
+  // 10k trials: consecutive xoshiro seeds would fail this immediately if
+  // the derivation did not avalanche the trial index.
+  std::set<uint64_t> FirstDraws;
+  for (uint64_t Trial = 0; Trial < 10000; ++Trial) {
+    Rng R(deriveTrialSeed(12345, Trial));
+    FirstDraws.insert(R.next());
+  }
+  EXPECT_EQ(FirstDraws.size(), 10000u);
+}
+
+TEST(RngTest, DerivedTrialSeedSaltSeparatesFamilies) {
+  // Ground-truth and detection trials share a base seed but must draw
+  // from disjoint seed families.
+  std::set<uint64_t> Seeds;
+  for (uint64_t Trial = 0; Trial < 1000; ++Trial) {
+    Seeds.insert(deriveTrialSeed(42, Trial));
+    Seeds.insert(deriveTrialSeed(42, Trial, 0x44455443ull));
+  }
+  EXPECT_EQ(Seeds.size(), 2000u);
+}
+
+TEST(RngTest, DerivedTrialSeedIsDeterministic) {
+  EXPECT_EQ(deriveTrialSeed(7, 3), deriveTrialSeed(7, 3));
+  EXPECT_NE(deriveTrialSeed(7, 3), deriveTrialSeed(7, 4));
+  EXPECT_NE(deriveTrialSeed(7, 3), deriveTrialSeed(8, 3));
+  EXPECT_NE(deriveTrialSeed(7, 3, 1), deriveTrialSeed(7, 3, 2));
+}

@@ -2,56 +2,64 @@
 //
 // A small driver around the library for downstream use without writing
 // C++: generate workload traces to files and analyse trace files with any
-// of the detectors.
+// of the detectors. Several trace files can be analysed in one run; with
+// --jobs=N the files are processed concurrently (output stays in argument
+// order), and --shards=K splits each replay across K detector replicas
+// with bit-identical results.
 //
 //   racedetect --generate=eclipse --scale=0.2 --seed=7 --out=run.trace
 //   racedetect run.trace --detector=pacer --rate=0.03 --stats
-//   racedetect run.trace --detector=fasttrack --max-reports=5
+//   racedetect a.trace b.trace c.trace --jobs=3 --shards=4
 //
 //===----------------------------------------------------------------------===//
 
 #include "harness/TrialRunner.h"
-#include "runtime/RaceLog.h"
-#include "runtime/Runtime.h"
+#include "runtime/ShardedReplay.h"
 #include "sim/TraceGenerator.h"
 #include "sim/TraceIO.h"
 #include "sim/Workloads.h"
 #include "support/CommandLine.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 using namespace pacer;
 
 namespace {
 
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage:\n"
-      "  racedetect --generate=WORKLOAD --out=FILE [--scale=F] [--seed=N]\n"
-      "      generate a trace of eclipse|hsqldb|xalan|pseudojbb\n"
-      "  racedetect FILE [options]\n"
-      "      analyse a trace file\n"
-      "options:\n"
-      "  --detector=pacer|fasttrack|generic|literace   (default pacer)\n"
-      "  --rate=R           PACER sampling rate in [0,1] (default 1.0)\n"
-      "  --period-bytes=N   simulated nursery size (default 262144)\n"
-      "  --burst=N          LiteRace burst length (default 100)\n"
-      "  --seed=N           seed for sampling decisions (default 1)\n"
-      "  --max-reports=N    race reports to print (default 10)\n"
-      "  --stats            print operation statistics\n");
-  return 2;
+OptionRegistry buildRegistry() {
+  OptionRegistry R("racedetect [options] TRACE...\n"
+                   "       racedetect --generate=WORKLOAD --out=FILE "
+                   "[--scale=F] [--seed=N]");
+  R.addString("generate", "",
+              "generate a trace of eclipse|hsqldb|xalan|pseudojbb "
+              "instead of analysing")
+      .addString("out", "", "output file for --generate")
+      .addDouble("scale", 1.0, "workload scale for --generate")
+      .addString("detector", "pacer", "pacer|fasttrack|generic|literace")
+      .addDouble("rate", 1.0, "PACER sampling rate in [0,1]")
+      .addInt("period-bytes", 256 * 1024, "simulated nursery size in bytes")
+      .addInt("burst", 100, "LiteRace burst length")
+      .addInt("seed", 1, "seed for trace generation / sampling decisions")
+      .addInt("max-reports", 10, "race reports to print per trace")
+      .addFlag("stats", "print operation statistics per trace")
+      .addInt("jobs", 1, "analyse this many trace files concurrently")
+      .addInt("shards", 1,
+              "variable shards per trace replay (intra-trial parallelism)");
+  return R;
 }
 
-DetectorSetup setupFromFlags(const FlagSet &Flags, bool &Ok) {
+DetectorSetup setupFromOptions(const OptionRegistry &R, bool &Ok) {
   Ok = true;
-  std::string Name = Flags.getString("detector", "pacer");
+  std::string Name = R.getString("detector");
   if (Name == "pacer") {
-    DetectorSetup Setup = pacerSetup(Flags.getDouble("rate", 1.0));
+    DetectorSetup Setup = pacerSetup(R.getDouble("rate"));
     Setup.Sampling.PeriodBytes =
-        static_cast<uint64_t>(Flags.getInt("period-bytes", 256 * 1024));
+        static_cast<uint64_t>(R.getInt("period-bytes"));
     return Setup;
   }
   if (Name == "fasttrack")
@@ -59,22 +67,22 @@ DetectorSetup setupFromFlags(const FlagSet &Flags, bool &Ok) {
   if (Name == "generic")
     return genericSetup();
   if (Name == "literace")
-    return literaceSetup(static_cast<uint32_t>(Flags.getInt("burst", 100)));
+    return literaceSetup(static_cast<uint32_t>(R.getInt("burst")));
   Ok = false;
   return {};
 }
 
-int generateMode(const FlagSet &Flags) {
-  std::string Out = Flags.getString("out", "");
+int generateMode(const OptionRegistry &R) {
+  std::string Out = R.getString("out");
   if (Out.empty()) {
     std::fprintf(stderr, "error: --generate requires --out=FILE\n");
     return 2;
   }
-  WorkloadSpec Spec = paperWorkloadByName(Flags.getString("generate", ""));
-  Spec = scaleWorkload(Spec, Flags.getDouble("scale", 1.0));
+  WorkloadSpec Spec = paperWorkloadByName(R.getString("generate"));
+  Spec = scaleWorkload(Spec, R.getDouble("scale"));
   CompiledWorkload Workload(Spec);
-  Trace T = generateTrace(Workload,
-                          static_cast<uint64_t>(Flags.getInt("seed", 1)));
+  Trace T =
+      generateTrace(Workload, static_cast<uint64_t>(R.getInt("seed")));
   if (!writeTraceFile(Out, T)) {
     std::fprintf(stderr, "error: cannot write %s\n", Out.c_str());
     return 1;
@@ -88,7 +96,7 @@ int generateMode(const FlagSet &Flags) {
   return 0;
 }
 
-void printStats(const DetectorStats &Stats) {
+std::string statsTable(const DetectorStats &Stats) {
   TextTable Table;
   Table.setHeader({"operation", "sampling", "non-sampling"});
   Table.addRow({"slow joins", std::to_string(Stats.SlowJoinsSampling),
@@ -108,76 +116,137 @@ void printStats(const DetectorStats &Stats) {
                 std::to_string(Stats.WriteSlowNonSampling)});
   Table.addRow({"fast-path writes", "-",
                 std::to_string(Stats.WriteFastNonSampling)});
-  std::printf("\n%s", Table.render().c_str());
+  return "\n" + Table.render();
+}
+
+/// One trace file's fully formatted report, assembled off the main thread
+/// so batch output can print in argument order.
+struct FileOutcome {
+  std::string Text;
+  bool ParseFailed = false;
+  uint64_t DistinctRaces = 0;
+};
+
+FileOutcome analyseFile(const std::string &Path, const DetectorSetup &Setup,
+                        uint64_t Seed, unsigned Shards, size_t MaxReports,
+                        bool WantStats) {
+  FileOutcome Out;
+  TraceParseResult Parsed = readTraceFile(Path);
+  if (!Parsed.Ok) {
+    Out.ParseFailed = true;
+    Out.Text = "error: " + Parsed.Error + "\n";
+    return Out;
+  }
+
+  // Trace files carry no code structure, so give LiteRace a flat
+  // site-to-method map (every site its own method) via a raceless
+  // placeholder workload.
+  WorkloadSpec FlatSpec = tinyTestWorkload();
+  FlatSpec.Races.clear();
+  CompiledWorkload Flat(FlatSpec);
+
+  ShardedReplayConfig Config;
+  Config.Shards = Shards < 1 ? 1 : Shards;
+  if (Setup.Kind == DetectorKind::Pacer) {
+    Config.UseController = true;
+    Config.Sampling = Setup.Sampling;
+    Config.Sampling.TargetRate = Setup.SamplingRate;
+    Config.ControllerSeed = Seed;
+  }
+  ShardedReplayResult Result = shardedReplay(
+      Parsed.T,
+      [&](RaceSink &Sink) { return makeDetector(Setup, Sink, Flat, Seed); },
+      Config);
+
+  TraceProfile Profile = profileTrace(Parsed.T);
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf), "%s: analysed %llu actions",
+                Path.c_str(),
+                static_cast<unsigned long long>(Profile.Total));
+  Out.Text += Buf;
+  if (Config.Shards > 1) {
+    std::snprintf(Buf, sizeof(Buf), " across %u shards", Config.Shards);
+    Out.Text += Buf;
+  }
+  if (Config.UseController) {
+    std::snprintf(Buf, sizeof(Buf), " (specified rate %.3g, effective %.3g)",
+                  Setup.SamplingRate, Result.EffectiveAccessRate);
+    Out.Text += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "\n%zu distinct race(s), %llu dynamic report(s)\n",
+                Result.Races.size(),
+                static_cast<unsigned long long>(Result.DynamicRaces));
+  Out.Text += Buf;
+
+  size_t Shown = 0;
+  for (const RaceReport &Report : Result.SampleReports) {
+    if (Shown++ >= MaxReports)
+      break;
+    Out.Text += "  " + Report.str() + "\n";
+  }
+  if (Result.DynamicRaces > Shown) {
+    std::snprintf(Buf, sizeof(Buf), "  ... (%llu more dynamic reports)\n",
+                  static_cast<unsigned long long>(Result.DynamicRaces -
+                                                  Shown));
+    Out.Text += Buf;
+  }
+
+  if (WantStats)
+    Out.Text += statsTable(Result.Stats);
+  Out.DistinctRaces = Result.Races.size();
+  return Out;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  FlagSet Flags(Argc, Argv);
+  OptionRegistry R = buildRegistry();
+  if (!R.parse(Argc, Argv))
+    return R.helpRequested() ? 0 : 2;
 
-  if (Flags.has("generate"))
-    return generateMode(Flags);
+  if (R.has("generate"))
+    return generateMode(R);
 
-  if (Flags.positional().size() != 1 || Flags.has("help"))
-    return usage();
-
-  TraceParseResult Parsed = readTraceFile(Flags.positional()[0]);
-  if (!Parsed.Ok) {
-    std::fprintf(stderr, "error: %s\n", Parsed.Error.c_str());
-    return 1;
+  const std::vector<std::string> &Files = R.positional();
+  if (Files.empty()) {
+    R.printHelp(stderr);
+    return 2;
   }
 
   bool SetupOk = false;
-  DetectorSetup Setup = setupFromFlags(Flags, SetupOk);
-  if (!SetupOk)
-    return usage();
-  auto Seed = static_cast<uint64_t>(Flags.getInt("seed", 1));
-
-  // The detector factory needs a site-to-method map for LiteRace; derive a
-  // flat one from the trace (every site its own method) since trace files
-  // carry no code structure.
-  SiteId MaxSite = 0;
-  for (const Action &A : Parsed.T)
-    if (isAccessAction(A.Kind) && A.Site != InvalidId && A.Site > MaxSite)
-      MaxSite = A.Site;
-  WorkloadSpec FlatSpec = tinyTestWorkload();
-  FlatSpec.Races.clear();
-  CompiledWorkload Flat(FlatSpec);
-
-  RaceLog Log;
-  std::unique_ptr<Detector> D = makeDetector(Setup, Log, Flat, Seed);
-  std::unique_ptr<SamplingController> Controller;
-  if (Setup.Kind == DetectorKind::Pacer) {
-    SamplingConfig Sampling = Setup.Sampling;
-    Sampling.TargetRate = Setup.SamplingRate;
-    Controller = std::make_unique<SamplingController>(Sampling, Seed);
+  DetectorSetup Setup = setupFromOptions(R, SetupOk);
+  if (!SetupOk) {
+    std::fprintf(stderr, "error: unknown --detector=%s\n",
+                 R.getString("detector").c_str());
+    return 2;
   }
-  Runtime RT(*D, Controller.get());
-  RT.replay(Parsed.T);
 
-  TraceProfile Profile = profileTrace(Parsed.T);
-  std::printf("%s: analysed %llu actions with %s", Flags.positional()[0].c_str(),
-              static_cast<unsigned long long>(Profile.Total), D->name());
-  if (Setup.Kind == DetectorKind::Pacer && Controller)
-    std::printf(" (specified rate %.3g, effective %.3g)",
-                Setup.SamplingRate, Controller->effectiveAccessRate());
-  std::printf("\n%zu distinct race(s), %llu dynamic report(s)\n",
-              Log.distinctCount(),
-              static_cast<unsigned long long>(Log.dynamicCount()));
+  auto Seed = static_cast<uint64_t>(R.getInt("seed"));
+  auto MaxReports = static_cast<size_t>(R.getInt("max-reports"));
+  bool WantStats = R.getBool("stats");
+  int64_t JobsFlag = R.getInt("jobs");
+  unsigned Jobs = JobsFlag < 1 ? 1u : static_cast<unsigned>(JobsFlag);
+  int64_t ShardsFlag = R.getInt("shards");
+  unsigned Shards = ShardsFlag < 1 ? 1u : static_cast<unsigned>(ShardsFlag);
 
-  auto MaxReports = static_cast<size_t>(Flags.getInt("max-reports", 10));
-  size_t Shown = 0;
-  for (const RaceReport &Report : Log.sampleReports()) {
-    if (Shown++ >= MaxReports)
-      break;
-    std::printf("  %s\n", Report.str().c_str());
+  // Analyse the files concurrently, but print outcomes in argument order
+  // so batch output is stable for any --jobs value.
+  std::vector<FileOutcome> Outcomes =
+      parallelMap(Jobs, Files.size(), [&](size_t I) {
+        return analyseFile(Files[I], Setup, Seed, Shards, MaxReports,
+                           WantStats);
+      });
+
+  bool AnyParseFailed = false;
+  uint64_t TotalDistinct = 0;
+  for (const FileOutcome &Outcome : Outcomes) {
+    std::fputs(Outcome.Text.c_str(),
+               Outcome.ParseFailed ? stderr : stdout);
+    AnyParseFailed |= Outcome.ParseFailed;
+    TotalDistinct += Outcome.DistinctRaces;
   }
-  if (Log.dynamicCount() > Shown)
-    std::printf("  ... (%llu more dynamic reports)\n",
-                static_cast<unsigned long long>(Log.dynamicCount() - Shown));
-
-  if (Flags.getBool("stats", false))
-    printStats(D->stats());
-  return Log.distinctCount() == 0 ? 0 : 3;
+  if (AnyParseFailed)
+    return 1;
+  return TotalDistinct == 0 ? 0 : 3;
 }
