@@ -16,7 +16,9 @@
 ///   --full-trials=N   fully sampled calibration trials (default 30)
 ///   --jobs=N          worker threads for trial-level parallelism
 ///   --shards=K        variable shards per trial (intra-trial parallel
-///                     replay; results are bit-identical across K)
+///                     replay; results are bit-identical across K);
+///                     --shards=auto picks K per workload from trace
+///                     size and hardware
 ///
 /// The shared flags live in an OptionRegistry (benchOptionRegistry);
 /// binaries with extra flags declare them on that registry before parsing,
@@ -31,6 +33,7 @@
 
 #include "harness/DetectionExperiment.h"
 #include "harness/TrialRunner.h"
+#include "runtime/TraceIndex.h"
 #include "sim/Workloads.h"
 #include "support/CommandLine.h"
 #include "support/Stats.h"
@@ -57,7 +60,8 @@ struct BenchOptions {
   unsigned Jobs = 1;
   /// Variable shards per trial replay (--shards). Each trial's accesses
   /// are partitioned across K detector replicas analysed concurrently;
-  /// results are bit-identical across shard counts, 1 is sequential.
+  /// results are bit-identical across shard counts, 1 is sequential and
+  /// 0 ("auto") picks K from the trace size and the hardware.
   unsigned Shards = 1;
 };
 
@@ -77,8 +81,10 @@ inline OptionRegistry benchOptionRegistry(const std::string &Usage,
       .addInt("full-trials", 30, "fully sampled calibration trials")
       .addInt("jobs", static_cast<int64_t>(defaultJobs()),
               "worker threads for trial-level parallelism")
-      .addInt("shards", 1,
-              "variable shards per trial replay (intra-trial parallelism)");
+      .addString("shards", "1",
+                 "variable shards per trial replay (intra-trial "
+                 "parallelism): a count, or 'auto' to pick from trace "
+                 "size and hardware");
   return R;
 }
 
@@ -91,8 +97,7 @@ inline BenchOptions benchOptionsFrom(const OptionRegistry &R) {
   Options.FullTrials = static_cast<uint32_t>(R.getInt("full-trials"));
   int64_t Jobs = R.getInt("jobs");
   Options.Jobs = Jobs < 1 ? 1u : static_cast<unsigned>(Jobs);
-  int64_t Shards = R.getInt("shards");
-  Options.Shards = Shards < 1 ? 1u : static_cast<unsigned>(Shards);
+  Options.Shards = parseShardCount(R.getString("shards"));
   std::string Name = R.getString("workload");
   std::vector<WorkloadSpec> All = paperWorkloads();
   for (WorkloadSpec &Spec : All)

@@ -17,6 +17,7 @@ set(PACER_BENCH_BINARIES
   fig10_space_over_time
   ablation_design_choices
   ext_accordion_clocks
+  micro_sharded
 )
 
 foreach(bin ${PACER_BENCH_BINARIES})

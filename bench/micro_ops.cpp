@@ -22,6 +22,7 @@
 #include "detectors/FastTrackDetector.h"
 #include "harness/TrialRunner.h"
 #include "runtime/Runtime.h"
+#include "runtime/TraceIndex.h"
 #include "sim/TraceGenerator.h"
 #include "sim/Workloads.h"
 #include "support/CommandLine.h"
@@ -31,6 +32,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
 
 using namespace pacer;
@@ -192,19 +194,29 @@ int runJsonMode(int Argc, const char *const *Argv) {
       .addInt("reps", 15, "timed repetitions per detector")
       .addDouble("scale", 1.0, "workload scale factor")
       .addInt("seed", 12345, "trace seed")
-      .addInt("shards", 1, "variable shards per trial replay");
+      .addString("shards", "1",
+                 "variable shards per trial replay: a count or 'auto'");
   if (!R.parse(Argc, Argv))
     return R.helpRequested() ? 0 : 2;
   std::string OutPath = R.getString("json-out");
   auto Reps = static_cast<uint32_t>(R.getInt("reps"));
   double Scale = R.getDouble("scale");
   uint64_t Seed = static_cast<uint64_t>(R.getInt("seed"));
-  int64_t ShardsFlag = R.getInt("shards");
-  unsigned Shards = ShardsFlag < 1 ? 1u : static_cast<unsigned>(ShardsFlag);
+  unsigned Shards = parseShardCount(R.getString("shards"));
 
   CompiledWorkload Workload(
       scaleWorkload(mediumTestWorkload(), Scale));
   Trace T = generateTrace(Workload, Seed);
+  if (Shards == 0) {
+    Shards = resolveShardCount(0, countTraceAccesses(T));
+    std::printf("auto-sharding: K=%u\n", Shards);
+  }
+  // One index for the whole run: every detector and repetition shards the
+  // same trace the same way, so the build cost amortizes to zero and the
+  // timed loops measure pure replay.
+  std::optional<TraceIndex> Index;
+  if (Shards > 1)
+    Index.emplace(TraceIndex::build(T, Shards));
 
   struct NamedSetup {
     const char *Name;
@@ -227,7 +239,8 @@ int runJsonMode(int Argc, const char *const *Argv) {
     DetectorSetup Setup = NS.Setup;
     Setup.Shards = Shards;
     for (uint32_t Rep = 0; Rep < Reps; ++Rep) {
-      TrialResult Result = runTrialOnTrace(T, Workload, Setup, Seed);
+      TrialResult Result = runTrialOnTrace(T, Workload, Setup, Seed,
+                                           Index ? &*Index : nullptr);
       Races = Result.DynamicRaces;
       double Seconds = Result.ReplaySeconds;
       NsPerEvent.push_back(T.empty() ? 0.0

@@ -163,6 +163,15 @@ public:
     accessBatch(Batch, AccessShard::all());
   }
 
+  /// True iff analysing an owned access depends only on previously
+  /// analysed *owned* accesses and synchronization actions -- never on
+  /// accesses some other shard owns. When true, a sharded replica may be
+  /// driven from just its owned-access runs (TraceIndex::replayShard's
+  /// fast path); when false (LiteRace, whose code-indexed sampler
+  /// advances for every access in the trace), the replica must observe
+  /// the full access stream through a filtering accessBatch.
+  virtual bool accessAnalysisIsShardLocal() const { return true; }
+
   // --- Thread lifecycle ---
 
   /// Thread \p Tid is about to perform its first action of the trace.

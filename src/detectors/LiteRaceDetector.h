@@ -105,6 +105,10 @@ public:
   void accessBatch(std::span<const Action> Batch,
                    const AccessShard &Shard) override;
 
+  /// The bursty samplers must advance on *every* access (owned or not),
+  /// so replicas cannot be fed owned runs alone.
+  bool accessAnalysisIsShardLocal() const override { return false; }
+
   void threadBegin(ThreadId Tid) override { Sync.ensureThread(Tid); }
 
   size_t liveMetadataBytes() const override;

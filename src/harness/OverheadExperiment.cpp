@@ -2,12 +2,15 @@
 
 #include "harness/OverheadExperiment.h"
 
+#include "runtime/TraceIndex.h"
 #include "sim/TraceGenerator.h"
 #include "support/Rng.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
 
 using namespace pacer;
 
@@ -15,6 +18,45 @@ std::vector<OverheadResult>
 pacer::measureOverheads(const CompiledWorkload &Workload,
                         const std::vector<OverheadConfig> &Configs,
                         uint32_t Trials, uint64_t BaseSeed, unsigned Jobs) {
+  // Auto shard requests (Shards == 0) resolve once from a probe trace so
+  // every trial and every configuration times the identical shard count;
+  // resolving per trial would let trace-size jitter flip K mid-experiment.
+  std::vector<OverheadConfig> Resolved;
+  const std::vector<OverheadConfig> *Active = &Configs;
+  if (std::any_of(Configs.begin(), Configs.end(),
+                  [](const OverheadConfig &C) { return C.Setup.Shards == 0; })) {
+    Trace Probe = generateTrace(Workload, deriveTrialSeed(BaseSeed, 0));
+    const unsigned K = resolveShardCount(0, countTraceAccesses(Probe));
+    std::fprintf(stderr, "[shards] auto: K=%u (%llu accesses)\n", K,
+                 static_cast<unsigned long long>(countTraceAccesses(Probe)));
+    Resolved = Configs;
+    for (OverheadConfig &C : Resolved)
+      if (C.Setup.Shards == 0)
+        C.Setup.Shards = K;
+    Active = &Resolved;
+  }
+
+  // One shared index per trial when every configuration replays the raw
+  // trace at the same shard count: the build then happens once, outside
+  // every timed region, matching how a long-lived analysis would amortize
+  // it. Mixed shard counts or local-access elision fall back to per-call
+  // handling inside runTrialOnTrace.
+  unsigned SharedIndexShards = 0;
+  {
+    bool Uniform = !Active->empty();
+    for (const OverheadConfig &C : *Active) {
+      const DetectorSetup &S = C.Setup;
+      if (S.Shards <= 1 || !S.ShardUseIndex || S.ElideLocalAccesses ||
+          (SharedIndexShards != 0 && S.Shards != SharedIndexShards)) {
+        Uniform = false;
+        break;
+      }
+      SharedIndexShards = S.Shards;
+    }
+    if (!Uniform)
+      SharedIndexShards = 0;
+  }
+
   // One repetition = generate the trial's trace, then time every
   // configuration on that identical trace. Repetitions are independent,
   // so they parallelize; per-trial seconds land in trial-indexed slots
@@ -27,12 +69,16 @@ pacer::measureOverheads(const CompiledWorkload &Workload,
       parallelMap(Jobs, Trials, [&](size_t Trial) {
         uint64_t Seed = deriveTrialSeed(BaseSeed, Trial);
         Trace T = generateTrace(Workload, Seed);
+        std::optional<TraceIndex> Index;
+        if (SharedIndexShards != 0)
+          Index.emplace(TraceIndex::build(T, SharedIndexShards));
         TrialSeconds Out;
         Out.Events = T.size();
-        Out.PerConfig.reserve(Configs.size());
-        for (const OverheadConfig &Config : Configs)
+        Out.PerConfig.reserve(Active->size());
+        for (const OverheadConfig &Config : *Active)
           Out.PerConfig.push_back(
-              runTrialOnTrace(T, Workload, Config.Setup, Seed)
+              runTrialOnTrace(T, Workload, Config.Setup, Seed,
+                              Index ? &*Index : nullptr)
                   .ReplaySeconds);
         return Out;
       });

@@ -5,6 +5,7 @@
 #include "detectors/GenericDetector.h"
 #include "runtime/Runtime.h"
 #include "runtime/ShardedReplay.h"
+#include "runtime/TraceIndex.h"
 #include "sim/TraceGenerator.h"
 #include "support/Error.h"
 
@@ -90,7 +91,8 @@ TrialResult pacer::runTrial(const CompiledWorkload &Workload,
 TrialResult pacer::runTrialOnTrace(const Trace &T,
                                    const CompiledWorkload &Workload,
                                    const DetectorSetup &Setup,
-                                   uint64_t TrialSeed) {
+                                   uint64_t TrialSeed,
+                                   const TraceIndex *Index) {
   // The escape-analysis pass removed instrumentation from thread-local
   // accesses: they execute (cost nothing here) but are never analysed.
   // Filtering up front keeps the replay path -- sequential or sharded --
@@ -103,15 +105,24 @@ TrialResult pacer::runTrialOnTrace(const Trace &T,
       if (!(isAccessAction(A.Kind) && Workload.isLocalVar(A.Target)))
         Filtered.push_back(A);
     Replay = &Filtered;
+    Index = nullptr; // A caller index describes T, not the filtered trace.
   }
 
   TrialResult Result;
   Result.TraceEvents = T.size();
 
-  if (Setup.Shards > 1) {
+  const unsigned Shards =
+      Setup.Shards != 0
+          ? Setup.Shards
+          : resolveShardCount(0, Index ? Index->accessCount()
+                                       : countTraceAccesses(*Replay));
+
+  if (Shards > 1) {
     ShardedReplayConfig Config;
-    Config.Shards = Setup.Shards;
+    Config.Shards = Shards;
     Config.Jobs = Setup.ShardJobs;
+    Config.UseIndex = Setup.ShardUseIndex;
+    Config.Index = Index;
     if (Setup.Kind == DetectorKind::Pacer) {
       Config.UseController = true;
       Config.Sampling = Setup.Sampling;

@@ -29,6 +29,8 @@
 
 namespace pacer {
 
+class TraceIndex;
+
 /// Which algorithm a trial runs.
 enum class DetectorKind : uint8_t {
   Null,      ///< No analysis (timing baseline).
@@ -57,10 +59,16 @@ struct DetectorSetup {
   SamplingConfig Sampling;
   /// Intra-trial sharded replay: partition data accesses across this many
   /// detector replicas by VarId modulo (see runtime/ShardedReplay.h). 1 is
-  /// plain sequential replay; results are bit-identical for every value.
+  /// plain sequential replay; 0 picks a count automatically from the
+  /// trace's access count and the hardware (runtime/TraceIndex.h's
+  /// autoShardCount). Results are bit-identical for every value.
   unsigned Shards = 1;
   /// Worker concurrency for sharded replay; 0 = one job per shard.
   unsigned ShardJobs = 0;
+  /// Drive sharded replicas through a TraceIndex (the O(sync + owned
+  /// accesses) engine) instead of full-trace re-scans; results are
+  /// identical either way.
+  bool ShardUseIndex = true;
 };
 
 /// Convenience constructors for common configurations.
@@ -102,9 +110,15 @@ TrialResult runTrial(const CompiledWorkload &Workload,
                      const DetectorSetup &Setup, uint64_t TrialSeed);
 
 /// Replays a pre-generated trace (for timing comparisons where every
-/// configuration must see the identical execution).
+/// configuration must see the identical execution). \p Index, when
+/// non-null, must have been built from \p T; it is reused if its shard
+/// count matches the resolved Setup.Shards (amortizing one build across
+/// trials and detector configurations) and ignored otherwise. With
+/// Setup.ElideLocalAccesses the replayed trace differs from \p T, so a
+/// caller index is never applicable and is dropped.
 TrialResult runTrialOnTrace(const Trace &T, const CompiledWorkload &Workload,
-                            const DetectorSetup &Setup, uint64_t TrialSeed);
+                            const DetectorSetup &Setup, uint64_t TrialSeed,
+                            const TraceIndex *Index = nullptr);
 
 } // namespace pacer
 

@@ -113,37 +113,42 @@ public:
   }
 
   /// Routes \p A to the detector hook it instruments.
-  void dispatch(const Action &A) {
+  void dispatch(const Action &A) { dispatchTo(D, A); }
+
+  /// Stateless dispatch: routes \p A to \p Target's matching hook. The
+  /// indexed replay path (TraceIndex::replayShard) shares this switch so
+  /// skeleton events hit exactly the hooks a step() loop would.
+  static void dispatchTo(Detector &Target, const Action &A) {
     switch (A.Kind) {
     case ActionKind::Read:
-      D.read(A.Tid, A.Target, A.Site);
+      Target.read(A.Tid, A.Target, A.Site);
       break;
     case ActionKind::Write:
-      D.write(A.Tid, A.Target, A.Site);
+      Target.write(A.Tid, A.Target, A.Site);
       break;
     case ActionKind::Acquire:
-      D.acquire(A.Tid, A.Target);
+      Target.acquire(A.Tid, A.Target);
       break;
     case ActionKind::Release:
-      D.release(A.Tid, A.Target);
+      Target.release(A.Tid, A.Target);
       break;
     case ActionKind::Fork:
-      D.fork(A.Tid, A.Target);
+      Target.fork(A.Tid, A.Target);
       break;
     case ActionKind::Join:
-      D.join(A.Tid, A.Target);
+      Target.join(A.Tid, A.Target);
       break;
     case ActionKind::VolatileRead:
     case ActionKind::AwaitVolatile:
       // AwaitVolatile is the read that finally observes the awaited
       // write; detectors see an ordinary volatile read.
-      D.volatileRead(A.Tid, A.Target);
+      Target.volatileRead(A.Tid, A.Target);
       break;
     case ActionKind::VolatileWrite:
-      D.volatileWrite(A.Tid, A.Target);
+      Target.volatileWrite(A.Tid, A.Target);
       break;
     case ActionKind::ThreadExit:
-      D.threadExit(A.Tid);
+      Target.threadExit(A.Tid);
       break;
     }
   }

@@ -91,6 +91,67 @@ bool SamplingController::beforeAction(ActionKind Kind, Detector &D) {
   return Boundary;
 }
 
+SamplingController::AccessRunAdvance
+SamplingController::advanceAccessRun(uint64_t N, Detector &D) {
+  AccessRunAdvance Out;
+  if (N == 0)
+    return Out;
+
+  // Constant per-access charge while the sampling state is unchanged.
+  const uint64_t Charge =
+      Config.BaseBytesPerEvent +
+      (Sampling ? Config.MetadataBytesPerSampledAccess : 0);
+
+  // 1-based index of the access whose charge fills the nursery.
+  const uint64_t Need = NurseryBytes >= Config.PeriodBytes
+                            ? 0
+                            : Config.PeriodBytes - NurseryBytes;
+  uint64_t FiringIndex;
+  bool Fires;
+  if (Need == 0) {
+    FiringIndex = 1;
+    Fires = true;
+  } else if (Charge == 0) {
+    FiringIndex = N;
+    Fires = false;
+  } else {
+    FiringIndex = (Need + Charge - 1) / Charge;
+    Fires = FiringIndex <= N;
+    if (!Fires)
+      FiringIndex = N;
+  }
+
+  // Accesses strictly before the boundary (or the whole run) land in the
+  // current period.
+  const uint64_t Before = Fires ? FiringIndex - 1 : FiringIndex;
+  NurseryBytes += Charge * FiringIndex;
+  AccessesTotal += Before;
+  if (Sampling)
+    AccessesSampling += Before;
+  Out.Consumed = FiringIndex;
+  if (!Fires)
+    return Out;
+
+  // The firing access: replicate beforeAction's boundary block, then
+  // account the access itself in the *new* period.
+  NurseryBytes -= Config.PeriodBytes;
+  ++Boundaries;
+  finishPeriod();
+  bool Next = Random.nextBool(entryProbability());
+  if (Sampling)
+    D.endSamplingPeriod();
+  Sampling = Next;
+  if (Sampling) {
+    ++SamplingPeriods;
+    D.beginSamplingPeriod();
+  }
+  ++AccessesTotal;
+  if (Sampling)
+    ++AccessesSampling;
+  Out.Boundary = true;
+  return Out;
+}
+
 double SamplingController::effectiveAccessRate() const {
   if (AccessesTotal == 0)
     return 0.0;

@@ -67,6 +67,53 @@ public:
   /// if a boundary (simulated GC) fired at this action.
   bool beforeAction(ActionKind Kind, Detector &D);
 
+  /// Outcome of one advanceAccessRun() call.
+  struct AccessRunAdvance {
+    /// Accesses accounted by the call (<= the requested count).
+    uint64_t Consumed = 0;
+    /// True if a period boundary fired. The boundary fired at the *last*
+    /// consumed access: that access was charged in the old period, the
+    /// boundary toggled \p D, and the access was then accounted in the
+    /// new period -- exactly beforeAction()'s order. Accesses
+    /// [0, Consumed - 1) belong to the pre-call sampling state and the
+    /// boundary-firing access (offset Consumed - 1) to the post-call
+    /// state; callers that analyse accesses must deliver the pre-boundary
+    /// segment *before* calling advanceAccessRun (the toggle happens
+    /// inside) -- use accessRunBoundaryIndex() to locate the split.
+    bool Boundary = false;
+  };
+
+  /// 1-based index, within a run of \p N pending accesses, of the access
+  /// whose charge would fire the next period boundary; 0 if no boundary
+  /// fires within the run. Pure query, the bulk analogue of
+  /// boundaryImminent(): advanceAccessRun(N, D) will report Boundary
+  /// exactly when this returns nonzero, with Consumed equal to it.
+  uint64_t accessRunBoundaryIndex(uint64_t N) const {
+    if (N == 0)
+      return 0;
+    const uint64_t Charge =
+        Config.BaseBytesPerEvent +
+        (Sampling ? Config.MetadataBytesPerSampledAccess : 0);
+    if (NurseryBytes >= Config.PeriodBytes)
+      return 1;
+    const uint64_t Need = Config.PeriodBytes - NurseryBytes;
+    if (Charge == 0)
+      return 0;
+    const uint64_t FiringIndex = (Need + Charge - 1) / Charge;
+    return FiringIndex <= N ? FiringIndex : 0;
+  }
+
+  /// Bulk equivalent of up to \p N consecutive beforeAction(Read/Write)
+  /// calls, in O(1) per period boundary instead of O(N): while the
+  /// sampling state is unchanged every access charges the same number of
+  /// bytes, so the position of the next boundary inside a pure access run
+  /// is a closed-form function of the nursery fill. Stops after the first
+  /// boundary (the sampling state may have toggled, changing the charge);
+  /// call repeatedly until the run's accesses are all consumed. The
+  /// counter, boundary, and RNG streams are bit-identical to the
+  /// per-action loop for every (N, state) -- TraceIndexTest locks this in.
+  AccessRunAdvance advanceAccessRun(uint64_t N, Detector &D);
+
   /// True iff the next beforeAction(\p Kind, ...) call would fire a period
   /// boundary. Pure query, mirrors beforeAction's charge computation; the
   /// batched replay loop uses it to flush pending data-access batches

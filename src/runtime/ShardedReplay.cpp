@@ -4,9 +4,11 @@
 
 #include "runtime/RaceLog.h"
 #include "runtime/Runtime.h"
+#include "runtime/TraceIndex.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <optional>
 
 using namespace pacer;
 
@@ -48,6 +50,20 @@ ShardedReplayResult pacer::shardedReplay(const Trace &T,
   const unsigned Jobs =
       Config.Jobs != 0 ? Config.Jobs : std::min(Shards, hardwareJobs());
 
+  // Engage the indexed engine for genuinely sharded replays, or whenever
+  // the caller went to the trouble of supplying an index (K = 1 included,
+  // so tests can exercise the indexed path degenerately).
+  const bool UseIndex =
+      Config.UseIndex && (Shards > 1 || Config.Index != nullptr);
+  const TraceIndex *Index = nullptr;
+  std::optional<TraceIndex> OwnedIndex;
+  if (UseIndex) {
+    if (Config.Index && Config.Index->shardCount() == Shards)
+      Index = Config.Index;
+    else
+      Index = &OwnedIndex.emplace(TraceIndex::build(T, Shards));
+  }
+
   std::vector<std::unique_ptr<ReplicaOutcome>> Replicas =
       parallelMap(Jobs, Shards, [&](size_t Shard) {
         auto Out = std::make_unique<ReplicaOutcome>();
@@ -56,8 +72,13 @@ ShardedReplayResult pacer::shardedReplay(const Trace &T,
         if (Config.UseController)
           Controller = std::make_unique<SamplingController>(
               Config.Sampling, Config.ControllerSeed);
-        Runtime RT(*D, Controller.get());
-        RT.replay(T, AccessShard(static_cast<uint32_t>(Shard), Shards));
+        if (Index) {
+          Index->replayShard(T, static_cast<uint32_t>(Shard), *D,
+                             Controller.get());
+        } else {
+          Runtime RT(*D, Controller.get());
+          RT.replay(T, AccessShard(static_cast<uint32_t>(Shard), Shards));
+        }
         Out->Stats = D->stats();
         Out->LiveBytes = D->liveMetadataBytes();
         Out->AccessBytes = D->accessMetadataBytes();

@@ -10,11 +10,23 @@
 /// left open) while keeping the result bit-identical to sequential replay.
 ///
 /// Design: variables are partitioned by VarId % Shards. Each shard runs a
-/// full detector replica that replays the *entire* trace -- every
-/// synchronization action, thread-lifecycle event, and sampling-period
-/// boundary -- but analyses only the data accesses it owns
-/// (Runtime::replay with an AccessShard filter). Replica 0 therefore
-/// holds the canonical synchronization-side state: because the sampling
+/// full detector replica that processes every synchronization action,
+/// thread-lifecycle event, and sampling-period boundary, but analyses
+/// only the data accesses it owns. Two engines produce that view:
+///
+///  - the *indexed* engine (default): a TraceIndex partitions the trace
+///    once into the shared sync skeleton and per-shard owned-access runs,
+///    and each replica walks only the skeleton plus its runs -- O(sync +
+///    owned accesses) per replica (see runtime/TraceIndex.h). Detectors
+///    whose analysis is not shard-local (LiteRace) transparently fall
+///    back to the filtered full stream inside replayShard.
+///
+///  - the *full-scan* engine (UseIndex = false): each replica re-scans
+///    the whole trace through Runtime::replay with an AccessShard filter,
+///    O(trace) per replica. Kept as the reference implementation; the
+///    two engines are bit-identical for every detector and shard count.
+///
+/// Replica 0 holds the canonical synchronization-side state: because the sampling
 /// controller's boundary schedule is a pure function of the action-kind
 /// stream (never of detector state), and threadBegin pins per-thread
 /// state creation to first sight in the trace, every replica observes
@@ -37,6 +49,7 @@
 
 #include "detectors/Detector.h"
 #include "runtime/SamplingController.h"
+#include "runtime/TraceIndex.h"
 #include "sim/Action.h"
 
 #include <functional>
@@ -65,6 +78,14 @@ struct ShardedReplayConfig {
   bool UseController = false;
   SamplingConfig Sampling;
   uint64_t ControllerSeed = 0;
+  /// Replay through a TraceIndex (O(sync + owned accesses) per replica)
+  /// instead of full-trace re-scans. Only engages when Shards > 1 or an
+  /// \p Index is supplied, so the single-shard default path is untouched.
+  bool UseIndex = true;
+  /// Optional caller-built index for \p T with shardCount() == Shards;
+  /// reusing one index across trials and detector configs amortizes the
+  /// build. Ignored (a private index is built) on a shard-count mismatch.
+  const TraceIndex *Index = nullptr;
 };
 
 /// Merged outcome of a sharded replay; field for field comparable with a

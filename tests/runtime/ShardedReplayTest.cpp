@@ -19,6 +19,8 @@
 #include "harness/TrialRunner.h"
 #include "runtime/RaceLog.h"
 #include "runtime/Runtime.h"
+#include "runtime/ShardedReplay.h"
+#include "runtime/TraceIndex.h"
 #include "sim/TraceGenerator.h"
 #include "sim/Workloads.h"
 
@@ -92,13 +94,19 @@ void expectShardInvariant(const WorkloadSpec &Spec, uint64_t Seed,
     DetectorSetup Sequential = NS.Setup;
     Sequential.Shards = 1;
     TrialResult Baseline = runTrial(Workload, Sequential, Seed);
-    for (unsigned Shards : ShardCounts) {
-      DetectorSetup Sharded = NS.Setup;
-      Sharded.Shards = Shards;
-      TrialResult Result = runTrial(Workload, Sharded, Seed);
-      SCOPED_TRACE(std::string(NS.Name) + " shards=" +
-                   std::to_string(Shards));
-      expectSameResult(Baseline, Result);
+    // Both sharded engines -- full-scan replicas and the TraceIndex walk
+    // -- must reproduce the sequential result exactly.
+    for (bool UseIndex : {false, true}) {
+      for (unsigned Shards : ShardCounts) {
+        DetectorSetup Sharded = NS.Setup;
+        Sharded.Shards = Shards;
+        Sharded.ShardUseIndex = UseIndex;
+        TrialResult Result = runTrial(Workload, Sharded, Seed);
+        SCOPED_TRACE(std::string(NS.Name) + " shards=" +
+                     std::to_string(Shards) +
+                     (UseIndex ? " indexed" : " full-scan"));
+        expectSameResult(Baseline, Result);
+      }
     }
   }
 }
@@ -106,11 +114,11 @@ void expectShardInvariant(const WorkloadSpec &Spec, uint64_t Seed,
 } // namespace
 
 TEST(ShardedReplayTest, TinyWorkloadIdenticalAcrossShardCounts) {
-  expectShardInvariant(tinyTestWorkload(), /*Seed=*/7, {2, 4, 7});
+  expectShardInvariant(tinyTestWorkload(), /*Seed=*/7, {1, 2, 4, 7});
 }
 
 TEST(ShardedReplayTest, MediumWorkloadIdenticalAcrossShardCounts) {
-  expectShardInvariant(mediumTestWorkload(), /*Seed=*/1234, {2, 4, 7});
+  expectShardInvariant(mediumTestWorkload(), /*Seed=*/1234, {1, 2, 4, 7});
 }
 
 TEST(ShardedReplayTest, ScaledPaperWorkloadIdenticalAcrossShardCounts) {
@@ -159,6 +167,87 @@ TEST(ShardedReplayTest, ElidedLocalAccessesShardIdentically) {
   TrialResult Baseline = runTrial(Workload, Setup, /*Seed=*/17);
   Setup.Shards = 4;
   expectSameResult(Baseline, runTrial(Workload, Setup, /*Seed=*/17));
+}
+
+//===----------------------------------------------------------------------===//
+// Direct shardedReplay engine comparisons
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectSameShardedResult(const ShardedReplayResult &A,
+                             const ShardedReplayResult &B) {
+  ASSERT_EQ(A.Races.size(), B.Races.size());
+  for (const auto &[Key, Count] : A.Races) {
+    auto It = B.Races.find(Key);
+    ASSERT_TRUE(It != B.Races.end()) << "race key missing";
+    EXPECT_EQ(Count, It->second);
+  }
+  EXPECT_EQ(A.DynamicRaces, B.DynamicRaces);
+  expectSameStats(A.Stats, B.Stats);
+  EXPECT_EQ(A.FinalMetadataBytes, B.FinalMetadataBytes);
+  EXPECT_EQ(A.EffectiveAccessRate, B.EffectiveAccessRate);
+  EXPECT_EQ(A.EffectiveSyncRate, B.EffectiveSyncRate);
+  EXPECT_EQ(A.Boundaries, B.Boundaries);
+}
+
+ShardedReplayConfig pacerShardConfig(unsigned Shards, uint64_t Seed) {
+  ShardedReplayConfig Config;
+  Config.Shards = Shards;
+  Config.UseController = true;
+  Config.Sampling.TargetRate = 0.03;
+  Config.Sampling.PeriodBytes = 12 * 1024;
+  Config.ControllerSeed = Seed;
+  return Config;
+}
+
+} // namespace
+
+TEST(ShardedReplayTest, SingleShardIndexedMatchesSequential) {
+  // K = 1 through the indexed engine (a caller-supplied index engages it
+  // even without real sharding) must equal the plain sequential replay.
+  CompiledWorkload Workload(mediumTestWorkload());
+  Trace T = generateTrace(Workload, /*Seed=*/31);
+  DetectorSetup Setup = pacerSetup(0.03);
+  Setup.Sampling.PeriodBytes = 12 * 1024;
+  DetectorFactory Factory = [&](RaceSink &Sink) {
+    return makeDetector(Setup, Sink, Workload, /*Seed=*/31);
+  };
+
+  ShardedReplayConfig Sequential = pacerShardConfig(1, /*Seed=*/31);
+  Sequential.UseIndex = false;
+  ShardedReplayResult Baseline = shardedReplay(T, Factory, Sequential);
+
+  TraceIndex Index = TraceIndex::build(T, 1);
+  ShardedReplayConfig Indexed = pacerShardConfig(1, /*Seed=*/31);
+  Indexed.Index = &Index;
+  expectSameShardedResult(Baseline, shardedReplay(T, Factory, Indexed));
+}
+
+TEST(ShardedReplayTest, PrebuiltIndexMatchesInternalBuild) {
+  // Supplying a matching index must be a pure optimization; a mismatched
+  // shard count must be ignored (a correct private index built instead).
+  CompiledWorkload Workload(mediumTestWorkload());
+  Trace T = generateTrace(Workload, /*Seed=*/47);
+  DetectorSetup Setup = fastTrackSetup();
+  DetectorFactory Factory = [&](RaceSink &Sink) {
+    return makeDetector(Setup, Sink, Workload, /*Seed=*/47);
+  };
+
+  ShardedReplayConfig Internal;
+  Internal.Shards = 4;
+  ShardedReplayResult Baseline = shardedReplay(T, Factory, Internal);
+
+  TraceIndex Matching = TraceIndex::build(T, 4);
+  ShardedReplayConfig WithIndex = Internal;
+  WithIndex.Index = &Matching;
+  expectSameShardedResult(Baseline, shardedReplay(T, Factory, WithIndex));
+
+  TraceIndex Mismatched = TraceIndex::build(T, 3);
+  ShardedReplayConfig WithWrongIndex = Internal;
+  WithWrongIndex.Index = &Mismatched;
+  expectSameShardedResult(Baseline,
+                          shardedReplay(T, Factory, WithWrongIndex));
 }
 
 //===----------------------------------------------------------------------===//

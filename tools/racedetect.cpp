@@ -5,7 +5,9 @@
 // of the detectors. Several trace files can be analysed in one run; with
 // --jobs=N the files are processed concurrently (output stays in argument
 // order), and --shards=K splits each replay across K detector replicas
-// with bit-identical results.
+// with bit-identical results. --shards=auto picks K per trace from its
+// access count and the hardware; batch runs (more than one trace file)
+// default to auto, single-file runs to 1.
 //
 //   racedetect --generate=eclipse --scale=0.2 --seed=7 --out=run.trace
 //   racedetect run.trace --detector=pacer --rate=0.03 --stats
@@ -15,6 +17,7 @@
 
 #include "harness/TrialRunner.h"
 #include "runtime/ShardedReplay.h"
+#include "runtime/TraceIndex.h"
 #include "sim/TraceGenerator.h"
 #include "sim/TraceIO.h"
 #include "sim/Workloads.h"
@@ -22,6 +25,7 @@
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -48,8 +52,9 @@ OptionRegistry buildRegistry() {
       .addInt("max-reports", 10, "race reports to print per trace")
       .addFlag("stats", "print operation statistics per trace")
       .addInt("jobs", 1, "analyse this many trace files concurrently")
-      .addInt("shards", 1,
-              "variable shards per trace replay (intra-trial parallelism)");
+      .addString("shards", "",
+                 "variable shards per trace replay: a count or 'auto' "
+                 "(empty = auto for multi-file batches, 1 otherwise)");
   return R;
 }
 
@@ -145,8 +150,22 @@ FileOutcome analyseFile(const std::string &Path, const DetectorSetup &Setup,
   FlatSpec.Races.clear();
   CompiledWorkload Flat(FlatSpec);
 
+  // Shards == 0 is the auto sentinel: tune K to this trace.
+  std::string AutoNote;
+  unsigned ResolvedShards = Shards;
+  if (ResolvedShards == 0) {
+    const uint64_t Accesses = countTraceAccesses(Parsed.T);
+    ResolvedShards = resolveShardCount(0, Accesses);
+    char Note[128];
+    std::snprintf(Note, sizeof(Note),
+                  "auto-sharding: K=%u (%llu accesses, %u hardware jobs)\n",
+                  ResolvedShards,
+                  static_cast<unsigned long long>(Accesses), hardwareJobs());
+    AutoNote = Note;
+  }
+
   ShardedReplayConfig Config;
-  Config.Shards = Shards < 1 ? 1 : Shards;
+  Config.Shards = ResolvedShards;
   if (Setup.Kind == DetectorKind::Pacer) {
     Config.UseController = true;
     Config.Sampling = Setup.Sampling;
@@ -160,6 +179,7 @@ FileOutcome analyseFile(const std::string &Path, const DetectorSetup &Setup,
 
   TraceProfile Profile = profileTrace(Parsed.T);
   char Buf[256];
+  Out.Text += AutoNote;
   std::snprintf(Buf, sizeof(Buf), "%s: analysed %llu actions",
                 Path.c_str(),
                 static_cast<unsigned long long>(Profile.Total));
@@ -179,11 +199,19 @@ FileOutcome analyseFile(const std::string &Path, const DetectorSetup &Setup,
                 static_cast<unsigned long long>(Result.DynamicRaces));
   Out.Text += Buf;
 
+  // Sharded replay merges sample reports replica by replica, so their
+  // discovery order depends on the shard count; print them sorted so the
+  // output is identical for every --shards value.
+  std::vector<std::string> Reports;
+  Reports.reserve(Result.SampleReports.size());
+  for (const RaceReport &Report : Result.SampleReports)
+    Reports.push_back(Report.str());
+  std::sort(Reports.begin(), Reports.end());
   size_t Shown = 0;
-  for (const RaceReport &Report : Result.SampleReports) {
+  for (const std::string &Report : Reports) {
     if (Shown++ >= MaxReports)
       break;
-    Out.Text += "  " + Report.str() + "\n";
+    Out.Text += "  " + Report + "\n";
   }
   if (Result.DynamicRaces > Shown) {
     std::snprintf(Buf, sizeof(Buf), "  ... (%llu more dynamic reports)\n",
@@ -227,8 +255,12 @@ int main(int Argc, char **Argv) {
   bool WantStats = R.getBool("stats");
   int64_t JobsFlag = R.getInt("jobs");
   unsigned Jobs = JobsFlag < 1 ? 1u : static_cast<unsigned>(JobsFlag);
-  int64_t ShardsFlag = R.getInt("shards");
-  unsigned Shards = ShardsFlag < 1 ? 1u : static_cast<unsigned>(ShardsFlag);
+  // Empty --shards defaults to auto-tuning for multi-file batches (where
+  // per-trace tuning pays off) and plain sequential replay for one file.
+  const std::string ShardsText = R.getString("shards");
+  const unsigned Shards = ShardsText.empty()
+                              ? (Files.size() > 1 ? 0u : 1u)
+                              : parseShardCount(ShardsText);
 
   // Analyse the files concurrently, but print outcomes in argument order
   // so batch output is stable for any --jobs value.
