@@ -18,6 +18,7 @@ set(PACER_BENCH_BINARIES
   ablation_design_choices
   ext_accordion_clocks
   micro_sharded
+  micro_trace_io
 )
 
 foreach(bin ${PACER_BENCH_BINARIES})

@@ -6,6 +6,7 @@
 #include "runtime/Runtime.h"
 #include "runtime/ShardedReplay.h"
 #include "runtime/TraceIndex.h"
+#include "sim/StreamingTraceReader.h"
 #include "sim/TraceGenerator.h"
 #include "support/Error.h"
 
@@ -88,7 +89,7 @@ TrialResult pacer::runTrial(const CompiledWorkload &Workload,
   return runTrialOnTrace(T, Workload, Setup, TrialSeed);
 }
 
-TrialResult pacer::runTrialOnTrace(const Trace &T,
+TrialResult pacer::runTrialOnTrace(TraceSpan T,
                                    const CompiledWorkload &Workload,
                                    const DetectorSetup &Setup,
                                    uint64_t TrialSeed,
@@ -97,14 +98,14 @@ TrialResult pacer::runTrialOnTrace(const Trace &T,
   // accesses: they execute (cost nothing here) but are never analysed.
   // Filtering up front keeps the replay path -- sequential or sharded --
   // identical to a trace that never contained them.
-  const Trace *Replay = &T;
+  TraceSpan Replay = T;
   Trace Filtered;
   if (Setup.ElideLocalAccesses) {
     Filtered.reserve(T.size());
     for (const Action &A : T)
       if (!(isAccessAction(A.Kind) && Workload.isLocalVar(A.Target)))
         Filtered.push_back(A);
-    Replay = &Filtered;
+    Replay = Filtered;
     Index = nullptr; // A caller index describes T, not the filtered trace.
   }
 
@@ -115,7 +116,7 @@ TrialResult pacer::runTrialOnTrace(const Trace &T,
       Setup.Shards != 0
           ? Setup.Shards
           : resolveShardCount(0, Index ? Index->accessCount()
-                                       : countTraceAccesses(*Replay));
+                                       : countTraceAccesses(Replay));
 
   if (Shards > 1) {
     ShardedReplayConfig Config;
@@ -133,7 +134,7 @@ TrialResult pacer::runTrialOnTrace(const Trace &T,
       return makeDetector(Setup, Sink, Workload, TrialSeed);
     };
     auto Start = std::chrono::steady_clock::now();
-    ShardedReplayResult Sharded = shardedReplay(*Replay, Factory, Config);
+    ShardedReplayResult Sharded = shardedReplay(Replay, Factory, Config);
     auto End = std::chrono::steady_clock::now();
     Result.Races = std::move(Sharded.Races);
     Result.DynamicRaces = Sharded.DynamicRaces;
@@ -163,8 +164,70 @@ TrialResult pacer::runTrialOnTrace(const Trace &T,
 
   Runtime RT(*D, Controller.get());
   auto Start = std::chrono::steady_clock::now();
-  RT.replay(*Replay);
+  RT.replay(Replay);
   auto End = std::chrono::steady_clock::now();
+
+  Result.Races = Log.counts();
+  Result.DynamicRaces = Log.dynamicCount();
+  Result.Stats = D->stats();
+  if (Controller) {
+    Result.EffectiveAccessRate = Controller->effectiveAccessRate();
+    Result.EffectiveSyncRate = Controller->effectiveSyncRate();
+    Result.Boundaries = Controller->boundaryCount();
+  }
+  if (Setup.Kind == DetectorKind::LiteRace)
+    Result.LiteRaceEffectiveRate =
+        static_cast<LiteRaceDetector *>(D.get())->effectiveRate();
+  Result.ReplaySeconds =
+      std::chrono::duration<double>(End - Start).count();
+  Result.FinalMetadataBytes = D->liveMetadataBytes();
+  return Result;
+}
+
+TrialResult pacer::runTrialOnStream(StreamingTraceReader &Reader,
+                                    const CompiledWorkload &Workload,
+                                    const DetectorSetup &Setup,
+                                    uint64_t TrialSeed, std::string *Error) {
+  if (Error)
+    Error->clear();
+
+  TrialResult Result;
+
+  RaceLog Log;
+  std::unique_ptr<Detector> D = makeDetector(Setup, Log, Workload, TrialSeed);
+
+  std::unique_ptr<SamplingController> Controller;
+  if (Setup.Kind == DetectorKind::Pacer) {
+    SamplingConfig Sampling = Setup.Sampling;
+    Sampling.TargetRate = Setup.SamplingRate;
+    Controller = std::make_unique<SamplingController>(
+        Sampling, TrialSeed ^ 0x47432121u /*"GC!!"*/);
+  }
+
+  Runtime RT(*D, Controller.get());
+  Trace Filtered; // Reused per-chunk scratch under ElideLocalAccesses.
+  auto Start = std::chrono::steady_clock::now();
+  RT.start();
+  for (TraceSpan Chunk = Reader.next(); !Chunk.empty();
+       Chunk = Reader.next()) {
+    Result.TraceEvents += Chunk.size();
+    TraceSpan Replay = Chunk;
+    if (Setup.ElideLocalAccesses) {
+      Filtered.clear();
+      for (const Action &A : Chunk)
+        if (!(isAccessAction(A.Kind) && Workload.isLocalVar(A.Target)))
+          Filtered.push_back(A);
+      Replay = Filtered;
+    }
+    RT.replayChunk(Replay, AccessShard::all());
+  }
+  auto End = std::chrono::steady_clock::now();
+
+  if (!Reader.ok()) {
+    if (Error)
+      *Error = Reader.error();
+    return Result;
+  }
 
   Result.Races = Log.counts();
   Result.DynamicRaces = Log.dynamicCount();

@@ -25,6 +25,7 @@
 #include "sim/WorkloadSpec.h"
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 namespace pacer {
@@ -110,15 +111,31 @@ TrialResult runTrial(const CompiledWorkload &Workload,
                      const DetectorSetup &Setup, uint64_t TrialSeed);
 
 /// Replays a pre-generated trace (for timing comparisons where every
-/// configuration must see the identical execution). \p Index, when
-/// non-null, must have been built from \p T; it is reused if its shard
-/// count matches the resolved Setup.Shards (amortizing one build across
-/// trials and detector configurations) and ignored otherwise. With
-/// Setup.ElideLocalAccesses the replayed trace differs from \p T, so a
-/// caller index is never applicable and is dropped.
-TrialResult runTrialOnTrace(const Trace &T, const CompiledWorkload &Workload,
+/// configuration must see the identical execution). \p T may be an
+/// in-memory Trace or a memory-mapped TraceView span -- analysis never
+/// copies it. \p Index, when non-null, must have been built from \p T; it
+/// is reused if its shard count matches the resolved Setup.Shards
+/// (amortizing one build across trials and detector configurations) and
+/// ignored otherwise. With Setup.ElideLocalAccesses the replayed trace
+/// differs from \p T, so a caller index is never applicable and is
+/// dropped.
+TrialResult runTrialOnTrace(TraceSpan T, const CompiledWorkload &Workload,
                             const DetectorSetup &Setup, uint64_t TrialSeed,
                             const TraceIndex *Index = nullptr);
+
+class StreamingTraceReader;
+
+/// Replays a trace from \p Reader's bounded window: peak trace-resident
+/// memory is O(window), not O(trace), and the TrialResult is bit-identical
+/// to runTrialOnTrace on the same trace (chunk edges only split access
+/// batches). The streaming path is sequential -- Setup.Shards is ignored
+/// (sharded replicas need random access; see DESIGN.md §6e). Returns a
+/// default TrialResult with Ok=false semantics via \p Error when the
+/// reader fails mid-stream (Error is cleared on success).
+TrialResult runTrialOnStream(StreamingTraceReader &Reader,
+                             const CompiledWorkload &Workload,
+                             const DetectorSetup &Setup, uint64_t TrialSeed,
+                             std::string *Error = nullptr);
 
 } // namespace pacer
 

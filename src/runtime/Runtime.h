@@ -69,12 +69,23 @@ public:
   /// Replays a whole trace through batched epoch dispatch. The detector
   /// observes the same hook sequence as a step() loop, with runs of
   /// consecutive data accesses folded into accessBatch() calls.
-  void replay(const Trace &T) { replay(T, AccessShard::all()); }
+  void replay(TraceSpan T) { replay(T, AccessShard::all()); }
 
   /// Shard-filtered replay: every synchronization and lifecycle action is
   /// processed, but only data accesses owned by \p Shard are analysed.
-  void replay(const Trace &T, const AccessShard &Shard) {
+  void replay(TraceSpan T, const AccessShard &Shard) {
     start();
+    replayChunk(T, Shard);
+  }
+
+  /// Incremental replay: processes one contiguous chunk of the trace,
+  /// leaving the runtime ready for the next chunk. Feeding a trace in any
+  /// chunking is observationally identical to one replay() call: access
+  /// batches never carry detector-visible state across their edges (every
+  /// accessBatch override is equivalent to its per-access loop), so a
+  /// chunk edge merely splits a batch. This is what lets a
+  /// StreamingTraceReader drive replay from a bounded window.
+  void replayChunk(TraceSpan T, const AccessShard &Shard) {
     const size_t N = T.size();
     size_t BatchBegin = 0; // Pending accesses are [BatchBegin, I).
     auto Flush = [&](size_t End) {

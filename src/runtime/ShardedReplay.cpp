@@ -43,7 +43,7 @@ void addAccessSideStats(DetectorStats &Into, const DetectorStats &From) {
 
 } // namespace
 
-ShardedReplayResult pacer::shardedReplay(const Trace &T,
+ShardedReplayResult pacer::shardedReplay(TraceSpan T,
                                          const DetectorFactory &Factory,
                                          const ShardedReplayConfig &Config) {
   const unsigned Shards = std::max(1u, Config.Shards);

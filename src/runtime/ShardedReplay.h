@@ -113,8 +113,9 @@ struct ShardedReplayResult {
 /// by \p Factory and merges their results deterministically. For every
 /// detector whose accessBatch overrides honour the AccessShard contract,
 /// the merged result is bit-identical to sequential replay for any shard
-/// count.
-ShardedReplayResult shardedReplay(const Trace &T,
+/// count. \p T may be a memory-mapped TraceView span: analysis never
+/// materializes a Trace.
+ShardedReplayResult shardedReplay(TraceSpan T,
                                   const DetectorFactory &Factory,
                                   const ShardedReplayConfig &Config);
 

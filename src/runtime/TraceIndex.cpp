@@ -12,22 +12,21 @@
 
 using namespace pacer;
 
-TraceIndex TraceIndex::build(const Trace &T, unsigned Shards) {
-  assert(T.size() < UINT32_MAX && "trace positions must fit in 32 bits");
-  TraceIndex Index;
+TraceIndex::Builder::Builder(unsigned Shards) {
   Index.Shards = std::max(1u, Shards);
   Index.Runs.resize(Index.Shards);
   Index.OwnedCounts.assign(Index.Shards, 0);
+}
 
-  std::vector<bool> Seen;
-  uint32_t EpochBegin = 0;
+void TraceIndex::Builder::addChunk(TraceSpan Chunk) {
+  assert(Chunk.size() < UINT32_MAX - Pos &&
+         "trace positions must fit in 32 bits");
   auto CloseEpoch = [&](uint32_t End) {
     Index.Epochs.push_back({EpochBegin, End});
   };
 
-  const auto N = static_cast<uint32_t>(T.size());
-  for (uint32_t I = 0; I < N; ++I) {
-    const Action &A = T[I];
+  for (const Action &A : Chunk) {
+    const uint32_t I = Pos++;
     if (A.Tid >= Seen.size())
       Seen.resize(A.Tid + 1, false);
     if (!Seen[A.Tid]) {
@@ -57,11 +56,20 @@ TraceIndex TraceIndex::build(const Trace &T, unsigned Shards) {
     Index.Events.push_back({I, InvalidId});
     EpochBegin = I + 1;
   }
-  CloseEpoch(N);
-  return Index;
 }
 
-void TraceIndex::replayShard(const Trace &T, uint32_t Shard, Detector &D,
+TraceIndex TraceIndex::Builder::take() {
+  Index.Epochs.push_back({EpochBegin, Pos});
+  return std::move(Index);
+}
+
+TraceIndex TraceIndex::build(TraceSpan T, unsigned Shards) {
+  Builder B(Shards);
+  B.addChunk(T);
+  return B.take();
+}
+
+void TraceIndex::replayShard(TraceSpan T, uint32_t Shard, Detector &D,
                              SamplingController *Controller) const {
   assert(Shard < Shards && "shard out of range");
   assert(T.size() >= (Epochs.empty() ? 0 : Epochs.back().End) &&
@@ -193,7 +201,7 @@ unsigned pacer::parseShardCount(const std::string &Text) {
   return Value > 4096 ? 4096u : static_cast<unsigned>(Value);
 }
 
-uint64_t pacer::countTraceAccesses(const Trace &T) {
+uint64_t pacer::countTraceAccesses(TraceSpan T) {
   uint64_t Count = 0;
   for (const Action &A : T)
     Count += isAccessAction(A.Kind) ? 1 : 0;

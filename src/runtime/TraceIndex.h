@@ -89,7 +89,15 @@ public:
 
   /// Builds the index in one pass over \p T. \p Shards < 1 is treated
   /// as 1 (the single shard owns every access).
-  static TraceIndex build(const Trace &T, unsigned Shards);
+  static TraceIndex build(TraceSpan T, unsigned Shards);
+
+  /// Single-pass streaming construction: feed the trace in arbitrary
+  /// contiguous chunks (e.g. from a StreamingTraceReader's bounded
+  /// window) and take() the finished index. build(T, K) is exactly
+  /// Builder(K).addChunk(T).take(); the result is identical for every
+  /// chunking, so --shards=auto resolution and sharded replay can share
+  /// one bounded-memory pass over a trace file.
+  class Builder; // Defined after the class (it holds a TraceIndex).
 
   unsigned shardCount() const { return Shards; }
 
@@ -112,8 +120,8 @@ public:
   /// Observationally identical to Runtime::replay(T, AccessShard(Shard,
   /// shardCount())) on a fresh Runtime, but costs O(sync + owned accesses)
   /// for shard-local detectors (plus O(#boundaries) controller work)
-  /// instead of O(trace).
-  void replayShard(const Trace &T, uint32_t Shard, Detector &D,
+  /// instead of O(trace). \p T may be a memory-mapped TraceView span.
+  void replayShard(TraceSpan T, uint32_t Shard, Detector &D,
                    SamplingController *Controller) const;
 
 private:
@@ -123,6 +131,34 @@ private:
   std::vector<EpochSpan> Epochs;
   std::vector<std::vector<Run>> Runs;
   std::vector<uint64_t> OwnedCounts;
+};
+
+/// Single-pass streaming construction: feed the trace in arbitrary
+/// contiguous chunks (e.g. from a StreamingTraceReader's bounded window)
+/// and take() the finished index. build(T, K) is exactly
+/// Builder(K).addChunk(T).take(); the result is identical for every
+/// chunking, so --shards=auto resolution and sharded replay can share one
+/// bounded-memory pass over a trace file.
+class TraceIndex::Builder {
+public:
+  explicit Builder(unsigned Shards);
+
+  /// Appends \p Chunk (the actions at positions [pos, pos + size)).
+  void addChunk(TraceSpan Chunk);
+
+  /// Accesses indexed so far (available before take(), for --shards=auto
+  /// resolution mid-stream).
+  uint64_t accessCount() const { return Index.AccessTotal; }
+
+  /// Closes the final epoch and yields the index. The builder is spent
+  /// afterwards.
+  TraceIndex take();
+
+private:
+  TraceIndex Index;
+  std::vector<bool> Seen;
+  uint32_t Pos = 0;
+  uint32_t EpochBegin = 0;
 };
 
 /// Picks a shard count for a trace with \p AccessCount data accesses:
@@ -140,7 +176,7 @@ unsigned resolveShardCount(unsigned Requested, uint64_t AccessCount);
 unsigned parseShardCount(const std::string &Text);
 
 /// Counts the data accesses in \p T (the input to auto shard tuning).
-uint64_t countTraceAccesses(const Trace &T);
+uint64_t countTraceAccesses(TraceSpan T);
 
 } // namespace pacer
 

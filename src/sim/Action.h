@@ -20,6 +20,7 @@
 #include "core/Ids.h"
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -72,10 +73,18 @@ inline bool isAccessAction(ActionKind Kind) {
   return Kind == ActionKind::Read || Kind == ActionKind::Write;
 }
 
-/// One dynamic action.
+/// Largest thread id an Action can carry: Tid is packed into 24 bits so
+/// the whole action is 12 bytes -- the record width of the binary trace
+/// format v2, whose files are (on matching hosts) a pointer cast away
+/// from a span of Actions. The paper's prototype never reuses thread ids,
+/// but 16M threads outlasts every workload here by orders of magnitude.
+inline constexpr uint32_t MaxActionTid = (1u << 24) - 1;
+
+/// One dynamic action, packed to 12 bytes (Kind and Tid share a word).
+/// The layout doubles as the v2 trace record: see sim/TraceIO.h.
 struct Action {
-  ActionKind Kind;
-  ThreadId Tid;
+  ActionKind Kind : 8;
+  ThreadId Tid : 24;           ///< At most MaxActionTid.
   uint32_t Target = InvalidId; ///< Var/Lock/Volatile/Thread id by Kind.
   SiteId Site = InvalidId;     ///< Program site for Read/Write.
 
@@ -83,8 +92,17 @@ struct Action {
   std::string str() const;
 };
 
+static_assert(sizeof(Action) == 12, "Action must match the 12-byte v2 "
+                                    "trace record");
+static_assert(alignof(Action) == 4, "v2 records are 4-byte aligned");
+
 /// An interleaved execution.
 using Trace = std::vector<Action>;
+
+/// A read-only view of an execution: the replay, indexing, and sharding
+/// paths all take spans so a memory-mapped trace file (sim/TraceView.h)
+/// analyses without ever materializing a Trace.
+using TraceSpan = std::span<const Action>;
 
 /// The per-thread program the scheduler interleaves.
 struct ThreadScript {

@@ -1,0 +1,103 @@
+//===- sim/StreamingTraceReader.h - Bounded-window trace input -*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reads a trace file -- text or binary, auto-detected -- through a
+/// bounded window of actions: next() yields consecutive spans of at most
+/// windowActions() actions, reusing one allocation, so a replay driven
+/// from the reader holds O(window + detector metadata) memory regardless
+/// of trace size (Runtime::replayChunk makes any chunking bit-identical
+/// to an in-memory replay). The same single pass can feed a
+/// TraceIndex::Builder, which is how racedetect resolves --shards=auto
+/// without ever materializing the trace.
+///
+/// Binary windows are bulk freads (a memcpy per window on matching ABIs);
+/// text windows parse line by line through TextTraceParser. A mid-stream
+/// error (truncation, malformed line) ends the stream with ok() == false
+/// and a diagnostic; consumers must check ok() after the last chunk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SIM_STREAMINGTRACEREADER_H
+#define PACER_SIM_STREAMINGTRACEREADER_H
+
+#include "sim/Action.h"
+#include "sim/TraceIO.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+namespace pacer {
+
+/// Bounded-memory sequential reader over a trace file.
+class StreamingTraceReader {
+public:
+  /// Default window: 64k actions = 768 KiB resident trace bytes.
+  static constexpr size_t DefaultWindowActions = 64 << 10;
+
+  /// Opens \p Path with a window of \p WindowActions (clamped to >= 1).
+  /// Check ok() before streaming: an unopenable or malformed-header file
+  /// fails here.
+  explicit StreamingTraceReader(
+      const std::string &Path,
+      size_t WindowActions = DefaultWindowActions);
+
+  ~StreamingTraceReader();
+  StreamingTraceReader(const StreamingTraceReader &) = delete;
+  StreamingTraceReader &operator=(const StreamingTraceReader &) = delete;
+
+  /// Returns the next window of actions; empty at end of stream (or on
+  /// error -- check ok()). The span aliases the reader's window buffer
+  /// and is invalidated by the next call.
+  TraceSpan next();
+
+  /// False after any I/O or parse error; error() has the diagnostic.
+  bool ok() const { return Error.empty(); }
+  const std::string &error() const { return Error; }
+
+  /// True once the stream is exhausted (successfully or not).
+  bool done() const { return Done; }
+
+  TraceFormat format() const { return Format; }
+  size_t windowActions() const { return Window; }
+
+  /// Actions handed out so far.
+  uint64_t actionsDelivered() const { return Delivered; }
+
+  /// Total records promised by a binary header; nullopt for text (the
+  /// text header's count is advisory and not trusted).
+  std::optional<uint64_t> totalActions() const { return Total; }
+
+private:
+  TraceSpan nextBinary();
+  TraceSpan nextText();
+  void fail(std::string Why);
+
+  std::string Path;
+  std::FILE *File = nullptr;
+  TraceFormat Format = TraceFormat::Text;
+  size_t Window = DefaultWindowActions;
+  std::string Error;
+  bool Done = false;
+  uint64_t Delivered = 0;
+
+  // Binary state.
+  std::optional<uint64_t> Total;
+  uint64_t RemainingRecords = 0;
+
+  // Text state.
+  TextTraceParser Parser;
+  bool SourceExhausted = false;
+
+  Trace WindowBuf;
+  std::vector<unsigned char> RawBuf; ///< Pack/unpack staging (rare ABIs).
+};
+
+} // namespace pacer
+
+#endif // PACER_SIM_STREAMINGTRACEREADER_H

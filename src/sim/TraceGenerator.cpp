@@ -19,7 +19,7 @@ Trace pacer::generateTrace(const CompiledWorkload &Workload,
   return Sched.run();
 }
 
-TraceProfile pacer::profileTrace(const Trace &T) {
+TraceProfile pacer::profileTrace(TraceSpan T) {
   TraceProfile Profile;
   Profile.Total = T.size();
   for (const Action &A : T) {

@@ -44,7 +44,7 @@ struct TraceProfile {
 };
 
 /// Profiles \p T.
-TraceProfile profileTrace(const Trace &T);
+TraceProfile profileTrace(TraceSpan T);
 
 } // namespace pacer
 

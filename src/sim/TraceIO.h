@@ -5,16 +5,32 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Text serialization of execution traces: record an instrumented run once
-/// and analyse it offline any number of times. This is the workflow the
-/// paper attributes to LiteRace ("recording synchronization, read, and
-/// write operations to a log file" with offline race checks, Section 2.3),
-/// and it is also how the repository's experiments can be archived and
-/// replayed bit-identically.
+/// Serialization of execution traces: record an instrumented run once and
+/// analyse it offline any number of times. This is the workflow the paper
+/// attributes to LiteRace ("recording synchronization, read, and write
+/// operations to a log file" with offline race checks, Section 2.3), and
+/// it is also how the repository's experiments can be archived and
+/// replayed bit-identically. Two formats share one reader:
 ///
-/// Format: a header line `pacer-trace v1 <count>` followed by one action
-/// per line, `<kind> <tid> <target> <site>`, with InvalidId rendered
-/// as `-`. Parsing is strict and reports the first offending line.
+///  - *Text* (`pacer-trace v1`): a header line `pacer-trace v1 <count>`
+///    followed by one action per line, `<kind> <tid> <target> <site>`,
+///    with InvalidId rendered as `-`. Human-readable and diffable;
+///    parsing is strict and reports the first offending line.
+///
+///  - *Binary* (`pacer-trace v2`): a 24-byte header (8-byte magic whose
+///    first byte is 0xB7 -- non-ASCII, so the two formats are told apart
+///    by the first byte of the file -- then a version word, a flags word,
+///    and the record count) followed by fixed-width 12-byte little-endian
+///    action records: word0 = Kind | Tid << 8, word1 = Target, word2 =
+///    Site. The record layout is exactly the in-memory Action on LE hosts
+///    with the expected bitfield order, so loading is a bulk read (and
+///    mmap -- see sim/TraceView.h -- is a pointer cast); a portable
+///    pack/unpack path covers everything else.
+///
+/// readTraceFile() auto-detects the format and streams either one: the
+/// text path parses line by line from a fixed window and the binary path
+/// reads records in bounded slabs, so loading never holds file bytes and
+/// the parsed trace in memory at once (only the Trace itself grows).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,12 +39,63 @@
 
 #include "sim/Action.h"
 
+#include <cstdint>
 #include <string>
 
 namespace pacer {
 
+/// On-disk trace encodings.
+enum class TraceFormat : uint8_t {
+  Text,   ///< pacer-trace v1, line-oriented.
+  Binary, ///< pacer-trace v2, fixed-width 12-byte records.
+};
+
+/// Returns "text" or "binary".
+const char *traceFormatName(TraceFormat Format);
+
+/// Parses a --trace-format flag value; returns false on anything other
+/// than "text" or "binary".
+bool parseTraceFormat(const std::string &Text, TraceFormat &Format);
+
+// --- Binary format v2 constants -----------------------------------------
+
+/// First byte of a v2 file. Deliberately non-ASCII: a text trace starts
+/// with 'p', so one byte classifies a file.
+inline constexpr unsigned char BinaryTraceMagic0 = 0xB7;
+
+/// Full 8-byte magic: 0xB7 'P' 'A' 'C' 'E' 'R' 'v' '2'.
+inline constexpr unsigned char BinaryTraceMagic[8] = {
+    BinaryTraceMagic0, 'P', 'A', 'C', 'E', 'R', 'v', '2'};
+
+/// Header: magic[8] + u32 version + u32 flags (reserved, 0) + u64 count.
+inline constexpr size_t BinaryTraceHeaderBytes = 24;
+inline constexpr uint32_t BinaryTraceVersion = 2;
+
+/// One record: Kind | Tid << 8, Target, Site -- all little-endian u32.
+inline constexpr size_t BinaryTraceRecordBytes = 12;
+static_assert(BinaryTraceRecordBytes == sizeof(Action),
+              "v2 records mirror the in-memory Action");
+
+/// True when the host's Action layout is byte-for-byte the v2 record
+/// encoding (little-endian, Kind in the low byte of word0): bulk reads
+/// and writes can then move Actions without packing, and a mapped file
+/// is directly a span of Actions. Checked once at runtime; exotic ABIs
+/// fall back to the portable pack/unpack path everywhere.
+bool actionLayoutMatchesBinaryRecord();
+
+/// Encodes \p A into \p Out (exactly BinaryTraceRecordBytes), portably.
+void packBinaryRecord(const Action &A, unsigned char *Out);
+
+/// Decodes one record; returns false on an out-of-range kind byte.
+bool unpackBinaryRecord(const unsigned char *In, Action &A);
+
+/// Renders the 24-byte v2 header for \p Count records into \p Out.
+void packBinaryHeader(uint64_t Count, unsigned char *Out);
+
+// --- Text format ---------------------------------------------------------
+
 /// Serializes \p T into the text format.
-std::string serializeTrace(const Trace &T);
+std::string serializeTrace(TraceSpan T);
 
 /// Result of parsing: either a trace or a diagnostic.
 struct TraceParseResult {
@@ -40,11 +107,67 @@ struct TraceParseResult {
 /// Parses the text format produced by serializeTrace().
 TraceParseResult parseTrace(const std::string &Text);
 
-/// Writes \p T to \p Path. Returns false (and sets no state) on I/O error.
-bool writeTraceFile(const std::string &Path, const Trace &T);
+/// Incremental text parser: append() file bytes in any chunking, drain()
+/// parsed actions in bounded batches. Backs both readTraceFile's
+/// line-by-line text path and StreamingTraceReader's bounded window --
+/// at no point do the whole file's bytes sit in memory.
+class TextTraceParser {
+public:
+  /// Buffers \p Len more input bytes.
+  void append(const char *Data, size_t Len);
 
-/// Reads a trace from \p Path; Ok is false with a diagnostic on failure.
-TraceParseResult readTraceFile(const std::string &Path);
+  /// Parses buffered *complete* lines into \p Out until \p Max actions
+  /// have been appended or the buffer holds no full line. Call finish()
+  /// at end of input to flush a final unterminated line. Returns false
+  /// on a malformed line (error() names it); the parser is then stuck.
+  bool drain(Trace &Out, size_t Max);
+
+  /// Marks end of input and parses any remaining buffered text (the
+  /// final line may lack a newline). drain() afterwards returns the
+  /// leftovers if \p Max truncated this call's output.
+  bool finish(Trace &Out, size_t Max);
+
+  /// True once the header line has parsed (actions may follow).
+  bool headerSeen() const { return SawHeader; }
+
+  /// Empty until a parse error; then "line N: why".
+  const std::string &error() const { return Error; }
+
+private:
+  bool parseLine(const char *Begin, const char *End, Trace &Out);
+  bool failLine(const char *Why);
+
+  std::string Buf;
+  size_t Pos = 0; ///< Scan position within Buf.
+  size_t LineNo = 0;
+  bool SawHeader = false;
+  bool Finished = false;
+  bool Failed = false;
+  std::string Error;
+};
+
+// --- Files ---------------------------------------------------------------
+
+/// Writes \p T to \p Path in the text format. Returns false on I/O error.
+bool writeTraceFile(const std::string &Path, TraceSpan T);
+
+/// Writes \p T to \p Path in the binary v2 format.
+bool writeTraceFileBinary(const std::string &Path, TraceSpan T);
+
+/// Writes \p T to \p Path in \p Format.
+bool writeTraceFile(const std::string &Path, TraceSpan T,
+                    TraceFormat Format);
+
+/// Reads a trace from \p Path, auto-detecting text vs binary by the
+/// first byte; Ok is false with a diagnostic on failure. \p Format, when
+/// non-null, receives the detected format on success.
+TraceParseResult readTraceFile(const std::string &Path,
+                               TraceFormat *Format = nullptr);
+
+/// Detects the on-disk format of \p Path by its first byte. Returns
+/// false (cannot open / empty file) with \p Error set.
+bool detectTraceFileFormat(const std::string &Path, TraceFormat &Format,
+                           std::string &Error);
 
 } // namespace pacer
 

@@ -1,0 +1,179 @@
+//===- sim/TraceView.cpp --------------------------------------------------==//
+
+#include "sim/TraceView.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PACER_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define PACER_HAVE_MMAP 0
+#endif
+
+using namespace pacer;
+
+TraceView::~TraceView() { reset(); }
+
+void TraceView::reset() {
+#if PACER_HAVE_MMAP
+  if (Map)
+    ::munmap(Map, MapBytes);
+#endif
+  Map = nullptr;
+  MapBytes = 0;
+  Span = {};
+  Buffer.clear();
+  Ok = false;
+}
+
+TraceView::TraceView(TraceView &&Other) noexcept { *this = std::move(Other); }
+
+TraceView &TraceView::operator=(TraceView &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  reset();
+  Ok = Other.Ok;
+  Error = std::move(Other.Error);
+  Map = std::exchange(Other.Map, nullptr);
+  MapBytes = std::exchange(Other.MapBytes, 0);
+  Buffer = std::move(Other.Buffer);
+  // A mapped span is stable under the move; a buffered span must chase
+  // the moved vector's storage.
+  Span = Map != nullptr ? Other.Span : TraceSpan(Buffer);
+  Other.Span = {};
+  Other.Ok = false;
+  Other.Buffer.clear();
+  return *this;
+}
+
+namespace {
+
+/// Validates every record's kind byte; returns the index of the first
+/// bad record or -1. The scan touches one byte per 12 and runs at memory
+/// bandwidth -- the whole "parse" cost of the zero-copy path.
+int64_t firstBadKind(TraceSpan T) {
+  for (size_t I = 0; I < T.size(); ++I)
+    if (static_cast<uint8_t>(T[I].Kind) >
+        static_cast<uint8_t>(ActionKind::ThreadExit))
+      return static_cast<int64_t>(I);
+  return -1;
+}
+
+} // namespace
+
+TraceView TraceView::open(const std::string &Path, bool ForceBuffered) {
+  TraceView View;
+
+#if PACER_HAVE_MMAP
+  if (!ForceBuffered && actionLayoutMatchesBinaryRecord()) {
+    const int Fd = ::open(Path.c_str(), O_RDONLY);
+    if (Fd < 0) {
+      View.Error = "cannot open " + Path;
+      return View;
+    }
+    struct stat St;
+    if (::fstat(Fd, &St) != 0 || St.st_size < 0) {
+      ::close(Fd);
+      View.Error = "cannot stat " + Path;
+      return View;
+    }
+    const auto FileBytes = static_cast<size_t>(St.st_size);
+    if (FileBytes == 0) {
+      ::close(Fd);
+      View.Error = Path + ": empty file";
+      return View;
+    }
+    void *Base = ::mmap(nullptr, FileBytes, PROT_READ, MAP_PRIVATE, Fd, 0);
+    ::close(Fd); // The mapping outlives the descriptor.
+    if (Base != MAP_FAILED) {
+      const auto *Bytes = static_cast<const unsigned char *>(Base);
+      if (Bytes[0] != BinaryTraceMagic0) {
+        ::munmap(Base, FileBytes);
+        View.Error = Path + ": not a binary trace (use readTraceFile or "
+                            "traceconv for text traces)";
+        return View;
+      }
+      View.Map = Base;
+      View.MapBytes = FileBytes;
+      // Header validation mirrors readTraceFile's.
+      if (FileBytes < BinaryTraceHeaderBytes ||
+          std::memcmp(Bytes, BinaryTraceMagic, 8) != 0) {
+        std::string Err = Path + ": bad binary trace magic";
+        View.reset();
+        View.Error = std::move(Err);
+        return View;
+      }
+      auto LE32 = [&](size_t Off) {
+        return static_cast<uint32_t>(Bytes[Off]) |
+               (static_cast<uint32_t>(Bytes[Off + 1]) << 8) |
+               (static_cast<uint32_t>(Bytes[Off + 2]) << 16) |
+               (static_cast<uint32_t>(Bytes[Off + 3]) << 24);
+      };
+      if (LE32(8) != BinaryTraceVersion || LE32(12) != 0) {
+        std::string Err = Path + ": unsupported binary trace version";
+        View.reset();
+        View.Error = std::move(Err);
+        return View;
+      }
+      const uint64_t Count = static_cast<uint64_t>(LE32(16)) |
+                             (static_cast<uint64_t>(LE32(20)) << 32);
+      if (FileBytes !=
+          BinaryTraceHeaderBytes + Count * BinaryTraceRecordBytes) {
+        std::string Err = Path + ": truncated trace (header promises " +
+                          std::to_string(Count) + " records)";
+        View.reset();
+        View.Error = std::move(Err);
+        return View;
+      }
+      View.Span = TraceSpan(
+          reinterpret_cast<const Action *>(Bytes + BinaryTraceHeaderBytes),
+          static_cast<size_t>(Count));
+      if (const int64_t Bad = firstBadKind(View.Span); Bad >= 0) {
+        std::string Err =
+            Path + ": bad action kind in record " + std::to_string(Bad);
+        View.reset();
+        View.Error = std::move(Err);
+        return View;
+      }
+      View.Ok = true;
+      return View;
+    }
+    // mmap failed (unusual filesystem, resource limits): fall through to
+    // the buffered load.
+  }
+#else
+  (void)ForceBuffered;
+#endif
+
+  // Buffered fallback: a plain load through the slab reader. Also used
+  // when the ABI's Action layout differs from the record encoding, which
+  // the reader handles by unpacking.
+  {
+    TraceFormat Format;
+    std::string DetectError;
+    if (!detectTraceFileFormat(Path, Format, DetectError)) {
+      View.Error = std::move(DetectError);
+      return View;
+    }
+    if (Format != TraceFormat::Binary) {
+      View.Error = Path + ": not a binary trace (use readTraceFile or "
+                          "traceconv for text traces)";
+      return View;
+    }
+    TraceParseResult Parsed = readTraceFile(Path);
+    if (!Parsed.Ok) {
+      View.Error = std::move(Parsed.Error);
+      return View;
+    }
+    View.Buffer = std::move(Parsed.T);
+    View.Span = TraceSpan(View.Buffer);
+    View.Ok = true;
+    return View;
+  }
+}

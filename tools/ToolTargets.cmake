@@ -5,3 +5,8 @@ add_executable(racedetect tools/racedetect.cpp)
 target_link_libraries(racedetect PRIVATE pacer_harness)
 set_target_properties(racedetect PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/tools)
+
+add_executable(traceconv tools/traceconv.cpp)
+target_link_libraries(traceconv PRIVATE pacer_sim pacer_support)
+set_target_properties(traceconv PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/tools)

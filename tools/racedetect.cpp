@@ -9,23 +9,36 @@
 // access count and the hardware; batch runs (more than one trace file)
 // default to auto, single-file runs to 1.
 //
-//   racedetect --generate=eclipse --scale=0.2 --seed=7 --out=run.trace
+// Traces come in two formats (see sim/TraceIO.h), auto-detected on read:
+// text (v1) and binary (v2). Binary traces analyse through an mmap-backed
+// zero-copy TraceView where the platform allows; --stream replays any
+// trace from a bounded window (--stream-window actions) so peak memory is
+// O(window + detector metadata) regardless of trace size. Results are
+// bit-identical across formats and read paths.
+//
+//   racedetect --generate=eclipse --scale=0.2 --seed=7 --out=run.trace \
+//              --trace-format=binary
 //   racedetect run.trace --detector=pacer --rate=0.03 --stats
 //   racedetect a.trace b.trace c.trace --jobs=3 --shards=4
+//   racedetect huge.trace --stream --stream-window=65536
 //
 //===----------------------------------------------------------------------===//
 
 #include "harness/TrialRunner.h"
+#include "runtime/Runtime.h"
 #include "runtime/ShardedReplay.h"
 #include "runtime/TraceIndex.h"
+#include "sim/StreamingTraceReader.h"
 #include "sim/TraceGenerator.h"
 #include "sim/TraceIO.h"
+#include "sim/TraceView.h"
 #include "sim/Workloads.h"
 #include "support/CommandLine.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -44,6 +57,8 @@ OptionRegistry buildRegistry() {
               "instead of analysing")
       .addString("out", "", "output file for --generate")
       .addDouble("scale", 1.0, "workload scale for --generate")
+      .addString("trace-format", "text",
+                 "--generate output format: text|binary")
       .addString("detector", "pacer", "pacer|fasttrack|generic|literace")
       .addDouble("rate", 1.0, "PACER sampling rate in [0,1]")
       .addInt("period-bytes", 256 * 1024, "simulated nursery size in bytes")
@@ -51,6 +66,12 @@ OptionRegistry buildRegistry() {
       .addInt("seed", 1, "seed for trace generation / sampling decisions")
       .addInt("max-reports", 10, "race reports to print per trace")
       .addFlag("stats", "print operation statistics per trace")
+      .addFlag("times", "print load/index/analysis time per trace")
+      .addFlag("stream",
+               "replay from a bounded window instead of loading the trace")
+      .addInt("stream-window",
+              static_cast<int64_t>(StreamingTraceReader::DefaultWindowActions),
+              "streaming window size in actions")
       .addInt("jobs", 1, "analyse this many trace files concurrently")
       .addString("shards", "",
                  "variable shards per trace replay: a count or 'auto' "
@@ -83,19 +104,26 @@ int generateMode(const OptionRegistry &R) {
     std::fprintf(stderr, "error: --generate requires --out=FILE\n");
     return 2;
   }
+  TraceFormat Format;
+  if (!parseTraceFormat(R.getString("trace-format"), Format)) {
+    std::fprintf(stderr, "error: unknown --trace-format=%s\n",
+                 R.getString("trace-format").c_str());
+    return 2;
+  }
   WorkloadSpec Spec = paperWorkloadByName(R.getString("generate"));
   Spec = scaleWorkload(Spec, R.getDouble("scale"));
   CompiledWorkload Workload(Spec);
   Trace T =
       generateTrace(Workload, static_cast<uint64_t>(R.getInt("seed")));
-  if (!writeTraceFile(Out, T)) {
+  if (!writeTraceFile(Out, T, Format)) {
     std::fprintf(stderr, "error: cannot write %s\n", Out.c_str());
     return 1;
   }
   TraceProfile Profile = profileTrace(T);
-  std::printf("wrote %s: %llu actions, %u threads, %.1f%% sync, %u planted "
-              "races\n",
-              Out.c_str(), static_cast<unsigned long long>(Profile.Total),
+  std::printf("wrote %s (%s): %llu actions, %u threads, %.1f%% sync, "
+              "%u planted races\n",
+              Out.c_str(), traceFormatName(Format),
+              static_cast<unsigned long long>(Profile.Total),
               Workload.totalThreads(), 100.0 * Profile.syncFraction(),
               Workload.numRaces());
   return 0;
@@ -124,24 +152,72 @@ std::string statsTable(const DetectorStats &Stats) {
   return "\n" + Table.render();
 }
 
-/// One trace file's fully formatted report, assembled off the main thread
-/// so batch output can print in argument order.
+/// Everything analyseFile measures and prints for one trace file.
 struct FileOutcome {
   std::string Text;
   bool ParseFailed = false;
   uint64_t DistinctRaces = 0;
 };
 
+/// Merged detection results in a read-path-independent shape.
+struct AnalysisResult {
+  std::unordered_map<RaceKey, uint64_t> Races;
+  uint64_t DynamicRaces = 0;
+  DetectorStats Stats;
+  double EffectiveAccessRate = 0.0;
+  std::vector<RaceReport> SampleReports;
+  uint64_t Actions = 0;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// Sequential bounded-window replay: the streaming twin of
+/// shardedReplay(T, ..., Shards=1). Bit-identical results; peak
+/// trace-resident memory is one window.
+bool streamReplay(StreamingTraceReader &Reader, const DetectorSetup &Setup,
+                  const CompiledWorkload &Flat, uint64_t Seed,
+                  AnalysisResult &Out, std::string &Error) {
+  RaceLog Log;
+  std::unique_ptr<Detector> D = makeDetector(Setup, Log, Flat, Seed);
+  std::unique_ptr<SamplingController> Controller;
+  if (Setup.Kind == DetectorKind::Pacer) {
+    SamplingConfig Sampling = Setup.Sampling;
+    Sampling.TargetRate = Setup.SamplingRate;
+    Controller = std::make_unique<SamplingController>(Sampling, Seed);
+  }
+  Runtime RT(*D, Controller.get());
+  RT.start();
+  for (TraceSpan Chunk = Reader.next(); !Chunk.empty();
+       Chunk = Reader.next())
+    RT.replayChunk(Chunk, AccessShard::all());
+  if (!Reader.ok()) {
+    Error = Reader.error();
+    return false;
+  }
+  Out.Races = Log.counts();
+  Out.DynamicRaces = Log.dynamicCount();
+  Out.Stats = D->stats();
+  if (Controller)
+    Out.EffectiveAccessRate = Controller->effectiveAccessRate();
+  Out.SampleReports = Log.sampleReports();
+  Out.Actions = Reader.actionsDelivered();
+  return true;
+}
+
 FileOutcome analyseFile(const std::string &Path, const DetectorSetup &Setup,
                         uint64_t Seed, unsigned Shards, size_t MaxReports,
-                        bool WantStats) {
+                        bool WantStats, bool WantTimes, bool Stream,
+                        size_t StreamWindow) {
   FileOutcome Out;
-  TraceParseResult Parsed = readTraceFile(Path);
-  if (!Parsed.Ok) {
+  auto Fail = [&](const std::string &Why) {
     Out.ParseFailed = true;
-    Out.Text = "error: " + Parsed.Error + "\n";
+    Out.Text = "error: " + Why + "\n";
     return Out;
-  }
+  };
 
   // Trace files carry no code structure, so give LiteRace a flat
   // site-to-method map (every site its own method) via a raceless
@@ -150,45 +226,177 @@ FileOutcome analyseFile(const std::string &Path, const DetectorSetup &Setup,
   FlatSpec.Races.clear();
   CompiledWorkload Flat(FlatSpec);
 
-  // Shards == 0 is the auto sentinel: tune K to this trace.
-  std::string AutoNote;
+  DetectorFactory Factory = [&](RaceSink &Sink) {
+    return makeDetector(Setup, Sink, Flat, Seed);
+  };
+
+  double LoadSeconds = 0, IndexSeconds = 0, AnalysisSeconds = 0;
+  std::string Notes;
+  AnalysisResult Result;
   unsigned ResolvedShards = Shards;
-  if (ResolvedShards == 0) {
-    const uint64_t Accesses = countTraceAccesses(Parsed.T);
-    ResolvedShards = resolveShardCount(0, Accesses);
+
+  auto NoteAutoShards = [&](uint64_t Accesses) {
     char Note[128];
     std::snprintf(Note, sizeof(Note),
                   "auto-sharding: K=%u (%llu accesses, %u hardware jobs)\n",
                   ResolvedShards,
                   static_cast<unsigned long long>(Accesses), hardwareJobs());
-    AutoNote = Note;
+    Notes += Note;
+  };
+
+  auto RunSharded = [&](TraceSpan T, const TraceIndex *Index) {
+    ShardedReplayConfig Config;
+    Config.Shards = ResolvedShards;
+    Config.Index = Index;
+    if (Setup.Kind == DetectorKind::Pacer) {
+      Config.UseController = true;
+      Config.Sampling = Setup.Sampling;
+      Config.Sampling.TargetRate = Setup.SamplingRate;
+      Config.ControllerSeed = Seed;
+    }
+    auto Start = Clock::now();
+    ShardedReplayResult Sharded = shardedReplay(T, Factory, Config);
+    AnalysisSeconds = secondsSince(Start);
+    Result.Races = std::move(Sharded.Races);
+    Result.DynamicRaces = Sharded.DynamicRaces;
+    Result.Stats = Sharded.Stats;
+    Result.EffectiveAccessRate = Sharded.EffectiveAccessRate;
+    Result.SampleReports = std::move(Sharded.SampleReports);
+    Result.Actions = T.size();
+  };
+
+  if (Stream) {
+    // Bounded-window mode: the trace is never materialized. Auto-shard
+    // resolution and the replay index come from extra bounded passes over
+    // the same reader; sharded replicas then need random access, which an
+    // mmap view provides for binary traces at zero copy. Text traces (no
+    // random access without parsing) stream sequentially.
+    TraceFormat Format;
+    std::string DetectError;
+    if (!detectTraceFileFormat(Path, Format, DetectError))
+      return Fail(DetectError);
+
+    if (ResolvedShards == 0) {
+      // Counting pass for --shards=auto, O(window) resident.
+      auto Start = Clock::now();
+      StreamingTraceReader Counter(Path, StreamWindow);
+      uint64_t Accesses = 0;
+      for (TraceSpan Chunk = Counter.next(); !Chunk.empty();
+           Chunk = Counter.next())
+        Accesses += countTraceAccesses(Chunk);
+      if (!Counter.ok())
+        return Fail(Counter.error());
+      IndexSeconds += secondsSince(Start);
+      ResolvedShards = resolveShardCount(0, Accesses);
+      NoteAutoShards(Accesses);
+    }
+
+    TraceView View; // Must outlive RunSharded's span.
+    bool Sequential = ResolvedShards <= 1;
+    if (!Sequential) {
+      if (Format == TraceFormat::Binary) {
+        auto Start = Clock::now();
+        View = TraceView::open(Path);
+        if (!View.ok())
+          return Fail(View.error());
+        LoadSeconds = secondsSince(Start);
+        if (!View.mapped()) {
+          // Buffered fallback materializes the trace; stay sequential to
+          // honour the bounded-memory request.
+          View = TraceView();
+          Sequential = true;
+          Notes += "streaming: mmap unavailable, replaying sequentially\n";
+        }
+      } else {
+        Sequential = true;
+        Notes += "streaming: text trace has no random access, replaying "
+                 "sequentially\n";
+      }
+    }
+
+    if (!Sequential) {
+      // Streamed index build: one bounded pass feeds the sharded engine.
+      auto Start = Clock::now();
+      StreamingTraceReader Reader(Path, StreamWindow);
+      TraceIndex::Builder Builder(ResolvedShards);
+      for (TraceSpan Chunk = Reader.next(); !Chunk.empty();
+           Chunk = Reader.next())
+        Builder.addChunk(Chunk);
+      if (!Reader.ok())
+        return Fail(Reader.error());
+      TraceIndex Index = Builder.take();
+      IndexSeconds += secondsSince(Start);
+      RunSharded(View.actions(), &Index);
+    } else {
+      ResolvedShards = 1;
+      auto Start = Clock::now();
+      StreamingTraceReader Reader(Path, StreamWindow);
+      if (!Reader.ok())
+        return Fail(Reader.error());
+      std::string StreamError;
+      if (!streamReplay(Reader, Setup, Flat, Seed, Result, StreamError))
+        return Fail(StreamError);
+      AnalysisSeconds = secondsSince(Start); // Load is interleaved.
+    }
+  } else {
+    // In-memory mode: binary traces analyse from an mmap view (zero-copy
+    // where the platform allows); text traces parse into a Trace.
+    TraceFormat Format;
+    std::string DetectError;
+    if (!detectTraceFileFormat(Path, Format, DetectError))
+      return Fail(DetectError);
+
+    TraceView View;
+    TraceParseResult Parsed;
+    TraceSpan T;
+    auto LoadStart = Clock::now();
+    if (Format == TraceFormat::Binary) {
+      View = TraceView::open(Path);
+      if (!View.ok())
+        return Fail(View.error());
+      T = View.actions();
+    } else {
+      Parsed = readTraceFile(Path);
+      if (!Parsed.Ok)
+        return Fail(Parsed.Error);
+      T = Parsed.T;
+    }
+    LoadSeconds = secondsSince(LoadStart);
+
+    TraceIndex Index;
+    const TraceIndex *IndexPtr = nullptr;
+    auto IndexStart = Clock::now();
+    if (ResolvedShards == 0) {
+      TraceIndex::Builder Builder(1);
+      Builder.addChunk(T);
+      const uint64_t Accesses = Builder.accessCount();
+      ResolvedShards = resolveShardCount(0, Accesses);
+      NoteAutoShards(Accesses);
+    }
+    if (ResolvedShards > 1) {
+      Index = TraceIndex::build(T, ResolvedShards);
+      IndexPtr = &Index;
+    }
+    IndexSeconds = secondsSince(IndexStart);
+
+    RunSharded(T, IndexPtr);
   }
 
-  ShardedReplayConfig Config;
-  Config.Shards = ResolvedShards;
-  if (Setup.Kind == DetectorKind::Pacer) {
-    Config.UseController = true;
-    Config.Sampling = Setup.Sampling;
-    Config.Sampling.TargetRate = Setup.SamplingRate;
-    Config.ControllerSeed = Seed;
-  }
-  ShardedReplayResult Result = shardedReplay(
-      Parsed.T,
-      [&](RaceSink &Sink) { return makeDetector(Setup, Sink, Flat, Seed); },
-      Config);
-
-  TraceProfile Profile = profileTrace(Parsed.T);
   char Buf[256];
-  Out.Text += AutoNote;
-  std::snprintf(Buf, sizeof(Buf), "%s: analysed %llu actions",
-                Path.c_str(),
-                static_cast<unsigned long long>(Profile.Total));
+  Out.Text += Notes;
+  std::snprintf(Buf, sizeof(Buf), "%s: analysed %llu actions", Path.c_str(),
+                static_cast<unsigned long long>(Result.Actions));
   Out.Text += Buf;
-  if (Config.Shards > 1) {
-    std::snprintf(Buf, sizeof(Buf), " across %u shards", Config.Shards);
+  if (ResolvedShards > 1) {
+    std::snprintf(Buf, sizeof(Buf), " across %u shards", ResolvedShards);
     Out.Text += Buf;
   }
-  if (Config.UseController) {
+  if (Stream && ResolvedShards <= 1) {
+    std::snprintf(Buf, sizeof(Buf), " (streamed, window %zu actions)",
+                  StreamWindow);
+    Out.Text += Buf;
+  }
+  if (Setup.Kind == DetectorKind::Pacer) {
     std::snprintf(Buf, sizeof(Buf), " (specified rate %.3g, effective %.3g)",
                   Setup.SamplingRate, Result.EffectiveAccessRate);
     Out.Text += Buf;
@@ -198,10 +406,20 @@ FileOutcome analyseFile(const std::string &Path, const DetectorSetup &Setup,
                 Result.Races.size(),
                 static_cast<unsigned long long>(Result.DynamicRaces));
   Out.Text += Buf;
+  if (WantTimes) {
+    // I/O cost split out from detection cost, so format/read-path wins
+    // are visible per file. Streamed sequential replay overlaps load
+    // with analysis, so its load column is folded into analysis.
+    std::snprintf(Buf, sizeof(Buf),
+                  "  load %.3f ms, index %.3f ms, analysis %.3f ms\n",
+                  LoadSeconds * 1e3, IndexSeconds * 1e3,
+                  AnalysisSeconds * 1e3);
+    Out.Text += Buf;
+  }
 
   // Sharded replay merges sample reports replica by replica, so their
   // discovery order depends on the shard count; print them sorted so the
-  // output is identical for every --shards value.
+  // output is identical for every --shards value and read path.
   std::vector<std::string> Reports;
   Reports.reserve(Result.SampleReports.size());
   for (const RaceReport &Report : Result.SampleReports)
@@ -253,6 +471,11 @@ int main(int Argc, char **Argv) {
   auto Seed = static_cast<uint64_t>(R.getInt("seed"));
   auto MaxReports = static_cast<size_t>(R.getInt("max-reports"));
   bool WantStats = R.getBool("stats");
+  bool WantTimes = R.getBool("times");
+  bool Stream = R.getBool("stream");
+  int64_t WindowFlag = R.getInt("stream-window");
+  size_t StreamWindow =
+      WindowFlag < 1 ? 1 : static_cast<size_t>(WindowFlag);
   int64_t JobsFlag = R.getInt("jobs");
   unsigned Jobs = JobsFlag < 1 ? 1u : static_cast<unsigned>(JobsFlag);
   // Empty --shards defaults to auto-tuning for multi-file batches (where
@@ -267,7 +490,7 @@ int main(int Argc, char **Argv) {
   std::vector<FileOutcome> Outcomes =
       parallelMap(Jobs, Files.size(), [&](size_t I) {
         return analyseFile(Files[I], Setup, Seed, Shards, MaxReports,
-                           WantStats);
+                           WantStats, WantTimes, Stream, StreamWindow);
       });
 
   bool AnyParseFailed = false;
