@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/ClockKernels.h"
 #include "core/Epoch.h"
 #include "core/ReadMap.h"
 #include "core/SyncClock.h"
@@ -27,17 +28,127 @@
 #include "sim/Workloads.h"
 #include "support/CommandLine.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <vector>
 
 using namespace pacer;
 
 namespace {
+
+//===----------------------------------------------------------------------===//
+// Clock-kernel rows: SIMD vs genuinely scalar baselines
+//===----------------------------------------------------------------------===//
+//
+// The baselines below must stay scalar even at -O3, where the compiler
+// would otherwise auto-vectorize them and erase the margin the rows are
+// supposed to show. GCC takes a per-function optimize attribute; clang
+// takes a per-loop pragma.
+
+#if defined(__clang__)
+#define PACER_NOVEC_FN
+#define PACER_NOVEC_LOOP                                                     \
+  _Pragma("clang loop vectorize(disable) interleave(disable)")
+#elif defined(__GNUC__)
+#define PACER_NOVEC_FN __attribute__((optimize("no-tree-vectorize")))
+#define PACER_NOVEC_LOOP
+#else
+#define PACER_NOVEC_FN
+#define PACER_NOVEC_LOOP
+#endif
+
+PACER_NOVEC_FN bool naiveJoinMax(uint32_t *A, const uint32_t *B, size_t N) {
+  bool Changed = false;
+  PACER_NOVEC_LOOP
+  for (size_t I = 0; I < N; ++I) {
+    if (B[I] > A[I]) {
+      A[I] = B[I];
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+PACER_NOVEC_FN bool naiveAllLeq(const uint32_t *A, const uint32_t *B,
+                                size_t N) {
+  PACER_NOVEC_LOOP
+  for (size_t I = 0; I < N; ++I)
+    if (A[I] > B[I])
+      return false;
+  return true;
+}
+
+PACER_NOVEC_FN void naiveCopy(uint32_t *Dst, const uint32_t *Src, size_t N) {
+  PACER_NOVEC_LOOP
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = Src[I];
+}
+
+std::vector<uint32_t> kernelWords(size_t N, uint32_t Base) {
+  std::vector<uint32_t> Out(N);
+  for (size_t I = 0; I < N; ++I)
+    Out[I] = Base + static_cast<uint32_t>(I * 2654435761u % 1000);
+  return Out;
+}
+
+void BM_KernelJoinSimd(benchmark::State &State) {
+  auto N = static_cast<size_t>(State.range(0));
+  std::vector<uint32_t> A = kernelWords(N, 1), B = kernelWords(N, 7);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernels::joinMax(A.data(), B.data(), N));
+}
+BENCHMARK(BM_KernelJoinSimd)->Arg(2)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_KernelJoinScalar(benchmark::State &State) {
+  auto N = static_cast<size_t>(State.range(0));
+  std::vector<uint32_t> A = kernelWords(N, 1), B = kernelWords(N, 7);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(naiveJoinMax(A.data(), B.data(), N));
+}
+BENCHMARK(BM_KernelJoinScalar)->Arg(2)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_KernelLeqSimd(benchmark::State &State) {
+  auto N = static_cast<size_t>(State.range(0));
+  std::vector<uint32_t> A = kernelWords(N, 1), B = A; // Full-length scan.
+  for (auto _ : State)
+    benchmark::DoNotOptimize(kernels::allLeq(A.data(), B.data(), N));
+}
+BENCHMARK(BM_KernelLeqSimd)->Arg(2)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_KernelLeqScalar(benchmark::State &State) {
+  auto N = static_cast<size_t>(State.range(0));
+  std::vector<uint32_t> A = kernelWords(N, 1), B = A;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(naiveAllLeq(A.data(), B.data(), N));
+}
+BENCHMARK(BM_KernelLeqScalar)->Arg(2)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_KernelCopySimd(benchmark::State &State) {
+  auto N = static_cast<size_t>(State.range(0));
+  std::vector<uint32_t> Src = kernelWords(N, 3), Dst(N);
+  for (auto _ : State) {
+    kernels::copyWords(Dst.data(), Src.data(), N);
+    benchmark::DoNotOptimize(Dst.data());
+  }
+}
+BENCHMARK(BM_KernelCopySimd)->Arg(2)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_KernelCopyScalar(benchmark::State &State) {
+  auto N = static_cast<size_t>(State.range(0));
+  std::vector<uint32_t> Src = kernelWords(N, 3), Dst(N);
+  for (auto _ : State) {
+    naiveCopy(Dst.data(), Src.data(), N);
+    benchmark::DoNotOptimize(Dst.data());
+  }
+}
+BENCHMARK(BM_KernelCopyScalar)->Arg(2)->Arg(8)->Arg(64)->Arg(512);
 
 VectorClock makeClock(size_t Threads, uint32_t Base) {
   VectorClock Clock;
@@ -178,6 +289,91 @@ BENCHMARK(BM_ReplayTinyWorkload)->Arg(0)->Arg(10)->Arg(30)->Arg(1000);
 // --json mode
 //===----------------------------------------------------------------------===//
 
+/// One kernel operation at one clock width: the active-ISA kernel against
+/// the pinned-scalar baseline.
+struct KernelRow {
+  const char *Op;
+  size_t Width;
+  double SimdNs = 0.0;
+  double ScalarNs = 0.0;
+  double speedup() const { return SimdNs > 0.0 ? ScalarNs / SimdNs : 0.0; }
+};
+
+/// Median ns per call of \p Fn over \p Reps timed repetitions; the inner
+/// iteration count scales inversely with \p Width so every repetition is
+/// tens of microseconds regardless of clock size.
+template <typename FnT>
+double timeKernelNs(FnT Fn, size_t Width, uint32_t Reps) {
+  const size_t Iters = std::max<size_t>(1024, 262144 / std::max<size_t>(
+                                                           Width, 1));
+  std::vector<double> Ns;
+  Ns.reserve(Reps);
+  for (uint32_t Rep = 0; Rep < Reps; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    for (size_t I = 0; I < Iters; ++I)
+      Fn();
+    auto End = std::chrono::steady_clock::now();
+    Ns.push_back(std::chrono::duration<double, std::nano>(End - Start)
+                     .count() /
+                 static_cast<double>(Iters));
+  }
+  return median(Ns);
+}
+
+std::vector<KernelRow> measureKernels(uint32_t Reps) {
+  std::vector<KernelRow> Rows;
+  for (size_t Width : {size_t{2}, size_t{8}, size_t{64}, size_t{512}}) {
+    std::vector<uint32_t> A = kernelWords(Width, 1);
+    std::vector<uint32_t> B = kernelWords(Width, 7);
+    std::vector<uint32_t> Dst(Width);
+
+    KernelRow Join{"join", Width, 0.0, 0.0};
+    Join.SimdNs = timeKernelNs(
+        [&] {
+          benchmark::DoNotOptimize(
+              kernels::joinMax(A.data(), B.data(), Width));
+        },
+        Width, Reps);
+    Join.ScalarNs = timeKernelNs(
+        [&] {
+          benchmark::DoNotOptimize(naiveJoinMax(A.data(), B.data(), Width));
+        },
+        Width, Reps);
+    Rows.push_back(Join);
+
+    std::vector<uint32_t> Eq = A; // A <= Eq everywhere: full-length scan.
+    KernelRow Leq{"leq", Width, 0.0, 0.0};
+    Leq.SimdNs = timeKernelNs(
+        [&] {
+          benchmark::DoNotOptimize(
+              kernels::allLeq(A.data(), Eq.data(), Width));
+        },
+        Width, Reps);
+    Leq.ScalarNs = timeKernelNs(
+        [&] {
+          benchmark::DoNotOptimize(naiveAllLeq(A.data(), Eq.data(), Width));
+        },
+        Width, Reps);
+    Rows.push_back(Leq);
+
+    KernelRow Copy{"copy", Width, 0.0, 0.0};
+    Copy.SimdNs = timeKernelNs(
+        [&] {
+          kernels::copyWords(Dst.data(), B.data(), Width);
+          benchmark::DoNotOptimize(Dst.data());
+        },
+        Width, Reps);
+    Copy.ScalarNs = timeKernelNs(
+        [&] {
+          naiveCopy(Dst.data(), B.data(), Width);
+          benchmark::DoNotOptimize(Dst.data());
+        },
+        Width, Reps);
+    Rows.push_back(Copy);
+  }
+  return Rows;
+}
+
 /// One detector's replay measurements over the repetitions.
 struct JsonRow {
   std::string Name;
@@ -195,7 +391,10 @@ int runJsonMode(int Argc, const char *const *Argv) {
       .addDouble("scale", 1.0, "workload scale factor")
       .addInt("seed", 12345, "trace seed")
       .addString("shards", "1",
-                 "variable shards per trial replay: a count or 'auto'");
+                 "variable shards per trial replay: a count or 'auto'")
+      .addFlag("pin-threads",
+               "pin pool workers to CPUs (also PACER_PIN_THREADS=1); "
+               "best-effort, no-op where unsupported");
   if (!R.parse(Argc, Argv))
     return R.helpRequested() ? 0 : 2;
   std::string OutPath = R.getString("json-out");
@@ -203,6 +402,20 @@ int runJsonMode(int Argc, const char *const *Argv) {
   double Scale = R.getDouble("scale");
   uint64_t Seed = static_cast<uint64_t>(R.getInt("seed"));
   unsigned Shards = parseShardCount(R.getString("shards"));
+  if (R.getBool("pin-threads"))
+    setThreadPinning(true);
+  if (threadPinningEnabled())
+    std::fprintf(stderr, "[pin] worker CPU affinity on (%u cpus)\n",
+                 hardwareJobs());
+
+  // Kernel rows first: the primitive the detector rows are built on.
+  std::printf("clock kernels (%s):\n", kernels::activeIsa());
+  std::vector<KernelRow> Kernels = measureKernels(Reps);
+  for (const KernelRow &Row : Kernels)
+    std::printf("  %-5s w=%-4zu %8.2f ns simd  %8.2f ns scalar  "
+                "x%.2f\n",
+                Row.Op, Row.Width, Row.SimdNs, Row.ScalarNs,
+                Row.speedup());
 
   CompiledWorkload Workload(
       scaleWorkload(mediumTestWorkload(), Scale));
@@ -268,9 +481,21 @@ int runJsonMode(int Argc, const char *const *Argv) {
     return 1;
   }
   std::fprintf(Out, "{\n  \"workload\": \"%s\",\n  \"events\": %llu,\n"
-                    "  \"reps\": %u,\n  \"detectors\": [\n",
+                    "  \"reps\": %u,\n  \"isa\": \"%s\",\n"
+                    "  \"kernels\": [\n",
                Workload.spec().Name.c_str(),
-               static_cast<unsigned long long>(T.size()), Reps);
+               static_cast<unsigned long long>(T.size()), Reps,
+               kernels::activeIsa());
+  for (size_t I = 0; I != Kernels.size(); ++I) {
+    const KernelRow &Row = Kernels[I];
+    std::fprintf(Out,
+                 "    {\"op\": \"%s\", \"width\": %zu, "
+                 "\"simd_ns_per_call\": %.2f, \"scalar_ns_per_call\": %.2f, "
+                 "\"speedup\": %.2f}%s\n",
+                 Row.Op, Row.Width, Row.SimdNs, Row.ScalarNs, Row.speedup(),
+                 I + 1 == Kernels.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ],\n  \"detectors\": [\n");
   for (size_t I = 0; I != Rows.size(); ++I) {
     const JsonRow &Row = Rows[I];
     std::fprintf(Out,

@@ -1,0 +1,233 @@
+//===- core/ClockKernels.cpp ----------------------------------------------==//
+
+#include "core/ClockKernels.h"
+
+#include <cstring>
+
+#if !defined(PACER_DISABLE_SIMD)
+#if defined(__AVX2__)
+#define PACER_KERNELS_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64)
+#define PACER_KERNELS_SSE2 1
+#include <emmintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define PACER_KERNELS_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace pacer::kernels {
+
+namespace {
+
+// Single flag, read on every kernel entry: always-taken branch in
+// production, flipped only from single-threaded test setup.
+bool ForceScalar = false;
+
+} // namespace
+
+void setForceScalarForTest(bool Force) { ForceScalar = Force; }
+
+bool scalarJoinMax(uint32_t *A, const uint32_t *B, size_t N) {
+  bool Changed = false;
+  for (size_t I = 0; I != N; ++I) {
+    if (B[I] > A[I]) {
+      A[I] = B[I];
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+bool scalarAllLeq(const uint32_t *A, const uint32_t *B, size_t N) {
+  for (size_t I = 0; I != N; ++I)
+    if (A[I] > B[I])
+      return false;
+  return true;
+}
+
+bool scalarAllZero(const uint32_t *A, size_t N) {
+  for (size_t I = 0; I != N; ++I)
+    if (A[I] != 0)
+      return false;
+  return true;
+}
+
+#if defined(PACER_KERNELS_AVX2)
+
+const char *activeIsa() { return ForceScalar ? "scalar" : "avx2"; }
+
+bool joinMax(uint32_t *A, const uint32_t *B, size_t N) {
+  if (ForceScalar)
+    return scalarJoinMax(A, B, N);
+  size_t I = 0;
+  __m256i Diff = _mm256_setzero_si256();
+  for (; I + 8 <= N; I += 8) {
+    __m256i Va = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + I));
+    __m256i Vb = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(B + I));
+    __m256i Vm = _mm256_max_epu32(Va, Vb);
+    // Vm != Va in a lane iff B > A there, i.e. the join changed A.
+    Diff = _mm256_or_si256(Diff, _mm256_xor_si256(Vm, Va));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(A + I), Vm);
+  }
+  bool Changed = !_mm256_testz_si256(Diff, Diff);
+  return scalarJoinMax(A + I, B + I, N - I) || Changed;
+}
+
+bool allLeq(const uint32_t *A, const uint32_t *B, size_t N) {
+  if (ForceScalar)
+    return scalarAllLeq(A, B, N);
+  size_t I = 0;
+  for (; I + 8 <= N; I += 8) {
+    __m256i Va = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + I));
+    __m256i Vb = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(B + I));
+    // A <= B per lane iff max(A, B) == B.
+    __m256i Le = _mm256_cmpeq_epi32(_mm256_max_epu32(Va, Vb), Vb);
+    if (static_cast<uint32_t>(_mm256_movemask_epi8(Le)) != 0xffffffffu)
+      return false;
+  }
+  return scalarAllLeq(A + I, B + I, N - I);
+}
+
+bool allZero(const uint32_t *A, size_t N) {
+  if (ForceScalar)
+    return scalarAllZero(A, N);
+  size_t I = 0;
+  __m256i Acc = _mm256_setzero_si256();
+  for (; I + 8 <= N; I += 8)
+    Acc = _mm256_or_si256(
+        Acc, _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + I)));
+  if (!_mm256_testz_si256(Acc, Acc))
+    return false;
+  return scalarAllZero(A + I, N - I);
+}
+
+#elif defined(PACER_KERNELS_SSE2)
+
+const char *activeIsa() { return ForceScalar ? "scalar" : "sse2"; }
+
+namespace {
+
+// SSE2 lacks an unsigned 32-bit max/compare; flipping the sign bit maps
+// unsigned order onto the signed compare.
+inline __m128i unsignedGt(__m128i A, __m128i B) {
+  const __m128i Sign = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  return _mm_cmpgt_epi32(_mm_xor_si128(A, Sign), _mm_xor_si128(B, Sign));
+}
+
+} // namespace
+
+bool joinMax(uint32_t *A, const uint32_t *B, size_t N) {
+  if (ForceScalar)
+    return scalarJoinMax(A, B, N);
+  size_t I = 0;
+  __m128i AnyGt = _mm_setzero_si128();
+  for (; I + 4 <= N; I += 4) {
+    __m128i Va = _mm_loadu_si128(reinterpret_cast<const __m128i *>(A + I));
+    __m128i Vb = _mm_loadu_si128(reinterpret_cast<const __m128i *>(B + I));
+    __m128i Gt = unsignedGt(Vb, Va); // Lanes where B > A: the join changes A.
+    __m128i Vm = _mm_or_si128(_mm_and_si128(Gt, Vb), _mm_andnot_si128(Gt, Va));
+    AnyGt = _mm_or_si128(AnyGt, Gt);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(A + I), Vm);
+  }
+  bool Changed = _mm_movemask_epi8(AnyGt) != 0;
+  return scalarJoinMax(A + I, B + I, N - I) || Changed;
+}
+
+bool allLeq(const uint32_t *A, const uint32_t *B, size_t N) {
+  if (ForceScalar)
+    return scalarAllLeq(A, B, N);
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    __m128i Va = _mm_loadu_si128(reinterpret_cast<const __m128i *>(A + I));
+    __m128i Vb = _mm_loadu_si128(reinterpret_cast<const __m128i *>(B + I));
+    if (_mm_movemask_epi8(unsignedGt(Va, Vb)) != 0)
+      return false;
+  }
+  return scalarAllLeq(A + I, B + I, N - I);
+}
+
+bool allZero(const uint32_t *A, size_t N) {
+  if (ForceScalar)
+    return scalarAllZero(A, N);
+  size_t I = 0;
+  __m128i Acc = _mm_setzero_si128();
+  for (; I + 4 <= N; I += 4)
+    Acc = _mm_or_si128(
+        Acc, _mm_loadu_si128(reinterpret_cast<const __m128i *>(A + I)));
+  if (_mm_movemask_epi8(_mm_cmpeq_epi32(Acc, _mm_setzero_si128())) != 0xffff)
+    return false;
+  return scalarAllZero(A + I, N - I);
+}
+
+#elif defined(PACER_KERNELS_NEON)
+
+const char *activeIsa() { return ForceScalar ? "scalar" : "neon"; }
+
+bool joinMax(uint32_t *A, const uint32_t *B, size_t N) {
+  if (ForceScalar)
+    return scalarJoinMax(A, B, N);
+  size_t I = 0;
+  uint32x4_t Diff = vdupq_n_u32(0);
+  for (; I + 4 <= N; I += 4) {
+    uint32x4_t Va = vld1q_u32(A + I);
+    uint32x4_t Vb = vld1q_u32(B + I);
+    uint32x4_t Vm = vmaxq_u32(Va, Vb);
+    Diff = vorrq_u32(Diff, veorq_u32(Vm, Va));
+    vst1q_u32(A + I, Vm);
+  }
+  bool Changed = vmaxvq_u32(Diff) != 0;
+  return scalarJoinMax(A + I, B + I, N - I) || Changed;
+}
+
+bool allLeq(const uint32_t *A, const uint32_t *B, size_t N) {
+  if (ForceScalar)
+    return scalarAllLeq(A, B, N);
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    if (vmaxvq_u32(vcgtq_u32(vld1q_u32(A + I), vld1q_u32(B + I))) != 0)
+      return false;
+  }
+  return scalarAllLeq(A + I, B + I, N - I);
+}
+
+bool allZero(const uint32_t *A, size_t N) {
+  if (ForceScalar)
+    return scalarAllZero(A, N);
+  size_t I = 0;
+  uint32x4_t Acc = vdupq_n_u32(0);
+  for (; I + 4 <= N; I += 4)
+    Acc = vorrq_u32(Acc, vld1q_u32(A + I));
+  if (vmaxvq_u32(Acc) != 0)
+    return false;
+  return scalarAllZero(A + I, N - I);
+}
+
+#else // Scalar-only build (PACER_DISABLE_SIMD or unknown ISA).
+
+const char *activeIsa() { return "scalar"; }
+
+bool joinMax(uint32_t *A, const uint32_t *B, size_t N) {
+  return scalarJoinMax(A, B, N);
+}
+
+bool allLeq(const uint32_t *A, const uint32_t *B, size_t N) {
+  return scalarAllLeq(A, B, N);
+}
+
+bool allZero(const uint32_t *A, size_t N) { return scalarAllZero(A, N); }
+
+#endif
+
+void copyWords(uint32_t *Dst, const uint32_t *Src, size_t N) {
+  std::memcpy(Dst, Src, N * sizeof(uint32_t));
+}
+
+size_t trimTrailingZeros(const uint32_t *A, size_t N) {
+  while (N != 0 && A[N - 1] == 0)
+    --N;
+  return N;
+}
+
+} // namespace pacer::kernels

@@ -1,0 +1,71 @@
+//===- core/ClockKernels.h - Word-parallel clock kernels -------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Word-parallel kernels for the three vector-clock inner loops that
+/// dominate detector time (pointwise-max join, pointwise <=, copy), plus
+/// the tail-trimming scan joinWith needs. VectorClock and SyncClock route
+/// every component loop through this layer, so the SIMD width is chosen in
+/// exactly one place.
+///
+/// The implementation selects an ISA at compile time (AVX2, then SSE2,
+/// then NEON on aarch64, else scalar); configuring with
+/// -DPACER_DISABLE_SIMD=ON forces the scalar path for the whole build.
+/// All kernels are exact integer operations -- max, compare, copy -- so
+/// every path produces bit-identical results; the differential tests and
+/// the setForceScalarForTest hook verify that in-process.
+///
+/// Alias rules: joinMax requires A and B to not partially overlap (A == B
+/// is harmless but pointless); copyWords requires disjoint ranges. No
+/// kernel requires alignment -- clocks may live at arbitrary offsets
+/// inside detector metadata (SSO buffers, arena blocks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_CORE_CLOCKKERNELS_H
+#define PACER_CORE_CLOCKKERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pacer::kernels {
+
+/// Pointwise maximum of \p B into \p A over \p N components. Returns true
+/// iff any component of A increased (the joinWith change-detection bit,
+/// Algorithm 11).
+bool joinMax(uint32_t *A, const uint32_t *B, size_t N);
+
+/// True iff A[i] <= B[i] for all i in [0, N).
+bool allLeq(const uint32_t *A, const uint32_t *B, size_t N);
+
+/// True iff A[i] == 0 for all i in [0, N).
+bool allZero(const uint32_t *A, size_t N);
+
+/// Copies \p N components from \p Src to \p Dst (disjoint ranges).
+void copyWords(uint32_t *Dst, const uint32_t *Src, size_t N);
+
+/// Returns the smallest M <= N such that A[i] == 0 for all i in [M, N):
+/// the stored length of \p A after trimming trailing explicit zeros.
+size_t trimTrailingZeros(const uint32_t *A, size_t N);
+
+/// Name of the compiled-in kernel ISA ("avx2", "sse2", "neon", "scalar").
+/// Reports "scalar" while setForceScalarForTest(true) is in effect.
+const char *activeIsa();
+
+/// Test hook: routes every kernel through the scalar reference path so a
+/// single binary can compare SIMD and scalar results. Not thread-safe;
+/// flip it only from single-threaded test setup/teardown.
+void setForceScalarForTest(bool Force);
+
+/// Scalar reference implementations, always compiled, used as the
+/// fallback path and by differential tests / benchmark baselines.
+bool scalarJoinMax(uint32_t *A, const uint32_t *B, size_t N);
+bool scalarAllLeq(const uint32_t *A, const uint32_t *B, size_t N);
+bool scalarAllZero(const uint32_t *A, size_t N);
+
+} // namespace pacer::kernels
+
+#endif // PACER_CORE_CLOCKKERNELS_H

@@ -18,10 +18,16 @@
 ///
 /// Capacity is allocated lazily: an empty table owns no heap memory,
 /// matching PACER's space story where an idle detector charges nothing.
+/// The slot array is a raw block from the current thread's bound Arena
+/// (slots are placement-constructed and destroyed explicitly), so the
+/// grow/shrink oscillation PACER's sampling churn induces recycles blocks
+/// through the arena's size-class free lists instead of malloc.
 ///
-/// Keys must not be InvalidId (the empty sentinel) or InvalidId - 1 (the
-/// tombstone sentinel); variable ids are dense from zero, so the top two
-/// values are never legitimate.
+/// The key type defaults to VarId but may be any unsigned integer (the
+/// LiteRace sampler table keys by a 64-bit method/thread pair). Keys must
+/// not be the top two values of the key type (the empty and tombstone
+/// sentinels); variable ids are dense from zero, so those are never
+/// legitimate.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,22 +35,28 @@
 #define PACER_CORE_FLATVARTABLE_H
 
 #include "core/Ids.h"
+#include "support/Arena.h"
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
 #include <utility>
 
 namespace pacer {
 
-/// Open-addressing VarId -> ValueT map with tombstone deletion.
-/// ValueT must be default-constructible and movable.
-template <typename ValueT> class FlatVarTable {
-  static constexpr VarId EmptyKey = InvalidId;
-  static constexpr VarId TombstoneKey = InvalidId - 1;
+/// Open-addressing KeyT -> ValueT map with tombstone deletion.
+/// ValueT must be default-constructible and movable; KeyT must be an
+/// unsigned integer type.
+template <typename ValueT, typename KeyT = VarId> class FlatVarTable {
+  static_assert(std::is_unsigned_v<KeyT>, "keys must be unsigned integers");
+  static constexpr KeyT EmptyKey = static_cast<KeyT>(-1);
+  static constexpr KeyT TombstoneKey = EmptyKey - 1;
   static constexpr size_t MinCapacity = 16;
 
   struct Slot {
-    VarId Key = EmptyKey;
+    KeyT Key = EmptyKey;
     ValueT Value{};
   };
 
@@ -52,7 +64,7 @@ public:
   FlatVarTable() = default;
   FlatVarTable(const FlatVarTable &) = delete;
   FlatVarTable &operator=(const FlatVarTable &) = delete;
-  ~FlatVarTable() { delete[] Slots; }
+  ~FlatVarTable() { destroySlots(Slots, Capacity); }
 
   /// Number of live entries.
   size_t size() const { return Live; }
@@ -60,17 +72,17 @@ public:
 
   /// Returns the value stored under \p Key, or null. The pointer is
   /// invalidated by the next insertion.
-  ValueT *find(VarId Key) {
+  ValueT *find(KeyT Key) {
     Slot *S = findSlot(Key);
     return S ? &S->Value : nullptr;
   }
-  const ValueT *find(VarId Key) const {
+  const ValueT *find(KeyT Key) const {
     return const_cast<FlatVarTable *>(this)->find(Key);
   }
 
   /// Returns the value under \p Key, default-constructing it if absent.
   /// May rehash; any previously returned pointer is invalidated.
-  ValueT &getOrInsert(VarId Key) {
+  ValueT &getOrInsert(KeyT Key) {
     assert(Key < TombstoneKey && "key collides with a sentinel");
     if ((Used + 1) * 4 >= Capacity * 3)
       rehash();
@@ -105,7 +117,7 @@ public:
   /// May shrink the slot array (invalidating pointers) once occupancy
   /// falls far enough; PACER discards metadata wholesale during
   /// non-sampling periods and the space must actually come back.
-  bool erase(VarId Key) {
+  bool erase(KeyT Key) {
     Slot *S = findSlot(Key);
     if (!S)
       return false;
@@ -128,7 +140,7 @@ public:
     Tombstones = 0;
   }
 
-  /// Invokes Fn(VarId, const ValueT &) for every live entry, in slot
+  /// Invokes Fn(KeyT, const ValueT &) for every live entry, in slot
   /// (not key) order.
   template <typename FnT> void forEach(FnT Fn) const {
     for (size_t I = 0; I < Capacity; ++I)
@@ -136,7 +148,7 @@ public:
         Fn(Slots[I].Key, Slots[I].Value);
   }
 
-  /// Invokes Fn(VarId, ValueT &) for every live entry; entries for which
+  /// Invokes Fn(KeyT, ValueT &) for every live entry; entries for which
   /// Fn returns true are erased. Safe against mutation of the visited
   /// value; must not insert during iteration.
   template <typename FnT> void eraseIf(FnT Fn) {
@@ -162,15 +174,32 @@ public:
   size_t entryBytes() const { return Live * sizeof(Slot); }
 
 private:
-  static size_t hashKey(VarId Key) {
+  static size_t hashKey(KeyT Key) {
     // Fibonacci multiplicative hash: dense sequential ids scatter across
-    // the table instead of clustering into one probe run.
+    // the table instead of clustering into one probe run. (For 64-bit
+    // keys the multiply wraps; the middle bits taken are still well
+    // mixed.)
     return static_cast<size_t>(
         (static_cast<uint64_t>(Key) * 0x9e3779b97f4a7c15ULL) >> 32);
   }
 
   bool isLiveSlot(const Slot &S) const {
     return S.Key != EmptyKey && S.Key != TombstoneKey;
+  }
+
+  /// Allocates and default-constructs a slot array from the bound arena.
+  static Slot *allocSlots(size_t N) {
+    auto *Out = static_cast<Slot *>(Arena::allocBlock(N * sizeof(Slot)));
+    for (size_t I = 0; I < N; ++I)
+      new (&Out[I]) Slot();
+    return Out;
+  }
+
+  /// Destroys the slots and returns the block to its arena.
+  static void destroySlots(Slot *S, size_t N) {
+    for (size_t I = 0; I < N; ++I)
+      S[I].~Slot();
+    Arena::freeBlock(S);
   }
 
   /// Shrinks the slot array when occupancy drops to <= 1/8, releasing the
@@ -182,7 +211,7 @@ private:
       rehash();
   }
 
-  Slot *findSlot(VarId Key) const {
+  Slot *findSlot(KeyT Key) const {
     if (Live == 0)
       return nullptr;
     size_t Mask = Capacity - 1;
@@ -205,7 +234,7 @@ private:
       NewCapacity *= 2;
     Slot *OldSlots = Slots;
     size_t OldCapacity = Capacity;
-    Slots = new Slot[NewCapacity];
+    Slots = allocSlots(NewCapacity);
     Capacity = NewCapacity;
     Used = Live;
     Tombstones = 0;
@@ -220,7 +249,7 @@ private:
       Slots[J].Key = S.Key;
       Slots[J].Value = std::move(S.Value);
     }
-    delete[] OldSlots;
+    destroySlots(OldSlots, OldCapacity);
   }
 
   Slot *Slots = nullptr;

@@ -3,12 +3,13 @@
 #include "core/ReadMap.h"
 
 #include <cassert>
+#include <cstring>
 
 using namespace pacer;
 
 size_t ReadMap::size() const {
   if (Entries)
-    return Entries->size();
+    return Num;
   return E.isNone() ? 0 : 1;
 }
 
@@ -25,29 +26,43 @@ SiteId ReadMap::epochSite() const {
 void ReadMap::clear() {
   E = Epoch::none();
   ESite = InvalidId;
-  Entries.reset();
+  Arena::freeBlock(Entries);
+  release();
 }
 
 void ReadMap::setEpoch(Epoch NewEpoch, SiteId Site) {
   assert(!NewEpoch.isNone() && "setting a null epoch; use clear()");
   E = NewEpoch;
   ESite = Site;
-  Entries.reset();
+  Arena::freeBlock(Entries);
+  release();
+}
+
+void ReadMap::growEntries() {
+  const uint32_t NewCap = Cap ? Cap * 2 : 2;
+  auto *NewEntries =
+      static_cast<ReadEntry *>(Arena::allocBlock(NewCap * sizeof(ReadEntry)));
+  if (Num)
+    std::memcpy(NewEntries, Entries, Num * sizeof(ReadEntry));
+  Arena::freeBlock(Entries);
+  Entries = NewEntries;
+  Cap = NewCap;
 }
 
 void ReadMap::inflateToMap() {
   assert(isEpoch() && "can only inflate from epoch state");
-  Entries = std::make_unique<std::vector<ReadEntry>>();
-  Entries->push_back(ReadEntry{E.tid(), E.clockValue(), ESite});
+  growEntries();
+  Entries[0] = ReadEntry{E.tid(), E.clockValue(), ESite};
+  Num = 1;
   E = Epoch::none();
   ESite = InvalidId;
 }
 
 ReadEntry *ReadMap::findEntry(ThreadId Tid) {
   assert(Entries && "not in map state");
-  for (ReadEntry &Entry : *Entries)
-    if (Entry.Tid == Tid)
-      return &Entry;
+  for (uint32_t I = 0; I != Num; ++I)
+    if (Entries[I].Tid == Tid)
+      return &Entries[I];
   return nullptr;
 }
 
@@ -58,19 +73,21 @@ void ReadMap::setEntry(ThreadId Tid, uint32_t Clock, SiteId Site) {
     Entry->Site = Site;
     return;
   }
-  Entries->push_back(ReadEntry{Tid, Clock, Site});
+  if (Num == Cap)
+    growEntries();
+  Entries[Num++] = ReadEntry{Tid, Clock, Site};
 }
 
 bool ReadMap::removeEntry(ThreadId Tid) {
   assert(Entries && "not in map state");
-  for (size_t I = 0, N = Entries->size(); I != N; ++I) {
-    if ((*Entries)[I].Tid == Tid) {
-      (*Entries)[I] = Entries->back();
-      Entries->pop_back();
+  for (uint32_t I = 0; I != Num; ++I) {
+    if (Entries[I].Tid == Tid) {
+      Entries[I] = Entries[Num - 1];
+      --Num;
       break;
     }
   }
-  return Entries->empty();
+  return Num == 0;
 }
 
 void ReadMap::removeThread(ThreadId Tid) {
@@ -90,8 +107,8 @@ void ReadMap::removeThread(ThreadId Tid) {
 
 bool ReadMap::leqClock(const VectorClock &C) const {
   if (Entries) {
-    for (const ReadEntry &Entry : *Entries)
-      if (Entry.Clock > C.get(Entry.Tid))
+    for (uint32_t I = 0; I != Num; ++I)
+      if (Entries[I].Clock > C.get(Entries[I].Tid))
         return false;
     return true;
   }
@@ -99,7 +116,5 @@ bool ReadMap::leqClock(const VectorClock &C) const {
 }
 
 size_t ReadMap::heapBytes() const {
-  if (!Entries)
-    return 0;
-  return sizeof(*Entries) + Entries->capacity() * sizeof(ReadEntry);
+  return Entries ? Cap * sizeof(ReadEntry) : 0;
 }

@@ -20,6 +20,13 @@
 /// Each entry carries the site of the recorded access so race reports can
 /// name the first access (Section 4, "Reporting Races").
 ///
+/// Map-state entry arrays are raw blocks from the current thread's bound
+/// Arena (the owning detector's metadata arena on the access hot path),
+/// so inflating, growing, and discarding read maps never touches the
+/// general-purpose heap during replay. ReadMap is move-only; the block
+/// header routes the eventual free back to the allocating arena no
+/// matter where the map moves.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PACER_CORE_READMAP_H
@@ -28,9 +35,9 @@
 #include "core/Epoch.h"
 #include "core/Ids.h"
 #include "core/VectorClock.h"
+#include "support/Arena.h"
 
-#include <memory>
-#include <vector>
+#include <cstdint>
 
 namespace pacer {
 
@@ -48,6 +55,26 @@ public:
   enum class Kind : uint8_t { Null, Epoch, Map };
 
   ReadMap() = default;
+  ReadMap(ReadMap &&Other) noexcept
+      : E(Other.E), ESite(Other.ESite), Entries(Other.Entries),
+        Num(Other.Num), Cap(Other.Cap) {
+    Other.release();
+  }
+  ReadMap &operator=(ReadMap &&Other) noexcept {
+    if (this != &Other) {
+      Arena::freeBlock(Entries);
+      E = Other.E;
+      ESite = Other.ESite;
+      Entries = Other.Entries;
+      Num = Other.Num;
+      Cap = Other.Cap;
+      Other.release();
+    }
+    return *this;
+  }
+  ReadMap(const ReadMap &) = delete;
+  ReadMap &operator=(const ReadMap &) = delete;
+  ~ReadMap() { Arena::freeBlock(Entries); }
 
   Kind kind() const {
     if (Entries)
@@ -103,9 +130,9 @@ public:
   template <typename FnT>
   void forEachViolation(const VectorClock &C, FnT Fn) const {
     if (Entries) {
-      for (const ReadEntry &Entry : *Entries)
-        if (Entry.Clock > C.get(Entry.Tid))
-          Fn(Entry);
+      for (uint32_t I = 0; I != Num; ++I)
+        if (Entries[I].Clock > C.get(Entries[I].Tid))
+          Fn(Entries[I]);
       return;
     }
     if (!E.isNone() && !E.precedes(C))
@@ -115,8 +142,8 @@ public:
   /// Invokes \p Fn(const ReadEntry &) for every recorded read.
   template <typename FnT> void forEach(FnT Fn) const {
     if (Entries) {
-      for (const ReadEntry &Entry : *Entries)
-        Fn(Entry);
+      for (uint32_t I = 0; I != Num; ++I)
+        Fn(Entries[I]);
       return;
     }
     if (!E.isNone())
@@ -129,9 +156,21 @@ public:
 private:
   ReadEntry *findEntry(ThreadId Tid);
 
-  Epoch E;                 // Valid iff Entries is null and E is not none.
+  /// Doubles the entry array's capacity (arena block swap).
+  void growEntries();
+
+  /// Forgets the entry storage without freeing it (move support).
+  void release() {
+    Entries = nullptr;
+    Num = 0;
+    Cap = 0;
+  }
+
+  Epoch E;                  // Valid iff Entries is null and E is not none.
   SiteId ESite = InvalidId;
-  std::unique_ptr<std::vector<ReadEntry>> Entries;
+  ReadEntry *Entries = nullptr; // Arena block; Map state iff non-null.
+  uint32_t Num = 0;
+  uint32_t Cap = 0;
 };
 
 } // namespace pacer

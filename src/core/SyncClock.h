@@ -17,6 +17,11 @@
 /// synchronization objects reference it, which is exactly how sharing
 /// reduces PACER's space overhead in Figure 10.
 ///
+/// Deep copies and clones go element-by-element through
+/// VectorClock::copyFrom, i.e. through the word-parallel kernels in
+/// core/ClockKernels.h; a payload's spilled clock storage comes from the
+/// thread's bound Arena like any other VectorClock.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PACER_CORE_SYNCCLOCK_H

@@ -2,6 +2,8 @@
 
 #include "core/VectorClock.h"
 
+#include "core/ClockKernels.h"
+
 #include <algorithm>
 #include <cstring>
 
@@ -9,8 +11,9 @@ using namespace pacer;
 
 void VectorClock::grow(uint32_t MinCapacity) {
   uint32_t NewCapacity = std::max(MinCapacity, Capacity * 2);
-  auto *NewData = new uint32_t[NewCapacity];
-  std::memcpy(NewData, Data, Count * sizeof(uint32_t));
+  auto *NewData =
+      static_cast<uint32_t *>(Arena::allocBlock(NewCapacity * sizeof(uint32_t)));
+  kernels::copyWords(NewData, Data, Count);
   deallocate();
   Data = NewData;
   Capacity = NewCapacity;
@@ -26,7 +29,7 @@ void VectorClock::extendTo(uint32_t NewCount) {
 void VectorClock::assign(const VectorClock &Other) {
   if (Other.Count > Capacity)
     grow(Other.Count);
-  std::memcpy(Data, Other.Data, Other.Count * sizeof(uint32_t));
+  kernels::copyWords(Data, Other.Data, Other.Count);
   Count = Other.Count;
 }
 
@@ -34,9 +37,11 @@ void VectorClock::moveFrom(VectorClock &Other) noexcept {
   if (Other.isInline()) {
     Data = Inline;
     Capacity = InlineCapacity;
-    std::memcpy(Inline, Other.Inline, Other.Count * sizeof(uint32_t));
+    kernels::copyWords(Inline, Other.Inline, Other.Count);
   } else {
-    // Steal the heap buffer; leave Other valid and minimal.
+    // Steal the heap buffer; leave Other valid and minimal. The block's
+    // header keeps its owning arena, so the eventual free dispatches
+    // correctly no matter where the clock object moves.
     Data = Other.Data;
     Capacity = Other.Capacity;
     Other.Data = Other.Inline;
@@ -62,42 +67,31 @@ void VectorClock::increment(ThreadId Tid) {
 }
 
 bool VectorClock::joinWith(const VectorClock &Other) {
-  bool Changed = false;
   const uint32_t Shared = std::min(Count, Other.Count);
-  for (uint32_t I = 0; I != Shared; ++I) {
-    if (Other.Data[I] > Data[I]) {
-      Data[I] = Other.Data[I];
-      Changed = true;
-    }
-  }
-  // Components of Other beyond our stored prefix: join against implicit
+  bool Changed = kernels::joinMax(Data, Other.Data, Shared);
+  // Components of Other beyond our stored prefix join against implicit
   // zeros. Grow only as far as Other's last non-zero component -- a
-  // shorter (or zero-padded) Other must not inflate this clock.
-  uint32_t Last = Other.Count;
-  while (Last > Shared && Other.Data[Last - 1] == 0)
-    --Last;
+  // shorter (or zero-padded) Other must not inflate this clock. When the
+  // tail has any non-zero component the join changes this clock by
+  // definition, and extendTo's zero-fill makes a straight copy of the
+  // whole tail equivalent to copying only its non-zero components.
+  const uint32_t Last =
+      Shared + static_cast<uint32_t>(kernels::trimTrailingZeros(
+                   Other.Data + Shared, Other.Count - Shared));
   if (Last > Shared) {
     extendTo(Last);
-    for (uint32_t I = Shared; I != Last; ++I) {
-      if (Other.Data[I] != 0) {
-        Data[I] = Other.Data[I];
-        Changed = true;
-      }
-    }
+    kernels::copyWords(Data + Shared, Other.Data + Shared, Last - Shared);
+    Changed = true;
   }
   return Changed;
 }
 
 bool VectorClock::leq(const VectorClock &Other) const {
   const uint32_t Shared = std::min(Count, Other.Count);
-  for (uint32_t I = 0; I != Shared; ++I)
-    if (Data[I] > Other.Data[I])
-      return false;
+  if (!kernels::allLeq(Data, Other.Data, Shared))
+    return false;
   // Our excess tail compares against implicit zeros in Other.
-  for (uint32_t I = Shared; I < Count; ++I)
-    if (Data[I] != 0)
-      return false;
-  return true;
+  return kernels::allZero(Data + Shared, Count - Shared);
 }
 
 std::string VectorClock::str() const {

@@ -16,8 +16,13 @@
 /// The evaluation workloads keep most clocks at or below 8 live threads
 /// (eclipse 8, xalan 9, pseudojbb 9 max live), so the common case of a
 /// join, copy, or comparison never touches the allocator and stays within
-/// one cache line. Wider clocks (hsqldb's 403 threads) spill to the heap
-/// exactly as before.
+/// one cache line. Wider clocks (hsqldb's 403 threads) spill to a block
+/// from the current thread's bound Arena (the owning detector's metadata
+/// arena on the access hot path; the global heap otherwise).
+///
+/// All component loops -- join, leq, copy -- route through the
+/// word-parallel kernels in core/ClockKernels.h, which pick a SIMD width
+/// at compile time; results are bit-identical across every kernel ISA.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +30,7 @@
 #define PACER_CORE_VECTORCLOCK_H
 
 #include "core/Ids.h"
+#include "support/Arena.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -115,7 +121,7 @@ private:
   void moveFrom(VectorClock &Other) noexcept;
   void deallocate() {
     if (!isInline())
-      delete[] Data;
+      Arena::freeBlock(Data);
   }
 
   uint32_t *Data = Inline;

@@ -19,6 +19,7 @@ void FastTrackDetector::reportWriteRace(const VarState &State, VarId Var,
 }
 
 void FastTrackDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
+  Arena::Scope MetadataScope(&Metadata);
   const VectorClock &Clock = Sync.ensureThread(Tid);
   readWith(Clock, Epoch::make(Clock.get(Tid), Tid), Tid, Var, Site);
 }
@@ -52,6 +53,7 @@ void FastTrackDetector::readWith(const VectorClock &Clock, Epoch Current,
 }
 
 void FastTrackDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
+  Arena::Scope MetadataScope(&Metadata);
   const VectorClock &Clock = Sync.ensureThread(Tid);
   writeWith(Clock, Epoch::make(Clock.get(Tid), Tid), Tid, Var, Site);
 }
@@ -93,6 +95,7 @@ void FastTrackDetector::writeWith(const VectorClock &Clock, Epoch Current,
 
 void FastTrackDetector::accessBatch(std::span<const Action> Batch,
                                     const AccessShard &Shard) {
+  Arena::Scope MetadataScope(&Metadata);
   // Accesses never mutate thread clocks, so the clock reference and epoch
   // computed at a thread switch stay valid for the thread's whole run.
   // Re-fetch on every switch: ensureThread may resize the thread table.

@@ -26,6 +26,7 @@
 #include "core/ReadMap.h"
 #include "detectors/Detector.h"
 #include "detectors/SyncState.h"
+#include "support/Arena.h"
 
 #include <vector>
 
@@ -49,21 +50,27 @@ public:
   const char *name() const override { return "fasttrack"; }
 
   void fork(ThreadId Parent, ThreadId Child) override {
+    Arena::Scope MetadataScope(&Metadata);
     Sync.fork(Parent, Child, Stats);
   }
   void join(ThreadId Parent, ThreadId Child) override {
+    Arena::Scope MetadataScope(&Metadata);
     Sync.join(Parent, Child, Stats);
   }
   void acquire(ThreadId Tid, LockId Lock) override {
+    Arena::Scope MetadataScope(&Metadata);
     Sync.acquire(Tid, Lock, Stats);
   }
   void release(ThreadId Tid, LockId Lock) override {
+    Arena::Scope MetadataScope(&Metadata);
     Sync.release(Tid, Lock, Stats);
   }
   void volatileRead(ThreadId Tid, VolatileId Vol) override {
+    Arena::Scope MetadataScope(&Metadata);
     Sync.volatileRead(Tid, Vol, Stats);
   }
   void volatileWrite(ThreadId Tid, VolatileId Vol) override {
+    Arena::Scope MetadataScope(&Metadata);
     Sync.volatileWrite(Tid, Vol, Stats);
   }
 
@@ -78,7 +85,10 @@ public:
   void accessBatch(std::span<const Action> Batch,
                    const AccessShard &Shard) override;
 
-  void threadBegin(ThreadId Tid) override { Sync.ensureThread(Tid); }
+  void threadBegin(ThreadId Tid) override {
+    Arena::Scope MetadataScope(&Metadata);
+    Sync.ensureThread(Tid);
+  }
 
   size_t liveMetadataBytes() const override;
   size_t accessMetadataBytes() const override;
@@ -112,9 +122,14 @@ private:
   void writeWith(const VectorClock &Clock, Epoch Current, ThreadId Tid,
                  VarId Var, SiteId Site);
 
+  /// Backs the per-variable table and its read-map/clock blocks. MUST
+  /// stay the first data member: the later members free their blocks back
+  /// into this arena while being destroyed.
+  Arena Metadata;
+
   FastTrackConfig Config;
   SyncState Sync;
-  std::vector<VarState> Vars;
+  std::vector<VarState, ArenaAllocator<VarState>> Vars;
 };
 
 } // namespace pacer

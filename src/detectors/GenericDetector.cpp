@@ -35,6 +35,7 @@ GenericDetector::VarState &GenericDetector::ensureVar(VarId Var) {
 }
 
 void GenericDetector::fork(ThreadId Parent, ThreadId Child) {
+  Arena::Scope MetadataScope(&Metadata);
   ++Stats.SyncOps;
   ++Stats.SlowJoinsSampling;
   // Ensure both entries before taking references: ensureThread may grow
@@ -50,6 +51,7 @@ void GenericDetector::fork(ThreadId Parent, ThreadId Child) {
 }
 
 void GenericDetector::join(ThreadId Parent, ThreadId Child) {
+  Arena::Scope MetadataScope(&Metadata);
   ++Stats.SyncOps;
   ++Stats.SlowJoinsSampling;
   ensureThread(Parent);
@@ -62,6 +64,7 @@ void GenericDetector::join(ThreadId Parent, ThreadId Child) {
 }
 
 void GenericDetector::acquire(ThreadId Tid, LockId Lock) {
+  Arena::Scope MetadataScope(&Metadata);
   ++Stats.SyncOps;
   ++Stats.SlowJoinsSampling;
   // Algorithm 1: C_t <- C_t |_| C_m.
@@ -69,6 +72,7 @@ void GenericDetector::acquire(ThreadId Tid, LockId Lock) {
 }
 
 void GenericDetector::release(ThreadId Tid, LockId Lock) {
+  Arena::Scope MetadataScope(&Metadata);
   ++Stats.SyncOps;
   ++Stats.DeepCopiesSampling;
   VectorClock &Clock = ensureThread(Tid).Clock;
@@ -78,6 +82,7 @@ void GenericDetector::release(ThreadId Tid, LockId Lock) {
 }
 
 void GenericDetector::volatileRead(ThreadId Tid, VolatileId Vol) {
+  Arena::Scope MetadataScope(&Metadata);
   ++Stats.SyncOps;
   ++Stats.SlowJoinsSampling;
   // Algorithm 14: C_t <- C_t |_| C_x.
@@ -85,6 +90,7 @@ void GenericDetector::volatileRead(ThreadId Tid, VolatileId Vol) {
 }
 
 void GenericDetector::volatileWrite(ThreadId Tid, VolatileId Vol) {
+  Arena::Scope MetadataScope(&Metadata);
   ++Stats.SyncOps;
   ++Stats.SlowJoinsSampling;
   VectorClock &Clock = ensureThread(Tid).Clock;
@@ -94,7 +100,7 @@ void GenericDetector::volatileWrite(ThreadId Tid, VolatileId Vol) {
 }
 
 void GenericDetector::checkClockOrdered(const VectorClock &Prior,
-                                        const std::vector<SiteId> &PriorSites,
+                                        const SiteVector &PriorSites,
                                         AccessKind PriorKind,
                                         const VectorClock &Current, VarId Var,
                                         ThreadId Tid, AccessKind Kind,
@@ -116,6 +122,7 @@ void GenericDetector::checkClockOrdered(const VectorClock &Prior,
 }
 
 void GenericDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
+  Arena::Scope MetadataScope(&Metadata);
   ++Stats.ReadSlowSampling;
   const VectorClock &Clock = ensureThread(Tid).Clock;
   VarState &State = ensureVar(Var);
@@ -129,6 +136,7 @@ void GenericDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
 }
 
 void GenericDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
+  Arena::Scope MetadataScope(&Metadata);
   ++Stats.WriteSlowSampling;
   const VectorClock &Clock = ensureThread(Tid).Clock;
   VarState &State = ensureVar(Var);

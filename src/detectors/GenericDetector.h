@@ -21,6 +21,7 @@
 
 #include "core/VectorClock.h"
 #include "detectors/Detector.h"
+#include "support/Arena.h"
 
 #include <vector>
 
@@ -42,7 +43,10 @@ public:
   void read(ThreadId Tid, VarId Var, SiteId Site) override;
   void write(ThreadId Tid, VarId Var, SiteId Site) override;
 
-  void threadBegin(ThreadId Tid) override { ensureThread(Tid); }
+  void threadBegin(ThreadId Tid) override {
+    Arena::Scope MetadataScope(&Metadata);
+    ensureThread(Tid);
+  }
 
   size_t liveMetadataBytes() const override;
   size_t accessMetadataBytes() const override;
@@ -53,13 +57,17 @@ public:
   }
 
 private:
+  /// Recorded-access sites, stored in the detector's arena like every
+  /// other per-variable block.
+  using SiteVector = std::vector<SiteId, ArenaAllocator<SiteId>>;
+
   /// Per-variable access history: last-read and last-write clock values and
   /// the program site of each recorded access.
   struct VarState {
     VectorClock R;
     VectorClock W;
-    std::vector<SiteId> RSites;
-    std::vector<SiteId> WSites;
+    SiteVector RSites;
+    SiteVector WSites;
   };
 
   struct ThreadState {
@@ -74,15 +82,20 @@ private:
 
   /// Reports one race per component of \p Prior exceeding \p Current.
   void checkClockOrdered(const VectorClock &Prior,
-                         const std::vector<SiteId> &PriorSites,
+                         const SiteVector &PriorSites,
                          AccessKind PriorKind, const VectorClock &Current,
                          VarId Var, ThreadId Tid, AccessKind Kind,
                          SiteId Site);
 
+  /// Backs the per-variable table, its site vectors, and spilled clocks.
+  /// MUST stay the first data member: the later members free their blocks
+  /// back into this arena while being destroyed.
+  Arena Metadata;
+
   std::vector<ThreadState> Threads;
   std::vector<VectorClock> Locks;
   std::vector<VectorClock> Volatiles;
-  std::vector<VarState> Vars;
+  std::vector<VarState, ArenaAllocator<VarState>> Vars;
 };
 
 } // namespace pacer

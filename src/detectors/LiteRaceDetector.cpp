@@ -3,16 +3,15 @@
 #include "detectors/LiteRaceDetector.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 using namespace pacer;
 
-bool LiteRaceDetector::shouldSample(ThreadId Tid, SiteId Site) {
-  uint64_t Key =
-      (static_cast<uint64_t>(methodOf(Site)) << 32) | static_cast<uint64_t>(Tid);
-  auto [It, Inserted] = Samplers.try_emplace(Key);
-  Sampler &State = It->second;
-  if (Inserted) {
+bool LiteRaceDetector::advanceSampler(Sampler &State, Rng &Random,
+                                      const LiteRaceConfig &Config) {
+  if (!State.Initialized) {
+    State.Initialized = true;
     State.Rate = Config.InitialRate;
     State.BurstRemaining = Config.BurstLength;
   }
@@ -42,7 +41,42 @@ bool LiteRaceDetector::shouldSample(ThreadId Tid, SiteId Site) {
   return true;
 }
 
+bool LiteRaceDetector::shouldSample(ThreadId Tid, SiteId Site) {
+  uint64_t Key =
+      (static_cast<uint64_t>(methodOf(Site)) << 32) | static_cast<uint64_t>(Tid);
+  return advanceSampler(Samplers.getOrInsert(Key), Random, Config);
+}
+
+LiteRaceSamplerPlan
+LiteRaceDetector::computeSamplerPlan(TraceSpan T,
+                                     const std::vector<MethodId> &SiteToMethod,
+                                     uint64_t Seed, LiteRaceConfig Config) {
+  LiteRaceSamplerPlan Plan;
+  Plan.Base = T.data();
+  Plan.Bits.assign((T.size() + 63) / 64, 0);
+  // The plan's sampler table and RNG mirror a planless detector built with
+  // the same seed: advanceSampler is the single shared decision step, and
+  // only accesses reach it (read()/write()/accessBatch() are the only
+  // callers of shouldSample during replay).
+  FlatVarTable<Sampler, uint64_t> Samplers;
+  Rng Random(Seed);
+  for (size_t Pos = 0; Pos != T.size(); ++Pos) {
+    const Action &A = T[Pos];
+    if (!isAccessAction(A.Kind))
+      continue;
+    uint64_t Key = (static_cast<uint64_t>(methodFor(A.Site, SiteToMethod))
+                    << 32) |
+                   static_cast<uint64_t>(A.Tid);
+    if (advanceSampler(Samplers.getOrInsert(Key), Random, Config))
+      Plan.Bits[Pos >> 6] |= uint64_t{1} << (Pos & 63);
+  }
+  Plan.SamplerCount = Samplers.size();
+  return Plan;
+}
+
 void LiteRaceDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
+  assert(!Plan && "planned replay must go through accessBatch");
+  Arena::Scope MetadataScope(&Metadata);
   if (!shouldSample(Tid, Site)) {
     ++Stats.ReadFastNonSampling;
     return;
@@ -52,6 +86,8 @@ void LiteRaceDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
 }
 
 void LiteRaceDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
+  assert(!Plan && "planned replay must go through accessBatch");
+  Arena::Scope MetadataScope(&Metadata);
   if (!shouldSample(Tid, Site)) {
     ++Stats.WriteFastNonSampling;
     return;
@@ -133,6 +169,33 @@ void LiteRaceDetector::analyzeWrite(ThreadId Tid, VarId Var, SiteId Site) {
 
 void LiteRaceDetector::accessBatch(std::span<const Action> Batch,
                                    const AccessShard &Shard) {
+  Arena::Scope MetadataScope(&Metadata);
+  if (Plan) {
+    // Planned replay: decisions are precomputed per trace position, so
+    // foreign accesses cost nothing and the batch may be a filtered
+    // owned-only run from the trace index.
+    for (const Action &A : Batch) {
+      if (!Shard.owns(A.Target))
+        continue;
+      bool Sampled = Plan->sampled(static_cast<size_t>(&A - Plan->Base));
+      if (A.Kind == ActionKind::Read) {
+        if (!Sampled) {
+          ++Stats.ReadFastNonSampling;
+          continue;
+        }
+        ++Stats.ReadSlowSampling;
+        analyzeRead(A.Tid, A.Target, A.Site);
+      } else {
+        if (!Sampled) {
+          ++Stats.WriteFastNonSampling;
+          continue;
+        }
+        ++Stats.WriteSlowSampling;
+        analyzeWrite(A.Tid, A.Target, A.Site);
+      }
+    }
+    return;
+  }
   for (const Action &A : Batch) {
     // Advance the sampler for every access (see the header comment): the
     // decision stream must be identical on every replica.
@@ -173,9 +236,12 @@ size_t LiteRaceDetector::accessMetadataBytes() const {
 
 size_t LiteRaceDetector::liveMetadataBytes() const {
   size_t Bytes = Sync.liveMetadataBytes() + accessMetadataBytes();
-  // Sampler table: LiteRace's per-method-thread counters.
-  Bytes += Samplers.size() * (sizeof(uint64_t) + sizeof(Sampler) +
-                              2 * sizeof(void *));
+  // Sampler table: LiteRace's per-method-thread counters. A planned
+  // replica carries the plan's end-of-trace sampler count so its space
+  // accounting matches a planless (full-stream) replica exactly.
+  size_t SamplerCount = Plan ? Plan->SamplerCount : Samplers.size();
+  Bytes += SamplerCount * (sizeof(uint64_t) + sizeof(Sampler) +
+                           2 * sizeof(void *));
   return Bytes;
 }
 

@@ -25,18 +25,29 @@
 /// is found only when *both* accesses are sampled, a race between two hot
 /// accesses is detected at roughly (0.1%)^2: Figure 6's missed races.
 ///
+/// The bursty samplers are *code*-indexed, not data-indexed, so by default
+/// a shard replica must observe the full access stream to keep its
+/// decisions replica-identical (accessAnalysisIsShardLocal() == false).
+/// computeSamplerPlan() removes that O(trace) cost: it precomputes the
+/// whole decision stream -- a pure function of (trace, seed, config) --
+/// into one bit per trace position, shared read-only by every replica.
+/// A detector given the plan (setSamplerPlan) never consults its own
+/// samplers, becomes shard-local, and replays from owned-access runs in
+/// O(sync + owned accesses) with bit-identical results.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PACER_DETECTORS_LITERACEDETECTOR_H
 #define PACER_DETECTORS_LITERACEDETECTOR_H
 
 #include "core/Epoch.h"
+#include "core/FlatVarTable.h"
 #include "core/ReadMap.h"
 #include "detectors/Detector.h"
 #include "detectors/SyncState.h"
+#include "support/Arena.h"
 #include "support/Rng.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace pacer {
@@ -60,6 +71,21 @@ struct LiteRaceConfig {
   bool RandomizeSkip = true;
 };
 
+/// Precomputed LiteRace sampler decisions for one (trace, seed, config):
+/// one bit per trace position, set iff the access at that position is
+/// analysed. Built once per trial in O(trace) and shared read-only by
+/// every shard replica. SamplerCount carries the end-of-trace sampler
+/// table size so replica space accounting matches sequential replay.
+struct LiteRaceSamplerPlan {
+  std::vector<uint64_t> Bits;
+  size_t SamplerCount = 0;
+  const Action *Base = nullptr; ///< The trace the bit positions index.
+
+  bool sampled(size_t Pos) const {
+    return (Bits[Pos >> 6] >> (Pos & 63)) & 1;
+  }
+};
+
 /// Online LiteRace: adaptive per-(method, thread) bursty sampling over
 /// FastTrack analysis.
 class LiteRaceDetector : public Detector {
@@ -74,42 +100,64 @@ public:
   const char *name() const override { return "literace"; }
 
   void fork(ThreadId Parent, ThreadId Child) override {
+    Arena::Scope MetadataScope(&Metadata);
     Sync.fork(Parent, Child, Stats);
   }
   void join(ThreadId Parent, ThreadId Child) override {
+    Arena::Scope MetadataScope(&Metadata);
     Sync.join(Parent, Child, Stats);
   }
   void acquire(ThreadId Tid, LockId Lock) override {
+    Arena::Scope MetadataScope(&Metadata);
     Sync.acquire(Tid, Lock, Stats);
   }
   void release(ThreadId Tid, LockId Lock) override {
+    Arena::Scope MetadataScope(&Metadata);
     Sync.release(Tid, Lock, Stats);
   }
   void volatileRead(ThreadId Tid, VolatileId Vol) override {
+    Arena::Scope MetadataScope(&Metadata);
     Sync.volatileRead(Tid, Vol, Stats);
   }
   void volatileWrite(ThreadId Tid, VolatileId Vol) override {
+    Arena::Scope MetadataScope(&Metadata);
     Sync.volatileWrite(Tid, Vol, Stats);
   }
 
   void read(ThreadId Tid, VarId Var, SiteId Site) override;
   void write(ThreadId Tid, VarId Var, SiteId Site) override;
 
-  /// Batched dispatch that keeps the bursty samplers replica-identical:
-  /// the samplers and their RNG are *code*-indexed, not data-indexed, so
-  /// every shard replica advances them for every access -- owned or not
-  /// -- and the sampling decisions (hence the analysed subsequence) match
-  /// sequential replay exactly. Foreign accesses advance the sampler
-  /// only; they touch no stats and no variable metadata.
+  /// Batched dispatch. Without a plan, the bursty samplers and their RNG
+  /// advance for *every* access -- owned or not -- so the decision stream
+  /// is replica-identical at O(trace) cost; foreign accesses advance the
+  /// sampler only, touching no stats and no variable metadata. With a
+  /// plan, decisions are bit lookups by trace position and foreign
+  /// accesses are skipped outright.
   using Detector::accessBatch;
   void accessBatch(std::span<const Action> Batch,
                    const AccessShard &Shard) override;
 
-  /// The bursty samplers must advance on *every* access (owned or not),
-  /// so replicas cannot be fed owned runs alone.
-  bool accessAnalysisIsShardLocal() const override { return false; }
+  /// Shard-local iff a sampler plan is attached: the plan replaces the
+  /// full-stream sampler simulation, so replicas can be fed owned runs
+  /// alone.
+  bool accessAnalysisIsShardLocal() const override { return Plan != nullptr; }
 
-  void threadBegin(ThreadId Tid) override { Sync.ensureThread(Tid); }
+  /// Attaches a precomputed decision plan (null detaches). The plan must
+  /// outlive the detector and must have been computed over the exact
+  /// trace this detector replays (same seed and config).
+  void setSamplerPlan(const LiteRaceSamplerPlan *P) { Plan = P; }
+
+  /// Computes the full sampler decision stream for \p T in one pass:
+  /// exactly the decisions a planless detector constructed with \p Seed
+  /// and \p Config would make while replaying \p T.
+  static LiteRaceSamplerPlan
+  computeSamplerPlan(TraceSpan T, const std::vector<MethodId> &SiteToMethod,
+                     uint64_t Seed, LiteRaceConfig Config = {});
+
+  void threadBegin(ThreadId Tid) override {
+    Arena::Scope MetadataScope(&Metadata);
+    Sync.ensureThread(Tid);
+  }
 
   size_t liveMetadataBytes() const override;
   size_t accessMetadataBytes() const override;
@@ -125,10 +173,12 @@ public:
   static double effectiveRateFromStats(const DetectorStats &Stats);
 
 private:
-  /// Bursty sampler state for one (method, thread) pair.
+  /// Bursty sampler state for one (method, thread) pair. Value-initialized
+  /// by the flat table; Initialized distinguishes a fresh slot.
   struct Sampler {
-    double Rate;
-    uint32_t BurstRemaining;
+    double Rate = 0.0;
+    uint32_t BurstRemaining = 0;
+    bool Initialized = false;
     uint64_t SkipRemaining = 0;
   };
 
@@ -138,13 +188,25 @@ private:
     SiteId WSite = InvalidId;
   };
 
+  /// The shared sampler-advance step: returns true if the access is
+  /// analysed, updating burst/skip state and drawing from \p Random on
+  /// burst completion. Used identically by live detectors and
+  /// computeSamplerPlan so their decision streams cannot diverge.
+  static bool advanceSampler(Sampler &State, Rng &Random,
+                             const LiteRaceConfig &Config);
+
   /// Returns true if this access should be analysed, advancing the
   /// sampler's burst/skip state.
   bool shouldSample(ThreadId Tid, SiteId Site);
 
-  MethodId methodOf(SiteId Site) const {
+  static MethodId methodFor(SiteId Site,
+                            const std::vector<MethodId> &SiteToMethod) {
     return Site < SiteToMethod.size() ? SiteToMethod[Site]
                                       : SiteToMethod.size() + Site;
+  }
+
+  MethodId methodOf(SiteId Site) const {
+    return methodFor(Site, SiteToMethod);
   }
 
   VarState &ensureVar(VarId Var) {
@@ -156,12 +218,20 @@ private:
   void analyzeRead(ThreadId Tid, VarId Var, SiteId Site);
   void analyzeWrite(ThreadId Tid, VarId Var, SiteId Site);
 
+  /// Backs the per-variable table, the sampler table, and their blocks.
+  /// MUST stay the first data member: the later members free their blocks
+  /// back into this arena while being destroyed.
+  Arena Metadata;
+
   LiteRaceConfig Config;
   std::vector<MethodId> SiteToMethod;
   Rng Random;
   SyncState Sync;
-  std::vector<VarState> Vars;
-  std::unordered_map<uint64_t, Sampler> Samplers;
+  std::vector<VarState, ArenaAllocator<VarState>> Vars;
+  /// (method << 32 | thread) -> sampler, in the flat open-addressing
+  /// table (one probe on the per-access hot path, arena-backed growth).
+  FlatVarTable<Sampler, uint64_t> Samplers;
+  const LiteRaceSamplerPlan *Plan = nullptr;
 };
 
 } // namespace pacer

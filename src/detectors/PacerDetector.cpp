@@ -63,6 +63,7 @@ ThreadId PacerDetector::slotOf(ThreadId External) {
 }
 
 size_t PacerDetector::recycleDeadThreads() {
+  Arena::Scope MetadataScope(&Metadata);
   if (!Config.UseAccordionClocks)
     return 0;
   size_t Recycled = 0;
@@ -248,6 +249,7 @@ void PacerDetector::joinIntoVolatile(SyncObjState &Vol, ThreadId Tid) {
 }
 
 void PacerDetector::fork(ThreadId Parent, ThreadId Child) {
+  Arena::Scope MetadataScope(&Metadata);
   ++Stats.SyncOps;
   Parent = slotOf(Parent);
   Child = slotOf(Child);
@@ -263,6 +265,7 @@ void PacerDetector::fork(ThreadId Parent, ThreadId Child) {
 }
 
 void PacerDetector::join(ThreadId Parent, ThreadId Child) {
+  Arena::Scope MetadataScope(&Metadata);
   ++Stats.SyncOps;
   Parent = slotOf(Parent);
   Child = slotOf(Child);
@@ -284,6 +287,7 @@ void PacerDetector::join(ThreadId Parent, ThreadId Child) {
 }
 
 void PacerDetector::acquire(ThreadId Tid, LockId Lock) {
+  Arena::Scope MetadataScope(&Metadata);
   ++Stats.SyncOps;
   Tid = slotOf(Tid);
   SyncObjState &LockState = ensureLock(Lock);
@@ -292,6 +296,7 @@ void PacerDetector::acquire(ThreadId Tid, LockId Lock) {
 }
 
 void PacerDetector::release(ThreadId Tid, LockId Lock) {
+  Arena::Scope MetadataScope(&Metadata);
   ++Stats.SyncOps;
   Tid = slotOf(Tid);
   // Table 6 Rule 2: L_m <- copy(C_t); C_t <- inc_t(C_t, s).
@@ -300,6 +305,7 @@ void PacerDetector::release(ThreadId Tid, LockId Lock) {
 }
 
 void PacerDetector::volatileRead(ThreadId Tid, VolatileId Vol) {
+  Arena::Scope MetadataScope(&Metadata);
   ++Stats.SyncOps;
   Tid = slotOf(Tid);
   SyncObjState &VolState = ensureVolatile(Vol);
@@ -308,6 +314,7 @@ void PacerDetector::volatileRead(ThreadId Tid, VolatileId Vol) {
 }
 
 void PacerDetector::volatileWrite(ThreadId Tid, VolatileId Vol) {
+  Arena::Scope MetadataScope(&Metadata);
   ++Stats.SyncOps;
   Tid = slotOf(Tid);
   // Table 6 Rule 6: V_vx <- V_vx join C_t; C_t <- inc_t(C_t, s).
@@ -316,6 +323,7 @@ void PacerDetector::volatileWrite(ThreadId Tid, VolatileId Vol) {
 }
 
 void PacerDetector::beginSamplingPeriod() {
+  Arena::Scope MetadataScope(&Metadata);
   assert(!Sampling && "nested sampling period");
   // Period boundaries are the paper's GC moments: the natural point to
   // recycle retired thread slots.
@@ -367,6 +375,7 @@ void PacerDetector::reportPriorReadRaces(const VarState &State,
 }
 
 void PacerDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
+  Arena::Scope MetadataScope(&Metadata);
   if (!Config.InstrumentReadsWrites)
     return;
   Tid = slotOf(Tid);
@@ -451,6 +460,7 @@ void PacerDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
 }
 
 void PacerDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
+  Arena::Scope MetadataScope(&Metadata);
   if (!Config.InstrumentReadsWrites)
     return;
   Tid = slotOf(Tid);
@@ -498,10 +508,14 @@ void PacerDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
   Vars.erase(Var);
 }
 
-void PacerDetector::threadBegin(ThreadId Tid) { ensureThread(slotOf(Tid)); }
+void PacerDetector::threadBegin(ThreadId Tid) {
+  Arena::Scope MetadataScope(&Metadata);
+  ensureThread(slotOf(Tid));
+}
 
 void PacerDetector::accessBatch(std::span<const Action> Batch,
                                 const AccessShard &Shard) {
+  Arena::Scope MetadataScope(&Metadata);
   if (!Config.InstrumentReadsWrites)
     return;
   // Bulk fast path: every access in the epoch is the inlined

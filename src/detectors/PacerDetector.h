@@ -40,6 +40,7 @@
 #include "core/SyncClock.h"
 #include "core/VersionEpoch.h"
 #include "detectors/Detector.h"
+#include "support/Arena.h"
 
 #include <vector>
 
@@ -236,6 +237,12 @@ private:
                             AccessKind Kind, SiteId Site);
   void reportPriorReadRaces(const VarState &State, const VectorClock &Clock,
                             VarId Var, ThreadId Tid, SiteId Site);
+
+  /// Backs every access-path block this detector owns (spilled clocks,
+  /// read-map entries, flat-table slots). MUST stay the first data member:
+  /// members are destroyed in reverse declaration order, and the others
+  /// free their blocks back into this arena while being destroyed.
+  Arena Metadata;
 
   PacerConfig Config;
   bool Sampling = false;

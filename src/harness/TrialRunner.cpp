@@ -11,6 +11,7 @@
 #include "support/Error.h"
 
 #include <chrono>
+#include <optional>
 
 using namespace pacer;
 
@@ -130,8 +131,23 @@ TrialResult pacer::runTrialOnTrace(TraceSpan T,
       Config.Sampling.TargetRate = Setup.SamplingRate;
       Config.ControllerSeed = TrialSeed ^ 0x47432121u /*"GC!!"*/;
     }
+    // LiteRace's bursty samplers are code-indexed, so a replica would
+    // otherwise need the full access stream just to keep its sampling
+    // decisions replica-identical. Precompute the decision stream once
+    // (it is a pure function of the filtered trace, the seed and the
+    // config) and share it read-only: every replica becomes shard-local
+    // and the index can feed it owned-access runs only.
+    std::optional<LiteRaceSamplerPlan> LiteRacePlan;
+    if (Setup.Kind == DetectorKind::LiteRace)
+      LiteRacePlan = LiteRaceDetector::computeSamplerPlan(
+          Replay, Workload.siteToMethod(), TrialSeed ^ 0x4c495445u /*"LITE"*/,
+          Setup.LiteRace);
     DetectorFactory Factory = [&](RaceSink &Sink) {
-      return makeDetector(Setup, Sink, Workload, TrialSeed);
+      std::unique_ptr<Detector> D =
+          makeDetector(Setup, Sink, Workload, TrialSeed);
+      if (LiteRacePlan)
+        static_cast<LiteRaceDetector &>(*D).setSamplerPlan(&*LiteRacePlan);
+      return D;
     };
     auto Start = std::chrono::steady_clock::now();
     ShardedReplayResult Sharded = shardedReplay(Replay, Factory, Config);

@@ -5,12 +5,53 @@
 #include <algorithm>
 #include <cstdlib>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 using namespace pacer;
+
+namespace {
+/// -1 = no programmatic override (consult the environment).
+int PinOverride = -1;
+} // namespace
+
+bool pacer::threadPinningEnabled() {
+  if (PinOverride >= 0)
+    return PinOverride != 0;
+  const char *Env = std::getenv("PACER_PIN_THREADS");
+  return Env && *Env && !(Env[0] == '0' && Env[1] == '\0');
+}
+
+void pacer::setThreadPinning(bool Enabled) { PinOverride = Enabled ? 1 : 0; }
+
+void pacer::pinCurrentThread(unsigned Index) {
+  if (!threadPinningEnabled())
+    return;
+#if defined(__linux__)
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  CPU_SET(Index % hardwareJobs(), &Set);
+  // Best-effort: an EINVAL from a restricted cpuset just leaves the
+  // thread unpinned, exactly as if the platform had no affinity API.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set);
+#else
+  (void)Index;
+#endif
+}
 
 ThreadPool::ThreadPool(unsigned WorkerCount) {
   Workers.reserve(WorkerCount);
+  const bool Pin = threadPinningEnabled();
   for (unsigned I = 0; I < WorkerCount; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I, Pin] {
+      // Worker I takes CPU I+1, leaving CPU 0 for the controlling thread,
+      // which works the same cursor (see run()).
+      if (Pin)
+        pinCurrentThread(I + 1);
+      workerLoop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

@@ -75,7 +75,10 @@ OptionRegistry buildRegistry() {
       .addInt("jobs", 1, "analyse this many trace files concurrently")
       .addString("shards", "",
                  "variable shards per trace replay: a count or 'auto' "
-                 "(empty = auto for multi-file batches, 1 otherwise)");
+                 "(empty = auto for multi-file batches, 1 otherwise)")
+      .addFlag("pin-threads",
+               "pin pool workers to CPUs (also PACER_PIN_THREADS=1); "
+               "best-effort, no-op where unsupported");
   return R;
 }
 
@@ -484,6 +487,11 @@ int main(int Argc, char **Argv) {
   const unsigned Shards = ShardsText.empty()
                               ? (Files.size() > 1 ? 0u : 1u)
                               : parseShardCount(ShardsText);
+  if (R.getBool("pin-threads"))
+    setThreadPinning(true);
+  if (threadPinningEnabled())
+    std::fprintf(stderr, "[pin] worker CPU affinity on (%u cpus)\n",
+                 hardwareJobs());
 
   // Analyse the files concurrently, but print outcomes in argument order
   // so batch output is stable for any --jobs value.
