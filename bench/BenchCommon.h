@@ -72,7 +72,8 @@ inline OptionRegistry benchOptionRegistry(const std::string &Usage,
                                           double DefaultScale) {
   OptionRegistry R(Usage);
   R.addString("workload", "",
-              "one of eclipse|hsqldb|xalan|pseudojbb; empty = all")
+              "one of eclipse|hsqldb|xalan|pseudojbb|forkjoin; empty = "
+              "the four paper workloads")
       .addDouble("scale", DefaultScale,
                  "multiply per-worker operation counts")
       .addInt("trials", -1, "override the per-point trial count; -1 = "
@@ -111,10 +112,14 @@ inline BenchOptions benchOptionsFrom(const OptionRegistry &R) {
   for (WorkloadSpec &Spec : All)
     if (Name.empty() || Spec.Name == Name)
       Options.Workloads.push_back(scaleWorkload(Spec, Options.Scale));
+  // The fork/join stress family is opt-in by name: it is not a paper
+  // benchmark, so the empty default sweeps only the paper four.
+  if (Options.Workloads.empty() && Name == "forkjoin")
+    Options.Workloads.push_back(scaleWorkload(forkJoinModel(), Options.Scale));
   if (Options.Workloads.empty()) {
     std::fprintf(stderr,
-                 "unknown --workload=%s (want eclipse, hsqldb, xalan, or "
-                 "pseudojbb)\n",
+                 "unknown --workload=%s (want eclipse, hsqldb, xalan, "
+                 "pseudojbb, or forkjoin)\n",
                  Name.c_str());
     std::exit(1);
   }

@@ -2,11 +2,25 @@
 //
 // Extension study: accordion clocks (the paper's Section 5.1: "A
 // production implementation could use accordion clocks to reuse thread
-// identifiers soundly"). On the hsqldb model -- 403 threads started, at
-// most 102 live -- plain PACER's vector clocks grow with the total thread
-// count, while accordion PACER recycles joined threads' slots once every
-// live thread dominates them, bounding clocks by the live count. The
-// races reported are identical.
+// identifiers soundly"). Thread-slot recycling now lives in the core
+// (core/SlotRecycler.h) and is available to every detector: a joined or
+// exited thread's slot is reclaimed once every live thread's clock
+// dominates its final epoch, and the survivors are periodically compacted
+// to a dense prefix. Clocks and per-variable metadata then track the live
+// thread count instead of the total started, while the races reported are
+// byte-identical with recycling on or off -- both claims measured here.
+//
+// Two sections:
+//  * the paper workloads (total threads >> max live on hsqldb): end/peak
+//    slot counts, peak live metadata, per-event time, and the
+//    report-identity check, per detector;
+//  * the fork/join task-graph spawn-scaling study: with live threads held
+//    constant, growing total spawned tasks 100x must keep ns/event and
+//    peak live metadata within 1.5x for every detector with recycling on,
+//    against unbounded slot growth with it off.
+//
+// --json additionally writes every row to BENCH_accordion.json for
+// cross-commit diffing (archived by release CI).
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,79 +32,235 @@
 #include "sim/TraceGenerator.h"
 #include "support/Timer.h"
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 using namespace pacer;
 using namespace pacer::bench;
 
 namespace {
 
+/// Everything one (detector, recycling) replay produces.
 struct AccordionResult {
-  size_t Slots = 0;
-  size_t MetadataKB = 0;
+  size_t EndSlots = 0;
+  size_t PeakSlots = 0;
+  size_t PeakLiveKB = 0; ///< Max liveMetadataBytes over the replay.
   uint64_t DistinctRaces = 0;
-  double Seconds = 0.0;
+  uint64_t DynamicRaces = 0;
+  double NsPerEvent = 0.0;
+  std::string RaceSig; ///< Canonical race log for identity checks.
 };
 
+/// Canonical serialization of a race log: sorted distinct keys with
+/// dynamic counts. Byte-equal signatures mean identical reports.
+std::string raceSignature(const RaceLog &Log) {
+  std::vector<RaceKey> Keys = Log.distinctKeys();
+  std::string Sig;
+  for (RaceKey Key : Keys) {
+    Sig += std::to_string(Key.FirstSite);
+    Sig += ':';
+    Sig += std::to_string(Key.SecondSite);
+    Sig += 'x';
+    Sig += std::to_string(Log.dynamicCount(Key));
+    Sig += ';';
+  }
+  return Sig;
+}
+
 AccordionResult runOne(const CompiledWorkload &Workload, const Trace &T,
-                       bool Accordion, uint64_t RecycleEvery) {
-  PacerConfig Config;
-  Config.UseAccordionClocks = Accordion;
+                       DetectorKind Kind, bool Accordion, uint64_t Seed) {
+  DetectorSetup Setup;
+  Setup.Kind = Kind;
+  Setup.AccordionClocks = Accordion;
   RaceLog Log;
-  PacerDetector D(Log, Config);
-  D.beginSamplingPeriod(); // Full tracking stresses clocks the most.
-  Runtime RT(D);
+  std::unique_ptr<Detector> D = makeDetector(Setup, Log, Workload, Seed);
+  if (Kind == DetectorKind::Pacer)
+    D->beginSamplingPeriod(); // Full tracking stresses clocks the most.
+
+  // Sample live metadata during the replay: with recycling on, the final
+  // join sweeps reclaim everything, so only a mid-replay high-water mark
+  // shows the working-set difference. The interval is a fixed fraction of
+  // the trace so short and long runs measure comparable high-water marks
+  // (a fixed count would never fire on a small baseline trace, turning
+  // its "peak" into the post-final-join end state).
+  const uint64_t SampleEvery = std::max<uint64_t>(64, T.size() / 256);
+  Runtime RT(*D);
+  RT.start();
   Timer Clock;
-  size_t Events = 0;
+  size_t PeakLiveBytes = 0;
+  uint64_t Events = 0;
   for (const Action &A : T) {
     RT.dispatch(A);
-    if (Accordion && ++Events % RecycleEvery == 0)
-      D.recycleDeadThreads();
+    if (++Events % SampleEvery == 0)
+      PeakLiveBytes = std::max(PeakLiveBytes, D->liveMetadataBytes());
   }
+  double Seconds = Clock.seconds();
+  PeakLiveBytes = std::max(PeakLiveBytes, D->liveMetadataBytes());
+
   AccordionResult Result;
-  Result.Slots = D.threadCountForTest();
-  Result.MetadataKB = D.liveMetadataBytes() / 1024;
+  Result.EndSlots = D->slotCount();
+  Result.PeakSlots = D->peakSlotCount();
+  Result.PeakLiveKB = PeakLiveBytes / 1024;
   Result.DistinctRaces = Log.distinctCount();
-  Result.Seconds = Clock.seconds();
+  Result.DynamicRaces = Log.dynamicCount();
+  Result.NsPerEvent =
+      T.empty() ? 0.0 : Seconds * 1e9 / static_cast<double>(T.size());
+  Result.RaceSig = raceSignature(Log);
   return Result;
 }
+
+constexpr DetectorKind Kinds[] = {DetectorKind::Generic,
+                                  DetectorKind::FastTrack,
+                                  DetectorKind::Pacer, DetectorKind::LiteRace};
+
+/// One JSON row; Section is "paper" or "scaling".
+struct JsonRow {
+  std::string Section;
+  std::string Workload;
+  uint32_t Tasks = 0; ///< Scaling rows only.
+  std::string Detector;
+  bool Recycling = false;
+  AccordionResult R;
+};
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   OptionRegistry R = benchOptionRegistry("ext_accordion_clocks [options]",
                                          /*DefaultScale=*/0.5);
-  R.addInt("recycle-every", 5000,
-           "events between dead-slot recycling sweeps");
+  R.addFlag("json", "also write BENCH_accordion.json")
+      .addString("json-out", "BENCH_accordion.json", "JSON output path")
+      .addInt("scaling-tasks", 4000,
+              "large spawn count for the fork/join scaling study (the "
+              "small baseline is 1/100 of it)");
   BenchOptions Options = parseBenchOptionsFrom(R, Argc, Argv);
-  printBanner("Extension: accordion clocks (thread-slot recycling)",
+  printBanner("Extension: accordion clocks (thread-slot recycling + "
+              "compaction, all detectors)",
               "Clock slots track live threads instead of total threads; "
-              "reported races are unchanged.");
+              "reported races are byte-identical with recycling on/off.");
 
-  auto RecycleEvery = static_cast<uint64_t>(R.getInt("recycle-every"));
+  std::vector<JsonRow> Json;
+  bool ReportsIdentical = true;
 
   TextTable Table;
-  Table.setHeader({"Program", "threads", "slots plain", "slots accordion",
-                   "KB plain", "KB accordion", "races plain",
-                   "races accordion", "time ratio"});
+  Table.setHeader({"Program", "detector", "threads", "slots off/on",
+                   "peak on", "peak KB off/on", "ns/ev off/on", "races",
+                   "reports"});
   for (const WorkloadSpec &Spec : Options.Workloads) {
     CompiledWorkload Workload(Spec);
     Trace T = generateTrace(Workload, Options.Seed);
-    AccordionResult Plain = runOne(Workload, T, false, RecycleEvery);
-    AccordionResult Accordion = runOne(Workload, T, true, RecycleEvery);
-    Table.addRow({Spec.Name, std::to_string(Workload.totalThreads()),
-                  std::to_string(Plain.Slots),
-                  std::to_string(Accordion.Slots),
-                  std::to_string(Plain.MetadataKB),
-                  std::to_string(Accordion.MetadataKB),
-                  std::to_string(Plain.DistinctRaces),
-                  std::to_string(Accordion.DistinctRaces),
-                  formatDouble(Plain.Seconds > 0
-                                   ? Accordion.Seconds / Plain.Seconds
-                                   : 1.0,
-                               2)});
+    for (DetectorKind Kind : Kinds) {
+      AccordionResult Off = runOne(Workload, T, Kind, false, Options.Seed);
+      AccordionResult On = runOne(Workload, T, Kind, true, Options.Seed);
+      bool Same = Off.RaceSig == On.RaceSig;
+      ReportsIdentical = ReportsIdentical && Same;
+      Table.addRow(
+          {Spec.Name, detectorKindName(Kind),
+           std::to_string(Workload.totalThreads()),
+           std::to_string(Off.EndSlots) + "/" + std::to_string(On.EndSlots),
+           std::to_string(On.PeakSlots),
+           std::to_string(Off.PeakLiveKB) + "/" +
+               std::to_string(On.PeakLiveKB),
+           formatDouble(Off.NsPerEvent, 0) + "/" +
+               formatDouble(On.NsPerEvent, 0),
+           std::to_string(On.DistinctRaces), Same ? "identical" : "DIFFER"});
+      Json.push_back({"paper", Spec.Name, 0, detectorKindName(Kind), false,
+                      Off});
+      Json.push_back({"paper", Spec.Name, 0, detectorKindName(Kind), true,
+                      On});
+    }
   }
-  std::printf("%s\n(one fully sampled trial per workload; recycling every "
-              "%llu events)\n",
-              Table.render().c_str(),
-              static_cast<unsigned long long>(RecycleEvery));
-  return 0;
+  std::printf("%s\n(one fully sampled trial per workload; recycling sweeps "
+              "run automatically after joins and thread exits)\n\n",
+              Table.render().c_str());
+
+  // Spawn-scaling study: same live-thread cap, 100x the spawned tasks.
+  auto BigTasks = static_cast<uint32_t>(R.getInt("scaling-tasks"));
+  uint32_t SmallTasks = std::max<uint32_t>(1, BigTasks / 100);
+  TextTable Scaling;
+  Scaling.setHeader({"detector", "tasks", "recycling", "peak slots",
+                     "peak KB", "ns/ev", "KB ratio", "ns ratio"});
+  std::printf("fork/join spawn scaling (live cap fixed, %u -> %u tasks):\n",
+              SmallTasks, BigTasks);
+  for (DetectorKind Kind : Kinds) {
+    AccordionResult Small, Big, BigOff;
+    for (bool BigRun : {false, true}) {
+      WorkloadSpec Spec = scaleWorkload(
+          forkJoinModelWithTasks(BigRun ? BigTasks : SmallTasks),
+          Options.Scale);
+      CompiledWorkload Workload(Spec);
+      Trace T = generateTrace(Workload, Options.Seed);
+      AccordionResult On = runOne(Workload, T, Kind, true, Options.Seed);
+      AccordionResult Off = runOne(Workload, T, Kind, false, Options.Seed);
+      ReportsIdentical = ReportsIdentical && On.RaceSig == Off.RaceSig;
+      uint32_t Tasks = Workload.spec().WorkerThreads;
+      Json.push_back({"scaling", Spec.Name, Tasks, detectorKindName(Kind),
+                      true, On});
+      Json.push_back({"scaling", Spec.Name, Tasks, detectorKindName(Kind),
+                      false, Off});
+      if (BigRun) {
+        Big = On;
+        BigOff = Off;
+      } else {
+        Small = On;
+      }
+    }
+    auto Ratio = [](double A, double B) { return B > 0.0 ? A / B : 0.0; };
+    auto AddRow = [&](uint32_t Tasks, const char *Recycling,
+                      const AccordionResult &Res, double KBRatio,
+                      double NsRatio) {
+      Scaling.addRow({detectorKindName(Kind), std::to_string(Tasks),
+                      Recycling, std::to_string(Res.PeakSlots),
+                      std::to_string(Res.PeakLiveKB),
+                      formatDouble(Res.NsPerEvent, 0),
+                      KBRatio > 0.0 ? formatDouble(KBRatio, 2) : "-",
+                      NsRatio > 0.0 ? formatDouble(NsRatio, 2) : "-"});
+    };
+    AddRow(SmallTasks, "on", Small, 0.0, 0.0);
+    AddRow(BigTasks, "on", Big,
+           Ratio(static_cast<double>(Big.PeakLiveKB),
+                 static_cast<double>(Small.PeakLiveKB)),
+           Ratio(Big.NsPerEvent, Small.NsPerEvent));
+    AddRow(BigTasks, "off", BigOff, 0.0, 0.0);
+  }
+  std::printf("%s\n(ratio columns compare the large spawn count against "
+              "the small one, recycling on: bounded-metadata claim holds "
+              "when both stay near 1)\n",
+              Scaling.render().c_str());
+  if (!ReportsIdentical)
+    std::printf("\nWARNING: some detector reported different races with "
+                "recycling on vs off\n");
+
+  if (R.getBool("json")) {
+    std::string OutPath = R.getString("json-out");
+    std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", OutPath.c_str());
+      return 1;
+    }
+    std::fprintf(Out, "{\n  \"reports_identical\": %s,\n  \"rows\": [\n",
+                 ReportsIdentical ? "true" : "false");
+    for (size_t I = 0; I != Json.size(); ++I) {
+      const JsonRow &Row = Json[I];
+      std::fprintf(
+          Out,
+          "    {\"section\": \"%s\", \"workload\": \"%s\", \"tasks\": %u, "
+          "\"detector\": \"%s\", \"recycling\": %s, \"end_slots\": %zu, "
+          "\"peak_slots\": %zu, \"peak_live_kb\": %zu, "
+          "\"ns_per_event\": %.1f, \"distinct_races\": %llu, "
+          "\"dynamic_races\": %llu}%s\n",
+          Row.Section.c_str(), Row.Workload.c_str(), Row.Tasks,
+          Row.Detector.c_str(), Row.Recycling ? "true" : "false",
+          Row.R.EndSlots, Row.R.PeakSlots, Row.R.PeakLiveKB,
+          Row.R.NsPerEvent,
+          static_cast<unsigned long long>(Row.R.DistinctRaces),
+          static_cast<unsigned long long>(Row.R.DynamicRaces),
+          I + 1 == Json.size() ? "" : ",");
+    }
+    std::fprintf(Out, "  ]\n}\n");
+    std::fclose(Out);
+    std::printf("wrote %s\n", OutPath.c_str());
+  }
+  return ReportsIdentical ? 0 : 1;
 }

@@ -91,6 +91,20 @@ PACER_NOVEC_FN void naiveCopy(uint32_t *Dst, const uint32_t *Src, size_t N) {
     Dst[I] = Src[I];
 }
 
+PACER_NOVEC_FN void naiveRemapGather(uint32_t *Dst, const uint32_t *Src,
+                                     const uint32_t *Idx, size_t N) {
+  PACER_NOVEC_LOOP
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = Src[Idx[I]];
+}
+
+PACER_NOVEC_FN size_t naiveTrimTrailingZeros(const uint32_t *A, size_t N) {
+  PACER_NOVEC_LOOP
+  while (N > 0 && A[N - 1] == 0)
+    --N;
+  return N;
+}
+
 std::vector<uint32_t> kernelWords(size_t N, uint32_t Base) {
   std::vector<uint32_t> Out(N);
   for (size_t I = 0; I < N; ++I)
@@ -149,6 +163,64 @@ void BM_KernelCopyScalar(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_KernelCopyScalar)->Arg(2)->Arg(8)->Arg(64)->Arg(512);
+
+/// The half-density accordion pack: every second slot survives, so the
+/// remap gathers N/2 of N components (NewToOld[i] = 2i).
+std::vector<uint32_t> halfDensityIndex(size_t Width) {
+  std::vector<uint32_t> Idx(Width / 2);
+  for (size_t I = 0; I < Idx.size(); ++I)
+    Idx[I] = static_cast<uint32_t>(2 * I);
+  return Idx;
+}
+
+/// Trim input: a live prefix of Width/2 nonzero components followed by
+/// Width/2 explicit zeros (what a compaction just vacated).
+std::vector<uint32_t> halfTrimmedWords(size_t Width) {
+  std::vector<uint32_t> Words = kernelWords(Width, 1);
+  for (size_t I = Width / 2; I < Width; ++I)
+    Words[I] = 0;
+  return Words;
+}
+
+void BM_KernelRemapSimd(benchmark::State &State) {
+  auto Width = static_cast<size_t>(State.range(0));
+  std::vector<uint32_t> Src = kernelWords(Width, 3), Dst(Width / 2);
+  std::vector<uint32_t> Idx = halfDensityIndex(Width);
+  for (auto _ : State) {
+    kernels::remapGather(Dst.data(), Src.data(), Idx.data(), Idx.size());
+    benchmark::DoNotOptimize(Dst.data());
+  }
+}
+BENCHMARK(BM_KernelRemapSimd)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_KernelRemapScalar(benchmark::State &State) {
+  auto Width = static_cast<size_t>(State.range(0));
+  std::vector<uint32_t> Src = kernelWords(Width, 3), Dst(Width / 2);
+  std::vector<uint32_t> Idx = halfDensityIndex(Width);
+  for (auto _ : State) {
+    naiveRemapGather(Dst.data(), Src.data(), Idx.data(), Idx.size());
+    benchmark::DoNotOptimize(Dst.data());
+  }
+}
+BENCHMARK(BM_KernelRemapScalar)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_KernelTrimSimd(benchmark::State &State) {
+  auto Width = static_cast<size_t>(State.range(0));
+  std::vector<uint32_t> Words = halfTrimmedWords(Width);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        kernels::trimTrailingZeros(Words.data(), Width));
+}
+BENCHMARK(BM_KernelTrimSimd)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_KernelTrimScalar(benchmark::State &State) {
+  auto Width = static_cast<size_t>(State.range(0));
+  std::vector<uint32_t> Words = halfTrimmedWords(Width);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        naiveTrimTrailingZeros(Words.data(), Width));
+}
+BENCHMARK(BM_KernelTrimScalar)->Arg(64)->Arg(512)->Arg(4096);
 
 VectorClock makeClock(size_t Threads, uint32_t Base) {
   VectorClock Clock;
@@ -370,6 +442,46 @@ std::vector<KernelRow> measureKernels(uint32_t Reps) {
         },
         Width, Reps);
     Rows.push_back(Copy);
+  }
+
+  // Accordion-compaction kernels at compaction-relevant widths: the
+  // half-density pack (every second slot survives) and the trailing-zero
+  // trim over the vacated upper half.
+  for (size_t Width : {size_t{64}, size_t{512}, size_t{4096}}) {
+    std::vector<uint32_t> Src = kernelWords(Width, 3);
+    std::vector<uint32_t> Dst(Width / 2);
+    std::vector<uint32_t> Idx = halfDensityIndex(Width);
+    KernelRow Remap{"remap", Width, 0.0, 0.0};
+    Remap.SimdNs = timeKernelNs(
+        [&] {
+          kernels::remapGather(Dst.data(), Src.data(), Idx.data(),
+                               Idx.size());
+          benchmark::DoNotOptimize(Dst.data());
+        },
+        Width, Reps);
+    Remap.ScalarNs = timeKernelNs(
+        [&] {
+          naiveRemapGather(Dst.data(), Src.data(), Idx.data(), Idx.size());
+          benchmark::DoNotOptimize(Dst.data());
+        },
+        Width, Reps);
+    Rows.push_back(Remap);
+
+    std::vector<uint32_t> Trimmed = halfTrimmedWords(Width);
+    KernelRow Trim{"trim", Width, 0.0, 0.0};
+    Trim.SimdNs = timeKernelNs(
+        [&] {
+          benchmark::DoNotOptimize(
+              kernels::trimTrailingZeros(Trimmed.data(), Width));
+        },
+        Width, Reps);
+    Trim.ScalarNs = timeKernelNs(
+        [&] {
+          benchmark::DoNotOptimize(
+              naiveTrimTrailingZeros(Trimmed.data(), Width));
+        },
+        Width, Reps);
+    Rows.push_back(Trim);
   }
   return Rows;
 }

@@ -54,6 +54,18 @@ bool scalarAllZero(const uint32_t *A, size_t N) {
   return true;
 }
 
+size_t scalarTrimTrailingZeros(const uint32_t *A, size_t N) {
+  while (N != 0 && A[N - 1] == 0)
+    --N;
+  return N;
+}
+
+void scalarRemapGather(uint32_t *Dst, const uint32_t *Src,
+                       const uint32_t *Idx, size_t N) {
+  for (size_t I = 0; I != N; ++I)
+    Dst[I] = Src[Idx[I]];
+}
+
 #if defined(PACER_KERNELS_AVX2)
 
 const char *activeIsa() { return ForceScalar ? "scalar" : "avx2"; }
@@ -101,6 +113,38 @@ bool allZero(const uint32_t *A, size_t N) {
   if (!_mm256_testz_si256(Acc, Acc))
     return false;
   return scalarAllZero(A + I, N - I);
+}
+
+size_t trimTrailingZeros(const uint32_t *A, size_t N) {
+  if (ForceScalar)
+    return scalarTrimTrailingZeros(A, N);
+  // Scan backwards a vector at a time; the first non-zero block hands off
+  // to the scalar scan for the exact boundary.
+  while (N >= 8) {
+    __m256i V =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + N - 8));
+    if (!_mm256_testz_si256(V, V))
+      break;
+    N -= 8;
+  }
+  return scalarTrimTrailingZeros(A, N);
+}
+
+void remapGather(uint32_t *Dst, const uint32_t *Src, const uint32_t *Idx,
+                 size_t N) {
+  if (ForceScalar)
+    return scalarRemapGather(Dst, Src, Idx, N);
+  size_t I = 0;
+  // In-place packs are safe: Idx ascends with Idx[i] >= i, so each 8-lane
+  // gather reads components at or beyond the store cursor.
+  for (; I + 8 <= N; I += 8) {
+    __m256i Vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Idx + I));
+    __m256i Vg = _mm256_i32gather_epi32(reinterpret_cast<const int *>(Src),
+                                        Vi, /*Scale=*/4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Dst + I), Vg);
+  }
+  scalarRemapGather(Dst + I, Src, Idx + I, N - I);
 }
 
 #elif defined(PACER_KERNELS_SSE2)
@@ -161,6 +205,24 @@ bool allZero(const uint32_t *A, size_t N) {
   return scalarAllZero(A + I, N - I);
 }
 
+size_t trimTrailingZeros(const uint32_t *A, size_t N) {
+  if (ForceScalar)
+    return scalarTrimTrailingZeros(A, N);
+  while (N >= 4) {
+    __m128i V = _mm_loadu_si128(reinterpret_cast<const __m128i *>(A + N - 4));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi32(V, _mm_setzero_si128())) != 0xffff)
+      break;
+    N -= 4;
+  }
+  return scalarTrimTrailingZeros(A, N);
+}
+
+void remapGather(uint32_t *Dst, const uint32_t *Src, const uint32_t *Idx,
+                 size_t N) {
+  // SSE2 has no gather instruction; the scalar loop is the fast path.
+  scalarRemapGather(Dst, Src, Idx, N);
+}
+
 #elif defined(PACER_KERNELS_NEON)
 
 const char *activeIsa() { return ForceScalar ? "scalar" : "neon"; }
@@ -204,6 +266,23 @@ bool allZero(const uint32_t *A, size_t N) {
   return scalarAllZero(A + I, N - I);
 }
 
+size_t trimTrailingZeros(const uint32_t *A, size_t N) {
+  if (ForceScalar)
+    return scalarTrimTrailingZeros(A, N);
+  while (N >= 4) {
+    if (vmaxvq_u32(vld1q_u32(A + N - 4)) != 0)
+      break;
+    N -= 4;
+  }
+  return scalarTrimTrailingZeros(A, N);
+}
+
+void remapGather(uint32_t *Dst, const uint32_t *Src, const uint32_t *Idx,
+                 size_t N) {
+  // NEON has no gather instruction; the scalar loop is the fast path.
+  scalarRemapGather(Dst, Src, Idx, N);
+}
+
 #else // Scalar-only build (PACER_DISABLE_SIMD or unknown ISA).
 
 const char *activeIsa() { return "scalar"; }
@@ -218,16 +297,19 @@ bool allLeq(const uint32_t *A, const uint32_t *B, size_t N) {
 
 bool allZero(const uint32_t *A, size_t N) { return scalarAllZero(A, N); }
 
+size_t trimTrailingZeros(const uint32_t *A, size_t N) {
+  return scalarTrimTrailingZeros(A, N);
+}
+
+void remapGather(uint32_t *Dst, const uint32_t *Src, const uint32_t *Idx,
+                 size_t N) {
+  scalarRemapGather(Dst, Src, Idx, N);
+}
+
 #endif
 
 void copyWords(uint32_t *Dst, const uint32_t *Src, size_t N) {
   std::memcpy(Dst, Src, N * sizeof(uint32_t));
-}
-
-size_t trimTrailingZeros(const uint32_t *A, size_t N) {
-  while (N != 0 && A[N - 1] == 0)
-    --N;
-  return N;
 }
 
 } // namespace pacer::kernels

@@ -19,9 +19,11 @@
 /// the setForceScalarForTest hook verify that in-process.
 ///
 /// Alias rules: joinMax requires A and B to not partially overlap (A == B
-/// is harmless but pointless); copyWords requires disjoint ranges. No
-/// kernel requires alignment -- clocks may live at arbitrary offsets
-/// inside detector metadata (SSO buffers, arena blocks).
+/// is harmless but pointless); copyWords requires disjoint ranges;
+/// remapGather permits Dst == Src only for an ascending in-place pack
+/// (Idx[I] >= I for all I), which is exactly the accordion-compaction
+/// shape. No kernel requires alignment -- clocks may live at arbitrary
+/// offsets inside detector metadata (SSO buffers, arena blocks).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +53,14 @@ void copyWords(uint32_t *Dst, const uint32_t *Src, size_t N);
 /// the stored length of \p A after trimming trailing explicit zeros.
 size_t trimTrailingZeros(const uint32_t *A, size_t N);
 
+/// Gathers Dst[i] = Src[Idx[i]] for i in [0, N): the accordion-compaction
+/// remap that packs live clock components into a dense prefix. Idx must be
+/// strictly ascending when Dst == Src (then Idx[i] >= i, so the in-place
+/// pack never reads a component it already overwrote); disjoint Dst/Src
+/// have no index constraints.
+void remapGather(uint32_t *Dst, const uint32_t *Src, const uint32_t *Idx,
+                 size_t N);
+
 /// Name of the compiled-in kernel ISA ("avx2", "sse2", "neon", "scalar").
 /// Reports "scalar" while setForceScalarForTest(true) is in effect.
 const char *activeIsa();
@@ -65,6 +75,9 @@ void setForceScalarForTest(bool Force);
 bool scalarJoinMax(uint32_t *A, const uint32_t *B, size_t N);
 bool scalarAllLeq(const uint32_t *A, const uint32_t *B, size_t N);
 bool scalarAllZero(const uint32_t *A, size_t N);
+size_t scalarTrimTrailingZeros(const uint32_t *A, size_t N);
+void scalarRemapGather(uint32_t *Dst, const uint32_t *Src,
+                       const uint32_t *Idx, size_t N);
 
 } // namespace pacer::kernels
 

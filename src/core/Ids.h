@@ -23,7 +23,10 @@ namespace pacer {
 
 /// Dense thread identifier; also the index into vector clocks. The paper's
 /// prototype does not reuse thread identifiers, so clocks grow with the
-/// total number of threads ever started; we follow that design.
+/// total number of threads ever started; that remains the default, but
+/// detectors may enable the core SlotRecycler (accordion clocks,
+/// Section 5.1), in which case ThreadId doubles as a recyclable clock
+/// *slot* index and program thread ids are mapped through the recycler.
 using ThreadId = uint32_t;
 
 /// Identifier of a data variable (an object field, static field, or array

@@ -105,6 +105,16 @@ void ReadMap::removeThread(ThreadId Tid) {
   }
 }
 
+void ReadMap::remapThreads(const uint32_t *OldToNew) {
+  if (Entries) {
+    for (uint32_t I = 0; I != Num; ++I)
+      Entries[I].Tid = OldToNew[Entries[I].Tid];
+    return;
+  }
+  if (!E.isNone())
+    E = Epoch::make(E.clockValue(), OldToNew[E.tid()]);
+}
+
 bool ReadMap::leqClock(const VectorClock &C) const {
   if (Entries) {
     for (uint32_t I = 0; I != Num; ++I)

@@ -121,6 +121,12 @@ public:
   /// access of a race.
   void removeThread(ThreadId Tid);
 
+  /// Accordion compaction: rewrites every recorded thread id through
+  /// \p OldToNew (indexed by old slot). Recorded ids always survive
+  /// compaction -- recycled slots were scrubbed with removeThread first --
+  /// so every lookup is in range and maps to a dense slot.
+  void remapThreads(const uint32_t *OldToNew);
+
   /// True iff every recorded read precedes \p C (R <= C). Null is vacuously
   /// true. O(|R|).
   bool leqClock(const VectorClock &C) const;

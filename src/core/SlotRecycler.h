@@ -1,0 +1,281 @@
+//===- core/SlotRecycler.h - Accordion thread-slot recycling ---*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread-slot recycling ("accordion clocks", the production improvement
+/// PACER Section 5.1 cites). Without it, every clock and metadata vector
+/// is indexed by program thread id and grows with the total number of
+/// threads ever started; task-graph workloads that spawn thousands of
+/// short-lived threads blow up join cost and metadata even when only a
+/// handful are ever live.
+///
+/// The recycler maps program thread ids ("externals") to dense clock
+/// *slots*. A slot is retired when its thread exits (or, for hand traces
+/// without exit events, when it is joined) together with a snapshot of the
+/// thread's final clock, and is reclaimed once every live thread's clock
+/// dominates that snapshot:
+///
+///   reclaim(u)  iff  retired(u) <= C_t  for every live t
+///
+/// Soundness: every access of the retired thread happens-before its final
+/// clock, so once every live thread dominates it, none of its accesses can
+/// be the *first* access of a future race; its metadata may be purged and
+/// its slot renamed without changing any race verdict. This is the same
+/// argument as the Accordion Clocks paper (Christiaens & De Bosschere) and
+/// composes with PACER's metadata discarding: recycling deletes what
+/// domination proves redundant, sampling deletes what the period boundary
+/// makes unreportable.
+///
+/// When enough slots are free the recycler *compacts*: live slots are
+/// renumbered onto a dense prefix (an order-preserving pack described by a
+/// SlotRemap) and every clock trims its tail, restoring O(live) rather
+/// than O(peak) component counts. Compaction decisions are pure functions
+/// of the slot occupancy, which is itself a pure function of the trace's
+/// synchronization prefix -- so sharded-replay replicas, both replay
+/// engines, and any shard count make bit-identical recycling and
+/// compaction decisions.
+///
+/// The recycler is detector-agnostic: domination checks and metadata
+/// purges go through callables supplied by the owning detector, keeping
+/// this in the core layer (which cannot see detector types).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_CORE_SLOTRECYCLER_H
+#define PACER_CORE_SLOTRECYCLER_H
+
+#include "core/FlatVarTable.h"
+#include "core/Ids.h"
+#include "core/VectorClock.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pacer {
+
+/// An order-preserving renumbering of slots produced by compaction: new
+/// slot I holds what old slot NewToOld[I] held, and NewToOld ascends.
+/// OldToNew is the inverse, with InvalidId for dropped (free) slots.
+struct SlotRemap {
+  std::vector<uint32_t> NewToOld;
+  std::vector<uint32_t> OldToNew;
+
+  uint32_t newCount() const { return static_cast<uint32_t>(NewToOld.size()); }
+  uint32_t oldCount() const { return static_cast<uint32_t>(OldToNew.size()); }
+};
+
+/// Free-list allocator of clock slots with domination-gated reclamation.
+class SlotRecycler {
+public:
+  enum class SlotLife : uint8_t { Free, Live, Dead };
+
+  /// Disabled by default: detectors that never enable the recycler pay
+  /// nothing and use program thread ids as slots directly.
+  bool enabled() const { return Enabled; }
+  void enable() { Enabled = true; }
+
+  struct Mapping {
+    ThreadId Slot;
+    bool Fresh; ///< True when the slot was just bound to this external.
+  };
+
+  /// Returns the slot bound to \p External, binding a recycled (or brand
+  /// new) slot on first sight. When Fresh, the caller must materialize
+  /// detector state for the slot (the recycler guarantees every clock
+  /// component for it is already zero). Must only be called when enabled.
+  Mapping map(ThreadId External) {
+    if (ThreadId *Slot = ExternalToSlot.find(External))
+      return {*Slot, false};
+    ThreadId Slot;
+    if (!FreeSlots.empty()) {
+      Slot = FreeSlots.back();
+      FreeSlots.pop_back();
+    } else {
+      Slot = static_cast<ThreadId>(Slots.size());
+      Slots.emplace_back();
+    }
+    SlotState &S = Slots[Slot];
+    S.Life = SlotLife::Live;
+    S.External = External;
+    ExternalToSlot.getOrInsert(External) = Slot;
+    if (Slots.size() > Peak)
+      Peak = Slots.size();
+    return {Slot, true};
+  }
+
+  /// The slot currently bound to \p External, or InvalidId if the external
+  /// was never seen or its slot has been recycled.
+  ThreadId lookup(ThreadId External) const {
+    const ThreadId *Slot = ExternalToSlot.find(External);
+    return Slot ? *Slot : InvalidId;
+  }
+
+  /// Program thread id occupying \p Slot (InvalidId for free slots). Race
+  /// reports must name program ids, never slots.
+  ThreadId externalOf(ThreadId Slot) const {
+    return Slot < Slots.size() ? Slots[Slot].External : InvalidId;
+  }
+
+  SlotLife lifeOf(ThreadId Slot) const {
+    return Slot < Slots.size() ? Slots[Slot].Life : SlotLife::Free;
+  }
+  bool isLive(ThreadId Slot) const { return lifeOf(Slot) == SlotLife::Live; }
+
+  /// Marks \p Slot dead with \p FinalClock as its retirement snapshot.
+  /// The snapshot must be taken before any post-retirement bump of the
+  /// thread's clock (e.g. the join rule's child increment): those virtual
+  /// epochs are never published to a live thread, so including them would
+  /// make domination unachievable. No-op for already-dead slots, so
+  /// exit-time and join-time retirement compose. No-op when disabled, so
+  /// callers on the hot join path need no enabled() check of their own.
+  void retire(ThreadId Slot, const VectorClock &FinalClock) {
+    if (!Enabled || Slot >= Slots.size())
+      return;
+    SlotState &S = Slots[Slot];
+    if (S.Life != SlotLife::Live)
+      return;
+    S.Life = SlotLife::Dead;
+    S.Retired.copyFrom(FinalClock);
+    DeadSlots.push_back(Slot);
+  }
+
+  /// Reclaims every dead slot whose retirement snapshot is dominated by
+  /// all live slots' clocks. \p LiveClock maps a live slot to its current
+  /// VectorClock; \p Purge scrubs detector metadata for a reclaimed slot
+  /// (zero its component in every clock, drop its epochs and read-map
+  /// entries) before the recycler unbinds it. Returns the number of slots
+  /// reclaimed. Deterministic: the scan order depends only on the
+  /// retirement sequence.
+  template <typename LiveClockFn, typename PurgeFn>
+  size_t recycle(LiveClockFn LiveClock, PurgeFn Purge) {
+    if (!Enabled || DeadSlots.empty())
+      return 0;
+    size_t Reclaimed = 0;
+    for (size_t I = 0; I < DeadSlots.size();) {
+      const ThreadId Slot = DeadSlots[I];
+      bool Dominated = true;
+      for (ThreadId T = 0; T != Slots.size(); ++T) {
+        if (Slots[T].Life != SlotLife::Live)
+          continue;
+        if (!Slots[Slot].Retired.leq(LiveClock(T))) {
+          Dominated = false;
+          break;
+        }
+      }
+      if (!Dominated) {
+        ++I;
+        continue;
+      }
+      Purge(Slot);
+      ExternalToSlot.erase(Slots[Slot].External);
+      Slots[Slot] = SlotState{};
+      FreeSlots.push_back(Slot);
+      DeadSlots[I] = DeadSlots.back();
+      DeadSlots.pop_back();
+      ++Reclaimed;
+      // Other retirement snapshots may still name the reclaimed slot's
+      // previous occupant. That occupant was dominated by every live
+      // thread when reclaimed, so dropping the component does not weaken
+      // their domination checks -- and keeping it would spuriously compare
+      // against the slot's *next* occupant forever.
+      for (SlotState &S : Slots)
+        if (S.Life == SlotLife::Dead)
+          S.Retired.set(Slot, 0);
+    }
+    return Reclaimed;
+  }
+
+  /// True when compaction would pay off: at least MinCompactSlots slots
+  /// exist and at least half of them are free. A pure function of slot
+  /// occupancy, hence replica-deterministic.
+  bool shouldCompact() const {
+    return Enabled && Slots.size() >= MinCompactSlots &&
+           FreeSlots.size() * 2 >= Slots.size();
+  }
+
+  /// Packs occupied slots onto a dense prefix, renumbers the recycler's
+  /// own state, and returns the remap the detector must apply to every
+  /// clock, epoch, and site vector it owns. Free slots are dropped (the
+  /// free list empties); dead-but-unreclaimed slots survive with new
+  /// numbers.
+  SlotRemap compact() {
+    SlotRemap Remap;
+    Remap.OldToNew.assign(Slots.size(), InvalidId);
+    for (uint32_t Old = 0; Old != Slots.size(); ++Old) {
+      if (Slots[Old].Life == SlotLife::Free)
+        continue;
+      Remap.OldToNew[Old] = static_cast<uint32_t>(Remap.NewToOld.size());
+      Remap.NewToOld.push_back(Old);
+    }
+    for (uint32_t New = 0; New != Remap.newCount(); ++New) {
+      const uint32_t Old = Remap.NewToOld[New];
+      if (Old != New)
+        Slots[New] = std::move(Slots[Old]);
+      Slots[New].Retired.compactSlots(Remap.NewToOld.data(),
+                                      Remap.newCount());
+    }
+    Slots.resize(Remap.newCount());
+    FreeSlots.clear();
+    for (ThreadId &Slot : DeadSlots)
+      Slot = Remap.OldToNew[Slot];
+    ExternalToSlot.eraseIf([&Remap](ThreadId, ThreadId &Slot) {
+      Slot = Remap.OldToNew[Slot];
+      return false;
+    });
+    return Remap;
+  }
+
+  /// Current number of slots (the width metadata vectors are sized to).
+  size_t slotCount() const { return Slots.size(); }
+
+  /// High-water slot count over the run; compaction does not lower it.
+  size_t peakSlotCount() const { return Peak; }
+
+  size_t liveSlotCount() const {
+    size_t Live = 0;
+    for (const SlotState &S : Slots)
+      Live += S.Life == SlotLife::Live;
+    return Live;
+  }
+  size_t deadSlotCount() const { return DeadSlots.size(); }
+
+  /// Bytes of recycler-owned bookkeeping, for the live-metadata model:
+  /// per-slot state (including retirement snapshots) plus the live
+  /// external map entries. O(slots), which recycling keeps O(live).
+  size_t liveMetadataBytes() const {
+    size_t Bytes = Slots.size() * sizeof(SlotState) +
+                   (FreeSlots.size() + DeadSlots.size()) * sizeof(ThreadId) +
+                   ExternalToSlot.entryBytes();
+    for (const SlotState &S : Slots)
+      Bytes += S.Retired.heapBytes();
+    return Bytes;
+  }
+
+private:
+  /// Below this many slots the dense representation is already small;
+  /// compacting would churn metadata for no measurable gain.
+  static constexpr size_t MinCompactSlots = 16;
+
+  struct SlotState {
+    SlotLife Life = SlotLife::Free;
+    ThreadId External = InvalidId;
+    VectorClock Retired;
+  };
+
+  bool Enabled = false;
+  std::vector<SlotState> Slots;
+  std::vector<ThreadId> FreeSlots;
+  std::vector<ThreadId> DeadSlots;
+  /// Live externals only -- entries are erased at reclaim, so this stays
+  /// O(live) instead of O(total spawned).
+  FlatVarTable<ThreadId, ThreadId> ExternalToSlot;
+  size_t Peak = 0;
+};
+
+} // namespace pacer
+
+#endif // PACER_CORE_SLOTRECYCLER_H

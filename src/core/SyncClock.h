@@ -76,6 +76,15 @@ public:
   /// the identical reset, so in-place mutation is sound.
   void resetComponentForRecycle(ThreadId Tid) { Payload->Clock.set(Tid, 0); }
 
+  /// Accordion compaction of the payload's clock, in place through
+  /// sharing for the same reason as resetComponentForRecycle: every
+  /// holder needs the identical renumbering. The caller must apply this
+  /// exactly once per distinct payloadKey() -- compacting a shared
+  /// payload through two handles would renumber it twice.
+  void compactSlotsOnce(const uint32_t *NewToOld, uint32_t NewCount) {
+    Payload->Clock.compactSlots(NewToOld, NewCount);
+  }
+
   /// Identity of the payload, for space accounting (count unique payloads)
   /// and for the tests that verify sharing behaviour.
   const void *payloadKey() const { return Payload.get(); }

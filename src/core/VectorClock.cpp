@@ -86,6 +86,27 @@ bool VectorClock::joinWith(const VectorClock &Other) {
   return Changed;
 }
 
+void VectorClock::compactSlots(const uint32_t *NewToOld, uint32_t NewCount) {
+  // Components at old indices >= Count are implicit zeros; since NewToOld
+  // ascends, everything past the first out-of-range source is zero too.
+  uint32_t M = 0;
+  while (M < NewCount && NewToOld[M] < Count)
+    ++M;
+  kernels::remapGather(Data, Data, NewToOld, M);
+  Count = static_cast<uint32_t>(kernels::trimTrailingZeros(Data, M));
+  // Accordion release: once the packed clock fits inline again, return the
+  // spill block. Compaction must shrink allocations, not just logical
+  // widths -- otherwise every clock's space charge ratchets at the widest
+  // slot count it ever saw and the live-metadata high-water grows with
+  // total threads started instead of staying O(live).
+  if (!isInline() && Count <= InlineCapacity) {
+    kernels::copyWords(Inline, Data, Count);
+    Arena::freeBlock(Data);
+    Data = Inline;
+    Capacity = InlineCapacity;
+  }
+}
+
 bool VectorClock::leq(const VectorClock &Other) const {
   const uint32_t Shared = std::min(Count, Other.Count);
   if (!kernels::allLeq(Data, Other.Data, Shared))

@@ -92,6 +92,14 @@ public:
   /// previous std::vector::clear behaviour).
   void clear() { Count = 0; }
 
+  /// Accordion compaction: renumbers components so that new slot \p I
+  /// holds the value of old slot NewToOld[I], then trims trailing zeros.
+  /// \p NewToOld must be strictly ascending (an order-preserving pack of
+  /// the surviving slots), which makes the in-place gather safe. Old
+  /// components not named by \p NewToOld are discarded; they belong to
+  /// recycled slots and were already reset to zero.
+  void compactSlots(const uint32_t *NewToOld, uint32_t NewCount);
+
   /// Number of stored (possibly zero) components.
   size_t size() const { return Count; }
 

@@ -185,6 +185,26 @@ public:
   /// Thread \p Tid terminates (the scheduler's ThreadExit marker).
   virtual void threadExit(ThreadId Tid) { (void)Tid; }
 
+  // --- Thread-slot recycling (accordion clocks; see core/SlotRecycler.h)
+
+  /// Reclaims any dead thread slots whose final clocks every live thread
+  /// dominates, and compacts clocks when enough slots have been freed.
+  /// The runtime invokes this after every join and thread exit (the only
+  /// points where a slot can die), so recycling behaviour is a pure
+  /// function of the trace's synchronization prefix and is identical
+  /// across replay engines and shard counts. Returns the number of slots
+  /// reclaimed; detectors without recycling return 0.
+  virtual size_t recycleDeadSlots() { return 0; }
+
+  /// Number of thread slots currently backing clocks and metadata
+  /// vectors. Without recycling this equals the number of threads ever
+  /// seen; with recycling it is bounded by the live-thread high-water
+  /// mark between compactions.
+  virtual size_t slotCount() const { return 0; }
+
+  /// High-water slotCount() over the run (compaction never lowers it).
+  virtual size_t peakSlotCount() const { return slotCount(); }
+
   // --- Sampling actions (no-ops for non-sampling detectors) ---
 
   /// The sbegin() action: the analysis enters a sampling period.

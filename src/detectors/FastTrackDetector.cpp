@@ -11,8 +11,8 @@ void FastTrackDetector::reportWriteRace(const VarState &State, VarId Var,
   Report.Var = Var;
   Report.FirstKind = AccessKind::Write;
   Report.SecondKind = Kind;
-  Report.FirstThread = State.W.tid();
-  Report.SecondThread = Tid;
+  Report.FirstThread = Sync.externalOf(State.W.tid());
+  Report.SecondThread = Sync.externalOf(Tid);
   Report.FirstSite = State.WSite;
   Report.SecondSite = Site;
   reportRace(Report);
@@ -20,6 +20,7 @@ void FastTrackDetector::reportWriteRace(const VarState &State, VarId Var,
 
 void FastTrackDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
   Arena::Scope MetadataScope(&Metadata);
+  Tid = Sync.slotOf(Tid);
   const VectorClock &Clock = Sync.ensureThread(Tid);
   readWith(Clock, Epoch::make(Clock.get(Tid), Tid), Tid, Var, Site);
 }
@@ -54,6 +55,7 @@ void FastTrackDetector::readWith(const VectorClock &Clock, Epoch Current,
 
 void FastTrackDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
   Arena::Scope MetadataScope(&Metadata);
+  Tid = Sync.slotOf(Tid);
   const VectorClock &Clock = Sync.ensureThread(Tid);
   writeWith(Clock, Epoch::make(Clock.get(Tid), Tid), Tid, Var, Site);
 }
@@ -77,8 +79,8 @@ void FastTrackDetector::writeWith(const VectorClock &Clock, Epoch Current,
     Report.Var = Var;
     Report.FirstKind = AccessKind::Read;
     Report.SecondKind = AccessKind::Write;
-    Report.FirstThread = Entry.Tid;
-    Report.SecondThread = Tid;
+    Report.FirstThread = Sync.externalOf(Entry.Tid);
+    Report.SecondThread = Sync.externalOf(Tid);
     Report.FirstSite = Entry.Site;
     Report.SecondSite = Site;
     reportRace(Report);
@@ -100,6 +102,7 @@ void FastTrackDetector::accessBatch(std::span<const Action> Batch,
   // computed at a thread switch stay valid for the thread's whole run.
   // Re-fetch on every switch: ensureThread may resize the thread table.
   ThreadId CurrentTid = InvalidId;
+  ThreadId Slot = InvalidId;
   const VectorClock *Clock = nullptr;
   Epoch Current;
   for (const Action &A : Batch) {
@@ -107,14 +110,47 @@ void FastTrackDetector::accessBatch(std::span<const Action> Batch,
       continue;
     if (A.Tid != CurrentTid) {
       CurrentTid = A.Tid;
-      Clock = &Sync.ensureThread(A.Tid);
-      Current = Epoch::make(Clock->get(A.Tid), A.Tid);
+      Slot = Sync.slotOf(A.Tid);
+      Clock = &Sync.ensureThread(Slot);
+      Current = Epoch::make(Clock->get(Slot), Slot);
     }
     if (A.Kind == ActionKind::Read)
-      readWith(*Clock, Current, A.Tid, A.Target, A.Site);
+      readWith(*Clock, Current, Slot, A.Target, A.Site);
     else
-      writeWith(*Clock, Current, A.Tid, A.Target, A.Site);
+      writeWith(*Clock, Current, Slot, A.Target, A.Site);
   }
+}
+
+size_t FastTrackDetector::recycleDeadSlots() {
+  if (!Config.UseAccordionClocks)
+    return 0;
+  Arena::Scope MetadataScope(&Metadata);
+  return Sync.recycleDeadSlots(
+      [this](ThreadId Slot) {
+        // The reclaimed thread's accesses are dominated by every live
+        // thread: none can be the first access of a future race, so its
+        // read entries and write epochs are dead weight.
+        for (VarState &State : Vars) {
+          if (State.R.isNull() && State.W.isNone())
+            continue;
+          State.R.removeThread(Slot);
+          if (!State.W.isNone() && State.W.tid() == Slot) {
+            State.W = Epoch::none();
+            State.WSite = InvalidId;
+          }
+        }
+      },
+      [this](const SlotRemap &Remap) {
+        const uint32_t *OldToNew = Remap.OldToNew.data();
+        // Purging removed every epoch and read entry naming a freed slot,
+        // so a plain renumbering suffices.
+        for (VarState &State : Vars) {
+          State.R.remapThreads(OldToNew);
+          if (!State.W.isNone())
+            State.W =
+                Epoch::make(State.W.clockValue(), OldToNew[State.W.tid()]);
+        }
+      });
 }
 
 size_t FastTrackDetector::accessMetadataBytes() const {

@@ -39,13 +39,23 @@ struct FastTrackConfig {
   /// untouched, as in original FastTrack; the shared (map) case is cleared
   /// either way, as in Algorithm 8.
   bool ClearReadMapAtWrite = true;
+
+  /// Accordion clocks: recycle dead threads' clock slots once every live
+  /// thread dominates their final clocks, and compact clocks when enough
+  /// slots free up (see core/SlotRecycler.h). Sound for a precise
+  /// detector: a dominated dead thread's accesses can never again be the
+  /// first access of a race, so purging them changes no report.
+  bool UseAccordionClocks = false;
 };
 
 /// FastTrack: epochs for writes, adaptive epoch/map for reads.
 class FastTrackDetector : public Detector {
 public:
   explicit FastTrackDetector(RaceSink &Sink, FastTrackConfig Config = {})
-      : Detector(Sink), Config(Config) {}
+      : Detector(Sink), Config(Config) {
+    if (Config.UseAccordionClocks)
+      Sync.enableRecycling();
+  }
 
   const char *name() const override { return "fasttrack"; }
 
@@ -87,15 +97,27 @@ public:
 
   void threadBegin(ThreadId Tid) override {
     Arena::Scope MetadataScope(&Metadata);
-    Sync.ensureThread(Tid);
+    Sync.ensureThread(Sync.slotOf(Tid));
   }
+
+  void threadExit(ThreadId Tid) override {
+    Arena::Scope MetadataScope(&Metadata);
+    Sync.threadExit(Tid);
+  }
+
+  /// Accordion clocks: reclaim dominated dead slots and compact (no-op
+  /// unless FastTrackConfig::UseAccordionClocks is set).
+  size_t recycleDeadSlots() override;
+
+  size_t slotCount() const override { return Sync.slotCount(); }
+  size_t peakSlotCount() const override { return Sync.peakSlotCount(); }
 
   size_t liveMetadataBytes() const override;
   size_t accessMetadataBytes() const override;
 
   /// Test hook: thread \p Tid's clock.
   const VectorClock &threadClock(ThreadId Tid) {
-    return Sync.ensureThread(Tid);
+    return Sync.ensureThread(Sync.slotOf(Tid));
   }
 
 private:

@@ -4,99 +4,10 @@
 
 using namespace pacer;
 
-GenericDetector::ThreadState &GenericDetector::ensureThread(ThreadId Tid) {
-  if (Tid >= Threads.size())
-    Threads.resize(Tid + 1);
-  ThreadState &State = Threads[Tid];
-  if (!State.Started) {
-    // Initial analysis state: C_t = inc_t(bottom), Equation 7.
-    State.Clock.increment(Tid);
-    State.Started = true;
-  }
-  return State;
-}
-
-VectorClock &GenericDetector::ensureLock(LockId Lock) {
-  if (Lock >= Locks.size())
-    Locks.resize(Lock + 1);
-  return Locks[Lock];
-}
-
-VectorClock &GenericDetector::ensureVolatile(VolatileId Vol) {
-  if (Vol >= Volatiles.size())
-    Volatiles.resize(Vol + 1);
-  return Volatiles[Vol];
-}
-
 GenericDetector::VarState &GenericDetector::ensureVar(VarId Var) {
   if (Var >= Vars.size())
     Vars.resize(Var + 1);
   return Vars[Var];
-}
-
-void GenericDetector::fork(ThreadId Parent, ThreadId Child) {
-  Arena::Scope MetadataScope(&Metadata);
-  ++Stats.SyncOps;
-  ++Stats.SlowJoinsSampling;
-  // Ensure both entries before taking references: ensureThread may grow
-  // the vector and would invalidate an earlier reference.
-  ensureThread(Parent);
-  ensureThread(Child);
-  VectorClock &ParentClock = Threads[Parent].Clock;
-  VectorClock &ChildClock = Threads[Child].Clock;
-  // Algorithm 3: C_u <- C_t; C_u[u]++; C_t[t]++.
-  ChildClock.copyFrom(ParentClock);
-  ChildClock.increment(Child);
-  ParentClock.increment(Parent);
-}
-
-void GenericDetector::join(ThreadId Parent, ThreadId Child) {
-  Arena::Scope MetadataScope(&Metadata);
-  ++Stats.SyncOps;
-  ++Stats.SlowJoinsSampling;
-  ensureThread(Parent);
-  ensureThread(Child);
-  VectorClock &ParentClock = Threads[Parent].Clock;
-  VectorClock &ChildClock = Threads[Child].Clock;
-  // Algorithm 4: C_t <- C_u |_| C_t; C_u[u]++.
-  ParentClock.joinWith(ChildClock);
-  ChildClock.increment(Child);
-}
-
-void GenericDetector::acquire(ThreadId Tid, LockId Lock) {
-  Arena::Scope MetadataScope(&Metadata);
-  ++Stats.SyncOps;
-  ++Stats.SlowJoinsSampling;
-  // Algorithm 1: C_t <- C_t |_| C_m.
-  ensureThread(Tid).Clock.joinWith(ensureLock(Lock));
-}
-
-void GenericDetector::release(ThreadId Tid, LockId Lock) {
-  Arena::Scope MetadataScope(&Metadata);
-  ++Stats.SyncOps;
-  ++Stats.DeepCopiesSampling;
-  VectorClock &Clock = ensureThread(Tid).Clock;
-  // Algorithm 2: C_m <- C_t; C_t[t]++.
-  ensureLock(Lock).copyFrom(Clock);
-  Clock.increment(Tid);
-}
-
-void GenericDetector::volatileRead(ThreadId Tid, VolatileId Vol) {
-  Arena::Scope MetadataScope(&Metadata);
-  ++Stats.SyncOps;
-  ++Stats.SlowJoinsSampling;
-  // Algorithm 14: C_t <- C_t |_| C_x.
-  ensureThread(Tid).Clock.joinWith(ensureVolatile(Vol));
-}
-
-void GenericDetector::volatileWrite(ThreadId Tid, VolatileId Vol) {
-  Arena::Scope MetadataScope(&Metadata);
-  ++Stats.SyncOps;
-  ++Stats.SlowJoinsSampling;
-  VectorClock &Clock = ensureThread(Tid).Clock;
-  // Algorithm 15: C_x <- C_x |_| C_t; C_t[t]++.
-  ensureVolatile(Vol).joinWith(Clock);
-  Clock.increment(Tid);
 }
 
 void GenericDetector::checkClockOrdered(const VectorClock &Prior,
@@ -113,8 +24,8 @@ void GenericDetector::checkClockOrdered(const VectorClock &Prior,
     Report.Var = Var;
     Report.FirstKind = PriorKind;
     Report.SecondKind = Kind;
-    Report.FirstThread = PriorTid;
-    Report.SecondThread = Tid;
+    Report.FirstThread = Sync.externalOf(PriorTid);
+    Report.SecondThread = Sync.externalOf(Tid);
     Report.FirstSite = U < PriorSites.size() ? PriorSites[U] : InvalidId;
     Report.SecondSite = Site;
     reportRace(Report);
@@ -124,7 +35,8 @@ void GenericDetector::checkClockOrdered(const VectorClock &Prior,
 void GenericDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
   Arena::Scope MetadataScope(&Metadata);
   ++Stats.ReadSlowSampling;
-  const VectorClock &Clock = ensureThread(Tid).Clock;
+  Tid = Sync.slotOf(Tid);
+  const VectorClock &Clock = Sync.ensureThread(Tid);
   VarState &State = ensureVar(Var);
   // Algorithm 5: check W_f <= C_t, then R_f[t] <- C_t[t].
   checkClockOrdered(State.W, State.WSites, AccessKind::Write, Clock, Var, Tid,
@@ -138,7 +50,8 @@ void GenericDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
 void GenericDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
   Arena::Scope MetadataScope(&Metadata);
   ++Stats.WriteSlowSampling;
-  const VectorClock &Clock = ensureThread(Tid).Clock;
+  Tid = Sync.slotOf(Tid);
+  const VectorClock &Clock = Sync.ensureThread(Tid);
   VarState &State = ensureVar(Var);
   // Algorithm 6: check W_f <= C_t and R_f <= C_t, then W_f[t] <- C_t[t].
   checkClockOrdered(State.W, State.WSites, AccessKind::Write, Clock, Var, Tid,
@@ -149,6 +62,54 @@ void GenericDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
   if (Tid >= State.WSites.size())
     State.WSites.resize(Tid + 1, InvalidId);
   State.WSites[Tid] = Site;
+}
+
+size_t GenericDetector::recycleDeadSlots() {
+  if (!Config.UseAccordionClocks)
+    return 0;
+  Arena::Scope MetadataScope(&Metadata);
+  return Sync.recycleDeadSlots(
+      [this](ThreadId Slot) {
+        // Zero the reclaimed slot in every access vector: its components
+        // are dominated by all live threads and can never race again.
+        for (VarState &State : Vars) {
+          // Sites are recorded only alongside a nonzero clock component,
+          // so variables the slot never touched need no scrubbing.
+          if (State.R.get(Slot) == 0 && State.W.get(Slot) == 0)
+            continue;
+          State.R.set(Slot, 0);
+          State.W.set(Slot, 0);
+          if (Slot < State.RSites.size())
+            State.RSites[Slot] = InvalidId;
+          if (Slot < State.WSites.size())
+            State.WSites[Slot] = InvalidId;
+        }
+      },
+      [this](const SlotRemap &Remap) {
+        const uint32_t NewCount = Remap.newCount();
+        const uint32_t *NewToOld = Remap.NewToOld.data();
+        auto CompactSites = [&](SiteVector &Sites) {
+          // Same ascending in-place pack as the clocks; entries past the
+          // vector's recorded length stay implicit InvalidId. Like the
+          // clocks, release over-grown capacity so the space charge
+          // tracks the packed width, not the widest width ever seen.
+          uint32_t M = 0;
+          while (M < NewCount &&
+                 NewToOld[M] < static_cast<uint32_t>(Sites.size()))
+            ++M;
+          for (uint32_t I = 0; I != M; ++I)
+            Sites[I] = Sites[NewToOld[I]];
+          Sites.resize(M);
+          if (Sites.capacity() > 2 * Sites.size())
+            Sites.shrink_to_fit();
+        };
+        for (VarState &State : Vars) {
+          State.R.compactSlots(NewToOld, NewCount);
+          State.W.compactSlots(NewToOld, NewCount);
+          CompactSites(State.RSites);
+          CompactSites(State.WSites);
+        }
+      });
 }
 
 size_t GenericDetector::accessMetadataBytes() const {
@@ -167,12 +128,5 @@ size_t GenericDetector::accessMetadataBytes() const {
 }
 
 size_t GenericDetector::liveMetadataBytes() const {
-  size_t Bytes = 0;
-  for (const ThreadState &State : Threads)
-    Bytes += sizeof(State) + State.Clock.heapBytes();
-  for (const VectorClock &Clock : Locks)
-    Bytes += sizeof(Clock) + Clock.heapBytes();
-  for (const VectorClock &Clock : Volatiles)
-    Bytes += sizeof(Clock) + Clock.heapBytes();
-  return Bytes + accessMetadataBytes();
+  return Sync.liveMetadataBytes() + accessMetadataBytes();
 }

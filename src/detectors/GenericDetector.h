@@ -14,6 +14,9 @@
 /// tests compare FastTrack and PACER against, and as the
 /// precision-baseline for the benchmarks.
 ///
+/// Synchronization tracking is the shared SyncState (its algorithms *are*
+/// GENERIC's), which also provides optional accordion slot recycling.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PACER_DETECTORS_GENERICDETECTOR_H
@@ -21,39 +24,82 @@
 
 #include "core/VectorClock.h"
 #include "detectors/Detector.h"
+#include "detectors/SyncState.h"
 #include "support/Arena.h"
 
 #include <vector>
 
 namespace pacer {
 
+/// Configuration knobs for GENERIC.
+struct GenericConfig {
+  /// Accordion clocks: recycle dead threads' clock slots once every live
+  /// thread dominates their final clocks (see core/SlotRecycler.h).
+  bool UseAccordionClocks = false;
+};
+
 /// Sound and precise O(n)-per-operation vector-clock race detector.
 class GenericDetector final : public Detector {
 public:
-  explicit GenericDetector(RaceSink &Sink) : Detector(Sink) {}
+  explicit GenericDetector(RaceSink &Sink, GenericConfig Config = {})
+      : Detector(Sink), Config(Config) {
+    if (Config.UseAccordionClocks)
+      Sync.enableRecycling();
+  }
 
   const char *name() const override { return "generic"; }
 
-  void fork(ThreadId Parent, ThreadId Child) override;
-  void join(ThreadId Parent, ThreadId Child) override;
-  void acquire(ThreadId Tid, LockId Lock) override;
-  void release(ThreadId Tid, LockId Lock) override;
-  void volatileRead(ThreadId Tid, VolatileId Vol) override;
-  void volatileWrite(ThreadId Tid, VolatileId Vol) override;
+  void fork(ThreadId Parent, ThreadId Child) override {
+    Arena::Scope MetadataScope(&Metadata);
+    Sync.fork(Parent, Child, Stats);
+  }
+  void join(ThreadId Parent, ThreadId Child) override {
+    Arena::Scope MetadataScope(&Metadata);
+    Sync.join(Parent, Child, Stats);
+  }
+  void acquire(ThreadId Tid, LockId Lock) override {
+    Arena::Scope MetadataScope(&Metadata);
+    Sync.acquire(Tid, Lock, Stats);
+  }
+  void release(ThreadId Tid, LockId Lock) override {
+    Arena::Scope MetadataScope(&Metadata);
+    Sync.release(Tid, Lock, Stats);
+  }
+  void volatileRead(ThreadId Tid, VolatileId Vol) override {
+    Arena::Scope MetadataScope(&Metadata);
+    Sync.volatileRead(Tid, Vol, Stats);
+  }
+  void volatileWrite(ThreadId Tid, VolatileId Vol) override {
+    Arena::Scope MetadataScope(&Metadata);
+    Sync.volatileWrite(Tid, Vol, Stats);
+  }
+
   void read(ThreadId Tid, VarId Var, SiteId Site) override;
   void write(ThreadId Tid, VarId Var, SiteId Site) override;
 
   void threadBegin(ThreadId Tid) override {
     Arena::Scope MetadataScope(&Metadata);
-    ensureThread(Tid);
+    Sync.ensureThread(Sync.slotOf(Tid));
   }
+
+  void threadExit(ThreadId Tid) override {
+    Arena::Scope MetadataScope(&Metadata);
+    Sync.threadExit(Tid);
+  }
+
+  /// Accordion clocks: reclaim dominated dead slots and compact (no-op
+  /// unless GenericConfig::UseAccordionClocks is set).
+  size_t recycleDeadSlots() override;
+
+  size_t slotCount() const override { return Sync.slotCount(); }
+  size_t peakSlotCount() const override { return Sync.peakSlotCount(); }
 
   size_t liveMetadataBytes() const override;
   size_t accessMetadataBytes() const override;
 
   /// Test hook: the current clock of \p Tid.
-  const VectorClock &threadClock(ThreadId Tid) const {
-    return Threads.at(Tid).Clock;
+  const VectorClock &threadClock(ThreadId Tid) {
+    return Sync.ensureThread(Sync.slotOf(Tid));
   }
 
 private:
@@ -62,7 +108,7 @@ private:
   using SiteVector = std::vector<SiteId, ArenaAllocator<SiteId>>;
 
   /// Per-variable access history: last-read and last-write clock values and
-  /// the program site of each recorded access.
+  /// the program site of each recorded access, all indexed by thread slot.
   struct VarState {
     VectorClock R;
     VectorClock W;
@@ -70,14 +116,6 @@ private:
     SiteVector WSites;
   };
 
-  struct ThreadState {
-    VectorClock Clock;
-    bool Started = false;
-  };
-
-  ThreadState &ensureThread(ThreadId Tid);
-  VectorClock &ensureLock(LockId Lock);
-  VectorClock &ensureVolatile(VolatileId Vol);
   VarState &ensureVar(VarId Var);
 
   /// Reports one race per component of \p Prior exceeding \p Current.
@@ -92,9 +130,8 @@ private:
   /// back into this arena while being destroyed.
   Arena Metadata;
 
-  std::vector<ThreadState> Threads;
-  std::vector<VectorClock> Locks;
-  std::vector<VectorClock> Volatiles;
+  GenericConfig Config;
+  SyncState Sync;
   std::vector<VarState, ArenaAllocator<VarState>> Vars;
 };
 

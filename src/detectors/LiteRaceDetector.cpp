@@ -97,7 +97,9 @@ void LiteRaceDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
 }
 
 void LiteRaceDetector::analyzeRead(ThreadId Tid, VarId Var, SiteId Site) {
-  // FastTrack Algorithm 7.
+  // FastTrack Algorithm 7. Clock indices are slots; reports map back to
+  // program thread ids.
+  Tid = Sync.slotOf(Tid);
   const VectorClock &Clock = Sync.ensureThread(Tid);
   Epoch Current = Epoch::make(Clock.get(Tid), Tid);
   VarState &State = ensureVar(Var);
@@ -110,8 +112,8 @@ void LiteRaceDetector::analyzeRead(ThreadId Tid, VarId Var, SiteId Site) {
     Report.Var = Var;
     Report.FirstKind = AccessKind::Write;
     Report.SecondKind = AccessKind::Read;
-    Report.FirstThread = State.W.tid();
-    Report.SecondThread = Tid;
+    Report.FirstThread = Sync.externalOf(State.W.tid());
+    Report.SecondThread = Sync.externalOf(Tid);
     Report.FirstSite = State.WSite;
     Report.SecondSite = Site;
     reportRace(Report);
@@ -130,7 +132,9 @@ void LiteRaceDetector::analyzeRead(ThreadId Tid, VarId Var, SiteId Site) {
 }
 
 void LiteRaceDetector::analyzeWrite(ThreadId Tid, VarId Var, SiteId Site) {
-  // FastTrack Algorithm 8 (with the read-map clear).
+  // FastTrack Algorithm 8 (with the read-map clear). Clock indices are
+  // slots; reports map back to program thread ids.
+  Tid = Sync.slotOf(Tid);
   const VectorClock &Clock = Sync.ensureThread(Tid);
   Epoch Current = Epoch::make(Clock.get(Tid), Tid);
   VarState &State = ensureVar(Var);
@@ -143,8 +147,8 @@ void LiteRaceDetector::analyzeWrite(ThreadId Tid, VarId Var, SiteId Site) {
     Report.Var = Var;
     Report.FirstKind = AccessKind::Write;
     Report.SecondKind = AccessKind::Write;
-    Report.FirstThread = State.W.tid();
-    Report.SecondThread = Tid;
+    Report.FirstThread = Sync.externalOf(State.W.tid());
+    Report.SecondThread = Sync.externalOf(Tid);
     Report.FirstSite = State.WSite;
     Report.SecondSite = Site;
     reportRace(Report);
@@ -155,8 +159,8 @@ void LiteRaceDetector::analyzeWrite(ThreadId Tid, VarId Var, SiteId Site) {
     Report.Var = Var;
     Report.FirstKind = AccessKind::Read;
     Report.SecondKind = AccessKind::Write;
-    Report.FirstThread = Entry.Tid;
-    Report.SecondThread = Tid;
+    Report.FirstThread = Sync.externalOf(Entry.Tid);
+    Report.SecondThread = Sync.externalOf(Tid);
     Report.FirstSite = Entry.Site;
     Report.SecondSite = Site;
     reportRace(Report);
@@ -220,6 +224,42 @@ void LiteRaceDetector::accessBatch(std::span<const Action> Batch,
   }
 }
 
+size_t LiteRaceDetector::recycleDeadSlots() {
+  if (!Config.UseAccordionClocks)
+    return 0;
+  Arena::Scope MetadataScope(&Metadata);
+  return Sync.recycleDeadSlots(
+      [this](ThreadId Slot) {
+        for (VarState &State : Vars) {
+          if (State.R.isNull() && State.W.isNone())
+            continue;
+          State.R.removeThread(Slot);
+          if (!State.W.isNone() && State.W.tid() == Slot) {
+            State.W = Epoch::none();
+            State.WSite = InvalidId;
+          }
+        }
+      },
+      [this](const SlotRemap &Remap) {
+        const uint32_t *OldToNew = Remap.OldToNew.data();
+        for (VarState &State : Vars) {
+          State.R.remapThreads(OldToNew);
+          if (!State.W.isNone())
+            State.W =
+                Epoch::make(State.W.clockValue(), OldToNew[State.W.tid()]);
+        }
+        // The sampler table is keyed by (method, program tid), so it
+        // grows with total threads ever started; counters of reclaimed
+        // tids are dead weight (those threads never act again, and
+        // sampling decisions for live tids do not read them). Sweep them
+        // at compaction, keeping the table O(methods x live threads).
+        Samplers.eraseIf([this](uint64_t Key, Sampler &) {
+          return !Sync.externalHasSlot(
+              static_cast<ThreadId>(Key & 0xffffffff));
+        });
+      });
+}
+
 size_t LiteRaceDetector::accessMetadataBytes() const {
   size_t Bytes = 0;
   for (const VarState &State : Vars) {
@@ -238,7 +278,9 @@ size_t LiteRaceDetector::liveMetadataBytes() const {
   size_t Bytes = Sync.liveMetadataBytes() + accessMetadataBytes();
   // Sampler table: LiteRace's per-method-thread counters. A planned
   // replica carries the plan's end-of-trace sampler count so its space
-  // accounting matches a planless (full-stream) replica exactly.
+  // accounting matches a planless (full-stream) replica exactly when
+  // recycling is off; with recycling on, planless replicas sweep dead
+  // tids' counters at compaction and report the (smaller) swept size.
   size_t SamplerCount = Plan ? Plan->SamplerCount : Samplers.size();
   Bytes += SamplerCount * (sizeof(uint64_t) + sizeof(Sampler) +
                            2 * sizeof(void *));

@@ -69,6 +69,12 @@ struct LiteRaceConfig {
   /// Randomize the skip counter on reset (the paper's modification to the
   /// otherwise deterministic original).
   bool RandomizeSkip = true;
+
+  /// Accordion clocks: recycle dead threads' clock slots (see
+  /// core/SlotRecycler.h). The bursty samplers are keyed by *program*
+  /// thread id and are untouched by recycling, so sampling decisions are
+  /// identical with recycling on or off.
+  bool UseAccordionClocks = false;
 };
 
 /// Precomputed LiteRace sampler decisions for one (trace, seed, config):
@@ -95,7 +101,10 @@ public:
   LiteRaceDetector(RaceSink &Sink, std::vector<MethodId> SiteToMethod,
                    uint64_t Seed, LiteRaceConfig Config = {})
       : Detector(Sink), Config(Config), SiteToMethod(std::move(SiteToMethod)),
-        Random(Seed) {}
+        Random(Seed) {
+    if (Config.UseAccordionClocks)
+      Sync.enableRecycling();
+  }
 
   const char *name() const override { return "literace"; }
 
@@ -156,8 +165,20 @@ public:
 
   void threadBegin(ThreadId Tid) override {
     Arena::Scope MetadataScope(&Metadata);
-    Sync.ensureThread(Tid);
+    Sync.ensureThread(Sync.slotOf(Tid));
   }
+
+  void threadExit(ThreadId Tid) override {
+    Arena::Scope MetadataScope(&Metadata);
+    Sync.threadExit(Tid);
+  }
+
+  /// Accordion clocks: reclaim dominated dead slots and compact (no-op
+  /// unless LiteRaceConfig::UseAccordionClocks is set).
+  size_t recycleDeadSlots() override;
+
+  size_t slotCount() const override { return Sync.slotCount(); }
+  size_t peakSlotCount() const override { return Sync.peakSlotCount(); }
 
   size_t liveMetadataBytes() const override;
   size_t accessMetadataBytes() const override;

@@ -37,75 +37,47 @@ PacerDetector::SyncObjState &PacerDetector::ensureVolatile(VolatileId Vol) {
 ThreadId PacerDetector::slotOf(ThreadId External) {
   if (!Config.UseAccordionClocks)
     return External;
-  if (External < ExternalToSlot.size() &&
-      ExternalToSlot[External] != InvalidId)
-    return ExternalToSlot[External];
-  // First sight of this program thread: back it with a free slot if one
-  // exists, else grow.
-  ThreadId Slot;
-  if (!FreeSlots.empty()) {
-    Slot = FreeSlots.back();
-    FreeSlots.pop_back();
-  } else {
-    Slot = static_cast<ThreadId>(Threads.size());
-    Threads.emplace_back();
+  SlotRecycler::Mapping M = Recycler.map(External);
+  if (M.Fresh) {
+    if (M.Slot >= Threads.size())
+      Threads.resize(M.Slot + 1);
+    // Initial state for the slot's occupant (Equation 7). Purging left
+    // every component of a reused slot at zero, so the increment
+    // re-creates a fresh thread at the same index.
+    ThreadState &State = Threads[M.Slot];
+    State.Clock.mutableClock().increment(M.Slot);
+    State.Ver.increment(M.Slot);
+    State.Started = true;
   }
-  ThreadState &State = Threads[Slot];
-  State.Clock.mutableClock().increment(Slot);
-  State.Ver.increment(Slot);
-  State.Started = true;
-  State.Life = SlotLife::Live;
-  State.External = External;
-  if (External >= ExternalToSlot.size())
-    ExternalToSlot.resize(External + 1, InvalidId);
-  ExternalToSlot[External] = Slot;
-  return Slot;
+  return M.Slot;
 }
 
-size_t PacerDetector::recycleDeadThreads() {
-  Arena::Scope MetadataScope(&Metadata);
+size_t PacerDetector::recycleDeadSlots() {
   if (!Config.UseAccordionClocks)
     return 0;
-  size_t Recycled = 0;
-  for (size_t I = 0; I < DeadSlots.size();) {
-    ThreadId U = DeadSlots[I];
-    // Sound to recycle once every live thread dominates the retired
-    // clock: all of U's accesses happen before anything any live thread
-    // will do, so none can be the first access of a future race.
-    bool Dominated = true;
-    for (const ThreadState &T : Threads) {
-      if (T.Life != SlotLife::Live || !T.Started)
-        continue;
-      if (!Threads[U].RetiredClock.leq(T.Clock.clock())) {
-        Dominated = false;
-        break;
-      }
-    }
-    if (!Dominated) {
-      ++I;
-      continue;
-    }
-    purgeSlot(U);
-    DeadSlots[I] = DeadSlots.back();
-    DeadSlots.pop_back();
-    ++Recycled;
-  }
+  Arena::Scope MetadataScope(&Metadata);
+  // Sound to recycle once every live thread dominates the retired clock:
+  // all of the dead thread's accesses happen before anything any live
+  // thread will do, so none can be the first access of a future race.
+  size_t Recycled = Recycler.recycle(
+      [this](ThreadId Slot) -> const VectorClock & {
+        return Threads[Slot].Clock.clock();
+      },
+      [this](ThreadId Slot) { purgeSlot(Slot); });
+  if (Recycler.shouldCompact())
+    compactSlots(Recycler.compact());
   return Recycled;
 }
 
 void PacerDetector::purgeSlot(ThreadId Slot) {
   // Zero the slot's component everywhere. Writing through shared payloads
-  // is deliberate: every holder needs the same reset.
+  // is deliberate: every holder needs the same reset. (The recycler
+  // scrubs its own retirement snapshots.)
   for (ThreadState &State : Threads) {
     if (!State.Started)
       continue;
     State.Clock.resetComponentForRecycle(Slot);
     State.Ver.set(Slot, 0);
-    // Retired-clock snapshots of other dead threads may still name this
-    // slot's previous occupant; that occupant was itself dominated by
-    // every live thread when recycled, so the component can be dropped
-    // without weakening the domination check.
-    State.RetiredClock.set(Slot, 0);
   }
   auto ScrubSyncObj = [Slot](SyncObjState &State) {
     State.Clock.resetComponentForRecycle(Slot);
@@ -132,20 +104,72 @@ void PacerDetector::purgeSlot(ThreadId Slot) {
     return State.R.isNull() && State.W.isNone();
   });
 
-  ThreadState &Dead = Threads[Slot];
-  if (Dead.External < ExternalToSlot.size())
-    ExternalToSlot[Dead.External] = InvalidId;
-  Dead = ThreadState();
-  FreeSlots.push_back(Slot);
+  // Reset the slot's own state so the next occupant starts from a fresh
+  // clock (a shared payload stays alive in its other holders, with this
+  // component zeroed above).
+  Threads[Slot] = ThreadState();
+}
+
+void PacerDetector::compactSlots(const SlotRemap &Remap) {
+  const uint32_t *NewToOld = Remap.NewToOld.data();
+  const uint32_t *OldToNew = Remap.OldToNew.data();
+  const uint32_t NewCount = Remap.newCount();
+
+  // Pack thread states onto the dense prefix. NewToOld ascends, so every
+  // move source is at or beyond its destination and no live state is
+  // overwritten before it is moved.
+  for (uint32_t New = 0; New != NewCount; ++New) {
+    const uint32_t Old = NewToOld[New];
+    if (Old != New)
+      Threads[New] = std::move(Threads[Old]);
+  }
+  Threads.resize(NewCount);
+
+  // Renumber every clock payload exactly once: threads, locks, and
+  // volatiles may share payloads, and compacting one twice would corrupt
+  // it.
+  std::vector<const void *> Seen;
+  auto CompactPayload = [&](SyncClock &Clock) {
+    const void *Key = Clock.payloadKey();
+    if (std::find(Seen.begin(), Seen.end(), Key) != Seen.end())
+      return;
+    Seen.push_back(Key);
+    Clock.compactSlotsOnce(NewToOld, NewCount);
+  };
+  for (ThreadState &State : Threads) {
+    CompactPayload(State.Clock);
+    State.Ver.compactSlots(NewToOld, NewCount);
+  }
+  auto CompactSyncObj = [&](SyncObjState &State) {
+    CompactPayload(State.Clock);
+    VersionEpoch V = State.VEpoch;
+    if (!V.isTop() && V.version() > 0) {
+      // Purging already forced epochs naming freed slots to top, so the
+      // named slot survives compaction and has a new number.
+      State.VEpoch = VersionEpoch::make(V.version(), OldToNew[V.tid()]);
+    }
+  };
+  for (SyncObjState &State : Locks)
+    CompactSyncObj(State);
+  for (SyncObjState &State : Volatiles)
+    CompactSyncObj(State);
+
+  // Access metadata: purging removed every epoch and read entry naming a
+  // freed slot, so a plain renumbering suffices and no entry dies here.
+  Vars.eraseIf([OldToNew](VarId, VarState &State) {
+    State.R.remapThreads(OldToNew);
+    if (!State.W.isNone())
+      State.W = Epoch::make(State.W.clockValue(), OldToNew[State.W.tid()]);
+    return false;
+  });
 }
 
 size_t PacerDetector::liveSlotCount() const {
+  if (Config.UseAccordionClocks)
+    return Recycler.liveSlotCount();
   size_t Count = 0;
-  for (const ThreadState &State : Threads) {
-    if (Config.UseAccordionClocks ? State.Life == SlotLife::Live
-                                  : State.Started)
-      ++Count;
-  }
+  for (const ThreadState &State : Threads)
+    Count += State.Started;
   return Count;
 }
 
@@ -267,6 +291,15 @@ void PacerDetector::fork(ThreadId Parent, ThreadId Child) {
 void PacerDetector::join(ThreadId Parent, ThreadId Child) {
   Arena::Scope MetadataScope(&Metadata);
   ++Stats.SyncOps;
+  if (Config.UseAccordionClocks && Recycler.lookup(Child) == InvalidId) {
+    // The child's slot was already recycled (it exited, and every live
+    // thread -- the parent included -- came to dominate its final clock).
+    // The join is then a semantic no-op: the parent's clock already
+    // subsumes everything the child did. Mapping the child here would
+    // wrongly allocate a fresh slot for a dead thread.
+    ensureThread(slotOf(Parent));
+    return;
+  }
   Parent = slotOf(Parent);
   Child = slotOf(Child);
   ensureThread(Parent);
@@ -275,15 +308,26 @@ void PacerDetector::join(ThreadId Parent, ThreadId Child) {
   // Table 6 Rule 4: C_t <- C_t join C_u; C_u <- inc_u(C_u, s).
   joinIntoThread(Parent, ChildState.Clock,
                  threadVersionEpoch(ChildState, Child));
-  if (Config.UseAccordionClocks && ChildState.Life == SlotLife::Live) {
+  if (Config.UseAccordionClocks) {
     // The child performs no actions after being joined; snapshot its
     // final clock (pre-increment: the increment below creates a virtual
-    // epoch no access ever used) for the recycling domination check.
-    ChildState.RetiredClock.copyFrom(ChildState.Clock.clock());
-    ChildState.Life = SlotLife::Dead;
-    DeadSlots.push_back(Child);
+    // epoch no access ever uses) for the recycling domination check.
+    // No-op if the slot was already retired at the child's ThreadExit.
+    Recycler.retire(Child, ChildState.Clock.clock());
   }
   incrementThread(Child);
+}
+
+void PacerDetector::threadExit(ThreadId Tid) {
+  if (!Config.UseAccordionClocks)
+    return;
+  Arena::Scope MetadataScope(&Metadata);
+  ThreadId Slot = slotOf(Tid);
+  ensureThread(Slot);
+  // The thread acts no more: its clock now equals the snapshot a later
+  // join would take, so retiring here lets the slot be reclaimed as soon
+  // as domination holds rather than only after the join.
+  Recycler.retire(Slot, Threads[Slot].Clock.clock());
 }
 
 void PacerDetector::acquire(ThreadId Tid, LockId Lock) {
@@ -327,7 +371,7 @@ void PacerDetector::beginSamplingPeriod() {
   assert(!Sampling && "nested sampling period");
   // Period boundaries are the paper's GC moments: the natural point to
   // recycle retired thread slots.
-  recycleDeadThreads();
+  recycleDeadSlots();
   Sampling = true;
   // Table 5 Rule 1: increment every thread's clock (and version). This
   // restores strict well-formedness so that epochs recorded from here on
@@ -573,9 +617,10 @@ size_t PacerDetector::liveMetadataBytes() const {
     if (!State.Started)
       continue;
     AddPayload(State.Clock);
-    Bytes += sizeof(State) + State.Ver.heapBytes() +
-             State.RetiredClock.heapBytes();
+    Bytes += sizeof(State) + State.Ver.heapBytes();
   }
+  if (Config.UseAccordionClocks)
+    Bytes += Recycler.liveMetadataBytes();
   for (const SyncObjState &State : Locks) {
     AddPayload(State.Clock);
     Bytes += sizeof(State);

@@ -37,6 +37,7 @@
 #include "core/Epoch.h"
 #include "core/FlatVarTable.h"
 #include "core/ReadMap.h"
+#include "core/SlotRecycler.h"
 #include "core/SyncClock.h"
 #include "core/VersionEpoch.h"
 #include "detectors/Detector.h"
@@ -71,13 +72,16 @@ struct PacerConfig {
   /// Accordion clocks (Christiaens & De Bosschere), the production
   /// improvement the paper's Section 5.1 points to: reuse thread-clock
   /// slots soundly so vector clocks grow with the number of *live*
-  /// threads, not the number ever started. A joined thread's slot is
-  /// recycled once its final clock is dominated by every live thread's --
-  /// then none of its accesses can be the first access of a future race,
-  /// so its read/write metadata is discarded, its version epochs are
-  /// invalidated, and its clock components reset. Recycling runs at
-  /// sampling-period boundaries (the paper's GC moments) and via
-  /// recycleDeadThreads().
+  /// threads, not the number ever started. A dead (exited or joined)
+  /// thread's slot is recycled once its final clock is dominated by every
+  /// live thread's -- then none of its accesses can be the first access
+  /// of a future race, so its read/write metadata is discarded, its
+  /// version epochs are invalidated, and its clock components reset. When
+  /// enough slots are free, clocks are *compacted*: live slots renumber
+  /// onto a dense prefix and every clock trims its tail. The runtime
+  /// sweeps via recycleDeadSlots() after every join and thread exit, and
+  /// the detector additionally sweeps at sampling-period boundaries (the
+  /// paper's GC moments). Implemented on the core SlotRecycler.
   bool UseAccordionClocks = false;
 };
 
@@ -85,7 +89,10 @@ struct PacerConfig {
 class PacerDetector : public Detector {
 public:
   explicit PacerDetector(RaceSink &Sink, PacerConfig Config = {})
-      : Detector(Sink), Config(Config) {}
+      : Detector(Sink), Config(Config) {
+    if (Config.UseAccordionClocks)
+      Recycler.enable();
+  }
 
   const char *name() const override { return "pacer"; }
 
@@ -111,6 +118,12 @@ public:
   /// trace so shard replicas stay identical.
   void threadBegin(ThreadId Tid) override;
 
+  /// With accordion clocks, retires the thread's slot with a snapshot of
+  /// its final clock; the slot is reclaimed once every live thread
+  /// dominates the snapshot. No-op otherwise (the paper's prototype keeps
+  /// dead threads' clock entries forever).
+  void threadExit(ThreadId Tid) override;
+
   /// The sbegin() action: sets the sampling flag and increments every
   /// thread's vector clock and version (Table 5 Rule 1), which restores
   /// strict well-formedness (Lemma 5).
@@ -127,11 +140,22 @@ public:
   /// Number of variables currently holding metadata (not yet discarded).
   size_t trackedVariableCount() const { return Vars.size(); }
 
-  /// Accordion clocks: attempts to recycle every joined thread whose
-  /// final clock is dominated by all live threads. Returns the number of
-  /// slots recycled. Called automatically at sampling-period boundaries
-  /// when PacerConfig::UseAccordionClocks is set.
-  size_t recycleDeadThreads();
+  /// Accordion clocks: recycles every dead thread slot whose final clock
+  /// is dominated by all live threads, then compacts clocks onto a dense
+  /// slot prefix when at least half the slots are free. Returns the
+  /// number of slots recycled. Invoked by the runtime after every join
+  /// and thread exit, and by beginSamplingPeriod(); no-op unless
+  /// PacerConfig::UseAccordionClocks is set.
+  size_t recycleDeadSlots() override;
+
+  /// Number of thread-clock slots backing clocks and metadata vectors.
+  size_t slotCount() const override { return Threads.size(); }
+
+  /// High-water slotCount() over the run.
+  size_t peakSlotCount() const override {
+    return Config.UseAccordionClocks ? Recycler.peakSlotCount()
+                                     : Threads.size();
+  }
 
   /// Number of thread-clock slots currently backing live threads.
   size_t liveSlotCount() const;
@@ -142,8 +166,6 @@ public:
   const VectorClock &threadClockForTest(ThreadId Tid) const;
   /// Thread \p Tid's current version vector.
   const VersionVector &threadVersionsForTest(ThreadId Tid) const;
-  /// Number of threads the detector has seen.
-  size_t threadCountForTest() const { return Threads.size(); }
   /// Lock \p Lock's clock payload (null if the lock was never released).
   const VectorClock *lockClockForTest(LockId Lock) const;
   /// Volatile \p Vol's clock payload.
@@ -161,16 +183,10 @@ public:
   Epoch writeEpochForTest(VarId Var) const;
 
 private:
-  enum class SlotLife : uint8_t { Free, Live, Dead };
-
   struct ThreadState {
     SyncClock Clock;
     VersionVector Ver;
     bool Started = false;
-    // Accordion-clock bookkeeping (unused unless enabled).
-    SlotLife Life = SlotLife::Free;
-    ThreadId External = InvalidId; ///< The program's thread id.
-    VectorClock RetiredClock;      ///< Final clock snapshot at join.
   };
 
   /// State for locks and volatiles: a (possibly shared) clock plus a
@@ -200,15 +216,19 @@ private:
   /// Maps a slot back to the program thread id it currently backs (for
   /// race reports). Identity when accordion clocks are disabled.
   ThreadId externalOf(ThreadId Slot) const {
-    if (!Config.UseAccordionClocks || Slot >= Threads.size())
+    if (!Config.UseAccordionClocks)
       return Slot;
-    ThreadId External = Threads[Slot].External;
+    ThreadId External = Recycler.externalOf(Slot);
     return External == InvalidId ? Slot : External;
   }
 
-  /// Purges every trace of slot \p Slot from the analysis state and frees
-  /// it for reuse.
+  /// Purges every trace of slot \p Slot from the analysis state (the
+  /// recycler's purge callback; the recycler itself frees the slot).
   void purgeSlot(ThreadId Slot);
+
+  /// Applies a compaction remap from the recycler to every clock, version
+  /// vector, version epoch, write epoch, and read map the detector owns.
+  void compactSlots(const SlotRemap &Remap);
 
   /// vepoch(t): the current version of thread \p Tid's clock (v@t with
   /// v = ver_t[t], Appendix A.3).
@@ -253,10 +273,9 @@ private:
   /// (usually one cache line) instead of a chained unordered_map lookup.
   FlatVarTable<VarState> Vars;
 
-  // Accordion-clock state (empty unless enabled).
-  std::vector<ThreadId> ExternalToSlot; // InvalidId = unmapped.
-  std::vector<ThreadId> FreeSlots;
-  std::vector<ThreadId> DeadSlots;
+  /// Accordion-clock slot allocation and retirement (idle unless
+  /// enabled); Threads is indexed by the slots it hands out.
+  SlotRecycler Recycler;
 };
 
 } // namespace pacer

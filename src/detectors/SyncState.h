@@ -13,12 +13,20 @@
 /// LiteRace reuse one definition. PACER does not use it: PACER redefines
 /// the low-level copy/increment/join operations.
 ///
+/// The helper optionally hosts a core SlotRecycler (accordion clocks).
+/// When enabled, every thread index stored in a clock is a recyclable
+/// *slot*; the owning detector maps program thread ids through slotOf()
+/// before analysis, maps slots back through externalOf() in race reports,
+/// and forwards Detector::recycleDeadSlots() to recycleDeadSlots() here
+/// with callbacks that purge and renumber its per-variable metadata.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PACER_DETECTORS_SYNCSTATE_H
 #define PACER_DETECTORS_SYNCSTATE_H
 
 #include "core/Epoch.h"
+#include "core/SlotRecycler.h"
 #include "core/VectorClock.h"
 #include "detectors/Detector.h"
 
@@ -29,8 +37,42 @@ namespace pacer {
 /// GENERIC-style vector clocks for threads, locks, and volatiles.
 class SyncState {
 public:
-  /// Returns thread \p Tid's clock, initializing fresh threads to
-  /// inc_t(bottom) per the initial analysis state (Equation 7).
+  /// Accordion clocks: map program thread ids to recyclable slots. Must
+  /// be called before any event is processed.
+  void enableRecycling() { Recycler.enable(); }
+  bool recyclingEnabled() const { return Recycler.enabled(); }
+
+  /// Maps a program thread id to its clock slot (identity when recycling
+  /// is disabled), materializing the slot's initial clock on first sight.
+  ThreadId slotOf(ThreadId External) {
+    if (!Recycler.enabled())
+      return External;
+    SlotRecycler::Mapping M = Recycler.map(External);
+    if (M.Fresh)
+      ensureThread(M.Slot);
+    return M.Slot;
+  }
+
+  /// Maps a slot back to the program thread id it currently backs (for
+  /// race reports). Identity when recycling is disabled.
+  ThreadId externalOf(ThreadId Slot) const {
+    if (!Recycler.enabled())
+      return Slot;
+    ThreadId External = Recycler.externalOf(Slot);
+    return External == InvalidId ? Slot : External;
+  }
+
+  /// True while program thread \p External still holds a slot (always
+  /// true with recycling off). Once an external's slot is reclaimed the
+  /// thread can never act again, so detectors use this to garbage-collect
+  /// side tables keyed by program thread id (e.g. LiteRace's samplers).
+  bool externalHasSlot(ThreadId External) const {
+    return !Recycler.enabled() || Recycler.lookup(External) != InvalidId;
+  }
+
+  /// Returns thread slot \p Tid's clock, initializing fresh slots to
+  /// inc_t(bottom) per the initial analysis state (Equation 7). With
+  /// recycling enabled the index must already be a slot (see slotOf).
   VectorClock &ensureThread(ThreadId Tid) {
     if (Tid >= Threads.size())
       Threads.resize(Tid + 1);
@@ -42,7 +84,7 @@ public:
     return State.Clock;
   }
 
-  /// Thread \p Tid's current epoch c@t with c = C_t(t).
+  /// Thread slot \p Tid's current epoch c@t with c = C_t(t).
   Epoch threadEpoch(ThreadId Tid) {
     const VectorClock &Clock = ensureThread(Tid);
     return Epoch::make(Clock.get(Tid), Tid);
@@ -52,6 +94,8 @@ public:
   void fork(ThreadId Parent, ThreadId Child, DetectorStats &Stats) {
     ++Stats.SyncOps;
     ++Stats.SlowJoinsSampling;
+    Parent = slotOf(Parent);
+    Child = slotOf(Child);
     // Ensure both entries first: ensureThread may reallocate the vector,
     // invalidating a previously taken reference.
     ensureThread(Parent);
@@ -63,15 +107,28 @@ public:
     ParentClock.increment(Parent);
   }
 
-  /// Algorithm 4.
+  /// Algorithm 4. With recycling, the child's slot is retired here with
+  /// its pre-increment clock: the thread acts no more, and the increment
+  /// below creates a virtual epoch no live thread ever joins.
   void join(ThreadId Parent, ThreadId Child, DetectorStats &Stats) {
     ++Stats.SyncOps;
     ++Stats.SlowJoinsSampling;
+    if (Recycler.enabled() && Recycler.lookup(Child) == InvalidId) {
+      // The child's slot was already recycled: every live thread -- the
+      // parent included -- dominates its final clock, so the join is a
+      // semantic no-op. Mapping the child here would wrongly allocate a
+      // fresh slot for a dead thread.
+      ensureThread(slotOf(Parent));
+      return;
+    }
+    Parent = slotOf(Parent);
+    Child = slotOf(Child);
     ensureThread(Parent);
     ensureThread(Child);
     VectorClock &ParentClock = Threads[Parent].Clock;
     VectorClock &ChildClock = Threads[Child].Clock;
     ParentClock.joinWith(ChildClock);
+    Recycler.retire(Child, ChildClock);
     ChildClock.increment(Child);
   }
 
@@ -79,6 +136,7 @@ public:
   void acquire(ThreadId Tid, LockId Lock, DetectorStats &Stats) {
     ++Stats.SyncOps;
     ++Stats.SlowJoinsSampling;
+    Tid = slotOf(Tid);
     ensureThread(Tid).joinWith(ensureLock(Lock));
   }
 
@@ -86,6 +144,7 @@ public:
   void release(ThreadId Tid, LockId Lock, DetectorStats &Stats) {
     ++Stats.SyncOps;
     ++Stats.DeepCopiesSampling;
+    Tid = slotOf(Tid);
     VectorClock &Clock = ensureThread(Tid);
     ensureLock(Lock).copyFrom(Clock);
     Clock.increment(Tid);
@@ -95,6 +154,7 @@ public:
   void volatileRead(ThreadId Tid, VolatileId Vol, DetectorStats &Stats) {
     ++Stats.SyncOps;
     ++Stats.SlowJoinsSampling;
+    Tid = slotOf(Tid);
     ensureThread(Tid).joinWith(ensureVolatile(Vol));
   }
 
@@ -102,12 +162,80 @@ public:
   void volatileWrite(ThreadId Tid, VolatileId Vol, DetectorStats &Stats) {
     ++Stats.SyncOps;
     ++Stats.SlowJoinsSampling;
+    Tid = slotOf(Tid);
     VectorClock &Clock = ensureThread(Tid);
     ensureVolatile(Vol).joinWith(Clock);
     Clock.increment(Tid);
   }
 
-  /// Heap bytes of all synchronization clocks.
+  /// With recycling, retires the exiting thread's slot with its current
+  /// clock (the thread acts no more, so this equals the snapshot a later
+  /// join would take, letting the slot reclaim as soon as domination
+  /// holds). No-op when recycling is disabled.
+  void threadExit(ThreadId External) {
+    if (!Recycler.enabled())
+      return;
+    ThreadId Slot = slotOf(External);
+    ensureThread(Slot);
+    Recycler.retire(Slot, Threads[Slot].Clock);
+  }
+
+  /// Reclaims dead slots dominated by every live thread's clock, then
+  /// compacts when at least half the slots are free. \p PurgeVars scrubs
+  /// the detector's per-variable metadata for one reclaimed slot (remove
+  /// its read entries, null its write epochs); \p CompactVars applies a
+  /// compaction remap to that metadata. This helper scrubs and renumbers
+  /// its own thread/lock/volatile clocks. Returns slots reclaimed.
+  template <typename PurgeVarsFn, typename CompactVarsFn>
+  size_t recycleDeadSlots(PurgeVarsFn PurgeVars, CompactVarsFn CompactVars) {
+    size_t Reclaimed = Recycler.recycle(
+        [this](ThreadId T) -> const VectorClock & { return Threads[T].Clock; },
+        [&](ThreadId Slot) {
+          for (ThreadState &State : Threads)
+            if (State.Started)
+              State.Clock.set(Slot, 0);
+          for (VectorClock &Clock : Locks)
+            Clock.set(Slot, 0);
+          for (VectorClock &Clock : Volatiles)
+            Clock.set(Slot, 0);
+          PurgeVars(Slot);
+          // Reset the slot's own state so the next occupant starts from
+          // a fresh clock.
+          Threads[Slot] = ThreadState();
+        });
+    if (Recycler.shouldCompact()) {
+      SlotRemap Remap = Recycler.compact();
+      const uint32_t *NewToOld = Remap.NewToOld.data();
+      const uint32_t NewCount = Remap.newCount();
+      // NewToOld ascends, so every move source is at or beyond its
+      // destination and no live state is overwritten before it moves.
+      for (uint32_t New = 0; New != NewCount; ++New) {
+        const uint32_t Old = NewToOld[New];
+        if (Old != New)
+          Threads[New] = std::move(Threads[Old]);
+      }
+      Threads.resize(NewCount);
+      for (ThreadState &State : Threads)
+        State.Clock.compactSlots(NewToOld, NewCount);
+      for (VectorClock &Clock : Locks)
+        Clock.compactSlots(NewToOld, NewCount);
+      for (VectorClock &Clock : Volatiles)
+        Clock.compactSlots(NewToOld, NewCount);
+      CompactVars(Remap);
+    }
+    return Reclaimed;
+  }
+
+  /// Number of thread slots backing the clocks.
+  size_t slotCount() const { return Threads.size(); }
+
+  /// High-water slotCount() over the run.
+  size_t peakSlotCount() const {
+    return Recycler.enabled() ? Recycler.peakSlotCount() : Threads.size();
+  }
+
+  /// Heap bytes of all synchronization clocks (plus recycler bookkeeping
+  /// when recycling is enabled).
   size_t liveMetadataBytes() const {
     size_t Bytes = 0;
     for (const ThreadState &State : Threads)
@@ -116,6 +244,8 @@ public:
       Bytes += sizeof(Clock) + Clock.heapBytes();
     for (const VectorClock &Clock : Volatiles)
       Bytes += sizeof(Clock) + Clock.heapBytes();
+    if (Recycler.enabled())
+      Bytes += Recycler.liveMetadataBytes();
     return Bytes;
   }
 
@@ -139,6 +269,7 @@ private:
   std::vector<ThreadState> Threads;
   std::vector<VectorClock> Locks;
   std::vector<VectorClock> Volatiles;
+  SlotRecycler Recycler;
 };
 
 } // namespace pacer

@@ -70,16 +70,28 @@ std::unique_ptr<Detector> pacer::makeDetector(const DetectorSetup &Setup,
   switch (Setup.Kind) {
   case DetectorKind::Null:
     return std::make_unique<NullDetector>(Sink);
-  case DetectorKind::Generic:
-    return std::make_unique<GenericDetector>(Sink);
-  case DetectorKind::FastTrack:
-    return std::make_unique<FastTrackDetector>(Sink, Setup.FastTrack);
-  case DetectorKind::Pacer:
-    return std::make_unique<PacerDetector>(Sink, Setup.Pacer);
-  case DetectorKind::LiteRace:
+  case DetectorKind::Generic: {
+    GenericConfig Config;
+    Config.UseAccordionClocks = Setup.AccordionClocks;
+    return std::make_unique<GenericDetector>(Sink, Config);
+  }
+  case DetectorKind::FastTrack: {
+    FastTrackConfig Config = Setup.FastTrack;
+    Config.UseAccordionClocks |= Setup.AccordionClocks;
+    return std::make_unique<FastTrackDetector>(Sink, Config);
+  }
+  case DetectorKind::Pacer: {
+    PacerConfig Config = Setup.Pacer;
+    Config.UseAccordionClocks |= Setup.AccordionClocks;
+    return std::make_unique<PacerDetector>(Sink, Config);
+  }
+  case DetectorKind::LiteRace: {
+    LiteRaceConfig Config = Setup.LiteRace;
+    Config.UseAccordionClocks |= Setup.AccordionClocks;
     return std::make_unique<LiteRaceDetector>(Sink, Workload.siteToMethod(),
                                               Seed ^ 0x4c495445u /*"LITE"*/,
-                                              Setup.LiteRace);
+                                              Config);
+  }
   }
   pacerUnreachable("unknown detector kind");
 }
@@ -164,6 +176,7 @@ TrialResult pacer::runTrialOnTrace(TraceSpan T,
     Result.ReplaySeconds =
         std::chrono::duration<double>(End - Start).count();
     Result.FinalMetadataBytes = Sharded.FinalMetadataBytes;
+    Result.PeakSlotCount = Sharded.PeakSlotCount;
     return Result;
   }
 
@@ -197,6 +210,7 @@ TrialResult pacer::runTrialOnTrace(TraceSpan T,
   Result.ReplaySeconds =
       std::chrono::duration<double>(End - Start).count();
   Result.FinalMetadataBytes = D->liveMetadataBytes();
+  Result.PeakSlotCount = D->peakSlotCount();
   return Result;
 }
 
@@ -259,5 +273,6 @@ TrialResult pacer::runTrialOnStream(StreamingTraceReader &Reader,
   Result.ReplaySeconds =
       std::chrono::duration<double>(End - Start).count();
   Result.FinalMetadataBytes = D->liveMetadataBytes();
+  Result.PeakSlotCount = D->peakSlotCount();
   return Result;
 }

@@ -54,6 +54,11 @@ struct DetectorSetup {
   /// by default so detectors see every access; enabling is sound (locals
   /// never race) and removes their instrumentation cost.
   bool ElideLocalAccesses = false;
+  /// Accordion thread-slot recycling (core/SlotRecycler.h) for whichever
+  /// detector runs: OR'd into the per-detector config in makeDetector.
+  /// Race reports are identical with it on or off; clocks and metadata
+  /// stay O(live threads) instead of O(threads ever started).
+  bool AccordionClocks = false;
   PacerConfig Pacer;
   FastTrackConfig FastTrack;
   LiteRaceConfig LiteRace;
@@ -98,6 +103,10 @@ struct TrialResult {
   uint64_t TraceEvents = 0;
   double ReplaySeconds = 0.0;
   size_t FinalMetadataBytes = 0;
+  /// High-water thread-slot count (replica 0 under sharded replay).
+  /// Without recycling this is the number of threads ever started; with
+  /// it, the live-thread high-water mark between compactions.
+  size_t PeakSlotCount = 0;
 
   bool sawRace(RaceKey Key) const { return Races.count(Key) != 0; }
   uint64_t dynamicCount(RaceKey Key) const {

@@ -148,6 +148,14 @@ public:
       break;
     case ActionKind::Join:
       Target.join(A.Tid, A.Target);
+      // A join is one of the two points where a thread slot can die
+      // (threadExit below is the other), so it is the natural sweep
+      // point for accordion slot recycling. Sweeping here -- inside the
+      // shared dispatch switch -- makes recycling a pure function of the
+      // synchronization prefix: sequential replay, shard-filtered
+      // replay, and the indexed engine all recycle at identical trace
+      // positions. No-op for detectors without recycling enabled.
+      Target.recycleDeadSlots();
       break;
     case ActionKind::VolatileRead:
     case ActionKind::AwaitVolatile:
@@ -160,6 +168,7 @@ public:
       break;
     case ActionKind::ThreadExit:
       Target.threadExit(A.Tid);
+      Target.recycleDeadSlots();
       break;
     }
   }

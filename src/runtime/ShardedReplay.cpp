@@ -21,6 +21,7 @@ struct ReplicaOutcome {
   DetectorStats Stats;
   size_t LiveBytes = 0;
   size_t AccessBytes = 0;
+  size_t PeakSlots = 0;
   double EffectiveAccessRate = 0.0;
   double EffectiveSyncRate = 0.0;
   uint64_t Boundaries = 0;
@@ -82,6 +83,7 @@ ShardedReplayResult pacer::shardedReplay(TraceSpan T,
         Out->Stats = D->stats();
         Out->LiveBytes = D->liveMetadataBytes();
         Out->AccessBytes = D->accessMetadataBytes();
+        Out->PeakSlots = D->peakSlotCount();
         if (Controller) {
           Out->EffectiveAccessRate = Controller->effectiveAccessRate();
           Out->EffectiveSyncRate = Controller->effectiveSyncRate();
@@ -94,6 +96,7 @@ ShardedReplayResult pacer::shardedReplay(TraceSpan T,
   const ReplicaOutcome &First = *Replicas.front();
   Result.Stats = First.Stats;
   Result.FinalMetadataBytes = First.LiveBytes;
+  Result.PeakSlotCount = First.PeakSlots;
   Result.EffectiveAccessRate = First.EffectiveAccessRate;
   Result.EffectiveSyncRate = First.EffectiveSyncRate;
   Result.Boundaries = First.Boundaries;

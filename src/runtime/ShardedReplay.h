@@ -99,6 +99,9 @@ struct ShardedReplayResult {
   DetectorStats Stats;
   /// Merged end-of-trace metadata bytes.
   size_t FinalMetadataBytes = 0;
+  /// High-water thread-slot count, from replica 0 (slot allocation and
+  /// recycling are sync-side and replica-identical).
+  size_t PeakSlotCount = 0;
   /// Controller measurements from replica 0 (zero without a controller).
   double EffectiveAccessRate = 0.0;
   double EffectiveSyncRate = 0.0;

@@ -58,10 +58,17 @@ ThreadScript ScriptBuilder::buildMain() {
 }
 
 ThreadScript ScriptBuilder::buildWorker(ThreadId Tid) {
-  const WorkloadSpec &Spec = Workload.spec();
   ThreadScript Script;
   Script.Tid = Tid;
-  Script.Ops.reserve(Spec.OpsPerWorker + 16);
+  Script.Ops.reserve(Workload.spec().OpsPerWorker + 16);
+  emitTaskOps(Script, Workload.spec().OpsPerWorker);
+  Script.Ops.push_back({ActionKind::ThreadExit, Tid, InvalidId, InvalidId});
+  return Script;
+}
+
+void ScriptBuilder::emitTaskOps(ThreadScript &Script, uint64_t Budget) {
+  const WorkloadSpec &Spec = Workload.spec();
+  const ThreadId Tid = Script.Tid;
 
   std::vector<LockId> Held; // Ascending lock-id stack: deadlock free.
 
@@ -81,7 +88,7 @@ ThreadScript ScriptBuilder::buildWorker(ThreadId Tid) {
   };
 
   uint64_t Emitted = 0;
-  while (Emitted < Spec.OpsPerWorker) {
+  while (Emitted < Budget) {
     double Roll = Random.nextDouble();
     ++Emitted;
 
@@ -185,13 +192,82 @@ ThreadScript ScriptBuilder::buildWorker(ThreadId Tid) {
     LocalAccess();
   }
 
-  // Balanced exit: release everything still held, newest first.
+  // Balanced block: release everything still held, newest first, so the
+  // caller can splice fork/join structure or the final exit here.
   while (!Held.empty()) {
     Script.Ops.push_back({ActionKind::Release, Tid, Held.back(), InvalidId});
     Held.pop_back();
   }
-  Script.Ops.push_back({ActionKind::ThreadExit, Tid, InvalidId, InvalidId});
+}
+
+ThreadScript ScriptBuilder::buildForkJoinMain() {
+  const WorkloadSpec &Spec = Workload.spec();
+  ThreadScript Script;
+  Script.Tid = 0;
+
+  for (uint32_t I = 0; I < Spec.ReadSharedVars; ++I)
+    Script.Ops.push_back({ActionKind::Write, 0, Workload.readSharedVar(I),
+                          pickSite()});
+
+  // Slide a window of whole task trees over the roots: fork every root of
+  // the window, do a little local work, join them all. Only same-window
+  // trees can overlap, so live threads stay <= window * tree size.
+  const uint32_t Tree = Workload.taskTreeSize();
+  const uint32_t Window = Workload.taskWindowRoots();
+  const uint32_t Roots = Workload.numTaskRoots();
+  for (uint32_t First = 0; First < Roots; First += Window) {
+    const uint32_t Last = std::min(First + Window, Roots);
+    for (uint32_t Root = First; Root < Last; ++Root)
+      Script.Ops.push_back(
+          {ActionKind::Fork, 0, 1 + Root * Tree, InvalidId});
+    for (uint32_t I = 0; I < 8 && Spec.LocalVarsPerThread > 0; ++I) {
+      uint32_t Index = static_cast<uint32_t>(
+          Random.nextBelow(Spec.LocalVarsPerThread));
+      ActionKind Kind = Random.nextBool(Spec.WriteFraction)
+                            ? ActionKind::Write
+                            : ActionKind::Read;
+      Script.Ops.push_back({Kind, 0, Workload.localVar(0, Index),
+                            pickSite()});
+    }
+    for (uint32_t Root = First; Root < Last; ++Root)
+      Script.Ops.push_back(
+          {ActionKind::Join, 0, 1 + Root * Tree, InvalidId});
+  }
+
+  Script.Ops.push_back({ActionKind::ThreadExit, 0, InvalidId, InvalidId});
   return Script;
+}
+
+void ScriptBuilder::buildTaskTree(std::vector<ThreadScript> &Scripts,
+                                  ThreadId FirstTid, uint32_t Depth) {
+  const WorkloadSpec &Spec = Workload.spec();
+  ThreadScript Script;
+  Script.Tid = FirstTid;
+  Script.Ops.reserve(Spec.OpsPerWorker + 2 * Spec.TaskFanout + 16);
+
+  if (Depth == 1) {
+    emitTaskOps(Script, Spec.OpsPerWorker);
+  } else {
+    // Child subtrees are the Fanout contiguous blocks after the root's
+    // own slot; S(Depth) = 1 + Fanout * S(Depth - 1).
+    uint32_t ChildTree = 1;
+    for (uint32_t D = 1; D + 1 < Depth; ++D)
+      ChildTree = 1 + Spec.TaskFanout * ChildTree;
+    emitTaskOps(Script, Spec.OpsPerWorker / 2);
+    for (uint32_t Child = 0; Child < Spec.TaskFanout; ++Child) {
+      ThreadId ChildTid = FirstTid + 1 + Child * ChildTree;
+      Script.Ops.push_back({ActionKind::Fork, FirstTid, ChildTid, InvalidId});
+      buildTaskTree(Scripts, ChildTid, Depth - 1);
+    }
+    for (uint32_t Child = 0; Child < Spec.TaskFanout; ++Child)
+      Script.Ops.push_back({ActionKind::Join, FirstTid,
+                            FirstTid + 1 + Child * ChildTree, InvalidId});
+    emitTaskOps(Script, Spec.OpsPerWorker - Spec.OpsPerWorker / 2);
+  }
+
+  Script.Ops.push_back(
+      {ActionKind::ThreadExit, FirstTid, InvalidId, InvalidId});
+  Scripts[FirstTid] = std::move(Script);
 }
 
 /// Indices of \p Ops at which the executing thread holds no lock (the
@@ -341,9 +417,16 @@ void ScriptBuilder::plantRaces(std::vector<ThreadScript> &Scripts) {
 
 std::vector<ThreadScript> ScriptBuilder::build() {
   std::vector<ThreadScript> Scripts(Workload.totalThreads());
-  Scripts[0] = buildMain();
-  for (ThreadId Tid = 1; Tid < Workload.totalThreads(); ++Tid)
-    Scripts[Tid] = buildWorker(Tid);
+  if (Workload.isForkJoin()) {
+    Scripts[0] = buildForkJoinMain();
+    const uint32_t Tree = Workload.taskTreeSize();
+    for (uint32_t Root = 0; Root < Workload.numTaskRoots(); ++Root)
+      buildTaskTree(Scripts, 1 + Root * Tree, Workload.spec().TaskDepth);
+  } else {
+    Scripts[0] = buildMain();
+    for (ThreadId Tid = 1; Tid < Workload.totalThreads(); ++Tid)
+      Scripts[Tid] = buildWorker(Tid);
+  }
   plantRaces(Scripts);
   return Scripts;
 }

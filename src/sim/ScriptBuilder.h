@@ -52,6 +52,20 @@ private:
   /// Builds one worker's base script (no racy accesses yet).
   ThreadScript buildWorker(ThreadId Tid);
 
+  /// Appends approximately \p Budget operations of the randomized worker
+  /// mix to \p Script; enters and leaves with no locks held.
+  void emitTaskOps(ThreadScript &Script, uint64_t Budget);
+
+  /// ForkJoinTasks: builds the main script (init, fork/join windows of
+  /// root tasks).
+  ThreadScript buildForkJoinMain();
+
+  /// ForkJoinTasks: builds the scripts of the task tree occupying tids
+  /// [\p FirstTid, FirstTid + S(\p Depth)): the root runs half its ops,
+  /// forks and joins its subtrees, runs the rest, and exits.
+  void buildTaskTree(std::vector<ThreadScript> &Scripts, ThreadId FirstTid,
+                     uint32_t Depth);
+
   /// Splices this trial's gated planted races into the worker scripts.
   void plantRaces(std::vector<ThreadScript> &Scripts);
 

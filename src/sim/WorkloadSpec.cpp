@@ -15,9 +15,25 @@ CompiledWorkload::CompiledWorkload(WorkloadSpec SpecIn)
   PACER_CHECK(Spec.Locks >= 1, "workload needs at least one lock");
   PACER_CHECK(Spec.Methods >= 2, "workload needs hot and cold methods");
 
+  if (Spec.Family == WorkloadFamily::ForkJoinTasks) {
+    PACER_CHECK(Spec.TaskDepth >= 1, "task trees need at least one level");
+    PACER_CHECK(Spec.TaskDepth == 1 || Spec.TaskFanout >= 1,
+                "non-leaf task trees need a fanout");
+    for (uint32_t D = 1; D < Spec.TaskDepth; ++D) {
+      TreeSize = 1 + Spec.TaskFanout * TreeSize;
+      PACER_CHECK(TreeSize <= Spec.WorkerThreads,
+                  "task tree larger than the worker population");
+    }
+    PACER_CHECK(Spec.WorkerThreads % TreeSize == 0,
+                "worker count must be whole task trees");
+  }
+
   NumRaces = static_cast<uint32_t>(Spec.Races.size());
+  // Local banks, not total threads: the fork/join family reuses banks
+  // across windows (see localBankOf), so its variable space -- and with
+  // it every detector's per-variable metadata -- stays O(live tasks).
   TotalVars = NumRaces + Spec.ReadSharedVars + Spec.SharedVars +
-              (Spec.WorkerThreads + 1) * Spec.LocalVarsPerThread;
+              numLocalBanks() * Spec.LocalVarsPerThread;
 
   NumHotMethods = std::max<uint32_t>(
       1, static_cast<uint32_t>(

@@ -56,13 +56,37 @@ struct PlantedRace {
   AccessKind SecondKind = AccessKind::Write;
 };
 
+/// Thread-structure family of a workload.
+enum class WorkloadFamily : uint8_t {
+  /// Main forks flat waves of long-lived workers and joins each wave
+  /// before the next (the paper benchmarks' shape, Table 2).
+  WaveWorkers,
+  /// Async-finish task DAG: main forks windows of root tasks; each
+  /// non-leaf task forks TaskFanout subtasks mid-body and joins them
+  /// before finishing. Threads are short-lived and churn continuously,
+  /// the stress shape for thread-slot recycling: total threads grow with
+  /// the spawn count while live threads stay bounded by MaxLiveWorkers.
+  ForkJoinTasks,
+};
+
 /// Parameters of a synthetic workload.
 struct WorkloadSpec {
   std::string Name = "workload";
 
+  /// Thread topology; see WorkloadFamily.
+  WorkloadFamily Family = WorkloadFamily::WaveWorkers;
+  /// ForkJoinTasks: levels per task tree (1 = leaf-only roots, 2 = roots
+  /// fork one generation of leaves, ...).
+  uint32_t TaskDepth = 2;
+  /// ForkJoinTasks: subtasks forked by each non-leaf task.
+  uint32_t TaskFanout = 4;
+
   /// Worker threads started over the run (total threads = workers + main).
+  /// Under ForkJoinTasks this is the total task count and must be a
+  /// multiple of the task-tree size (use forkJoinModelWithTasks).
   uint32_t WorkerThreads = 8;
   /// Maximum workers live at once; workers run in waves of this size.
+  /// Under ForkJoinTasks the cap rounds down to whole task trees.
   uint32_t MaxLiveWorkers = 8;
 
   /// Data-variable population.
@@ -139,7 +163,31 @@ public:
   }
   VarId localVar(ThreadId Worker, uint32_t Index) const {
     return NumRaces + Spec.ReadSharedVars + Spec.SharedVars +
-           Worker * Spec.LocalVarsPerThread + Index;
+           localBankOf(Worker) * Spec.LocalVarsPerThread + Index;
+  }
+
+  /// Local-variable bank of \p Worker. Wave families give every thread its
+  /// own bank (per-thread locals live for the whole run, like the paper's
+  /// benchmark threads). The fork/join family instead models task-graph
+  /// runtimes that recycle task stacks and arenas: a task reuses the bank
+  /// of the same window position in the previous window. Reuse is safe --
+  /// main joins a whole window before forking the next, so every access to
+  /// a bank in window N happens-before every access in window N+1 -- and
+  /// it keeps the variable space O(live tasks) no matter how many tasks
+  /// the run spawns, which is what makes the family a pure stress of
+  /// *thread-slot* growth rather than of variable-count growth.
+  uint32_t localBankOf(ThreadId Worker) const {
+    if (Worker == 0 || !isForkJoin())
+      return Worker;
+    return 1 + (Worker - 1) % waveSize();
+  }
+  /// Number of distinct local-variable banks (main's plus the workers').
+  uint32_t numLocalBanks() const {
+    if (!isForkJoin())
+      return Spec.WorkerThreads + 1;
+    return (Spec.WorkerThreads < waveSize() ? Spec.WorkerThreads
+                                            : waveSize()) +
+           1;
   }
 
   /// True if \p Var is a thread-local variable -- what the paper's
@@ -209,16 +257,40 @@ public:
 
   /// Total threads started, including main (paper Table 2's "Total").
   uint32_t totalThreads() const { return Spec.WorkerThreads + 1; }
-  /// Worker wave containing worker thread id \p Tid (1-based tids).
+  /// Worker wave containing worker thread id \p Tid (1-based tids). A
+  /// "wave" is the unit of schedule concurrency: main joins one wave
+  /// before forking the next, so only same-wave workers can overlap.
+  /// Under ForkJoinTasks a wave is one sliding window of task trees.
   uint32_t waveOf(ThreadId Tid) const { return (Tid - 1) / waveSize(); }
   uint32_t numWaves() const {
     return (Spec.WorkerThreads + waveSize() - 1) / waveSize();
   }
   uint32_t waveSize() const {
+    if (isForkJoin())
+      return taskWindowRoots() * taskTreeSize();
     return Spec.MaxLiveWorkers == 0 ? 1 : Spec.MaxLiveWorkers;
   }
   /// Worker tids of wave \p Wave.
   std::vector<ThreadId> waveWorkers(uint32_t Wave) const;
+
+  // --- ForkJoinTasks layout ---
+
+  bool isForkJoin() const {
+    return Spec.Family == WorkloadFamily::ForkJoinTasks;
+  }
+  /// Threads in one task tree: S(1) = 1, S(d) = 1 + Fanout * S(d-1).
+  /// Trees occupy contiguous tid blocks ([1 + r*S, 1 + (r+1)*S) for root
+  /// r) assigned in preorder, so every subtree is itself contiguous.
+  uint32_t taskTreeSize() const { return TreeSize; }
+  /// Root task trees started over the run.
+  uint32_t numTaskRoots() const { return Spec.WorkerThreads / TreeSize; }
+  /// Root trees per window: the whole tree of every in-window root may be
+  /// live at once, so the window is the live cap in units of whole trees.
+  uint32_t taskWindowRoots() const {
+    return Spec.MaxLiveWorkers < TreeSize
+               ? 1
+               : Spec.MaxLiveWorkers / TreeSize;
+  }
 
   /// Approximate live "objects" for the space model's two-header-words
   /// charge (variables grouped as fields of objects).
@@ -229,6 +301,7 @@ private:
   WorkloadSpec Spec;
   uint32_t NumRaces;
   uint32_t TotalVars;
+  uint32_t TreeSize = 1;
   uint32_t NumHotMethods;
   std::vector<uint32_t> SiteToMethod;
   std::vector<std::pair<SiteId, SiteId>> RaceSites;

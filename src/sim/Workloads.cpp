@@ -137,6 +137,42 @@ WorkloadSpec pacer::pseudojbbModel() {
   return Spec;
 }
 
+WorkloadSpec pacer::forkJoinModel() {
+  WorkloadSpec Spec;
+  Spec.Name = "forkjoin";
+  Spec.Family = WorkloadFamily::ForkJoinTasks;
+  Spec.TaskDepth = 2;
+  Spec.TaskFanout = 4;   // Tree size 5: a root plus four leaves.
+  Spec.WorkerThreads = 600; // 120 task trees over the run.
+  Spec.MaxLiveWorkers = 20; // Window of 4 trees; <= 21 threads live.
+  Spec.LocalVarsPerThread = 16;
+  Spec.SharedVars = 192;
+  Spec.ReadSharedVars = 32;
+  Spec.Locks = 12;
+  Spec.Volatiles = 6;
+  Spec.Methods = 30;
+  Spec.SitesPerMethod = 8;
+  Spec.HotMethodFraction = 0.2;
+  Spec.HotSitePickProb = 0.9;
+  Spec.OpsPerWorker = 400; // Short-lived tasks: spawn-dominated traces.
+  Spec.SyncOpFraction = 0.012;
+  Spec.WriteFraction = 0.3;
+  // Races between window-concurrent tasks: mostly common so on/off
+  // report-identity checks exercise real reports, plus a rare tail.
+  addRaces(Spec, 6, 0.9, 3, /*SomeHot=*/true);
+  addRaces(Spec, 4, 0.15, 2, /*SomeHot=*/false);
+  return Spec;
+}
+
+WorkloadSpec pacer::forkJoinModelWithTasks(uint32_t Tasks) {
+  WorkloadSpec Spec = forkJoinModel();
+  uint32_t Tree = 1;
+  for (uint32_t D = 1; D < Spec.TaskDepth; ++D)
+    Tree = 1 + Spec.TaskFanout * Tree;
+  Spec.WorkerThreads = std::max<uint32_t>(1, Tasks / Tree) * Tree;
+  return Spec;
+}
+
 std::vector<WorkloadSpec> pacer::paperWorkloads() {
   return {eclipseModel(), hsqldbModel(), xalanModel(), pseudojbbModel()};
 }
@@ -145,8 +181,10 @@ WorkloadSpec pacer::paperWorkloadByName(const std::string &Name) {
   for (WorkloadSpec &Spec : paperWorkloads())
     if (Spec.Name == Name)
       return std::move(Spec);
-  fatalError("unknown workload name (want eclipse, hsqldb, xalan, or "
-             "pseudojbb)");
+  if (Name == "forkjoin")
+    return forkJoinModel();
+  fatalError("unknown workload name (want eclipse, hsqldb, xalan, "
+             "pseudojbb, or forkjoin)");
 }
 
 WorkloadSpec pacer::tinyTestWorkload() {

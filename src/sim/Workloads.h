@@ -43,11 +43,23 @@ WorkloadSpec xalanModel();
 /// pseudojbb model: 37 total threads, 9 max live; few races, mostly common.
 WorkloadSpec pseudojbbModel();
 
+/// Fork/join task-graph model (WorkloadFamily::ForkJoinTasks): 600
+/// short-lived tasks in depth-2 trees of five, at most ~21 threads live.
+/// Not a paper benchmark -- it is the thread-churn stress family for
+/// accordion slot recycling (total threads >> max live).
+WorkloadSpec forkJoinModel();
+
+/// forkJoinModel scaled to approximately \p Tasks total tasks (rounded to
+/// whole task trees); the live-thread cap stays fixed, so growing Tasks
+/// grows spawn churn, not concurrency.
+WorkloadSpec forkJoinModelWithTasks(uint32_t Tasks);
+
 /// All four paper workloads in presentation order.
 std::vector<WorkloadSpec> paperWorkloads();
 
 /// Returns the paper workload named \p Name (eclipse, hsqldb, xalan,
-/// pseudojbb); aborts on an unknown name.
+/// pseudojbb) or the extension family "forkjoin"; aborts on an unknown
+/// name.
 WorkloadSpec paperWorkloadByName(const std::string &Name);
 
 /// Small, fast workload for unit and property tests: a few threads, a few

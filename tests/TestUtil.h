@@ -86,6 +86,10 @@ public:
     T.push_back({ActionKind::VolatileWrite, Tid, Vol, InvalidId});
     return *this;
   }
+  TraceBuilder &exit(ThreadId Tid) {
+    T.push_back({ActionKind::ThreadExit, Tid, InvalidId, InvalidId});
+    return *this;
+  }
 
   Trace take() { return std::move(T); }
 

@@ -1,0 +1,168 @@
+//===- tests/core/SlotRecyclerTest.cpp ------------------------------------==//
+//
+// The SlotRecycler in isolation: external->slot binding, the domination
+// precondition on reclamation, dead-snapshot scrubbing, and compaction
+// remaps. Detector integration is covered by AccordionClockTest and
+// RecyclingEquivalenceTest; here the live-clock and purge callables are
+// plain test lambdas.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SlotRecycler.h"
+
+#include <gtest/gtest.h>
+
+using namespace pacer;
+
+namespace {
+
+/// A recycler plus the per-slot clocks a detector would own.
+struct Rig {
+  SlotRecycler R;
+  std::vector<VectorClock> Clocks;
+  std::vector<ThreadId> Purged;
+
+  Rig() { R.enable(); }
+
+  ThreadId map(ThreadId External) {
+    SlotRecycler::Mapping M = R.map(External);
+    if (M.Slot >= Clocks.size())
+      Clocks.resize(M.Slot + 1);
+    return M.Slot;
+  }
+
+  size_t recycle() {
+    return R.recycle(
+        [this](ThreadId Slot) -> const VectorClock & { return Clocks[Slot]; },
+        [this](ThreadId Slot) {
+          Purged.push_back(Slot);
+          // Model a detector purge: drop the reclaimed slot's clock and
+          // zero its component everywhere.
+          Clocks[Slot] = VectorClock();
+          for (VectorClock &C : Clocks)
+            C.set(Slot, 0);
+        });
+  }
+};
+
+TEST(SlotRecyclerTest, MapBindsDenseSlotsAndLookupFollows) {
+  Rig Rig;
+  EXPECT_EQ(Rig.map(100), 0u);
+  EXPECT_EQ(Rig.map(200), 1u);
+  EXPECT_EQ(Rig.map(100), 0u) << "idempotent for a bound external";
+  EXPECT_EQ(Rig.R.lookup(200), 1u);
+  EXPECT_EQ(Rig.R.lookup(999), InvalidId);
+  EXPECT_EQ(Rig.R.externalOf(1), 200u);
+}
+
+TEST(SlotRecyclerTest, RecycleWaitsForDominationByEveryLiveClock) {
+  Rig Rig;
+  ThreadId Main = Rig.map(0);
+  ThreadId A = Rig.map(1);
+  ThreadId B = Rig.map(2);
+
+  // A retires at clock [_, 5, _]; main has absorbed it (join), B has not.
+  VectorClock Final;
+  Final.set(A, 5);
+  Rig.Clocks[Main].set(A, 5);
+  Rig.Clocks[Main].set(Main, 9);
+  Rig.R.retire(A, Final);
+
+  EXPECT_EQ(Rig.recycle(), 0u) << "B's clock does not dominate A's final";
+  EXPECT_EQ(Rig.R.lookup(1), A) << "still bound while unreclaimed";
+  EXPECT_TRUE(Rig.Purged.empty());
+
+  // B catches up (e.g. a lock handoff carried A's segment).
+  Rig.Clocks[B].set(A, 5);
+  EXPECT_EQ(Rig.recycle(), 1u);
+  EXPECT_EQ(Rig.Purged, std::vector<ThreadId>{A});
+  EXPECT_EQ(Rig.R.lookup(1), InvalidId);
+  EXPECT_EQ(Rig.map(3), A) << "freed slot is reused first";
+}
+
+TEST(SlotRecyclerTest, RetirementSnapshotIgnoresPostRetirementBumps) {
+  // The join rule bumps the child's clock *after* its last real event;
+  // callers snapshot before the bump. Domination must then be reachable.
+  Rig Rig;
+  ThreadId Main = Rig.map(0);
+  ThreadId Child = Rig.map(1);
+  VectorClock PreBump;
+  PreBump.set(Child, 3);
+  Rig.R.retire(Child, PreBump);
+  Rig.Clocks[Child].set(Child, 4); // The virtual post-join increment.
+  Rig.Clocks[Main].set(Child, 3);  // Main absorbed only the real epochs.
+  EXPECT_EQ(Rig.recycle(), 1u);
+}
+
+TEST(SlotRecyclerTest, ReclaimScrubsOtherDeadSnapshots) {
+  // D1 retires first with a snapshot naming D2's component; then D2 is
+  // reclaimed and every live clock's D2 component is purged to zero. D1's
+  // snapshot must be scrubbed at that reclaim, or it would compare its
+  // stale D2 requirement against the slot's next occupant forever and
+  // never be reclaimed.
+  Rig Rig;
+  ThreadId Main = Rig.map(0);
+  ThreadId D1 = Rig.map(1);
+  ThreadId D2 = Rig.map(2);
+
+  VectorClock FinalD1;
+  FinalD1.set(D1, 4);
+  FinalD1.set(D2, 2); // D1 had absorbed D2's segment.
+  Rig.R.retire(D1, FinalD1);
+
+  VectorClock FinalD2;
+  FinalD2.set(D2, 2);
+  Rig.Clocks[Main].set(D2, 2);
+  Rig.R.retire(D2, FinalD2);
+
+  // Main dominates D2's snapshot but not D1's (no D1 component yet): one
+  // reclaim, and the purge zeroes main's D2 component.
+  EXPECT_EQ(Rig.recycle(), 1u);
+  EXPECT_EQ(Rig.Purged, std::vector<ThreadId>{D2});
+
+  // Main absorbs D1's real epochs. Its D2 component is 0 now, so only the
+  // scrub of D1's snapshot makes domination -- and reclaim -- possible.
+  Rig.Clocks[Main].set(D1, 4);
+  EXPECT_EQ(Rig.recycle(), 1u);
+}
+
+TEST(SlotRecyclerTest, CompactionPacksLiveSlotsOntoDensePrefix) {
+  Rig Rig;
+  // 20 slots, then retire and reclaim all but main and the last worker.
+  ThreadId Main = Rig.map(0);
+  Rig.Clocks[Main].set(Main, 1);
+  for (ThreadId External = 1; External <= 19; ++External)
+    Rig.map(External);
+  for (ThreadId External = 1; External <= 18; ++External) {
+    ThreadId Slot = Rig.R.lookup(External);
+    VectorClock Final;
+    Final.set(Slot, 1);
+    Rig.Clocks[Main].set(Slot, 1);
+    Rig.Clocks[Rig.R.lookup(19)].set(Slot, 1);
+    Rig.R.retire(Slot, Final);
+  }
+  EXPECT_EQ(Rig.recycle(), 18u);
+  ASSERT_TRUE(Rig.R.shouldCompact()) << "20 slots, 18 free";
+
+  SlotRemap Remap = Rig.R.compact();
+  EXPECT_EQ(Remap.newCount(), 2u);
+  EXPECT_EQ(Rig.R.slotCount(), 2u);
+  // NewToOld ascends, so in-place gathers are safe.
+  ASSERT_EQ(Remap.NewToOld.size(), 2u);
+  EXPECT_LT(Remap.NewToOld[0], Remap.NewToOld[1]);
+  // Bindings follow the renumbering.
+  EXPECT_EQ(Rig.R.lookup(0), Remap.OldToNew[0]);
+  EXPECT_EQ(Rig.R.externalOf(Rig.R.lookup(19)), 19u);
+  EXPECT_EQ(Rig.R.peakSlotCount(), 20u) << "peak is a high-water mark";
+}
+
+TEST(SlotRecyclerTest, ShouldCompactNeedsScaleAndFreedom) {
+  Rig Rig;
+  for (ThreadId External = 0; External < 8; ++External)
+    Rig.map(External);
+  EXPECT_FALSE(Rig.R.shouldCompact()) << "below the slot floor";
+  SlotRecycler Disabled;
+  EXPECT_FALSE(Disabled.shouldCompact());
+}
+
+} // namespace

@@ -1,11 +1,14 @@
 //===- tests/detectors/AccordionClockTest.cpp -----------------------------==//
 //
 // Accordion clocks (the production improvement the paper's Section 5.1
-// cites): thread-clock slots are recycled once a joined thread's final
-// clock is dominated by every live thread. The tests verify soundness
-// (no false positives or misattributed reports across recycling), the
-// domination precondition, and the space effect (slots bounded by live
-// threads, not total threads).
+// cites): thread-clock slots are recycled once a joined or exited
+// thread's final clock is dominated by every live thread. Recycling
+// sweeps run automatically after every Join and ThreadExit the runtime
+// dispatches, so most tests just replay and observe. The tests verify
+// soundness (no false positives or misattributed reports across
+// recycling), the domination precondition, version-epoch invalidation,
+// and the space effect (slots bounded by live threads, not total
+// threads).
 //
 //===----------------------------------------------------------------------===//
 
@@ -39,42 +42,48 @@ protected:
 
 TEST_F(AccordionClockTest, JoinedThreadSlotIsRecycled) {
   D.beginSamplingPeriod();
+  // The parent joined the child, so the child's final clock is dominated
+  // and the automatic post-join sweep reclaims the slot.
   replay(TraceBuilder().fork(0, 1).write(1, 5).join(0, 1).take());
   EXPECT_EQ(D.liveSlotCount(), 1u) << "only main is live";
-  // The parent joined the child, so the child's final clock is dominated.
-  EXPECT_EQ(D.recycleDeadThreads(), 1u);
   // The next thread reuses the slot: total slots stay at 2.
   replay(TraceBuilder().fork(0, 2).take());
-  EXPECT_EQ(D.threadCountForTest(), 2u);
+  EXPECT_EQ(D.slotCount(), 2u);
   EXPECT_EQ(D.liveSlotCount(), 2u);
 }
 
 TEST_F(AccordionClockTest, RecycleRequiresDominationByAllLiveThreads) {
   D.beginSamplingPeriod();
   // Child 2 stays live and has NOT synchronized with child 1's final
-  // clock, so slot 1 must not be recycled yet.
+  // clock, so the automatic sweep at the join must leave slot 1 dead but
+  // unreclaimed, and a manual sweep must agree.
   replay(TraceBuilder()
              .fork(0, 1)
              .fork(0, 2)
              .write(1, 5)
              .join(0, 1)
              .take());
-  EXPECT_EQ(D.recycleDeadThreads(), 0u)
+  EXPECT_EQ(D.recycleDeadSlots(), 0u)
       << "thread 2 does not dominate thread 1's final clock";
+  EXPECT_EQ(D.liveSlotCount(), 2u);
+  EXPECT_EQ(D.slotCount(), 3u) << "dead slot 1 still allocated";
   // Once thread 2 receives thread 1's clock (via a lock handoff from
-  // main, which holds it after the join), recycling proceeds.
+  // main, which holds it after the join), recycling proceeds. Lock
+  // operations trigger no automatic sweep, so the manual call observes
+  // the flip from blocked to reclaimable.
   replay(TraceBuilder().acq(0, 9).rel(0, 9).acq(2, 9).rel(2, 9).take());
-  EXPECT_EQ(D.recycleDeadThreads(), 1u);
+  EXPECT_EQ(D.recycleDeadSlots(), 1u);
 }
 
 TEST_F(AccordionClockTest, NoFalseRaceAcrossRecycledSlot) {
   D.beginSamplingPeriod();
-  // Thread 1 writes x; after join + recycle, thread 2 reuses the slot and
-  // writes x. The accesses are ordered (fork after join), so no race may
-  // be reported even though both map to the same slot.
+  // Thread 1 writes x; after the join recycles its slot, thread 2 reuses
+  // the slot and writes x. The accesses are ordered (fork after join),
+  // so no race may be reported even though both map to the same slot.
   replay(TraceBuilder().fork(0, 1).write(1, 5).join(0, 1).take());
-  ASSERT_EQ(D.recycleDeadThreads(), 1u);
+  ASSERT_EQ(D.liveSlotCount(), 1u);
   replay(TraceBuilder().fork(0, 2).write(2, 5).join(0, 2).take());
+  EXPECT_EQ(D.slotCount(), 2u) << "thread 2 reused the recycled slot";
   EXPECT_TRUE(Sink.empty());
 }
 
@@ -84,7 +93,7 @@ TEST_F(AccordionClockTest, TrueRaceAcrossRecycledSlotStillReported) {
   // recycled slot; their conflicting accesses must still be reported,
   // with the *program* thread ids.
   replay(TraceBuilder().fork(0, 1).join(0, 1).take());
-  ASSERT_EQ(D.recycleDeadThreads(), 1u);
+  ASSERT_EQ(D.liveSlotCount(), 1u);
   replay(TraceBuilder()
              .fork(0, 3)
              .fork(0, 2) // Reuses slot 1.
@@ -98,16 +107,27 @@ TEST_F(AccordionClockTest, TrueRaceAcrossRecycledSlotStillReported) {
 
 TEST_F(AccordionClockTest, RecycleDiscardsRetiredThreadMetadata) {
   D.beginSamplingPeriod();
-  replay(TraceBuilder()
-             .fork(0, 1)
-             .write(1, 5)
-             .read(1, 6)
-             .join(0, 1)
-             .take());
+  replay(TraceBuilder().fork(0, 1).write(1, 5).read(1, 6).take());
   EXPECT_EQ(D.trackedVariableCount(), 2u);
-  ASSERT_EQ(D.recycleDeadThreads(), 1u);
+  replay(TraceBuilder().join(0, 1).take());
   EXPECT_EQ(D.trackedVariableCount(), 0u)
       << "a dominated thread's accesses cannot start a race: discard";
+}
+
+TEST_F(AccordionClockTest, ThreadExitRetiresTheSlot) {
+  D.beginSamplingPeriod();
+  // An explicit exit (no join yet) retires the slot; it is reclaimed as
+  // soon as every live thread dominates it -- here immediately, because
+  // only main remains and fork edges order it after... they do not: main
+  // does not see child work until the join. The exit sweep must NOT
+  // reclaim, the join sweep must.
+  replay(TraceBuilder().fork(0, 1).write(1, 5).exit(1).take());
+  EXPECT_EQ(D.liveSlotCount(), 1u) << "child retired at exit";
+  EXPECT_EQ(D.slotCount(), 2u) << "not dominated by main before the join";
+  replay(TraceBuilder().join(0, 1).take());
+  EXPECT_EQ(D.trackedVariableCount(), 0u);
+  replay(TraceBuilder().fork(0, 2).take());
+  EXPECT_EQ(D.slotCount(), 2u) << "slot reused after the join sweep";
 }
 
 TEST_F(AccordionClockTest, RecycleKeepsOtherThreadsMetadata) {
@@ -118,14 +138,14 @@ TEST_F(AccordionClockTest, RecycleKeepsOtherThreadsMetadata) {
              .write(1, 5)
              .join(0, 1)
              .take());
-  ASSERT_EQ(D.recycleDeadThreads(), 1u);
   EXPECT_EQ(D.trackedVariableCount(), 1u);
   EXPECT_EQ(D.writeEpochForTest(7).tid(), 0u);
 }
 
 TEST_F(AccordionClockTest, WaveWorkloadBoundsSlotsByLiveThreads) {
   // hsqldb-style: many short-lived workers in bounded waves. With
-  // accordion clocks the slot count tracks the wave size, not the total.
+  // accordion clocks the slot count tracks the wave size, not the total;
+  // the automatic join sweeps make this hold with no manual recycling.
   WorkloadSpec Spec = scaleWorkload(hsqldbModel(), 0.1);
   CompiledWorkload Workload(Spec);
   Trace T = generateTrace(Workload, 3);
@@ -138,23 +158,40 @@ TEST_F(AccordionClockTest, WaveWorkloadBoundsSlotsByLiveThreads) {
   Accordion.beginSamplingPeriod();
 
   Runtime PlainRT(Plain), AccordionRT(Accordion);
-  size_t Events = 0;
   for (const Action &A : T) {
     PlainRT.dispatch(A);
     AccordionRT.dispatch(A);
-    // Recycle periodically, standing in for GC boundaries.
-    if (++Events % 5000 == 0)
-      Accordion.recycleDeadThreads();
   }
-  Accordion.recycleDeadThreads();
 
-  EXPECT_EQ(Plain.threadCountForTest(), Workload.totalThreads());
+  EXPECT_EQ(Plain.slotCount(), Workload.totalThreads());
+  EXPECT_EQ(Plain.peakSlotCount(), Workload.totalThreads());
   // Intra-wave workers only become dominated when their wave ends, so the
-  // structural floor is about two waves' worth of slots.
-  EXPECT_LE(Accordion.threadCountForTest(), 2u * Spec.MaxLiveWorkers + 2)
+  // structural floor is about two waves' worth of slots; compaction then
+  // keeps the allocated vector near the peak of the live count.
+  EXPECT_LE(Accordion.peakSlotCount(), 2u * Spec.MaxLiveWorkers + 2)
       << "slots must be bounded by live threads (waves of "
       << Spec.MaxLiveWorkers << "), not total threads";
+  EXPECT_LE(Accordion.slotCount(), Accordion.peakSlotCount());
   EXPECT_LT(Accordion.liveMetadataBytes(), Plain.liveMetadataBytes());
+}
+
+TEST_F(AccordionClockTest, ForkJoinWorkloadBoundsSlotsByLiveThreads) {
+  // The dedicated stress family: hundreds of short-lived tasks in trees,
+  // live threads capped. Slots must track the cap.
+  WorkloadSpec Spec = forkJoinModelWithTasks(200);
+  CompiledWorkload Workload(Spec);
+  Trace T = generateTrace(Workload, 7);
+
+  CollectingSink AccordionSink;
+  PacerDetector Accordion(AccordionSink, accordionConfig());
+  Accordion.beginSamplingPeriod();
+  Runtime RT(Accordion);
+  for (const Action &A : T)
+    RT.dispatch(A);
+
+  EXPECT_GT(Workload.totalThreads(), 4u * Spec.MaxLiveWorkers)
+      << "stress shape: far more tasks than live threads";
+  EXPECT_LE(Accordion.peakSlotCount(), 2u * Spec.MaxLiveWorkers + 2);
 }
 
 TEST_F(AccordionClockTest, SameRacesWithAndWithoutAccordion) {
@@ -170,14 +207,12 @@ TEST_F(AccordionClockTest, SameRacesWithAndWithoutAccordion) {
     Plain.beginSamplingPeriod();
     Accordion.beginSamplingPeriod();
     Runtime PlainRT(Plain), AccordionRT(Accordion);
-    size_t Events = 0;
     for (const Action &A : T) {
       PlainRT.dispatch(A);
       AccordionRT.dispatch(A);
-      if (++Events % 1000 == 0)
-        Accordion.recycleDeadThreads();
     }
     EXPECT_EQ(PlainSink.keys(), AccordionSink.keys()) << "seed " << Seed;
+    EXPECT_EQ(PlainSink.size(), AccordionSink.size()) << "seed " << Seed;
   }
 }
 
@@ -191,7 +226,7 @@ TEST_F(AccordionClockTest, VersionEpochOfRecycledSlotInvalidated) {
              .rel(1, 9) // vepoch names slot 1.
              .join(0, 1)
              .take());
-  ASSERT_EQ(D.recycleDeadThreads(), 1u);
+  ASSERT_EQ(D.liveSlotCount(), 1u);
   EXPECT_TRUE(D.lockVersionEpochForTest(9).isTop());
 }
 
@@ -200,8 +235,8 @@ TEST_F(AccordionClockTest, DisabledConfigKeepsIdentityMapping) {
   PacerDetector Plain(Sink2); // Accordion off.
   Plain.beginSamplingPeriod();
   replayInto(Plain, TraceBuilder().fork(0, 5).write(5, 3).join(0, 5).take());
-  EXPECT_EQ(Plain.recycleDeadThreads(), 0u);
-  EXPECT_EQ(Plain.threadCountForTest(), 6u) << "slot == program thread id";
+  EXPECT_EQ(Plain.recycleDeadSlots(), 0u);
+  EXPECT_EQ(Plain.slotCount(), 6u) << "slot == program thread id";
 }
 
 } // namespace

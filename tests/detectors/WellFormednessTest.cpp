@@ -35,7 +35,7 @@ public:
       : D(D), W(W) {}
 
   void checkAll(bool Sampling, size_t EventIndex) {
-    size_t Threads = D.threadCountForTest();
+    size_t Threads = D.slotCount();
     for (ThreadId T = 0; T < Threads; ++T) {
       const VectorClock &OwnClock = D.threadClockForTest(T);
       const VersionVector &OwnVer = D.threadVersionsForTest(T);

@@ -69,6 +69,26 @@ TEST(CompiledWorkloadTest, WaveWorkersPartitionWorkers) {
   EXPECT_EQ(All.size(), Spec.WorkerThreads);
 }
 
+TEST(CompiledWorkloadTest, ForkJoinLocalBanksRecycleAcrossWindows) {
+  // The fork/join family models task runtimes reusing stacks: a task's
+  // locals share the bank of the same window position one window earlier.
+  // Main keeps a dedicated bank; wave families keep per-thread banks.
+  CompiledWorkload W(forkJoinModelWithTasks(60));
+  const uint32_t Window = W.waveSize();
+  EXPECT_EQ(W.localBankOf(0), 0u);
+  EXPECT_EQ(W.localBankOf(1), 1u);
+  EXPECT_EQ(W.localBankOf(1 + Window), 1u)
+      << "window N+1 reuses window N's banks";
+  EXPECT_EQ(W.numLocalBanks(), Window + 1);
+  EXPECT_EQ(W.localVar(1, 0), W.localVar(1 + Window, 0));
+  // So the variable space depends on the live cap, not on total spawns.
+  EXPECT_EQ(CompiledWorkload(forkJoinModelWithTasks(600)).numVars(),
+            W.numVars());
+  // Wave families are untouched: every thread keeps its own bank.
+  CompiledWorkload Wave(mediumTestWorkload());
+  EXPECT_EQ(Wave.localBankOf(1 + Wave.waveSize()), 1 + Wave.waveSize());
+}
+
 TEST(CompiledWorkloadTest, SiteToMethodCoversAllSites) {
   CompiledWorkload W(tinyTestWorkload());
   EXPECT_EQ(W.siteToMethod().size(), W.numSites());

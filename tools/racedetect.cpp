@@ -53,7 +53,7 @@ OptionRegistry buildRegistry() {
                    "       racedetect --generate=WORKLOAD --out=FILE "
                    "[--scale=F] [--seed=N]");
   R.addString("generate", "",
-              "generate a trace of eclipse|hsqldb|xalan|pseudojbb "
+              "generate a trace of eclipse|hsqldb|xalan|pseudojbb|forkjoin "
               "instead of analysing")
       .addString("out", "", "output file for --generate")
       .addDouble("scale", 1.0, "workload scale for --generate")
@@ -64,6 +64,10 @@ OptionRegistry buildRegistry() {
       .addInt("period-bytes", 256 * 1024, "simulated nursery size in bytes")
       .addInt("burst", 100, "LiteRace burst length")
       .addInt("seed", 1, "seed for trace generation / sampling decisions")
+      .addFlag("accordion",
+               "recycle thread-clock slots once dead threads are "
+               "dominated (accordion clocks); reports are identical, "
+               "metadata stays O(live threads)")
       .addInt("max-reports", 10, "race reports to print per trace")
       .addFlag("stats", "print operation statistics per trace")
       .addFlag("times", "print load/index/analysis time per trace")
@@ -170,6 +174,8 @@ struct AnalysisResult {
   double EffectiveAccessRate = 0.0;
   std::vector<RaceReport> SampleReports;
   uint64_t Actions = 0;
+  size_t PeakSlots = 0;        ///< High-water thread-slot count.
+  size_t FinalLiveBytes = 0;   ///< Live metadata bytes at end of replay.
 };
 
 using Clock = std::chrono::steady_clock;
@@ -208,6 +214,8 @@ bool streamReplay(StreamingTraceReader &Reader, const DetectorSetup &Setup,
     Out.EffectiveAccessRate = Controller->effectiveAccessRate();
   Out.SampleReports = Log.sampleReports();
   Out.Actions = Reader.actionsDelivered();
+  Out.PeakSlots = D->peakSlotCount();
+  Out.FinalLiveBytes = D->liveMetadataBytes();
   return true;
 }
 
@@ -266,6 +274,8 @@ FileOutcome analyseFile(const std::string &Path, const DetectorSetup &Setup,
     Result.EffectiveAccessRate = Sharded.EffectiveAccessRate;
     Result.SampleReports = std::move(Sharded.SampleReports);
     Result.Actions = T.size();
+    Result.PeakSlots = Sharded.PeakSlotCount;
+    Result.FinalLiveBytes = Sharded.FinalMetadataBytes;
   };
 
   if (Stream) {
@@ -418,6 +428,12 @@ FileOutcome analyseFile(const std::string &Path, const DetectorSetup &Setup,
                   LoadSeconds * 1e3, IndexSeconds * 1e3,
                   AnalysisSeconds * 1e3);
     Out.Text += Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  peak thread slots %zu, live metadata %.1f KB%s\n",
+                  Result.PeakSlots,
+                  static_cast<double>(Result.FinalLiveBytes) / 1024.0,
+                  Setup.AccordionClocks ? " (accordion)" : "");
+    Out.Text += Buf;
   }
 
   // Sharded replay merges sample reports replica by replica, so their
@@ -465,6 +481,7 @@ int main(int Argc, char **Argv) {
 
   bool SetupOk = false;
   DetectorSetup Setup = setupFromOptions(R, SetupOk);
+  Setup.AccordionClocks = R.getBool("accordion");
   if (!SetupOk) {
     std::fprintf(stderr, "error: unknown --detector=%s\n",
                  R.getString("detector").c_str());
