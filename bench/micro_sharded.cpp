@@ -19,8 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/TrialRunner.h"
-#include "runtime/ShardedReplay.h"
+#include "runtime/AnalysisSession.h"
 #include "runtime/TraceIndex.h"
 #include "sim/TraceGenerator.h"
 #include "sim/Workloads.h"
@@ -48,18 +47,19 @@ struct Row {
   }
 };
 
-ShardedReplayConfig configFor(const DetectorSetup &Setup, unsigned Shards,
-                              uint64_t Seed) {
-  ShardedReplayConfig Config;
-  Config.Shards = Shards;
-  Config.Jobs = 1; // Serial: measure total work, not scheduling luck.
-  if (Setup.Kind == DetectorKind::Pacer) {
-    Config.UseController = true;
-    Config.Sampling = Setup.Sampling;
-    Config.Sampling.TargetRate = Setup.SamplingRate;
-    Config.ControllerSeed = Seed ^ 0x47432121u /*"GC!!"*/;
-  }
-  return Config;
+/// Both engines run through AnalysisSession; only the index policy
+/// differs. Serial (ShardJobs = 1) on purpose: measure total work, not
+/// scheduling luck.
+AnalysisRequest requestFor(const DetectorSetup &Setup, unsigned Shards,
+                           bool UseIndex, uint64_t Seed) {
+  AnalysisRequest Request;
+  Request.Setup = Setup;
+  Request.Setup.Shards = Shards;
+  Request.Setup.ShardJobs = 1;
+  Request.Setup.ShardUseIndex = UseIndex;
+  Request.Seed = Seed;
+  Request.CollectReports = false;
+  return Request;
 }
 
 } // namespace
@@ -100,12 +100,13 @@ int main(int Argc, char **Argv) {
   std::vector<Row> Rows;
   bool Mismatch = false;
   for (const auto &D : Detectors) {
-    DetectorFactory Factory = [&](RaceSink &Sink) {
-      return makeDetector(D.Setup, Sink, Workload, Seed);
-    };
     for (unsigned K : ShardCounts) {
       Row Out{D.Name, K};
 
+      AnalysisSession FullSession(Workload,
+                                  requestFor(D.Setup, K, false, Seed));
+      AnalysisSession IndexedSession(Workload,
+                                     requestFor(D.Setup, K, true, Seed));
       std::vector<double> BuildMs, FullMs, IndexedMs;
       TraceIndex Index = TraceIndex::build(T, K);
       for (uint32_t Rep = 0; Rep < Reps; ++Rep) {
@@ -113,16 +114,12 @@ int main(int Argc, char **Argv) {
         TraceIndex Rebuilt = TraceIndex::build(T, K);
         BuildMs.push_back(Build.seconds() * 1e3);
 
-        ShardedReplayConfig Full = configFor(D.Setup, K, Seed);
-        Full.UseIndex = false;
         Timer FullScan;
-        ShardedReplayResult FullResult = shardedReplay(T, Factory, Full);
+        AnalysisResult FullResult = FullSession.analyzeTrace(T);
         FullMs.push_back(FullScan.seconds() * 1e3);
 
-        ShardedReplayConfig Fast = configFor(D.Setup, K, Seed);
-        Fast.Index = &Index;
         Timer Indexed;
-        ShardedReplayResult IndexedResult = shardedReplay(T, Factory, Fast);
+        AnalysisResult IndexedResult = IndexedSession.analyzeTrace(T, &Index);
         IndexedMs.push_back(Indexed.seconds() * 1e3);
 
         Out.DynamicRaces = IndexedResult.DynamicRaces;

@@ -2,6 +2,7 @@
 
 #include "harness/OverheadExperiment.h"
 
+#include "runtime/AnalysisSession.h"
 #include "runtime/TraceIndex.h"
 #include "sim/TraceGenerator.h"
 #include "support/Rng.h"
@@ -75,11 +76,16 @@ pacer::measureOverheads(const CompiledWorkload &Workload,
         TrialSeconds Out;
         Out.Events = T.size();
         Out.PerConfig.reserve(Active->size());
-        for (const OverheadConfig &Config : *Active)
-          Out.PerConfig.push_back(
-              runTrialOnTrace(T, Workload, Config.Setup, Seed,
-                              Index ? &*Index : nullptr)
-                  .ReplaySeconds);
+        for (const OverheadConfig &Config : *Active) {
+          AnalysisRequest Request;
+          Request.Setup = Config.Setup;
+          Request.Seed = Seed;
+          Request.CollectReports = false; // Timing only; skip report copies.
+          Out.PerConfig.push_back(AnalysisSession(Workload, Request)
+                                      .analyzeTrace(T, Index ? &*Index
+                                                             : nullptr)
+                                      .ReplaySeconds);
+        }
         return Out;
       });
 

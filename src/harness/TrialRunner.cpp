@@ -2,104 +2,23 @@
 
 #include "harness/TrialRunner.h"
 
-#include "detectors/GenericDetector.h"
-#include "runtime/Runtime.h"
-#include "runtime/ShardedReplay.h"
-#include "runtime/TraceIndex.h"
-#include "sim/StreamingTraceReader.h"
-#include "sim/TraceGenerator.h"
-#include "support/Error.h"
-
-#include <chrono>
-#include <optional>
-
 using namespace pacer;
 
-const char *pacer::detectorKindName(DetectorKind Kind) {
-  switch (Kind) {
-  case DetectorKind::Null:
-    return "null";
-  case DetectorKind::Generic:
-    return "generic";
-  case DetectorKind::FastTrack:
-    return "fasttrack";
-  case DetectorKind::Pacer:
-    return "pacer";
-  case DetectorKind::LiteRace:
-    return "literace";
-  }
-  return "?";
-}
-
-DetectorSetup pacer::pacerSetup(double Rate) {
-  DetectorSetup Setup;
-  Setup.Kind = DetectorKind::Pacer;
-  Setup.SamplingRate = Rate;
-  return Setup;
-}
-
-DetectorSetup pacer::fastTrackSetup() {
-  DetectorSetup Setup;
-  Setup.Kind = DetectorKind::FastTrack;
-  return Setup;
-}
-
-DetectorSetup pacer::genericSetup() {
-  DetectorSetup Setup;
-  Setup.Kind = DetectorKind::Generic;
-  return Setup;
-}
-
-DetectorSetup pacer::literaceSetup(uint32_t BurstLength) {
-  DetectorSetup Setup;
-  Setup.Kind = DetectorKind::LiteRace;
-  Setup.LiteRace.BurstLength = BurstLength;
-  return Setup;
-}
-
-DetectorSetup pacer::nullSetup() {
-  DetectorSetup Setup;
-  Setup.Kind = DetectorKind::Null;
-  return Setup;
-}
-
-std::unique_ptr<Detector> pacer::makeDetector(const DetectorSetup &Setup,
-                                              RaceSink &Sink,
-                                              const CompiledWorkload &Workload,
-                                              uint64_t Seed) {
-  switch (Setup.Kind) {
-  case DetectorKind::Null:
-    return std::make_unique<NullDetector>(Sink);
-  case DetectorKind::Generic: {
-    GenericConfig Config;
-    Config.UseAccordionClocks = Setup.AccordionClocks;
-    return std::make_unique<GenericDetector>(Sink, Config);
-  }
-  case DetectorKind::FastTrack: {
-    FastTrackConfig Config = Setup.FastTrack;
-    Config.UseAccordionClocks |= Setup.AccordionClocks;
-    return std::make_unique<FastTrackDetector>(Sink, Config);
-  }
-  case DetectorKind::Pacer: {
-    PacerConfig Config = Setup.Pacer;
-    Config.UseAccordionClocks |= Setup.AccordionClocks;
-    return std::make_unique<PacerDetector>(Sink, Config);
-  }
-  case DetectorKind::LiteRace: {
-    LiteRaceConfig Config = Setup.LiteRace;
-    Config.UseAccordionClocks |= Setup.AccordionClocks;
-    return std::make_unique<LiteRaceDetector>(Sink, Workload.siteToMethod(),
-                                              Seed ^ 0x4c495445u /*"LITE"*/,
-                                              Config);
-  }
-  }
-  pacerUnreachable("unknown detector kind");
+static AnalysisRequest legacyRequest(const DetectorSetup &Setup,
+                                     uint64_t TrialSeed) {
+  AnalysisRequest Request;
+  Request.Setup = Setup;
+  Request.Seed = TrialSeed;
+  // The legacy TrialResult carries no sample reports; skip collecting.
+  Request.CollectReports = false;
+  return Request;
 }
 
 TrialResult pacer::runTrial(const CompiledWorkload &Workload,
                             const DetectorSetup &Setup, uint64_t TrialSeed) {
-  Trace T = generateTrace(Workload, TrialSeed);
-  return runTrialOnTrace(T, Workload, Setup, TrialSeed);
+  return AnalysisSession(Workload, legacyRequest(Setup, TrialSeed))
+      .analyzeGenerated()
+      .trial();
 }
 
 TrialResult pacer::runTrialOnTrace(TraceSpan T,
@@ -107,172 +26,19 @@ TrialResult pacer::runTrialOnTrace(TraceSpan T,
                                    const DetectorSetup &Setup,
                                    uint64_t TrialSeed,
                                    const TraceIndex *Index) {
-  // The escape-analysis pass removed instrumentation from thread-local
-  // accesses: they execute (cost nothing here) but are never analysed.
-  // Filtering up front keeps the replay path -- sequential or sharded --
-  // identical to a trace that never contained them.
-  TraceSpan Replay = T;
-  Trace Filtered;
-  if (Setup.ElideLocalAccesses) {
-    Filtered.reserve(T.size());
-    for (const Action &A : T)
-      if (!(isAccessAction(A.Kind) && Workload.isLocalVar(A.Target)))
-        Filtered.push_back(A);
-    Replay = Filtered;
-    Index = nullptr; // A caller index describes T, not the filtered trace.
-  }
-
-  TrialResult Result;
-  Result.TraceEvents = T.size();
-
-  const unsigned Shards =
-      Setup.Shards != 0
-          ? Setup.Shards
-          : resolveShardCount(0, Index ? Index->accessCount()
-                                       : countTraceAccesses(Replay));
-
-  if (Shards > 1) {
-    ShardedReplayConfig Config;
-    Config.Shards = Shards;
-    Config.Jobs = Setup.ShardJobs;
-    Config.UseIndex = Setup.ShardUseIndex;
-    Config.Index = Index;
-    if (Setup.Kind == DetectorKind::Pacer) {
-      Config.UseController = true;
-      Config.Sampling = Setup.Sampling;
-      Config.Sampling.TargetRate = Setup.SamplingRate;
-      Config.ControllerSeed = TrialSeed ^ 0x47432121u /*"GC!!"*/;
-    }
-    // LiteRace's bursty samplers are code-indexed, so a replica would
-    // otherwise need the full access stream just to keep its sampling
-    // decisions replica-identical. Precompute the decision stream once
-    // (it is a pure function of the filtered trace, the seed and the
-    // config) and share it read-only: every replica becomes shard-local
-    // and the index can feed it owned-access runs only.
-    std::optional<LiteRaceSamplerPlan> LiteRacePlan;
-    if (Setup.Kind == DetectorKind::LiteRace)
-      LiteRacePlan = LiteRaceDetector::computeSamplerPlan(
-          Replay, Workload.siteToMethod(), TrialSeed ^ 0x4c495445u /*"LITE"*/,
-          Setup.LiteRace);
-    DetectorFactory Factory = [&](RaceSink &Sink) {
-      std::unique_ptr<Detector> D =
-          makeDetector(Setup, Sink, Workload, TrialSeed);
-      if (LiteRacePlan)
-        static_cast<LiteRaceDetector &>(*D).setSamplerPlan(&*LiteRacePlan);
-      return D;
-    };
-    auto Start = std::chrono::steady_clock::now();
-    ShardedReplayResult Sharded = shardedReplay(Replay, Factory, Config);
-    auto End = std::chrono::steady_clock::now();
-    Result.Races = std::move(Sharded.Races);
-    Result.DynamicRaces = Sharded.DynamicRaces;
-    Result.Stats = Sharded.Stats;
-    Result.EffectiveAccessRate = Sharded.EffectiveAccessRate;
-    Result.EffectiveSyncRate = Sharded.EffectiveSyncRate;
-    Result.Boundaries = Sharded.Boundaries;
-    if (Setup.Kind == DetectorKind::LiteRace)
-      Result.LiteRaceEffectiveRate =
-          LiteRaceDetector::effectiveRateFromStats(Result.Stats);
-    Result.ReplaySeconds =
-        std::chrono::duration<double>(End - Start).count();
-    Result.FinalMetadataBytes = Sharded.FinalMetadataBytes;
-    Result.PeakSlotCount = Sharded.PeakSlotCount;
-    return Result;
-  }
-
-  RaceLog Log;
-  std::unique_ptr<Detector> D = makeDetector(Setup, Log, Workload, TrialSeed);
-
-  std::unique_ptr<SamplingController> Controller;
-  if (Setup.Kind == DetectorKind::Pacer) {
-    SamplingConfig Sampling = Setup.Sampling;
-    Sampling.TargetRate = Setup.SamplingRate;
-    Controller = std::make_unique<SamplingController>(
-        Sampling, TrialSeed ^ 0x47432121u /*"GC!!"*/);
-  }
-
-  Runtime RT(*D, Controller.get());
-  auto Start = std::chrono::steady_clock::now();
-  RT.replay(Replay);
-  auto End = std::chrono::steady_clock::now();
-
-  Result.Races = Log.counts();
-  Result.DynamicRaces = Log.dynamicCount();
-  Result.Stats = D->stats();
-  if (Controller) {
-    Result.EffectiveAccessRate = Controller->effectiveAccessRate();
-    Result.EffectiveSyncRate = Controller->effectiveSyncRate();
-    Result.Boundaries = Controller->boundaryCount();
-  }
-  if (Setup.Kind == DetectorKind::LiteRace)
-    Result.LiteRaceEffectiveRate =
-        static_cast<LiteRaceDetector *>(D.get())->effectiveRate();
-  Result.ReplaySeconds =
-      std::chrono::duration<double>(End - Start).count();
-  Result.FinalMetadataBytes = D->liveMetadataBytes();
-  Result.PeakSlotCount = D->peakSlotCount();
-  return Result;
+  return AnalysisSession(Workload, legacyRequest(Setup, TrialSeed))
+      .analyzeTrace(T, Index)
+      .trial();
 }
 
 TrialResult pacer::runTrialOnStream(StreamingTraceReader &Reader,
                                     const CompiledWorkload &Workload,
                                     const DetectorSetup &Setup,
                                     uint64_t TrialSeed, std::string *Error) {
+  AnalysisResult Result =
+      AnalysisSession(Workload, legacyRequest(Setup, TrialSeed))
+          .analyzeStream(Reader);
   if (Error)
-    Error->clear();
-
-  TrialResult Result;
-
-  RaceLog Log;
-  std::unique_ptr<Detector> D = makeDetector(Setup, Log, Workload, TrialSeed);
-
-  std::unique_ptr<SamplingController> Controller;
-  if (Setup.Kind == DetectorKind::Pacer) {
-    SamplingConfig Sampling = Setup.Sampling;
-    Sampling.TargetRate = Setup.SamplingRate;
-    Controller = std::make_unique<SamplingController>(
-        Sampling, TrialSeed ^ 0x47432121u /*"GC!!"*/);
-  }
-
-  Runtime RT(*D, Controller.get());
-  Trace Filtered; // Reused per-chunk scratch under ElideLocalAccesses.
-  auto Start = std::chrono::steady_clock::now();
-  RT.start();
-  for (TraceSpan Chunk = Reader.next(); !Chunk.empty();
-       Chunk = Reader.next()) {
-    Result.TraceEvents += Chunk.size();
-    TraceSpan Replay = Chunk;
-    if (Setup.ElideLocalAccesses) {
-      Filtered.clear();
-      for (const Action &A : Chunk)
-        if (!(isAccessAction(A.Kind) && Workload.isLocalVar(A.Target)))
-          Filtered.push_back(A);
-      Replay = Filtered;
-    }
-    RT.replayChunk(Replay, AccessShard::all());
-  }
-  auto End = std::chrono::steady_clock::now();
-
-  if (!Reader.ok()) {
-    if (Error)
-      *Error = Reader.error();
-    return Result;
-  }
-
-  Result.Races = Log.counts();
-  Result.DynamicRaces = Log.dynamicCount();
-  Result.Stats = D->stats();
-  if (Controller) {
-    Result.EffectiveAccessRate = Controller->effectiveAccessRate();
-    Result.EffectiveSyncRate = Controller->effectiveSyncRate();
-    Result.Boundaries = Controller->boundaryCount();
-  }
-  if (Setup.Kind == DetectorKind::LiteRace)
-    Result.LiteRaceEffectiveRate =
-        static_cast<LiteRaceDetector *>(D.get())->effectiveRate();
-  Result.ReplaySeconds =
-      std::chrono::duration<double>(End - Start).count();
-  Result.FinalMetadataBytes = D->liveMetadataBytes();
-  Result.PeakSlotCount = D->peakSlotCount();
-  return Result;
+    *Error = Result.Ok ? std::string() : Result.Error;
+  return Result.trial();
 }

@@ -5,142 +5,43 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Runs one trial: generate the trace for a seed, replay it through a
-/// configured detector (optionally under a sampling controller), and
-/// collect every measurement the evaluation needs: per-distinct-race
-/// dynamic counts, operation statistics (Table 3), effective sampling
-/// rates (Table 1), replay time (Figures 7-9), and final metadata bytes.
+/// Compatibility wrappers over runtime/AnalysisSession.h, which now owns
+/// the replay facade (DetectorSetup, TrialResult, and the unified
+/// AnalysisRequest -> AnalysisResult entry points). The free functions
+/// below are the original harness API -- generate-and-replay, replay a
+/// pre-generated trace, replay from a bounded-window reader -- and each
+/// simply builds a session and converts its AnalysisResult back to the
+/// legacy TrialResult. Results are bit-identical to pre-facade builds;
+/// new code should construct an AnalysisSession directly.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PACER_HARNESS_TRIALRUNNER_H
 #define PACER_HARNESS_TRIALRUNNER_H
 
-#include "detectors/Detector.h"
-#include "detectors/FastTrackDetector.h"
-#include "detectors/LiteRaceDetector.h"
-#include "detectors/PacerDetector.h"
-#include "runtime/RaceLog.h"
-#include "runtime/SamplingController.h"
-#include "sim/WorkloadSpec.h"
-
-#include <memory>
-#include <string>
-#include <unordered_map>
+#include "runtime/AnalysisSession.h"
 
 namespace pacer {
 
-class TraceIndex;
-
-/// Which algorithm a trial runs.
-enum class DetectorKind : uint8_t {
-  Null,      ///< No analysis (timing baseline).
-  Generic,   ///< O(n) vector clocks (Section 2.1).
-  FastTrack, ///< Epoch-optimized (Section 2.2).
-  Pacer,     ///< Sampling (Section 3); rate from SamplingRate.
-  LiteRace,  ///< Code-sampling baseline (Section 5.3).
-};
-
-/// Returns "null", "generic", etc.
-const char *detectorKindName(DetectorKind Kind);
-
-/// Full configuration of a trial's detector.
-struct DetectorSetup {
-  DetectorKind Kind = DetectorKind::Pacer;
-  /// PACER's specified sampling rate r (0..1); copied into Sampling.
-  double SamplingRate = 1.0;
-  /// Model the compiler pass's static escape analysis (Section 4): do not
-  /// instrument accesses to provably thread-local variables at all. Off
-  /// by default so detectors see every access; enabling is sound (locals
-  /// never race) and removes their instrumentation cost.
-  bool ElideLocalAccesses = false;
-  /// Accordion thread-slot recycling (core/SlotRecycler.h) for whichever
-  /// detector runs: OR'd into the per-detector config in makeDetector.
-  /// Race reports are identical with it on or off; clocks and metadata
-  /// stay O(live threads) instead of O(threads ever started).
-  bool AccordionClocks = false;
-  PacerConfig Pacer;
-  FastTrackConfig FastTrack;
-  LiteRaceConfig LiteRace;
-  SamplingConfig Sampling;
-  /// Intra-trial sharded replay: partition data accesses across this many
-  /// detector replicas by VarId modulo (see runtime/ShardedReplay.h). 1 is
-  /// plain sequential replay; 0 picks a count automatically from the
-  /// trace's access count and the hardware (runtime/TraceIndex.h's
-  /// autoShardCount). Results are bit-identical for every value.
-  unsigned Shards = 1;
-  /// Worker concurrency for sharded replay; 0 = one job per shard.
-  unsigned ShardJobs = 0;
-  /// Drive sharded replicas through a TraceIndex (the O(sync + owned
-  /// accesses) engine) instead of full-trace re-scans; results are
-  /// identical either way.
-  bool ShardUseIndex = true;
-};
-
-/// Convenience constructors for common configurations.
-DetectorSetup pacerSetup(double Rate);
-DetectorSetup fastTrackSetup();
-DetectorSetup genericSetup();
-DetectorSetup literaceSetup(uint32_t BurstLength = 1000);
-DetectorSetup nullSetup();
-
-/// Instantiates the configured detector. \p Seed feeds stochastic
-/// detectors (LiteRace's randomized counter resets).
-std::unique_ptr<Detector> makeDetector(const DetectorSetup &Setup,
-                                       RaceSink &Sink,
-                                       const CompiledWorkload &Workload,
-                                       uint64_t Seed);
-
-/// Everything measured in one trial.
-struct TrialResult {
-  std::unordered_map<RaceKey, uint64_t> Races; ///< Distinct -> dynamic.
-  uint64_t DynamicRaces = 0;
-  DetectorStats Stats;
-  double EffectiveAccessRate = 0.0; ///< PACER only.
-  double EffectiveSyncRate = 0.0;   ///< PACER only.
-  double LiteRaceEffectiveRate = 0.0;
-  uint64_t Boundaries = 0;
-  uint64_t TraceEvents = 0;
-  double ReplaySeconds = 0.0;
-  size_t FinalMetadataBytes = 0;
-  /// High-water thread-slot count (replica 0 under sharded replay).
-  /// Without recycling this is the number of threads ever started; with
-  /// it, the live-thread high-water mark between compactions.
-  size_t PeakSlotCount = 0;
-
-  bool sawRace(RaceKey Key) const { return Races.count(Key) != 0; }
-  uint64_t dynamicCount(RaceKey Key) const {
-    auto It = Races.find(Key);
-    return It == Races.end() ? 0 : It->second;
-  }
-};
-
-/// Generates trial \p TrialSeed's trace and replays it.
+/// Generates trial \p TrialSeed's trace and replays it
+/// (AnalysisSession::analyzeGenerated).
 TrialResult runTrial(const CompiledWorkload &Workload,
                      const DetectorSetup &Setup, uint64_t TrialSeed);
 
-/// Replays a pre-generated trace (for timing comparisons where every
-/// configuration must see the identical execution). \p T may be an
-/// in-memory Trace or a memory-mapped TraceView span -- analysis never
-/// copies it. \p Index, when non-null, must have been built from \p T; it
-/// is reused if its shard count matches the resolved Setup.Shards
-/// (amortizing one build across trials and detector configurations) and
-/// ignored otherwise. With Setup.ElideLocalAccesses the replayed trace
-/// differs from \p T, so a caller index is never applicable and is
-/// dropped.
+/// Replays a pre-generated trace (AnalysisSession::analyzeTrace; see its
+/// doc comment for the TraceSpan / index-reuse / ElideLocalAccesses
+/// contract).
 TrialResult runTrialOnTrace(TraceSpan T, const CompiledWorkload &Workload,
                             const DetectorSetup &Setup, uint64_t TrialSeed,
                             const TraceIndex *Index = nullptr);
 
-class StreamingTraceReader;
-
-/// Replays a trace from \p Reader's bounded window: peak trace-resident
-/// memory is O(window), not O(trace), and the TrialResult is bit-identical
-/// to runTrialOnTrace on the same trace (chunk edges only split access
-/// batches). The streaming path is sequential -- Setup.Shards is ignored
-/// (sharded replicas need random access; see DESIGN.md §6e). Returns a
-/// default TrialResult with Ok=false semantics via \p Error when the
-/// reader fails mid-stream (Error is cleared on success).
+/// Replays a trace from \p Reader's bounded window
+/// (AnalysisSession::analyzeStream): peak trace-resident memory is
+/// O(window), the result is bit-identical to runTrialOnTrace on the same
+/// trace, and Setup.Shards is ignored (sharded replicas need random
+/// access; see DESIGN.md §6e). Reader failure surfaces through \p Error
+/// (cleared on success), with the returned TrialResult covering the
+/// prefix replayed.
 TrialResult runTrialOnStream(StreamingTraceReader &Reader,
                              const CompiledWorkload &Workload,
                              const DetectorSetup &Setup, uint64_t TrialSeed,

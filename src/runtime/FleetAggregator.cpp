@@ -2,29 +2,69 @@
 
 #include "runtime/FleetAggregator.h"
 
+#include "support/Binary.h"
+#include "support/DirWatch.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <tuple>
 
 using namespace pacer;
+
+namespace {
+
+constexpr unsigned char SnapshotMagic[8] = {0xB8, 'P', 'A', 'C',
+                                            'F',  'L', 'T', '1'};
+constexpr uint32_t SnapshotVersion = 1;
+
+/// Field-lexicographic total order on reports; ties the canonical-example
+/// choice to the report's content, not its arrival order.
+bool reportLess(const RaceReport &A, const RaceReport &B) {
+  return std::tie(A.FirstSite, A.SecondSite, A.Var, A.FirstThread,
+                  A.SecondThread, A.FirstKind, A.SecondKind) <
+         std::tie(B.FirstSite, B.SecondSite, B.Var, B.FirstThread,
+                  B.SecondThread, B.FirstKind, B.SecondKind);
+}
+
+} // namespace
+
+void FleetAggregator::PerRace::offerExample(const RaceReport &Report) {
+  if (!HasExample || reportLess(Report, Example)) {
+    Example = Report;
+    HasExample = true;
+  }
+}
 
 FleetAggregator::FleetAggregator(double SamplingRate)
     : SamplingRate(std::clamp(SamplingRate, 0.0, 1.0)) {}
 
 void FleetAggregator::addInstance(const RaceLog &Log, double EffectiveRate) {
+  addInstance(Log.counts(), Log.sampleReports(), EffectiveRate);
+}
+
+void FleetAggregator::addInstance(
+    const std::unordered_map<RaceKey, uint64_t> &Counts,
+    std::span<const RaceReport> Samples, double EffectiveRate) {
   ++Instances;
   EffectiveRates.add(EffectiveRate >= 0.0 ? EffectiveRate : SamplingRate);
-  for (const auto &[Key, Count] : Log.counts()) {
+  for (const auto &[Key, Count] : Counts) {
     PerRace &Race = Races[Key];
     ++Race.InstancesReporting;
     Race.DynamicReports += Count;
   }
-  for (const RaceReport &Report : Log.sampleReports()) {
-    PerRace &Race = Races[normalizedKey(Report)];
-    if (!Race.HasExample) {
-      Race.Example = Report;
-      Race.HasExample = true;
-    }
+  for (const RaceReport &Report : Samples)
+    Races[normalizedKey(Report)].offerExample(Report);
+}
+
+void FleetAggregator::merge(const FleetAggregator &Other) {
+  Instances += Other.Instances;
+  EffectiveRates.merge(Other.EffectiveRates);
+  for (const auto &[Key, Race] : Other.Races) {
+    PerRace &Mine = Races[Key];
+    Mine.InstancesReporting += Race.InstancesReporting;
+    Mine.DynamicReports += Race.DynamicReports;
+    if (Race.HasExample)
+      Mine.offerExample(Race.Example);
   }
 }
 
@@ -83,4 +123,139 @@ uint32_t FleetAggregator::fleetSizeFor(double Occurrence,
   if (K > 4e9)
     return 0;
   return static_cast<uint32_t>(std::ceil(K));
+}
+
+// --- Persistence ---------------------------------------------------------
+
+std::vector<uint8_t> FleetAggregator::serialize() const {
+  BinWriter W;
+  W.bytes(SnapshotMagic, sizeof(SnapshotMagic));
+  W.u32(SnapshotVersion);
+  W.u32(0); // flags, reserved
+  W.f64(SamplingRate);
+  W.u32(Instances);
+  W.u64(EffectiveRates.count());
+  W.f64(EffectiveRates.mean());
+  W.f64(EffectiveRates.m2());
+  W.u64(Races.size());
+
+  // Sorted key order: equal aggregates serialize to equal bytes, so
+  // snapshot files can be compared directly in tests and tooling.
+  std::vector<RaceKey> Keys;
+  Keys.reserve(Races.size());
+  for (const auto &[Key, Race] : Races)
+    Keys.push_back(Key);
+  std::sort(Keys.begin(), Keys.end());
+
+  for (RaceKey Key : Keys) {
+    const PerRace &Race = Races.at(Key);
+    W.u32(Key.FirstSite);
+    W.u32(Key.SecondSite);
+    W.u32(Race.InstancesReporting);
+    W.u64(Race.DynamicReports);
+    W.u8(Race.HasExample ? 1 : 0);
+    W.u32(Race.Example.Var);
+    W.u8(static_cast<uint8_t>(Race.Example.FirstKind));
+    W.u8(static_cast<uint8_t>(Race.Example.SecondKind));
+    W.u32(Race.Example.FirstThread);
+    W.u32(Race.Example.SecondThread);
+    W.u32(Race.Example.FirstSite);
+    W.u32(Race.Example.SecondSite);
+  }
+  W.appendChecksum();
+  return W.take();
+}
+
+bool FleetAggregator::deserialize(const uint8_t *Data, size_t Size,
+                                  std::string &Error) {
+  *this = FleetAggregator();
+  Error.clear();
+
+  BinReader R(Data, Size);
+  unsigned char Magic[8] = {};
+  if (!R.bytes(Magic, sizeof(Magic)) ||
+      std::memcmp(Magic, SnapshotMagic, sizeof(Magic)) != 0) {
+    Error = "fleet snapshot: bad magic";
+    return false;
+  }
+  uint32_t Version = R.u32();
+  if (Version != SnapshotVersion) {
+    Error = "fleet snapshot: unsupported version " + std::to_string(Version);
+    return false;
+  }
+  if (R.u32() != 0) {
+    Error = "fleet snapshot: nonzero reserved flags";
+    return false;
+  }
+
+  // Verify the trailer before trusting any variable-length field: a
+  // truncated or bit-flipped body must not drive the decode loop.
+  if (Size < 8 ||
+      fnv1a64(Data, Size - 8) != BinReader(Data + Size - 8, 8).u64()) {
+    Error = "fleet snapshot: checksum mismatch (truncated or corrupt)";
+    return false;
+  }
+
+  double Rate = R.f64();
+  uint32_t LoadedInstances = R.u32();
+  uint64_t RatesN = R.u64();
+  double RatesMean = R.f64();
+  double RatesM2 = R.f64();
+  uint64_t RaceCount = R.u64();
+
+  // Each race entry is 35 bytes; an absurd count means corruption the
+  // checksum somehow missed. Bound it by the bytes actually present.
+  if (RaceCount > (Size - R.position()) / 35) {
+    Error = "fleet snapshot: race count exceeds payload";
+    return false;
+  }
+
+  FleetAggregator Loaded(Rate);
+  Loaded.Instances = LoadedInstances;
+  Loaded.EffectiveRates = RunningStat::fromState(
+      static_cast<size_t>(RatesN), RatesMean, RatesM2);
+  Loaded.Races.reserve(static_cast<size_t>(RaceCount));
+  for (uint64_t I = 0; I < RaceCount; ++I) {
+    RaceKey Key;
+    Key.FirstSite = R.u32();
+    Key.SecondSite = R.u32();
+    PerRace Race;
+    Race.InstancesReporting = R.u32();
+    Race.DynamicReports = R.u64();
+    Race.HasExample = R.u8() != 0;
+    Race.Example.Var = R.u32();
+    Race.Example.FirstKind = static_cast<AccessKind>(R.u8());
+    Race.Example.SecondKind = static_cast<AccessKind>(R.u8());
+    Race.Example.FirstThread = R.u32();
+    Race.Example.SecondThread = R.u32();
+    Race.Example.FirstSite = R.u32();
+    Race.Example.SecondSite = R.u32();
+    if (R.failed())
+      break;
+    Loaded.Races.emplace(Key, Race);
+  }
+  R.u64(); // checksum, already verified
+  if (R.failed() || !R.exhausted()) {
+    Error = R.failed() ? "fleet snapshot: truncated body"
+                       : "fleet snapshot: trailing bytes after checksum";
+    return false;
+  }
+
+  *this = std::move(Loaded);
+  return true;
+}
+
+bool FleetAggregator::saveSnapshot(const std::string &Path,
+                                   std::string &Error) const {
+  std::vector<uint8_t> Bytes = serialize();
+  return writeFileAtomic(Path, Bytes.data(), Bytes.size(), Error);
+}
+
+bool FleetAggregator::loadSnapshot(const std::string &Path,
+                                   FleetAggregator &Out,
+                                   std::string &Error) {
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes, Error))
+    return false;
+  return Out.deserialize(Bytes.data(), Bytes.size(), Error);
 }

@@ -25,6 +25,18 @@
 /// fleetSizeFor() inverts the last formula: how many instances are needed
 /// to find a race of a given rarity with a given confidence.
 ///
+/// The aggregator is a CRDT-style state machine so the fleet itself can
+/// be distributed: state round-trips through a versioned binary snapshot
+/// (saveSnapshot / loadSnapshot, magic + header + checksum like trace
+/// v2), and two aggregators over disjoint instance sets merge() into the
+/// aggregate of the union. Ingestion is deliberately order-independent --
+/// integer tallies commute, the example report per race is the
+/// canonically smallest ever seen, and the effective-rate accumulator is
+/// exact when all instances report one rate (the deployment model's
+/// single global rate) -- so a daemon committing submissions in
+/// completion order produces bit-identical estimates to a sequential
+/// in-process pass over the same logs.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PACER_RUNTIME_FLEETAGGREGATOR_H
@@ -34,6 +46,8 @@
 #include "runtime/RaceLog.h"
 #include "support/Stats.h"
 
+#include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -56,14 +70,38 @@ struct FleetRaceInfo {
 /// Collects per-instance race logs and produces fleet-level estimates.
 class FleetAggregator {
 public:
+  /// Rate 1.0 (full tracking) until constructed properly, loaded from a
+  /// snapshot, or merged into.
+  FleetAggregator() : FleetAggregator(1.0) {}
+
   /// \p SamplingRate is the rate every instance runs at (the paper's
   /// deployment uses one global rate).
   explicit FleetAggregator(double SamplingRate);
+
+  /// The fleet-wide specified sampling rate (clamped to [0, 1]).
+  double samplingRate() const { return SamplingRate; }
 
   /// Ingests one deployed instance's run. \p EffectiveRate may refine the
   /// specified rate with the instance's measured effective rate; pass a
   /// negative value to use the fleet-wide specified rate.
   void addInstance(const RaceLog &Log, double EffectiveRate = -1.0);
+
+  /// Same ingestion from pre-extracted log state (per-distinct-race
+  /// dynamic counts plus sample reports), for callers holding an
+  /// AnalysisResult or deserialized submission rather than a live
+  /// RaceLog.
+  void addInstance(const std::unordered_map<RaceKey, uint64_t> &Counts,
+                   std::span<const RaceReport> Samples,
+                   double EffectiveRate = -1.0);
+
+  /// Folds \p Other (an aggregate over a disjoint set of instance runs at
+  /// the same sampling rate) into this one. Exactly commutative: for any
+  /// two aggregates, a.merge(b) and b.merge(a) leave bit-identical state.
+  /// Associativity is exact for every field except the effective-rate
+  /// moments, which re-associate floating-point sums (exact too in the
+  /// single-global-rate deployment, where the accumulator sits at a
+  /// Welford fixed point).
+  void merge(const FleetAggregator &Other);
 
   /// Number of instance runs ingested.
   uint32_t instanceCount() const { return Instances; }
@@ -88,12 +126,44 @@ public:
   /// (equals the specified rate if none were provided).
   double meanEffectiveRate() const;
 
+  // --- Persistence (snapshot format v1) ----------------------------------
+  //
+  // magic[8] = 0xB8 'P' 'A' 'C' 'F' 'L' 'T' '1', then u32 version, u32
+  // flags (reserved, 0), the scalar state, races sorted by key (so equal
+  // aggregates serialize to equal bytes), and a trailing fnv1a64
+  // checksum. Doubles travel as IEEE-754 bit patterns: a save/load round
+  // trip restores bit-identical state.
+
+  /// Serializes the full state into a byte buffer.
+  std::vector<uint8_t> serialize() const;
+
+  /// Replaces this aggregator's state with the buffer's. Rejects bad
+  /// magic, version or flags, truncation, trailing bytes, and checksum
+  /// mismatch with \p Error set and the aggregator left empty.
+  bool deserialize(const uint8_t *Data, size_t Size, std::string &Error);
+
+  /// Writes the state to \p Path crash-safely: serialize to
+  /// "Path.tmp", fsync, atomically rename over \p Path, fsync the
+  /// directory. A reader (or a restart) sees either the old complete
+  /// snapshot or the new complete snapshot, never a torn one.
+  bool saveSnapshot(const std::string &Path, std::string &Error) const;
+
+  /// Loads a snapshot written by saveSnapshot into \p Out (replacing its
+  /// state). Fails cleanly on missing files and every corruption
+  /// deserialize rejects.
+  static bool loadSnapshot(const std::string &Path, FleetAggregator &Out,
+                           std::string &Error);
+
 private:
   struct PerRace {
     uint32_t InstancesReporting = 0;
     uint64_t DynamicReports = 0;
     RaceReport Example;
     bool HasExample = false;
+
+    /// Keeps the canonically smallest example (field-lexicographic), so
+    /// the surviving report is independent of ingestion and merge order.
+    void offerExample(const RaceReport &Report);
   };
 
   double SamplingRate;

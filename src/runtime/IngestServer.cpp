@@ -1,0 +1,989 @@
+//===- runtime/IngestServer.cpp -------------------------------------------==//
+
+#include "runtime/IngestServer.h"
+
+#include "support/Binary.h"
+#include "support/DirWatch.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace pacer;
+namespace fs = std::filesystem;
+
+using Clock = std::chrono::steady_clock;
+
+static double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+//===----------------------------------------------------------------------===//
+// Wire protocol helpers (shared by server and client sides).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Cap on response messages a client will accept; stats JSON and error
+/// strings are tiny, so anything bigger is a corrupt stream.
+constexpr uint64_t MaxResponseBytes = 1ull << 20;
+
+/// Spool / submission I/O chunk. Bounds per-connection memory.
+constexpr size_t IoChunkBytes = 64 * 1024;
+
+bool sendFrameHeader(Socket &S, uint8_t Type, uint8_t IdLen,
+                     uint64_t PayloadLen) {
+  BinWriter W;
+  W.u32(ingest::FrameMagic);
+  W.u8(Type);
+  W.u8(IdLen);
+  W.u16(0);
+  W.u64(PayloadLen);
+  return S.sendAll(W.buffer().data(), W.buffer().size());
+}
+
+bool sendResponse(Socket &S, ingest::Status Code, const std::string &Msg) {
+  BinWriter W;
+  W.u32(ingest::FrameMagic);
+  W.u8(static_cast<uint8_t>(Code));
+  W.u8(0);
+  W.u16(0);
+  W.u64(Msg.size());
+  W.bytes(Msg.data(), Msg.size());
+  return S.sendAll(W.buffer().data(), W.buffer().size());
+}
+
+/// Reads one response frame; false on transport error or a nonsense
+/// length.
+bool recvResponse(Socket &S, ingest::Status &Code, std::string &Msg) {
+  uint8_t Header[ingest::FrameHeaderBytes];
+  if (!S.recvAll(Header, sizeof(Header)))
+    return false;
+  BinReader R(Header, sizeof(Header));
+  uint32_t Magic = R.u32();
+  uint8_t RawCode = R.u8();
+  R.u8();
+  R.u16();
+  uint64_t Len = R.u64();
+  if (Magic != ingest::FrameMagic || Len > MaxResponseBytes)
+    return false;
+  Msg.assign(static_cast<size_t>(Len), '\0');
+  if (Len && !S.recvAll(Msg.data(), static_cast<size_t>(Len)))
+    return false;
+  Code = static_cast<ingest::Status>(RawCode);
+  return true;
+}
+
+std::string hexEncode(const std::string &Bytes) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(Bytes.size() * 2);
+  for (unsigned char C : Bytes) {
+    Out.push_back(Digits[C >> 4]);
+    Out.push_back(Digits[C & 0xF]);
+  }
+  return Out;
+}
+
+int hexNibble(char C) {
+  if (C >= '0' && C <= '9')
+    return C - '0';
+  if (C >= 'a' && C <= 'f')
+    return C - 'a' + 10;
+  return -1;
+}
+
+bool hexDecode(const std::string &Hex, std::string &Out) {
+  if (Hex.size() % 2)
+    return false;
+  Out.clear();
+  Out.reserve(Hex.size() / 2);
+  for (size_t I = 0; I < Hex.size(); I += 2) {
+    int Hi = hexNibble(Hex[I]), Lo = hexNibble(Hex[I + 1]);
+    if (Hi < 0 || Lo < 0)
+      return false;
+    Out.push_back(static_cast<char>(Hi << 4 | Lo));
+  }
+  return true;
+}
+
+std::string hexU64(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+bool hasSuffix(const std::string &Name, const char *Suffix) {
+  const size_t Len = std::char_traits<char>::length(Suffix);
+  return Name.size() >= Len &&
+         Name.compare(Name.size() - Len, Len, Suffix) == 0;
+}
+
+/// Spool names are "sub-<16-hex seq>-<hex id>.trace". The sequence
+/// number keeps names unique; the hex-encoded idempotency id rides along
+/// so recovery can tell committed work from lost work without any side
+/// index.
+bool parseSpoolName(const std::string &Name, uint64_t &Seq,
+                    std::string &Id) {
+  constexpr const char Prefix[] = "sub-";
+  constexpr const char Suffix[] = ".trace";
+  if (Name.rfind(Prefix, 0) != 0 || !hasSuffix(Name, Suffix))
+    return false;
+  const size_t SeqBegin = sizeof(Prefix) - 1;
+  std::string Body =
+      Name.substr(SeqBegin, Name.size() - SeqBegin - (sizeof(Suffix) - 1));
+  const size_t Dash = Body.find('-');
+  if (Dash != 16)
+    return false;
+  Seq = 0;
+  for (size_t I = 0; I < 16; ++I) {
+    int N = hexNibble(Body[I]);
+    if (N < 0)
+      return false;
+    Seq = Seq << 4 | static_cast<uint64_t>(N);
+  }
+  return hexDecode(Body.substr(Dash + 1), Id);
+}
+
+void recordStage(IngestServer::StageStats &Stage, double Ms) {
+  ++Stage.Count;
+  Stage.TotalMs += Ms;
+  Stage.MaxMs = std::max(Stage.MaxMs, Ms);
+}
+
+void unlinkQuiet(const std::string &Path) {
+  std::error_code Ec;
+  fs::remove(Path, Ec);
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon snapshot format: wraps the FleetAggregator blob with the
+// committed-id memory and ingest counters, so a restart resumes both the
+// fleet estimates and the exactly-once bookkeeping.
+//
+//   magic "\xBA PACDMN1" | u32 version=1 | u32 flags=0 |
+//   u64 aggLen | agg blob (FleetAggregator::serialize, self-checked) |
+//   u32 idCount | idCount x (u8 len | bytes)  -- eviction order |
+//   u64 received | committed | duplicates | malformed | oversize |
+//   u64 bytesIngested | racesDynamic | fnv1a64 checksum
+//===----------------------------------------------------------------------===//
+
+constexpr unsigned char DaemonMagic[8] = {0xBA, 'P', 'A', 'C',
+                                          'D',  'M', 'N', '1'};
+constexpr uint32_t DaemonSnapshotVersion = 1;
+
+std::vector<uint8_t>
+encodeDaemonSnapshot(const FleetAggregator &Agg,
+                     const std::deque<std::string> &IdOrder,
+                     const IngestServer::Counters &Stats) {
+  BinWriter W;
+  W.bytes(DaemonMagic, sizeof(DaemonMagic));
+  W.u32(DaemonSnapshotVersion);
+  W.u32(0);
+  std::vector<uint8_t> AggBytes = Agg.serialize();
+  W.u64(AggBytes.size());
+  W.bytes(AggBytes.data(), AggBytes.size());
+  W.u32(static_cast<uint32_t>(IdOrder.size()));
+  for (const std::string &Id : IdOrder) {
+    W.u8(static_cast<uint8_t>(Id.size()));
+    W.bytes(Id.data(), Id.size());
+  }
+  W.u64(Stats.Received);
+  W.u64(Stats.Committed);
+  W.u64(Stats.Duplicates);
+  W.u64(Stats.MalformedRejected);
+  W.u64(Stats.OversizeRejected);
+  W.u64(Stats.BytesIngested);
+  W.u64(Stats.RacesDynamic);
+  W.appendChecksum();
+  return W.take();
+}
+
+bool decodeDaemonSnapshot(const std::vector<uint8_t> &Bytes,
+                          FleetAggregator &Agg,
+                          std::deque<std::string> &IdOrder,
+                          IngestServer::Counters &Stats,
+                          std::string &Error) {
+  Error.clear();
+  // Verify the trailer before trusting any length field.
+  if (Bytes.size() < sizeof(DaemonMagic) + 8 ||
+      fnv1a64(Bytes.data(), Bytes.size() - 8) !=
+          BinReader(Bytes.data() + Bytes.size() - 8, 8).u64()) {
+    Error = "daemon snapshot: checksum mismatch";
+    return false;
+  }
+  BinReader R(Bytes.data(), Bytes.size() - 8);
+  unsigned char Magic[sizeof(DaemonMagic)];
+  if (!R.bytes(Magic, sizeof(Magic)) ||
+      std::memcmp(Magic, DaemonMagic, sizeof(Magic)) != 0) {
+    Error = "daemon snapshot: bad magic";
+    return false;
+  }
+  if (R.u32() != DaemonSnapshotVersion || R.u32() != 0) {
+    Error = "daemon snapshot: unsupported version or flags";
+    return false;
+  }
+  uint64_t AggLen = R.u64();
+  if (AggLen > R.remaining()) {
+    Error = "daemon snapshot: truncated aggregator blob";
+    return false;
+  }
+  std::vector<uint8_t> AggBytes(static_cast<size_t>(AggLen));
+  if (AggLen && !R.bytes(AggBytes.data(), AggBytes.size())) {
+    Error = "daemon snapshot: truncated aggregator blob";
+    return false;
+  }
+  if (!Agg.deserialize(AggBytes.data(), AggBytes.size(), Error))
+    return false;
+
+  IdOrder.clear();
+  uint32_t IdCount = R.u32();
+  for (uint32_t I = 0; I < IdCount && !R.failed(); ++I) {
+    uint8_t Len = R.u8();
+    std::string Id(Len, '\0');
+    if (Len && !R.bytes(Id.data(), Len))
+      break;
+    IdOrder.push_back(std::move(Id));
+  }
+  Stats = IngestServer::Counters();
+  Stats.Received = R.u64();
+  Stats.Committed = R.u64();
+  Stats.Duplicates = R.u64();
+  Stats.MalformedRejected = R.u64();
+  Stats.OversizeRejected = R.u64();
+  Stats.BytesIngested = R.u64();
+  Stats.RacesDynamic = R.u64();
+  if (!R.exhausted()) {
+    Error = "daemon snapshot: truncated or trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Client side.
+//===----------------------------------------------------------------------===//
+
+const char *ingest::statusName(Status S) {
+  switch (S) {
+  case Status::Committed:
+    return "committed";
+  case Status::Duplicate:
+    return "duplicate";
+  case Status::Malformed:
+    return "malformed";
+  case Status::TooLarge:
+    return "too-large";
+  case Status::Unavailable:
+    return "unavailable";
+  case Status::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+ingest::SubmitResult ingest::submitFile(Socket &S,
+                                        const std::string &TracePath,
+                                        const std::string &ClientId) {
+  SubmitResult Out;
+  if (ClientId.size() > MaxClientIdBytes) {
+    Out.Message = "client id too long";
+    return Out;
+  }
+  std::FILE *File = std::fopen(TracePath.c_str(), "rb");
+  if (!File) {
+    Out.Message = "cannot open " + TracePath;
+    return Out;
+  }
+  std::fseek(File, 0, SEEK_END);
+  long Size = std::ftell(File);
+  std::fseek(File, 0, SEEK_SET);
+  if (Size < 0) {
+    std::fclose(File);
+    Out.Message = "cannot size " + TracePath;
+    return Out;
+  }
+
+  bool SentOk = sendFrameHeader(S, static_cast<uint8_t>(FrameType::Submit),
+                                static_cast<uint8_t>(ClientId.size()),
+                                static_cast<uint64_t>(Size)) &&
+                (ClientId.empty() ||
+                 S.sendAll(ClientId.data(), ClientId.size()));
+  char Buf[IoChunkBytes];
+  uint64_t Left = static_cast<uint64_t>(Size);
+  while (SentOk && Left > 0) {
+    size_t Chunk = static_cast<size_t>(
+        std::min<uint64_t>(Left, sizeof(Buf)));
+    if (std::fread(Buf, 1, Chunk, File) != Chunk || !S.sendAll(Buf, Chunk)) {
+      SentOk = false;
+      break;
+    }
+    Left -= Chunk;
+  }
+  std::fclose(File);
+  // A send can fail mid-payload because the daemon already rejected the
+  // submission (e.g. oversize) and closed its read side; the verdict may
+  // still be waiting in the socket, so always try to read it.
+  if (recvResponse(S, Out.Code, Out.Message)) {
+    Out.Ok = true;
+    return Out;
+  }
+  Out.Message = SentOk ? "no response from daemon"
+                       : "send failed for " + TracePath;
+  return Out;
+}
+
+bool ingest::requestStats(Socket &S, std::string &StatsJson,
+                          std::string &Error) {
+  Error.clear();
+  if (!sendFrameHeader(S, static_cast<uint8_t>(FrameType::Stats), 0, 0)) {
+    Error = "send failed";
+    return false;
+  }
+  Status Code = Status::Error;
+  if (!recvResponse(S, Code, StatsJson)) {
+    Error = "no response from daemon";
+    return false;
+  }
+  if (Code != Status::Committed) {
+    Error = StatsJson.empty() ? std::string(statusName(Code)) : StatsJson;
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Server internals.
+//===----------------------------------------------------------------------===//
+
+struct IngestServer::ResponseSlot {
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Done = false;
+  ingest::Status Code = ingest::Status::Error;
+  std::string Message;
+
+  void deliver(ingest::Status S, std::string Msg) {
+    std::lock_guard<std::mutex> G(M);
+    Code = S;
+    Message = std::move(Msg);
+    Done = true;
+    Cv.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> L(M);
+    Cv.wait(L, [&] { return Done; });
+  }
+};
+
+struct IngestServer::Task {
+  std::string SpoolPath;
+  std::string ClientId;
+  ResponseSlot *Slot = nullptr; ///< Null for drop-dir / recovered work.
+};
+
+struct IngestServer::Connection {
+  Socket Sock;
+  std::thread Thread;
+  std::atomic<bool> Done{false};
+};
+
+IngestServer::IngestServer(Config Cfg) : C(std::move(Cfg)) {}
+
+IngestServer::~IngestServer() { stop(); }
+
+std::string IngestServer::spoolPathFor(uint64_t Seq,
+                                       const std::string &ClientId) const {
+  return C.SpoolDir + "/sub-" + hexU64(Seq) + "-" + hexEncode(ClientId) +
+         ".trace";
+}
+
+bool IngestServer::start(std::string &Error) {
+  Error.clear();
+  if (Running.load()) {
+    Error = "already running";
+    return false;
+  }
+  Stopping.store(false);
+  if (C.SpoolDir.empty()) {
+    Error = "spool directory required";
+    return false;
+  }
+  if (!ensureDir(C.SpoolDir)) {
+    Error = "cannot create spool directory " + C.SpoolDir;
+    return false;
+  }
+  if (!C.DropDir.empty() && !ensureDir(C.DropDir)) {
+    Error = "cannot create drop directory " + C.DropDir;
+    return false;
+  }
+  if (C.QueueCapacity == 0)
+    C.QueueCapacity = 1;
+
+  // Resume from the snapshot when one exists; a missing file is a fresh
+  // deployment, but a corrupt one is an operator problem, not something
+  // to silently zero out.
+  Aggregator = FleetAggregator(C.Setup.SamplingRate);
+  CommittedOrder.clear();
+  CommittedIds.clear();
+  Stats = Counters();
+  if (!C.SnapshotPath.empty()) {
+    std::vector<uint8_t> Bytes;
+    std::string ReadError;
+    if (readFileBytes(C.SnapshotPath, Bytes, ReadError)) {
+      if (!decodeDaemonSnapshot(Bytes, Aggregator, CommittedOrder, Stats,
+                                Error))
+        return false;
+      for (const std::string &Id : CommittedOrder)
+        CommittedIds.insert(Id);
+    }
+  }
+
+  unsigned NWorkers =
+      C.AnalysisWorkers ? C.AnalysisWorkers : std::thread::hardware_concurrency();
+  if (NWorkers == 0)
+    NWorkers = 2;
+  Running.store(true);
+  for (unsigned I = 0; I < NWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+
+  // Re-ingest anything a previous run spooled but did not get into a
+  // durable snapshot. Workers are already running, so the bounded queue
+  // drains even when the backlog exceeds its capacity.
+  if (!recoverSpool(Error)) {
+    stop();
+    return false;
+  }
+
+  if (!C.UnixSocketPath.empty()) {
+    UnixListener = ListenSocket::listenUnix(C.UnixSocketPath, 64, Error);
+    if (!UnixListener.valid()) {
+      stop();
+      return false;
+    }
+    UnixAcceptor = std::thread([this] { acceptLoop(&UnixListener); });
+  }
+  if (C.TcpPort >= 0) {
+    TcpListener = ListenSocket::listenTcp(C.TcpPort, 64, Error, &BoundTcpPort);
+    if (!TcpListener.valid()) {
+      stop();
+      return false;
+    }
+    TcpAcceptor = std::thread([this] { acceptLoop(&TcpListener); });
+  }
+  if (!C.DropDir.empty())
+    DropWatcher = std::thread([this] { dropWatchLoop(); });
+  return true;
+}
+
+bool IngestServer::recoverSpool(std::string &Error) {
+  Error.clear();
+  std::vector<Task> ToIngest;
+  uint64_t NextSeq = 0;
+  std::error_code Ec;
+  fs::directory_iterator It(C.SpoolDir, Ec), End;
+  for (; !Ec && It != End; It.increment(Ec)) {
+    std::error_code TypeEc;
+    if (!It->is_regular_file(TypeEc) || TypeEc)
+      continue;
+    const std::string Name = It->path().filename().string();
+    const std::string Full = It->path().string();
+    // Incomplete receives never got their final name; they are lost work
+    // the client never got acked for (it will retry).
+    if (!Name.empty() && Name[0] == '.') {
+      unlinkQuiet(Full);
+      continue;
+    }
+    uint64_t Seq = 0;
+    std::string Id;
+    if (!parseSpoolName(Name, Seq, Id))
+      continue; // Not ours (e.g. a snapshot living in the spool dir).
+    NextSeq = std::max(NextSeq, Seq + 1);
+    if (!Id.empty() && CommittedIds.count(Id)) {
+      // Committed and durable before the crash; only the unlink was lost.
+      unlinkQuiet(Full);
+      continue;
+    }
+    ToIngest.push_back(Task{Full, Id, nullptr});
+  }
+  SpoolSeq.store(NextSeq);
+  std::sort(ToIngest.begin(), ToIngest.end(),
+            [](const Task &A, const Task &B) {
+              return A.SpoolPath < B.SpoolPath;
+            });
+  for (Task &T : ToIngest)
+    if (!enqueue(std::move(T)))
+      break; // Stopping mid-start; files stay for the next run.
+  return true;
+}
+
+void IngestServer::stop() {
+  bool WasStopping = Stopping.exchange(true);
+  if (WasStopping && !Running.load())
+    return;
+
+  // Unblock producers stuck in backpressure so they can bail out.
+  QueueSpaceCv.notify_all();
+
+  if (UnixAcceptor.joinable())
+    UnixAcceptor.join();
+  if (TcpAcceptor.joinable())
+    TcpAcceptor.join();
+  UnixListener.close();
+  TcpListener.close();
+  if (DropWatcher.joinable())
+    DropWatcher.join();
+
+  // Connections: shut their sockets so blocked receives fail, then wait
+  // for every connection thread to finish (workers are still draining
+  // the queue, so threads waiting on a response slot get their answer).
+  reapConnections(/*Final=*/true);
+
+  QueueWorkCv.notify_all();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  Workers.clear();
+
+  // Final snapshot: capture any commits since the last periodic one and
+  // release their spool files.
+  {
+    std::lock_guard<std::mutex> G(StateMutex);
+    if (!C.SnapshotPath.empty() && Stats.Committed > 0) {
+      std::string SnapError;
+      if (writeSnapshotLocked(SnapError)) {
+        for (const std::string &Path : PendingUnlinks)
+          unlinkQuiet(Path);
+        PendingUnlinks.clear();
+        CommitsSinceSnapshot = 0;
+      }
+    }
+  }
+  Running.store(false);
+}
+
+void IngestServer::acceptLoop(ListenSocket *Listener) {
+  while (!Stopping.load()) {
+    bool TimedOut = false;
+    std::string Error;
+    Socket S = Listener->accept(200, TimedOut, Error);
+    reapConnections(/*Final=*/false);
+    if (!S.valid()) {
+      if (!TimedOut && !Error.empty()) {
+        if (Stopping.load())
+          break;
+        // Persistent accept failure (fd exhaustion, listener torn down):
+        // back off instead of spinning the poll loop.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      continue;
+    }
+    std::lock_guard<std::mutex> G(ConnMutex);
+    if (LiveConnections >= C.MaxConnections) {
+      sendResponse(S, ingest::Status::Unavailable, "connection limit reached");
+      continue; // S closes on scope exit.
+    }
+    auto Conn = std::make_unique<Connection>();
+    Conn->Sock = std::move(S);
+    Connection *Ptr = Conn.get();
+    ++LiveConnections;
+    Connections.push_back(std::move(Conn));
+    Ptr->Thread = std::thread([this, Ptr] { connectionLoop(Ptr); });
+  }
+}
+
+void IngestServer::reapConnections(bool Final) {
+  std::unique_lock<std::mutex> L(ConnMutex);
+  if (Final)
+    for (auto &Conn : Connections)
+      if (!Conn->Done.load() && Conn->Sock.valid())
+        ::shutdown(Conn->Sock.fd(), SHUT_RDWR);
+  auto Sweep = [&] {
+    for (auto It = Connections.begin(); It != Connections.end();) {
+      if ((*It)->Done.load()) {
+        (*It)->Thread.join();
+        It = Connections.erase(It);
+      } else {
+        ++It;
+      }
+    }
+  };
+  Sweep();
+  while (Final && !Connections.empty()) {
+    L.unlock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    L.lock();
+    Sweep();
+  }
+}
+
+void IngestServer::connectionLoop(Connection *Conn) {
+  Socket &S = Conn->Sock;
+  S.setRecvTimeout(C.RecvTimeoutMs);
+
+  while (!Stopping.load()) {
+    uint8_t Header[ingest::FrameHeaderBytes];
+    if (!S.recvAll(Header, sizeof(Header)))
+      break; // Idle close, timeout, or peer gone.
+    BinReader R(Header, sizeof(Header));
+    const uint32_t Magic = R.u32();
+    const uint8_t Type = R.u8();
+    const uint8_t IdLen = R.u8();
+    const uint16_t Reserved = R.u16();
+    const uint64_t PayloadLen = R.u64();
+    if (Magic != ingest::FrameMagic || Reserved != 0) {
+      sendResponse(S, ingest::Status::Error, "bad frame header");
+      break;
+    }
+
+    if (Type == static_cast<uint8_t>(ingest::FrameType::Stats)) {
+      if (IdLen != 0 || PayloadLen != 0) {
+        sendResponse(S, ingest::Status::Error, "malformed stats request");
+        break;
+      }
+      if (!sendResponse(S, ingest::Status::Committed, statsText()))
+        break;
+      continue;
+    }
+    if (Type != static_cast<uint8_t>(ingest::FrameType::Submit)) {
+      sendResponse(S, ingest::Status::Error, "unknown frame type");
+      break;
+    }
+    if (IdLen > ingest::MaxClientIdBytes) {
+      sendResponse(S, ingest::Status::Error, "client id too long");
+      break;
+    }
+    std::string Id(IdLen, '\0');
+    if (IdLen && !S.recvAll(Id.data(), IdLen))
+      break;
+    if (PayloadLen > C.MaxSubmissionBytes) {
+      // Refusing without reading leaves the stream unsynchronized; the
+      // response still goes out, then the connection closes.
+      {
+        std::lock_guard<std::mutex> G(StateMutex);
+        ++Stats.OversizeRejected;
+      }
+      sendResponse(S, ingest::Status::TooLarge,
+                   "submission exceeds size limit");
+      break;
+    }
+
+    // Spool to disk in bounded chunks under a dot-name; rename into the
+    // spool only once every byte arrived.
+    const auto SpoolStart = Clock::now();
+    const uint64_t Seq = SpoolSeq.fetch_add(1);
+    const std::string PartPath =
+        C.SpoolDir + "/.in-" + hexU64(Seq) + ".part";
+    const std::string FinalPath = spoolPathFor(Seq, Id);
+    std::FILE *File = std::fopen(PartPath.c_str(), "wb");
+    if (!File) {
+      sendResponse(S, ingest::Status::Error, "cannot open spool file");
+      break;
+    }
+    char Buf[IoChunkBytes];
+    uint64_t Left = PayloadLen;
+    bool RecvOk = true, DiskOk = true;
+    while (Left > 0 && RecvOk && DiskOk) {
+      size_t Chunk =
+          static_cast<size_t>(std::min<uint64_t>(Left, sizeof(Buf)));
+      if (!S.recvAll(Buf, Chunk))
+        RecvOk = false;
+      else if (std::fwrite(Buf, 1, Chunk, File) != Chunk)
+        DiskOk = false;
+      else
+        Left -= Chunk;
+    }
+    if (DiskOk)
+      DiskOk = std::fflush(File) == 0 && ::fsync(fileno(File)) == 0;
+    std::fclose(File);
+    if (!RecvOk || !DiskOk) {
+      unlinkQuiet(PartPath);
+      if (!RecvOk)
+        break; // Peer vanished mid-payload; nothing to answer.
+      sendResponse(S, ingest::Status::Error, "spool write failed");
+      break;
+    }
+    std::error_code RenameEc;
+    fs::rename(PartPath, FinalPath, RenameEc);
+    if (RenameEc) {
+      unlinkQuiet(PartPath);
+      sendResponse(S, ingest::Status::Error, "spool rename failed");
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> G(StateMutex);
+      ++Stats.Received;
+      recordStage(Stats.Spool, msSince(SpoolStart));
+    }
+
+    ResponseSlot Slot;
+    if (!enqueue(Task{FinalPath, Id, &Slot})) {
+      // Shutting down: the spool file survives and the next start
+      // re-ingests it; the client learns to retry (same id = no double
+      // count).
+      sendResponse(S, ingest::Status::Unavailable, "shutting down");
+      break;
+    }
+    Slot.wait();
+    if (!sendResponse(S, Slot.Code, Slot.Message))
+      break;
+  }
+
+  {
+    std::lock_guard<std::mutex> G(ConnMutex);
+    --LiveConnections;
+  }
+  Conn->Sock.close();
+  Conn->Done.store(true);
+}
+
+void IngestServer::dropWatchLoop() {
+  while (!Stopping.load()) {
+    for (const std::string &Path : scanDropDir(C.DropDir)) {
+      if (Stopping.load())
+        break;
+      const size_t Slash = Path.find_last_of('/');
+      const std::string Base =
+          Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+      // The filename is the idempotency id, so re-dropping a committed
+      // name answers duplicate instead of double counting. Long names
+      // get a fingerprint to stay within the id bound.
+      std::string Id = "drop:" + Base;
+      if (Id.size() > ingest::MaxClientIdBytes)
+        Id = "drop#" + hexU64(fnv1a64(Base.data(), Base.size()));
+      const uint64_t Seq = SpoolSeq.fetch_add(1);
+      const std::string Dst = spoolPathFor(Seq, Id);
+      if (!claimFile(Path, Dst))
+        continue; // Claimed by someone else or vanished; move on.
+      {
+        std::lock_guard<std::mutex> G(StateMutex);
+        ++Stats.Received;
+      }
+      if (!enqueue(Task{Dst, Id, nullptr}))
+        return; // Stopping; the spool file is recovered next start.
+    }
+    for (int Slept = 0; Slept < C.DropPollMs && !Stopping.load();
+         Slept += 10)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+bool IngestServer::enqueue(Task T) {
+  std::unique_lock<std::mutex> L(QueueMutex);
+  QueueSpaceCv.wait(L, [&] {
+    return Stopping.load() || Queue.size() < C.QueueCapacity;
+  });
+  if (Stopping.load())
+    return false;
+  Queue.push_back(std::move(T));
+  QueueWorkCv.notify_one();
+  return true;
+}
+
+void IngestServer::workerLoop() {
+  for (;;) {
+    Task T;
+    {
+      std::unique_lock<std::mutex> L(QueueMutex);
+      QueueWorkCv.wait(L, [&] { return Stopping.load() || !Queue.empty(); });
+      if (Queue.empty()) {
+        if (Stopping.load())
+          return; // Drained; shutdown may proceed.
+        continue;
+      }
+      T = std::move(Queue.front());
+      Queue.pop_front();
+      QueueSpaceCv.notify_one();
+    }
+    processTask(T);
+  }
+}
+
+void IngestServer::processTask(Task &T) {
+  auto Respond = [&](ingest::Status Code, std::string Msg) {
+    if (T.Slot)
+      T.Slot->deliver(Code, std::move(Msg));
+  };
+
+  // Cheap duplicate check before burning an analysis on it.
+  if (!T.ClientId.empty()) {
+    std::lock_guard<std::mutex> G(StateMutex);
+    if (CommittedIds.count(T.ClientId)) {
+      ++Stats.Duplicates;
+      unlinkQuiet(T.SpoolPath);
+      Respond(ingest::Status::Duplicate, "already committed");
+      return;
+    }
+  }
+
+  std::error_code SizeEc;
+  const uint64_t PayloadBytes = fs::file_size(T.SpoolPath, SizeEc);
+  if (SizeEc) {
+    Respond(ingest::Status::Error, "spool file unreadable");
+    return;
+  }
+  if (PayloadBytes > C.MaxSubmissionBytes) {
+    // Drop-dir files skip frame validation, so the limit lands here.
+    {
+      std::lock_guard<std::mutex> G(StateMutex);
+      ++Stats.OversizeRejected;
+    }
+    unlinkQuiet(T.SpoolPath);
+    Respond(ingest::Status::TooLarge, "submission exceeds size limit");
+    return;
+  }
+
+  AnalysisRequest Request;
+  Request.Setup = C.Setup;
+  Request.Seed = C.Seed;
+  Request.Stream = true;
+  Request.StreamWindow = C.StreamWindow;
+  Request.CollectReports = true;
+  const auto AnalyzeStart = Clock::now();
+  AnalysisResult Result =
+      AnalysisSession(flatSiteWorkload(), Request).analyzeFile(T.SpoolPath);
+  const double AnalyzeMs = msSince(AnalyzeStart);
+
+  if (!Result.Ok) {
+    std::lock_guard<std::mutex> G(StateMutex);
+    ++Stats.MalformedRejected;
+    recordStage(Stats.Analyze, AnalyzeMs);
+    unlinkQuiet(T.SpoolPath);
+    Respond(ingest::Status::Malformed, Result.Error);
+    return;
+  }
+
+  const auto CommitStart = Clock::now();
+  ingest::Status Code =
+      commitResult(Result, T.ClientId, PayloadBytes, T.SpoolPath);
+  const double CommitMs = msSince(CommitStart);
+  {
+    std::lock_guard<std::mutex> G(StateMutex);
+    recordStage(Stats.Analyze, AnalyzeMs);
+    recordStage(Stats.Commit, CommitMs);
+  }
+
+  if (Code == ingest::Status::Committed) {
+    std::string Msg = "committed: " + std::to_string(Result.Races.size()) +
+                      " distinct race(s), " +
+                      std::to_string(Result.DynamicRaces) + " dynamic";
+    Respond(Code, std::move(Msg));
+  } else {
+    Respond(Code, "already committed");
+  }
+}
+
+ingest::Status IngestServer::commitResult(const AnalysisResult &Result,
+                                          const std::string &ClientId,
+                                          uint64_t PayloadBytes,
+                                          const std::string &SpoolPath) {
+  std::lock_guard<std::mutex> G(StateMutex);
+  if (!ClientId.empty() && CommittedIds.count(ClientId)) {
+    // Lost the race against a concurrent retry of the same id.
+    ++Stats.Duplicates;
+    unlinkQuiet(SpoolPath);
+    return ingest::Status::Duplicate;
+  }
+
+  // Fold at the fleet-wide configured rate (EffectiveRate = -1): the
+  // rate mean's exact fixed point keeps the aggregate independent of the
+  // order concurrent submissions happen to commit in.
+  Aggregator.addInstance(Result.Races, Result.SampleReports, -1.0);
+  ++Stats.Committed;
+  Stats.BytesIngested += PayloadBytes;
+  Stats.RacesDynamic += Result.DynamicRaces;
+  if (!ClientId.empty()) {
+    CommittedIds.insert(ClientId);
+    CommittedOrder.push_back(ClientId);
+    while (CommittedOrder.size() > C.MaxCommittedIds) {
+      CommittedIds.erase(CommittedOrder.front());
+      CommittedOrder.pop_front();
+    }
+  }
+
+  // The spool file may only disappear once a snapshot covering this
+  // commit is durable; until then it is the crash-recovery source.
+  PendingUnlinks.push_back(SpoolPath);
+  ++CommitsSinceSnapshot;
+  if (C.SnapshotPath.empty() || CommitsSinceSnapshot >= C.SnapshotEveryN) {
+    std::string SnapError;
+    if (C.SnapshotPath.empty() || writeSnapshotLocked(SnapError)) {
+      for (const std::string &Path : PendingUnlinks)
+        unlinkQuiet(Path);
+      PendingUnlinks.clear();
+      CommitsSinceSnapshot = 0;
+    }
+    // On snapshot failure the spool files stay: commits are held in
+    // memory and re-ingested from spool if this process dies.
+  }
+  return ingest::Status::Committed;
+}
+
+bool IngestServer::writeSnapshotLocked(std::string &Error) {
+  std::vector<uint8_t> Bytes =
+      encodeDaemonSnapshot(Aggregator, CommittedOrder, Stats);
+  return writeFileAtomic(C.SnapshotPath, Bytes.data(), Bytes.size(), Error);
+}
+
+IngestServer::Counters IngestServer::counters() const {
+  std::lock_guard<std::mutex> G(StateMutex);
+  return Stats;
+}
+
+FleetAggregator IngestServer::aggregatorCopy() const {
+  std::lock_guard<std::mutex> G(StateMutex);
+  return Aggregator;
+}
+
+std::string IngestServer::statsText() const {
+  Counters S = counters();
+  size_t QueueDepth;
+  {
+    std::lock_guard<std::mutex> G(QueueMutex);
+    QueueDepth = Queue.size();
+  }
+  auto Stage = [](const char *Name, const StageStats &St) {
+    std::string Out = "\"";
+    Out += Name;
+    Out += "\":{\"count\":" + std::to_string(St.Count);
+    Out += ",\"total_ms\":" + std::to_string(St.TotalMs);
+    Out += ",\"max_ms\":" + std::to_string(St.MaxMs) + "}";
+    return Out;
+  };
+  std::string Json = "{";
+  Json += "\"received\":" + std::to_string(S.Received);
+  Json += ",\"committed\":" + std::to_string(S.Committed);
+  Json += ",\"duplicates\":" + std::to_string(S.Duplicates);
+  Json += ",\"rejected_malformed\":" + std::to_string(S.MalformedRejected);
+  Json += ",\"rejected_oversize\":" + std::to_string(S.OversizeRejected);
+  Json += ",\"bytes_ingested\":" + std::to_string(S.BytesIngested);
+  Json += ",\"dynamic_races\":" + std::to_string(S.RacesDynamic);
+  Json += ",\"queue_depth\":" + std::to_string(QueueDepth);
+  Json += ",\"stages\":{" + Stage("spool", S.Spool) + "," +
+          Stage("analyze", S.Analyze) + "," + Stage("commit", S.Commit) + "}";
+  Json += "}";
+  return Json;
+}
+
+bool IngestServer::loadSnapshotFile(const std::string &Path,
+                                    FleetAggregator &Agg,
+                                    std::string &Error) {
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes, Error))
+    return false;
+  std::deque<std::string> IdOrder;
+  Counters Stats;
+  return decodeDaemonSnapshot(Bytes, Agg, IdOrder, Stats, Error);
+}

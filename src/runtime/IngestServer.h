@@ -1,0 +1,279 @@
+//===- runtime/IngestServer.h - Fleet trace-ingest daemon core -*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server side of the paper's fleet deployment, as an embeddable
+/// component (tools/racedetectd is a thin CLI around it): accept binary
+/// or text trace submissions over a Unix-domain socket, loopback TCP,
+/// and a watched drop-directory; replay each through an AnalysisSession
+/// (bounded-memory streaming by default); and fold every result into a
+/// persistent FleetAggregator.
+///
+/// Ingest pipeline, designed so a kill -9 at ANY point loses no
+/// committed submission and double-counts nothing:
+///
+///   receive -> spool -> analyze -> commit -> ack
+///
+///  - *Spool*: submissions are streamed to disk in small chunks (a
+///    connection never buffers a whole trace), written under a ".part"
+///    name and renamed into the spool when complete. Per-connection
+///    memory is O(chunk); per-analysis memory is O(streaming window).
+///  - *Queue*: spooled submissions enter a bounded queue; when it is
+///    full, connection and watcher threads block -- backpressure
+///    propagates to producers instead of growing memory.
+///  - *Commit*: under one lock, the analysis result is folded into the
+///    aggregator, the submission's idempotency id is recorded, and the
+///    snapshot (aggregator + ids + counters, one atomically-renamed
+///    file) is written. A spool file is deleted only after a snapshot
+///    covering it is durable.
+///  - *Recovery*: on start, load the snapshot, delete ".part" leftovers
+///    and spool files whose id is already committed, and re-ingest the
+///    rest. Submissions carrying a client id are therefore exactly-once
+///    across crashes (retries of committed work answer "duplicate");
+///    id-less submissions degrade to at-least-once. Drop-directory files
+///    are claimed by atomic rename and use their filename as the id.
+///
+/// Aggregation uses the fleet-wide specified rate for every instance
+/// (FleetAggregator's order-independent fixed point), so estimates are
+/// bit-identical to an in-process pass over the same logs no matter the
+/// order in which concurrent submissions commit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_RUNTIME_INGESTSERVER_H
+#define PACER_RUNTIME_INGESTSERVER_H
+
+#include "runtime/AnalysisSession.h"
+#include "runtime/FleetAggregator.h"
+#include "support/Socket.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace pacer {
+
+/// Wire protocol shared by the daemon and its clients. Frames are
+/// length-prefixed on both directions:
+///
+///   request:  u32 magic | u8 type | u8 idLen | u16 reserved(0) |
+///             u64 payloadLen | id bytes | payload bytes
+///   response: u32 magic | u8 status | u8 zero | u16 reserved(0) |
+///             u64 messageLen | message bytes
+///
+/// A Submit payload is a trace file image (binary v2 or text v1); the id
+/// is an opaque client-chosen idempotency token (<= MaxClientIdBytes).
+/// A Stats request has no id and no payload; its response message is a
+/// JSON object of ingest counters.
+namespace ingest {
+
+inline constexpr uint32_t FrameMagic = 0x31444352; // "RCD1", little-endian.
+inline constexpr size_t FrameHeaderBytes = 16;
+inline constexpr size_t MaxClientIdBytes = 100;
+
+enum class FrameType : uint8_t {
+  Submit = 1,
+  Stats = 2,
+};
+
+enum class Status : uint8_t {
+  Committed = 0,   ///< Folded into the fleet state (and snapshot).
+  Duplicate = 1,   ///< This id was already committed; not re-counted.
+  Malformed = 2,   ///< The trace failed validation; rejected.
+  TooLarge = 3,    ///< Payload exceeds the submission size limit.
+  Unavailable = 4, ///< Shutting down / refusing work; retry later.
+  Error = 5,       ///< Internal failure; message says what.
+};
+
+/// Returns "committed", "duplicate", ...
+const char *statusName(Status S);
+
+/// Outcome of one client call.
+struct SubmitResult {
+  bool Ok = false;    ///< Transport-level success (a response arrived).
+  Status Code = Status::Error;
+  std::string Message; ///< Response message or transport error.
+};
+
+/// Submits the trace file at \p TracePath over \p S (streamed from disk
+/// in bounded chunks) under idempotency id \p ClientId (may be empty)
+/// and waits for the verdict.
+SubmitResult submitFile(Socket &S, const std::string &TracePath,
+                        const std::string &ClientId);
+
+/// Requests the daemon's ingest counters; \p StatsJson receives the JSON
+/// message on success.
+bool requestStats(Socket &S, std::string &StatsJson, std::string &Error);
+
+} // namespace ingest
+
+/// The embeddable fleet-ingest daemon.
+class IngestServer {
+public:
+  struct Config {
+    /// Unix-domain listener path; empty disables.
+    std::string UnixSocketPath;
+    /// Loopback TCP port; -1 disables, 0 picks an ephemeral port
+    /// (readable via tcpPort() after start).
+    int TcpPort = -1;
+    /// Watched drop directory; empty disables.
+    std::string DropDir;
+    /// Snapshot file; empty disables persistence (state is then lost on
+    /// stop, and crash recovery degrades to re-ingesting the spool).
+    std::string SnapshotPath;
+    /// Spool directory for in-flight submissions (required).
+    std::string SpoolDir;
+
+    /// Detector configuration for every submission's replay. Default:
+    /// PACER at rate 1.0, sequential. Setup.SamplingRate doubles as the
+    /// fleet-wide rate handed to the aggregator.
+    DetectorSetup Setup;
+    /// Seed for sampling decisions, shared by every submission (a fleet
+    /// rate is a deployment constant; per-submission seeds would change
+    /// estimates with arrival order).
+    uint64_t Seed = 1;
+    /// Streaming window for per-submission replay.
+    size_t StreamWindow = StreamingTraceReader::DefaultWindowActions;
+
+    /// Hard per-submission size limit, bytes.
+    uint64_t MaxSubmissionBytes = 256ull << 20;
+    /// Bounded submission queue; producers block when full.
+    size_t QueueCapacity = 64;
+    /// Analysis worker threads; 0 = hardware concurrency.
+    unsigned AnalysisWorkers = 0;
+    /// Maximum simultaneously-open connections; excess connects are
+    /// answered Unavailable and closed.
+    unsigned MaxConnections = 256;
+    /// Snapshot after every Nth commit (1 = every commit). Spool files
+    /// are retained until a snapshot covers them, so raising this trades
+    /// snapshot I/O for re-analysis after a crash -- never for data loss.
+    unsigned SnapshotEveryN = 1;
+    /// Drop-directory poll interval.
+    int DropPollMs = 50;
+    /// Per-read receive timeout on connections.
+    int RecvTimeoutMs = 10000;
+    /// Committed-id memory (for duplicate detection), persisted in the
+    /// snapshot; oldest ids are evicted beyond this.
+    size_t MaxCommittedIds = 4096;
+  };
+
+  /// One pipeline stage's latency tally.
+  struct StageStats {
+    uint64_t Count = 0;
+    double TotalMs = 0;
+    double MaxMs = 0;
+  };
+
+  /// Everything the stats request reports.
+  struct Counters {
+    uint64_t Received = 0;  ///< Submissions fully spooled.
+    uint64_t Committed = 0; ///< Folded into the aggregator.
+    uint64_t Duplicates = 0;
+    uint64_t MalformedRejected = 0;
+    uint64_t OversizeRejected = 0;
+    uint64_t BytesIngested = 0; ///< Payload bytes of committed submissions.
+    uint64_t RacesDynamic = 0;  ///< Dynamic races across commits.
+    StageStats Spool, Analyze, Commit;
+  };
+
+  explicit IngestServer(Config C);
+  ~IngestServer();
+
+  IngestServer(const IngestServer &) = delete;
+  IngestServer &operator=(const IngestServer &) = delete;
+
+  /// Loads the snapshot (if any), recovers the spool, and starts
+  /// listeners, watcher, and workers. False with \p Error on any
+  /// unrecoverable setup failure.
+  bool start(std::string &Error);
+
+  /// Graceful shutdown: stop accepting, drain the queue, write a final
+  /// snapshot. Idempotent.
+  void stop();
+
+  bool running() const { return Running.load(); }
+
+  /// The bound TCP port (after start, when TCP is enabled), else -1.
+  int tcpPort() const { return BoundTcpPort; }
+
+  /// Snapshot of the ingest counters.
+  Counters counters() const;
+
+  /// The counters as the JSON object the stats request returns.
+  std::string statsText() const;
+
+  /// A copy of the current fleet state (for in-process verification).
+  FleetAggregator aggregatorCopy() const;
+
+  /// Reads the fleet aggregator out of a daemon snapshot file (the
+  /// daemon's format wraps FleetAggregator's); for offline inspection
+  /// and tests.
+  static bool loadSnapshotFile(const std::string &Path,
+                               FleetAggregator &Agg, std::string &Error);
+
+private:
+  struct ResponseSlot;
+  struct Task;
+  struct Connection;
+
+  void acceptLoop(ListenSocket *Listener);
+  void connectionLoop(Connection *Conn);
+  void dropWatchLoop();
+  void workerLoop();
+  void reapConnections(bool Final);
+
+  bool enqueue(Task T);
+  void processTask(Task &T);
+  ingest::Status commitResult(const AnalysisResult &Result,
+                              const std::string &ClientId,
+                              uint64_t PayloadBytes,
+                              const std::string &SpoolPath);
+  bool writeSnapshotLocked(std::string &Error);
+  bool recoverSpool(std::string &Error);
+  std::string spoolPathFor(uint64_t Seq, const std::string &ClientId) const;
+
+  Config C;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> Stopping{false};
+  int BoundTcpPort = -1;
+
+  ListenSocket UnixListener, TcpListener;
+  std::thread UnixAcceptor, TcpAcceptor, DropWatcher;
+  std::vector<std::thread> Workers;
+
+  std::mutex ConnMutex;
+  std::list<std::unique_ptr<Connection>> Connections;
+  unsigned LiveConnections = 0;
+
+  mutable std::mutex QueueMutex;        ///< Mutable: stats peek depth.
+  std::condition_variable QueueSpaceCv; ///< Producers wait for space.
+  std::condition_variable QueueWorkCv;  ///< Workers wait for tasks.
+  std::deque<Task> Queue;
+
+  /// Guards the aggregator, committed-id memory, counters, snapshot
+  /// writing, and deferred spool unlinks: one commit at a time.
+  mutable std::mutex StateMutex;
+  FleetAggregator Aggregator;
+  std::deque<std::string> CommittedOrder; ///< Eviction order.
+  std::unordered_set<std::string> CommittedIds;
+  Counters Stats;
+  uint64_t CommitsSinceSnapshot = 0;
+  std::vector<std::string> PendingUnlinks; ///< Spool files awaiting snapshot.
+
+  std::atomic<uint64_t> SpoolSeq{0};
+};
+
+} // namespace pacer
+
+#endif // PACER_RUNTIME_INGESTSERVER_H

@@ -113,6 +113,11 @@ TraceSpan StreamingTraceReader::nextBinary() {
              std::to_string(*Total - RemainingRecords + I));
         return {};
       }
+      if (const char *Bad = validateActionRecord(WindowBuf[I])) {
+        fail(Path + ": " + Bad + " in record " +
+             std::to_string(*Total - RemainingRecords + I));
+        return {};
+      }
     }
   } else {
     RawBuf.resize(Want * BinaryTraceRecordBytes);
@@ -127,6 +132,11 @@ TraceSpan StreamingTraceReader::nextBinary() {
       if (!unpackBinaryRecord(RawBuf.data() + I * BinaryTraceRecordBytes,
                               WindowBuf[I])) {
         fail(Path + ": bad action kind in record " +
+             std::to_string(*Total - RemainingRecords + I));
+        return {};
+      }
+      if (const char *Bad = validateActionRecord(WindowBuf[I])) {
+        fail(Path + ": " + Bad + " in record " +
              std::to_string(*Total - RemainingRecords + I));
         return {};
       }

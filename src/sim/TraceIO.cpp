@@ -150,6 +150,13 @@ bool pacer::unpackBinaryRecord(const unsigned char *In, Action &A) {
   return true;
 }
 
+const char *pacer::validateActionRecord(const Action &A) {
+  if ((A.Kind == ActionKind::Fork || A.Kind == ActionKind::Join) &&
+      A.Target > MaxActionTid)
+    return "fork/join child thread id out of range";
+  return nullptr;
+}
+
 void pacer::packBinaryHeader(uint64_t Count, unsigned char *Out) {
   std::memcpy(Out, BinaryTraceMagic, 8);
   putLE32(Out + 8, BinaryTraceVersion);
@@ -275,7 +282,10 @@ bool TextTraceParser::parseLine(const char *Begin, const char *End,
   std::string Extra;
   if (Lexer.next(Extra))
     return failLine("trailing tokens");
-  Out.push_back({Kind, Tid, Target, Site});
+  const Action A{Kind, Tid, Target, Site};
+  if (const char *Bad = validateActionRecord(A))
+    return failLine(Bad);
+  Out.push_back(A);
   return true;
 }
 
@@ -450,6 +460,28 @@ TraceParseResult readBinaryTraceFile(const std::string &Path,
     return Result;
   }
 
+  // Check the promised count against the bytes actually present before
+  // sizing anything by it: a corrupt header must produce a diagnostic,
+  // not a count-sized allocation (this build has no exceptions, so an
+  // absurd reserve would abort the process).
+  const long DataStart = std::ftell(File);
+  if (DataStart < 0 || std::fseek(File, 0, SEEK_END) != 0) {
+    Result.Error = Path + ": cannot determine file size";
+    return Result;
+  }
+  const long FileEnd = std::ftell(File);
+  if (FileEnd < DataStart ||
+      std::fseek(File, DataStart, SEEK_SET) != 0) {
+    Result.Error = Path + ": cannot determine file size";
+    return Result;
+  }
+  const uint64_t BodyBytes = static_cast<uint64_t>(FileEnd - DataStart);
+  if (Count > BodyBytes / BinaryTraceRecordBytes) {
+    Result.Error = Path + ": truncated trace (header promises " +
+                   std::to_string(Count) + " records)";
+    return Result;
+  }
+
   Result.T.reserve(Count);
   const bool Bulk = actionLayoutMatchesBinaryRecord();
   constexpr size_t SlabRecords = 16 << 10;
@@ -477,6 +509,11 @@ TraceParseResult readBinaryTraceFile(const std::string &Path,
               std::to_string(Count - Remaining + I);
           return Result;
         }
+        if (const char *Bad = validateActionRecord(Actions[I])) {
+          Result.Error = Path + ": " + Bad + " in record " +
+                         std::to_string(Count - Remaining + I);
+          return Result;
+        }
       }
       Result.T.insert(Result.T.end(), Actions, Actions + Records);
     } else {
@@ -487,6 +524,11 @@ TraceParseResult readBinaryTraceFile(const std::string &Path,
           Result.Error =
               Path + ": bad action kind in record " +
               std::to_string(Count - Remaining + I);
+          return Result;
+        }
+        if (const char *Bad = validateActionRecord(A)) {
+          Result.Error = Path + ": " + Bad + " in record " +
+                         std::to_string(Count - Remaining + I);
           return Result;
         }
         Result.T.push_back(A);

@@ -54,14 +54,22 @@ TraceView &TraceView::operator=(TraceView &&Other) noexcept {
 
 namespace {
 
-/// Validates every record's kind byte; returns the index of the first
-/// bad record or -1. The scan touches one byte per 12 and runs at memory
+/// Validates every record (kind byte plus the fork/join tid-range rule);
+/// returns the index of the first bad record or -1, with \p Why set. The
+/// scan touches one byte per 12 for most records and runs at memory
 /// bandwidth -- the whole "parse" cost of the zero-copy path.
-int64_t firstBadKind(TraceSpan T) {
-  for (size_t I = 0; I < T.size(); ++I)
+int64_t firstBadRecord(TraceSpan T, const char *&Why) {
+  for (size_t I = 0; I < T.size(); ++I) {
     if (static_cast<uint8_t>(T[I].Kind) >
-        static_cast<uint8_t>(ActionKind::ThreadExit))
+        static_cast<uint8_t>(ActionKind::ThreadExit)) {
+      Why = "bad action kind";
       return static_cast<int64_t>(I);
+    }
+    if (const char *Bad = validateActionRecord(T[I])) {
+      Why = Bad;
+      return static_cast<int64_t>(I);
+    }
+  }
   return -1;
 }
 
@@ -123,8 +131,14 @@ TraceView TraceView::open(const std::string &Path, bool ForceBuffered) {
       }
       const uint64_t Count = static_cast<uint64_t>(LE32(16)) |
                              (static_cast<uint64_t>(LE32(20)) << 32);
-      if (FileBytes !=
-          BinaryTraceHeaderBytes + Count * BinaryTraceRecordBytes) {
+      // Bound the count by the bytes present before multiplying: a
+      // corrupt 64-bit count must not wrap the size arithmetic into a
+      // check that accidentally passes.
+      const uint64_t MaxRecords =
+          (FileBytes - BinaryTraceHeaderBytes) / BinaryTraceRecordBytes;
+      if (Count > MaxRecords ||
+          FileBytes !=
+              BinaryTraceHeaderBytes + Count * BinaryTraceRecordBytes) {
         std::string Err = Path + ": truncated trace (header promises " +
                           std::to_string(Count) + " records)";
         View.reset();
@@ -134,9 +148,10 @@ TraceView TraceView::open(const std::string &Path, bool ForceBuffered) {
       View.Span = TraceSpan(
           reinterpret_cast<const Action *>(Bytes + BinaryTraceHeaderBytes),
           static_cast<size_t>(Count));
-      if (const int64_t Bad = firstBadKind(View.Span); Bad >= 0) {
+      const char *Why = nullptr;
+      if (const int64_t Bad = firstBadRecord(View.Span, Why); Bad >= 0) {
         std::string Err =
-            Path + ": bad action kind in record " + std::to_string(Bad);
+            Path + ": " + Why + " in record " + std::to_string(Bad);
         View.reset();
         View.Error = std::move(Err);
         return View;

@@ -1,0 +1,126 @@
+//===- support/DirWatch.cpp -----------------------------------------------==//
+
+#include "support/DirWatch.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace pacer;
+namespace fs = std::filesystem;
+
+static bool hasSuffix(const std::string &Name, const char *Suffix) {
+  const size_t Len = std::char_traits<char>::length(Suffix);
+  return Name.size() >= Len &&
+         Name.compare(Name.size() - Len, Len, Suffix) == 0;
+}
+
+std::vector<std::string> pacer::scanDropDir(const std::string &Dir) {
+  std::vector<std::string> Files;
+  std::error_code Ec;
+  fs::directory_iterator It(Dir, Ec), End;
+  if (Ec)
+    return Files;
+  for (; It != End; It.increment(Ec)) {
+    if (Ec)
+      break;
+    const fs::directory_entry &Entry = *It;
+    std::error_code TypeEc;
+    if (!Entry.is_regular_file(TypeEc) || TypeEc)
+      continue;
+    std::string Name = Entry.path().filename().string();
+    if (Name.empty() || Name[0] == '.' || hasSuffix(Name, ".tmp") ||
+        hasSuffix(Name, ".part"))
+      continue;
+    Files.push_back(Entry.path().string());
+  }
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+bool pacer::claimFile(const std::string &Src, const std::string &Dst) {
+  std::error_code Ec;
+  fs::rename(Src, Dst, Ec);
+  return !Ec;
+}
+
+bool pacer::ensureDir(const std::string &Dir) {
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  std::error_code ExistsEc;
+  return fs::is_directory(Dir, ExistsEc) && !ExistsEc;
+}
+
+bool pacer::writeFileAtomic(const std::string &Path, const void *Data,
+                            size_t Size, std::string &Error) {
+  Error.clear();
+  const std::string TmpPath = Path + ".tmp";
+
+  int Fd = ::open(TmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    Error = "cannot create " + TmpPath;
+    return false;
+  }
+  const char *P = static_cast<const char *>(Data);
+  size_t Written = 0;
+  while (Written < Size) {
+    ssize_t N = ::write(Fd, P + Written, Size - Written);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      ::unlink(TmpPath.c_str());
+      Error = "write failed for " + TmpPath;
+      return false;
+    }
+    Written += static_cast<size_t>(N);
+  }
+  // fsync before rename: the atomic rename must publish a fully durable
+  // file, or a crash could leave the final name pointing at lost bytes.
+  if (::fsync(Fd) != 0 || ::close(Fd) != 0) {
+    ::unlink(TmpPath.c_str());
+    Error = "fsync failed for " + TmpPath;
+    return false;
+  }
+  if (::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    ::unlink(TmpPath.c_str());
+    Error = "rename failed for " + Path;
+    return false;
+  }
+  // Best-effort directory fsync so the rename itself is durable.
+  std::string Dir = Path;
+  size_t Slash = Dir.find_last_of('/');
+  Dir = Slash == std::string::npos ? std::string(".") : Dir.substr(0, Slash);
+  int DirFd = ::open(Dir.c_str(), O_RDONLY);
+  if (DirFd >= 0) {
+    ::fsync(DirFd);
+    ::close(DirFd);
+  }
+  return true;
+}
+
+bool pacer::readFileBytes(const std::string &Path, std::vector<uint8_t> &Out,
+                          std::string &Error) {
+  Error.clear();
+  Out.clear();
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  uint8_t Buf[1 << 16];
+  for (size_t N; (N = std::fread(Buf, 1, sizeof(Buf), File)) > 0;)
+    Out.insert(Out.end(), Buf, Buf + N);
+  bool ReadOk = std::ferror(File) == 0;
+  std::fclose(File);
+  if (!ReadOk) {
+    Error = "read failed for " + Path;
+    return false;
+  }
+  return true;
+}

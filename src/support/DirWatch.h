@@ -1,0 +1,59 @@
+//===- support/DirWatch.h - Polling drop-directory scanner -----*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The filesystem half of the daemon's ingest surface: producers that
+/// cannot (or do not want to) hold a socket open drop finished trace
+/// files into a directory, and the daemon claims them by atomic rename.
+/// Polling (not inotify) keeps it portable and is plenty for trace-sized
+/// files; the convention that producers write under a dot-prefix or
+/// ".tmp"/".part" suffix and rename into place when complete means a
+/// scan never observes a half-written file with its final name.
+///
+/// All filesystem calls use the std::error_code overloads -- this
+/// codebase builds with -fno-exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SUPPORT_DIRWATCH_H
+#define PACER_SUPPORT_DIRWATCH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pacer {
+
+/// Lists the regular files in \p Dir that are ready for pickup: skips
+/// dotfiles and the in-progress suffixes ".tmp" and ".part". Returns
+/// full paths sorted by name (deterministic claim order). A missing or
+/// unreadable directory yields an empty list -- a watcher just sees
+/// nothing to do.
+std::vector<std::string> scanDropDir(const std::string &Dir);
+
+/// Claims \p Src by renaming it to \p Dst (atomic within a filesystem).
+/// Returns false if the file vanished or was claimed by someone else
+/// first -- the caller simply moves on.
+bool claimFile(const std::string &Src, const std::string &Dst);
+
+/// Creates \p Dir (and parents) if needed; true if it exists afterwards.
+bool ensureDir(const std::string &Dir);
+
+/// Writes \p Size bytes to \p Path crash-safely: write "<Path>.tmp",
+/// fsync it, atomically rename over \p Path, then best-effort fsync the
+/// containing directory. After a crash \p Path holds either the old
+/// contents or the complete new contents, never a mix.
+bool writeFileAtomic(const std::string &Path, const void *Data, size_t Size,
+                     std::string &Error);
+
+/// Reads the whole file at \p Path into \p Out; false with \p Error on
+/// open or read failure.
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Out,
+                   std::string &Error);
+
+} // namespace pacer
+
+#endif // PACER_SUPPORT_DIRWATCH_H

@@ -1,0 +1,248 @@
+//===- support/Socket.cpp -------------------------------------------------==//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace pacer;
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+static std::string errnoText(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+Socket::Socket(Socket &&Other) noexcept : Fd(std::exchange(Other.Fd, -1)) {}
+
+Socket &Socket::operator=(Socket &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = std::exchange(Other.Fd, -1);
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+Socket Socket::connectUnix(const std::string &Path, std::string &Error) {
+  Error.clear();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "unix socket path too long: " + Path;
+    return Socket();
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoText("socket");
+    return Socket();
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Error = errnoText(("connect " + Path).c_str());
+    ::close(Fd);
+    return Socket();
+  }
+  return Socket(Fd);
+}
+
+Socket Socket::connectTcp(int Port, std::string &Error) {
+  Error.clear();
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoText("socket");
+    return Socket();
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Error = errnoText("connect localhost");
+    ::close(Fd);
+    return Socket();
+  }
+  return Socket(Fd);
+}
+
+bool Socket::sendAll(const void *Data, size_t Size) {
+  const char *P = static_cast<const char *>(Data);
+  while (Size > 0) {
+    ssize_t N = ::send(Fd, P, Size, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false;
+    P += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool Socket::recvAll(void *Data, size_t Size) {
+  char *P = static_cast<char *>(Data);
+  while (Size > 0) {
+    ssize_t N = ::recv(Fd, P, Size, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // Peer closed mid-message.
+    P += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool Socket::setRecvTimeout(int Milliseconds) {
+  timeval Tv{};
+  Tv.tv_sec = Milliseconds / 1000;
+  Tv.tv_usec = (Milliseconds % 1000) * 1000;
+  return ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv)) == 0;
+}
+
+ListenSocket::ListenSocket(ListenSocket &&Other) noexcept
+    : Fd(std::exchange(Other.Fd, -1)),
+      UnixPath(std::move(Other.UnixPath)) {
+  Other.UnixPath.clear();
+}
+
+ListenSocket &ListenSocket::operator=(ListenSocket &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = std::exchange(Other.Fd, -1);
+    UnixPath = std::move(Other.UnixPath);
+    Other.UnixPath.clear();
+  }
+  return *this;
+}
+
+void ListenSocket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  if (!UnixPath.empty()) {
+    ::unlink(UnixPath.c_str());
+    UnixPath.clear();
+  }
+}
+
+ListenSocket ListenSocket::listenUnix(const std::string &Path, int Backlog,
+                                      std::string &Error) {
+  Error.clear();
+  ListenSocket L;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "unix socket path too long: " + Path;
+    return L;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  // The daemon owns its socket path: a stale file from a crashed run
+  // must not block restart.
+  ::unlink(Path.c_str());
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoText("socket");
+    return L;
+  }
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, Backlog) != 0) {
+    Error = errnoText(("listen " + Path).c_str());
+    ::close(Fd);
+    return L;
+  }
+  L.Fd = Fd;
+  L.UnixPath = Path;
+  return L;
+}
+
+ListenSocket ListenSocket::listenTcp(int Port, int Backlog,
+                                     std::string &Error, int *BoundPort) {
+  Error.clear();
+  ListenSocket L;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoText("socket");
+    return L;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, Backlog) != 0) {
+    Error = errnoText("listen tcp");
+    ::close(Fd);
+    return L;
+  }
+  if (BoundPort) {
+    sockaddr_in Bound{};
+    socklen_t Len = sizeof(Bound);
+    if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &Len) == 0)
+      *BoundPort = ntohs(Bound.sin_port);
+  }
+  L.Fd = Fd;
+  return L;
+}
+
+Socket ListenSocket::accept(int TimeoutMs, bool &TimedOut,
+                            std::string &Error) {
+  TimedOut = false;
+  Error.clear();
+  pollfd P{};
+  P.fd = Fd;
+  P.events = POLLIN;
+  int Ready = ::poll(&P, 1, TimeoutMs);
+  if (Ready == 0) {
+    TimedOut = true;
+    return Socket();
+  }
+  if (Ready < 0) {
+    if (errno == EINTR) {
+      TimedOut = true; // Treat like a timeout; the loop re-polls.
+      return Socket();
+    }
+    Error = errnoText("poll");
+    return Socket();
+  }
+  int Client = ::accept(Fd, nullptr, nullptr);
+  if (Client < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) {
+      TimedOut = true;
+      return Socket();
+    }
+    Error = errnoText("accept");
+    return Socket();
+  }
+  return Socket(Client);
+}

@@ -1,0 +1,108 @@
+//===- support/Socket.h - Minimal stream-socket wrappers -------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Just enough RAII over POSIX stream sockets for the fleet ingest
+/// daemon: Unix-domain and loopback-TCP listeners, blocking clients, and
+/// exact-length send/receive (the framing layer above always knows how
+/// many bytes it wants). Everything reports failure through return
+/// values and out-parameters -- this codebase builds with
+/// -fno-exceptions -- and all I/O retries EINTR and sends with
+/// MSG_NOSIGNAL so a disconnecting peer surfaces as an error, not
+/// SIGPIPE.
+///
+/// TCP is deliberately loopback-only: racedetectd is a host-local
+/// collection point (deployed instances on other machines would relay
+/// through their own forwarder), so nothing here ever binds a routable
+/// address.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SUPPORT_SOCKET_H
+#define PACER_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <string>
+
+namespace pacer {
+
+/// A connected stream socket (client side or accepted connection).
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket &&Other) noexcept;
+  Socket &operator=(Socket &&Other) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+  void close();
+
+  /// Connects to a Unix-domain listener; invalid socket + \p Error set on
+  /// failure.
+  static Socket connectUnix(const std::string &Path, std::string &Error);
+
+  /// Connects to a loopback TCP listener on \p Port.
+  static Socket connectTcp(int Port, std::string &Error);
+
+  /// Writes exactly \p Size bytes; false on any error or peer close.
+  bool sendAll(const void *Data, size_t Size);
+
+  /// Reads exactly \p Size bytes; false on error or premature EOF.
+  bool recvAll(void *Data, size_t Size);
+
+  /// Bounds how long recvAll may block per read; a stalled peer then
+  /// fails the receive instead of pinning a connection thread forever.
+  bool setRecvTimeout(int Milliseconds);
+
+private:
+  int Fd = -1;
+};
+
+/// A listening socket (Unix-domain or loopback TCP).
+class ListenSocket {
+public:
+  ListenSocket() = default;
+  ~ListenSocket() { close(); }
+
+  ListenSocket(ListenSocket &&Other) noexcept;
+  ListenSocket &operator=(ListenSocket &&Other) noexcept;
+  ListenSocket(const ListenSocket &) = delete;
+  ListenSocket &operator=(const ListenSocket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Closes the listener; a Unix-domain listener also unlinks its path.
+  void close();
+
+  /// Binds and listens on a Unix-domain path (unlinking any stale socket
+  /// file first -- the daemon owns its socket path).
+  static ListenSocket listenUnix(const std::string &Path, int Backlog,
+                                 std::string &Error);
+
+  /// Binds and listens on loopback TCP. \p Port 0 picks an ephemeral
+  /// port; \p BoundPort (when non-null) receives the actual port.
+  static ListenSocket listenTcp(int Port, int Backlog, std::string &Error,
+                                int *BoundPort = nullptr);
+
+  /// Waits up to \p TimeoutMs for a connection. Returns an invalid
+  /// Socket on timeout (\p TimedOut = true) or error (\p Error set), so
+  /// an acceptor loop can poll a stop flag between waits.
+  Socket accept(int TimeoutMs, bool &TimedOut, std::string &Error);
+
+private:
+  int Fd = -1;
+  std::string UnixPath; ///< Unlinked on close; empty for TCP.
+};
+
+} // namespace pacer
+
+#endif // PACER_SUPPORT_SOCKET_H

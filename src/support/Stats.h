@@ -48,6 +48,43 @@ public:
   /// Standard error of the mean.
   double stderrOfMean() const;
 
+  /// Raw sum of squared deviations (Welford's M2). Together with count()
+  /// and mean() this is the accumulator's complete state, exposed so it
+  /// can be persisted and restored bit-exactly.
+  double m2() const { return M2; }
+
+  /// Rebuilds an accumulator from state previously captured via count()
+  /// / mean() / m2(); the round trip is bit-exact.
+  static RunningStat fromState(size_t N, double Mean, double M2) {
+    RunningStat S;
+    S.N = N;
+    S.Mean = Mean;
+    S.M2 = M2;
+    return S;
+  }
+
+  /// Folds \p Other into this accumulator (Chan et al.'s pairwise
+  /// update). The formulas are symmetric in the two operands -- the
+  /// combined mean is (Na*Ma + Nb*Mb)/N and the M2 correction squares
+  /// the mean difference -- so a.merge(b) and b.merge(a) produce
+  /// bit-identical state; associativity holds only approximately, like
+  /// any floating-point summation.
+  void merge(const RunningStat &Other) {
+    if (Other.N == 0)
+      return;
+    if (N == 0) {
+      *this = Other;
+      return;
+    }
+    const double Na = static_cast<double>(N);
+    const double Nb = static_cast<double>(Other.N);
+    const double Nab = Na + Nb;
+    const double Delta = Other.Mean - Mean;
+    Mean = (Na * Mean + Nb * Other.Mean) / Nab;
+    M2 = M2 + Other.M2 + Delta * Delta * (Na * Nb / Nab);
+    N += Other.N;
+  }
+
 private:
   size_t N = 0;
   double Mean = 0.0;

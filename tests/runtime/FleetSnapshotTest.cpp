@@ -1,0 +1,211 @@
+//===- tests/runtime/FleetSnapshotTest.cpp --------------------------------==//
+//
+// Persistence and merge algebra of the FleetAggregator: snapshots
+// round-trip bit-identically (serialize -> deserialize -> serialize gives
+// equal bytes), merge() is exactly commutative and -- at the deployment
+// model's single global rate -- exactly associative, and every corruption
+// of a snapshot is rejected with a diagnostic rather than partial state.
+// Bit-identity matters because the daemon's crash-recovery story promises
+// that a restart from a snapshot is indistinguishable from never having
+// crashed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/FleetAggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace pacer;
+
+namespace {
+
+RaceReport report(SiteId First, SiteId Second, ThreadId T1 = 1,
+                  ThreadId T2 = 2) {
+  RaceReport Report;
+  Report.Var = First;
+  Report.FirstSite = First;
+  Report.SecondSite = Second;
+  Report.FirstThread = T1;
+  Report.SecondThread = T2;
+  return Report;
+}
+
+/// An aggregator with a deterministic mix of instances: repeated races,
+/// singleton races, and clean runs, all at the fleet rate (the
+/// EffectiveRate = -1 path the daemon uses).
+FleetAggregator sampleFleet(double Rate, uint32_t Salt) {
+  FleetAggregator Fleet(Rate);
+  for (uint32_t Instance = 0; Instance < 8; ++Instance) {
+    RaceLog Log;
+    if ((Instance + Salt) % 2 == 0)
+      for (int Rep = 0; Rep < 3; ++Rep)
+        Log.onRace(report(10 + Salt, 20 + Salt));
+    if ((Instance + Salt) % 3 == 0)
+      Log.onRace(report(30, 40, 3 + Salt, 5));
+    Fleet.addInstance(Log);
+  }
+  return Fleet;
+}
+
+std::string tempPath(const char *Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+TEST(FleetSnapshotTest, SerializeDeserializeIsBitIdentical) {
+  FleetAggregator Fleet = sampleFleet(0.03, 1);
+  std::vector<uint8_t> Bytes = Fleet.serialize();
+
+  FleetAggregator Loaded;
+  std::string Error;
+  ASSERT_TRUE(Loaded.deserialize(Bytes.data(), Bytes.size(), Error))
+      << Error;
+  EXPECT_EQ(Loaded.instanceCount(), Fleet.instanceCount());
+  EXPECT_EQ(Loaded.distinctRaceCount(), Fleet.distinctRaceCount());
+  EXPECT_DOUBLE_EQ(Loaded.samplingRate(), Fleet.samplingRate());
+  EXPECT_EQ(Loaded.serialize(), Bytes);
+}
+
+TEST(FleetSnapshotTest, FileSnapshotRoundTrips) {
+  FleetAggregator Fleet = sampleFleet(0.1, 2);
+  std::string Path = tempPath("pacer_fleet_snap.bin");
+  std::string Error;
+  ASSERT_TRUE(Fleet.saveSnapshot(Path, Error)) << Error;
+
+  FleetAggregator Loaded;
+  ASSERT_TRUE(FleetAggregator::loadSnapshot(Path, Loaded, Error)) << Error;
+  EXPECT_EQ(Loaded.serialize(), Fleet.serialize());
+
+  // No .tmp residue from the atomic-rename protocol.
+  std::FILE *Tmp = std::fopen((Path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(Tmp, nullptr);
+  if (Tmp)
+    std::fclose(Tmp);
+  std::remove(Path.c_str());
+}
+
+TEST(FleetSnapshotTest, LoadMissingFileFailsCleanly) {
+  FleetAggregator Loaded;
+  std::string Error;
+  EXPECT_FALSE(FleetAggregator::loadSnapshot(
+      tempPath("pacer_fleet_nonexistent.bin"), Loaded, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(FleetSnapshotTest, MergeIsExactlyCommutative) {
+  FleetAggregator A = sampleFleet(0.05, 1);
+  FleetAggregator B = sampleFleet(0.05, 4);
+
+  FleetAggregator AB = A;
+  AB.merge(B);
+  FleetAggregator BA = B;
+  BA.merge(A);
+
+  EXPECT_EQ(AB.serialize(), BA.serialize());
+  EXPECT_EQ(AB.instanceCount(), A.instanceCount() + B.instanceCount());
+}
+
+TEST(FleetSnapshotTest, MergeIsAssociativeAtTheGlobalRate) {
+  // All instances at one global rate: the effective-rate accumulator sits
+  // at a Welford fixed point, so even its floating-point state
+  // re-associates exactly and the whole merge is bit-associative.
+  FleetAggregator A = sampleFleet(0.03, 1);
+  FleetAggregator B = sampleFleet(0.03, 2);
+  FleetAggregator C = sampleFleet(0.03, 3);
+
+  FleetAggregator Left = A; // (A + B) + C
+  Left.merge(B);
+  Left.merge(C);
+  FleetAggregator Mid = B; // A + (B + C), via commuted outer merge.
+  Mid.merge(C);
+  FleetAggregator Right = A;
+  Right.merge(Mid);
+
+  EXPECT_EQ(Left.serialize(), Right.serialize());
+}
+
+TEST(FleetSnapshotTest, MergeMatchesDirectIngestion) {
+  // Splitting one instance stream across two aggregators and merging must
+  // equal ingesting everything into one -- the property that lets the
+  // fleet itself shard its collectors.
+  FleetAggregator Whole(0.2), Half1(0.2), Half2(0.2);
+  for (uint32_t Instance = 0; Instance < 10; ++Instance) {
+    RaceLog Log;
+    Log.onRace(report(7, 9, Instance % 3, 4));
+    if (Instance % 2 == 0)
+      Log.onRace(report(11, 13));
+    Whole.addInstance(Log);
+    (Instance < 5 ? Half1 : Half2).addInstance(Log);
+  }
+  Half1.merge(Half2);
+  EXPECT_EQ(Half1.serialize(), Whole.serialize());
+}
+
+TEST(FleetSnapshotTest, ExampleReportIndependentOfMergeOrder) {
+  // Each side sees a different example for the same key; the survivor is
+  // the canonical minimum either way.
+  FleetAggregator A(1.0), B(1.0);
+  RaceLog LogA, LogB;
+  LogA.onRace(report(1, 2, /*T1=*/9, /*T2=*/9));
+  LogB.onRace(report(1, 2, /*T1=*/2, /*T2=*/3));
+  A.addInstance(LogA);
+  B.addInstance(LogB);
+
+  FleetAggregator AB = A;
+  AB.merge(B);
+  FleetAggregator BA = B;
+  BA.merge(A);
+  ASSERT_EQ(AB.summarize().size(), 1u);
+  EXPECT_EQ(AB.summarize()[0].Example.FirstThread, 2u);
+  EXPECT_EQ(AB.serialize(), BA.serialize());
+}
+
+TEST(FleetSnapshotTest, RejectsEveryCorruption) {
+  FleetAggregator Fleet = sampleFleet(0.03, 5);
+  const std::vector<uint8_t> Good = Fleet.serialize();
+
+  struct Case {
+    const char *Name;
+    std::vector<uint8_t> Bytes;
+  };
+  std::vector<Case> Cases;
+  Cases.push_back({"empty", {}});
+  Cases.push_back({"short_magic", {Good.begin(), Good.begin() + 4}});
+
+  Case BadMagic{"bad_magic", Good};
+  BadMagic.Bytes[2] = 'X';
+  Cases.push_back(BadMagic);
+
+  Case BadVersion{"bad_version", Good};
+  BadVersion.Bytes[8] = 0x7E;
+  Cases.push_back(BadVersion);
+
+  Case Truncated{"truncated", Good};
+  Truncated.Bytes.resize(Good.size() - 6);
+  Cases.push_back(Truncated);
+
+  Case Trailing{"trailing_bytes", Good};
+  Trailing.Bytes.push_back(0);
+  Cases.push_back(Trailing);
+
+  Case FlippedBit{"checksum_mismatch", Good};
+  FlippedBit.Bytes[Good.size() / 2] ^= 0x10;
+  Cases.push_back(FlippedBit);
+
+  for (const Case &Corrupt : Cases) {
+    FleetAggregator Loaded = sampleFleet(0.5, 9); // Pre-existing state.
+    std::string Error;
+    EXPECT_FALSE(Loaded.deserialize(Corrupt.Bytes.data(),
+                                    Corrupt.Bytes.size(), Error))
+        << Corrupt.Name << " accepted";
+    EXPECT_FALSE(Error.empty()) << Corrupt.Name;
+    // A failed load leaves the aggregator empty, never half-loaded.
+    EXPECT_EQ(Loaded.instanceCount(), 0u) << Corrupt.Name;
+    EXPECT_EQ(Loaded.distinctRaceCount(), 0u) << Corrupt.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+//===- tests/sim/TraceCorruptionTest.cpp ----------------------------------==//
+//
+// Corrupt-input corpus for the binary v2 format, applied uniformly to all
+// three read paths: readTraceFile (buffered load), TraceView (mmap and its
+// forced-buffered fallback), and StreamingTraceReader (bounded window).
+// The daemon feeds attacker-controlled bytes straight into these readers,
+// so every corruption must produce a clean diagnostic -- never a crash,
+// an abort (e.g. a reserve() sized from a hostile record count), or a
+// silently truncated parse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/StreamingTraceReader.h"
+#include "sim/TraceIO.h"
+#include "sim/TraceView.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace pacer;
+using pacer::test::TraceBuilder;
+
+namespace {
+
+std::string writeCorpusFile(const std::string &Name,
+                            const std::string &Bytes) {
+  std::string Path = ::testing::TempDir() + "/" + Name;
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  return Path;
+}
+
+/// A small legal trace to corrupt.
+Trace baseTrace() {
+  return TraceBuilder()
+      .fork(0, 1)
+      .acq(1, 3)
+      .write(1, 5, 42)
+      .rel(1, 3)
+      .read(0, 5, 43)
+      .exit(1)
+      .join(0, 1)
+      .exit(0)
+      .take();
+}
+
+/// Byte image of a well-formed v2 file for \p T.
+std::string binaryImage(const Trace &T) {
+  std::string Bytes(BinaryTraceHeaderBytes, '\0');
+  packBinaryHeader(T.size(), reinterpret_cast<unsigned char *>(&Bytes[0]));
+  for (const Action &A : T) {
+    unsigned char Rec[BinaryTraceRecordBytes];
+    packBinaryRecord(A, Rec);
+    Bytes.append(reinterpret_cast<char *>(Rec), sizeof(Rec));
+  }
+  return Bytes;
+}
+
+/// Overwrites the header's u64 record count in place.
+void patchCount(std::string &Bytes, uint64_t Count) {
+  ASSERT_GE(Bytes.size(), BinaryTraceHeaderBytes);
+  for (int I = 0; I < 8; ++I)
+    Bytes[16 + I] = static_cast<char>((Count >> (8 * I)) & 0xFF);
+}
+
+struct CorpusEntry {
+  const char *Name;
+  std::string Bytes;
+};
+
+/// Every corruption the readers must reject. Built fresh per test (gtest
+/// has no cheap fixture-scoped lazy init under -fno-exceptions).
+std::vector<CorpusEntry> corruptCorpus() {
+  const Trace T = baseTrace();
+  const std::string Good = binaryImage(T);
+  std::vector<CorpusEntry> Corpus;
+
+  CorpusEntry BadMagic{"bad_magic", Good};
+  BadMagic.Bytes[3] = 'X';
+  Corpus.push_back(BadMagic);
+
+  // First byte still 0xB7 so the file classifies as binary, rest wrong.
+  CorpusEntry TornMagic{"torn_magic", Good};
+  TornMagic.Bytes[7] = '9';
+  Corpus.push_back(TornMagic);
+
+  CorpusEntry BadVersion{"bad_version", Good};
+  BadVersion.Bytes[8] = 0x7F;
+  Corpus.push_back(BadVersion);
+
+  Corpus.push_back({"short_header", Good.substr(0, 10)});
+  Corpus.push_back({"header_only_count_nonzero",
+                    Good.substr(0, BinaryTraceHeaderBytes)});
+  Corpus.push_back({"truncated_mid_record",
+                    Good.substr(0, Good.size() - 5)});
+  Corpus.push_back({"trailing_bytes", Good + "tail"});
+
+  // Count larger than the records present: a lying header must not make
+  // the reader allocate for (or wait on) records that never arrive.
+  CorpusEntry CountOverrun{"count_overrun", Good};
+  patchCount(CountOverrun.Bytes, T.size() + 1000);
+  Corpus.push_back(CountOverrun);
+
+  // Count whose byte size overflows u64 (count * 12 wraps): the readers'
+  // overflow guards must reject it before any size arithmetic is trusted.
+  CorpusEntry CountOverflow{"count_overflow", Good};
+  patchCount(CountOverflow.Bytes, UINT64_MAX / 2);
+  Corpus.push_back(CountOverflow);
+
+  CorpusEntry BadKind{"bad_kind_byte", Good};
+  BadKind.Bytes[BinaryTraceHeaderBytes] = static_cast<char>(0xEE);
+  Corpus.push_back(BadKind);
+
+  // Fork/Join Target is a thread id and must fit the 24-bit tid space;
+  // 0xFFFFFFFE would grow per-thread detector state without bound.
+  {
+    Trace Bad = T;
+    Bad[0].Target = 0xFFFFFFFEu; // The fork.
+    Corpus.push_back({"fork_tid_out_of_range", binaryImage(Bad)});
+  }
+  {
+    Trace Bad = T;
+    Bad[6].Target = 0xFFFFFFFEu; // The join.
+    Corpus.push_back({"join_tid_out_of_range", binaryImage(Bad)});
+  }
+
+  return Corpus;
+}
+
+/// Drains \p Reader to completion; true if it ever failed.
+bool streamRejects(StreamingTraceReader &Reader) {
+  if (!Reader.ok())
+    return true;
+  while (!Reader.done()) {
+    Reader.next();
+    if (!Reader.ok())
+      return true;
+  }
+  return !Reader.ok();
+}
+
+TEST(TraceCorruptionTest, EveryReaderRejectsEveryCorruption) {
+  for (const CorpusEntry &Entry : corruptCorpus()) {
+    std::string Path =
+        writeCorpusFile(std::string("pacer_corrupt_") + Entry.Name, Entry.Bytes);
+
+    TraceParseResult Buffered = readTraceFile(Path);
+    EXPECT_FALSE(Buffered.Ok) << Entry.Name << ": readTraceFile accepted";
+    EXPECT_FALSE(Buffered.Error.empty()) << Entry.Name;
+
+    TraceView Mapped = TraceView::open(Path);
+    EXPECT_FALSE(Mapped.ok()) << Entry.Name << ": mmap view accepted";
+    EXPECT_FALSE(Mapped.error().empty()) << Entry.Name;
+
+    TraceView Fallback = TraceView::open(Path, /*ForceBuffered=*/true);
+    EXPECT_FALSE(Fallback.ok()) << Entry.Name << ": buffered view accepted";
+
+    // Tiny window so record validation happens across window refills.
+    StreamingTraceReader Stream(Path, /*WindowActions=*/2);
+    EXPECT_TRUE(streamRejects(Stream))
+        << Entry.Name << ": streaming reader accepted";
+    EXPECT_FALSE(Stream.error().empty()) << Entry.Name;
+
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(TraceCorruptionTest, CorpusBaseImageIsAccepted) {
+  // The corpus is only meaningful if the uncorrupted image passes
+  // everywhere; guard against the generator itself drifting.
+  const Trace T = baseTrace();
+  std::string Path =
+      writeCorpusFile("pacer_corrupt_base_ok", binaryImage(T));
+
+  TraceParseResult Buffered = readTraceFile(Path);
+  ASSERT_TRUE(Buffered.Ok) << Buffered.Error;
+  EXPECT_EQ(Buffered.T.size(), T.size());
+
+  TraceView View = TraceView::open(Path);
+  ASSERT_TRUE(View.ok()) << View.error();
+  EXPECT_EQ(View.actions().size(), T.size());
+
+  StreamingTraceReader Stream(Path, 2);
+  size_t Streamed = 0;
+  while (!Stream.done()) {
+    TraceSpan Chunk = Stream.next();
+    ASSERT_TRUE(Stream.ok()) << Stream.error();
+    Streamed += Chunk.size();
+  }
+  EXPECT_EQ(Streamed, T.size());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCorruptionTest, EmptyAndGarbageFilesRejectCleanly) {
+  // Not valid in either format: empty file, pure garbage (classifies as
+  // text), and a text header followed by garbage.
+  const struct {
+    const char *Name;
+    const char *Bytes;
+  } Cases[] = {
+      {"empty", ""},
+      {"garbage_text", "not a trace at all\n"},
+      {"text_bad_body", "pacer-trace v1 2\nrd 0 1 2\nbogus line here\n"},
+  };
+  for (const auto &Case : Cases) {
+    std::string Path = writeCorpusFile(
+        std::string("pacer_corrupt_") + Case.Name, Case.Bytes);
+    TraceParseResult Result = readTraceFile(Path);
+    EXPECT_FALSE(Result.Ok) << Case.Name;
+    EXPECT_FALSE(Result.Error.empty()) << Case.Name;
+
+    StreamingTraceReader Stream(Path, 4);
+    EXPECT_TRUE(streamRejects(Stream)) << Case.Name;
+    std::remove(Path.c_str());
+  }
+}
+
+} // namespace

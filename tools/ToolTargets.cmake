@@ -6,6 +6,11 @@ target_link_libraries(racedetect PRIVATE pacer_harness)
 set_target_properties(racedetect PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/tools)
 
+add_executable(racedetectd tools/racedetectd.cpp)
+target_link_libraries(racedetectd PRIVATE pacer_runtime pacer_support)
+set_target_properties(racedetectd PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/tools)
+
 add_executable(traceconv tools/traceconv.cpp)
 target_link_libraries(traceconv PRIVATE pacer_sim pacer_support)
 set_target_properties(traceconv PROPERTIES

@@ -1,46 +1,47 @@
 //===- tools/racedetect.cpp - Command-line race detection -----------------==//
 //
 // A small driver around the library for downstream use without writing
-// C++: generate workload traces to files and analyse trace files with any
-// of the detectors. Several trace files can be analysed in one run; with
-// --jobs=N the files are processed concurrently (output stays in argument
-// order), and --shards=K splits each replay across K detector replicas
-// with bit-identical results. --shards=auto picks K per trace from its
-// access count and the hardware; batch runs (more than one trace file)
-// default to auto, single-file runs to 1.
+// C++: generate workload traces to files, analyse trace files with any of
+// the detectors, or submit trace files to a running racedetectd fleet
+// daemon. Several trace files can be analysed in one run; with --jobs=N
+// the files are processed concurrently (output stays in argument order),
+// and --shards=K splits each replay across K detector replicas with
+// bit-identical results. --shards=auto picks K per trace from its access
+// count and the hardware; batch runs (more than one trace file) default
+// to auto, single-file runs to 1.
 //
-// Traces come in two formats (see sim/TraceIO.h), auto-detected on read:
-// text (v1) and binary (v2). Binary traces analyse through an mmap-backed
-// zero-copy TraceView where the platform allows; --stream replays any
-// trace from a bounded window (--stream-window actions) so peak memory is
-// O(window + detector metadata) regardless of trace size. Results are
-// bit-identical across formats and read paths.
+// All analysis goes through runtime/AnalysisSession.h -- this tool is a
+// thin printer over AnalysisResult. Traces come in two formats (see
+// sim/TraceIO.h), auto-detected on read: text (v1) and binary (v2).
+// Binary traces analyse through an mmap-backed zero-copy TraceView where
+// the platform allows; --stream replays any trace from a bounded window
+// (--stream-window actions) so peak memory is O(window + detector
+// metadata) regardless of trace size. Results are bit-identical across
+// formats and read paths.
 //
 //   racedetect --generate=eclipse --scale=0.2 --seed=7 --out=run.trace \
 //              --trace-format=binary
 //   racedetect run.trace --detector=pacer --rate=0.03 --stats
 //   racedetect a.trace b.trace c.trace --jobs=3 --shards=4
 //   racedetect huge.trace --stream --stream-window=65536
+//   racedetect --submit --socket=/run/racedetectd.sock a.trace b.trace
+//   racedetect --daemon-stats --socket=/run/racedetectd.sock
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/TrialRunner.h"
-#include "runtime/Runtime.h"
-#include "runtime/ShardedReplay.h"
+#include "runtime/AnalysisSession.h"
+#include "runtime/IngestServer.h"
 #include "runtime/TraceIndex.h"
-#include "sim/StreamingTraceReader.h"
 #include "sim/TraceGenerator.h"
 #include "sim/TraceIO.h"
-#include "sim/TraceView.h"
 #include "sim/Workloads.h"
 #include "support/CommandLine.h"
+#include "support/Socket.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,7 +52,9 @@ namespace {
 OptionRegistry buildRegistry() {
   OptionRegistry R("racedetect [options] TRACE...\n"
                    "       racedetect --generate=WORKLOAD --out=FILE "
-                   "[--scale=F] [--seed=N]");
+                   "[--scale=F] [--seed=N]\n"
+                   "       racedetect --submit [--socket=PATH|--tcp-port=N] "
+                   "TRACE...");
   R.addString("generate", "",
               "generate a trace of eclipse|hsqldb|xalan|pseudojbb|forkjoin "
               "instead of analysing")
@@ -82,7 +85,17 @@ OptionRegistry buildRegistry() {
                  "(empty = auto for multi-file batches, 1 otherwise)")
       .addFlag("pin-threads",
                "pin pool workers to CPUs (also PACER_PIN_THREADS=1); "
-               "best-effort, no-op where unsupported");
+               "best-effort, no-op where unsupported")
+      .addFlag("submit",
+               "send the trace files to a racedetectd daemon instead of "
+               "analysing locally")
+      .addFlag("daemon-stats",
+               "query a racedetectd daemon's ingest counters (JSON)")
+      .addString("socket", "", "racedetectd Unix-domain socket path")
+      .addInt("tcp-port", -1, "racedetectd loopback TCP port")
+      .addString("submit-id", "",
+                 "idempotency id for --submit (default: the file's "
+                 "basename; retries of a committed id answer 'duplicate')");
   return R;
 }
 
@@ -159,259 +172,43 @@ std::string statsTable(const DetectorStats &Stats) {
   return "\n" + Table.render();
 }
 
-/// Everything analyseFile measures and prints for one trace file.
+/// Everything analyseFile prints for one trace file.
 struct FileOutcome {
   std::string Text;
   bool ParseFailed = false;
   uint64_t DistinctRaces = 0;
 };
 
-/// Merged detection results in a read-path-independent shape.
-struct AnalysisResult {
-  std::unordered_map<RaceKey, uint64_t> Races;
-  uint64_t DynamicRaces = 0;
-  DetectorStats Stats;
-  double EffectiveAccessRate = 0.0;
-  std::vector<RaceReport> SampleReports;
-  uint64_t Actions = 0;
-  size_t PeakSlots = 0;        ///< High-water thread-slot count.
-  size_t FinalLiveBytes = 0;   ///< Live metadata bytes at end of replay.
-};
-
-using Clock = std::chrono::steady_clock;
-
-double secondsSince(Clock::time_point Start) {
-  return std::chrono::duration<double>(Clock::now() - Start).count();
-}
-
-/// Sequential bounded-window replay: the streaming twin of
-/// shardedReplay(T, ..., Shards=1). Bit-identical results; peak
-/// trace-resident memory is one window.
-bool streamReplay(StreamingTraceReader &Reader, const DetectorSetup &Setup,
-                  const CompiledWorkload &Flat, uint64_t Seed,
-                  AnalysisResult &Out, std::string &Error) {
-  RaceLog Log;
-  std::unique_ptr<Detector> D = makeDetector(Setup, Log, Flat, Seed);
-  std::unique_ptr<SamplingController> Controller;
-  if (Setup.Kind == DetectorKind::Pacer) {
-    SamplingConfig Sampling = Setup.Sampling;
-    Sampling.TargetRate = Setup.SamplingRate;
-    Controller = std::make_unique<SamplingController>(Sampling, Seed);
-  }
-  Runtime RT(*D, Controller.get());
-  RT.start();
-  for (TraceSpan Chunk = Reader.next(); !Chunk.empty();
-       Chunk = Reader.next())
-    RT.replayChunk(Chunk, AccessShard::all());
-  if (!Reader.ok()) {
-    Error = Reader.error();
-    return false;
-  }
-  Out.Races = Log.counts();
-  Out.DynamicRaces = Log.dynamicCount();
-  Out.Stats = D->stats();
-  if (Controller)
-    Out.EffectiveAccessRate = Controller->effectiveAccessRate();
-  Out.SampleReports = Log.sampleReports();
-  Out.Actions = Reader.actionsDelivered();
-  Out.PeakSlots = D->peakSlotCount();
-  Out.FinalLiveBytes = D->liveMetadataBytes();
-  return true;
-}
-
-FileOutcome analyseFile(const std::string &Path, const DetectorSetup &Setup,
-                        uint64_t Seed, unsigned Shards, size_t MaxReports,
-                        bool WantStats, bool WantTimes, bool Stream,
-                        size_t StreamWindow) {
+FileOutcome analyseFile(const std::string &Path,
+                        const AnalysisRequest &Request, size_t MaxReports,
+                        bool WantStats, bool WantTimes) {
   FileOutcome Out;
-  auto Fail = [&](const std::string &Why) {
+  AnalysisSession Session(flatSiteWorkload(), Request);
+  AnalysisResult Result = Session.analyzeFile(Path);
+  if (!Result.Ok) {
     Out.ParseFailed = true;
-    Out.Text = "error: " + Why + "\n";
+    Out.Text = "error: " + Result.Error + "\n";
     return Out;
-  };
-
-  // Trace files carry no code structure, so give LiteRace a flat
-  // site-to-method map (every site its own method) via a raceless
-  // placeholder workload.
-  WorkloadSpec FlatSpec = tinyTestWorkload();
-  FlatSpec.Races.clear();
-  CompiledWorkload Flat(FlatSpec);
-
-  DetectorFactory Factory = [&](RaceSink &Sink) {
-    return makeDetector(Setup, Sink, Flat, Seed);
-  };
-
-  double LoadSeconds = 0, IndexSeconds = 0, AnalysisSeconds = 0;
-  std::string Notes;
-  AnalysisResult Result;
-  unsigned ResolvedShards = Shards;
-
-  auto NoteAutoShards = [&](uint64_t Accesses) {
-    char Note[128];
-    std::snprintf(Note, sizeof(Note),
-                  "auto-sharding: K=%u (%llu accesses, %u hardware jobs)\n",
-                  ResolvedShards,
-                  static_cast<unsigned long long>(Accesses), hardwareJobs());
-    Notes += Note;
-  };
-
-  auto RunSharded = [&](TraceSpan T, const TraceIndex *Index) {
-    ShardedReplayConfig Config;
-    Config.Shards = ResolvedShards;
-    Config.Index = Index;
-    if (Setup.Kind == DetectorKind::Pacer) {
-      Config.UseController = true;
-      Config.Sampling = Setup.Sampling;
-      Config.Sampling.TargetRate = Setup.SamplingRate;
-      Config.ControllerSeed = Seed;
-    }
-    auto Start = Clock::now();
-    ShardedReplayResult Sharded = shardedReplay(T, Factory, Config);
-    AnalysisSeconds = secondsSince(Start);
-    Result.Races = std::move(Sharded.Races);
-    Result.DynamicRaces = Sharded.DynamicRaces;
-    Result.Stats = Sharded.Stats;
-    Result.EffectiveAccessRate = Sharded.EffectiveAccessRate;
-    Result.SampleReports = std::move(Sharded.SampleReports);
-    Result.Actions = T.size();
-    Result.PeakSlots = Sharded.PeakSlotCount;
-    Result.FinalLiveBytes = Sharded.FinalMetadataBytes;
-  };
-
-  if (Stream) {
-    // Bounded-window mode: the trace is never materialized. Auto-shard
-    // resolution and the replay index come from extra bounded passes over
-    // the same reader; sharded replicas then need random access, which an
-    // mmap view provides for binary traces at zero copy. Text traces (no
-    // random access without parsing) stream sequentially.
-    TraceFormat Format;
-    std::string DetectError;
-    if (!detectTraceFileFormat(Path, Format, DetectError))
-      return Fail(DetectError);
-
-    if (ResolvedShards == 0) {
-      // Counting pass for --shards=auto, O(window) resident.
-      auto Start = Clock::now();
-      StreamingTraceReader Counter(Path, StreamWindow);
-      uint64_t Accesses = 0;
-      for (TraceSpan Chunk = Counter.next(); !Chunk.empty();
-           Chunk = Counter.next())
-        Accesses += countTraceAccesses(Chunk);
-      if (!Counter.ok())
-        return Fail(Counter.error());
-      IndexSeconds += secondsSince(Start);
-      ResolvedShards = resolveShardCount(0, Accesses);
-      NoteAutoShards(Accesses);
-    }
-
-    TraceView View; // Must outlive RunSharded's span.
-    bool Sequential = ResolvedShards <= 1;
-    if (!Sequential) {
-      if (Format == TraceFormat::Binary) {
-        auto Start = Clock::now();
-        View = TraceView::open(Path);
-        if (!View.ok())
-          return Fail(View.error());
-        LoadSeconds = secondsSince(Start);
-        if (!View.mapped()) {
-          // Buffered fallback materializes the trace; stay sequential to
-          // honour the bounded-memory request.
-          View = TraceView();
-          Sequential = true;
-          Notes += "streaming: mmap unavailable, replaying sequentially\n";
-        }
-      } else {
-        Sequential = true;
-        Notes += "streaming: text trace has no random access, replaying "
-                 "sequentially\n";
-      }
-    }
-
-    if (!Sequential) {
-      // Streamed index build: one bounded pass feeds the sharded engine.
-      auto Start = Clock::now();
-      StreamingTraceReader Reader(Path, StreamWindow);
-      TraceIndex::Builder Builder(ResolvedShards);
-      for (TraceSpan Chunk = Reader.next(); !Chunk.empty();
-           Chunk = Reader.next())
-        Builder.addChunk(Chunk);
-      if (!Reader.ok())
-        return Fail(Reader.error());
-      TraceIndex Index = Builder.take();
-      IndexSeconds += secondsSince(Start);
-      RunSharded(View.actions(), &Index);
-    } else {
-      ResolvedShards = 1;
-      auto Start = Clock::now();
-      StreamingTraceReader Reader(Path, StreamWindow);
-      if (!Reader.ok())
-        return Fail(Reader.error());
-      std::string StreamError;
-      if (!streamReplay(Reader, Setup, Flat, Seed, Result, StreamError))
-        return Fail(StreamError);
-      AnalysisSeconds = secondsSince(Start); // Load is interleaved.
-    }
-  } else {
-    // In-memory mode: binary traces analyse from an mmap view (zero-copy
-    // where the platform allows); text traces parse into a Trace.
-    TraceFormat Format;
-    std::string DetectError;
-    if (!detectTraceFileFormat(Path, Format, DetectError))
-      return Fail(DetectError);
-
-    TraceView View;
-    TraceParseResult Parsed;
-    TraceSpan T;
-    auto LoadStart = Clock::now();
-    if (Format == TraceFormat::Binary) {
-      View = TraceView::open(Path);
-      if (!View.ok())
-        return Fail(View.error());
-      T = View.actions();
-    } else {
-      Parsed = readTraceFile(Path);
-      if (!Parsed.Ok)
-        return Fail(Parsed.Error);
-      T = Parsed.T;
-    }
-    LoadSeconds = secondsSince(LoadStart);
-
-    TraceIndex Index;
-    const TraceIndex *IndexPtr = nullptr;
-    auto IndexStart = Clock::now();
-    if (ResolvedShards == 0) {
-      TraceIndex::Builder Builder(1);
-      Builder.addChunk(T);
-      const uint64_t Accesses = Builder.accessCount();
-      ResolvedShards = resolveShardCount(0, Accesses);
-      NoteAutoShards(Accesses);
-    }
-    if (ResolvedShards > 1) {
-      Index = TraceIndex::build(T, ResolvedShards);
-      IndexPtr = &Index;
-    }
-    IndexSeconds = secondsSince(IndexStart);
-
-    RunSharded(T, IndexPtr);
   }
 
   char Buf[256];
-  Out.Text += Notes;
+  Out.Text += Result.Notes;
   std::snprintf(Buf, sizeof(Buf), "%s: analysed %llu actions", Path.c_str(),
-                static_cast<unsigned long long>(Result.Actions));
+                static_cast<unsigned long long>(Result.TraceEvents));
   Out.Text += Buf;
-  if (ResolvedShards > 1) {
-    std::snprintf(Buf, sizeof(Buf), " across %u shards", ResolvedShards);
+  if (Result.ResolvedShards > 1) {
+    std::snprintf(Buf, sizeof(Buf), " across %u shards",
+                  Result.ResolvedShards);
     Out.Text += Buf;
   }
-  if (Stream && ResolvedShards <= 1) {
+  if (Request.Stream && Result.ResolvedShards <= 1) {
     std::snprintf(Buf, sizeof(Buf), " (streamed, window %zu actions)",
-                  StreamWindow);
+                  Request.StreamWindow);
     Out.Text += Buf;
   }
-  if (Setup.Kind == DetectorKind::Pacer) {
+  if (Request.Setup.Kind == DetectorKind::Pacer) {
     std::snprintf(Buf, sizeof(Buf), " (specified rate %.3g, effective %.3g)",
-                  Setup.SamplingRate, Result.EffectiveAccessRate);
+                  Request.Setup.SamplingRate, Result.EffectiveAccessRate);
     Out.Text += Buf;
   }
   std::snprintf(Buf, sizeof(Buf),
@@ -425,14 +222,14 @@ FileOutcome analyseFile(const std::string &Path, const DetectorSetup &Setup,
     // with analysis, so its load column is folded into analysis.
     std::snprintf(Buf, sizeof(Buf),
                   "  load %.3f ms, index %.3f ms, analysis %.3f ms\n",
-                  LoadSeconds * 1e3, IndexSeconds * 1e3,
-                  AnalysisSeconds * 1e3);
+                  Result.LoadSeconds * 1e3, Result.IndexSeconds * 1e3,
+                  Result.ReplaySeconds * 1e3);
     Out.Text += Buf;
     std::snprintf(Buf, sizeof(Buf),
                   "  peak thread slots %zu, live metadata %.1f KB%s\n",
-                  Result.PeakSlots,
-                  static_cast<double>(Result.FinalLiveBytes) / 1024.0,
-                  Setup.AccordionClocks ? " (accordion)" : "");
+                  Result.PeakSlotCount,
+                  static_cast<double>(Result.FinalMetadataBytes) / 1024.0,
+                  Request.Setup.AccordionClocks ? " (accordion)" : "");
     Out.Text += Buf;
   }
 
@@ -463,6 +260,90 @@ FileOutcome analyseFile(const std::string &Path, const DetectorSetup &Setup,
   return Out;
 }
 
+/// Connects to the daemon named by --socket / --tcp-port.
+Socket connectDaemon(const OptionRegistry &R, std::string &Error) {
+  const std::string SocketPath = R.getString("socket");
+  const int TcpPort = static_cast<int>(R.getInt("tcp-port"));
+  if (!SocketPath.empty())
+    return Socket::connectUnix(SocketPath, Error);
+  if (TcpPort >= 0)
+    return Socket::connectTcp(TcpPort, Error);
+  Error = "need --socket=PATH or --tcp-port=N to reach racedetectd";
+  return Socket();
+}
+
+int submitMode(const OptionRegistry &R) {
+  const std::vector<std::string> &Files = R.positional();
+  if (Files.empty()) {
+    std::fprintf(stderr, "error: --submit requires trace files\n");
+    return 2;
+  }
+  const std::string IdOverride = R.getString("submit-id");
+  if (!IdOverride.empty() && Files.size() > 1) {
+    std::fprintf(stderr,
+                 "error: --submit-id only makes sense for one file\n");
+    return 2;
+  }
+  std::string Error;
+  Socket S = connectDaemon(R, Error);
+  if (!S.valid()) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  int Failures = 0;
+  for (const std::string &Path : Files) {
+    // The basename is a natural idempotency id: resubmitting the same
+    // file (e.g. after a crash mid-ack) answers "duplicate" instead of
+    // double counting it in the fleet estimates.
+    std::string Id = IdOverride;
+    if (Id.empty()) {
+      const size_t Slash = Path.find_last_of('/');
+      Id = Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+      if (Id.size() > ingest::MaxClientIdBytes)
+        Id.resize(ingest::MaxClientIdBytes);
+    }
+    ingest::SubmitResult Result = ingest::submitFile(S, Path, Id);
+    if (!Result.Ok) {
+      std::fprintf(stderr, "%s: error: %s\n", Path.c_str(),
+                   Result.Message.c_str());
+      ++Failures;
+      continue;
+    }
+    std::printf("%s: %s%s%s\n", Path.c_str(),
+                ingest::statusName(Result.Code),
+                Result.Message.empty() ? "" : " - ",
+                Result.Message.c_str());
+    if (Result.Code != ingest::Status::Committed &&
+        Result.Code != ingest::Status::Duplicate)
+      ++Failures;
+  }
+  if (R.getBool("daemon-stats")) {
+    std::string Json;
+    if (ingest::requestStats(S, Json, Error))
+      std::printf("%s\n", Json.c_str());
+    else
+      std::fprintf(stderr, "error: stats request failed: %s\n",
+                   Error.c_str());
+  }
+  return Failures == 0 ? 0 : 1;
+}
+
+int daemonStatsMode(const OptionRegistry &R) {
+  std::string Error;
+  Socket S = connectDaemon(R, Error);
+  if (!S.valid()) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::string Json;
+  if (!ingest::requestStats(S, Json, Error)) {
+    std::fprintf(stderr, "error: stats request failed: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", Json.c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -472,6 +353,10 @@ int main(int Argc, char **Argv) {
 
   if (R.has("generate"))
     return generateMode(R);
+  if (R.getBool("submit"))
+    return submitMode(R);
+  if (R.getBool("daemon-stats"))
+    return daemonStatsMode(R);
 
   const std::vector<std::string> &Files = R.positional();
   if (Files.empty()) {
@@ -488,34 +373,36 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  auto Seed = static_cast<uint64_t>(R.getInt("seed"));
   auto MaxReports = static_cast<size_t>(R.getInt("max-reports"));
   bool WantStats = R.getBool("stats");
   bool WantTimes = R.getBool("times");
-  bool Stream = R.getBool("stream");
   int64_t WindowFlag = R.getInt("stream-window");
-  size_t StreamWindow =
-      WindowFlag < 1 ? 1 : static_cast<size_t>(WindowFlag);
   int64_t JobsFlag = R.getInt("jobs");
   unsigned Jobs = JobsFlag < 1 ? 1u : static_cast<unsigned>(JobsFlag);
   // Empty --shards defaults to auto-tuning for multi-file batches (where
   // per-trace tuning pays off) and plain sequential replay for one file.
   const std::string ShardsText = R.getString("shards");
-  const unsigned Shards = ShardsText.empty()
-                              ? (Files.size() > 1 ? 0u : 1u)
-                              : parseShardCount(ShardsText);
+  Setup.Shards = ShardsText.empty() ? (Files.size() > 1 ? 0u : 1u)
+                                    : parseShardCount(ShardsText);
   if (R.getBool("pin-threads"))
     setThreadPinning(true);
   if (threadPinningEnabled())
     std::fprintf(stderr, "[pin] worker CPU affinity on (%u cpus)\n",
                  hardwareJobs());
 
+  AnalysisRequest Request;
+  Request.Setup = Setup;
+  Request.Seed = static_cast<uint64_t>(R.getInt("seed"));
+  Request.Stream = R.getBool("stream");
+  Request.StreamWindow =
+      WindowFlag < 1 ? 1 : static_cast<size_t>(WindowFlag);
+
   // Analyse the files concurrently, but print outcomes in argument order
   // so batch output is stable for any --jobs value.
   std::vector<FileOutcome> Outcomes =
       parallelMap(Jobs, Files.size(), [&](size_t I) {
-        return analyseFile(Files[I], Setup, Seed, Shards, MaxReports,
-                           WantStats, WantTimes, Stream, StreamWindow);
+        return analyseFile(Files[I], Request, MaxReports, WantStats,
+                           WantTimes);
       });
 
   bool AnyParseFailed = false;
