@@ -486,6 +486,61 @@ std::vector<KernelRow> measureKernels(uint32_t Reps) {
   return Rows;
 }
 
+/// Kernel rows for one forced ISA path, plus the cost of the dispatch
+/// indirection itself on that path.
+struct IsaSweep {
+  kernels::Isa Kind = kernels::Isa::Scalar;
+  const char *Name = "scalar";
+  /// Median ns/call of the dispatched kernels::joinMax minus the direct
+  /// table-pointer call, at width 8 (a typical clock). The amortized cost
+  /// of runtime dispatch; target <= 1 ns.
+  double DispatchNs = 0.0;
+  std::vector<KernelRow> Rows;
+};
+
+/// Dispatched-vs-direct joinMax at width 8: what the function-pointer
+/// indirection costs per call on the currently forced path.
+double measureDispatchOverheadNs(kernels::Isa Kind, uint32_t Reps) {
+  const size_t Width = 8;
+  std::vector<uint32_t> A = kernelWords(Width, 1);
+  std::vector<uint32_t> B = kernelWords(Width, 7);
+  const kernels::KernelOps *Ops = kernels::opsFor(Kind);
+  double DispatchedNs = timeKernelNs(
+      [&] {
+        benchmark::DoNotOptimize(kernels::joinMax(A.data(), B.data(), Width));
+      },
+      Width, Reps);
+  double DirectNs = timeKernelNs(
+      [&] {
+        benchmark::DoNotOptimize(Ops->JoinMax(A.data(), B.data(), Width));
+      },
+      Width, Reps);
+  return DispatchedNs - DirectNs;
+}
+
+/// Runs measureKernels under every ISA available on this build/host (the
+/// resolved path first), restoring the dispatcher afterwards.
+std::vector<IsaSweep> measureIsaSweeps(uint32_t Reps) {
+  using kernels::Isa;
+  const Isa Resolved = kernels::activeIsaKind();
+  std::vector<Isa> Order{Resolved};
+  for (Isa Kind : {Isa::Avx2, Isa::Neon, Isa::Sse2, Isa::Scalar})
+    if (Kind != Resolved && kernels::isaAvailable(Kind))
+      Order.push_back(Kind);
+  std::vector<IsaSweep> Sweeps;
+  for (Isa Kind : Order) {
+    kernels::setForceIsa(Kind);
+    IsaSweep Sweep;
+    Sweep.Kind = Kind;
+    Sweep.Name = kernels::isaName(Kind);
+    Sweep.Rows = measureKernels(Reps);
+    Sweep.DispatchNs = measureDispatchOverheadNs(Kind, Reps);
+    Sweeps.push_back(std::move(Sweep));
+  }
+  kernels::clearForceIsa();
+  return Sweeps;
+}
+
 /// One detector's replay measurements over the repetitions.
 struct JsonRow {
   std::string Name;
@@ -520,14 +575,24 @@ int runJsonMode(int Argc, const char *const *Argv) {
     std::fprintf(stderr, "[pin] worker CPU affinity on (%u cpus)\n",
                  hardwareJobs());
 
-  // Kernel rows first: the primitive the detector rows are built on.
-  std::printf("clock kernels (%s):\n", kernels::activeIsa());
-  std::vector<KernelRow> Kernels = measureKernels(Reps);
-  for (const KernelRow &Row : Kernels)
-    std::printf("  %-5s w=%-4zu %8.2f ns simd  %8.2f ns scalar  "
-                "x%.2f\n",
-                Row.Op, Row.Width, Row.SimdNs, Row.ScalarNs,
-                Row.speedup());
+  // Kernel rows first: the primitive the detector rows are built on. Every
+  // ISA path compiled in and supported by this host is swept via the force
+  // override -- the resolved path first -- so one invocation captures both
+  // the per-ISA margins and the dispatch indirection cost.
+  std::vector<IsaSweep> Sweeps = measureIsaSweeps(Reps);
+  for (const IsaSweep &Sweep : Sweeps) {
+    std::printf("clock kernels (%s%s):\n", Sweep.Name,
+                Sweep.Kind == kernels::activeIsaKind() ? ", resolved" : "");
+    for (const KernelRow &Row : Sweep.Rows)
+      std::printf("  %-5s w=%-4zu %8.2f ns simd  %8.2f ns scalar  "
+                  "x%.2f\n",
+                  Row.Op, Row.Width, Row.SimdNs, Row.ScalarNs,
+                  Row.speedup());
+    std::printf("  dispatch overhead %+.2f ns/call (joinMax w=8, "
+                "dispatched vs direct)\n",
+                Sweep.DispatchNs);
+  }
+  const std::vector<KernelRow> &Kernels = Sweeps.front().Rows;
 
   CompiledWorkload Workload(
       scaleWorkload(mediumTestWorkload(), Scale));
@@ -592,20 +657,39 @@ int runJsonMode(int Argc, const char *const *Argv) {
     std::fprintf(stderr, "cannot open %s for writing\n", OutPath.c_str());
     return 1;
   }
+  // "isa"/"kernels" keep their PR-5 shape (the resolved path) so existing
+  // diffs keep working; "isa_sweep" adds every forced path plus the
+  // dispatch indirection cost.
   std::fprintf(Out, "{\n  \"workload\": \"%s\",\n  \"events\": %llu,\n"
                     "  \"reps\": %u,\n  \"isa\": \"%s\",\n"
+                    "  \"isa_detected\": \"%s\",\n"
                     "  \"kernels\": [\n",
                Workload.spec().Name.c_str(),
                static_cast<unsigned long long>(T.size()), Reps,
-               kernels::activeIsa());
-  for (size_t I = 0; I != Kernels.size(); ++I) {
-    const KernelRow &Row = Kernels[I];
+               kernels::activeIsa(),
+               kernels::isaName(kernels::detectedIsa()));
+  auto emitKernelRows = [&](const std::vector<KernelRow> &Rows,
+                            const char *Indent) {
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const KernelRow &Row = Rows[I];
+      std::fprintf(Out,
+                   "%s{\"op\": \"%s\", \"width\": %zu, "
+                   "\"simd_ns_per_call\": %.2f, \"scalar_ns_per_call\": "
+                   "%.2f, \"speedup\": %.2f}%s\n",
+                   Indent, Row.Op, Row.Width, Row.SimdNs, Row.ScalarNs,
+                   Row.speedup(), I + 1 == Rows.size() ? "" : ",");
+    }
+  };
+  emitKernelRows(Kernels, "    ");
+  std::fprintf(Out, "  ],\n  \"isa_sweep\": [\n");
+  for (size_t S = 0; S != Sweeps.size(); ++S) {
+    const IsaSweep &Sweep = Sweeps[S];
     std::fprintf(Out,
-                 "    {\"op\": \"%s\", \"width\": %zu, "
-                 "\"simd_ns_per_call\": %.2f, \"scalar_ns_per_call\": %.2f, "
-                 "\"speedup\": %.2f}%s\n",
-                 Row.Op, Row.Width, Row.SimdNs, Row.ScalarNs, Row.speedup(),
-                 I + 1 == Kernels.size() ? "" : ",");
+                 "    {\"isa\": \"%s\", \"dispatch_ns_per_call\": %.2f, "
+                 "\"kernels\": [\n",
+                 Sweep.Name, Sweep.DispatchNs);
+    emitKernelRows(Sweep.Rows, "      ");
+    std::fprintf(Out, "    ]}%s\n", S + 1 == Sweeps.size() ? "" : ",");
   }
   std::fprintf(Out, "  ],\n  \"detectors\": [\n");
   for (size_t I = 0; I != Rows.size(); ++I) {

@@ -19,6 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/ClockKernels.h"
 #include "runtime/AnalysisSession.h"
 #include "runtime/TraceIndex.h"
 #include "sim/TraceGenerator.h"
@@ -26,6 +27,7 @@
 #include "support/CommandLine.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
+#include "support/Topology.h"
 
 #include <cstdio>
 #include <string>
@@ -60,6 +62,53 @@ AnalysisRequest requestFor(const DetectorSetup &Setup, unsigned Shards,
   Request.Seed = Seed;
   Request.CollectReports = false;
   return Request;
+}
+
+/// One NUMA placement measurement: indexed pacer replay with every arena
+/// slab forced onto \p Node while the (serial) replay thread stays pinned
+/// on the first node's first CPU. "local" vs "remote" is the cross-node
+/// clock-traffic cost the node-local placement avoids.
+struct NumaRow {
+  unsigned Node = 0;
+  const char *Placement = "local";
+  double IndexedMs = 0.0;
+};
+
+/// Runs the comparison when the host has more than one node; on single
+/// node hosts returns no rows (nothing to compare). Serial replay means
+/// the pinned main thread does all the work, so the allocation-node
+/// override alone controls locality.
+std::vector<NumaRow> measureNumaPlacement(const CompiledWorkload &Workload,
+                                          const Trace &T,
+                                          const DetectorSetup &Setup,
+                                          uint64_t Seed, uint32_t Reps) {
+  std::vector<NumaRow> Rows;
+  const topo::Topology &Topo = topo::systemTopology();
+  if (!Topo.multiNode())
+    return Rows;
+  const unsigned NearNode = Topo.Nodes.front().Id;
+  const unsigned FarNode = Topo.Nodes.back().Id;
+  if (!topo::pinCurrentThreadToCpu(Topo.Nodes.front().Cpus.front())) {
+    std::fprintf(stderr, "numa: pin failed, skipping comparison\n");
+    return Rows;
+  }
+  const unsigned K = 4;
+  TraceIndex Index = TraceIndex::build(T, K);
+  for (unsigned Node : {NearNode, FarNode}) {
+    topo::setAllocationNodeOverride(static_cast<int>(Node));
+    AnalysisSession Session(Workload, requestFor(Setup, K, true, Seed));
+    std::vector<double> Ms;
+    for (uint32_t Rep = 0; Rep < Reps; ++Rep) {
+      Timer Run;
+      AnalysisResult Result = Session.analyzeTrace(T, &Index);
+      (void)Result;
+      Ms.push_back(Run.seconds() * 1e3);
+    }
+    Rows.push_back({Node, Node == NearNode ? "local" : "remote",
+                    median(Ms)});
+  }
+  topo::setAllocationNodeOverride(-1);
+  return Rows;
 }
 
 } // namespace
@@ -147,6 +196,18 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // NUMA column: local-vs-remote arena placement for the indexed pacer
+  // point, meaningful only on multi-node hosts (single-node emits the
+  // topology and an empty comparison).
+  const topo::Topology &Topo = topo::systemTopology();
+  std::printf("numa: %s\n", topo::summary().c_str());
+  std::vector<NumaRow> NumaRows =
+      measureNumaPlacement(Workload, T, Pacer, Seed, Reps);
+  for (const NumaRow &NR : NumaRows)
+    std::printf("numa: pacer_r3 K=4 indexed, slabs on node%u (%s): "
+                "%8.2f ms\n",
+                NR.Node, NR.Placement, NR.IndexedMs);
+
   std::FILE *Out = std::fopen(OutPath.c_str(), "w");
   if (!Out) {
     std::fprintf(stderr, "cannot open %s for writing\n", OutPath.c_str());
@@ -155,9 +216,20 @@ int main(int Argc, char **Argv) {
   std::fprintf(Out,
                "{\n  \"workload\": \"%s\",\n  \"events\": %zu,\n"
                "  \"accesses\": %llu,\n  \"reps\": %u,\n  \"jobs\": 1,\n"
-               "  \"points\": [\n",
+               "  \"isa\": \"%s\",\n  \"numa_nodes\": %zu,\n"
+               "  \"numa\": [\n",
                Workload.spec().Name.c_str(), T.size(),
-               static_cast<unsigned long long>(Accesses), Reps);
+               static_cast<unsigned long long>(Accesses), Reps,
+               kernels::activeIsa(), Topo.Nodes.size());
+  for (size_t I = 0; I != NumaRows.size(); ++I) {
+    const NumaRow &NR = NumaRows[I];
+    std::fprintf(Out,
+                 "    {\"node\": %u, \"placement\": \"%s\", "
+                 "\"indexed_ms\": %.3f}%s\n",
+                 NR.Node, NR.Placement, NR.IndexedMs,
+                 I + 1 == NumaRows.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ],\n  \"points\": [\n");
   for (size_t I = 0; I != Rows.size(); ++I) {
     const Row &Row = Rows[I];
     std::fprintf(Out,

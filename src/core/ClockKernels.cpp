@@ -1,33 +1,26 @@
-//===- core/ClockKernels.cpp ----------------------------------------------==//
+//===- core/ClockKernels.cpp - Runtime ISA dispatch -----------------------==//
+//
+// The scalar reference kernels plus the runtime dispatcher. Per-ISA SIMD
+// bodies live in core/kernels/ClockKernels{Sse2,Avx2,Neon}.cpp; this TU
+// probes the hardware once (CPUID + xgetbv on x86-64), applies the
+// PACER_FORCE_ISA override, and installs a single function-pointer table
+// that every public kernel routes through.
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/ClockKernels.h"
+#include "core/kernels/IsaOps.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 
-#if !defined(PACER_DISABLE_SIMD)
-#if defined(__AVX2__)
-#define PACER_KERNELS_AVX2 1
-#include <immintrin.h>
-#elif defined(__SSE2__) || defined(_M_X64)
-#define PACER_KERNELS_SSE2 1
-#include <emmintrin.h>
-#elif defined(__aarch64__) && defined(__ARM_NEON)
-#define PACER_KERNELS_NEON 1
-#include <arm_neon.h>
-#endif
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
 #endif
 
 namespace pacer::kernels {
-
-namespace {
-
-// Single flag, read on every kernel entry: always-taken branch in
-// production, flipped only from single-threaded test setup.
-bool ForceScalar = false;
-
-} // namespace
-
-void setForceScalarForTest(bool Force) { ForceScalar = Force; }
 
 bool scalarJoinMax(uint32_t *A, const uint32_t *B, size_t N) {
   bool Changed = false;
@@ -66,247 +59,188 @@ void scalarRemapGather(uint32_t *Dst, const uint32_t *Src,
     Dst[I] = Src[Idx[I]];
 }
 
-#if defined(PACER_KERNELS_AVX2)
-
-const char *activeIsa() { return ForceScalar ? "scalar" : "avx2"; }
-
-bool joinMax(uint32_t *A, const uint32_t *B, size_t N) {
-  if (ForceScalar)
-    return scalarJoinMax(A, B, N);
-  size_t I = 0;
-  __m256i Diff = _mm256_setzero_si256();
-  for (; I + 8 <= N; I += 8) {
-    __m256i Va = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + I));
-    __m256i Vb = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(B + I));
-    __m256i Vm = _mm256_max_epu32(Va, Vb);
-    // Vm != Va in a lane iff B > A there, i.e. the join changed A.
-    Diff = _mm256_or_si256(Diff, _mm256_xor_si256(Vm, Va));
-    _mm256_storeu_si256(reinterpret_cast<__m256i *>(A + I), Vm);
-  }
-  bool Changed = !_mm256_testz_si256(Diff, Diff);
-  return scalarJoinMax(A + I, B + I, N - I) || Changed;
-}
-
-bool allLeq(const uint32_t *A, const uint32_t *B, size_t N) {
-  if (ForceScalar)
-    return scalarAllLeq(A, B, N);
-  size_t I = 0;
-  for (; I + 8 <= N; I += 8) {
-    __m256i Va = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + I));
-    __m256i Vb = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(B + I));
-    // A <= B per lane iff max(A, B) == B.
-    __m256i Le = _mm256_cmpeq_epi32(_mm256_max_epu32(Va, Vb), Vb);
-    if (static_cast<uint32_t>(_mm256_movemask_epi8(Le)) != 0xffffffffu)
-      return false;
-  }
-  return scalarAllLeq(A + I, B + I, N - I);
-}
-
-bool allZero(const uint32_t *A, size_t N) {
-  if (ForceScalar)
-    return scalarAllZero(A, N);
-  size_t I = 0;
-  __m256i Acc = _mm256_setzero_si256();
-  for (; I + 8 <= N; I += 8)
-    Acc = _mm256_or_si256(
-        Acc, _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + I)));
-  if (!_mm256_testz_si256(Acc, Acc))
-    return false;
-  return scalarAllZero(A + I, N - I);
-}
-
-size_t trimTrailingZeros(const uint32_t *A, size_t N) {
-  if (ForceScalar)
-    return scalarTrimTrailingZeros(A, N);
-  // Scan backwards a vector at a time; the first non-zero block hands off
-  // to the scalar scan for the exact boundary.
-  while (N >= 8) {
-    __m256i V =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + N - 8));
-    if (!_mm256_testz_si256(V, V))
-      break;
-    N -= 8;
-  }
-  return scalarTrimTrailingZeros(A, N);
-}
-
-void remapGather(uint32_t *Dst, const uint32_t *Src, const uint32_t *Idx,
-                 size_t N) {
-  if (ForceScalar)
-    return scalarRemapGather(Dst, Src, Idx, N);
-  size_t I = 0;
-  // In-place packs are safe: Idx ascends with Idx[i] >= i, so each 8-lane
-  // gather reads components at or beyond the store cursor.
-  for (; I + 8 <= N; I += 8) {
-    __m256i Vi =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Idx + I));
-    __m256i Vg = _mm256_i32gather_epi32(reinterpret_cast<const int *>(Src),
-                                        Vi, /*Scale=*/4);
-    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Dst + I), Vg);
-  }
-  scalarRemapGather(Dst + I, Src, Idx + I, N - I);
-}
-
-#elif defined(PACER_KERNELS_SSE2)
-
-const char *activeIsa() { return ForceScalar ? "scalar" : "sse2"; }
-
 namespace {
 
-// SSE2 lacks an unsigned 32-bit max/compare; flipping the sign bit maps
-// unsigned order onto the signed compare.
-inline __m128i unsignedGt(__m128i A, __m128i B) {
-  const __m128i Sign = _mm_set1_epi32(static_cast<int>(0x80000000u));
-  return _mm_cmpgt_epi32(_mm_xor_si128(A, Sign), _mm_xor_si128(B, Sign));
+constexpr KernelOps ScalarOps = {Isa::Scalar,
+                                 "scalar",
+                                 scalarJoinMax,
+                                 scalarAllLeq,
+                                 scalarAllZero,
+                                 scalarTrimTrailingZeros,
+                                 scalarRemapGather};
+
+#if defined(__x86_64__) || defined(_M_X64)
+uint64_t xgetbv0() {
+  uint32_t Lo = 0, Hi = 0;
+  __asm__ __volatile__("xgetbv" : "=a"(Lo), "=d"(Hi) : "c"(0));
+  return (static_cast<uint64_t>(Hi) << 32) | Lo;
 }
+#endif
+
+Isa probeIsa() {
+#if defined(__x86_64__) || defined(_M_X64)
+  unsigned Eax = 0, Ebx = 0, Ecx = 0, Edx = 0;
+  if (!__get_cpuid(1, &Eax, &Ebx, &Ecx, &Edx))
+    return Isa::Scalar;
+  const bool HasSse2 = (Edx & bit_SSE2) != 0;
+  // AVX needs CPU support *and* OS-managed YMM state: OSXSAVE set and
+  // XCR0 enabling both XMM (bit 1) and YMM (bit 2) saves.
+  const bool OsAvx = (Ecx & bit_OSXSAVE) != 0 && (Ecx & bit_AVX) != 0 &&
+                     (xgetbv0() & 0x6) == 0x6;
+  if (OsAvx && __get_cpuid_count(7, 0, &Eax, &Ebx, &Ecx, &Edx) &&
+      (Ebx & bit_AVX2) != 0)
+    return Isa::Avx2;
+  return HasSse2 ? Isa::Sse2 : Isa::Scalar;
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+  return Isa::Neon;
+#else
+  return Isa::Scalar;
+#endif
+}
+
+// The installed table. Constant-initialized to scalar so a kernel call
+// from another TU's static initializer (before our dynamic init below
+// runs) is safe, just slow. Swapped as a single pointer store; the same
+// single-threaded-flips-only contract the old ForceScalar bool had.
+const KernelOps *Active = &ScalarOps;
+
+// What clearForceIsa restores: the env-or-best resolution computed at
+// static init.
+Isa DefaultKind = Isa::Scalar;
+
+bool isaSupported(Isa Kind) {
+  switch (Kind) {
+  case Isa::Scalar:
+    return true;
+  case Isa::Sse2:
+    return detectedIsa() == Isa::Sse2 || detectedIsa() == Isa::Avx2;
+  case Isa::Avx2:
+    return detectedIsa() == Isa::Avx2;
+  case Isa::Neon:
+    return detectedIsa() == Isa::Neon;
+  }
+  return false;
+}
+
+Isa bestAvailableIsa() {
+  for (Isa Kind : {Isa::Avx2, Isa::Neon, Isa::Sse2})
+    if (isaAvailable(Kind))
+      return Kind;
+  return Isa::Scalar;
+}
+
+// Dynamic initializer: probe, read PACER_FORCE_ISA, install the table.
+struct DispatchInit {
+  DispatchInit() {
+    Isa Pick = bestAvailableIsa();
+    if (const char *Env = std::getenv("PACER_FORCE_ISA"); Env && *Env) {
+      Isa Forced = Isa::Scalar;
+      if (!parseIsaName(Env, Forced))
+        std::fprintf(stderr,
+                     "pacer: PACER_FORCE_ISA=%s not recognized; using %s\n",
+                     Env, isaName(Pick));
+      else if (!isaAvailable(Forced))
+        std::fprintf(
+            stderr,
+            "pacer: PACER_FORCE_ISA=%s unavailable on this build/host; "
+            "using %s\n",
+            Env, isaName(Pick));
+      else
+        Pick = Forced;
+    }
+    DefaultKind = Pick;
+    Active = opsFor(Pick);
+  }
+};
+DispatchInit InitDispatch;
 
 } // namespace
 
-bool joinMax(uint32_t *A, const uint32_t *B, size_t N) {
-  if (ForceScalar)
-    return scalarJoinMax(A, B, N);
-  size_t I = 0;
-  __m128i AnyGt = _mm_setzero_si128();
-  for (; I + 4 <= N; I += 4) {
-    __m128i Va = _mm_loadu_si128(reinterpret_cast<const __m128i *>(A + I));
-    __m128i Vb = _mm_loadu_si128(reinterpret_cast<const __m128i *>(B + I));
-    __m128i Gt = unsignedGt(Vb, Va); // Lanes where B > A: the join changes A.
-    __m128i Vm = _mm_or_si128(_mm_and_si128(Gt, Vb), _mm_andnot_si128(Gt, Va));
-    AnyGt = _mm_or_si128(AnyGt, Gt);
-    _mm_storeu_si128(reinterpret_cast<__m128i *>(A + I), Vm);
+const char *isaName(Isa Kind) {
+  switch (Kind) {
+  case Isa::Scalar:
+    return "scalar";
+  case Isa::Sse2:
+    return "sse2";
+  case Isa::Neon:
+    return "neon";
+  case Isa::Avx2:
+    return "avx2";
   }
-  bool Changed = _mm_movemask_epi8(AnyGt) != 0;
-  return scalarJoinMax(A + I, B + I, N - I) || Changed;
+  return "unknown";
 }
 
-bool allLeq(const uint32_t *A, const uint32_t *B, size_t N) {
-  if (ForceScalar)
-    return scalarAllLeq(A, B, N);
-  size_t I = 0;
-  for (; I + 4 <= N; I += 4) {
-    __m128i Va = _mm_loadu_si128(reinterpret_cast<const __m128i *>(A + I));
-    __m128i Vb = _mm_loadu_si128(reinterpret_cast<const __m128i *>(B + I));
-    if (_mm_movemask_epi8(unsignedGt(Va, Vb)) != 0)
-      return false;
+bool parseIsaName(const char *Text, Isa &Out) {
+  for (Isa Kind : {Isa::Scalar, Isa::Sse2, Isa::Neon, Isa::Avx2}) {
+    if (std::strcmp(Text, isaName(Kind)) == 0) {
+      Out = Kind;
+      return true;
+    }
   }
-  return scalarAllLeq(A + I, B + I, N - I);
+  return false;
 }
 
-bool allZero(const uint32_t *A, size_t N) {
-  if (ForceScalar)
-    return scalarAllZero(A, N);
-  size_t I = 0;
-  __m128i Acc = _mm_setzero_si128();
-  for (; I + 4 <= N; I += 4)
-    Acc = _mm_or_si128(
-        Acc, _mm_loadu_si128(reinterpret_cast<const __m128i *>(A + I)));
-  if (_mm_movemask_epi8(_mm_cmpeq_epi32(Acc, _mm_setzero_si128())) != 0xffff)
+Isa detectedIsa() {
+  static const Isa Detected = probeIsa();
+  return Detected;
+}
+
+const KernelOps *opsFor(Isa Kind) {
+  switch (Kind) {
+  case Isa::Scalar:
+    return &ScalarOps;
+  case Isa::Sse2:
+    return detail::sse2KernelOps();
+  case Isa::Avx2:
+    return detail::avx2KernelOps();
+  case Isa::Neon:
+    return detail::neonKernelOps();
+  }
+  return nullptr;
+}
+
+bool isaAvailable(Isa Kind) {
+  return opsFor(Kind) != nullptr && isaSupported(Kind);
+}
+
+Isa activeIsaKind() { return Active->Kind; }
+
+const char *activeIsa() { return Active->Name; }
+
+bool setForceIsa(Isa Kind) {
+  if (!isaAvailable(Kind))
     return false;
-  return scalarAllZero(A + I, N - I);
+  Active = opsFor(Kind);
+  return true;
 }
 
-size_t trimTrailingZeros(const uint32_t *A, size_t N) {
-  if (ForceScalar)
-    return scalarTrimTrailingZeros(A, N);
-  while (N >= 4) {
-    __m128i V = _mm_loadu_si128(reinterpret_cast<const __m128i *>(A + N - 4));
-    if (_mm_movemask_epi8(_mm_cmpeq_epi32(V, _mm_setzero_si128())) != 0xffff)
-      break;
-    N -= 4;
-  }
-  return scalarTrimTrailingZeros(A, N);
+void clearForceIsa() { Active = opsFor(DefaultKind); }
+
+void setForceScalarForTest(bool Force) {
+  if (Force)
+    setForceIsa(Isa::Scalar);
+  else
+    clearForceIsa();
 }
-
-void remapGather(uint32_t *Dst, const uint32_t *Src, const uint32_t *Idx,
-                 size_t N) {
-  // SSE2 has no gather instruction; the scalar loop is the fast path.
-  scalarRemapGather(Dst, Src, Idx, N);
-}
-
-#elif defined(PACER_KERNELS_NEON)
-
-const char *activeIsa() { return ForceScalar ? "scalar" : "neon"; }
 
 bool joinMax(uint32_t *A, const uint32_t *B, size_t N) {
-  if (ForceScalar)
-    return scalarJoinMax(A, B, N);
-  size_t I = 0;
-  uint32x4_t Diff = vdupq_n_u32(0);
-  for (; I + 4 <= N; I += 4) {
-    uint32x4_t Va = vld1q_u32(A + I);
-    uint32x4_t Vb = vld1q_u32(B + I);
-    uint32x4_t Vm = vmaxq_u32(Va, Vb);
-    Diff = vorrq_u32(Diff, veorq_u32(Vm, Va));
-    vst1q_u32(A + I, Vm);
-  }
-  bool Changed = vmaxvq_u32(Diff) != 0;
-  return scalarJoinMax(A + I, B + I, N - I) || Changed;
+  return Active->JoinMax(A, B, N);
 }
 
 bool allLeq(const uint32_t *A, const uint32_t *B, size_t N) {
-  if (ForceScalar)
-    return scalarAllLeq(A, B, N);
-  size_t I = 0;
-  for (; I + 4 <= N; I += 4) {
-    if (vmaxvq_u32(vcgtq_u32(vld1q_u32(A + I), vld1q_u32(B + I))) != 0)
-      return false;
-  }
-  return scalarAllLeq(A + I, B + I, N - I);
+  return Active->AllLeq(A, B, N);
 }
 
-bool allZero(const uint32_t *A, size_t N) {
-  if (ForceScalar)
-    return scalarAllZero(A, N);
-  size_t I = 0;
-  uint32x4_t Acc = vdupq_n_u32(0);
-  for (; I + 4 <= N; I += 4)
-    Acc = vorrq_u32(Acc, vld1q_u32(A + I));
-  if (vmaxvq_u32(Acc) != 0)
-    return false;
-  return scalarAllZero(A + I, N - I);
-}
+bool allZero(const uint32_t *A, size_t N) { return Active->AllZero(A, N); }
 
 size_t trimTrailingZeros(const uint32_t *A, size_t N) {
-  if (ForceScalar)
-    return scalarTrimTrailingZeros(A, N);
-  while (N >= 4) {
-    if (vmaxvq_u32(vld1q_u32(A + N - 4)) != 0)
-      break;
-    N -= 4;
-  }
-  return scalarTrimTrailingZeros(A, N);
+  return Active->TrimTrailingZeros(A, N);
 }
 
 void remapGather(uint32_t *Dst, const uint32_t *Src, const uint32_t *Idx,
                  size_t N) {
-  // NEON has no gather instruction; the scalar loop is the fast path.
-  scalarRemapGather(Dst, Src, Idx, N);
+  Active->RemapGather(Dst, Src, Idx, N);
 }
-
-#else // Scalar-only build (PACER_DISABLE_SIMD or unknown ISA).
-
-const char *activeIsa() { return "scalar"; }
-
-bool joinMax(uint32_t *A, const uint32_t *B, size_t N) {
-  return scalarJoinMax(A, B, N);
-}
-
-bool allLeq(const uint32_t *A, const uint32_t *B, size_t N) {
-  return scalarAllLeq(A, B, N);
-}
-
-bool allZero(const uint32_t *A, size_t N) { return scalarAllZero(A, N); }
-
-size_t trimTrailingZeros(const uint32_t *A, size_t N) {
-  return scalarTrimTrailingZeros(A, N);
-}
-
-void remapGather(uint32_t *Dst, const uint32_t *Src, const uint32_t *Idx,
-                 size_t N) {
-  scalarRemapGather(Dst, Src, Idx, N);
-}
-
-#endif
 
 void copyWords(uint32_t *Dst, const uint32_t *Src, size_t N) {
   std::memcpy(Dst, Src, N * sizeof(uint32_t));

@@ -1,0 +1,35 @@
+//===- core/kernels/IsaOps.h - Per-ISA kernel table accessors --*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal seam between the runtime dispatcher (ClockKernels.cpp) and the
+/// per-ISA translation units. Each accessor returns the ISA's dispatch
+/// table when that TU was compiled with the matching instruction set, and
+/// nullptr otherwise -- the TUs themselves are always part of the build,
+/// preprocessor-gated inside, so the dispatcher never needs #ifdefs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_CORE_KERNELS_ISAOPS_H
+#define PACER_CORE_KERNELS_ISAOPS_H
+
+#include "core/ClockKernels.h"
+
+namespace pacer::kernels::detail {
+
+/// nullptr unless built for x86-64 without PACER_DISABLE_SIMD.
+const KernelOps *sse2KernelOps();
+
+/// nullptr unless the AVX2 TU was compiled with -mavx2 (x86-64 only; the
+/// flag is applied per-file by CMake so the base -march stays baseline).
+const KernelOps *avx2KernelOps();
+
+/// nullptr unless built for aarch64 NEON without PACER_DISABLE_SIMD.
+const KernelOps *neonKernelOps();
+
+} // namespace pacer::kernels::detail
+
+#endif // PACER_CORE_KERNELS_ISAOPS_H

@@ -2,6 +2,7 @@
 
 #include "runtime/AnalysisSession.h"
 
+#include "core/ClockKernels.h"
 #include "detectors/GenericDetector.h"
 #include "runtime/Runtime.h"
 #include "runtime/ShardedReplay.h"
@@ -144,6 +145,7 @@ void replaySpan(const CompiledWorkload &Workload,
                 AnalysisResult &Out) {
   const DetectorSetup &Setup = Request.Setup;
   Out.ResolvedShards = Shards;
+  Out.Isa = kernels::activeIsa();
 
   if (Shards > 1) {
     ShardedReplayConfig Config;
@@ -283,6 +285,7 @@ AnalysisSession::analyzeStream(StreamingTraceReader &Reader) const {
 
   AnalysisResult Result;
   Result.ResolvedShards = 1;
+  Result.Isa = kernels::activeIsa();
 
   RaceLog Log;
   std::unique_ptr<Detector> D =

@@ -196,6 +196,10 @@ struct AnalysisResult {
   /// The shard count the replay actually ran with (auto requests
   /// resolved).
   unsigned ResolvedShards = 1;
+  /// The clock-kernel ISA the dispatcher resolved for this analysis
+  /// (kernels::activeIsa() at replay time): "avx2", "sse2", "neon", or
+  /// "scalar". Surfaced by racedetect --times and the bench JSON.
+  const char *Isa = "scalar";
 
   /// analyzeFile timing split: trace load / view map, index build +
   /// auto-shard counting, and replay. ReplaySeconds == AnalysisSeconds

@@ -2,13 +2,10 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Topology.h"
+
 #include <algorithm>
 #include <cstdlib>
-
-#if defined(__linux__)
-#include <pthread.h>
-#include <sched.h>
-#endif
 
 using namespace pacer;
 
@@ -29,16 +26,19 @@ void pacer::setThreadPinning(bool Enabled) { PinOverride = Enabled ? 1 : 0; }
 void pacer::pinCurrentThread(unsigned Index) {
   if (!threadPinningEnabled())
     return;
-#if defined(__linux__)
-  cpu_set_t Set;
-  CPU_ZERO(&Set);
-  CPU_SET(Index % hardwareJobs(), &Set);
-  // Best-effort: an EINVAL from a restricted cpuset just leaves the
-  // thread unpinned, exactly as if the platform had no affinity API.
-  (void)pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set);
-#else
-  (void)Index;
-#endif
+  // Topology-ordered assignment: slot I is the I-th CPU of the pin plan,
+  // which exhausts one NUMA node before crossing to the next, so
+  // co-scheduled workers share a node whenever one has capacity. On a
+  // single node the plan is ascending CPU order -- the same CPUs the old
+  // Index % hardwareJobs() round-robin picked. A failed pin (restricted
+  // cpuset, no affinity API) leaves the thread unpinned and its node
+  // unset, exactly as before.
+  const topo::PinPlan &Plan = topo::systemPinPlan();
+  if (Plan.empty())
+    return;
+  const topo::PinSlot &Slot = Plan[Index % Plan.size()];
+  if (topo::pinCurrentThreadToCpu(Slot.Cpu))
+    topo::setCurrentThreadNode(static_cast<int>(Slot.Node));
 }
 
 ThreadPool::ThreadPool(unsigned WorkerCount) {

@@ -117,7 +117,11 @@ bool threadPinningEnabled();
 /// Programmatic override of PACER_PIN_THREADS (from --pin-threads).
 void setThreadPinning(bool Enabled);
 
-/// Best-effort: pins the calling thread to CPU `Index % hardwareJobs()`.
+/// Best-effort: pins the calling thread to slot `Index` of the system pin
+/// plan (support/Topology.h) -- each NUMA node's CPUs are exhausted before
+/// the next node's, and on single-node hosts the plan degenerates to the
+/// old `Index % hardwareJobs()` assignment. A successful pin records the
+/// slot's node in the thread-local consulted by Arena slab placement.
 /// No-op where unsupported or when pinning is disabled.
 void pinCurrentThread(unsigned Index);
 

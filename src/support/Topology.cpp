@@ -1,0 +1,256 @@
+//===- support/Topology.cpp -----------------------------------------------==//
+
+#include "support/Topology.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <pthread.h>
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+using namespace pacer;
+
+namespace {
+
+thread_local int ThreadNode = -1;
+
+// Process-wide, flipped only from single-threaded setup (tests/benches).
+int AllocNodeOverride = -1;
+
+#if defined(__linux__)
+bool readSmallFile(const std::string &Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return false;
+  char Buf[4096];
+  size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  Buf[N] = '\0';
+  Out.assign(Buf, N);
+  return true;
+}
+#endif
+
+} // namespace
+
+bool topo::parseCpuList(const std::string &Text, std::vector<unsigned> &Out) {
+  Out.clear();
+  const char *P = Text.c_str();
+  while (*P) {
+    while (*P == ' ' || *P == '\t' || *P == '\n' || *P == ',')
+      ++P;
+    if (!*P)
+      break;
+    if (!std::isdigit(static_cast<unsigned char>(*P)))
+      return false;
+    char *End = nullptr;
+    unsigned long Lo = std::strtoul(P, &End, 10);
+    unsigned long Hi = Lo;
+    P = End;
+    if (*P == '-') {
+      ++P;
+      if (!std::isdigit(static_cast<unsigned char>(*P)))
+        return false;
+      Hi = std::strtoul(P, &End, 10);
+      P = End;
+    }
+    if (Hi < Lo || Hi > 1u << 20)
+      return false;
+    for (unsigned long Cpu = Lo; Cpu <= Hi; ++Cpu)
+      Out.push_back(static_cast<unsigned>(Cpu));
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return true;
+}
+
+topo::Topology
+topo::topologyFromCpuLists(const std::vector<std::string> &NodeCpuLists,
+                           unsigned FallbackCpus) {
+  Topology T;
+  for (size_t Id = 0; Id != NodeCpuLists.size(); ++Id) {
+    NodeInfo Node;
+    Node.Id = static_cast<unsigned>(Id);
+    if (!parseCpuList(NodeCpuLists[Id], Node.Cpus) || Node.Cpus.empty())
+      continue; // Memoryless/CPU-less or unreadable node: not a pin target.
+    T.Nodes.push_back(std::move(Node));
+  }
+  if (T.Nodes.empty()) {
+    NodeInfo Node;
+    Node.Id = 0;
+    if (FallbackCpus == 0)
+      FallbackCpus = 1;
+    for (unsigned Cpu = 0; Cpu != FallbackCpus; ++Cpu)
+      Node.Cpus.push_back(Cpu);
+    T.Nodes.push_back(std::move(Node));
+  }
+  return T;
+}
+
+topo::Topology topo::discoverTopology() {
+  std::vector<std::string> CpuLists;
+#if defined(__linux__)
+  if (DIR *Dir = opendir("/sys/devices/system/node")) {
+    // Collect node ids first: readdir order is arbitrary.
+    std::vector<unsigned> Ids;
+    while (const dirent *Entry = readdir(Dir)) {
+      unsigned Id = 0;
+      if (std::sscanf(Entry->d_name, "node%u", &Id) == 1)
+        Ids.push_back(Id);
+    }
+    closedir(Dir);
+    std::sort(Ids.begin(), Ids.end());
+    if (!Ids.empty()) {
+      // Index cpulists by node id; gaps stay empty and are dropped.
+      CpuLists.resize(Ids.back() + 1);
+      for (unsigned Id : Ids) {
+        std::string Text;
+        if (readSmallFile("/sys/devices/system/node/node" +
+                              std::to_string(Id) + "/cpulist",
+                          Text))
+          CpuLists[Id] = Text;
+      }
+    }
+  }
+#endif
+  return topologyFromCpuLists(CpuLists, hardwareJobs());
+}
+
+const topo::Topology &topo::systemTopology() {
+  static const Topology T = discoverTopology();
+  return T;
+}
+
+topo::PinPlan topo::buildPinPlan(const Topology &T) {
+  PinPlan Plan;
+  for (const NodeInfo &Node : T.Nodes)
+    for (unsigned Cpu : Node.Cpus)
+      Plan.push_back({Cpu, Node.Id});
+  return Plan;
+}
+
+const topo::PinPlan &topo::systemPinPlan() {
+  static const PinPlan Plan = buildPinPlan(systemTopology());
+  return Plan;
+}
+
+int topo::currentThreadNode() { return ThreadNode; }
+void topo::setCurrentThreadNode(int Node) { ThreadNode = Node; }
+
+int topo::allocationNodeOverride() { return AllocNodeOverride; }
+void topo::setAllocationNodeOverride(int Node) { AllocNodeOverride = Node; }
+
+int topo::currentAllocationNode() {
+  if (AllocNodeOverride >= 0)
+    return AllocNodeOverride;
+  return ThreadNode;
+}
+
+size_t topo::pageSize() {
+#if defined(__linux__)
+  static const size_t Page = [] {
+    long N = sysconf(_SC_PAGESIZE);
+    return N > 0 ? static_cast<size_t>(N) : size_t(4096);
+  }();
+  return Page;
+#else
+  return 4096;
+#endif
+}
+
+bool topo::bindMemoryToNode(void *Ptr, size_t Bytes, unsigned Node) {
+#if defined(__linux__) && defined(SYS_mbind)
+  // Constants from <numaif.h>, declared locally so no libnuma headers or
+  // library are required.
+  constexpr int MpolPreferred = 1;
+  constexpr unsigned MpolMfMove = 1u << 1;
+  const size_t Page = pageSize();
+  uintptr_t Begin =
+      (reinterpret_cast<uintptr_t>(Ptr) + Page - 1) & ~(Page - 1);
+  uintptr_t End = (reinterpret_cast<uintptr_t>(Ptr) + Bytes) & ~(Page - 1);
+  if (End <= Begin)
+    return false; // Range smaller than one whole page: first-touch only.
+  constexpr size_t MaskWords = 16; // Up to 1024 nodes.
+  constexpr size_t BitsPerWord = sizeof(unsigned long) * 8;
+  if (Node >= MaskWords * BitsPerWord)
+    return false;
+  unsigned long Mask[MaskWords] = {};
+  Mask[Node / BitsPerWord] = 1ul << (Node % BitsPerWord);
+  // MPOL_MF_MOVE migrates any already-resident pages (the slab may reuse
+  // heap memory first touched elsewhere); if the kernel refuses, the call
+  // still sets the policy for untouched pages.
+  long Rc = syscall(SYS_mbind, Begin, End - Begin, MpolPreferred, Mask,
+                    MaskWords * BitsPerWord, MpolMfMove);
+  return Rc == 0;
+#else
+  (void)Ptr;
+  (void)Bytes;
+  (void)Node;
+  return false;
+#endif
+}
+
+bool topo::pinCurrentThreadToCpu(unsigned Cpu) {
+#if defined(__linux__)
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  CPU_SET(Cpu, &Set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set) == 0;
+#else
+  (void)Cpu;
+  return false;
+#endif
+}
+
+std::string topo::summary() {
+  const Topology &T = systemTopology();
+  std::string Out = std::to_string(T.cpuCount()) + " cpus, " +
+                    std::to_string(T.Nodes.size()) + " numa node" +
+                    (T.Nodes.size() == 1 ? "" : "s") + " (";
+  for (size_t I = 0; I != T.Nodes.size(); ++I) {
+    const NodeInfo &Node = T.Nodes[I];
+    if (I)
+      Out += ", ";
+    Out += "node" + std::to_string(Node.Id) + ": ";
+    // Render runs compactly ("0-3,8") the way sysfs does.
+    for (size_t J = 0; J != Node.Cpus.size();) {
+      size_t K = J;
+      while (K + 1 < Node.Cpus.size() &&
+             Node.Cpus[K + 1] == Node.Cpus[K] + 1)
+        ++K;
+      if (J)
+        Out += ",";
+      Out += std::to_string(Node.Cpus[J]);
+      if (K > J)
+        Out += "-" + std::to_string(Node.Cpus[K]);
+      J = K + 1;
+    }
+  }
+  Out += ")";
+  return Out;
+}
+
+std::string topo::planSummary(size_t MaxSlots) {
+  const PinPlan &Plan = systemPinPlan();
+  std::string Out;
+  size_t N = std::min(MaxSlots, Plan.size());
+  for (size_t I = 0; I != N; ++I) {
+    if (I)
+      Out += " ";
+    Out += "cpu" + std::to_string(Plan[I].Cpu) + "/node" +
+           std::to_string(Plan[I].Node);
+  }
+  if (Plan.size() > N)
+    Out += " ... (" + std::to_string(Plan.size()) + " slots)";
+  return Out;
+}

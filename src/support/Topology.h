@@ -1,0 +1,142 @@
+//===- support/Topology.h - CPU/NUMA topology discovery --------*- C++ -*-===//
+//
+// Part of the PACER reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CPU and NUMA-node topology for topology-aware execution: worker pinning
+/// that fills a node before crossing sockets, and node-local Arena slab
+/// placement so each sharded-replay replica's detector metadata lives on
+/// the node of the worker that replays it.
+///
+/// Discovery reads /sys/devices/system/node/node*/cpulist on Linux and
+/// degrades to a single synthetic node covering all hardware CPUs
+/// anywhere that fails (non-Linux, containers hiding sysfs, genuinely
+/// single-node hosts) -- in which case every plan and placement decision
+/// collapses to exactly the pre-NUMA behavior. The parsing and
+/// plan-building steps are pure functions so multi-node shapes are
+/// testable on single-node build hosts.
+///
+/// Placement model: ThreadPool workers record their pinned node in a
+/// thread-local at pin time; Arena consults currentAllocationNode() when
+/// it carves a fresh slab and (a) asks the kernel to place the slab's
+/// pages on that node via mbind(MPOL_PREFERRED) -- issued with a raw
+/// syscall so there is no libnuma dependency -- then (b) touches every
+/// page from the calling (pinned) thread, so first-touch places the pages
+/// correctly even where mbind is unavailable (seccomp, old kernels).
+/// Unpinned threads report node -1 and slab placement is skipped
+/// entirely: zero behavior change unless pinning is on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACER_SUPPORT_TOPOLOGY_H
+#define PACER_SUPPORT_TOPOLOGY_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pacer::topo {
+
+/// One NUMA node and the CPUs it owns (memoryless nodes with an empty
+/// cpulist are dropped at discovery).
+struct NodeInfo {
+  unsigned Id = 0;
+  std::vector<unsigned> Cpus;
+};
+
+/// The machine: every node with at least one CPU, in node-id order.
+struct Topology {
+  std::vector<NodeInfo> Nodes;
+
+  unsigned cpuCount() const {
+    size_t N = 0;
+    for (const NodeInfo &Node : Nodes)
+      N += Node.Cpus.size();
+    return static_cast<unsigned>(N);
+  }
+  bool multiNode() const { return Nodes.size() > 1; }
+};
+
+/// Parses a sysfs cpulist ("0-3,8,10-11", trailing newline tolerated)
+/// into ascending CPU ids. Returns false on malformed text (Out is then
+/// unspecified). An empty/whitespace-only list parses to no CPUs.
+bool parseCpuList(const std::string &Text, std::vector<unsigned> &Out);
+
+/// Builds a topology from per-node cpulist strings (node ids are the
+/// vector positions); nodes whose list is empty or malformed are dropped.
+/// When nothing usable remains, falls back to one node with CPUs
+/// [0, FallbackCpus). Pure function -- the test seam for multi-node
+/// shapes.
+Topology topologyFromCpuLists(const std::vector<std::string> &NodeCpuLists,
+                              unsigned FallbackCpus);
+
+/// Reads /sys/devices/system/node; single-node fallback everywhere else.
+Topology discoverTopology();
+
+/// discoverTopology(), computed once per process.
+const Topology &systemTopology();
+
+/// One worker slot of the pinning plan: which CPU, and that CPU's node.
+struct PinSlot {
+  unsigned Cpu = 0;
+  unsigned Node = 0;
+};
+
+/// Slot I of the plan is the CPU the I-th pinned thread binds to. The
+/// plan lists each node's CPUs exhaustively before moving to the next
+/// node ("fill a node before crossing sockets"), so co-scheduled workers
+/// share a node as long as one has capacity. On a single node this is
+/// ascending CPU order -- identical to the old Index % hardwareJobs()
+/// assignment. Threads beyond the plan wrap around.
+using PinPlan = std::vector<PinSlot>;
+
+/// Pure plan construction from any topology (the test seam).
+PinPlan buildPinPlan(const Topology &T);
+
+/// buildPinPlan(systemTopology()), computed once per process.
+const PinPlan &systemPinPlan();
+
+/// The NUMA node the calling thread was pinned to, or -1 when the thread
+/// is unpinned. Set by ThreadPool::pinCurrentThread on successful pins.
+int currentThreadNode();
+void setCurrentThreadNode(int Node);
+
+/// Process-wide test/bench override for slab placement: when >= 0, Arena
+/// places fresh slabs on this node regardless of thread pinning. -1 (the
+/// default) defers to the calling thread's pinned node. Not thread-safe;
+/// set from single-threaded setup only.
+int allocationNodeOverride();
+void setAllocationNodeOverride(int Node);
+
+/// The node fresh Arena slabs should be placed on right now: the
+/// override if set, else the calling thread's pinned node, else -1
+/// (no placement).
+int currentAllocationNode();
+
+/// Best-effort: asks the kernel to place [Ptr, Ptr+Bytes) on \p Node
+/// (MPOL_PREFERRED via raw mbind syscall; the range is shrunk to whole
+/// pages). Returns true when the kernel accepted. False anywhere mbind
+/// is unavailable -- callers must pair this with first-touch.
+bool bindMemoryToNode(void *Ptr, size_t Bytes, unsigned Node);
+
+/// Best-effort: pins the calling thread to \p Cpu (no node bookkeeping).
+/// Returns true on success; false where unsupported.
+bool pinCurrentThreadToCpu(unsigned Cpu);
+
+/// System page size (4096 fallback where sysconf is unavailable).
+size_t pageSize();
+
+/// One-line human summary: "8 cpus, 2 numa nodes (node0: 0-3, node1:
+/// 4-7)" -- used by racedetect --cpu-info and the racedetectd startup
+/// banner.
+std::string summary();
+
+/// Human rendering of the first \p MaxSlots slots of the system pin plan:
+/// "cpu0/node0 cpu1/node0 ...".
+std::string planSummary(size_t MaxSlots);
+
+} // namespace pacer::topo
+
+#endif // PACER_SUPPORT_TOPOLOGY_H

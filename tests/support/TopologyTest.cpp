@@ -1,0 +1,183 @@
+//===- tests/support/TopologyTest.cpp -------------------------------------==//
+//
+// Topology discovery, pin-plan construction, and the placement seams. The
+// multi-node shapes are exercised through the pure functions
+// (parseCpuList / topologyFromCpuLists / buildPinPlan) so the tests are
+// meaningful on the single-node hosts CI runs on; the system-level
+// entry points are checked for sanity and graceful degradation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Topology.h"
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <thread>
+
+using namespace pacer;
+
+namespace {
+
+TEST(CpuListParse, SingleValuesRangesAndMixes) {
+  std::vector<unsigned> Cpus;
+  ASSERT_TRUE(topo::parseCpuList("5", Cpus));
+  EXPECT_EQ(Cpus, (std::vector<unsigned>{5}));
+
+  ASSERT_TRUE(topo::parseCpuList("0-3", Cpus));
+  EXPECT_EQ(Cpus, (std::vector<unsigned>{0, 1, 2, 3}));
+
+  ASSERT_TRUE(topo::parseCpuList("0-3,8,10-11\n", Cpus));
+  EXPECT_EQ(Cpus, (std::vector<unsigned>{0, 1, 2, 3, 8, 10, 11}));
+
+  // sysfs emits a trailing newline and may emit an empty file for a
+  // memoryless node.
+  ASSERT_TRUE(topo::parseCpuList("", Cpus));
+  EXPECT_TRUE(Cpus.empty());
+  ASSERT_TRUE(topo::parseCpuList("\n", Cpus));
+  EXPECT_TRUE(Cpus.empty());
+}
+
+TEST(CpuListParse, RejectsMalformedText) {
+  std::vector<unsigned> Cpus;
+  EXPECT_FALSE(topo::parseCpuList("a-b", Cpus));
+  EXPECT_FALSE(topo::parseCpuList("3-", Cpus));
+  EXPECT_FALSE(topo::parseCpuList("7-3", Cpus)); // Descending range.
+  EXPECT_FALSE(topo::parseCpuList("1,x", Cpus));
+}
+
+TEST(TopologyBuild, TwoNodeShape) {
+  topo::Topology T = topo::topologyFromCpuLists({"0-3", "4-7"}, 8);
+  ASSERT_EQ(T.Nodes.size(), 2u);
+  EXPECT_TRUE(T.multiNode());
+  EXPECT_EQ(T.cpuCount(), 8u);
+  EXPECT_EQ(T.Nodes[0].Id, 0u);
+  EXPECT_EQ(T.Nodes[1].Id, 1u);
+  EXPECT_EQ(T.Nodes[1].Cpus, (std::vector<unsigned>{4, 5, 6, 7}));
+}
+
+TEST(TopologyBuild, DropsEmptyAndMalformedNodes) {
+  // node1 is memoryless (empty cpulist), node2 unreadable garbage: both
+  // must vanish from the topology rather than poison it.
+  topo::Topology T = topo::topologyFromCpuLists({"0-1", "", "bad", "2-3"}, 4);
+  ASSERT_EQ(T.Nodes.size(), 2u);
+  EXPECT_EQ(T.Nodes[0].Id, 0u);
+  EXPECT_EQ(T.Nodes[1].Id, 3u); // Node ids survive the compaction.
+  EXPECT_EQ(T.Nodes[1].Cpus, (std::vector<unsigned>{2, 3}));
+}
+
+TEST(TopologyBuild, SingleNodeFallback) {
+  // Nothing usable discovered: one synthetic node covering FallbackCpus.
+  topo::Topology T = topo::topologyFromCpuLists({}, 4);
+  ASSERT_EQ(T.Nodes.size(), 1u);
+  EXPECT_FALSE(T.multiNode());
+  EXPECT_EQ(T.Nodes[0].Cpus, (std::vector<unsigned>{0, 1, 2, 3}));
+
+  // Zero-CPU fallback still yields a non-empty topology.
+  topo::Topology T0 = topo::topologyFromCpuLists({"", "junk"}, 0);
+  ASSERT_EQ(T0.Nodes.size(), 1u);
+  EXPECT_EQ(T0.cpuCount(), 1u);
+}
+
+TEST(PinPlanBuild, FillsOneNodeBeforeCrossingSockets) {
+  topo::Topology T = topo::topologyFromCpuLists({"0,2,4,6", "1,3,5,7"}, 8);
+  topo::PinPlan Plan = topo::buildPinPlan(T);
+  ASSERT_EQ(Plan.size(), 8u);
+  // All of node 0's CPUs come before any of node 1's, regardless of the
+  // interleaved numbering.
+  const unsigned ExpectedCpus[] = {0, 2, 4, 6, 1, 3, 5, 7};
+  const unsigned ExpectedNodes[] = {0, 0, 0, 0, 1, 1, 1, 1};
+  for (size_t I = 0; I != Plan.size(); ++I) {
+    EXPECT_EQ(Plan[I].Cpu, ExpectedCpus[I]) << "slot " << I;
+    EXPECT_EQ(Plan[I].Node, ExpectedNodes[I]) << "slot " << I;
+  }
+}
+
+TEST(PinPlanBuild, SingleNodeMatchesLegacyRoundRobin) {
+  // On one node the plan must reproduce the old Index % hardwareJobs()
+  // assignment: slot I -> CPU I, ascending.
+  topo::Topology T = topo::topologyFromCpuLists({}, 4);
+  topo::PinPlan Plan = topo::buildPinPlan(T);
+  ASSERT_EQ(Plan.size(), 4u);
+  for (size_t I = 0; I != Plan.size(); ++I) {
+    EXPECT_EQ(Plan[I].Cpu, static_cast<unsigned>(I));
+    EXPECT_EQ(Plan[I].Node, 0u);
+  }
+}
+
+TEST(SystemTopology, DiscoversSomethingSane) {
+  const topo::Topology &T = topo::systemTopology();
+  ASSERT_GE(T.Nodes.size(), 1u);
+  EXPECT_GE(T.cpuCount(), 1u);
+  const topo::PinPlan &Plan = topo::systemPinPlan();
+  EXPECT_EQ(Plan.size(), T.cpuCount());
+  EXPECT_FALSE(topo::summary().empty());
+  EXPECT_FALSE(topo::planSummary(4).empty());
+}
+
+TEST(PlacementSeams, AllocationNodeResolutionOrder) {
+  // Default: unpinned thread, no override -> no placement.
+  ASSERT_EQ(topo::allocationNodeOverride(), -1);
+  EXPECT_EQ(topo::currentAllocationNode(), topo::currentThreadNode());
+
+  // Thread node (set by a successful pin) feeds placement...
+  int SavedNode = topo::currentThreadNode();
+  topo::setCurrentThreadNode(1);
+  EXPECT_EQ(topo::currentAllocationNode(), 1);
+
+  // ...but the process-wide override wins over it.
+  topo::setAllocationNodeOverride(0);
+  EXPECT_EQ(topo::currentAllocationNode(), 0);
+  topo::setAllocationNodeOverride(-1);
+  EXPECT_EQ(topo::currentAllocationNode(), 1);
+  topo::setCurrentThreadNode(SavedNode);
+}
+
+TEST(PlacementSeams, ThreadNodeIsThreadLocal) {
+  topo::setCurrentThreadNode(2);
+  int Other = -2;
+  std::thread T([&] { Other = topo::currentThreadNode(); });
+  T.join();
+  EXPECT_EQ(Other, -1); // A fresh (unpinned) thread has no node.
+  EXPECT_EQ(topo::currentThreadNode(), 2);
+  topo::setCurrentThreadNode(-1);
+}
+
+TEST(PlacementSeams, BindMemoryToNodeIsBestEffort) {
+  // Node 0 exists on every host; the call may still fail (sandboxed
+  // seccomp, non-Linux) -- the contract is only "no crash, honest bool",
+  // because Arena pairs it with first-touch anyway.
+  const size_t Bytes = 4 * topo::pageSize();
+  void *Mem = ::operator new(Bytes);
+  (void)topo::bindMemoryToNode(Mem, Bytes, 0);
+  // Sub-page ranges have no whole page to bind.
+  EXPECT_FALSE(topo::bindMemoryToNode(Mem, 8, 0));
+  // Nodes beyond any real machine are rejected without a syscall.
+  EXPECT_FALSE(topo::bindMemoryToNode(Mem, Bytes, 1u << 20));
+  ::operator delete(Mem);
+}
+
+TEST(PinnedThreads, WorkerRecordsItsPlanNode) {
+  // With pinning forced on, a pool worker that pins successfully must
+  // record the plan slot's node in its thread-local. Pinning can
+  // legitimately fail (restricted cpuset), in which case the node stays
+  // -1 -- assert only the successful-pin half of the contract.
+  setThreadPinning(true);
+  int WorkerNode = -2;
+  parallelFor(2, 2, [&](size_t I) {
+    if (I == 1)
+      WorkerNode = topo::currentThreadNode();
+  });
+  setThreadPinning(false);
+  const topo::PinPlan &Plan = topo::systemPinPlan();
+  if (WorkerNode != -1 && WorkerNode != -2) {
+    bool NodeInPlan = false;
+    for (const topo::PinSlot &Slot : Plan)
+      NodeInPlan |= static_cast<int>(Slot.Node) == WorkerNode;
+    EXPECT_TRUE(NodeInPlan);
+  }
+}
+
+} // namespace

@@ -29,6 +29,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/ClockKernels.h"
 #include "runtime/AnalysisSession.h"
 #include "runtime/IngestServer.h"
 #include "runtime/TraceIndex.h"
@@ -39,6 +40,7 @@
 #include "support/Socket.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
+#include "support/Topology.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -86,6 +88,9 @@ OptionRegistry buildRegistry() {
       .addFlag("pin-threads",
                "pin pool workers to CPUs (also PACER_PIN_THREADS=1); "
                "best-effort, no-op where unsupported")
+      .addFlag("cpu-info",
+               "print resolved kernel ISA, CPU/NUMA topology, and the "
+               "worker pin plan, then exit")
       .addFlag("submit",
                "send the trace files to a racedetectd daemon instead of "
                "analysing locally")
@@ -221,9 +226,10 @@ FileOutcome analyseFile(const std::string &Path,
     // are visible per file. Streamed sequential replay overlaps load
     // with analysis, so its load column is folded into analysis.
     std::snprintf(Buf, sizeof(Buf),
-                  "  load %.3f ms, index %.3f ms, analysis %.3f ms\n",
+                  "  load %.3f ms, index %.3f ms, analysis %.3f ms "
+                  "(kernel isa %s)\n",
                   Result.LoadSeconds * 1e3, Result.IndexSeconds * 1e3,
-                  Result.ReplaySeconds * 1e3);
+                  Result.ReplaySeconds * 1e3, Result.Isa);
     Out.Text += Buf;
     std::snprintf(Buf, sizeof(Buf),
                   "  peak thread slots %zu, live metadata %.1f KB%s\n",
@@ -344,6 +350,31 @@ int daemonStatsMode(const OptionRegistry &R) {
   return 0;
 }
 
+/// The one-stop hardware diagnostic: what the dispatcher resolved, what
+/// it could have picked, and where workers/slabs would land with pinning
+/// on.
+int cpuInfoMode(const OptionRegistry &R) {
+  using kernels::Isa;
+  if (R.getBool("pin-threads"))
+    setThreadPinning(true);
+  std::string Compiled;
+  for (Isa Kind : {Isa::Scalar, Isa::Sse2, Isa::Neon, Isa::Avx2}) {
+    if (!kernels::opsFor(Kind))
+      continue;
+    if (!Compiled.empty())
+      Compiled += "+";
+    Compiled += kernels::isaName(Kind);
+  }
+  std::printf("kernel isa: %s (detected %s, compiled %s)\n",
+              kernels::activeIsa(),
+              kernels::isaName(kernels::detectedIsa()), Compiled.c_str());
+  std::printf("topology: %s\n", topo::summary().c_str());
+  std::printf("pinning: %s (--pin-threads / PACER_PIN_THREADS=1)\n",
+              threadPinningEnabled() ? "on" : "off");
+  std::printf("pin plan: %s\n", topo::planSummary(16).c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -351,6 +382,8 @@ int main(int Argc, char **Argv) {
   if (!R.parse(Argc, Argv))
     return R.helpRequested() ? 0 : 2;
 
+  if (R.getBool("cpu-info"))
+    return cpuInfoMode(R);
   if (R.has("generate"))
     return generateMode(R);
   if (R.getBool("submit"))
