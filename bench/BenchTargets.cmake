@@ -19,6 +19,7 @@ set(PACER_BENCH_BINARIES
   ext_accordion_clocks
   micro_sharded
   micro_trace_io
+  micro_coldpath
 )
 
 foreach(bin ${PACER_BENCH_BINARIES})

@@ -1,0 +1,184 @@
+//===- bench/micro_coldpath.cpp - Phase-specialized batch engine bench ----==//
+//
+// Measures what the non-sampling cold batch kernels buy proportional
+// replay: for PACER at r in {0%, 1%, 3%, 25%, 100%} (plus fasttrack's
+// same-epoch pre-scan and literace's unsampled-run kernel), times replay
+// with DetectorSetup::ColdKernels on against the generic per-access batch
+// loop, and reports unsampled-access throughput and the cold-vs-generic
+// speedup. At r = 0 every access takes the cold path, so that row is the
+// pure cold-kernel cost -- the proportionality floor the paper's fig8/9
+// overhead curves stand on.
+//
+// Writes BENCH_coldpath.json; diffing it across commits tracks the perf
+// trajectory. Exits non-zero if the two engines ever disagree on any stat
+// counter or the dynamic race count, so the smoke-benchmark CI job
+// doubles as an equivalence check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ClockKernels.h"
+#include "runtime/AnalysisSession.h"
+#include "runtime/TraceIndex.h"
+#include "sim/TraceGenerator.h"
+#include "sim/Workloads.h"
+#include "support/CommandLine.h"
+#include "support/Stats.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace pacer;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  double Rate = 0.0; // Specified sampling rate (pacer rows).
+  double ColdMs = 0.0;
+  double GenericMs = 0.0;
+  uint64_t ColdAccesses = 0;
+  uint64_t HotAccesses = 0;
+  double speedup() const {
+    return ColdMs > 0.0 ? GenericMs / ColdMs : 0.0;
+  }
+  /// Cold-path (unsampled) accesses per second through the cold engine.
+  double coldEventsPerSec() const {
+    return ColdMs > 0.0 ? static_cast<double>(ColdAccesses) /
+                              (ColdMs / 1e3)
+                        : 0.0;
+  }
+};
+
+AnalysisRequest requestFor(const DetectorSetup &Setup, bool ColdKernels,
+                           uint64_t Seed) {
+  AnalysisRequest Request;
+  Request.Setup = Setup;
+  Request.Setup.Shards = 1;
+  Request.Setup.ShardJobs = 1;
+  Request.Setup.ColdKernels = ColdKernels;
+  Request.Seed = Seed;
+  Request.CollectReports = false;
+  return Request;
+}
+
+bool sameStats(const DetectorStats &A, const DetectorStats &B) {
+  return std::memcmp(&A, &B, sizeof(DetectorStats)) == 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  OptionRegistry R("micro_coldpath [options]");
+  R.addDouble("scale", 1.0, "workload scale factor")
+      .addInt("seed", 12345, "trace seed")
+      .addInt("reps", 7, "timed repetitions per point (median reported)")
+      .addString("json-out", "BENCH_coldpath.json", "JSON output path");
+  if (!R.parse(Argc, Argv))
+    return R.helpRequested() ? 0 : 2;
+  const double Scale = R.getDouble("scale");
+  const uint64_t Seed = static_cast<uint64_t>(R.getInt("seed"));
+  const auto Reps = static_cast<uint32_t>(R.getInt("reps"));
+  const std::string OutPath = R.getString("json-out");
+
+  CompiledWorkload Workload(scaleWorkload(mediumTestWorkload(), Scale));
+  Trace T = generateTrace(Workload, Seed);
+  const uint64_t Accesses = countTraceAccesses(T);
+  std::printf("trace: %zu events, %llu accesses (scale %g, isa %s)\n",
+              T.size(), static_cast<unsigned long long>(Accesses), Scale,
+              kernels::activeIsa());
+
+  // The pacer rate sweep plus the two other sampling detectors' kernels.
+  // Small simulated nursery so sampled rows cross many period boundaries
+  // and the run segmenter's phase routing is on the timed path.
+  std::vector<std::pair<std::string, DetectorSetup>> Points;
+  for (double Rate : {0.0, 0.01, 0.03, 0.25, 1.0}) {
+    DetectorSetup Setup = pacerSetup(Rate);
+    Setup.Sampling.PeriodBytes = 24 * 1024;
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "pacer_r%g", Rate * 100.0);
+    Points.emplace_back(Name, Setup);
+  }
+  Points.emplace_back("fasttrack", fastTrackSetup());
+  Points.emplace_back("literace", literaceSetup(100));
+
+  Timer Wall;
+  std::vector<Row> Rows;
+  bool Mismatch = false;
+  for (const auto &[Name, Setup] : Points) {
+    Row Out;
+    Out.Name = Name;
+    Out.Rate = Setup.Sampling.TargetRate;
+    AnalysisSession ColdSession(Workload, requestFor(Setup, true, Seed));
+    AnalysisSession GenericSession(Workload,
+                                   requestFor(Setup, false, Seed));
+    std::vector<double> ColdMs, GenericMs;
+    for (uint32_t Rep = 0; Rep < Reps; ++Rep) {
+      Timer Cold;
+      AnalysisResult ColdResult = ColdSession.analyzeTrace(T);
+      ColdMs.push_back(Cold.seconds() * 1e3);
+
+      Timer Generic;
+      AnalysisResult GenericResult = GenericSession.analyzeTrace(T);
+      GenericMs.push_back(Generic.seconds() * 1e3);
+
+      Out.ColdAccesses = ColdResult.ColdAccesses;
+      Out.HotAccesses = ColdResult.HotAccesses;
+      if (ColdResult.DynamicRaces != GenericResult.DynamicRaces ||
+          !sameStats(ColdResult.trial().Stats,
+                     GenericResult.trial().Stats)) {
+        std::fprintf(stderr,
+                     "ENGINE MISMATCH: %s cold %llu races vs generic "
+                     "%llu (or stat divergence)\n",
+                     Name.c_str(),
+                     static_cast<unsigned long long>(
+                         ColdResult.DynamicRaces),
+                     static_cast<unsigned long long>(
+                         GenericResult.DynamicRaces));
+        Mismatch = true;
+      }
+    }
+    Out.ColdMs = median(ColdMs);
+    Out.GenericMs = median(GenericMs);
+    Rows.push_back(Out);
+    std::printf("%-12s cold %8.2f ms  generic %8.2f ms  speedup %5.2fx  "
+                "cold-events/s %10.0f  hot/cold %llu/%llu\n",
+                Out.Name.c_str(), Out.ColdMs, Out.GenericMs, Out.speedup(),
+                Out.coldEventsPerSec(),
+                static_cast<unsigned long long>(Out.HotAccesses),
+                static_cast<unsigned long long>(Out.ColdAccesses));
+  }
+
+  std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(Out,
+               "{\n  \"workload\": \"%s\",\n  \"events\": %zu,\n"
+               "  \"accesses\": %llu,\n  \"reps\": %u,\n"
+               "  \"isa\": \"%s\",\n  \"points\": [\n",
+               Workload.spec().Name.c_str(), T.size(),
+               static_cast<unsigned long long>(Accesses), Reps,
+               kernels::activeIsa());
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &Row = Rows[I];
+    std::fprintf(Out,
+                 "    {\"detector\": \"%s\", \"rate\": %.4f, "
+                 "\"cold_ms\": %.3f, \"generic_ms\": %.3f, "
+                 "\"speedup\": %.3f, \"cold_events_per_sec\": %.0f, "
+                 "\"hot_accesses\": %llu, \"cold_accesses\": %llu}%s\n",
+                 Row.Name.c_str(), Row.Rate, Row.ColdMs, Row.GenericMs,
+                 Row.speedup(), Row.coldEventsPerSec(),
+                 static_cast<unsigned long long>(Row.HotAccesses),
+                 static_cast<unsigned long long>(Row.ColdAccesses),
+                 I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+  std::printf("wrote %s\n[timing] wall-clock %.2fs\n", OutPath.c_str(),
+              Wall.seconds());
+  return Mismatch ? 1 : 0;
+}

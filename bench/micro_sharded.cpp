@@ -29,7 +29,9 @@
 #include "support/Timer.h"
 #include "support/Topology.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -108,6 +110,51 @@ std::vector<NumaRow> measureNumaPlacement(const CompiledWorkload &Workload,
                     median(Ms)});
   }
   topo::setAllocationNodeOverride(-1);
+  return Rows;
+}
+
+/// Node spread of the first \p Workers slots of the worker-count-aware
+/// pin plan: "node0:2 node1:2". The leading slots are what a K-replica
+/// sharded replay actually occupies, so this is the placement the plan
+/// gives those replicas.
+std::string planSpread(const topo::Topology &T, unsigned Workers) {
+  topo::PinPlan Plan = topo::buildPinPlan(T, Workers);
+  std::string Out;
+  size_t Taken = 0;
+  for (const topo::NodeInfo &Node : T.Nodes) {
+    size_t OnNode = 0;
+    for (size_t I = 0; I != std::min<size_t>(Workers, Plan.size()); ++I)
+      OnNode += Plan[I].Node == Node.Id;
+    if (OnNode == 0)
+      continue;
+    if (!Out.empty())
+      Out += " ";
+    Out += "node" + std::to_string(Node.Id) + ":" + std::to_string(OnNode);
+    Taken += OnNode;
+  }
+  (void)Taken;
+  return Out;
+}
+
+struct PlanRow {
+  const char *Topo;
+  unsigned Workers;
+  std::string Spread;
+};
+
+/// Plan-shape column: the real topology for every shard count, plus a
+/// synthetic 2x4-CPU shape so the K > per-node-CPUs balancing case is
+/// exercised (and diffable) even on the single-node hosts CI runs on.
+std::vector<PlanRow> planShapeRows(const unsigned *ShardCounts, size_t N) {
+  std::vector<PlanRow> Rows;
+  const topo::Topology &Real = topo::systemTopology();
+  topo::Topology Synthetic = topo::topologyFromCpuLists({"0-3", "4-7"}, 8);
+  for (size_t I = 0; I != N; ++I) {
+    Rows.push_back({"system", ShardCounts[I],
+                    planSpread(Real, ShardCounts[I])});
+    Rows.push_back({"synthetic_2x4", ShardCounts[I],
+                    planSpread(Synthetic, ShardCounts[I])});
+  }
   return Rows;
 }
 
@@ -207,6 +254,11 @@ int main(int Argc, char **Argv) {
     std::printf("numa: pacer_r3 K=4 indexed, slabs on node%u (%s): "
                 "%8.2f ms\n",
                 NR.Node, NR.Placement, NR.IndexedMs);
+  std::vector<PlanRow> PlanRows =
+      planShapeRows(ShardCounts, std::size(ShardCounts));
+  for (const PlanRow &PR : PlanRows)
+    std::printf("numa: pin plan [%s] K=%u -> %s\n", PR.Topo, PR.Workers,
+                PR.Spread.c_str());
 
   std::FILE *Out = std::fopen(OutPath.c_str(), "w");
   if (!Out) {
@@ -228,6 +280,15 @@ int main(int Argc, char **Argv) {
                  "\"indexed_ms\": %.3f}%s\n",
                  NR.Node, NR.Placement, NR.IndexedMs,
                  I + 1 == NumaRows.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ],\n  \"numa_plan\": [\n");
+  for (size_t I = 0; I != PlanRows.size(); ++I) {
+    const PlanRow &PR = PlanRows[I];
+    std::fprintf(Out,
+                 "    {\"topology\": \"%s\", \"workers\": %u, "
+                 "\"spread\": \"%s\"}%s\n",
+                 PR.Topo, PR.Workers, PR.Spread.c_str(),
+                 I + 1 == PlanRows.size() ? "" : ",");
   }
   std::fprintf(Out, "  ],\n  \"points\": [\n");
   for (size_t I = 0; I != Rows.size(); ++I) {

@@ -1,7 +1,8 @@
 //===- core/ClockKernels.cpp - Runtime ISA dispatch -----------------------==//
 //
 // The scalar reference kernels plus the runtime dispatcher. Per-ISA SIMD
-// bodies live in core/kernels/ClockKernels{Sse2,Avx2,Neon}.cpp; this TU
+// bodies live in core/kernels/ClockKernels{Sse2,Avx2,Avx512,Neon}.cpp;
+// this TU
 // probes the hardware once (CPUID + xgetbv on x86-64), applies the
 // PACER_FORCE_ISA override, and installs a single function-pointer table
 // that every public kernel routes through.
@@ -84,12 +85,18 @@ Isa probeIsa() {
     return Isa::Scalar;
   const bool HasSse2 = (Edx & bit_SSE2) != 0;
   // AVX needs CPU support *and* OS-managed YMM state: OSXSAVE set and
-  // XCR0 enabling both XMM (bit 1) and YMM (bit 2) saves.
-  const bool OsAvx = (Ecx & bit_OSXSAVE) != 0 && (Ecx & bit_AVX) != 0 &&
-                     (xgetbv0() & 0x6) == 0x6;
-  if (OsAvx && __get_cpuid_count(7, 0, &Eax, &Ebx, &Ecx, &Edx) &&
-      (Ebx & bit_AVX2) != 0)
-    return Isa::Avx2;
+  // XCR0 enabling both XMM (bit 1) and YMM (bit 2) saves. AVX-512
+  // additionally needs opmask (bit 5) and ZMM/Hi16-ZMM (bits 6-7) state.
+  const bool HasOsxsave = (Ecx & bit_OSXSAVE) != 0 && (Ecx & bit_AVX) != 0;
+  const uint64_t Xcr0 = HasOsxsave ? xgetbv0() : 0;
+  const bool OsAvx = HasOsxsave && (Xcr0 & 0x6) == 0x6;
+  if (OsAvx && __get_cpuid_count(7, 0, &Eax, &Ebx, &Ecx, &Edx)) {
+    if ((Xcr0 & 0xe6) == 0xe6 && (Ebx & bit_AVX512F) != 0 &&
+        (Ebx & bit_AVX512BW) != 0)
+      return Isa::Avx512;
+    if ((Ebx & bit_AVX2) != 0)
+      return Isa::Avx2;
+  }
   return HasSse2 ? Isa::Sse2 : Isa::Scalar;
 #elif defined(__aarch64__) && defined(__ARM_NEON)
   return Isa::Neon;
@@ -113,9 +120,12 @@ bool isaSupported(Isa Kind) {
   case Isa::Scalar:
     return true;
   case Isa::Sse2:
-    return detectedIsa() == Isa::Sse2 || detectedIsa() == Isa::Avx2;
+    return detectedIsa() == Isa::Sse2 || detectedIsa() == Isa::Avx2 ||
+           detectedIsa() == Isa::Avx512;
   case Isa::Avx2:
-    return detectedIsa() == Isa::Avx2;
+    return detectedIsa() == Isa::Avx2 || detectedIsa() == Isa::Avx512;
+  case Isa::Avx512:
+    return detectedIsa() == Isa::Avx512;
   case Isa::Neon:
     return detectedIsa() == Isa::Neon;
   }
@@ -123,7 +133,7 @@ bool isaSupported(Isa Kind) {
 }
 
 Isa bestAvailableIsa() {
-  for (Isa Kind : {Isa::Avx2, Isa::Neon, Isa::Sse2})
+  for (Isa Kind : {Isa::Avx512, Isa::Avx2, Isa::Neon, Isa::Sse2})
     if (isaAvailable(Kind))
       return Kind;
   return Isa::Scalar;
@@ -166,12 +176,15 @@ const char *isaName(Isa Kind) {
     return "neon";
   case Isa::Avx2:
     return "avx2";
+  case Isa::Avx512:
+    return "avx512";
   }
   return "unknown";
 }
 
 bool parseIsaName(const char *Text, Isa &Out) {
-  for (Isa Kind : {Isa::Scalar, Isa::Sse2, Isa::Neon, Isa::Avx2}) {
+  for (Isa Kind :
+       {Isa::Scalar, Isa::Sse2, Isa::Neon, Isa::Avx2, Isa::Avx512}) {
     if (std::strcmp(Text, isaName(Kind)) == 0) {
       Out = Kind;
       return true;
@@ -193,6 +206,8 @@ const KernelOps *opsFor(Isa Kind) {
     return detail::sse2KernelOps();
   case Isa::Avx2:
     return detail::avx2KernelOps();
+  case Isa::Avx512:
+    return detail::avx512KernelOps();
   case Isa::Neon:
     return detail::neonKernelOps();
   }

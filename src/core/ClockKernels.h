@@ -12,11 +12,12 @@
 /// layer, so the SIMD width is chosen in exactly one place.
 ///
 /// The ISA is selected at **runtime**: every per-ISA implementation that
-/// the target can express is compiled into the binary (the AVX2 kernels
-/// get their own -mavx2 translation unit, independent of the base -march),
-/// and a one-time CPUID/xgetbv probe picks the best path the executing
-/// host and OS actually support. A binary built with baseline -march runs
-/// AVX2 on AVX2 hosts and degrades to SSE2/scalar elsewhere. Configuring
+/// the target can express is compiled into the binary (the AVX2 and
+/// AVX-512 kernels get their own -mavx2 / -mavx512f translation units,
+/// independent of the base -march), and a one-time CPUID/xgetbv probe
+/// picks the best path the executing host and OS actually support. A
+/// binary built with baseline -march runs AVX-512 on AVX-512 hosts and
+/// degrades to AVX2/SSE2/scalar elsewhere. Configuring
 /// with -DPACER_DISABLE_SIMD=ON compiles only the scalar entry, so the
 /// dispatcher resolves to scalar no matter what the host offers.
 ///
@@ -43,9 +44,10 @@
 
 namespace pacer::kernels {
 
-/// The ISA families a kernel implementation can target. Sse2/Avx2 exist
-/// only on x86-64 builds, Neon only on aarch64; Scalar always exists.
-enum class Isa : uint8_t { Scalar = 0, Sse2, Neon, Avx2 };
+/// The ISA families a kernel implementation can target. Sse2/Avx2/Avx512
+/// exist only on x86-64 builds, Neon only on aarch64; Scalar always
+/// exists.
+enum class Isa : uint8_t { Scalar = 0, Sse2, Neon, Avx2, Avx512 };
 
 /// One dispatch table entry: the kernel function pointers for a single
 /// ISA, plus identification. copyWords is not in the table -- it is always
@@ -87,7 +89,8 @@ size_t trimTrailingZeros(const uint32_t *A, size_t N);
 void remapGather(uint32_t *Dst, const uint32_t *Src, const uint32_t *Idx,
                  size_t N);
 
-/// Lowercase name of an ISA ("avx2", "sse2", "neon", "scalar").
+/// Lowercase name of an ISA ("avx512", "avx2", "sse2", "neon",
+/// "scalar").
 const char *isaName(Isa Kind);
 
 /// Parses an ISA name (as accepted by PACER_FORCE_ISA, case-sensitive

@@ -27,6 +27,10 @@ const KernelOps *sse2KernelOps();
 /// flag is applied per-file by CMake so the base -march stays baseline).
 const KernelOps *avx2KernelOps();
 
+/// nullptr unless the AVX-512 TU was compiled with -mavx512f -mavx512bw
+/// (x86-64 only; per-file flags, same scheme as AVX2).
+const KernelOps *avx512KernelOps();
+
 /// nullptr unless built for aarch64 NEON without PACER_DISABLE_SIMD.
 const KernelOps *neonKernelOps();
 

@@ -106,6 +106,20 @@ struct DetectorStats {
   uint64_t totalWrites() const {
     return WriteSlowSampling + WriteSlowNonSampling + WriteFastNonSampling;
   }
+
+  /// Accesses analysed on the hot (sampling / full-analysis) path. For a
+  /// sampling detector this is the r-proportional slice of the trace; for
+  /// FastTrack and GENERIC it is every access.
+  uint64_t hotAccesses() const { return ReadSlowSampling + WriteSlowSampling; }
+
+  /// Accesses handled on the cold (non-sampling) path: the inlined
+  /// fast-path returns plus the non-sampling slow path that discards
+  /// metadata. At PACER's operating rates this is >97% of the trace, so
+  /// its per-event cost *is* the overhead curve (Figures 8-9).
+  uint64_t coldAccesses() const {
+    return ReadSlowNonSampling + ReadFastNonSampling + WriteSlowNonSampling +
+           WriteFastNonSampling;
+  }
 };
 
 /// Abstract dynamic race detector.

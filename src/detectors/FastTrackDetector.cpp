@@ -105,7 +105,44 @@ void FastTrackDetector::accessBatch(std::span<const Action> Batch,
   ThreadId Slot = InvalidId;
   const VectorClock *Clock = nullptr;
   Epoch Current;
-  for (const Action &A : Batch) {
+
+  if (!Config.UseColdBatchKernel) {
+    for (const Action &A : Batch) {
+      if (!Shard.owns(A.Target))
+        continue;
+      if (A.Tid != CurrentTid) {
+        CurrentTid = A.Tid;
+        Slot = Sync.slotOf(A.Tid);
+        Clock = &Sync.ensureThread(Slot);
+        Current = Epoch::make(Clock->get(Slot), Slot);
+      }
+      if (A.Kind == ActionKind::Read)
+        readWith(*Clock, Current, Slot, A.Target, A.Site);
+      else
+        writeWith(*Clock, Current, Slot, A.Target, A.Site);
+    }
+    return;
+  }
+
+  // Same-epoch pre-scan: Algorithm 7/8's O(1) path is a pure predicate of
+  // (VarState, Current) with no side effect beyond one stat increment --
+  // readWith()/writeWith() bump their counter *before* the check and the
+  // check-passing path does nothing else. Testing it inline against the
+  // dense Vars vector (prefetched a few accesses ahead) and deferring the
+  // counters keeps repeated same-variable runs -- the overwhelmingly
+  // common shape -- free of call and table-resize overhead. The predicate
+  // requires Var < Vars.size(): a fresh entry has a null read map and no
+  // write epoch, so ensureVar's resize cannot change its outcome.
+  constexpr size_t PrefetchDistance = 8;
+  const size_t N = Batch.size();
+  uint64_t SameEpochReads = 0, SameEpochWrites = 0;
+  for (size_t I = 0; I < N; ++I) {
+    if (I + PrefetchDistance < N) {
+      const VarId Ahead = Batch[I + PrefetchDistance].Target;
+      if (Ahead < Vars.size())
+        __builtin_prefetch(&Vars[Ahead]);
+    }
+    const Action &A = Batch[I];
     if (!Shard.owns(A.Target))
       continue;
     if (A.Tid != CurrentTid) {
@@ -114,11 +151,25 @@ void FastTrackDetector::accessBatch(std::span<const Action> Batch,
       Clock = &Sync.ensureThread(Slot);
       Current = Epoch::make(Clock->get(Slot), Slot);
     }
-    if (A.Kind == ActionKind::Read)
+    if (A.Kind == ActionKind::Read) {
+      if (A.Target < Vars.size()) {
+        const VarState &State = Vars[A.Target];
+        if (State.R.isEpoch() && State.R.epoch() == Current) {
+          ++SameEpochReads;
+          continue;
+        }
+      }
       readWith(*Clock, Current, Slot, A.Target, A.Site);
-    else
+    } else {
+      if (A.Target < Vars.size() && Vars[A.Target].W == Current) {
+        ++SameEpochWrites;
+        continue;
+      }
       writeWith(*Clock, Current, Slot, A.Target, A.Site);
+    }
   }
+  Stats.ReadSlowSampling += SameEpochReads;
+  Stats.WriteSlowSampling += SameEpochWrites;
 }
 
 size_t FastTrackDetector::recycleDeadSlots() {

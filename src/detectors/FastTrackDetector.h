@@ -46,6 +46,13 @@ struct FastTrackConfig {
   /// detector: a dominated dead thread's accesses can never again be the
   /// first access of a race, so purging them changes no report.
   bool UseAccordionClocks = false;
+
+  /// Filter same-epoch (O(1)-path) accesses in accessBatch with an inline
+  /// pre-scan -- prefetched table reads and deferred counters -- before
+  /// falling into the clock-comparing slow path. Observationally identical
+  /// to dispatching every access through readWith()/writeWith();
+  /// disabling it forces that generic loop (the micro_coldpath baseline).
+  bool UseColdBatchKernel = true;
 };
 
 /// FastTrack: epochs for writes, adaptive epoch/map for reads.
@@ -90,7 +97,10 @@ public:
   /// Batched epoch dispatch that hoists the per-access thread-clock
   /// lookup: no synchronization runs inside an epoch, so a thread's clock
   /// and epoch are loop invariants across consecutive accesses by the
-  /// same thread.
+  /// same thread. With UseColdBatchKernel the loop additionally performs
+  /// the same-epoch check inline -- Algorithm 7/8's O(1) path becomes a
+  /// prefetched table read plus a deferred counter, and only accesses that
+  /// fail it pay the readWith()/writeWith() call.
   using Detector::accessBatch;
   void accessBatch(std::span<const Action> Batch,
                    const AccessShard &Shard) override;

@@ -175,6 +175,36 @@ void LiteRaceDetector::accessBatch(std::span<const Action> Batch,
                                    const AccessShard &Shard) {
   Arena::Scope MetadataScope(&Metadata);
   if (Plan) {
+    // Cold kernel: one bitmap range test proves the whole batch unsampled
+    // (the common case once hot methods decay), after which every owned
+    // access is a fast-path counter bump and nothing else -- fold them
+    // branchlessly and return. Valid only for contiguous trace runs: a
+    // batch from the trace index or the segmenter is one [From, To) slice
+    // of the position space.
+    if (Config.UseColdBatchKernel && !Batch.empty()) {
+      const size_t From = static_cast<size_t>(Batch.data() - Plan->Base);
+      if (Plan->noneSampled(From, From + Batch.size())) {
+        // Owned reads are the owned remainder after counting owned
+        // writes: one byte per action when the shard owns everything.
+        uint64_t Writes = 0;
+        if (Shard.ownsAll()) {
+          for (const Action &A : Batch)
+            Writes += A.Kind != ActionKind::Read;
+          Stats.ReadFastNonSampling += Batch.size() - Writes;
+        } else {
+          uint64_t Owned = 0;
+          for (const Action &A : Batch) {
+            const uint64_t Own = A.Target % Shard.count() == Shard.index();
+            Owned += Own;
+            Writes +=
+                Own & static_cast<uint64_t>(A.Kind != ActionKind::Read);
+          }
+          Stats.ReadFastNonSampling += Owned - Writes;
+        }
+        Stats.WriteFastNonSampling += Writes;
+        return;
+      }
+    }
     // Planned replay: decisions are precomputed per trace position, so
     // foreign accesses cost nothing and the batch may be a filtered
     // owned-only run from the trace index.

@@ -562,23 +562,12 @@ void PacerDetector::accessBatch(std::span<const Action> Batch,
   Arena::Scope MetadataScope(&Metadata);
   if (!Config.InstrumentReadsWrites)
     return;
-  // Bulk fast path: every access in the epoch is the inlined
-  // "flag test + lookup miss" (Section 4). Non-sampling accesses never
-  // insert metadata and nothing else runs inside an epoch, so Vars stays
-  // empty for the whole batch; count the owned accesses and return.
-  // (Accordion clocks need the per-access path for slot bookkeeping.)
-  if (!Sampling && Vars.empty() && !Config.UseAccordionClocks) {
-    uint64_t Reads = 0, Writes = 0;
-    for (const Action &A : Batch) {
-      if (!Shard.owns(A.Target))
-        continue;
-      if (A.Kind == ActionKind::Read)
-        ++Reads;
-      else
-        ++Writes;
-    }
-    Stats.ReadFastNonSampling += Reads;
-    Stats.WriteFastNonSampling += Writes;
+  // Phase routing: the replay layer never lets a period boundary fall
+  // inside a batch, so the sampling flag is epoch-invariant and one test
+  // here selects the kernel for the whole run. (Accordion clocks need the
+  // per-access path for slot bookkeeping.)
+  if (Config.UseColdBatchKernel && !Sampling && !Config.UseAccordionClocks) {
+    coldAccessBatch(Batch, Shard);
     return;
   }
   for (const Action &A : Batch) {
@@ -589,6 +578,84 @@ void PacerDetector::accessBatch(std::span<const Action> Batch,
     else
       write(A.Tid, A.Target, A.Site);
   }
+}
+
+void PacerDetector::coldAccessBatch(std::span<const Action> Batch,
+                                    const AccessShard &Shard) {
+  // Bulk fast path: every access in the epoch is the inlined
+  // "flag test + lookup miss" (Section 4). Non-sampling accesses never
+  // insert metadata and nothing else runs inside an epoch, so Vars stays
+  // empty for the whole batch; count the owned accesses and return.
+  if (Vars.empty()) {
+    // Owned reads are the owned remainder after counting owned writes, so
+    // the unsharded loop touches one byte per action and nothing else.
+    uint64_t Writes = 0;
+    if (Shard.ownsAll()) {
+      for (const Action &A : Batch)
+        Writes += A.Kind != ActionKind::Read;
+      Stats.ReadFastNonSampling += Batch.size() - Writes;
+    } else {
+      uint64_t Owned = 0;
+      for (const Action &A : Batch) {
+        const uint64_t Own = A.Target % Shard.count() == Shard.index();
+        Owned += Own;
+        Writes += Own & static_cast<uint64_t>(A.Kind != ActionKind::Read);
+      }
+      Stats.ReadFastNonSampling += Owned - Writes;
+    }
+    Stats.WriteFastNonSampling += Writes;
+    return;
+  }
+
+  // Some variables still hold metadata (a sampling period ended recently
+  // and its records have not all been discarded). Stage owned accesses
+  // block-wise into struct-of-arrays, issuing the probe-line prefetch for
+  // each key as it is staged; by the time the probe loop reaches a key,
+  // the staging of the rest of the block (tens of probes) has covered the
+  // prefetch latency. Decisions are never staged -- each probe runs
+  // against the live table, because a hit's read()/write() may erase
+  // entries (hit decisions can go stale in the hit -> miss direction).
+  constexpr size_t BlockSize = 64;
+  VarId Keys[BlockSize];
+  ThreadId Tids[BlockSize];
+  SiteId Sites[BlockSize];
+  uint8_t IsWrite[BlockSize];
+
+  uint64_t FastReads = 0, FastWrites = 0;
+  const size_t N = Batch.size();
+  for (size_t Begin = 0; Begin < N; Begin += BlockSize) {
+    const size_t End = Begin + BlockSize < N ? Begin + BlockSize : N;
+    size_t Staged = 0;
+    for (size_t I = Begin; I < End; ++I) {
+      const Action &A = Batch[I];
+      if (!Shard.owns(A.Target))
+        continue;
+      Keys[Staged] = A.Target;
+      Tids[Staged] = A.Tid;
+      Sites[Staged] = A.Site;
+      IsWrite[Staged] = A.Kind != ActionKind::Read;
+      ++Staged;
+      Vars.prefetch(A.Target);
+    }
+    for (size_t J = 0; J < Staged; ++J) {
+      if (Vars.find(Keys[J])) {
+        // Rare: tracked metadata. The full slow path re-probes a line the
+        // block prefetch already pulled in and keeps the discard rules in
+        // exactly one place.
+        if (IsWrite[J])
+          write(Tids[J], Keys[J], Sites[J]);
+        else
+          read(Tids[J], Keys[J], Sites[J]);
+        continue;
+      }
+      // Miss: the inlined fast path, folded into branchless counters.
+      const uint64_t W = IsWrite[J];
+      FastWrites += W;
+      FastReads += W ^ 1;
+    }
+  }
+  Stats.ReadFastNonSampling += FastReads;
+  Stats.WriteFastNonSampling += FastWrites;
 }
 
 size_t PacerDetector::accessMetadataBytes() const {

@@ -83,6 +83,15 @@ struct PacerConfig {
   /// the detector additionally sweeps at sampling-period boundaries (the
   /// paper's GC moments). Implemented on the core SlotRecycler.
   bool UseAccordionClocks = false;
+
+  /// Route non-sampling epochs through the phase-specialized cold batch
+  /// kernel (coldAccessBatch): block-staged probes with software prefetch
+  /// and batched fast-path counters instead of per-access dispatch.
+  /// Observationally identical to the per-access loop; disabling it forces
+  /// the generic loop, which is the baseline the micro_coldpath benchmark
+  /// measures the kernel against. (Accordion clocks always take the
+  /// per-access path for slot bookkeeping.)
+  bool UseColdBatchKernel = true;
 };
 
 /// PACER: proportional sampling race detection on top of FastTrack.
@@ -105,10 +114,12 @@ public:
   void read(ThreadId Tid, VarId Var, SiteId Site) override;
   void write(ThreadId Tid, VarId Var, SiteId Site) override;
 
-  /// Batched epoch dispatch with a bulk fast path: outside sampling
-  /// periods with no tracked variables, a whole epoch reduces to two
-  /// counter additions (non-sampling accesses never create metadata, so
-  /// the emptiness check is loop-invariant).
+  /// Batched epoch dispatch, phase-routed: the replay layer guarantees no
+  /// sampling-period boundary falls inside a batch, so the sampling flag
+  /// is loop-invariant and one test picks the whole epoch's kernel --
+  /// coldAccessBatch() outside sampling periods, the per-access loop
+  /// inside them (sampling accesses mutate metadata on every access, so
+  /// there is nothing to batch away).
   using Detector::accessBatch;
   void accessBatch(std::span<const Action> Batch,
                    const AccessShard &Shard) override;
@@ -252,6 +263,18 @@ private:
 
   /// Algorithm 16 / Table 7 Rules 7-9: V_x <- V_x join C_t.
   void joinIntoVolatile(SyncObjState &Vol, ThreadId Tid);
+
+  /// The non-sampling cold kernel: analyses one phase-pure epoch with no
+  /// per-access dispatch. With no tracked variables the epoch reduces to
+  /// two counter additions (non-sampling accesses never insert metadata,
+  /// so emptiness is loop-invariant downward). Otherwise accesses are
+  /// staged block-wise into (var, tid, isWrite) struct-of-arrays, the
+  /// FlatVarTable probe line of each staged key is prefetched a block
+  /// ahead of its probe, misses fold into branchless fast-path counters,
+  /// and only hits -- rare at low rates -- fall through to the full
+  /// read()/write() discard logic. Bit-identical to the per-access loop.
+  void coldAccessBatch(std::span<const Action> Batch,
+                       const AccessShard &Shard);
 
   void reportPriorWriteRace(const VarState &State, VarId Var, ThreadId Tid,
                             AccessKind Kind, SiteId Site);

@@ -64,6 +64,7 @@ pacer::measureOverheads(const CompiledWorkload &Workload,
   // and the median aggregation below is order-insensitive anyway.
   struct TrialSeconds {
     std::vector<double> PerConfig;
+    std::vector<uint64_t> Hot, Cold;
     uint64_t Events = 0;
   };
   std::vector<TrialSeconds> PerTrial =
@@ -81,20 +82,26 @@ pacer::measureOverheads(const CompiledWorkload &Workload,
           Request.Setup = Config.Setup;
           Request.Seed = Seed;
           Request.CollectReports = false; // Timing only; skip report copies.
-          Out.PerConfig.push_back(AnalysisSession(Workload, Request)
-                                      .analyzeTrace(T, Index ? &*Index
-                                                             : nullptr)
-                                      .ReplaySeconds);
+          AnalysisResult Result =
+              AnalysisSession(Workload, Request)
+                  .analyzeTrace(T, Index ? &*Index : nullptr);
+          Out.PerConfig.push_back(Result.ReplaySeconds);
+          Out.Hot.push_back(Result.HotAccesses);
+          Out.Cold.push_back(Result.ColdAccesses);
         }
         return Out;
       });
 
   std::vector<std::vector<double>> Seconds(Configs.size());
+  std::vector<uint64_t> Hot(Configs.size(), 0), Cold(Configs.size(), 0);
   uint64_t TotalEvents = 0;
   for (const TrialSeconds &Trial : PerTrial) {
     TotalEvents += Trial.Events;
-    for (size_t I = 0; I != Configs.size(); ++I)
+    for (size_t I = 0; I != Configs.size(); ++I) {
       Seconds[I].push_back(Trial.PerConfig[I]);
+      Hot[I] += Trial.Hot[I];
+      Cold[I] += Trial.Cold[I];
+    }
   }
 
   double AvgEvents = Trials == 0 ? 0.0
@@ -113,6 +120,8 @@ pacer::measureOverheads(const CompiledWorkload &Workload,
     Result.EventsPerSecond = Result.MedianSeconds > 0.0
                                  ? AvgEvents / Result.MedianSeconds
                                  : 0.0;
+    Result.HotAccesses = Hot[I];
+    Result.ColdAccesses = Cold[I];
     Results.push_back(Result);
   }
   return Results;

@@ -38,6 +38,13 @@ struct OverheadResult {
   double Slowdown = 1.0;
   /// Events per second of replay, for absolute context.
   double EventsPerSecond = 0.0;
+  /// Accesses analysed within a sampling period (full detection cost) vs
+  /// outside one (non-sampling fast path), summed across trials. The split
+  /// attributes fig7 overhead growth to sampled work: proportional
+  /// detectors keep HotAccesses near rate * total while cold accesses
+  /// dominate at low rates.
+  uint64_t HotAccesses = 0;
+  uint64_t ColdAccesses = 0;
 };
 
 /// Times every configuration on the same \p Trials traces. The first

@@ -83,16 +83,19 @@ std::unique_ptr<Detector> pacer::makeDetector(const DetectorSetup &Setup,
   case DetectorKind::FastTrack: {
     FastTrackConfig Config = Setup.FastTrack;
     Config.UseAccordionClocks |= Setup.AccordionClocks;
+    Config.UseColdBatchKernel &= Setup.ColdKernels;
     return std::make_unique<FastTrackDetector>(Sink, Config);
   }
   case DetectorKind::Pacer: {
     PacerConfig Config = Setup.Pacer;
     Config.UseAccordionClocks |= Setup.AccordionClocks;
+    Config.UseColdBatchKernel &= Setup.ColdKernels;
     return std::make_unique<PacerDetector>(Sink, Config);
   }
   case DetectorKind::LiteRace: {
     LiteRaceConfig Config = Setup.LiteRace;
     Config.UseAccordionClocks |= Setup.AccordionClocks;
+    Config.UseColdBatchKernel &= Setup.ColdKernels;
     return std::make_unique<LiteRaceDetector>(Sink, Workload.siteToMethod(),
                                               Seed ^ 0x4c495445u /*"LITE"*/,
                                               Config);
@@ -183,6 +186,8 @@ void replaySpan(const CompiledWorkload &Workload,
     Out.Races = std::move(Sharded.Races);
     Out.DynamicRaces = Sharded.DynamicRaces;
     Out.Stats = Sharded.Stats;
+    Out.HotAccesses = Sharded.Stats.hotAccesses();
+    Out.ColdAccesses = Sharded.Stats.coldAccesses();
     Out.EffectiveAccessRate = Sharded.EffectiveAccessRate;
     Out.EffectiveSyncRate = Sharded.EffectiveSyncRate;
     Out.Boundaries = Sharded.Boundaries;
@@ -216,6 +221,8 @@ void replaySpan(const CompiledWorkload &Workload,
   Out.Races = Log.counts();
   Out.DynamicRaces = Log.dynamicCount();
   Out.Stats = D->stats();
+  Out.HotAccesses = Out.Stats.hotAccesses();
+  Out.ColdAccesses = Out.Stats.coldAccesses();
   if (Controller) {
     Out.EffectiveAccessRate = Controller->effectiveAccessRate();
     Out.EffectiveSyncRate = Controller->effectiveSyncRate();
@@ -327,6 +334,8 @@ AnalysisSession::analyzeStream(StreamingTraceReader &Reader) const {
   Result.Races = Log.counts();
   Result.DynamicRaces = Log.dynamicCount();
   Result.Stats = D->stats();
+  Result.HotAccesses = Result.Stats.hotAccesses();
+  Result.ColdAccesses = Result.Stats.coldAccesses();
   if (Controller) {
     Result.EffectiveAccessRate = Controller->effectiveAccessRate();
     Result.EffectiveSyncRate = Controller->effectiveSyncRate();

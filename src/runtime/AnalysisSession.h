@@ -90,6 +90,12 @@ struct DetectorSetup {
   /// Race reports are identical with it on or off; clocks and metadata
   /// stay O(live threads) instead of O(threads ever started).
   bool AccordionClocks = false;
+  /// Phase-specialized cold batch kernels (PACER's non-sampling batch,
+  /// FastTrack's same-epoch pre-scan, LiteRace's unsampled-run counting):
+  /// AND'd into the per-detector UseColdBatchKernel flags in makeDetector.
+  /// Results are bit-identical with the kernels on or off; off forces the
+  /// generic per-access batch loops (the micro_coldpath baseline).
+  bool ColdKernels = true;
   PacerConfig Pacer;
   FastTrackConfig FastTrack;
   LiteRaceConfig LiteRace;
@@ -189,6 +195,13 @@ struct AnalysisResult {
   double ReplaySeconds = 0.0;
   size_t FinalMetadataBytes = 0;
   size_t PeakSlotCount = 0;
+  /// Accesses analysed on the hot (sampling / full-analysis) path vs.
+  /// handled on the cold (non-sampling fast or discard) path -- the
+  /// DetectorStats split, surfaced so Figure 7's overhead breakdown and
+  /// racedetect --times can attribute time per phase. Hot + Cold equals
+  /// the analysed access count.
+  uint64_t HotAccesses = 0;
+  uint64_t ColdAccesses = 0;
   /// Up to 32 full reports (RaceLog's cap). Under sharded replay the set
   /// matches sequential replay but the cross-shard order does not; sort
   /// before printing for order-independent output.

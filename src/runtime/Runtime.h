@@ -82,45 +82,45 @@ public:
   /// leaving the runtime ready for the next chunk. Feeding a trace in any
   /// chunking is observationally identical to one replay() call: access
   /// batches never carry detector-visible state across their edges (every
-  /// accessBatch override is equivalent to its per-access loop), so a
-  /// chunk edge merely splits a batch. This is what lets a
-  /// StreamingTraceReader drive replay from a bounded window.
+  /// accessBatch override is equivalent to its per-access loop) and the
+  /// controller's bulk advance is splittable at any point, so a chunk
+  /// edge merely splits a batch. This is what lets a StreamingTraceReader
+  /// drive replay from a bounded window.
+  ///
+  /// Access runs are processed at run granularity, not per access: the
+  /// scan locates each maximal run of data accesses (recording thread
+  /// first sights on the way), and deliverRun() segments it with the
+  /// controller's closed-form boundary arithmetic. Every accessBatch the
+  /// detector sees is phase-pure -- period toggles happen only between
+  /// sub-spans -- and controller cost is O(boundaries + first sights) per
+  /// run instead of two calls per access. The detector observes exactly
+  /// the per-action hook order: batch flushes before a threadBegin or
+  /// toggle at the same position, threadBegin before the toggle, and the
+  /// boundary-firing access delivered after the toggle.
   void replayChunk(TraceSpan T, const AccessShard &Shard) {
     const size_t N = T.size();
-    size_t BatchBegin = 0; // Pending accesses are [BatchBegin, I).
-    auto Flush = [&](size_t End) {
-      if (BatchBegin < End)
-        D.accessBatch(
-            std::span<const Action>(T.data() + BatchBegin, End - BatchBegin),
-            Shard);
-      BatchBegin = End;
-    };
-    for (size_t I = 0; I < N; ++I) {
+    size_t I = 0;
+    while (I < N) {
       const Action &A = T[I];
-      if (firstSight(A.Tid)) {
-        Flush(I);
-        D.threadBegin(A.Tid);
-      }
-      if (isAccessAction(A.Kind)) {
-        if (Controller) {
-          // A boundary toggles the detector's sampling state inline; the
-          // pending accesses must land before it. Non-boundary accounting
-          // never touches the detector, so it is safe to run ahead of the
-          // batch.
-          if (Controller->boundaryImminent(A.Kind))
-            Flush(I);
+      if (!isAccessAction(A.Kind)) {
+        if (firstSight(A.Tid))
+          D.threadBegin(A.Tid);
+        if (Controller)
           Controller->beforeAction(A.Kind, D);
-        }
-        continue; // Stays pending until the epoch closes.
+        dispatch(A);
+        ++I;
+        continue;
       }
-      // A synchronization action or thread exit closes the epoch.
-      Flush(I);
-      if (Controller)
-        Controller->beforeAction(A.Kind, D);
-      dispatch(A);
-      BatchBegin = I + 1;
+      // Maximal access run [I, RunEnd); mark first sights while scanning
+      // (positions are split points inside the run).
+      FirstSights.clear();
+      size_t RunEnd = I;
+      for (; RunEnd < N && isAccessAction(T[RunEnd].Kind); ++RunEnd)
+        if (firstSight(T[RunEnd].Tid))
+          FirstSights.push_back(RunEnd);
+      deliverRun(T, I, RunEnd, Shard);
+      I = RunEnd;
     }
-    Flush(N);
   }
 
   /// Routes \p A to the detector hook it instruments.
@@ -174,6 +174,54 @@ public:
   }
 
 private:
+  /// Delivers one access run [\p Begin, \p End) of \p T as phase-pure
+  /// sub-spans. Split points are thread first sights (FirstSights, filled
+  /// by the run scan; threadBegin precedes a boundary toggle at the same
+  /// position, as in the per-action loop) and controller period
+  /// boundaries located by accessRunBoundaryIndex(). Following
+  /// advanceAccessRun()'s contract, the segment strictly before a
+  /// boundary is delivered under the old sampling state and the firing
+  /// access re-joins the next segment under the new one; the controller's
+  /// counter and RNG streams are bit-identical to a per-access
+  /// beforeAction() loop.
+  void deliverRun(TraceSpan T, size_t Begin, size_t End,
+                  const AccessShard &Shard) {
+    size_t SegBegin = Begin;
+    size_t FsIdx = 0;
+    auto Deliver = [&](size_t To) {
+      if (SegBegin < To)
+        D.accessBatch(
+            std::span<const Action>(T.data() + SegBegin, To - SegBegin),
+            Shard);
+      SegBegin = To;
+    };
+    size_t Accounted = Begin;
+    while (true) {
+      const uint64_t Left = End - Accounted;
+      const uint64_t Fire =
+          Controller && Left ? Controller->accessRunBoundaryIndex(Left) : 0;
+      const size_t StopPos =
+          Fire ? Accounted + static_cast<size_t>(Fire) - 1 : End;
+      while (FsIdx < FirstSights.size() && FirstSights[FsIdx] <= StopPos) {
+        Deliver(FirstSights[FsIdx]);
+        D.threadBegin(T[FirstSights[FsIdx]].Tid);
+        ++FsIdx;
+      }
+      if (!Fire) {
+        Deliver(End);
+        if (Controller && Left)
+          Controller->advanceAccessRun(Left, D); // No boundary: accounting
+                                                 // only, no toggle.
+        return;
+      }
+      Deliver(StopPos);
+      Controller->advanceAccessRun(Left, D); // Toggles the detector; the
+                                             // firing access (StopPos) is
+                                             // delivered post-toggle.
+      Accounted = StopPos + 1;
+    }
+  }
+
   /// True exactly once per thread, at its first action.
   bool firstSight(ThreadId Tid) {
     if (Tid >= Seen.size())
@@ -188,6 +236,9 @@ private:
   SamplingController *Controller;
   bool Started = false;
   std::vector<bool> Seen;
+  /// Scratch: first-sight positions within the access run being
+  /// delivered (reused across runs to stay allocation-free).
+  std::vector<size_t> FirstSights;
 };
 
 } // namespace pacer

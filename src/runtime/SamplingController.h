@@ -115,9 +115,11 @@ public:
   AccessRunAdvance advanceAccessRun(uint64_t N, Detector &D);
 
   /// True iff the next beforeAction(\p Kind, ...) call would fire a period
-  /// boundary. Pure query, mirrors beforeAction's charge computation; the
-  /// batched replay loop uses it to flush pending data-access batches
-  /// before the boundary toggles the detector's sampling state.
+  /// boundary. Pure query, mirrors beforeAction's charge computation.
+  /// Per-action callers (Runtime::step loops) use it to flush pending
+  /// work before the boundary toggles the detector's sampling state; the
+  /// batch engines use accessRunBoundaryIndex(), its closed-form run
+  /// analogue, instead.
   bool boundaryImminent(ActionKind Kind) const {
     if (Kind == ActionKind::ThreadExit)
       return false;

@@ -33,23 +33,25 @@ void pacer::pinCurrentThread(unsigned Index) {
   // Index % hardwareJobs() round-robin picked. A failed pin (restricted
   // cpuset, no affinity API) leaves the thread unpinned and its node
   // unset, exactly as before.
-  const topo::PinPlan &Plan = topo::systemPinPlan();
-  if (Plan.empty())
-    return;
-  const topo::PinSlot &Slot = Plan[Index % Plan.size()];
-  if (topo::pinCurrentThreadToCpu(Slot.Cpu))
-    topo::setCurrentThreadNode(static_cast<int>(Slot.Node));
+  topo::pinCurrentThreadToPlanSlot(topo::systemPinPlan(), Index);
 }
 
 ThreadPool::ThreadPool(unsigned WorkerCount) {
   Workers.reserve(WorkerCount);
-  const bool Pin = threadPinningEnabled();
+  // The pool's N workers plus the controlling thread work one batch
+  // cursor, so the plan is sized for N + 1 concurrent threads: when that
+  // set exceeds every node's CPUs the worker-count-aware plan balances
+  // slots across nodes instead of overflowing fill-first from node 0.
+  std::shared_ptr<const topo::PinPlan> Plan;
+  if (threadPinningEnabled())
+    Plan = std::make_shared<const topo::PinPlan>(
+        topo::buildPinPlan(topo::systemTopology(), WorkerCount + 1));
   for (unsigned I = 0; I < WorkerCount; ++I)
-    Workers.emplace_back([this, I, Pin] {
-      // Worker I takes CPU I+1, leaving CPU 0 for the controlling thread,
-      // which works the same cursor (see run()).
-      if (Pin)
-        pinCurrentThread(I + 1);
+    Workers.emplace_back([this, I, Plan] {
+      // Worker I takes slot I+1, leaving slot 0 for the controlling
+      // thread, which works the same cursor (see run()).
+      if (Plan)
+        topo::pinCurrentThreadToPlanSlot(*Plan, I + 1);
       workerLoop();
     });
 }

@@ -139,9 +139,54 @@ topo::PinPlan topo::buildPinPlan(const Topology &T) {
   return Plan;
 }
 
+topo::PinPlan topo::buildPinPlan(const Topology &T, unsigned Workers) {
+  if (Workers == 0 || T.Nodes.size() <= 1)
+    return buildPinPlan(T);
+  // Co-location first: when some node can host the whole worker set,
+  // start the fill-first walk there (node 0 whenever it is big enough,
+  // which reproduces the worker-count-oblivious plan exactly).
+  for (size_t Start = 0; Start != T.Nodes.size(); ++Start) {
+    if (T.Nodes[Start].Cpus.size() < Workers)
+      continue;
+    PinPlan Plan;
+    for (size_t I = 0; I != T.Nodes.size(); ++I) {
+      const NodeInfo &Node = T.Nodes[(Start + I) % T.Nodes.size()];
+      for (unsigned Cpu : Node.Cpus)
+        Plan.push_back({Cpu, Node.Id});
+    }
+    return Plan;
+  }
+  // The workers cannot share a node, so balance instead of overflowing:
+  // one CPU per node per round keeps every prefix of the plan evenly
+  // spread across memory controllers.
+  PinPlan Plan;
+  std::vector<size_t> Cursor(T.Nodes.size(), 0);
+  bool Any = true;
+  while (Any) {
+    Any = false;
+    for (size_t I = 0; I != T.Nodes.size(); ++I) {
+      if (Cursor[I] >= T.Nodes[I].Cpus.size())
+        continue;
+      Plan.push_back({T.Nodes[I].Cpus[Cursor[I]++], T.Nodes[I].Id});
+      Any = true;
+    }
+  }
+  return Plan;
+}
+
 const topo::PinPlan &topo::systemPinPlan() {
   static const PinPlan Plan = buildPinPlan(systemTopology());
   return Plan;
+}
+
+bool topo::pinCurrentThreadToPlanSlot(const PinPlan &Plan, unsigned Index) {
+  if (Plan.empty())
+    return false;
+  const PinSlot &Slot = Plan[Index % Plan.size()];
+  if (!pinCurrentThreadToCpu(Slot.Cpu))
+    return false;
+  setCurrentThreadNode(static_cast<int>(Slot.Node));
+  return true;
 }
 
 int topo::currentThreadNode() { return ThreadNode; }

@@ -95,8 +95,26 @@ using PinPlan = std::vector<PinSlot>;
 /// Pure plan construction from any topology (the test seam).
 PinPlan buildPinPlan(const Topology &T);
 
+/// Worker-count-aware plan construction: \p Workers is the number of
+/// threads about to be pinned through the plan's leading slots. When the
+/// whole set fits on one node the plan stays fill-first, starting at the
+/// first node with capacity for all of them (node 0 whenever it is big
+/// enough -- the legacy shape). When \p Workers exceeds every node's CPU
+/// count, co-location is impossible anyway, so the plan interleaves nodes
+/// round-robin: the first K slots land within one CPU of evenly spread
+/// across memory controllers for every K, instead of saturating node 0
+/// and spilling only the remainder. Workers == 0 (unknown) and
+/// single-node topologies reduce to buildPinPlan(T). Pure function.
+PinPlan buildPinPlan(const Topology &T, unsigned Workers);
+
 /// buildPinPlan(systemTopology()), computed once per process.
 const PinPlan &systemPinPlan();
+
+/// Pins the calling thread to slot \p Index of \p Plan (wrapping past the
+/// end) and records the slot's node in the thread-local on success. False
+/// on an empty plan or a failed pin (restricted cpuset, no affinity API),
+/// in which case the thread stays unpinned and its node unset.
+bool pinCurrentThreadToPlanSlot(const PinPlan &Plan, unsigned Index);
 
 /// The NUMA node the calling thread was pinned to, or -1 when the thread
 /// is unpinned. Set by ThreadPool::pinCurrentThread on successful pins.

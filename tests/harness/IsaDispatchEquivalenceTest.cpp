@@ -32,7 +32,8 @@ namespace {
 /// Every ISA setForceIsa can succeed for here, scalar always included.
 std::vector<Isa> availableIsas() {
   std::vector<Isa> Out;
-  for (Isa Kind : {Isa::Scalar, Isa::Sse2, Isa::Neon, Isa::Avx2})
+  for (Isa Kind :
+       {Isa::Scalar, Isa::Sse2, Isa::Neon, Isa::Avx2, Isa::Avx512})
     if (kernels::isaAvailable(Kind))
       Out.push_back(Kind);
   return Out;
@@ -78,13 +79,14 @@ TEST_F(IsaDispatchEquivalenceTest, ScalarForceWrapperStillWorks) {
 }
 
 TEST_F(IsaDispatchEquivalenceTest, IsaNamesRoundTrip) {
-  for (Isa Kind : {Isa::Scalar, Isa::Sse2, Isa::Neon, Isa::Avx2}) {
+  for (Isa Kind :
+       {Isa::Scalar, Isa::Sse2, Isa::Neon, Isa::Avx2, Isa::Avx512}) {
     Isa Parsed = Isa::Scalar;
     ASSERT_TRUE(kernels::parseIsaName(kernels::isaName(Kind), Parsed));
     EXPECT_EQ(Parsed, Kind);
   }
   Isa Sink = Isa::Scalar;
-  EXPECT_FALSE(kernels::parseIsaName("avx512", Sink));
+  EXPECT_FALSE(kernels::parseIsaName("avx-512", Sink));
   EXPECT_FALSE(kernels::parseIsaName("", Sink));
   EXPECT_FALSE(kernels::parseIsaName("AVX2", Sink)); // Lowercase only.
 }

@@ -35,6 +35,18 @@ TEST(OverheadExperimentTest, MeasuresAllConfigs) {
     EXPECT_GT(Result.EventsPerSecond, 0.0);
     EXPECT_GT(Result.Slowdown, 0.0);
   }
+  // Phase attribution: the null baseline analyses nothing, PACER at r=0
+  // routes every access down the cold path, and a sampling rate moves a
+  // share of the accesses hot.
+  EXPECT_EQ(Results[0].HotAccesses + Results[0].ColdAccesses, 0u);
+  EXPECT_EQ(Results[2].HotAccesses, 0u) << "r=0 never samples";
+  EXPECT_GT(Results[2].ColdAccesses, 0u);
+  // Same traces, same instrumentation: the r=5% split partitions the same
+  // access total the r=0 configuration saw, with cold still dominating.
+  EXPECT_EQ(Results[3].HotAccesses + Results[3].ColdAccesses,
+            Results[2].HotAccesses + Results[2].ColdAccesses);
+  EXPECT_GE(Results[3].ColdAccesses, Results[3].HotAccesses)
+      << "proportionality: cold dominates at low rates";
 }
 
 TEST(OverheadExperimentTest, FullSamplingCostsMoreThanNone) {

@@ -107,6 +107,77 @@ TEST(PinPlanBuild, SingleNodeMatchesLegacyRoundRobin) {
   }
 }
 
+TEST(PinPlanBuild, WorkerCountAwareKeepsFillFirstWhenWorkersFitOneNode) {
+  topo::Topology T = topo::topologyFromCpuLists({"0-3", "4-7"}, 8);
+  // Up to a full node's worth of workers: identical to the oblivious
+  // fill-first plan.
+  topo::PinPlan Oblivious = topo::buildPinPlan(T);
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    topo::PinPlan Plan = topo::buildPinPlan(T, Workers);
+    ASSERT_EQ(Plan.size(), Oblivious.size()) << "workers " << Workers;
+    for (size_t I = 0; I != Plan.size(); ++I) {
+      EXPECT_EQ(Plan[I].Cpu, Oblivious[I].Cpu) << "workers " << Workers;
+      EXPECT_EQ(Plan[I].Node, Oblivious[I].Node) << "workers " << Workers;
+    }
+  }
+  // Workers == 0 (unknown count) also degrades to the oblivious plan.
+  topo::PinPlan Unknown = topo::buildPinPlan(T, 0);
+  EXPECT_EQ(Unknown.size(), Oblivious.size());
+  EXPECT_EQ(Unknown.front().Cpu, Oblivious.front().Cpu);
+}
+
+TEST(PinPlanBuild, WorkerCountAwareStartsAtTheNodeThatFitsThemAll) {
+  // Node 0 is too small for 6 workers but node 1 is not: the whole set
+  // co-locates on node 1 instead of splitting 4 + 2 across sockets.
+  topo::Topology T = topo::topologyFromCpuLists({"0-3", "4-11"}, 12);
+  topo::PinPlan Plan = topo::buildPinPlan(T, 6);
+  ASSERT_EQ(Plan.size(), 12u);
+  for (size_t I = 0; I != 8; ++I) {
+    EXPECT_EQ(Plan[I].Cpu, static_cast<unsigned>(4 + I)) << "slot " << I;
+    EXPECT_EQ(Plan[I].Node, 1u) << "slot " << I;
+  }
+  // Node 0's CPUs follow, for threads beyond the worker set.
+  EXPECT_EQ(Plan[8].Cpu, 0u);
+  EXPECT_EQ(Plan[8].Node, 0u);
+}
+
+TEST(PinPlanBuild, WorkerCountAwareBalancesWhenWorkersExceedEveryNode) {
+  // 6 workers on 2x4 CPUs: no node fits them, so the plan interleaves --
+  // every prefix is within one CPU of evenly spread, where fill-first
+  // would put 4 on node 0 and only 2 on node 1.
+  topo::Topology T = topo::topologyFromCpuLists({"0-3", "4-7"}, 8);
+  topo::PinPlan Plan = topo::buildPinPlan(T, 6);
+  ASSERT_EQ(Plan.size(), 8u);
+  const unsigned ExpectedCpus[] = {0, 4, 1, 5, 2, 6, 3, 7};
+  const unsigned ExpectedNodes[] = {0, 1, 0, 1, 0, 1, 0, 1};
+  for (size_t I = 0; I != Plan.size(); ++I) {
+    EXPECT_EQ(Plan[I].Cpu, ExpectedCpus[I]) << "slot " << I;
+    EXPECT_EQ(Plan[I].Node, ExpectedNodes[I]) << "slot " << I;
+  }
+  // Unequal nodes: the smaller node exhausts and the larger one keeps
+  // supplying slots.
+  topo::Topology U = topo::topologyFromCpuLists({"0-1", "2-7"}, 8);
+  topo::PinPlan Uneven = topo::buildPinPlan(U, 8);
+  ASSERT_EQ(Uneven.size(), 8u);
+  const unsigned UnevenCpus[] = {0, 2, 1, 3, 4, 5, 6, 7};
+  for (size_t I = 0; I != Uneven.size(); ++I)
+    EXPECT_EQ(Uneven[I].Cpu, UnevenCpus[I]) << "slot " << I;
+}
+
+TEST(PinPlanBuild, PlanSlotPinningIsBestEffort) {
+  // An empty plan refuses without touching affinity or the thread-local.
+  topo::PinPlan Empty;
+  EXPECT_FALSE(topo::pinCurrentThreadToPlanSlot(Empty, 0));
+  // Slot indices wrap; a successful pin records the slot's node. CPU 0
+  // exists everywhere, but the pin may still fail under restricted
+  // cpusets -- assert only the success half.
+  int Saved = topo::currentThreadNode();
+  topo::PinPlan One{{0u, 0u}};
+  if (topo::pinCurrentThreadToPlanSlot(One, 5))
+    EXPECT_EQ(topo::currentThreadNode(), 0);
+  topo::setCurrentThreadNode(Saved);
+}
+
 TEST(SystemTopology, DiscoversSomethingSane) {
   const topo::Topology &T = topo::systemTopology();
   ASSERT_GE(T.Nodes.size(), 1u);

@@ -73,6 +73,10 @@ OptionRegistry buildRegistry() {
                "recycle thread-clock slots once dead threads are "
                "dominated (accordion clocks); reports are identical, "
                "metadata stays O(live threads)")
+      .addFlag("no-cold-kernels",
+               "route non-sampling runs through the generic per-access "
+               "loop instead of the phase-specialized cold batch "
+               "kernels; results are identical either way")
       .addInt("max-reports", 10, "race reports to print per trace")
       .addFlag("stats", "print operation statistics per trace")
       .addFlag("times", "print load/index/analysis time per trace")
@@ -237,6 +241,19 @@ FileOutcome analyseFile(const std::string &Path,
                   static_cast<double>(Result.FinalMetadataBytes) / 1024.0,
                   Request.Setup.AccordionClocks ? " (accordion)" : "");
     Out.Text += Buf;
+    // Phase attribution for the fig7-style overhead breakdown: hot accesses
+    // paid full analysis, cold ones took the non-sampling fast path.
+    const uint64_t PhaseTotal = Result.HotAccesses + Result.ColdAccesses;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  hot accesses %llu (%.1f%%), cold accesses %llu\n",
+                  static_cast<unsigned long long>(Result.HotAccesses),
+                  PhaseTotal != 0 ? 100.0 *
+                                        static_cast<double>(
+                                            Result.HotAccesses) /
+                                        static_cast<double>(PhaseTotal)
+                                  : 0.0,
+                  static_cast<unsigned long long>(Result.ColdAccesses));
+    Out.Text += Buf;
   }
 
   // Sharded replay merges sample reports replica by replica, so their
@@ -358,7 +375,8 @@ int cpuInfoMode(const OptionRegistry &R) {
   if (R.getBool("pin-threads"))
     setThreadPinning(true);
   std::string Compiled;
-  for (Isa Kind : {Isa::Scalar, Isa::Sse2, Isa::Neon, Isa::Avx2}) {
+  for (Isa Kind :
+       {Isa::Scalar, Isa::Sse2, Isa::Neon, Isa::Avx2, Isa::Avx512}) {
     if (!kernels::opsFor(Kind))
       continue;
     if (!Compiled.empty())
@@ -400,6 +418,7 @@ int main(int Argc, char **Argv) {
   bool SetupOk = false;
   DetectorSetup Setup = setupFromOptions(R, SetupOk);
   Setup.AccordionClocks = R.getBool("accordion");
+  Setup.ColdKernels = !R.getBool("no-cold-kernels");
   if (!SetupOk) {
     std::fprintf(stderr, "error: unknown --detector=%s\n",
                  R.getString("detector").c_str());
