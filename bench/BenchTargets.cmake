@@ -20,6 +20,7 @@ set(PACER_BENCH_BINARIES
   micro_sharded
   micro_trace_io
   micro_coldpath
+  micro_hotpath
 )
 
 foreach(bin ${PACER_BENCH_BINARIES})

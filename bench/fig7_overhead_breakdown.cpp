@@ -42,14 +42,14 @@ int main(int Argc, char **Argv) {
       std::string Cell = formatDouble(Result.Slowdown, 2) + "x";
       // Attribute each bar to its phases: the hot share is the fraction
       // of analysed accesses that paid full sampling-period detection.
+      // Zero analysed accesses (e.g. the no-analysis baseline column or a
+      // sync-only workload) reads as a 0.0% hot share, never NaN.
       const uint64_t Phased = Result.HotAccesses + Result.ColdAccesses;
-      if (Phased != 0)
-        Cell += " (hot " +
-                formatDouble(100.0 *
-                                 static_cast<double>(Result.HotAccesses) /
-                                 static_cast<double>(Phased),
-                             1) +
-                "%)";
+      const double HotShare =
+          Phased != 0 ? 100.0 * static_cast<double>(Result.HotAccesses) /
+                            static_cast<double>(Phased)
+                      : 0.0;
+      Cell += " (hot " + formatDouble(HotShare, 1) + "%)";
       Row.push_back(Cell);
     }
     Table.addRow(Row);

@@ -1,0 +1,346 @@
+//===- bench/micro_hotpath.cpp - Vectorized hot-path engine bench ---------==//
+//
+// Measures the two halves of the vectorized hot-path engine:
+//
+//  - gather probe: for the detectors with a sampled fast path (PACER at
+//    r in {50%, 100%}, fasttrack, generic), times replay with
+//    DetectorSetup::HotKernels on (SIMD multi-key var-table probe through
+//    FlatVarTable::findBlock) against the per-access scalar probe, and
+//    reports hot-phase access throughput plus the vector-resolved share
+//    of probed keys. r = 100% keeps every access inside a sampling
+//    period, so that row is the pure gather-probe win.
+//
+//  - sync skeleton: on a pair-run-heavy workload, times sharded replay
+//    (every replica replays the full sync skeleton, so the win compounds
+//    with --shards) with DetectorSetup::SyncBatching coalescing
+//    acquire/release runs into Detector::syncBatch against the per-event
+//    skeleton walk.
+//
+// Writes BENCH_hotpath.json; diffing it across commits tracks the perf
+// trajectory. Exits non-zero if the engines ever disagree on any stat
+// counter or the dynamic race count, so the smoke-benchmark CI job
+// doubles as an equivalence check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ClockKernels.h"
+#include "runtime/AnalysisSession.h"
+#include "runtime/TraceIndex.h"
+#include "sim/TraceGenerator.h"
+#include "sim/Workloads.h"
+#include "support/CommandLine.h"
+#include "support/Stats.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace pacer;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  double Rate = 0.0;
+  unsigned Shards = 1;
+  double OnMs = 0.0;  // Optimized engine (hot kernels / sync batching).
+  double OffMs = 0.0; // Reference engine.
+  uint64_t HotAccesses = 0;
+  uint64_t ColdAccesses = 0;
+  uint64_t ProbeVector = 0;
+  uint64_t ProbeScalar = 0;
+  double speedup() const { return OnMs > 0.0 ? OffMs / OnMs : 0.0; }
+  /// Hot-phase (sampled) accesses per second through the optimized engine.
+  double hotEventsPerSec() const {
+    return OnMs > 0.0 ? static_cast<double>(HotAccesses) / (OnMs / 1e3)
+                      : 0.0;
+  }
+  double vectorShare() const {
+    const uint64_t Probed = ProbeVector + ProbeScalar;
+    return Probed != 0
+               ? static_cast<double>(ProbeVector) /
+                     static_cast<double>(Probed)
+               : 0.0;
+  }
+};
+
+AnalysisRequest requestFor(const DetectorSetup &Setup, unsigned Shards,
+                           bool HotKernels, bool SyncBatching,
+                           uint64_t Seed) {
+  AnalysisRequest Request;
+  Request.Setup = Setup;
+  Request.Setup.Shards = Shards;
+  Request.Setup.HotKernels = HotKernels;
+  Request.Setup.SyncBatching = SyncBatching;
+  Request.Seed = Seed;
+  Request.CollectReports = false;
+  return Request;
+}
+
+bool sameStats(const DetectorStats &A, const DetectorStats &B) {
+  return std::memcmp(&A, &B, sizeof(DetectorStats)) == 0;
+}
+
+/// Hand-built hot-phase trace with the access shape sampling periods
+/// actually see: each thread's round is one critical section that (a)
+/// rewrites a small per-thread hot set several times -- the repeated
+/// same-epoch writes FastTrack's Rule 5 fast path exists for, which the
+/// engine screens inline against the gather-resolved entry -- and (b)
+/// strides reads across a large per-thread slice of the heap, so the var
+/// table spans several MB and per-access scalar probes stall on cache
+/// misses (the paper's benchmarks track millions of heap variables).
+/// Thread data is disjoint, so the trace is race-free and the timed work
+/// is purely the analysis engine. The default mix is write-dominant with
+/// ~80% same-epoch accesses, matching the rates the FastTrack paper
+/// reports across its benchmark suite.
+Trace buildHotPhaseTrace(uint32_t Threads, uint32_t Rounds,
+                         uint32_t HotVarsPerThread, uint32_t HotWritesPerRound,
+                         uint32_t ReadsPerRound, uint32_t ReadSlicePerThread) {
+  Trace T;
+  T.reserve(static_cast<size_t>(Threads) * Rounds *
+            (2 + HotWritesPerRound + ReadsPerRound));
+  const VarId ReadBase = Threads * HotVarsPerThread;
+  // Warmup prologue: touch every read-slice var once, so the timed rounds
+  // probe a populated multi-MB table (the steady state of a long-running
+  // program) instead of first-touch inserting on nearly every read --
+  // insertion costs the same with the engine on or off and only dilutes
+  // the probe comparison.
+  for (uint32_t Tid = 0; Tid != Threads; ++Tid) {
+    T.push_back({ActionKind::Acquire, Tid, Tid, InvalidId});
+    for (uint32_t I = 0; I != ReadSlicePerThread; ++I) {
+      const VarId Var = ReadBase + Tid * ReadSlicePerThread + I;
+      T.push_back({ActionKind::Read, Tid, Var, /*Site=*/Tid + Threads});
+    }
+    T.push_back({ActionKind::Release, Tid, Tid, InvalidId});
+  }
+  for (uint32_t Round = 0; Round != Rounds; ++Round) {
+    for (uint32_t Tid = 0; Tid != Threads; ++Tid) {
+      const LockId Lock = Tid;
+      T.push_back({ActionKind::Acquire, Tid, Lock, InvalidId});
+      for (uint32_t W = 0; W != HotWritesPerRound; ++W) {
+        const VarId Var = Tid * HotVarsPerThread + W % HotVarsPerThread;
+        T.push_back({ActionKind::Write, Tid, Var, /*Site=*/Tid});
+      }
+      for (uint32_t I = 0; I != ReadsPerRound; ++I) {
+        // LCG-mixed index: touches the slice in a hash-independent
+        // pseudo-random order with reuse after ~Slice/ReadsPerRound
+        // rounds, so steady state is probe misses into a DRAM/L3 table
+        // rather than first-touch inserts.
+        const uint32_t Step = Round * ReadsPerRound + I;
+        const uint32_t Mixed =
+            (Step * 2654435761u + Tid * 40503u) % ReadSlicePerThread;
+        const VarId Var = ReadBase + Tid * ReadSlicePerThread + Mixed;
+        T.push_back({ActionKind::Read, Tid, Var, /*Site=*/Tid + Threads});
+      }
+      T.push_back({ActionKind::Release, Tid, Lock, InvalidId});
+    }
+  }
+  return T;
+}
+
+/// Hand-built sync-skeleton trace: each thread repeatedly locks and
+/// unlocks its own hot mutex in long uncontended runs (the canonical
+/// fine-grained-locking shape), with a slab of data accesses between
+/// runs. Every replica of a sharded replay replays the full skeleton, so
+/// the coalescer's win compounds with the shard count.
+Trace buildPairRunTrace(uint32_t Threads, uint32_t Rounds,
+                        uint32_t PairsPerRound, uint32_t AccessesPerRound) {
+  Trace T;
+  T.reserve(static_cast<size_t>(Threads) * Rounds *
+            (2 * PairsPerRound + AccessesPerRound));
+  for (uint32_t Round = 0; Round != Rounds; ++Round) {
+    for (uint32_t Tid = 0; Tid != Threads; ++Tid) {
+      const LockId Lock = Tid;
+      for (uint32_t P = 0; P != PairsPerRound; ++P) {
+        T.push_back({ActionKind::Acquire, Tid, Lock, InvalidId});
+        T.push_back({ActionKind::Release, Tid, Lock, InvalidId});
+      }
+      for (uint32_t A = 0; A != AccessesPerRound; ++A) {
+        const VarId Var = Tid * AccessesPerRound + A;
+        T.push_back({ActionKind::Write, Tid, Var, /*Site=*/Tid});
+      }
+    }
+  }
+  return T;
+}
+
+/// Times On vs Off over Reps repetitions and flags any stat or race-count
+/// divergence (the equivalence contract). The two engines interleave
+/// within each repetition and the minimum per side is reported: on a
+/// shared machine the run-to-run spread is dominated by external load,
+/// which only ever adds time, so min-of-interleaved-reps is the estimator
+/// least biased by whichever side the noise happened to land on.
+bool measure(AnalysisSession &On, AnalysisSession &Off, const Trace &T,
+             uint32_t Reps, Row &Out) {
+  bool Mismatch = false;
+  std::vector<double> OnMs, OffMs;
+  for (uint32_t Rep = 0; Rep < Reps; ++Rep) {
+    Timer OnTimer;
+    AnalysisResult OnResult = On.analyzeTrace(T);
+    OnMs.push_back(OnTimer.seconds() * 1e3);
+
+    Timer OffTimer;
+    AnalysisResult OffResult = Off.analyzeTrace(T);
+    OffMs.push_back(OffTimer.seconds() * 1e3);
+
+    Out.HotAccesses = OnResult.HotAccesses;
+    Out.ColdAccesses = OnResult.ColdAccesses;
+    Out.ProbeVector = OnResult.ProbeVectorResolved;
+    Out.ProbeScalar = OnResult.ProbeScalarFallback;
+    if (OnResult.DynamicRaces != OffResult.DynamicRaces ||
+        !sameStats(OnResult.trial().Stats, OffResult.trial().Stats)) {
+      std::fprintf(stderr,
+                   "ENGINE MISMATCH: %s on %llu races vs off %llu (or "
+                   "stat divergence)\n",
+                   Out.Name.c_str(),
+                   static_cast<unsigned long long>(OnResult.DynamicRaces),
+                   static_cast<unsigned long long>(OffResult.DynamicRaces));
+      Mismatch = true;
+    }
+  }
+  Out.OnMs = *std::min_element(OnMs.begin(), OnMs.end());
+  Out.OffMs = *std::min_element(OffMs.begin(), OffMs.end());
+  return Mismatch;
+}
+
+void printRow(const char *Tag, const Row &Out) {
+  std::printf("%-8s %-12s K=%u  on %8.2f ms  off %8.2f ms  speedup "
+              "%5.2fx  hot-events/s %10.0f  vector-share %4.1f%%\n",
+              Tag, Out.Name.c_str(), Out.Shards, Out.OnMs, Out.OffMs,
+              Out.speedup(), Out.hotEventsPerSec(),
+              Out.vectorShare() * 100.0);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  OptionRegistry R("micro_hotpath [options]");
+  R.addDouble("scale", 1.0, "workload scale factor")
+      .addInt("seed", 12345, "trace seed")
+      .addInt("reps", 7, "timed repetitions per point (minimum reported)")
+      .addInt("shards", 8, "shard count for the sync-skeleton points")
+      .addString("json-out", "BENCH_hotpath.json", "JSON output path");
+  if (!R.parse(Argc, Argv))
+    return R.helpRequested() ? 0 : 2;
+  const double Scale = R.getDouble("scale");
+  const uint64_t Seed = static_cast<uint64_t>(R.getInt("seed"));
+  const auto Reps = static_cast<uint32_t>(R.getInt("reps"));
+  const auto SyncShards =
+      static_cast<unsigned>(std::max<long long>(1, R.getInt("shards")));
+  const std::string OutPath = R.getString("json-out");
+  Timer Wall;
+  bool Mismatch = false;
+
+  // --- Gather-probe points: hot kernels on vs off, sequential replay. ---
+  // The session workload only supplies report metadata; the trace itself
+  // is the hand-built hot-phase shape.
+  CompiledWorkload Workload(mediumTestWorkload());
+  Trace T = buildHotPhaseTrace(
+      /*Threads=*/8, /*Rounds=*/static_cast<uint32_t>(600 * Scale),
+      /*HotVarsPerThread=*/12, /*HotWritesPerRound=*/96,
+      /*ReadsPerRound=*/12, /*ReadSlicePerThread=*/1 << 14);
+  std::printf("probe trace: %zu events, %llu accesses (scale %g, isa %s)\n",
+              T.size(),
+              static_cast<unsigned long long>(countTraceAccesses(T)), Scale,
+              kernels::activeIsa());
+
+  std::vector<std::pair<std::string, DetectorSetup>> ProbePoints;
+  for (double Rate : {0.5, 1.0}) {
+    DetectorSetup Setup = pacerSetup(Rate);
+    Setup.Sampling.PeriodBytes = 24 * 1024;
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "pacer_r%g", Rate * 100.0);
+    ProbePoints.emplace_back(Name, Setup);
+  }
+  ProbePoints.emplace_back("fasttrack", fastTrackSetup());
+  ProbePoints.emplace_back("generic", genericSetup());
+
+  std::vector<Row> ProbeRows;
+  for (const auto &[Name, Setup] : ProbePoints) {
+    Row Out;
+    Out.Name = Name;
+    Out.Rate = Setup.Sampling.TargetRate;
+    // Sync batching held identical on both sides so the delta is the
+    // probe alone.
+    AnalysisSession On(Workload, requestFor(Setup, 1, true, true, Seed));
+    AnalysisSession Off(Workload, requestFor(Setup, 1, false, true, Seed));
+    Mismatch |= measure(On, Off, T, Reps, Out);
+    ProbeRows.push_back(Out);
+    printRow("probe", ProbeRows.back());
+  }
+
+  // --- Sync-skeleton points: batching on vs off, sharded replay. ---
+  // The session workload only supplies report metadata; the trace itself
+  // is the hand-built pair-run skeleton.
+  CompiledWorkload SyncWorkload(mediumTestWorkload());
+  Trace SyncT = buildPairRunTrace(
+      /*Threads=*/8, /*Rounds=*/static_cast<uint32_t>(1000 * Scale),
+      /*PairsPerRound=*/16, /*AccessesPerRound=*/16);
+  std::printf("sync trace: %zu events, %llu accesses\n", SyncT.size(),
+              static_cast<unsigned long long>(countTraceAccesses(SyncT)));
+
+  std::vector<std::pair<std::string, DetectorSetup>> SyncPoints;
+  {
+    DetectorSetup Pacer = pacerSetup(0.03);
+    Pacer.Sampling.PeriodBytes = 24 * 1024;
+    SyncPoints.emplace_back("pacer_r3", Pacer);
+    SyncPoints.emplace_back("fasttrack", fastTrackSetup());
+  }
+
+  std::vector<Row> SyncRows;
+  for (const auto &[Name, Setup] : SyncPoints) {
+    for (unsigned Shards : {1u, SyncShards}) {
+      Row Out;
+      Out.Name = Name;
+      Out.Rate = Setup.Sampling.TargetRate;
+      Out.Shards = Shards;
+      AnalysisSession On(SyncWorkload,
+                         requestFor(Setup, Shards, true, true, Seed));
+      AnalysisSession Off(SyncWorkload,
+                          requestFor(Setup, Shards, true, false, Seed));
+      Mismatch |= measure(On, Off, SyncT, Reps, Out);
+      SyncRows.push_back(Out);
+      printRow("sync", SyncRows.back());
+      if (Shards == SyncShards)
+        break; // Covers SyncShards == 1 without a duplicate row.
+    }
+  }
+
+  std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", OutPath.c_str());
+    return 1;
+  }
+  auto WriteRows = [&](const std::vector<Row> &Rows, const char *OnKey,
+                       const char *OffKey) {
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &Row = Rows[I];
+      std::fprintf(Out,
+                   "    {\"detector\": \"%s\", \"rate\": %.4f, "
+                   "\"shards\": %u, \"%s\": %.3f, \"%s\": %.3f, "
+                   "\"speedup\": %.3f, \"hot_events_per_sec\": %.0f, "
+                   "\"probe_vector\": %llu, \"probe_scalar\": %llu}%s\n",
+                   Row.Name.c_str(), Row.Rate, Row.Shards, OnKey, Row.OnMs,
+                   OffKey, Row.OffMs, Row.speedup(), Row.hotEventsPerSec(),
+                   static_cast<unsigned long long>(Row.ProbeVector),
+                   static_cast<unsigned long long>(Row.ProbeScalar),
+                   I + 1 == Rows.size() ? "" : ",");
+    }
+  };
+  std::fprintf(Out,
+               "{\n  \"workload\": \"hot_phase\",\n  \"events\": %zu,\n"
+               "  \"sync_events\": %zu,\n  \"reps\": %u,\n"
+               "  \"isa\": \"%s\",\n  \"probe_points\": [\n",
+               T.size(), SyncT.size(), Reps, kernels::activeIsa());
+  WriteRows(ProbeRows, "hot_ms", "scalar_ms");
+  std::fprintf(Out, "  ],\n  \"sync_points\": [\n");
+  WriteRows(SyncRows, "batched_ms", "per_event_ms");
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+  std::printf("wrote %s\n[timing] wall-clock %.2fs\n", OutPath.c_str(),
+              Wall.seconds());
+  return Mismatch ? 1 : 0;
+}

@@ -60,6 +60,33 @@ void scalarRemapGather(uint32_t *Dst, const uint32_t *Src,
     Dst[I] = Src[Idx[I]];
 }
 
+uint64_t scalarGatherEq(const void *Base, const uint32_t *ByteOff,
+                        const uint32_t *Expect, size_t N) {
+  const char *P = static_cast<const char *>(Base);
+  uint64_t Mask = 0;
+  for (size_t I = 0; I != N; ++I) {
+    uint32_t Word;
+    std::memcpy(&Word, P + ByteOff[I], sizeof(Word));
+    Mask |= static_cast<uint64_t>(Word == Expect[I]) << I;
+  }
+  return Mask;
+}
+
+void scalarProbeTags(const void *Base, const uint32_t *ByteOff,
+                     const uint32_t *Keys, size_t N, uint32_t Empty,
+                     uint64_t *HitMask, uint64_t *EmptyMask) {
+  const char *P = static_cast<const char *>(Base);
+  uint64_t Hits = 0, Empties = 0;
+  for (size_t I = 0; I != N; ++I) {
+    uint32_t Tag;
+    std::memcpy(&Tag, P + ByteOff[I], sizeof(Tag));
+    Hits |= static_cast<uint64_t>(Tag == Keys[I]) << I;
+    Empties |= static_cast<uint64_t>(Tag == Empty) << I;
+  }
+  *HitMask = Hits;
+  *EmptyMask = Empties;
+}
+
 namespace {
 
 constexpr KernelOps ScalarOps = {Isa::Scalar,
@@ -68,7 +95,9 @@ constexpr KernelOps ScalarOps = {Isa::Scalar,
                                  scalarAllLeq,
                                  scalarAllZero,
                                  scalarTrimTrailingZeros,
-                                 scalarRemapGather};
+                                 scalarRemapGather,
+                                 scalarGatherEq,
+                                 scalarProbeTags};
 
 #if defined(__x86_64__) || defined(_M_X64)
 uint64_t xgetbv0() {
@@ -139,27 +168,43 @@ Isa bestAvailableIsa() {
   return Isa::Scalar;
 }
 
-// Dynamic initializer: probe, read PACER_FORCE_ISA, install the table.
-struct DispatchInit {
-  DispatchInit() {
-    Isa Pick = bestAvailableIsa();
-    if (const char *Env = std::getenv("PACER_FORCE_ISA"); Env && *Env) {
-      Isa Forced = Isa::Scalar;
-      if (!parseIsaName(Env, Forced))
+// Resolves the default (un-forced) path: PACER_FORCE_ISA when set and
+// available, else the best compiled-in path the host supports. Called
+// from the dynamic initializer and again on every clearForceIsa
+// re-resolution, so the bad-override diagnostics sit behind a
+// once-per-process latch -- a long-lived daemon flipping force overrides
+// per request must not spam one warning per resolution.
+Isa resolveDefaultIsa() {
+  static bool WarnedBadForce = false;
+  Isa Pick = bestAvailableIsa();
+  if (const char *Env = std::getenv("PACER_FORCE_ISA"); Env && *Env) {
+    Isa Forced = Isa::Scalar;
+    if (!parseIsaName(Env, Forced)) {
+      if (!WarnedBadForce)
         std::fprintf(stderr,
                      "pacer: PACER_FORCE_ISA=%s not recognized; using %s\n",
                      Env, isaName(Pick));
-      else if (!isaAvailable(Forced))
+      WarnedBadForce = true;
+    } else if (!isaAvailable(Forced)) {
+      if (!WarnedBadForce)
         std::fprintf(
             stderr,
             "pacer: PACER_FORCE_ISA=%s unavailable on this build/host; "
-            "using %s\n",
+            "degrading to %s\n",
             Env, isaName(Pick));
-      else
-        Pick = Forced;
+      WarnedBadForce = true;
+    } else {
+      Pick = Forced;
     }
-    DefaultKind = Pick;
-    Active = opsFor(Pick);
+  }
+  return Pick;
+}
+
+// Dynamic initializer: probe, read PACER_FORCE_ISA, install the table.
+struct DispatchInit {
+  DispatchInit() {
+    DefaultKind = resolveDefaultIsa();
+    Active = opsFor(DefaultKind);
   }
 };
 DispatchInit InitDispatch;
@@ -229,7 +274,10 @@ bool setForceIsa(Isa Kind) {
   return true;
 }
 
-void clearForceIsa() { Active = opsFor(DefaultKind); }
+void clearForceIsa() {
+  DefaultKind = resolveDefaultIsa();
+  Active = opsFor(DefaultKind);
+}
 
 void setForceScalarForTest(bool Force) {
   if (Force)
@@ -255,6 +303,17 @@ size_t trimTrailingZeros(const uint32_t *A, size_t N) {
 void remapGather(uint32_t *Dst, const uint32_t *Src, const uint32_t *Idx,
                  size_t N) {
   Active->RemapGather(Dst, Src, Idx, N);
+}
+
+uint64_t gatherEq(const void *Base, const uint32_t *ByteOff,
+                  const uint32_t *Expect, size_t N) {
+  return Active->GatherEq(Base, ByteOff, Expect, N);
+}
+
+void probeTags(const void *Base, const uint32_t *ByteOff,
+               const uint32_t *Keys, size_t N, uint32_t Empty,
+               uint64_t *HitMask, uint64_t *EmptyMask) {
+  Active->ProbeTags(Base, ByteOff, Keys, N, Empty, HitMask, EmptyMask);
 }
 
 void copyWords(uint32_t *Dst, const uint32_t *Src, size_t N) {

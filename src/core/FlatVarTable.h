@@ -34,6 +34,7 @@
 #ifndef PACER_CORE_FLATVARTABLE_H
 #define PACER_CORE_FLATVARTABLE_H
 
+#include "core/ClockKernels.h"
 #include "core/Ids.h"
 #include "support/Arena.h"
 
@@ -83,12 +84,82 @@ public:
   /// the next block of accesses. Probe chains longer than one line still
   /// pay for their tail -- the hint covers the common single-line case.
   void prefetch(KeyT Key) const {
-    if (Slots)
-      __builtin_prefetch(&Slots[hashKey(Key) & (Capacity - 1)]);
+    if (!Slots)
+      return;
+    const char *P = reinterpret_cast<const char *>(&Slots[slotFor(Key)]);
+    __builtin_prefetch(P);
+    // Pull the slot's tail line too when the entry straddles a cache-line
+    // boundary; otherwise the analysis that follows the probe still
+    // stalls on the second half of the value.
+    if ((reinterpret_cast<uintptr_t>(P) & 63) + sizeof(Slot) > 64)
+      __builtin_prefetch(P + sizeof(Slot) - 1);
   }
   const ValueT *find(KeyT Key) const {
     return const_cast<FlatVarTable *>(this)->find(Key);
   }
+
+  /// Multi-key lookup: fills Out[I] with the value stored under Keys[I]
+  /// or null, for N <= 64 keys in one call. With 32-bit keys the first
+  /// probe slot of every key is examined through the dispatched
+  /// kernels::probeTags gather (one vpgatherdd per 8-16 keys on AVX2 /
+  /// AVX-512) -- a first-slot key match or empty sentinel resolves that
+  /// key without touching memory again, and only keys landing on a
+  /// collision or tombstone chain walk the scalar probe. Returns how many
+  /// keys the vector probe resolved (the probe-hit tally; N minus it is
+  /// the scalar-fallback tally). Duplicate keys are fine (lookups do not
+  /// mutate); the returned pointers obey the same rule as find(): the
+  /// next insertion or erase may invalidate them, observable via
+  /// rehashEpoch().
+  size_t findBlock(const KeyT *Keys, size_t N, ValueT **Out) {
+    assert(N <= 64 && "probe block wider than the kernel masks");
+    if (Live == 0) {
+      for (size_t I = 0; I != N; ++I)
+        Out[I] = nullptr;
+      return N;
+    }
+    if constexpr (sizeof(KeyT) == sizeof(uint32_t)) {
+      // The gather lanes are signed-32 byte offsets, so very large tables
+      // (and non-32-bit keys below) take the plain scalar path.
+      if (heapBytes() <= static_cast<size_t>(INT32_MAX)) {
+        uint32_t ByteOff[64];
+        uint32_t Tags[64];
+        for (size_t I = 0; I != N; ++I) {
+          ByteOff[I] = static_cast<uint32_t>(slotFor(Keys[I]) * sizeof(Slot));
+          Tags[I] = static_cast<uint32_t>(Keys[I]);
+        }
+        uint64_t HitMask = 0, EmptyMask = 0;
+        kernels::probeTags(Slots, ByteOff, Tags, N,
+                           static_cast<uint32_t>(EmptyKey), &HitMask,
+                           &EmptyMask);
+        size_t Resolved = 0;
+        for (size_t I = 0; I != N; ++I) {
+          const uint64_t Bit = static_cast<uint64_t>(1) << I;
+          if (HitMask & Bit) {
+            auto *S = reinterpret_cast<Slot *>(
+                reinterpret_cast<char *>(Slots) + ByteOff[I]);
+            Out[I] = &S->Value;
+            ++Resolved;
+          } else if (EmptyMask & Bit) {
+            Out[I] = nullptr;
+            ++Resolved;
+          } else {
+            Slot *S = findSlot(Keys[I]);
+            Out[I] = S ? &S->Value : nullptr;
+          }
+        }
+        return Resolved;
+      }
+    }
+    for (size_t I = 0; I != N; ++I)
+      Out[I] = find(Keys[I]);
+    return 0;
+  }
+
+  /// Monotone counter bumped every time the slot array is reallocated
+  /// (grow or shrink). Pointers handed out by find()/findBlock() stay
+  /// valid exactly while this is unchanged, so batched callers can
+  /// capture it once and revalidate per entry instead of re-probing.
+  size_t rehashEpoch() const { return RehashCount; }
 
   /// Returns the value under \p Key, default-constructing it if absent.
   /// May rehash; any previously returned pointer is invalidated.
@@ -97,7 +168,7 @@ public:
     if ((Used + 1) * 4 >= Capacity * 3)
       rehash();
     size_t Mask = Capacity - 1;
-    size_t I = hashKey(Key) & Mask;
+    size_t I = slotFor(Key);
     size_t FirstTombstone = Capacity; // Sentinel: none seen.
     while (true) {
       Slot &S = Slots[I];
@@ -184,13 +255,20 @@ public:
   size_t entryBytes() const { return Live * sizeof(Slot); }
 
 private:
-  static size_t hashKey(KeyT Key) {
-    // Fibonacci multiplicative hash: dense sequential ids scatter across
-    // the table instead of clustering into one probe run. (For 64-bit
-    // keys the multiply wraps; the middle bits taken are still well
-    // mixed.)
+  /// First probe slot for \p Key at the current capacity. Fibonacci
+  /// multiplicative hashing is only well-behaved when the slot index is
+  /// taken from the TOP bits of the product: shifting by
+  /// 64 - log2(Capacity) makes dense sequential ids walk the table as a
+  /// golden-ratio Weyl sequence, whose points are spread as evenly as the
+  /// occupancy allows (nearly every key sits in its home slot, which the
+  /// findBlock first-slot gather screen depends on). Masking low bits of
+  /// the product instead yields a Weyl step with poor continued-fraction
+  /// structure at larger capacities -- home slots caravan into multi-slot
+  /// clusters and most probes chain. (For 64-bit keys the multiply wraps;
+  /// the top bits are still well mixed.)
+  size_t slotFor(KeyT Key) const {
     return static_cast<size_t>(
-        (static_cast<uint64_t>(Key) * 0x9e3779b97f4a7c15ULL) >> 32);
+        (static_cast<uint64_t>(Key) * 0x9e3779b97f4a7c15ULL) >> Shift);
   }
 
   bool isLiveSlot(const Slot &S) const {
@@ -225,7 +303,7 @@ private:
     if (Live == 0)
       return nullptr;
     size_t Mask = Capacity - 1;
-    size_t I = hashKey(Key) & Mask;
+    size_t I = slotFor(Key);
     while (true) {
       Slot &S = Slots[I];
       if (S.Key == Key)
@@ -239,6 +317,7 @@ private:
   /// Reallocates to a capacity sized for the live count (shedding
   /// tombstones) and reinserts every live entry.
   void rehash() {
+    ++RehashCount;
     size_t NewCapacity = MinCapacity;
     while (NewCapacity * 3 < (Live + 1) * 8) // Target load <= 3/8.
       NewCapacity *= 2;
@@ -246,6 +325,7 @@ private:
     size_t OldCapacity = Capacity;
     Slots = allocSlots(NewCapacity);
     Capacity = NewCapacity;
+    Shift = 64 - static_cast<unsigned>(__builtin_ctzll(NewCapacity));
     Used = Live;
     Tombstones = 0;
     size_t Mask = NewCapacity - 1;
@@ -253,7 +333,7 @@ private:
       Slot &S = OldSlots[I];
       if (!isLiveSlot(S))
         continue;
-      size_t J = hashKey(S.Key) & Mask;
+      size_t J = slotFor(S.Key);
       while (Slots[J].Key != EmptyKey)
         J = (J + 1) & Mask;
       Slots[J].Key = S.Key;
@@ -264,9 +344,14 @@ private:
 
   Slot *Slots = nullptr;
   size_t Capacity = 0;
+  /// 64 - log2(Capacity): slotFor() keeps this many top product bits.
+  /// Meaningless while Capacity == 0 (every probe path checks Live or
+  /// Slots first, and the first insert rehashes before probing).
+  unsigned Shift = 64;
   size_t Live = 0;       ///< Entries holding a value.
   size_t Used = 0;       ///< Live + tombstones (probe-chain occupancy).
   size_t Tombstones = 0;
+  size_t RehashCount = 0; ///< Slot-array reallocations (pointer epochs).
 };
 
 } // namespace pacer

@@ -58,14 +58,17 @@ size_t neonTrimTrailingZeros(const uint32_t *A, size_t N) {
   return scalarTrimTrailingZeros(A, N);
 }
 
-// NEON has no gather instruction; scalarRemapGather is the fast path.
+// NEON has no gather instruction; the scalar gather-family bodies are the
+// fast path for RemapGather, GatherEq, and ProbeTags alike.
 constexpr KernelOps NeonOps = {Isa::Neon,
                                "neon",
                                neonJoinMax,
                                neonAllLeq,
                                neonAllZero,
                                neonTrimTrailingZeros,
-                               scalarRemapGather};
+                               scalarRemapGather,
+                               scalarGatherEq,
+                               scalarProbeTags};
 
 } // namespace
 

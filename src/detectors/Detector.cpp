@@ -6,6 +6,13 @@ using namespace pacer;
 
 Detector::~Detector() = default;
 
+void Detector::syncBatch(ThreadId Tid, LockId Lock, uint64_t Pairs) {
+  for (uint64_t I = 0; I != Pairs; ++I) {
+    acquire(Tid, Lock);
+    release(Tid, Lock);
+  }
+}
+
 void Detector::accessBatch(std::span<const Action> Batch,
                            const AccessShard &Shard) {
   for (const Action &A : Batch) {

@@ -148,6 +148,18 @@ public:
   /// Thread \p Tid releases lock \p Lock.
   virtual void release(ThreadId Tid, LockId Lock) = 0;
 
+  /// Analyses \p Pairs consecutive acquire(Tid, Lock); release(Tid, Lock)
+  /// pairs with no other action of any thread in between -- the shape a
+  /// tight lock-protected loop leaves in the trace, and what the runtime's
+  /// sync-run coalescer extracts. The default replays the per-event loop;
+  /// overrides must be observationally identical to it (same stats, same
+  /// metadata, same clock values), which is possible in O(1) because after
+  /// the first pair each further join finds the lock clock already at the
+  /// thread's frontier. Every sharded replica replays the full sync
+  /// skeleton, so this is the per-shard fixed cost that compounds with
+  /// --shards.
+  virtual void syncBatch(ThreadId Tid, LockId Lock, uint64_t Pairs);
+
   /// Thread \p Tid reads volatile \p Vol.
   virtual void volatileRead(ThreadId Tid, VolatileId Vol) = 0;
 
@@ -250,6 +262,21 @@ public:
   /// Operation counters.
   const DetectorStats &stats() const { return Stats; }
 
+  /// Diagnostic tallies for the vectorized multi-key var-table probe.
+  /// Deliberately *not* part of DetectorStats: the equivalence harnesses
+  /// memcmp DetectorStats across engine variants, and a variant with hot
+  /// kernels off never probes at all -- these counters describe how the
+  /// answer was computed, not what it was.
+  struct ProbeCounters {
+    uint64_t VectorResolved = 0; ///< Keys the gather probe resolved.
+    uint64_t ScalarFallback = 0; ///< Keys that walked the scalar chain.
+  };
+  const ProbeCounters &probeCounters() const { return Probe; }
+  void addProbeCounters(const ProbeCounters &Other) {
+    Probe.VectorResolved += Other.VectorResolved;
+    Probe.ScalarFallback += Other.ScalarFallback;
+  }
+
 protected:
   /// Reports a race and bumps the counter; detectors then continue,
   /// updating metadata as if the execution were race free.
@@ -260,6 +287,7 @@ protected:
 
   RaceSink &Sink;
   DetectorStats Stats;
+  ProbeCounters Probe;
 };
 
 /// Detector that analyses nothing; the baseline for overhead experiments.

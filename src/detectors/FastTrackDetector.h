@@ -53,6 +53,18 @@ struct FastTrackConfig {
   /// to dispatching every access through readWith()/writeWith();
   /// disabling it forces that generic loop (the micro_coldpath baseline).
   bool UseColdBatchKernel = true;
+
+  /// Hot-path gather engine: stage maximal same-thread write runs and
+  /// test Algorithm 8's same-epoch fast path for up to 64 writes at once
+  /// through the dispatched kernels::gatherEq (two vpgatherdd compares
+  /// over the dense Vars array: tid word, then clock word). Only writes
+  /// the gather proves off-epoch fall back to writeWith(), which re-runs
+  /// the scalar check. Single-thread staging makes the skip sound: within
+  /// a run, only this thread's own same-epoch writes can touch W, and
+  /// they leave it equal to the staged expectation. Requires
+  /// UseColdBatchKernel (it extends that pre-scan); bit-identical either
+  /// way.
+  bool UseHotBatchKernel = true;
 };
 
 /// FastTrack: epochs for writes, adaptive epoch/map for reads.
@@ -81,6 +93,10 @@ public:
   void release(ThreadId Tid, LockId Lock) override {
     Arena::Scope MetadataScope(&Metadata);
     Sync.release(Tid, Lock, Stats);
+  }
+  void syncBatch(ThreadId Tid, LockId Lock, uint64_t Pairs) override {
+    Arena::Scope MetadataScope(&Metadata);
+    Sync.acquireReleasePairs(Tid, Lock, Pairs, Stats);
   }
   void volatileRead(ThreadId Tid, VolatileId Vol) override {
     Arena::Scope MetadataScope(&Metadata);
@@ -153,6 +169,11 @@ private:
                 VarId Var, SiteId Site);
   void writeWith(const VectorClock &Clock, Epoch Current, ThreadId Tid,
                  VarId Var, SiteId Site);
+
+  /// The UseHotBatchKernel arm of accessBatch: the cold pre-scan plus
+  /// gather-staged write runs.
+  void hotAccessBatch(std::span<const Action> Batch,
+                      const AccessShard &Shard);
 
   /// Backs the per-variable table and its read-map/clock blocks. MUST
   /// stay the first data member: the later members free their blocks back

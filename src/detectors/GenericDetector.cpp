@@ -16,6 +16,16 @@ void GenericDetector::checkClockOrdered(const VectorClock &Prior,
                                         const VectorClock &Current, VarId Var,
                                         ThreadId Tid, AccessKind Kind,
                                         SiteId Site) {
+  // Hot-path screen: one kernel-dispatched allLeq over the stored
+  // components. Prior <= Current means no component can trigger the
+  // report below, so skipping the walk is observationally identical.
+  // Narrow clocks skip the screen: leq costs two indirect kernel calls
+  // plus SIMD setup, which is more than the handful of scalar compares
+  // the walk needs below one vector's width.
+  constexpr size_t MinScreenWidth = 16;
+  if (Config.UseHotBatchKernel && Prior.size() >= MinScreenWidth &&
+      Prior.leq(Current))
+    return;
   for (size_t U = 0, E = Prior.size(); U != E; ++U) {
     auto PriorTid = static_cast<ThreadId>(U);
     if (Prior.get(PriorTid) <= Current.get(PriorTid))
@@ -32,11 +42,9 @@ void GenericDetector::checkClockOrdered(const VectorClock &Prior,
   }
 }
 
-void GenericDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
-  Arena::Scope MetadataScope(&Metadata);
+void GenericDetector::readWith(ThreadId Tid, const VectorClock &Clock,
+                               VarId Var, SiteId Site) {
   ++Stats.ReadSlowSampling;
-  Tid = Sync.slotOf(Tid);
-  const VectorClock &Clock = Sync.ensureThread(Tid);
   VarState &State = ensureVar(Var);
   // Algorithm 5: check W_f <= C_t, then R_f[t] <- C_t[t].
   checkClockOrdered(State.W, State.WSites, AccessKind::Write, Clock, Var, Tid,
@@ -47,11 +55,9 @@ void GenericDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
   State.RSites[Tid] = Site;
 }
 
-void GenericDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
-  Arena::Scope MetadataScope(&Metadata);
+void GenericDetector::writeWith(ThreadId Tid, const VectorClock &Clock,
+                                VarId Var, SiteId Site) {
   ++Stats.WriteSlowSampling;
-  Tid = Sync.slotOf(Tid);
-  const VectorClock &Clock = Sync.ensureThread(Tid);
   VarState &State = ensureVar(Var);
   // Algorithm 6: check W_f <= C_t and R_f <= C_t, then W_f[t] <- C_t[t].
   checkClockOrdered(State.W, State.WSites, AccessKind::Write, Clock, Var, Tid,
@@ -62,6 +68,47 @@ void GenericDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
   if (Tid >= State.WSites.size())
     State.WSites.resize(Tid + 1, InvalidId);
   State.WSites[Tid] = Site;
+}
+
+void GenericDetector::read(ThreadId Tid, VarId Var, SiteId Site) {
+  Arena::Scope MetadataScope(&Metadata);
+  Tid = Sync.slotOf(Tid);
+  readWith(Tid, Sync.ensureThread(Tid), Var, Site);
+}
+
+void GenericDetector::write(ThreadId Tid, VarId Var, SiteId Site) {
+  Arena::Scope MetadataScope(&Metadata);
+  Tid = Sync.slotOf(Tid);
+  writeWith(Tid, Sync.ensureThread(Tid), Var, Site);
+}
+
+void GenericDetector::accessBatch(std::span<const Action> Batch,
+                                  const AccessShard &Shard) {
+  if (!Config.UseHotBatchKernel) {
+    Detector::accessBatch(Batch, Shard);
+    return;
+  }
+  // One arena scope for the whole epoch, and the slot/clock resolution
+  // hoisted to thread switches. No synchronization action or first sight
+  // occurs inside a batch, so the thread vector never reallocates and the
+  // hoisted clock reference stays valid across the run.
+  Arena::Scope MetadataScope(&Metadata);
+  ThreadId CurTid = InvalidId;
+  ThreadId Slot = 0;
+  const VectorClock *Clock = nullptr;
+  for (const Action &A : Batch) {
+    if (!Shard.owns(A.Target))
+      continue;
+    if (A.Tid != CurTid) {
+      CurTid = A.Tid;
+      Slot = Sync.slotOf(CurTid);
+      Clock = &Sync.ensureThread(Slot);
+    }
+    if (A.Kind == ActionKind::Read)
+      readWith(Slot, *Clock, A.Target, A.Site);
+    else
+      writeWith(Slot, *Clock, A.Target, A.Site);
+  }
 }
 
 size_t GenericDetector::recycleDeadSlots() {

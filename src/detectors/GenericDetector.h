@@ -36,6 +36,14 @@ struct GenericConfig {
   /// Accordion clocks: recycle dead threads' clock slots once every live
   /// thread dominates their final clocks (see core/SlotRecycler.h).
   bool UseAccordionClocks = false;
+
+  /// Hot-path batch engine: analyse access epochs through a batch loop
+  /// that hoists the arena scope and per-thread clock resolution out of
+  /// the per-access path, and screens the O(n) race check with one
+  /// kernel-dispatched allLeq before walking components. Results are
+  /// bit-identical either way (a clock that is <= the current clock
+  /// reports nothing component by component).
+  bool UseHotBatchKernel = true;
 };
 
 /// Sound and precise O(n)-per-operation vector-clock race detector.
@@ -65,6 +73,10 @@ public:
     Arena::Scope MetadataScope(&Metadata);
     Sync.release(Tid, Lock, Stats);
   }
+  void syncBatch(ThreadId Tid, LockId Lock, uint64_t Pairs) override {
+    Arena::Scope MetadataScope(&Metadata);
+    Sync.acquireReleasePairs(Tid, Lock, Pairs, Stats);
+  }
   void volatileRead(ThreadId Tid, VolatileId Vol) override {
     Arena::Scope MetadataScope(&Metadata);
     Sync.volatileRead(Tid, Vol, Stats);
@@ -76,6 +88,8 @@ public:
 
   void read(ThreadId Tid, VarId Var, SiteId Site) override;
   void write(ThreadId Tid, VarId Var, SiteId Site) override;
+  void accessBatch(std::span<const Action> Batch,
+                   const AccessShard &Shard) override;
 
   void threadBegin(ThreadId Tid) override {
     Arena::Scope MetadataScope(&Metadata);
@@ -117,6 +131,14 @@ private:
   };
 
   VarState &ensureVar(VarId Var);
+
+  /// Algorithm bodies with the arena scope open and \p Tid already
+  /// resolved to a slot with its clock -- the batch loop hoists that
+  /// resolution out of per-access work.
+  void readWith(ThreadId Tid, const VectorClock &Clock, VarId Var,
+                SiteId Site);
+  void writeWith(ThreadId Tid, const VectorClock &Clock, VarId Var,
+                 SiteId Site);
 
   /// Reports one race per component of \p Prior exceeding \p Current.
   void checkClockOrdered(const VectorClock &Prior,

@@ -153,6 +153,10 @@ public:
     Arena::Scope MetadataScope(&Metadata);
     Sync.release(Tid, Lock, Stats);
   }
+  void syncBatch(ThreadId Tid, LockId Lock, uint64_t Pairs) override {
+    Arena::Scope MetadataScope(&Metadata);
+    Sync.acquireReleasePairs(Tid, Lock, Pairs, Stats);
+  }
   void volatileRead(ThreadId Tid, VolatileId Vol) override {
     Arena::Scope MetadataScope(&Metadata);
     Sync.volatileRead(Tid, Vol, Stats);

@@ -92,6 +92,18 @@ struct PacerConfig {
   /// measures the kernel against. (Accordion clocks always take the
   /// per-access path for slot bookkeeping.)
   bool UseColdBatchKernel = true;
+
+  /// Route sampling epochs through the hot batch kernel (hotAccessBatch):
+  /// stage each 64-access block's keys into struct-of-arrays and resolve
+  /// them with one FlatVarTable::findBlock -- a kernel-dispatched gather
+  /// probe (vpgatherdd tag compare on AVX2/AVX-512) that only falls back
+  /// to the scalar chain walk on collisions -- then run the full sampling
+  /// analysis against the pre-resolved entries. Observationally identical
+  /// to the per-access loop: sampling never erases entries, stale-null
+  /// results re-resolve through getOrInsert, and a table rehash inside a
+  /// block is detected via rehashEpoch() and re-probed. (Accordion clocks
+  /// take the per-access path, as with the cold kernel.)
+  bool UseHotBatchKernel = true;
 };
 
 /// PACER: proportional sampling race detection on top of FastTrack.
@@ -109,6 +121,15 @@ public:
   void join(ThreadId Parent, ThreadId Child) override;
   void acquire(ThreadId Tid, LockId Lock) override;
   void release(ThreadId Tid, LockId Lock) override;
+
+  /// Coalesced same-lock acquire/release pairs (Detector::syncBatch),
+  /// collapsed to O(1) per run. After the first pair the lock's clock and
+  /// version epoch describe exactly this thread's frontier, so each
+  /// further acquire is a guaranteed fast join (or a no-op slow join) and
+  /// each further release re-copies a clock that changed in at most its
+  /// own component. Outside sampling periods the middle pairs are pure
+  /// counter arithmetic -- timeless clocks do not move at all.
+  void syncBatch(ThreadId Tid, LockId Lock, uint64_t Pairs) override;
   void volatileRead(ThreadId Tid, VolatileId Vol) override;
   void volatileWrite(ThreadId Tid, VolatileId Vol) override;
   void read(ThreadId Tid, VarId Var, SiteId Site) override;
@@ -275,6 +296,29 @@ private:
   /// read()/write() discard logic. Bit-identical to the per-access loop.
   void coldAccessBatch(std::span<const Action> Batch,
                        const AccessShard &Shard);
+
+  /// The sampling-phase hot kernel: stages 64-wide blocks and resolves
+  /// their var-table entries with one gather-probe findBlock per block
+  /// before running the unchanged sampling analysis on each access.
+  void hotAccessBatch(std::span<const Action> Batch,
+                      const AccessShard &Shard);
+
+  /// read()/write() bodies after the arena scope, slot mapping, and table
+  /// probe: \p Found is the live result of Vars.find(Var) (or a
+  /// findBlock-resolved pointer that is still valid or provably
+  /// re-resolvable). Shared by the per-access path and the hot kernel.
+  void readImpl(ThreadId Tid, VarId Var, SiteId Site, VarState *Found);
+  void writeImpl(ThreadId Tid, VarId Var, SiteId Site, VarState *Found);
+
+  /// Sampling-period analysis bodies with the thread resolution hoisted
+  /// out: \p Clock and \p Current are the accessing thread's clock and
+  /// epoch (invariant across a batch run), \p Found the pre-probed table
+  /// entry (null re-resolves through getOrInsert). Shared by the
+  /// per-access path and the hot batch kernel.
+  void readSampling(ThreadId Tid, const VectorClock &Clock, Epoch Current,
+                    VarId Var, SiteId Site, VarState *Found);
+  void writeSampling(ThreadId Tid, const VectorClock &Clock, Epoch Current,
+                     VarId Var, SiteId Site, VarState *Found);
 
   void reportPriorWriteRace(const VarState &State, VarId Var, ThreadId Tid,
                             AccessKind Kind, SiteId Site);

@@ -150,6 +150,34 @@ public:
     Clock.increment(Tid);
   }
 
+  /// \p Pairs consecutive acquire/release pairs of \p Lock by \p Tid
+  /// (Detector::syncBatch), collapsed to O(1): after the first pair the
+  /// lock clock is the thread's own snapshot, so each further acquire's
+  /// join is a no-op and each further release only re-copies the clock
+  /// with one more self-increment. Bit-identical to the per-event loop --
+  /// same final clocks, stored lengths (the lock copy is never longer
+  /// than the thread clock it came from), and stat counters.
+  void acquireReleasePairs(ThreadId Tid, LockId Lock, uint64_t Pairs,
+                           DetectorStats &Stats) {
+    if (Pairs == 0)
+      return;
+    acquire(Tid, Lock, Stats);
+    release(Tid, Lock, Stats);
+    const uint64_t Rest = Pairs - 1;
+    if (Rest == 0)
+      return;
+    Stats.SyncOps += 2 * Rest;
+    Stats.SlowJoinsSampling += Rest;
+    Stats.DeepCopiesSampling += Rest;
+    const ThreadId Slot = slotOf(Tid);
+    VectorClock &Clock = ensureThread(Slot);
+    const uint32_t C = Clock.get(Slot);
+    const auto Inc = static_cast<uint32_t>(Rest);
+    Clock.set(Slot, C + Inc - 1);
+    ensureLock(Lock).copyFrom(Clock);
+    Clock.set(Slot, C + Inc);
+  }
+
   /// Algorithm 14.
   void volatileRead(ThreadId Tid, VolatileId Vol, DetectorStats &Stats) {
     ++Stats.SyncOps;

@@ -78,18 +78,21 @@ std::unique_ptr<Detector> pacer::makeDetector(const DetectorSetup &Setup,
   case DetectorKind::Generic: {
     GenericConfig Config;
     Config.UseAccordionClocks = Setup.AccordionClocks;
+    Config.UseHotBatchKernel = Setup.HotKernels;
     return std::make_unique<GenericDetector>(Sink, Config);
   }
   case DetectorKind::FastTrack: {
     FastTrackConfig Config = Setup.FastTrack;
     Config.UseAccordionClocks |= Setup.AccordionClocks;
     Config.UseColdBatchKernel &= Setup.ColdKernels;
+    Config.UseHotBatchKernel &= Setup.HotKernels;
     return std::make_unique<FastTrackDetector>(Sink, Config);
   }
   case DetectorKind::Pacer: {
     PacerConfig Config = Setup.Pacer;
     Config.UseAccordionClocks |= Setup.AccordionClocks;
     Config.UseColdBatchKernel &= Setup.ColdKernels;
+    Config.UseHotBatchKernel &= Setup.HotKernels;
     return std::make_unique<PacerDetector>(Sink, Config);
   }
   case DetectorKind::LiteRace: {
@@ -156,6 +159,7 @@ void replaySpan(const CompiledWorkload &Workload,
     Config.Jobs = Setup.ShardJobs;
     Config.UseIndex = Setup.ShardUseIndex;
     Config.Index = Index;
+    Config.SyncBatching = Setup.SyncBatching;
     if (Setup.Kind == DetectorKind::Pacer) {
       Config.UseController = true;
       Config.Sampling = Setup.Sampling;
@@ -188,6 +192,8 @@ void replaySpan(const CompiledWorkload &Workload,
     Out.Stats = Sharded.Stats;
     Out.HotAccesses = Sharded.Stats.hotAccesses();
     Out.ColdAccesses = Sharded.Stats.coldAccesses();
+    Out.ProbeVectorResolved = Sharded.Probe.VectorResolved;
+    Out.ProbeScalarFallback = Sharded.Probe.ScalarFallback;
     Out.EffectiveAccessRate = Sharded.EffectiveAccessRate;
     Out.EffectiveSyncRate = Sharded.EffectiveSyncRate;
     Out.Boundaries = Sharded.Boundaries;
@@ -213,7 +219,7 @@ void replaySpan(const CompiledWorkload &Workload,
         Sampling, Request.Seed ^ 0x47432121u /*"GC!!"*/);
   }
 
-  Runtime RT(*D, Controller.get());
+  Runtime RT(*D, Controller.get(), Setup.SyncBatching);
   auto Start = Clock::now();
   RT.replay(Replay);
   Out.ReplaySeconds = secondsSince(Start);
@@ -223,6 +229,8 @@ void replaySpan(const CompiledWorkload &Workload,
   Out.Stats = D->stats();
   Out.HotAccesses = Out.Stats.hotAccesses();
   Out.ColdAccesses = Out.Stats.coldAccesses();
+  Out.ProbeVectorResolved = D->probeCounters().VectorResolved;
+  Out.ProbeScalarFallback = D->probeCounters().ScalarFallback;
   if (Controller) {
     Out.EffectiveAccessRate = Controller->effectiveAccessRate();
     Out.EffectiveSyncRate = Controller->effectiveSyncRate();
@@ -306,7 +314,7 @@ AnalysisSession::analyzeStream(StreamingTraceReader &Reader) const {
         Sampling, Request.Seed ^ 0x47432121u /*"GC!!"*/);
   }
 
-  Runtime RT(*D, Controller.get());
+  Runtime RT(*D, Controller.get(), Setup.SyncBatching);
   Trace Filtered; // Reused per-chunk scratch under ElideLocalAccesses.
   auto Start = Clock::now();
   RT.start();
@@ -336,6 +344,8 @@ AnalysisSession::analyzeStream(StreamingTraceReader &Reader) const {
   Result.Stats = D->stats();
   Result.HotAccesses = Result.Stats.hotAccesses();
   Result.ColdAccesses = Result.Stats.coldAccesses();
+  Result.ProbeVectorResolved = D->probeCounters().VectorResolved;
+  Result.ProbeScalarFallback = D->probeCounters().ScalarFallback;
   if (Controller) {
     Result.EffectiveAccessRate = Controller->effectiveAccessRate();
     Result.EffectiveSyncRate = Controller->effectiveSyncRate();

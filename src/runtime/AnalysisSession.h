@@ -96,6 +96,18 @@ struct DetectorSetup {
   /// Results are bit-identical with the kernels on or off; off forces the
   /// generic per-access batch loops (the micro_coldpath baseline).
   bool ColdKernels = true;
+  /// Vectorized hot-path kernels (PACER's gather-probe sampling batch,
+  /// FastTrack's gather-staged same-epoch write filter, Generic's hoisted
+  /// batch loop with the allLeq screen): AND'd into the per-detector
+  /// UseHotBatchKernel flags in makeDetector. Results are bit-identical
+  /// with the kernels on or off; off forces the per-access loops (the
+  /// micro_hotpath baseline).
+  bool HotKernels = true;
+  /// Coalesce same-thread acquire/release pair runs into
+  /// Detector::syncBatch() calls in both replay engines (see
+  /// Runtime::deliverSyncPairRun). Bit-identical on or off; the win
+  /// compounds with Shards, since every replica replays the skeleton.
+  bool SyncBatching = true;
   PacerConfig Pacer;
   FastTrackConfig FastTrack;
   LiteRaceConfig LiteRace;
@@ -202,6 +214,13 @@ struct AnalysisResult {
   /// the analysed access count.
   uint64_t HotAccesses = 0;
   uint64_t ColdAccesses = 0;
+  /// Hot-kernel gather-probe split (Detector::probeCounters, summed
+  /// across shard replicas): staged keys the vector probe resolved vs.
+  /// keys that fell back to the scalar chain walk. Diagnostics only --
+  /// deliberately outside DetectorStats, which equivalence harnesses
+  /// compare bit-for-bit against hot-kernels-off runs that never probe.
+  uint64_t ProbeVectorResolved = 0;
+  uint64_t ProbeScalarFallback = 0;
   /// Up to 32 full reports (RaceLog's cap). Under sharded replay the set
   /// matches sequential replay but the cross-shard order does not; sort
   /// before printing for order-independent output.

@@ -42,9 +42,13 @@ namespace pacer {
 class Runtime {
 public:
   /// \p Controller may be null for detectors that do not sample (Generic,
-  /// FastTrack, LiteRace, Null).
-  Runtime(Detector &D, SamplingController *Controller = nullptr)
-      : D(D), Controller(Controller) {}
+  /// FastTrack, LiteRace, Null). \p SyncBatching coalesces maximal runs of
+  /// same-thread acquire/release pairs on one lock into
+  /// Detector::syncBatch() calls (observationally identical to per-event
+  /// delivery; period boundaries still toggle at exact event positions).
+  Runtime(Detector &D, SamplingController *Controller = nullptr,
+          bool SyncBatching = true)
+      : D(D), Controller(Controller), SyncBatching(SyncBatching) {}
 
   /// Makes the controller's initial sampling decision. Idempotent; called
   /// automatically by replay().
@@ -105,6 +109,23 @@ public:
       if (!isAccessAction(A.Kind)) {
         if (firstSight(A.Tid))
           D.threadBegin(A.Tid);
+        if (SyncBatching && A.Kind == ActionKind::Acquire) {
+          // Maximal run of same-thread acquire/release pairs on one lock:
+          // the sync skeleton's dominant shape (tight critical-section
+          // loops), collapsed by Detector::syncBatch to O(1) per run.
+          size_t J = I;
+          while (J + 1 < N && T[J].Kind == ActionKind::Acquire &&
+                 T[J + 1].Kind == ActionKind::Release && T[J].Tid == A.Tid &&
+                 T[J + 1].Tid == A.Tid && T[J].Target == A.Target &&
+                 T[J + 1].Target == A.Target)
+            J += 2;
+          const size_t Pairs = (J - I) / 2;
+          if (Pairs >= 2) {
+            deliverSyncPairRun(A.Tid, A.Target, 2 * Pairs);
+            I += 2 * Pairs;
+            continue;
+          }
+        }
         if (Controller)
           Controller->beforeAction(A.Kind, D);
         dispatch(A);
@@ -125,6 +146,56 @@ public:
 
   /// Routes \p A to the detector hook it instruments.
   void dispatch(const Action &A) { dispatchTo(D, A); }
+
+  /// Delivers a run of \p TotalEvents (= 2 * pairs) alternating
+  /// acquire/release events by \p Tid on \p Lock, coalesced into
+  /// Detector::syncBatch() calls. Controller accounting and boundary
+  /// toggles are bit-identical to a per-event beforeAction()/dispatch()
+  /// loop: segments strictly before a boundary are delivered (batched)
+  /// under the old sampling state, advanceSyncRun() toggles at the firing
+  /// event, and the firing event re-joins the next segment post-toggle --
+  /// a segment cut mid-pair delivers its dangling acquire (and the
+  /// following segment its leading release) per-event. Shared with the
+  /// indexed replay engine (TraceIndex::replayShard), so both engines
+  /// collapse the skeleton identically.
+  static void deliverSyncPairRun(Detector &Target,
+                                 SamplingController *Controller, ThreadId Tid,
+                                 LockId Lock, uint64_t TotalEvents) {
+    uint64_t SegBegin = 0;
+    uint64_t Accounted = 0;
+    auto Deliver = [&](uint64_t To) {
+      while (SegBegin < To) {
+        if ((SegBegin & 1) == 0 && To - SegBegin >= 2) {
+          const uint64_t Pairs = (To - SegBegin) / 2;
+          Target.syncBatch(Tid, Lock, Pairs);
+          SegBegin += 2 * Pairs;
+        } else if ((SegBegin & 1) == 0) {
+          Target.acquire(Tid, Lock);
+          ++SegBegin;
+        } else {
+          Target.release(Tid, Lock);
+          ++SegBegin;
+        }
+      }
+    };
+    while (true) {
+      const uint64_t Left = TotalEvents - Accounted;
+      const uint64_t Fire =
+          Controller && Left ? Controller->syncRunBoundaryIndex(Left) : 0;
+      if (!Fire) {
+        Deliver(TotalEvents);
+        if (Controller && Left)
+          Controller->advanceSyncRun(Left, Target); // Accounting only.
+        return;
+      }
+      const uint64_t StopPos = Accounted + Fire - 1;
+      Deliver(StopPos);
+      Controller->advanceSyncRun(Left, Target); // Toggles; the firing event
+                                                // (StopPos) is delivered
+                                                // post-toggle.
+      Accounted = StopPos + 1;
+    }
+  }
 
   /// Stateless dispatch: routes \p A to \p Target's matching hook. The
   /// indexed replay path (TraceIndex::replayShard) shares this switch so
@@ -222,6 +293,11 @@ private:
     }
   }
 
+  /// Member shorthand for the static pair-run delivery above.
+  void deliverSyncPairRun(ThreadId Tid, LockId Lock, uint64_t TotalEvents) {
+    deliverSyncPairRun(D, Controller, Tid, Lock, TotalEvents);
+  }
+
   /// True exactly once per thread, at its first action.
   bool firstSight(ThreadId Tid) {
     if (Tid >= Seen.size())
@@ -234,6 +310,7 @@ private:
 
   Detector &D;
   SamplingController *Controller;
+  bool SyncBatching;
   bool Started = false;
   std::vector<bool> Seen;
   /// Scratch: first-sight positions within the access run being

@@ -152,6 +152,66 @@ SamplingController::advanceAccessRun(uint64_t N, Detector &D) {
   return Out;
 }
 
+SamplingController::AccessRunAdvance
+SamplingController::advanceSyncRun(uint64_t N, Detector &D) {
+  AccessRunAdvance Out;
+  if (N == 0)
+    return Out;
+
+  // Sync ops charge base bytes in both period kinds; no metadata charge.
+  const uint64_t Charge = Config.BaseBytesPerEvent;
+
+  const uint64_t Need = NurseryBytes >= Config.PeriodBytes
+                            ? 0
+                            : Config.PeriodBytes - NurseryBytes;
+  uint64_t FiringIndex;
+  bool Fires;
+  if (Need == 0) {
+    FiringIndex = 1;
+    Fires = true;
+  } else if (Charge == 0) {
+    FiringIndex = N;
+    Fires = false;
+  } else {
+    FiringIndex = (Need + Charge - 1) / Charge;
+    Fires = FiringIndex <= N;
+    if (!Fires)
+      FiringIndex = N;
+  }
+
+  // Ops strictly before the boundary land in the current period; their
+  // work counts toward the period average finishPeriod() snapshots.
+  const uint64_t Before = Fires ? FiringIndex - 1 : FiringIndex;
+  NurseryBytes += Charge * FiringIndex;
+  SyncTotal += Before;
+  PeriodSyncOps += Before;
+  if (Sampling)
+    SyncSampling += Before;
+  Out.Consumed = FiringIndex;
+  if (!Fires)
+    return Out;
+
+  // The firing op: replicate beforeAction's boundary block, then account
+  // the op itself in the *new* period.
+  NurseryBytes -= Config.PeriodBytes;
+  ++Boundaries;
+  finishPeriod();
+  bool Next = Random.nextBool(entryProbability());
+  if (Sampling)
+    D.endSamplingPeriod();
+  Sampling = Next;
+  if (Sampling) {
+    ++SamplingPeriods;
+    D.beginSamplingPeriod();
+  }
+  ++SyncTotal;
+  ++PeriodSyncOps;
+  if (Sampling)
+    ++SyncSampling;
+  Out.Boundary = true;
+  return Out;
+}
+
 double SamplingController::effectiveAccessRate() const {
   if (AccessesTotal == 0)
     return 0.0;

@@ -114,6 +114,33 @@ public:
   /// per-action loop for every (N, state) -- TraceIndexTest locks this in.
   AccessRunAdvance advanceAccessRun(uint64_t N, Detector &D);
 
+  /// 1-based index, within a run of \p N pending synchronization
+  /// operations, of the op whose charge would fire the next period
+  /// boundary; 0 if none does. The sync analogue of
+  /// accessRunBoundaryIndex(): sync ops charge base bytes only (they are
+  /// analysed in both period kinds and allocate no access metadata), so
+  /// the charge is phase-independent.
+  uint64_t syncRunBoundaryIndex(uint64_t N) const {
+    if (N == 0)
+      return 0;
+    if (NurseryBytes >= Config.PeriodBytes)
+      return 1;
+    const uint64_t Charge = Config.BaseBytesPerEvent;
+    if (Charge == 0)
+      return 0;
+    const uint64_t Need = Config.PeriodBytes - NurseryBytes;
+    const uint64_t FiringIndex = (Need + Charge - 1) / Charge;
+    return FiringIndex <= N ? FiringIndex : 0;
+  }
+
+  /// Bulk equivalent of up to \p N consecutive beforeAction(Acquire/
+  /// Release) calls: the sync-run analogue of advanceAccessRun(), with the
+  /// same stop-at-first-boundary contract and the same accounting order
+  /// (ops before the boundary land in the old period, the firing op in the
+  /// new one, after the toggle). Counter, boundary, and RNG streams are
+  /// bit-identical to the per-action loop.
+  AccessRunAdvance advanceSyncRun(uint64_t N, Detector &D);
+
   /// True iff the next beforeAction(\p Kind, ...) call would fire a period
   /// boundary. Pure query, mirrors beforeAction's charge computation.
   /// Per-action callers (Runtime::step loops) use it to flush pending

@@ -25,6 +25,7 @@ struct ReplicaOutcome {
   double EffectiveAccessRate = 0.0;
   double EffectiveSyncRate = 0.0;
   uint64_t Boundaries = 0;
+  Detector::ProbeCounters Probe;
 };
 
 /// Adds the counters owned by the access path -- the only counters a
@@ -79,12 +80,13 @@ ShardedReplayResult pacer::shardedReplay(TraceSpan T,
               Config.Sampling, Config.ControllerSeed);
         if (Index) {
           Index->replayShard(T, static_cast<uint32_t>(Shard), *D,
-                             Controller.get());
+                             Controller.get(), Config.SyncBatching);
         } else {
-          Runtime RT(*D, Controller.get());
+          Runtime RT(*D, Controller.get(), Config.SyncBatching);
           RT.replay(T, AccessShard(static_cast<uint32_t>(Shard), Shards));
         }
         Out->Stats = D->stats();
+        Out->Probe = D->probeCounters();
         Out->LiveBytes = D->liveMetadataBytes();
         Out->AccessBytes = D->accessMetadataBytes();
         Out->PeakSlots = D->peakSlotCount();
@@ -111,6 +113,8 @@ ShardedReplayResult pacer::shardedReplay(TraceSpan T,
       addAccessSideStats(Result.Stats, Out.Stats);
       Result.FinalMetadataBytes += Out.AccessBytes;
     }
+    Result.Probe.VectorResolved += Out.Probe.VectorResolved;
+    Result.Probe.ScalarFallback += Out.Probe.ScalarFallback;
     Result.DynamicRaces += Out.Log.dynamicCount();
     for (const auto &[Key, Count] : Out.Log.counts())
       Result.Races[Key] += Count;

@@ -86,6 +86,11 @@ struct ShardedReplayConfig {
   /// reusing one index across trials and detector configs amortizes the
   /// build. Ignored (a private index is built) on a shard-count mismatch.
   const TraceIndex *Index = nullptr;
+  /// Coalesce same-thread acquire/release pair runs in the sync skeleton
+  /// into Detector::syncBatch() calls (both engines). Every replica
+  /// replays the full skeleton, so the collapse compounds with Shards;
+  /// results are bit-identical either way.
+  bool SyncBatching = true;
 };
 
 /// Merged outcome of a sharded replay; field for field comparable with a
@@ -110,6 +115,9 @@ struct ShardedReplayResult {
   /// (the per-report set matches sequential replay; the order of reports
   /// from different shards does not).
   std::vector<RaceReport> SampleReports;
+  /// Gather-probe diagnostics summed across every replica (probing is
+  /// access-side work; each replica probes only its owned accesses).
+  Detector::ProbeCounters Probe;
 };
 
 /// Replays \p T through Config.Shards concurrent detector replicas built

@@ -70,7 +70,8 @@ TraceIndex TraceIndex::build(TraceSpan T, unsigned Shards) {
 }
 
 void TraceIndex::replayShard(TraceSpan T, uint32_t Shard, Detector &D,
-                             SamplingController *Controller) const {
+                             SamplingController *Controller,
+                             bool SyncBatching) const {
   assert(Shard < Shards && "shard out of range");
   assert(T.size() >= (Epochs.empty() ? 0 : Epochs.back().End) &&
          "index built from a different trace");
@@ -163,6 +164,33 @@ void TraceIndex::replayShard(TraceSpan T, uint32_t Shard, Detector &D,
         D.threadBegin(Ev.BeginTid);
       } else {
         const Action &A = T[Ev.Pos];
+        if (SyncBatching && A.Kind == ActionKind::Acquire) {
+          // Maximal skeleton run of same-thread acquire/release pairs on
+          // one lock at adjacent trace positions (adjacency implies the
+          // interleaved epochs are empty, and no first-sight marker can
+          // land inside: the thread is already seen).
+          size_t J = E;
+          uint32_t NextPos = Ev.Pos;
+          while (J + 1 < Events.size() && Events[J].BeginTid == InvalidId &&
+                 Events[J + 1].BeginTid == InvalidId &&
+                 Events[J].Pos == NextPos && Events[J + 1].Pos == NextPos + 1 &&
+                 T[NextPos].Kind == ActionKind::Acquire &&
+                 T[NextPos + 1].Kind == ActionKind::Release &&
+                 T[NextPos].Tid == A.Tid && T[NextPos + 1].Tid == A.Tid &&
+                 T[NextPos].Target == A.Target &&
+                 T[NextPos + 1].Target == A.Target) {
+            J += 2;
+            NextPos += 2;
+          }
+          const size_t RunPairs = (J - E) / 2;
+          if (RunPairs >= 2) {
+            Runtime::deliverSyncPairRun(D, Controller, A.Tid, A.Target,
+                                        2 * RunPairs);
+            // Resume at epoch J: the skipped interleaved epochs are empty.
+            E = J - 1;
+            continue;
+          }
+        }
         if (Controller)
           Controller->beforeAction(A.Kind, D);
         Runtime::dispatchTo(D, A);

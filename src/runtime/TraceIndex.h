@@ -121,8 +121,14 @@ public:
   /// shardCount())) on a fresh Runtime, but costs O(sync + owned accesses)
   /// for shard-local detectors (plus O(#boundaries) controller work)
   /// instead of O(trace). \p T may be a memory-mapped TraceView span.
+  /// \p SyncBatching coalesces skeleton runs of same-thread
+  /// acquire/release pairs on one lock into Detector::syncBatch() calls
+  /// (Runtime::deliverSyncPairRun, shared with the sequential engine) --
+  /// the skeleton is replayed by *every* replica, so the collapse
+  /// compounds with the shard count.
   void replayShard(TraceSpan T, uint32_t Shard, Detector &D,
-                   SamplingController *Controller) const;
+                   SamplingController *Controller,
+                   bool SyncBatching = true) const;
 
 private:
   unsigned Shards = 1;

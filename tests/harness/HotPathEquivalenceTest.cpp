@@ -1,0 +1,354 @@
+//===- tests/harness/HotPathEquivalenceTest.cpp ---------------------------==//
+//
+// The vectorized hot-path engine is a pure strength reduction twice over:
+// the gather-based multi-key var-table probe (DetectorSetup::HotKernels)
+// and the coalesced sync-skeleton delivery (DetectorSetup::SyncBatching)
+// must both leave every TrialResult bit-identical -- every stat counter,
+// race key and count, effective rate, boundary tally, and metadata byte.
+// The matrix crosses all detectors, shard counts {1, 4}, both sharded
+// engines (full-scan and indexed), and both input paths (in-memory trace
+// and a streamed file with a small window). A sync-heavy workload whose
+// script is dominated by same-thread acquire/release pair runs pins the
+// skeleton coalescer against the per-event reference, including runs cut
+// by sampling-period boundaries mid-pair. Randomized differential tests
+// pin FlatVarTable::findBlock against scalar find() on collision- and
+// tombstone-heavy tables.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FlatVarTable.h"
+#include "runtime/AnalysisSession.h"
+
+#include "harness/TrialRunner.h"
+#include "sim/TraceGenerator.h"
+#include "sim/TraceIO.h"
+#include "sim/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace pacer;
+
+namespace {
+
+bool sameStats(const DetectorStats &A, const DetectorStats &B) {
+  return std::memcmp(&A, &B, sizeof(DetectorStats)) == 0;
+}
+
+std::vector<RaceKey> reportKeys(const std::vector<RaceReport> &Reports) {
+  std::vector<RaceKey> Keys;
+  for (const RaceReport &Report : Reports)
+    Keys.push_back({std::min(Report.FirstSite, Report.SecondSite),
+                    std::max(Report.FirstSite, Report.SecondSite)});
+  std::sort(Keys.begin(), Keys.end(), [](RaceKey A, RaceKey B) {
+    return A.FirstSite != B.FirstSite ? A.FirstSite < B.FirstSite
+                                      : A.SecondSite < B.SecondSite;
+  });
+  return Keys;
+}
+
+// Probe counters are diagnostics outside DetectorStats and legitimately
+// differ between the two sides (the reference side never probes), so they
+// are deliberately absent here.
+void expectSameAnalysis(const AnalysisResult &Hot,
+                        const AnalysisResult &Reference,
+                        const std::string &What) {
+  ASSERT_TRUE(Hot.Ok) << What << ": " << Hot.Error;
+  ASSERT_TRUE(Reference.Ok) << What << ": " << Reference.Error;
+  const TrialResult &A = Hot.trial();
+  const TrialResult &B = Reference.trial();
+  EXPECT_EQ(A.Races, B.Races) << What;
+  EXPECT_EQ(A.DynamicRaces, B.DynamicRaces) << What;
+  EXPECT_TRUE(sameStats(A.Stats, B.Stats)) << What;
+  EXPECT_DOUBLE_EQ(A.EffectiveAccessRate, B.EffectiveAccessRate) << What;
+  EXPECT_DOUBLE_EQ(A.EffectiveSyncRate, B.EffectiveSyncRate) << What;
+  EXPECT_DOUBLE_EQ(A.LiteRaceEffectiveRate, B.LiteRaceEffectiveRate)
+      << What;
+  EXPECT_EQ(A.Boundaries, B.Boundaries) << What;
+  EXPECT_EQ(A.TraceEvents, B.TraceEvents) << What;
+  EXPECT_EQ(A.FinalMetadataBytes, B.FinalMetadataBytes) << What;
+  EXPECT_EQ(reportKeys(Hot.SampleReports), reportKeys(Reference.SampleReports))
+      << What;
+  EXPECT_EQ(Hot.HotAccesses, Reference.HotAccesses) << What;
+  EXPECT_EQ(Hot.ColdAccesses, Reference.ColdAccesses) << What;
+}
+
+/// All detectors; PACER with a small simulated nursery so period
+/// boundaries toggle sampling mid-run (and mid pair-run), at two rates so
+/// both mostly-cold and mostly-hot phase mixes are exercised.
+std::vector<std::pair<std::string, DetectorSetup>> detectorMatrix() {
+  DetectorSetup PacerLow = pacerSetup(0.03);
+  PacerLow.Sampling.PeriodBytes = 12 * 1024;
+  DetectorSetup PacerHigh = pacerSetup(0.5);
+  PacerHigh.Sampling.PeriodBytes = 12 * 1024;
+  return {{"generic", genericSetup()},
+          {"fasttrack", fastTrackSetup()},
+          {"pacer_r3", PacerLow},
+          {"pacer_r50", PacerHigh},
+          {"literace", literaceSetup(100)}};
+}
+
+AnalysisRequest requestFor(DetectorSetup Setup, unsigned Shards,
+                           bool UseIndex, bool HotKernels,
+                           bool SyncBatching, uint64_t Seed) {
+  AnalysisRequest Request;
+  Request.Setup = std::move(Setup);
+  Request.Setup.Shards = Shards;
+  Request.Setup.ShardJobs = 1; // Deterministic and CI-friendly.
+  Request.Setup.ShardUseIndex = UseIndex;
+  Request.Setup.HotKernels = HotKernels;
+  Request.Setup.SyncBatching = SyncBatching;
+  Request.Seed = Seed;
+  Request.CollectReports = true;
+  return Request;
+}
+
+/// A workload whose per-thread scripts are dominated by standalone
+/// acquire/release toggling on one preferred lock, emitted in long
+/// scheduler bursts: maximal same-thread pair runs for the skeleton
+/// coalescer, with enough data accesses left to keep both engines busy.
+WorkloadSpec syncHeavyWorkload() {
+  WorkloadSpec Spec = mediumTestWorkload();
+  Spec.Name = "sync_heavy";
+  Spec.SyncOpFraction = 0.6;
+  Spec.VolatileOpFraction = 0.0;
+  Spec.LockAffinity = 1.0;
+  Spec.AffinityLocks = 1;
+  Spec.MaxSchedulerBurst = 48;
+  return Spec;
+}
+
+/// Longest run of adjacent same-thread acquire/release pairs on one lock
+/// -- what Runtime/TraceIndex coalesce into syncBatch calls.
+size_t longestPairRun(const Trace &T) {
+  size_t Best = 0;
+  for (size_t I = 0; I + 1 < T.size();) {
+    size_t J = I;
+    while (J + 1 < T.size() && T[J].Kind == ActionKind::Acquire &&
+           T[J + 1].Kind == ActionKind::Release && T[J].Tid == T[I].Tid &&
+           T[J + 1].Tid == T[I].Tid && T[J].Target == T[I].Target &&
+           T[J + 1].Target == T[I].Target)
+      J += 2;
+    Best = std::max(Best, (J - I) / 2);
+    I = J == I ? I + 1 : J;
+  }
+  return Best;
+}
+
+TEST(HotPathEquivalenceTest, HotEngineBitIdenticalOnTraces) {
+  CompiledWorkload Workload(mediumTestWorkload());
+  const uint64_t Seed = 41;
+  Trace T = generateTrace(Workload, Seed);
+
+  for (const auto &[Name, Setup] : detectorMatrix()) {
+    for (unsigned Shards : {1u, 4u}) {
+      for (bool UseIndex : {false, true}) {
+        const std::string What = Name + " K=" + std::to_string(Shards) +
+                                 (UseIndex ? " indexed" : " full-scan");
+        AnalysisResult Hot =
+            AnalysisSession(
+                Workload, requestFor(Setup, Shards, UseIndex, true, true, Seed))
+                .analyzeTrace(T);
+        AnalysisResult Reference =
+            AnalysisSession(Workload, requestFor(Setup, Shards, UseIndex,
+                                                 false, false, Seed))
+                .analyzeTrace(T);
+        expectSameAnalysis(Hot, Reference, What);
+      }
+    }
+  }
+}
+
+TEST(HotPathEquivalenceTest, EachToggleIndependentlyBitIdentical) {
+  // Flip one engine at a time so a regression names its culprit.
+  CompiledWorkload Workload(mediumTestWorkload());
+  const uint64_t Seed = 43;
+  Trace T = generateTrace(Workload, Seed);
+
+  for (const auto &[Name, Setup] : detectorMatrix()) {
+    for (unsigned Shards : {1u, 4u}) {
+      AnalysisResult Reference =
+          AnalysisSession(Workload,
+                          requestFor(Setup, Shards, true, false, false, Seed))
+              .analyzeTrace(T);
+      AnalysisResult HotOnly =
+          AnalysisSession(Workload,
+                          requestFor(Setup, Shards, true, true, false, Seed))
+              .analyzeTrace(T);
+      AnalysisResult BatchOnly =
+          AnalysisSession(Workload,
+                          requestFor(Setup, Shards, true, false, true, Seed))
+              .analyzeTrace(T);
+      expectSameAnalysis(HotOnly, Reference,
+                         Name + " K=" + std::to_string(Shards) +
+                             " hot-kernels only");
+      expectSameAnalysis(BatchOnly, Reference,
+                         Name + " K=" + std::to_string(Shards) +
+                             " sync-batching only");
+    }
+  }
+}
+
+TEST(HotPathEquivalenceTest, SyncBatchingBitIdenticalOnPairRunTraces) {
+  CompiledWorkload Workload(syncHeavyWorkload());
+  const uint64_t Seed = 47;
+  Trace T = generateTrace(Workload, Seed);
+  // The workload must actually produce coalescible runs, or this test
+  // silently degenerates to the per-event path.
+  ASSERT_GE(longestPairRun(T), 4u);
+
+  for (const auto &[Name, Setup] : detectorMatrix()) {
+    for (unsigned Shards : {1u, 4u}) {
+      for (bool UseIndex : {false, true}) {
+        const std::string What = Name + " K=" + std::to_string(Shards) +
+                                 (UseIndex ? " indexed" : " full-scan") +
+                                 " sync-heavy";
+        AnalysisResult Batched =
+            AnalysisSession(
+                Workload, requestFor(Setup, Shards, UseIndex, true, true, Seed))
+                .analyzeTrace(T);
+        AnalysisResult Reference =
+            AnalysisSession(Workload, requestFor(Setup, Shards, UseIndex,
+                                                 true, false, Seed))
+                .analyzeTrace(T);
+        expectSameAnalysis(Batched, Reference, What);
+      }
+    }
+  }
+}
+
+TEST(HotPathEquivalenceTest, HotEngineBitIdenticalOnStreamedFiles) {
+  CompiledWorkload Workload(syncHeavyWorkload());
+  const uint64_t Seed = 53;
+  Trace T = generateTrace(Workload, Seed);
+  std::string Path = ::testing::TempDir() + "/pacer_hotpath.btrace";
+  ASSERT_TRUE(writeTraceFileBinary(Path, T));
+
+  for (const auto &[Name, Setup] : detectorMatrix()) {
+    for (unsigned Shards : {1u, 4u}) {
+      const std::string What =
+          Name + " K=" + std::to_string(Shards) + " streamed";
+      // A small window forces many chunks, so access runs and sync pair
+      // runs straddle chunk edges and coalescing restarts mid-run -- the
+      // hot engine must not care.
+      AnalysisRequest HotReq =
+          requestFor(Setup, Shards, /*UseIndex=*/false, true, true, Seed);
+      HotReq.Stream = true;
+      HotReq.StreamWindow = 700;
+      AnalysisRequest RefReq =
+          requestFor(Setup, Shards, false, false, false, Seed);
+      RefReq.Stream = true;
+      RefReq.StreamWindow = 700;
+      AnalysisResult Hot =
+          AnalysisSession(Workload, HotReq).analyzeFile(Path);
+      AnalysisResult Reference =
+          AnalysisSession(Workload, RefReq).analyzeFile(Path);
+      expectSameAnalysis(Hot, Reference, What);
+
+      // The streamed hot run must also match the in-memory hot run:
+      // chunking is invisible, not merely consistently wrong.
+      AnalysisResult Whole =
+          AnalysisSession(Workload,
+                          requestFor(Setup, Shards, false, true, true, Seed))
+              .analyzeTrace(T);
+      expectSameAnalysis(Hot, Whole, What + " vs whole-trace");
+    }
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(HotPathEquivalenceTest, ProbeTallyPartitionsStagedAccesses) {
+  // The gather probe is diagnostics-visible: a mostly-sampling detector
+  // with hot kernels on must report probes, the reference run none, and
+  // the per-key tally (vector-resolved + scalar-fallback) is the same
+  // total no matter how the shards slice the staging blocks.
+  CompiledWorkload Workload(mediumTestWorkload());
+  const uint64_t Seed = 59;
+  Trace T = generateTrace(Workload, Seed);
+  DetectorSetup Setup = fastTrackSetup();
+
+  AnalysisResult Sequential =
+      AnalysisSession(Workload, requestFor(Setup, 1, false, true, true, Seed))
+          .analyzeTrace(T);
+  ASSERT_TRUE(Sequential.Ok) << Sequential.Error;
+  EXPECT_GT(Sequential.ProbeVectorResolved + Sequential.ProbeScalarFallback,
+            0u);
+
+  AnalysisResult Sharded =
+      AnalysisSession(Workload, requestFor(Setup, 4, true, true, true, Seed))
+          .analyzeTrace(T);
+  ASSERT_TRUE(Sharded.Ok) << Sharded.Error;
+  EXPECT_EQ(Sharded.ProbeVectorResolved + Sharded.ProbeScalarFallback,
+            Sequential.ProbeVectorResolved + Sequential.ProbeScalarFallback);
+
+  AnalysisResult Reference =
+      AnalysisSession(Workload, requestFor(Setup, 1, false, false, false, Seed))
+          .analyzeTrace(T);
+  ASSERT_TRUE(Reference.Ok) << Reference.Error;
+  EXPECT_EQ(Reference.ProbeVectorResolved, 0u);
+  EXPECT_EQ(Reference.ProbeScalarFallback, 0u);
+}
+
+// --- Randomized differential tests: findBlock vs scalar find ----------
+
+/// Drives a FlatVarTable through a random insert/erase schedule and
+/// cross-checks findBlock against per-key find() after every mutation
+/// burst. Small key universes produce dense tables rich in collision
+/// chains; heavy erasure produces tombstone chains the gather's
+/// first-slot screen cannot resolve (forcing the scalar fallback).
+void differentialProbeCheck(uint32_t KeyUniverse, double EraseProb,
+                            uint64_t Seed) {
+  FlatVarTable<uint64_t> Table;
+  std::mt19937_64 Rng(Seed);
+  std::uniform_int_distribution<uint32_t> KeyDist(0, KeyUniverse - 1);
+  std::uniform_real_distribution<double> Coin(0.0, 1.0);
+
+  for (int Round = 0; Round < 200; ++Round) {
+    for (int Op = 0; Op < 32; ++Op) {
+      const uint32_t Key = KeyDist(Rng);
+      if (Coin(Rng) < EraseProb)
+        Table.erase(Key);
+      else
+        Table.getOrInsert(Key) = (static_cast<uint64_t>(Key) << 16) | Round;
+    }
+
+    uint32_t Keys[64];
+    uint64_t *Got[64];
+    std::uniform_int_distribution<size_t> WidthDist(1, 64);
+    const size_t N = WidthDist(Rng);
+    for (size_t I = 0; I != N; ++I)
+      Keys[I] = KeyDist(Rng); // Duplicates and absent keys included.
+
+    const size_t Resolved = Table.findBlock(Keys, N, Got);
+    EXPECT_LE(Resolved, N);
+    for (size_t I = 0; I != N; ++I) {
+      uint64_t *Want = Table.find(Keys[I]);
+      EXPECT_EQ(Got[I], Want)
+          << "universe " << KeyUniverse << " round " << Round << " key "
+          << Keys[I];
+      if (Want) {
+        EXPECT_EQ(*Got[I], *Want);
+      }
+    }
+  }
+}
+
+TEST(HotPathEquivalenceTest, GatherProbeMatchesScalarFindSparse) {
+  // Large universe: mostly misses, resolved by the empty-lane screen.
+  differentialProbeCheck(/*KeyUniverse=*/1 << 20, /*EraseProb=*/0.2, 61);
+}
+
+TEST(HotPathEquivalenceTest, GatherProbeMatchesScalarFindCollisionHeavy) {
+  // Tiny universe under churn: dense table, long collision and tombstone
+  // chains, repeated shrink/grow rehashes.
+  differentialProbeCheck(/*KeyUniverse=*/96, /*EraseProb=*/0.45, 67);
+  differentialProbeCheck(/*KeyUniverse=*/40, /*EraseProb=*/0.6, 71);
+}
+
+} // namespace
